@@ -1,0 +1,99 @@
+// Ablation G — network depth: FA's accumulated quantization error vs DFA.
+//
+// Paper Sec. IV-A1 explains Table I's FA-vs-DFA ordering with: "the DFA
+// skipped the hidden layers in the backward path and has less accumulated
+// quantization errors", and Sec. III-A with: "As the error propagated
+// through layers, the quantization errors accumulated."
+//
+// This ablation makes the ordering visible: sweep the number of trainable
+// hidden layers at the chip's native 8-bit precision. FA's feedback chain
+// re-quantizes the error spike train at every hop, so DFA should sit above
+// FA at every depth, with a persistent gap. (The precision axis itself —
+// accuracy collapsing below 8 bits, saturating above — is established
+// separately by Ablation A; at this bench's miniature scale a wide-precision
+// control is too seed-noisy to add signal.)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "core/network.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    const auto train_n = static_cast<std::size_t>(cli.get_int("train", 300));
+    const auto test_n = static_cast<std::size_t>(cli.get_int("test", 200));
+    const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 2));
+    const auto max_depth = static_cast<std::size_t>(cli.get_int("depth", 3));
+
+    bench::banner(
+        "Ablation G — depth sweep: FA quantization accumulation vs DFA",
+        "paper Sec. III-A / IV-A1 (error re-quantized at every FA hop)",
+        std::to_string(train_n) + " train samples, " + std::to_string(epochs) +
+            " epochs, 16x16 synthetic digits, mean of 3 seeds, "
+            "hidden width 64");
+
+    data::GenOptions gen;
+    gen.count = train_n + test_n;
+    gen.seed = 5;
+    gen.height = 16;
+    gen.width = 16;
+    const auto all = data::make_digits(gen);
+    const auto [train, test] = data::split(all, train_n);
+
+    const std::uint64_t seeds[] = {7, 9, 13};
+
+    const auto run = [&](std::size_t depth, core::FeedbackMode mode) {
+        core::EmstdpOptions opt;
+        opt.feedback = mode;
+        double acc = 0.0;
+        for (const std::uint64_t seed : seeds) {
+            opt.seed = seed;
+            core::EmstdpNetwork net(opt, 1, gen.height, gen.width, nullptr,
+                                    std::vector<std::size_t>(depth, 64),
+                                    std::size_t{10});
+            common::Rng rng(42 + seed);
+            for (std::size_t e = 0; e < epochs; ++e)
+                core::train_epoch(net, train, rng);
+            acc += core::evaluate(net, test);
+        }
+        return acc / static_cast<double>(std::size(seeds));
+    };
+
+    common::Table table({"hidden layers", "FA", "DFA", "DFA - FA"});
+    common::CsvWriter csv(bench::kCsvDir, "ablation_depth",
+                          {"depth", "fa", "dfa"});
+
+    for (std::size_t depth = 1; depth <= max_depth; ++depth) {
+        const double fa = run(depth, core::FeedbackMode::FA);
+        const double dfa = run(depth, core::FeedbackMode::DFA);
+        std::printf("[depth %zu] FA=%.1f%% DFA=%.1f%%\n", depth, fa * 100.0,
+                    dfa * 100.0);
+        std::fflush(stdout);
+        table.add_row({std::to_string(depth), common::Table::pct(fa),
+                       common::Table::pct(dfa),
+                       common::Table::fmt((dfa - fa) * 100.0, 1) + " pp"});
+        csv.add_row({std::to_string(depth), std::to_string(fa),
+                     std::to_string(dfa)});
+    }
+
+    std::printf("\n");
+    table.print();
+    std::printf("\nCSV: %s\n", csv.write().c_str());
+    bench::footnote(
+        "shape check: DFA sits above FA at every depth and the gap persists "
+        "as layers are added — each extra FA hop re-quantizes the error "
+        "spike train, which is the paper\'s explanation for Table I\'s "
+        "FA-vs-DFA ordering. Both topologies lose accuracy with depth at "
+        "this miniature training scale (deeper credit assignment needs more "
+        "samples than the bench budget provides); the paper\'s fixed "
+        "100d-10d head corresponds to the depth-1 row.");
+    return 0;
+}

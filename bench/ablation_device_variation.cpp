@@ -1,0 +1,157 @@
+// Ablation F — device variation and defect compensation.
+//
+// Paper Sec. I motivates in-hardware learning with: "It provides the ability
+// to compensate any device variation and/or environment noise in the
+// inference stage". This ablation makes that claim measurable on the
+// simulated chip: weights trained on a pristine chip are deployed onto chips
+// with (a) Gaussian threshold mismatch on every forward neuron and (b) a
+// fraction of dead hidden units. Deployment alone degrades accuracy; running
+// the same on-chip EMSTDP learning *on the degraded chip* recovers most of
+// it, because the update rule only ever sees the real device's spike counts.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "core/network.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "loihi/faults.hpp"
+
+using namespace neuro;
+
+namespace {
+
+/// Applies threshold mismatch to every forward-path population that carries
+/// trainable synapses (hidden + output), one derived seed per population.
+void vary_forward_path(core::EmstdpNetwork& net, double sigma,
+                       std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (const auto pop : net.hidden_pops())
+        loihi::apply_threshold_variation(net.chip(), pop, sigma, s++);
+    loihi::apply_threshold_variation(net.chip(), net.output_pop(), sigma, s);
+}
+
+struct Scenario {
+    std::string label;
+    double deploy_acc = 0.0;
+    double adapted_acc = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    const auto train_n = static_cast<std::size_t>(cli.get_int("train", 300));
+    const auto test_n = static_cast<std::size_t>(cli.get_int("test", 200));
+    const auto base_epochs = static_cast<std::size_t>(cli.get_int("epochs", 2));
+
+    bench::banner("Ablation F — device variation & defect compensation",
+                  "paper Sec. I (motivation: in-hardware learning compensates "
+                  "device variation)",
+                  std::to_string(train_n) + " train samples, " +
+                      std::to_string(base_epochs) +
+                      " factory epochs + 1 recovery epoch, DFA, 16x16 "
+                      "synthetic digits, no conv front-end");
+
+    data::GenOptions gen;
+    gen.count = train_n + test_n;
+    gen.seed = 5;
+    gen.height = 16;
+    gen.width = 16;
+    const auto all = data::make_digits(gen);
+    const auto [train, test] = data::split(all, train_n);
+
+    core::EmstdpOptions opt;
+    opt.seed = 7;
+    const auto make_net = [&] {
+        return std::make_unique<core::EmstdpNetwork>(opt, 1, gen.height,
+                                                     gen.width, nullptr,
+                                                     std::vector<std::size_t>{100},
+                                                     std::size_t{10});
+    };
+
+    // ---- factory training on a pristine chip -------------------------------
+    auto golden = make_net();
+    common::Rng rng(42);
+    for (std::size_t e = 0; e < base_epochs; ++e)
+        core::train_epoch(*golden, train, rng);
+    const double pristine = core::evaluate(*golden, test);
+    const std::string ckpt = std::string(bench::kCsvDir) + "/device_variation.ckpt";
+    golden->save(ckpt);
+    std::printf("[factory] pristine chip accuracy: %.1f%%\n\n", pristine * 100.0);
+
+    // ---- fault scenarios -----------------------------------------------------
+    std::vector<Scenario> scenarios;
+    const auto run_scenario = [&](const std::string& label, auto&& inject) {
+        Scenario sc;
+        sc.label = label;
+        {
+            auto deploy = make_net();
+            deploy->load(ckpt);
+            inject(*deploy);
+            sc.deploy_acc = core::evaluate(*deploy, test);
+        }
+        {
+            auto adapt = make_net();
+            adapt->load(ckpt);
+            inject(*adapt);  // identical seeds: the same physical chip
+            common::Rng r2(43);
+            core::train_epoch(*adapt, train, r2);
+            sc.adapted_acc = core::evaluate(*adapt, test);
+        }
+        std::printf("[%s] deploy=%.1f%% adapted=%.1f%%\n", sc.label.c_str(),
+                    sc.deploy_acc * 100.0, sc.adapted_acc * 100.0);
+        std::fflush(stdout);
+        scenarios.push_back(sc);
+    };
+
+    // Control: no fault. Its "adapted" column isolates how much of the
+    // recovery below is plain extra training rather than compensation.
+    run_scenario("none (control)", [](core::EmstdpNetwork&) {});
+    for (const double sigma : {0.15, 0.30})
+        run_scenario("vth mismatch sigma=" + common::Table::fmt(sigma * 100, 0) + "%",
+                     [&](core::EmstdpNetwork& n) {
+                         vary_forward_path(n, sigma, 1000);
+                     });
+    run_scenario("10% dead hidden units", [&](core::EmstdpNetwork& n) {
+        loihi::kill_fraction(n.chip(), n.hidden_pops().front(), 0.10, 2000);
+    });
+    run_scenario("sigma=30% + 10% dead", [&](core::EmstdpNetwork& n) {
+        vary_forward_path(n, 0.30, 1000);
+        loihi::kill_fraction(n.chip(), n.hidden_pops().front(), 0.10, 2000);
+    });
+
+    // ---- report ---------------------------------------------------------------
+    common::Table table(
+        {"fault", "deploy-only", "after on-chip adaptation", "recovered"});
+    common::CsvWriter csv(bench::kCsvDir, "ablation_device_variation",
+                          {"fault", "deploy_acc", "adapted_acc", "pristine_acc"});
+    for (const auto& sc : scenarios) {
+        const double rec = sc.adapted_acc - sc.deploy_acc;
+        table.add_row({sc.label, common::Table::pct(sc.deploy_acc),
+                       common::Table::pct(sc.adapted_acc),
+                       common::Table::fmt(rec * 100.0, 1) + " pp"});
+        csv.add_row({sc.label, std::to_string(sc.deploy_acc),
+                     std::to_string(sc.adapted_acc), std::to_string(pristine)});
+    }
+    std::printf("\npristine-chip reference: %.1f%%\n\n", pristine * 100.0);
+    table.print();
+    std::printf("\nCSV: %s\n", csv.write().c_str());
+    bench::footnote(
+        "shape check: deploying factory weights onto a varied/defective chip "
+        "loses accuracy, and the loss grows with fault severity; one epoch "
+        "of the same EMSTDP learning run *on the degraded chip* recovers "
+        "far above the deploy-only level (the rule adapts the surviving "
+        "synapses to the device that actually exists). This is the paper's "
+        "stated motivation for in-hardware learning, demonstrated end to "
+        "end. A reproduction finding: moderate threshold mismatch plus "
+        "adaptation lands *above* the fault-free control — heterogeneous "
+        "neuron gains break hidden-unit symmetry and enrich the feature "
+        "basis, consistent with reports that neuron heterogeneity aids SNN "
+        "training; see DESIGN.md Sec. 8.");
+    return 0;
+}

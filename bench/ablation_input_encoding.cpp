@@ -1,0 +1,81 @@
+// Ablation B — input encoding (adaptation technique 4).
+//
+// Paper Sec. III-D: "Each spike insertion requires a communication between
+// the host and the chip, thus a significant overhead. Instead of inserting
+// spikes directly we program the biases of the input layer neurons ...
+// Using this setup, we need to communicate with the chip only once for
+// every input sample."
+//
+// This ablation runs the same training stream through both encodings and
+// reports (a) host-I/O transactions per sample — the claimed saving — and
+// (b) accuracy parity, since the bias integration generates exactly the
+// spike train the host would have inserted.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    const auto train_n = static_cast<std::size_t>(cli.get_int("train", 250));
+    const auto test_n = static_cast<std::size_t>(cli.get_int("test", 120));
+
+    bench::banner("Ablation B — bias programming vs host spike insertion",
+                  "paper Sec. III-D (adaptation technique 4)",
+                  std::to_string(train_n) + " train samples, 1 epoch, DFA, "
+                  "synthetic digits");
+
+    core::ExperimentSpec spec;
+    spec.dataset = "digits";
+    spec.train_count = train_n;
+    spec.test_count = test_n;
+    spec.ann_epochs = 2;
+    spec.seed = 9;
+    const auto prep = core::prepare(spec);
+
+    common::Table table({"encoding", "accuracy", "host writes/sample",
+                         "reduction"});
+    common::CsvWriter csv(bench::kCsvDir, "ablation_input_encoding",
+                          {"encoding", "accuracy", "writes_per_sample"});
+
+    double writes_bias = 0.0;
+    for (auto mode : {core::InputMode::BiasProgramming, core::InputMode::SpikeInsertion}) {
+        const bool bias = mode == core::InputMode::BiasProgramming;
+        core::EmstdpOptions opt;
+        opt.input_mode = mode;
+        opt.seed = 7;
+        auto net = core::build_chip_network(prep, opt);
+        common::Rng rng(42);
+        net->chip().reset_activity();
+        core::train_epoch(*net, prep.train, rng);
+        const double writes =
+            static_cast<double>(net->chip().activity().host_io_writes) /
+            static_cast<double>(train_n);
+        const double acc = core::evaluate(*net, prep.test);
+        if (bias) writes_bias = writes;
+        table.add_row({bias ? "bias programming (paper)" : "spike insertion",
+                       common::Table::pct(acc), common::Table::fmt(writes, 0),
+                       bias ? "1.0x"
+                            : common::Table::fmt(writes / writes_bias, 1) + "x"});
+        csv.add_row({bias ? "bias" : "spikes", std::to_string(acc),
+                     std::to_string(writes)});
+        std::printf("[%s] acc=%.1f%% writes/sample=%.0f\n",
+                    bias ? "bias" : "spikes", acc * 100.0, writes);
+        std::fflush(stdout);
+    }
+
+    std::printf("\n");
+    table.print();
+    std::printf("\nCSV: %s\n", csv.write().c_str());
+    bench::footnote(
+        "shape checks: accuracies agree to within noise (the encodings are "
+        "spike-for-spike equivalent), while bias programming needs only one "
+        "write per input neuron + label per sample and spike insertion needs "
+        "one write per spike (roughly mean-pixel * T more).");
+    return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation E — phase length T.
+//
+// Paper Sec. IV-A2: "Reducing the duration of each phase will improve the
+// throughput but also sacrifice the quality of learning." This ablation
+// sweeps T and reports both sides of that trade-off: accuracy after a fixed
+// training stream, and the modeled chip throughput/energy (a sample takes
+// 2T steps when training).
+//
+// Mechanism behind the accuracy loss: spike counts quantize rates to 1/T,
+// so both the forward code and the error representation coarsen; at T = 16
+// a rate difference below 1/16 is invisible to the update rule.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    const auto train_n = static_cast<std::size_t>(cli.get_int("train", 500));
+    const auto test_n = static_cast<std::size_t>(cli.get_int("test", 200));
+    const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 2));
+
+    bench::banner("Ablation E — phase length T: accuracy vs throughput",
+                  "paper Sec. IV-A2 (throughput/quality trade-off claim)",
+                  std::to_string(train_n) + " train samples, " +
+                      std::to_string(epochs) + " epochs, DFA, synthetic digits");
+
+    core::ExperimentSpec spec;
+    spec.dataset = "digits";
+    spec.train_count = train_n;
+    spec.test_count = test_n;
+    spec.ann_epochs = 3;
+    spec.seed = 4;
+    const auto prep = core::prepare(spec);
+    const loihi::EnergyModelParams params;
+
+    common::Table table({"T", "accuracy", "train FPS", "energy (mJ/img)",
+                         "rate resolution"});
+    common::CsvWriter csv(bench::kCsvDir, "ablation_phase_length",
+                          {"T", "accuracy", "fps", "energy_mj"});
+    for (std::int32_t T : {16, 32, 64, 96}) {
+        core::EmstdpOptions opt;
+        opt.phase_length = T;
+        // Keep the operating point self-consistent across the sweep: spike
+        // counts scale with T, so the dense threshold must scale with T to
+        // hold the *rate* regime fixed (theta = 4T reproduces the default
+        // 256 at T = 64). Only the rate resolution 1/T then varies.
+        opt.theta_dense = 4 * T;
+        opt.seed = 7;
+        auto net = core::build_chip_network(prep, opt);
+        common::Rng rng(42);
+        for (std::size_t e = 0; e < epochs; ++e)
+            core::train_epoch(*net, prep.train, rng);
+        const double acc = core::evaluate(*net, prep.test);
+        const auto r = core::measure_energy(*net, prep.train, 8, true, params);
+        table.add_row({std::to_string(T), common::Table::pct(acc),
+                       common::Table::fmt(r.fps, 1),
+                       common::Table::fmt(r.energy_per_sample_j * 1e3, 2),
+                       "1/" + std::to_string(T)});
+        csv.add_row({std::to_string(T), std::to_string(acc), std::to_string(r.fps),
+                     std::to_string(r.energy_per_sample_j * 1e3)});
+        std::printf("[T=%d] acc=%.1f%% fps=%.1f\n", T, acc * 100.0, r.fps);
+        std::fflush(stdout);
+    }
+
+    std::printf("\n");
+    table.print();
+    std::printf("\nCSV: %s\n", csv.write().c_str());
+    bench::footnote(
+        "the throughput/energy side of the paper's claim reproduces exactly "
+        "(FPS ~ 1/T, energy ~ T). The accuracy side does NOT reproduce at "
+        "this miniature training scale: shorter phases match or beat longer "
+        "ones here, the coarse rate code acting as beneficial update noise "
+        "when samples are scarce and long runs at T = 64 showing mild drift. "
+        "The paper's quality claim concerns full-dataset training where rate "
+        "resolution is the binding constraint; treat this ablation as an "
+        "honest scale-dependence record (see EXPERIMENTS.md).");
+    return 0;
+}

@@ -1,0 +1,108 @@
+// Ablation D — the two-phase trace-based update (adaptation technique 2)
+// and its supporting mechanisms.
+//
+// Configurations:
+//   exact (default)   phase-gated counters: x1 = phase-1 pre count,
+//                     y1 = phase-2 post count, tag = both -> the update is
+//                     exactly eq. (7) in integer form (eq. 12).
+//   pre-both          x1 counts both phases (the raw hardware counter); the
+//                     pre factor becomes h + h_hat ~ 2h.
+//   hw-decay          y1 is a decaying trace instead of a counter. The
+//                     paper explicitly uses the "built in post-synaptic
+//                     trace counter" (adaptation 2); this variant shows why:
+//                     at the sparse rates of real features, a decaying
+//                     estimate of h_hat has usually died away by the end of
+//                     the window and the update collapses toward depression.
+//   no-gating         derivative gate (h', adaptation technique 1) removed.
+//   no-stoch-round    learning-engine stochastic rounding disabled: most
+//                     updates fall below one 8-bit LSB and learning stalls.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+
+using namespace neuro;
+
+namespace {
+
+double run_config(const core::Prepared& prep, const core::EmstdpOptions& opt,
+                  std::size_t epochs) {
+    auto net = core::build_chip_network(prep, opt);
+    common::Rng rng(42);
+    for (std::size_t e = 0; e < epochs; ++e) core::train_epoch(*net, prep.train, rng);
+    return core::evaluate(*net, prep.test);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    const auto train_n = static_cast<std::size_t>(cli.get_int("train", 500));
+    const auto test_n = static_cast<std::size_t>(cli.get_int("test", 200));
+    const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 2));
+
+    bench::banner("Ablation D — update-rule fidelity variants",
+                  "paper Sec. III-B / Fig. 2 (adaptation techniques 1 and 2)",
+                  std::to_string(train_n) + " train samples, " +
+                      std::to_string(epochs) + " epochs, DFA, synthetic digits");
+
+    core::ExperimentSpec spec;
+    spec.dataset = "digits";
+    spec.train_count = train_n;
+    spec.test_count = test_n;
+    spec.ann_epochs = 3;
+    spec.seed = 13;
+    const auto prep = core::prepare(spec);
+
+    struct Config {
+        const char* name;
+        core::EmstdpOptions opt;
+    };
+    std::vector<Config> configs;
+    {
+        core::EmstdpOptions base;
+        base.seed = 7;
+        configs.push_back({"exact (phase-gated counters)", base});
+        auto both = base;
+        both.pre_window = loihi::TraceWindow::Both;
+        configs.push_back({"pre-both (raw pre counter)", both});
+        auto hw = base;
+        hw.hw_trace_approx = true;
+        hw.pre_window = loihi::TraceWindow::Both;
+        configs.push_back({"hw-decay (decaying post trace)", hw});
+        auto nogate = base;
+        nogate.derivative_gating = false;
+        configs.push_back({"no-gating (h' removed)", nogate});
+        auto nostoch = base;
+        nostoch.stochastic_rounding = false;
+        configs.push_back({"no-stoch-round", nostoch});
+    }
+
+    common::Table table({"configuration", "accuracy"});
+    common::CsvWriter csv(bench::kCsvDir, "ablation_update_rule",
+                          {"config", "accuracy"});
+    for (const auto& c : configs) {
+        const double acc = run_config(prep, c.opt, epochs);
+        table.add_row({c.name, common::Table::pct(acc)});
+        csv.add_row({c.name, std::to_string(acc)});
+        std::printf("[%s] %.1f%%\n", c.name, acc * 100.0);
+        std::fflush(stdout);
+    }
+
+    std::printf("\n");
+    table.print();
+    std::printf("\nCSV: %s\n", csv.write().c_str());
+    bench::footnote(
+        "shape checks: the raw both-phase pre counter is a viable substitute "
+        "for the phase-gated one (its factor-of-two rate inflation is "
+        "compensated in the learning shift); the decaying-trace variant "
+        "collapses at sparse feature rates — evidence for the paper's choice "
+        "of trace *counters* plus two-phase epoch structuring (adaptation "
+        "2); removing the h' gate costs accuracy. Stochastic rounding "
+        "matters when eta*counts drops below one weight LSB (see "
+        "loihi_learning_test); at this workload most updates are above it.");
+    return 0;
+}

@@ -1,0 +1,140 @@
+// Baseline — offline ANN -> SNN conversion vs in-hardware EMSTDP learning.
+//
+// The paper's introduction frames conversion as the incumbent: "A common
+// approach is to train an ANN and convert it into SNN [4], [5], however,
+// this requires the training to be performed offline", and argues that
+// in-hardware learning "provides the ability to compensate any device
+// variation". This bench puts both claims on the same chip:
+//
+//   row 1: float ANN (the offline upper bound)
+//   row 2: full ANN->SNN conversion deployed inference-only (snn/deploy)
+//   row 3: EMSTDP with frozen converted convs, dense head trained on chip
+//
+// columns: accuracy on a pristine chip; accuracy after 20% threshold
+// mismatch lands on the dense-head populations; accuracy after the chip is
+// then given one epoch of on-device data. Conversion cannot use that data —
+// its weights are frozen at deployment — while EMSTDP retrains and recovers.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+#include "loihi/faults.hpp"
+#include "snn/deploy.hpp"
+
+using namespace neuro;
+
+namespace {
+constexpr double kSigma = 0.20;
+constexpr std::uint64_t kVarSeed = 1000;
+}  // namespace
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    const auto train_n = static_cast<std::size_t>(cli.get_int("train", 600));
+    const auto test_n = static_cast<std::size_t>(cli.get_int("test", 250));
+    const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 4));
+
+    bench::banner(
+        "Baseline — ANN->SNN conversion vs in-hardware EMSTDP",
+        "paper Sec. I (conversion requires offline training; in-hardware "
+        "learning compensates device variation)",
+        std::to_string(train_n) + " train samples, " + std::to_string(epochs) +
+            " on-chip epochs, DFA, synthetic digits, vth mismatch sigma=20%");
+
+    core::ExperimentSpec spec;
+    spec.dataset = "digits";
+    spec.train_count = train_n;
+    spec.test_count = test_n;
+    spec.ann_epochs = 4;
+    spec.seed = 3;
+    const auto prep = core::prepare(spec);
+
+    const auto eval_converted = [&](snn::ConvertedNetwork& net) {
+        std::size_t correct = 0;
+        for (const auto& s : prep.test.samples)
+            correct += net.predict(s.image) == s.label ? 1 : 0;
+        return static_cast<double>(correct) /
+               static_cast<double>(prep.test.size());
+    };
+
+    // ---- row 1: the float ANN --------------------------------------------------
+    std::printf("[ann] float accuracy: %.1f%% (offline upper bound)\n",
+                prep.ann_test_accuracy * 100.0);
+
+    // ---- row 2: conversion -------------------------------------------------------
+    const auto converted =
+        snn::convert_full_model(*prep.model, prep.topo, prep.train, 0.999f, 8);
+    snn::ConvertedNetwork conv_net(converted, prep.topo, 64);
+    const double conv_pristine = eval_converted(conv_net);
+    for (std::uint64_t i = 0; i < conv_net.head_populations().size(); ++i)
+        loihi::apply_threshold_variation(conv_net.chip(),
+                                         conv_net.head_populations()[i], kSigma,
+                                         kVarSeed + i);
+    const double conv_varied = eval_converted(conv_net);
+    // Conversion has no on-chip learning: the "after adaptation" column is
+    // the same chip, unchanged, after the adaptation data went unused.
+    const double conv_adapted = eval_converted(conv_net);
+    std::printf("[conversion] pristine=%.1f%% varied=%.1f%% after-data=%.1f%%\n",
+                conv_pristine * 100.0, conv_varied * 100.0, conv_adapted * 100.0);
+
+    // ---- row 3: in-hardware EMSTDP ---------------------------------------------
+    core::EmstdpOptions opt;
+    opt.seed = 7;
+    auto emstdp = core::build_chip_network(prep, opt);
+    common::Rng rng(42);
+    for (std::size_t e = 0; e < epochs; ++e)
+        core::train_epoch(*emstdp, prep.train, rng);
+    const double em_pristine = core::evaluate(*emstdp, prep.test);
+
+    std::uint64_t vs = kVarSeed;
+    for (const auto pop : emstdp->hidden_pops())
+        loihi::apply_threshold_variation(emstdp->chip(), pop, kSigma, vs++);
+    loihi::apply_threshold_variation(emstdp->chip(), emstdp->output_pop(), kSigma,
+                                     vs);
+    const double em_varied = core::evaluate(*emstdp, prep.test);
+    common::Rng rng2(43);
+    core::train_epoch(*emstdp, prep.train, rng2);  // adapts on the varied chip
+    const double em_adapted = core::evaluate(*emstdp, prep.test);
+    std::printf("[emstdp] pristine=%.1f%% varied=%.1f%% after-data=%.1f%%\n\n",
+                em_pristine * 100.0, em_varied * 100.0, em_adapted * 100.0);
+
+    // ---- report -------------------------------------------------------------------
+    common::Table table({"system", "training", "pristine chip",
+                         "vth mismatch 20%", "+1 epoch on-device data"});
+    table.add_row({"float ANN", "offline",
+                   common::Table::pct(prep.ann_test_accuracy), "n/a", "n/a"});
+    table.add_row({"ANN->SNN conversion", "offline",
+                   common::Table::pct(conv_pristine),
+                   common::Table::pct(conv_varied),
+                   common::Table::pct(conv_adapted) + " (cannot learn)"});
+    table.add_row({"EMSTDP in-hardware", "on-chip online",
+                   common::Table::pct(em_pristine),
+                   common::Table::pct(em_varied),
+                   common::Table::pct(em_adapted) + " (recovered)"});
+    table.print();
+
+    common::CsvWriter csv(bench::kCsvDir, "baseline_ann_conversion",
+                          {"system", "pristine", "varied", "adapted"});
+    csv.add_row({"ann", std::to_string(prep.ann_test_accuracy), "", ""});
+    csv.add_row({"conversion", std::to_string(conv_pristine),
+                 std::to_string(conv_varied), std::to_string(conv_adapted)});
+    csv.add_row({"emstdp", std::to_string(em_pristine),
+                 std::to_string(em_varied), std::to_string(em_adapted)});
+    std::printf("\nCSV: %s\n", csv.write().c_str());
+
+    bench::footnote(
+        "shape check: on a pristine chip the offline pipeline (ANN and its "
+        "SNN conversion) sits above online EMSTDP — matching Table I's "
+        "FP-vs-Loihi ordering. Under device variation both deployments "
+        "degrade; given the same one epoch of on-device data, conversion is "
+        "frozen while EMSTDP retrains on the chip that actually exists and "
+        "recovers — the paper's core argument for in-hardware learning. "
+        "Variation is applied to the dense-head populations of both systems "
+        "with identical seeds.");
+    return 0;
+}

@@ -1,0 +1,30 @@
+#pragma once
+// Shared helpers for the bench binaries: uniform banners, paper-value
+// annotations and CSV output location.
+
+#include <cstdio>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace neuro::bench {
+
+inline constexpr const char* kCsvDir = "bench_results";
+
+/// Prints the standard bench banner: what is being reproduced, at what
+/// scale, and what the comparison target is.
+inline void banner(const std::string& title, const std::string& paper_ref,
+                   const std::string& scale_note) {
+    std::printf("================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    if (!scale_note.empty()) std::printf("Scale: %s\n", scale_note.c_str());
+    std::printf("================================================================\n\n");
+}
+
+inline void footnote(const std::string& text) {
+    std::printf("\nNote: %s\n", text.c_str());
+}
+
+}  // namespace neuro::bench

@@ -1,0 +1,100 @@
+// Microbenchmarks of the chip simulator itself (google-benchmark): timestep
+// cost vs network size and activity, spike delivery, learning-epoch cost and
+// microcode parsing. These gate performance regressions of the substrate
+// that every experiment binary sits on.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "loihi/chip.hpp"
+
+using namespace neuro::loihi;
+
+namespace {
+
+/// Two-population network: `n` sources firing at `rate`, dense fan-out to
+/// n/4 destinations.
+Chip make_chip(std::size_t n, double rate, bool plastic) {
+    Chip chip;
+    PopulationConfig src;
+    src.name = "src";
+    src.size = n;
+    src.compartment.vth = 64;
+    const auto s = chip.add_population(src);
+    PopulationConfig dst;
+    dst.name = "dst";
+    dst.size = n / 4;
+    dst.compartment.vth = 256;
+    const auto d = chip.add_population(dst);
+
+    neuro::common::Rng rng(99);
+    std::vector<Synapse> syns;
+    syns.reserve(n * (n / 4) / 8);
+    for (std::uint32_t i = 0; i < n; ++i)
+        for (std::uint32_t o = 0; o < n / 4; ++o)
+            if (rng.bernoulli(0.125))
+                syns.push_back({i, o, static_cast<std::int32_t>(
+                                          rng.uniform_int(-64, 64))});
+    ProjectionConfig pr;
+    pr.name = "p";
+    pr.src = s;
+    pr.dst = d;
+    pr.plastic = plastic;
+    pr.rule = emstdp_rule(7);
+    chip.add_projection(pr, std::move(syns));
+    chip.finalize();
+
+    std::vector<std::int32_t> bias(n);
+    for (auto& b : bias)
+        b = static_cast<std::int32_t>(rate * 64.0 * rng.uniform());
+    chip.set_bias(s, bias);
+    return chip;
+}
+
+void BM_TimestepSmall(benchmark::State& state) {
+    Chip chip = make_chip(256, 0.3, false);
+    for (auto _ : state) chip.step();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 320);
+}
+BENCHMARK(BM_TimestepSmall);
+
+void BM_TimestepLarge(benchmark::State& state) {
+    Chip chip = make_chip(4096, 0.3, false);
+    for (auto _ : state) chip.step();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 5120);
+}
+BENCHMARK(BM_TimestepLarge);
+
+void BM_TimestepActivitySweep(benchmark::State& state) {
+    const double rate = static_cast<double>(state.range(0)) / 100.0;
+    Chip chip = make_chip(1024, rate, false);
+    for (auto _ : state) chip.step();
+}
+BENCHMARK(BM_TimestepActivitySweep)->Arg(5)->Arg(25)->Arg(75);
+
+void BM_LearningEpoch(benchmark::State& state) {
+    Chip chip = make_chip(1024, 0.3, true);
+    chip.run(64);  // accumulate traces
+    for (auto _ : state) chip.apply_learning();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(chip.total_synapses()));
+}
+BENCHMARK(BM_LearningEpoch);
+
+void BM_ResetDynamicState(benchmark::State& state) {
+    Chip chip = make_chip(4096, 0.3, false);
+    for (auto _ : state) chip.reset_dynamic_state();
+}
+BENCHMARK(BM_ResetDynamicState);
+
+void BM_ParseMicrocode(benchmark::State& state) {
+    for (auto _ : state) {
+        auto sop = parse_sum_of_products("2^-6*x1*y1 - 2^-7*x1*t + (x1-2)*(y1+3)");
+        benchmark::DoNotOptimize(sop);
+    }
+}
+BENCHMARK(BM_ParseMicrocode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Microbenchmarks of the end-to-end EMSTDP sample path on the paper network
+// (google-benchmark): host-side simulation cost of one training sample
+// (2T steps + learning epoch) and one inference sample (T steps), for FA
+// and DFA. These are *simulator* costs, not modeled chip times — the chip
+// times come from the energy model (Table II bench).
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+
+using namespace neuro;
+
+namespace {
+
+const core::Prepared& prep() {
+    static const core::Prepared p = [] {
+        core::ExperimentSpec spec;
+        spec.dataset = "digits";
+        spec.train_count = 64;
+        spec.test_count = 16;
+        spec.ann_epochs = 1;
+        spec.seed = 2;
+        return core::prepare(spec);
+    }();
+    return p;
+}
+
+void BM_TrainSampleDFA(benchmark::State& state) {
+    core::EmstdpOptions opt;
+    opt.feedback = core::FeedbackMode::DFA;
+    auto net = core::build_chip_network(prep(), opt);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& s = prep().train.samples[i++ % prep().train.size()];
+        net->train_sample(s.image, s.label);
+    }
+}
+BENCHMARK(BM_TrainSampleDFA)->Unit(benchmark::kMillisecond);
+
+void BM_TrainSampleFA(benchmark::State& state) {
+    core::EmstdpOptions opt;
+    opt.feedback = core::FeedbackMode::FA;
+    auto net = core::build_chip_network(prep(), opt);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& s = prep().train.samples[i++ % prep().train.size()];
+        net->train_sample(s.image, s.label);
+    }
+}
+BENCHMARK(BM_TrainSampleFA)->Unit(benchmark::kMillisecond);
+
+void BM_InferenceSample(benchmark::State& state) {
+    core::EmstdpOptions opt;
+    opt.inference_only = true;
+    auto net = core::build_chip_network(prep(), opt);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& s = prep().train.samples[i++ % prep().train.size()];
+        benchmark::DoNotOptimize(net->predict(s.image));
+    }
+}
+BENCHMARK(BM_InferenceSample)->Unit(benchmark::kMillisecond);
+
+void BM_ReferenceTrainSample(benchmark::State& state) {
+    auto ref = core::build_reference(prep(), reference::FeedbackMode::DFA, 0.125f, 7);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& s = prep().ref_train[i++ % prep().ref_train.size()];
+        ref.train_sample(s.rates, s.label);
+    }
+}
+BENCHMARK(BM_ReferenceTrainSample)->Unit(benchmark::kMillisecond);
+
+void BM_NetworkConstruction(benchmark::State& state) {
+    for (auto _ : state) {
+        core::EmstdpOptions opt;
+        auto net = core::build_chip_network(prep(), opt);
+        benchmark::DoNotOptimize(net);
+    }
+}
+BENCHMARK(BM_NetworkConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Online EMSTDP learning of DVS gestures on the simulated chip.
+//
+// The paper's intro motivates neuromorphic processors with event-based
+// sensors ("dynamic vision sensor (DVS), whose output is sparse by nature").
+// This example closes that loop on the reproduction: a synthetic DVS sensor
+// (src/dvs) records four sweep gestures; the recordings are integrated into
+// time-binned ON/OFF frame stacks; the on-chip EMSTDP network learns to
+// classify them online, one recording at a time, as the image pipelines do.
+// The event statistics printed alongside show why the sensor pairs well with
+// the chip: a recording carries ~20-50x fewer events than a dense frame
+// stream of the same duration.
+//
+// Run: ./build/examples/dvs_gesture_learning [--train=N] [--epochs=N]
+
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "core/network.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "dvs/events.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    const auto train_n = static_cast<std::size_t>(cli.get_int("train", 240));
+    const auto test_n = static_cast<std::size_t>(cli.get_int("test", 120));
+    const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 2));
+
+    // ---- record gestures with the synthetic sensor --------------------------
+    dvs::GestureOptions gopt;
+    gopt.count = train_n + test_n;
+    gopt.classes = 4;  // the four sweeps
+    gopt.seed = 21;
+    const auto recordings = dvs::make_gestures(gopt);
+
+    std::size_t total_events = 0;
+    for (const auto& s : recordings.streams) total_events += s.events.size();
+    const double dense = static_cast<double>(recordings.pixels()) *
+                         static_cast<double>(recordings.duration);
+    std::printf("DVS gesture learning (%zux%zu sensor, %u steps/recording)\n",
+                recordings.width, recordings.height, recordings.duration);
+    std::printf("---------------------------------------------------------\n");
+    std::printf("recordings: %zu, classes: %zu\n", recordings.size(),
+                recordings.num_classes);
+    std::printf("mean events/recording: %.0f (dense frame stream would be "
+                "%.0f pixel-steps -> %.0fx sparser)\n\n",
+                static_cast<double>(total_events) /
+                    static_cast<double>(recordings.size()),
+                dense,
+                dense * static_cast<double>(recordings.size()) /
+                    static_cast<double>(total_events));
+
+    // ---- integrate events into time-binned ON/OFF frames --------------------
+    // Two time bins keep the motion direction: with a single accumulated
+    // frame a right-sweep and a left-sweep paint nearly the same picture.
+    const auto bins = static_cast<std::size_t>(cli.get_int("bins", 2));
+    data::Dataset frames;
+    frames.name = "dvs-gestures";
+    frames.channels = 2 * bins;
+    frames.height = recordings.height;
+    frames.width = recordings.width;
+    frames.num_classes = recordings.num_classes;
+    for (const auto& s : recordings.streams)
+        frames.samples.push_back(
+            {dvs::accumulate_frames(s, recordings.width, recordings.height,
+                                    recordings.duration, bins),
+             s.label});
+    const auto [train, test] = data::split(frames, train_n);
+
+    // ---- online in-chip learning ---------------------------------------------
+    core::EmstdpOptions opt;
+    opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+    // The paper's eta = 2^-3 is tuned for a 10-way head; this 4-way head
+    // with strong binned features overshoots at that rate (one output class
+    // saturates dead). One halving stabilizes it.
+    opt.eta = static_cast<float>(cli.get_double("eta", 0.0625));
+    const auto hidden = static_cast<std::size_t>(cli.get_int("hidden", 80));
+    core::EmstdpNetwork net(opt, frames.channels, frames.height, frames.width,
+                            nullptr, std::vector<std::size_t>{hidden},
+                            frames.num_classes);
+    std::printf("chip network: %zu compartments, %zu synapses, %zu cores\n",
+                net.chip().total_compartments(), net.chip().total_synapses(),
+                net.chip().mapping().total_cores);
+
+    common::Rng rng(42);
+    for (std::size_t e = 0; e < epochs; ++e) {
+        const double preq = core::train_epoch(net, train, rng, true);
+        std::printf("epoch %zu: prequential accuracy %.1f%%\n", e + 1,
+                    preq * 100.0);
+    }
+    const double acc = core::evaluate(net, test);
+    std::printf("\ntest accuracy over %zu held-out recordings: %.1f%% "
+                "(chance %.1f%%)\n",
+                test.size(), acc * 100.0, 100.0 / frames.num_classes);
+
+    // ---- per-class breakdown ----------------------------------------------------
+    std::vector<std::size_t> hits(frames.num_classes, 0),
+        totals(frames.num_classes, 0);
+    for (const auto& s : test.samples) {
+        ++totals[s.label];
+        if (net.predict(s.image) == s.label) ++hits[s.label];
+    }
+    const char* names[] = {"sweep right", "sweep left", "sweep down", "sweep up"};
+    for (std::size_t c = 0; c < frames.num_classes; ++c)
+        std::printf("    %-12s %3zu/%zu\n", names[c], hits[c], totals[c]);
+
+    return acc > 1.5 / static_cast<double>(frames.num_classes) ? 0 : 1;
+}

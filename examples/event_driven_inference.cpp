@@ -1,0 +1,118 @@
+// Event-driven input: address events on the chip, and the I/O economics of
+// sparse sensors.
+//
+// The paper's input encoding argument (Sec. III-D) is about *dense* frames:
+// every pixel carries a value, so programming one bias per pixel beats
+// inserting one spike per rate-coded event by a factor of ~mean-rate * T.
+// A DVS sensor inverts the trade: its output is already events, and only a
+// small fraction of pixels fire at all. This example measures both paths on
+// the simulated chip for a synthetic DVS recording:
+//
+//   * event-driven — one insert_spike per address event;
+//   * frame-based  — accumulate the recording into an ON/OFF frame and
+//     program one bias per input neuron (the paper's image pipeline).
+//
+// It also renders the on-chip spike raster of the input population, which
+// is the address-event stream as the chip sees it.
+//
+// Run: ./build/examples/event_driven_inference [--side=48]
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "data/encode.hpp"
+#include "dvs/events.hpp"
+#include "loihi/chip.hpp"
+#include "viz/chart.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    const auto side = static_cast<std::size_t>(cli.get_int("side", 96));
+
+    dvs::GestureOptions gopt;
+    gopt.count = 4;
+    gopt.width = side;
+    gopt.height = side;
+    gopt.duration = 64;
+    gopt.classes = 4;
+    gopt.seed = 33;
+    const auto ds = dvs::make_gestures(gopt);
+    const auto& rec = ds.streams[0];  // one right-sweep recording
+
+    std::printf("Event-driven input on the chip (%zux%zu DVS, %u steps)\n",
+                ds.width, ds.height, ds.duration);
+    std::printf("------------------------------------------------------\n\n");
+
+    // ---- path 1: event-driven injection --------------------------------------
+    loihi::Chip chip;
+    loihi::PopulationConfig pc;
+    pc.name = "dvs";
+    pc.size = 2 * ds.pixels();  // [ON | OFF]
+    pc.compartment.vth = 1 << 20;
+    const auto pop = chip.add_population(pc);
+    chip.finalize();
+    chip.enable_raster(pop);
+
+    std::size_t cursor = 0;
+    for (std::uint32_t t = 0; t < ds.duration; ++t) {
+        dvs::inject_events_at(chip, pop, rec, t, cursor, ds.width, ds.height);
+        chip.step();
+    }
+    const auto event_writes = chip.activity().host_io_writes;
+
+    // The input population's raster: the AER stream as the chip sees it.
+    // (Rows bucket the 2*W*H input neurons; ON channel is the upper half.)
+    std::printf("on-chip input raster of the recording (top half: ON channel, "
+                "bottom: OFF):\n%s\n",
+                viz::spike_raster(chip.raster(), ds.duration + 1,
+                                  static_cast<std::uint32_t>(2 * ds.pixels()), 64,
+                                  16)
+                    .c_str());
+
+    // ---- path 2: the frame pipeline -------------------------------------------
+    const auto frame = dvs::accumulate_frame(rec, ds.width, ds.height);
+    const auto cost = data::io_cost(frame, 64);
+
+    std::printf("host -> chip I/O for this recording:\n");
+    std::printf("    event-driven injection:   %8zu writes (one per event)\n",
+                static_cast<std::size_t>(event_writes));
+    std::printf("    bias-programmed frame:    %8zu writes (one per input "
+                "neuron)\n",
+                cost.bias_writes);
+    std::printf("    rate-coded frame spikes:  %8zu writes (one per spike)\n\n",
+                cost.spike_inserts);
+
+    // ---- scaling: a fixed-size object in a growing field of view -------------
+    // A sweep across the *whole* field emits ~2 events per swept pixel, so
+    // full-field motion scales exactly like the frame (both O(pixels) — the
+    // 96x96 numbers above show it). The regime where events win is the
+    // realistic one: the moving object covers a fixed region while the
+    // sensor, and therefore the frame, keeps growing.
+    dvs::GestureOptions region = gopt;
+    region.count = 1;
+    region.width = 32;
+    region.height = 32;
+    const std::size_t region_events =
+        dvs::make_gestures(region).streams[0].events.size();
+    std::printf("scaling: a 32x32 gesture watched by larger sensors\n");
+    std::printf("    %9s  %14s  %14s  %s\n", "sensor", "events",
+                "frame biases", "cheaper path");
+    for (const std::size_t s : {32ul, 48ul, 64ul, 128ul, 256ul}) {
+        const std::size_t biases = 2 * s * s;
+        std::printf("    %4zux%-4zu  %14zu  %14zu  %s\n", s, s, region_events,
+                    biases, region_events < biases ? "event-driven" : "bias frame");
+    }
+
+    std::printf(
+        "\nthe paper's bias encoding wins for dense images (%zu vs %zu writes "
+        "above),\nand even a DVS recording is worth re-densifying when the "
+        "motion covers the\nwhole field. But a real scene's activity is "
+        "local: once the gesture occupies\na fixed region, its event count "
+        "stops growing while the frame pays for every\npixel of the sensor — "
+        "event-driven injection wins from ~48x48 up, and it\npreserves the "
+        "timing the accumulated frame discards.\n",
+        cost.bias_writes, cost.spike_inserts);
+    return 0;
+}

@@ -1,0 +1,65 @@
+// Incremental online learning demo (paper Sec. IV-B): the deployed network
+// learns classes it has never seen, recovering from catastrophic forgetting
+// through the alternating two-step protocol. A compact version of
+// bench/fig4_incremental with narrative output.
+//
+//   run:  ./build/examples/incremental_learning
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "iol/incremental.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    core::ExperimentSpec spec;
+    spec.dataset = cli.get("dataset", "digits");
+    spec.train_count = static_cast<std::size_t>(cli.get_int("train", 500));
+    spec.test_count = static_cast<std::size_t>(cli.get_int("test", 200));
+    spec.ann_epochs = 2;
+    spec.seed = 11;
+    std::printf("preparing '%s'...\n", spec.dataset.c_str());
+    const auto prep = core::prepare(spec);
+
+    iol::IolOptions opt;
+    opt.initial_classes = 4;
+    opt.classes_per_iteration = 2;
+    opt.iterations = 2;          // demo: 4 -> 6 -> 8 classes
+    opt.rounds_per_iteration = 3;
+    opt.pretrain_epochs = 2;
+    opt.baseline_epochs = 2;
+
+    const auto factory = [&prep]() {
+        core::EmstdpOptions eopt;
+        eopt.feedback = core::FeedbackMode::DFA;
+        eopt.seed = 7;
+        return core::build_chip_network(prep, eopt);
+    };
+
+    std::printf("pretraining on 4 classes, then adding 2 classes per "
+                "iteration over %zu rounds each...\n\n",
+                opt.rounds_per_iteration);
+    const auto result = iol::run_incremental(factory, prep.train, prep.test, opt);
+
+    std::printf("pretraining accuracy (4 classes): %.1f%%\n\n",
+                result.pretrain_accuracy * 100.0);
+    for (const auto& rec : result.rounds) {
+        if (rec.round == 0)
+            std::printf("-- iteration %zu: 2 new classes arrive (%zu observed) --\n",
+                        rec.iteration + 1, rec.observed_classes.size());
+        std::printf("  round %zu: step1 %.1f%% (old classes %.1f%%) -> step2 %.1f%%\n",
+                    rec.round + 1, rec.accuracy_after_step1 * 100.0,
+                    rec.old_class_accuracy_after_step1 * 100.0,
+                    rec.accuracy_after_step2 * 100.0);
+        if (rec.round + 1 == opt.rounds_per_iteration)
+            std::printf("  joint-training baseline: %.1f%%\n",
+                        result.baseline[rec.iteration] * 100.0);
+    }
+    std::printf("\nThe step-1 dip (strongest on the old classes) is the "
+                "catastrophic forgetting the paper's Fig. 4 shows; step 2's "
+                "replay recovers it across rounds.\n");
+    return 0;
+}

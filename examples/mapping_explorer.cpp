@@ -1,0 +1,67 @@
+// Mapping explorer: interactive view of the paper's core-mapping trade-off
+// (Sec. III-C / Fig. 3). Builds the paper network at a chosen
+// neurons-per-core packing and prints the per-layer core assignment, the
+// modeled step time, power and energy.
+//
+//   run:   ./build/examples/mapping_explorer --npc=10 --feedback=fa
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    if (cli.error()) return 1;
+    const auto npc = static_cast<std::size_t>(cli.get_int("npc", 10));
+    const bool fa = cli.get("feedback", "fa") == "fa";
+
+    core::ExperimentSpec spec;
+    spec.dataset = "digits";
+    spec.train_count = 150;
+    spec.test_count = 50;
+    spec.ann_epochs = 1;
+    spec.seed = 5;
+    std::printf("preparing the paper network (synthetic digits)...\n");
+    const auto prep = core::prepare(spec);
+
+    core::EmstdpOptions opt;
+    opt.feedback = fa ? core::FeedbackMode::FA : core::FeedbackMode::DFA;
+    opt.neurons_per_core = npc;
+    auto net = core::build_chip_network(prep, opt);
+
+    const auto& mapping = net->chip().mapping();
+    std::printf("\nmapping at %zu neurons/core (%s):\n", npc, fa ? "FA" : "DFA");
+    std::printf("  %-12s %8s %8s %12s %14s\n", "layer", "cores", "npc",
+                "comp/core", "plastic syn/core");
+    // Layer names repeat the population order used by the builder.
+    const char* names[] = {"input",  "conv1",    "conv2",    "dense1",
+                           "output", "label",    "out_err+", "out_err-",
+                           "hid_err1+", "hid_err1-"};
+    for (std::size_t i = 0; i < mapping.layers.size(); ++i) {
+        const auto& layer = mapping.layers[i];
+        std::printf("  %-12s %8zu %8zu %12zu %14zu\n",
+                    i < std::size(names) ? names[i] : "?", layer.num_cores,
+                    layer.neurons_per_core, layer.compartments_per_core,
+                    layer.plastic_synapses_per_core);
+    }
+    std::printf("  total cores: %zu / %zu (%s)\n", mapping.total_cores,
+                net->chip().limits().num_cores,
+                mapping.feasible ? "feasible" : "INFEASIBLE");
+    for (const auto& v : mapping.violations) std::printf("  warning: %s\n", v.c_str());
+
+    const loihi::EnergyModelParams params;
+    const auto r = core::measure_energy(*net, prep.train, 8, true, params);
+    std::printf("\nmodeled training operating point:\n");
+    std::printf("  step time   %.0f us (floor %.0f us)\n", r.step_seconds * 1e6,
+                params.step_floor_s * 1e6);
+    std::printf("  throughput  %.1f samples/s\n", r.fps);
+    std::printf("  power       %.3f W\n", r.power_w);
+    std::printf("  energy      %.2f mJ/sample\n", r.energy_per_sample_j * 1e3);
+    std::printf("\nsweep --npc to see the Fig. 3 trade-off (power falls, time "
+                "rises, energy is U-shaped).\n");
+    return 0;
+}

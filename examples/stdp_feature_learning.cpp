@@ -1,0 +1,158 @@
+// Unsupervised/guided STDP feature learning on the raw chip API.
+//
+// The paper's Sec. II-B notes that Loihi's sum-of-products learning engine
+// expresses "regular pairwise and triplet STDP rules" beyond the EMSTDP rule
+// this repository is built around. This example demonstrates exactly that:
+// two output neurons watch an 8x8 input sheet on which two noisy patterns
+// (left-half bars / right-half bars) alternate; each output is teacher-forced
+// to fire just after "its" pattern. The homeostatic STDP rule potentiates
+// causally paired pixels while its weight-proportional decay pins every
+// weight at a fixed point proportional to how often that pixel precedes the
+// output's spikes — so each output's synapses converge to a bounded
+// receptive field of its pattern, learned entirely by the on-chip rule.
+// (Plain pairwise STDP would saturate here: the teacher protocol has no
+// anti-causal pre spikes, so nothing opposes LTP — homeostasis is what makes
+// unbounded-potentiation protocols stable.)
+//
+// Run: ./build/examples/stdp_feature_learning [--episodes=N]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "loihi/chip.hpp"
+#include "loihi/stdp.hpp"
+
+using namespace neuro;
+using namespace neuro::loihi;
+
+namespace {
+
+constexpr std::size_t kSide = 8;
+constexpr std::size_t kInputs = kSide * kSide;
+constexpr std::int32_t kVth = 64;
+/// Feature neurons are teacher-clamped: their threshold is far above any
+/// possible synaptic drive (64 pixels x 127 max weight), so only the
+/// teacher's bias pulse can fire them. Without the clamp, growing weights
+/// let *both* outputs fire after every volley and selectivity washes out.
+constexpr std::int32_t kClampVth = 1 << 20;
+
+/// Pattern p covers columns [p*4, p*4+4): two disjoint half-sheets.
+bool in_pattern(std::size_t pixel, std::size_t p) {
+    const std::size_t col = pixel % kSide;
+    return p == 0 ? col < kSide / 2 : col >= kSide / 2;
+}
+
+void print_receptive_field(const std::vector<std::int32_t>& w,
+                           std::size_t out_idx) {
+    std::int32_t peak = 1;
+    for (std::size_t i = 0; i < kInputs; ++i)
+        peak = std::max(peak, std::abs(w[i * 2 + out_idx]));
+    std::printf("output %zu receptive field (+ above half-peak, - inhibitory):\n",
+                out_idx);
+    for (std::size_t r = 0; r < kSide; ++r) {
+        std::printf("    ");
+        for (std::size_t c = 0; c < kSide; ++c) {
+            const std::int32_t v = w[(r * kSide + c) * 2 + out_idx];
+            std::printf("%c", v > peak / 2 ? '+' : v < -peak / 2 ? '-' : '.');
+        }
+        std::printf("\n");
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    const auto episodes = static_cast<std::size_t>(cli.get_int("episodes", 60));
+
+    std::printf("STDP feature learning on the microcode engine\n");
+    std::printf("---------------------------------------------\n");
+    const auto rule = homeostatic_stdp();
+    std::printf("pairwise rule   dw = %s\n", pairwise_stdp().dw.str().c_str());
+    std::printf("triplet rule    dw = %s\n", triplet_stdp().dw.str().c_str());
+    std::printf("homeostatic     dw = %s   <- used below\n\n",
+                rule.dw.str().c_str());
+
+    // ---- network: 64 inputs -> 2 outputs, all synapses plastic -------------
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "pixels";
+    pc.size = kInputs;
+    pc.compartment = stdp_compartment();
+    const auto pixels = chip.add_population(pc);
+    pc.name = "features";
+    pc.size = 2;
+    pc.compartment.vth = kClampVth;
+    const auto features = chip.add_population(pc);
+
+    ProjectionConfig proj_cfg;
+    proj_cfg.name = "rf";
+    proj_cfg.src = pixels;
+    proj_cfg.dst = features;
+    proj_cfg.plastic = true;
+    proj_cfg.rule = rule;
+    std::vector<Synapse> syns;
+    for (std::uint32_t i = 0; i < kInputs; ++i)
+        for (std::uint32_t o = 0; o < 2; ++o) syns.push_back({i, o, 0, 0});
+    const auto proj = chip.add_projection(proj_cfg, std::move(syns));
+    chip.finalize();
+
+    // ---- guided presentation loop -------------------------------------------
+    common::Rng rng(11);
+    std::vector<std::int32_t> pixel_bias(kInputs, 0);
+    const auto present = [&](std::size_t pattern) {
+        // Volley of the pattern's pixels (10% salt-and-pepper noise)...
+        for (std::size_t i = 0; i < kInputs; ++i) {
+            const bool on = in_pattern(i, pattern) != rng.bernoulli(0.1);
+            pixel_bias[i] = on ? kVth : 0;
+        }
+        chip.set_bias(pixels, pixel_bias);
+        chip.set_bias(features, {0, 0});
+        chip.step();
+        chip.apply_learning();
+        // ...then the teacher forces the matching feature one step later.
+        chip.set_bias(pixels, std::vector<std::int32_t>(kInputs, 0));
+        chip.set_bias(features,
+                      {pattern == 0 ? kClampVth : 0, pattern == 1 ? kClampVth : 0});
+        chip.step();
+        chip.apply_learning();
+        // Quiet gap so traces clear between episodes.
+        chip.set_bias(features, {0, 0});
+        for (int k = 0; k < 10; ++k) {
+            chip.step();
+            chip.apply_learning();
+        }
+    };
+
+    for (std::size_t e = 0; e < episodes; ++e) present(e % 2);
+
+    // ---- report ---------------------------------------------------------------
+    const auto w = chip.weights(proj);
+    print_receptive_field(w, 0);
+    std::printf("\n");
+    print_receptive_field(w, 1);
+
+    double in_mean[2] = {0, 0}, out_mean[2] = {0, 0};
+    for (std::size_t i = 0; i < kInputs; ++i)
+        for (std::size_t o = 0; o < 2; ++o) {
+            (in_pattern(i, o) ? in_mean[o] : out_mean[o]) +=
+                w[i * 2 + o] / (kInputs / 2.0);
+        }
+    std::printf("\nselectivity (mean weight inside vs outside own pattern):\n");
+    for (std::size_t o = 0; o < 2; ++o)
+        std::printf("    output %zu: %+.1f inside vs %+.1f outside\n", o,
+                    in_mean[o], out_mean[o]);
+
+    const bool selective = in_mean[0] > out_mean[0] + 8 &&
+                           in_mean[1] > out_mean[1] + 8;
+    std::printf("\n%s\n", selective
+                              ? "each output is selective for its pattern — the "
+                                "microcode STDP rule learned the receptive fields"
+                              : "WARNING: selectivity did not emerge at this scale");
+    return selective ? 0 : 1;
+}

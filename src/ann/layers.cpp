@@ -1,0 +1,143 @@
+#include "ann/layers.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace neuro::ann {
+
+namespace {
+
+/// He-uniform initialization: U(-limit, limit), limit = sqrt(6 / fan_in).
+void he_init(Tensor& w, std::size_t fan_in, common::Rng& rng) {
+    const float limit = std::sqrt(6.0f / static_cast<float>(fan_in));
+    for (auto& v : w) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+    const auto n = static_cast<std::uint64_t>(t.size());
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+void read_tensor(std::istream& in, Tensor& t) {
+    std::uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in || n != t.size())
+        throw std::runtime_error("checkpoint: tensor size mismatch");
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in) throw std::runtime_error("checkpoint: truncated tensor");
+}
+
+void sgd_step(Tensor& w, Tensor& dw, Tensor& vw, float lr, float momentum,
+              std::size_t batch) {
+    const float inv = 1.0f / static_cast<float>(batch);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        vw[i] = momentum * vw[i] - lr * dw[i] * inv;
+        w[i] += vw[i];
+    }
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_c, std::size_t out_c, std::size_t k, std::size_t stride,
+               common::Rng& rng)
+    : w_({out_c, in_c, k, k}),
+      b_({out_c}),
+      dw_({out_c, in_c, k, k}),
+      db_({out_c}),
+      vw_({out_c, in_c, k, k}),
+      vb_({out_c}),
+      stride_(stride) {
+    he_init(w_, in_c * k * k, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+    x_ = x;
+    return conv2d_forward(x, w_, b_, stride_);
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+    return conv2d_backward(x_, w_, dy, stride_, dw_, db_);
+}
+
+void Conv2d::step(float lr, float momentum, std::size_t batch) {
+    sgd_step(w_, dw_, vw_, lr, momentum, batch);
+    sgd_step(b_, db_, vb_, lr, momentum, batch);
+}
+
+void Conv2d::zero_grad() {
+    dw_.fill(0.0f);
+    db_.fill(0.0f);
+}
+
+void Conv2d::save(std::ostream& out) const {
+    write_tensor(out, w_);
+    write_tensor(out, b_);
+}
+
+void Conv2d::load(std::istream& in) {
+    read_tensor(in, w_);
+    read_tensor(in, b_);
+}
+
+std::string Conv2d::describe() const {
+    return "conv " + std::to_string(w_.dim(2)) + "x" + std::to_string(w_.dim(3)) +
+           "k-" + std::to_string(w_.dim(0)) + "c-" + std::to_string(stride_) + "s";
+}
+
+Dense::Dense(std::size_t in, std::size_t out, common::Rng& rng)
+    : w_({out, in}), b_({out}), dw_({out, in}), db_({out}), vw_({out, in}), vb_({out}) {
+    he_init(w_, in, rng);
+}
+
+Tensor Dense::forward(const Tensor& x) {
+    x_ = x;
+    in_shape_ = x.shape();
+    Tensor flat = x;
+    flat.reshape({x.size()});
+    x_ = flat;
+    return dense_forward(flat, w_, b_);
+}
+
+Tensor Dense::backward(const Tensor& dy) {
+    Tensor dx = dense_backward(x_, w_, dy, dw_, db_);
+    dx.reshape(std::vector<std::size_t>(in_shape_));
+    return dx;
+}
+
+void Dense::step(float lr, float momentum, std::size_t batch) {
+    sgd_step(w_, dw_, vw_, lr, momentum, batch);
+    sgd_step(b_, db_, vb_, lr, momentum, batch);
+}
+
+void Dense::zero_grad() {
+    dw_.fill(0.0f);
+    db_.fill(0.0f);
+}
+
+void Dense::save(std::ostream& out) const {
+    write_tensor(out, w_);
+    write_tensor(out, b_);
+}
+
+void Dense::load(std::istream& in) {
+    read_tensor(in, w_);
+    read_tensor(in, b_);
+}
+
+std::string Dense::describe() const {
+    return "dense " + std::to_string(w_.dim(1)) + "->" + std::to_string(w_.dim(0));
+}
+
+Tensor Relu::forward(const Tensor& x) {
+    x_ = x;
+    return relu_forward(x);
+}
+
+Tensor Relu::backward(const Tensor& dy) { return relu_backward(x_, dy); }
+
+}  // namespace neuro::ann

@@ -1,0 +1,96 @@
+#pragma once
+// Layer objects for the offline trainer: each owns its parameters, gradient
+// accumulators and SGD-with-momentum velocity, and caches the forward input
+// needed by backward. Single-sample forward/backward with gradient
+// accumulation across a mini-batch (the trainer divides by batch size).
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ann/ops.hpp"
+#include "common/rng.hpp"
+#include "common/tensor.hpp"
+
+namespace neuro::ann {
+
+/// Abstract differentiable layer.
+class Layer {
+public:
+    virtual ~Layer() = default;
+
+    virtual Tensor forward(const Tensor& x) = 0;
+    virtual Tensor backward(const Tensor& dy) = 0;
+
+    /// SGD+momentum step on accumulated gradients (no-op for stateless layers).
+    virtual void step(float lr, float momentum, std::size_t batch) { (void)lr, (void)momentum, (void)batch; }
+    virtual void zero_grad() {}
+
+    /// Serialization of parameters (no-op for stateless layers).
+    virtual void save(std::ostream& out) const { (void)out; }
+    virtual void load(std::istream& in) { (void)in; }
+
+    virtual std::string describe() const = 0;
+};
+
+/// Valid 2-d convolution with square kernel and stride.
+class Conv2d final : public Layer {
+public:
+    Conv2d(std::size_t in_c, std::size_t out_c, std::size_t k, std::size_t stride,
+           common::Rng& rng);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void step(float lr, float momentum, std::size_t batch) override;
+    void zero_grad() override;
+    void save(std::ostream& out) const override;
+    void load(std::istream& in) override;
+    std::string describe() const override;
+
+    const Tensor& weights() const { return w_; }
+    const Tensor& bias() const { return b_; }
+    std::size_t stride() const { return stride_; }
+    std::size_t kernel() const { return w_.dim(2); }
+
+private:
+    Tensor w_, b_, dw_, db_, vw_, vb_;
+    Tensor x_;
+    std::size_t stride_;
+};
+
+/// Fully connected layer; flattens its input.
+class Dense final : public Layer {
+public:
+    Dense(std::size_t in, std::size_t out, common::Rng& rng);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void step(float lr, float momentum, std::size_t batch) override;
+    void zero_grad() override;
+    void save(std::ostream& out) const override;
+    void load(std::istream& in) override;
+    std::string describe() const override;
+
+    const Tensor& weights() const { return w_; }
+    const Tensor& bias() const { return b_; }
+
+private:
+    Tensor w_, b_, dw_, db_, vw_, vb_;
+    Tensor x_;
+    std::vector<std::size_t> in_shape_;
+};
+
+/// Rectifier.
+class Relu final : public Layer {
+public:
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string describe() const override { return "relu"; }
+
+private:
+    Tensor x_;
+};
+
+}  // namespace neuro::ann

@@ -1,0 +1,76 @@
+#include "ann/model.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace neuro::ann {
+
+Tensor Model::forward(const Tensor& x) {
+    Tensor v = x;
+    for (auto& layer : layers_) v = layer->forward(v);
+    return v;
+}
+
+void Model::backward(const Tensor& dlogits) {
+    Tensor g = dlogits;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+}
+
+void Model::step(float lr, float momentum, std::size_t batch) {
+    for (auto& layer : layers_) layer->step(lr, momentum, batch);
+}
+
+void Model::zero_grad() {
+    for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::size_t Model::predict(const Tensor& x) { return forward(x).argmax(); }
+
+void Model::save(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("Model::save: cannot open " + path);
+    for (const auto& layer : layers_) layer->save(out);
+}
+
+void Model::load(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("Model::load: cannot open " + path);
+    for (auto& layer : layers_) layer->load(in);
+}
+
+std::string Model::describe() const {
+    std::string s;
+    for (const auto& layer : layers_) {
+        if (!s.empty()) s += " - ";
+        s += layer->describe();
+    }
+    return s;
+}
+
+std::size_t PaperTopology::conv1_h() const { return conv_out_dim(in_h, conv1_k, conv1_s); }
+std::size_t PaperTopology::conv1_w() const { return conv_out_dim(in_w, conv1_k, conv1_s); }
+std::size_t PaperTopology::conv2_h() const {
+    return conv_out_dim(conv1_h(), conv2_k, conv2_s);
+}
+std::size_t PaperTopology::conv2_w() const {
+    return conv_out_dim(conv1_w(), conv2_k, conv2_s);
+}
+std::size_t PaperTopology::feature_size() const {
+    return conv2_c * conv2_h() * conv2_w();
+}
+
+Model build_paper_model(const PaperTopology& topo, common::Rng& rng) {
+    Model m;
+    m.add(std::make_unique<Conv2d>(topo.in_c, topo.conv1_c, topo.conv1_k, topo.conv1_s,
+                                   rng));
+    m.add(std::make_unique<Relu>());
+    m.add(std::make_unique<Conv2d>(topo.conv1_c, topo.conv2_c, topo.conv2_k,
+                                   topo.conv2_s, rng));
+    m.add(std::make_unique<Relu>());
+    m.add(std::make_unique<Dense>(topo.feature_size(), topo.hidden, rng));
+    m.add(std::make_unique<Relu>());
+    m.add(std::make_unique<Dense>(topo.hidden, topo.classes, rng));
+    return m;
+}
+
+}  // namespace neuro::ann

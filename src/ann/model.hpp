@@ -1,0 +1,62 @@
+#pragma once
+// Sequential model container + the paper's reference topology
+//   W x H x C - 5x5k 16c 2s - 3x3k 8c 2s - 100d - 10d
+// (paper Sec. IV-A). The conv stack pretrained here is transferred onto the
+// simulated chip; the dense stack is re-initialized and learned on-chip.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ann/layers.hpp"
+
+namespace neuro::ann {
+
+/// Sequential stack of layers with single-sample forward/backward.
+class Model {
+public:
+    Model() = default;
+
+    void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+    Tensor forward(const Tensor& x);
+    /// Backpropagates dlogits through every layer (gradients accumulate).
+    void backward(const Tensor& dlogits);
+    void step(float lr, float momentum, std::size_t batch);
+    void zero_grad();
+
+    std::size_t predict(const Tensor& x);
+
+    void save(const std::string& path) const;
+    void load(const std::string& path);
+
+    std::vector<std::unique_ptr<Layer>>& layers() { return layers_; }
+    const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
+
+    std::string describe() const;
+
+private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Geometry of the paper topology for a given input size; used by both the
+/// ANN builder and the SNN network builder so they can never drift apart.
+struct PaperTopology {
+    std::size_t in_c, in_h, in_w;
+    std::size_t conv1_c = 16, conv1_k = 5, conv1_s = 2;
+    std::size_t conv2_c = 8, conv2_k = 3, conv2_s = 2;
+    std::size_t hidden = 100;
+    std::size_t classes = 10;
+
+    std::size_t conv1_h() const;
+    std::size_t conv1_w() const;
+    std::size_t conv2_h() const;
+    std::size_t conv2_w() const;
+    /// Flattened size of the conv stack output (= dense-stack input).
+    std::size_t feature_size() const;
+};
+
+/// Builds the full paper model (convs + dense head) for offline pretraining.
+Model build_paper_model(const PaperTopology& topo, common::Rng& rng);
+
+}  // namespace neuro::ann

@@ -1,0 +1,59 @@
+#include "ann/trainer.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+namespace neuro::ann {
+
+TrainResult train(Model& model, const data::Dataset& train_set, const TrainOptions& opt,
+                  common::Rng& rng) {
+    TrainResult result;
+    std::vector<std::size_t> order(train_set.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+
+    float lr = opt.lr;
+    for (std::size_t epoch = 0; epoch < opt.epochs; ++epoch) {
+        rng.shuffle(order);
+        double loss_sum = 0.0;
+        std::size_t correct = 0;
+        std::size_t in_batch = 0;
+        model.zero_grad();
+        for (std::size_t idx : order) {
+            const auto& s = train_set.samples[idx];
+            const Tensor logits = model.forward(s.image);
+            Tensor dlogits;
+            loss_sum += softmax_cross_entropy(logits, s.label, dlogits);
+            if (logits.argmax() == s.label) ++correct;
+            model.backward(dlogits);
+            if (++in_batch == opt.batch) {
+                model.step(lr, opt.momentum, in_batch);
+                model.zero_grad();
+                in_batch = 0;
+            }
+        }
+        if (in_batch > 0) {
+            model.step(lr, opt.momentum, in_batch);
+            model.zero_grad();
+        }
+        result.final_train_loss = loss_sum / static_cast<double>(train_set.size());
+        result.final_train_accuracy =
+            static_cast<double>(correct) / static_cast<double>(train_set.size());
+        if (opt.verbose) {
+            std::printf("  [ann] epoch %zu/%zu loss=%.4f acc=%.3f lr=%.4f\n", epoch + 1,
+                        opt.epochs, result.final_train_loss,
+                        result.final_train_accuracy, static_cast<double>(lr));
+        }
+        lr *= opt.lr_decay;
+    }
+    return result;
+}
+
+double evaluate(Model& model, const data::Dataset& test_set) {
+    if (test_set.size() == 0) return 0.0;
+    std::size_t correct = 0;
+    for (const auto& s : test_set.samples)
+        if (model.predict(s.image) == s.label) ++correct;
+    return static_cast<double>(correct) / static_cast<double>(test_set.size());
+}
+
+}  // namespace neuro::ann

@@ -1,0 +1,35 @@
+#pragma once
+// Mini-batch SGD trainer for the offline pretraining stage. Gradient
+// accumulation is per-sample (the Loihi side is strictly batch-1 online;
+// offline pretraining is allowed to batch, as in the paper).
+
+#include <cstddef>
+
+#include "ann/model.hpp"
+#include "data/dataset.hpp"
+
+namespace neuro::ann {
+
+struct TrainOptions {
+    std::size_t epochs = 4;
+    std::size_t batch = 16;
+    float lr = 0.02f;
+    float momentum = 0.9f;
+    /// Epoch-multiplicative decay applied after each epoch.
+    float lr_decay = 0.85f;
+    bool verbose = false;
+};
+
+struct TrainResult {
+    double final_train_loss = 0.0;
+    double final_train_accuracy = 0.0;
+};
+
+/// Trains in place; sample order is shuffled each epoch with `rng`.
+TrainResult train(Model& model, const data::Dataset& train_set, const TrainOptions& opt,
+                  common::Rng& rng);
+
+/// Top-1 accuracy over a dataset.
+double evaluate(Model& model, const data::Dataset& test_set);
+
+}  // namespace neuro::ann

@@ -1,0 +1,51 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace neuro::common {
+
+Cli::Cli(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        if (arg.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "unrecognized argument '%s' (expected --key=value)\n",
+                         argv[i]);
+            error_ = true;
+            continue;
+        }
+        arg.remove_prefix(2);
+        const auto eq = arg.find('=');
+        if (eq == std::string_view::npos) {
+            kv_[std::string(arg)] = "true";
+        } else {
+            kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+        }
+    }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace neuro::common

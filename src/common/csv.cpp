@@ -1,0 +1,42 @@
+#include "common/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace neuro::common {
+
+CsvWriter::CsvWriter(std::string dir, std::string name, std::vector<std::string> header)
+    : dir_(std::move(dir)), name_(std::move(name)), header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+namespace {
+std::string escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+}  // namespace
+
+std::string CsvWriter::write() const {
+    std::filesystem::create_directories(dir_);
+    const std::string path = dir_ + "/" + name_ + ".csv";
+    std::ofstream f(path);
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i) f << ',';
+            f << escape(row[i]);
+        }
+        f << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+    return path;
+}
+
+}  // namespace neuro::common

@@ -1,0 +1,29 @@
+#pragma once
+// CSV artifact writer. Bench binaries dump their raw series here so that the
+// paper plots (Fig. 3, Fig. 4) can be regenerated outside the binary.
+
+#include <string>
+#include <vector>
+
+namespace neuro::common {
+
+/// Accumulates rows and writes them to `<dir>/<name>.csv`, creating the
+/// directory if needed. Cells are escaped minimally (quotes around cells
+/// containing commas/quotes). Returns the written path.
+class CsvWriter {
+public:
+    CsvWriter(std::string dir, std::string name, std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+
+    /// Flushes to disk; returns the file path. Safe to call once at the end.
+    std::string write() const;
+
+private:
+    std::string dir_;
+    std::string name_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace neuro::common

@@ -1,0 +1,19 @@
+#include "common/fixed.hpp"
+
+#include <cmath>
+
+namespace neuro::common {
+
+std::int32_t quantize_signed(float v, float scale, int bits) {
+    if (scale <= 0.0f) return 0;
+    const float hi = static_cast<float>((std::int64_t{1} << (bits - 1)) - 1);
+    const float q = std::round(v / scale * hi);
+    return saturate_signed(static_cast<std::int64_t>(q), bits);
+}
+
+float dequantize_signed(std::int32_t q, float scale, int bits) {
+    const float hi = static_cast<float>((std::int64_t{1} << (bits - 1)) - 1);
+    return static_cast<float>(q) * scale / hi;
+}
+
+}  // namespace neuro::common

@@ -1,0 +1,44 @@
+#pragma once
+// Saturating fixed-point helpers shared by the Loihi simulator.
+//
+// Loihi's datapath is integer throughout: 8-bit signed synaptic weights
+// (optionally scaled by a power-of-two exponent), 12-bit decay constants
+// applied as  state <- state * (4096 - delta) / 4096,  and 7-bit saturating
+// trace counters. These helpers capture those operations once so every
+// simulator component quantizes identically.
+
+#include <algorithm>
+#include <cstdint>
+
+namespace neuro::common {
+
+/// Clamp to a signed two's-complement range of `bits` bits.
+constexpr std::int32_t saturate_signed(std::int64_t v, int bits) {
+    const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+    const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+    return static_cast<std::int32_t>(std::clamp(v, lo, hi));
+}
+
+/// Clamp to an unsigned range of `bits` bits.
+constexpr std::int32_t saturate_unsigned(std::int64_t v, int bits) {
+    const std::int64_t hi = (std::int64_t{1} << bits) - 1;
+    return static_cast<std::int32_t>(std::clamp(v, std::int64_t{0}, hi));
+}
+
+/// Loihi-style 12-bit exponential decay: returns state * (4096 - delta)/4096
+/// rounded toward zero, exactly as repeated integer multiplication on chip.
+/// delta = 0 keeps the state forever (pure integrator); delta = 4096 clears
+/// it in one step (the "current decays immediately" IF configuration).
+constexpr std::int64_t decay12(std::int64_t state, std::int32_t delta) {
+    return (state * (4096 - static_cast<std::int64_t>(delta))) / 4096;
+}
+
+/// Quantize a float to a signed integer grid of `bits` bits where `scale`
+/// maps to the full positive range. Used when loading pretrained weights
+/// onto the chip (paper: "quantize and scale them to 8 bit integers").
+std::int32_t quantize_signed(float v, float scale, int bits);
+
+/// Inverse of quantize_signed for probing / reference comparisons.
+float dequantize_signed(std::int32_t q, float scale, int bits);
+
+}  // namespace neuro::common

@@ -1,0 +1,83 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace neuro::common {
+
+double mean(const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+    if (v.size() < 2) return 0.0;
+    const double m = mean(v);
+    double acc = 0.0;
+    for (double x : v) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+std::size_t argmax(const std::vector<double>& v) {
+    if (v.empty()) return 0;
+    return static_cast<std::size_t>(
+        std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+}
+
+std::size_t argmax(const std::vector<int>& v) {
+    if (v.empty()) return 0;
+    return static_cast<std::size_t>(
+        std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+}
+
+Confusion::Confusion(std::size_t num_classes)
+    : n_(num_classes), cells_(num_classes * num_classes, 0) {}
+
+void Confusion::add(std::size_t truth, std::size_t predicted) {
+    if (truth >= n_ || predicted >= n_)
+        throw std::out_of_range("Confusion::add: class index out of range");
+    ++cells_[truth * n_ + predicted];
+    ++total_;
+    if (truth == predicted) ++correct_;
+}
+
+double Confusion::accuracy() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(correct_) / static_cast<double>(total_);
+}
+
+double Confusion::recall(std::size_t cls) const {
+    std::size_t row = 0;
+    for (std::size_t p = 0; p < n_; ++p) row += cells_[cls * n_ + p];
+    return row == 0 ? 0.0
+                    : static_cast<double>(cells_[cls * n_ + cls]) /
+                          static_cast<double>(row);
+}
+
+double Confusion::accuracy_over(const std::vector<std::size_t>& classes) const {
+    std::size_t seen = 0;
+    std::size_t hit = 0;
+    for (std::size_t cls : classes) {
+        for (std::size_t p = 0; p < n_; ++p) seen += cells_[cls * n_ + p];
+        hit += cells_[cls * n_ + cls];
+    }
+    return seen == 0 ? 0.0 : static_cast<double>(hit) / static_cast<double>(seen);
+}
+
+std::size_t Confusion::count(std::size_t truth, std::size_t predicted) const {
+    return cells_.at(truth * n_ + predicted);
+}
+
+std::string Confusion::str() const {
+    std::ostringstream os;
+    for (std::size_t t = 0; t < n_; ++t) {
+        for (std::size_t p = 0; p < n_; ++p) os << cells_[t * n_ + p] << '\t';
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace neuro::common

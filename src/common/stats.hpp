@@ -1,0 +1,48 @@
+#pragma once
+// Small statistics helpers: accuracy bookkeeping, confusion matrices and
+// running means, shared by trainers, tests and benches.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace neuro::common {
+
+double mean(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+
+/// Index of the largest element (first on ties); 0 for an empty vector.
+std::size_t argmax(const std::vector<double>& v);
+std::size_t argmax(const std::vector<int>& v);
+
+/// Square class-confusion matrix with accuracy / per-class recall readouts.
+class Confusion {
+public:
+    explicit Confusion(std::size_t num_classes);
+
+    void add(std::size_t truth, std::size_t predicted);
+
+    std::size_t total() const { return total_; }
+    std::size_t correct() const { return correct_; }
+    /// Overall accuracy in [0,1]; 0 when empty.
+    double accuracy() const;
+    /// Recall of one class; 0 when the class was never seen.
+    double recall(std::size_t cls) const;
+    /// Accuracy restricted to a subset of true classes (used by the
+    /// incremental-online-learning experiment to score "old" vs "new").
+    double accuracy_over(const std::vector<std::size_t>& classes) const;
+
+    std::size_t num_classes() const { return n_; }
+    std::size_t count(std::size_t truth, std::size_t predicted) const;
+
+    /// Multi-line printable rendering.
+    std::string str() const;
+
+private:
+    std::size_t n_;
+    std::vector<std::size_t> cells_;  // n_ x n_, row = truth
+    std::size_t total_ = 0;
+    std::size_t correct_ = 0;
+};
+
+}  // namespace neuro::common

@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace neuro::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+            c != '+' && c != '%' && c != 'e' && c != 'E' && c != 'x')
+            return false;
+    }
+    return std::any_of(s.begin(), s.end(),
+                       [](char c) { return std::isdigit(static_cast<unsigned char>(c)); });
+}
+}  // namespace
+
+std::string Table::str() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row, bool align_right) {
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : std::string{};
+            const bool right = align_right && looks_numeric(cell);
+            if (c) os << "  ";
+            if (right)
+                os << std::string(width[c] - cell.size(), ' ') << cell;
+            else
+                os << cell << std::string(width[c] - cell.size(), ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(header_, false);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row, true);
+    return os.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace neuro::common

@@ -1,0 +1,79 @@
+#include "common/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace neuro::common {
+
+namespace {
+std::size_t element_count(const std::vector<std::size_t>& shape) {
+    std::size_t n = 1;
+    for (std::size_t d : shape) n *= d;
+    return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(element_count(shape_), 0.0f) {}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+    if (element_count(shape) != data_.size())
+        throw std::invalid_argument("Tensor::reshape: element count mismatch");
+    shape_ = std::move(shape);
+}
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+    if (rhs.size() != size())
+        throw std::invalid_argument("Tensor::operator+=: size mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+    return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+    if (rhs.size() != size())
+        throw std::invalid_argument("Tensor::operator-=: size mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+    return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+    for (float& v : data_) v *= s;
+    return *this;
+}
+
+float Tensor::min() const {
+    return data_.empty() ? 0.0f : *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+    return data_.empty() ? 0.0f : *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::sum() const {
+    return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::mean() const {
+    return data_.empty() ? 0.0f : sum() / static_cast<float>(data_.size());
+}
+
+std::size_t Tensor::argmax() const {
+    if (data_.empty()) return 0;
+    return static_cast<std::size_t>(
+        std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+std::string Tensor::describe() const {
+    std::string s = "Tensor[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        if (i) s += 'x';
+        s += std::to_string(shape_[i]);
+    }
+    s += ']';
+    return s;
+}
+
+}  // namespace neuro::common

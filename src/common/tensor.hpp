@@ -1,0 +1,86 @@
+#pragma once
+// Minimal dense float tensor used by the dataset generators, the offline ANN
+// trainer and the full-precision EMSTDP reference. The Loihi simulator does
+// NOT use this type — on-chip state is integer by construction.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace neuro::common {
+
+/// Row-major N-dimensional float tensor. Intentionally small: shape + flat
+/// storage + the handful of element-wise helpers the project needs.
+class Tensor {
+public:
+    Tensor() = default;
+
+    /// Zero-initialized tensor of the given shape.
+    explicit Tensor(std::vector<std::size_t> shape);
+
+    Tensor(std::initializer_list<std::size_t> shape)
+        : Tensor(std::vector<std::size_t>(shape)) {}
+
+    /// Total number of elements.
+    std::size_t size() const { return data_.size(); }
+    const std::vector<std::size_t>& shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+    std::size_t dim(std::size_t i) const { return shape_.at(i); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    float& operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /// 2-d indexed access (row, col); bounds are the caller's responsibility
+    /// except in debug builds.
+    float& at2(std::size_t r, std::size_t c) { return data_[r * shape_[1] + c]; }
+    float at2(std::size_t r, std::size_t c) const { return data_[r * shape_[1] + c]; }
+
+    /// 3-d indexed access (channel, row, col) for CHW images.
+    float& at3(std::size_t ch, std::size_t r, std::size_t c) {
+        return data_[(ch * shape_[1] + r) * shape_[2] + c];
+    }
+    float at3(std::size_t ch, std::size_t r, std::size_t c) const {
+        return data_[(ch * shape_[1] + r) * shape_[2] + c];
+    }
+
+    /// 4-d indexed access (n, channel, row, col) for weight banks.
+    float& at4(std::size_t n, std::size_t ch, std::size_t r, std::size_t c) {
+        return data_[((n * shape_[1] + ch) * shape_[2] + r) * shape_[3] + c];
+    }
+    float at4(std::size_t n, std::size_t ch, std::size_t r, std::size_t c) const {
+        return data_[((n * shape_[1] + ch) * shape_[2] + r) * shape_[3] + c];
+    }
+
+    void fill(float v);
+    /// Reshape in place; total element count must be preserved.
+    void reshape(std::vector<std::size_t> shape);
+
+    Tensor& operator+=(const Tensor& rhs);
+    Tensor& operator-=(const Tensor& rhs);
+    Tensor& operator*=(float s);
+
+    float min() const;
+    float max() const;
+    float sum() const;
+    float mean() const;
+    /// Index of the largest element (first on ties).
+    std::size_t argmax() const;
+
+    /// "Tensor[2x3x4]" — used in error messages and probes.
+    std::string describe() const;
+
+    auto begin() { return data_.begin(); }
+    auto end() { return data_.end(); }
+    auto begin() const { return data_.begin(); }
+    auto end() const { return data_.end(); }
+
+private:
+    std::vector<std::size_t> shape_;
+    std::vector<float> data_;
+};
+
+}  // namespace neuro::common

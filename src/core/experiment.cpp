@@ -1,0 +1,115 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ann/ops.hpp"
+
+namespace neuro::core {
+
+namespace {
+
+/// Normalized conv-stack activations: the rate vector the on-chip feature
+/// population would ideally carry (activation / lambda2, clamped to [0,1]).
+std::vector<float> feature_rates(const ann::Model& model,
+                                 const snn::ConvertedStack& stack,
+                                 const common::Tensor& image) {
+    const auto& layers = model.layers();
+    const auto* conv1 = dynamic_cast<const ann::Conv2d*>(layers[0].get());
+    const auto* conv2 = dynamic_cast<const ann::Conv2d*>(layers[2].get());
+    const auto a1 = ann::relu_forward(
+        ann::conv2d_forward(image, conv1->weights(), conv1->bias(), conv1->stride()));
+    const auto a2 = ann::relu_forward(
+        ann::conv2d_forward(a1, conv2->weights(), conv2->bias(), conv2->stride()));
+    std::vector<float> rates(a2.size());
+    const float lambda = stack.conv2.lambda > 0.0f ? stack.conv2.lambda : 1.0f;
+    for (std::size_t i = 0; i < a2.size(); ++i)
+        rates[i] = std::clamp(a2[i] / lambda, 0.0f, 1.0f);
+    return rates;
+}
+
+}  // namespace
+
+Prepared prepare(const ExperimentSpec& spec) {
+    Prepared prep;
+
+    data::GenOptions gen;
+    gen.count = spec.train_count + spec.test_count;
+    gen.seed = spec.seed;
+    data::Dataset all = data::make_by_name(spec.dataset, gen);
+    common::Rng shuffle_rng(spec.seed ^ 0x5EEDULL);
+    all.shuffle(shuffle_rng);
+    auto [train, test] = data::split(all, spec.train_count);
+    prep.train = std::move(train);
+    prep.test = std::move(test);
+
+    prep.topo = ann::PaperTopology{};
+    prep.topo.in_c = prep.train.channels;
+    prep.topo.in_h = prep.train.height;
+    prep.topo.in_w = prep.train.width;
+    prep.topo.classes = spec.classes;
+    if (!spec.hidden.empty()) prep.topo.hidden = spec.hidden.front();
+
+    common::Rng ann_rng(spec.seed ^ 0xA77ULL);
+    prep.model = std::make_shared<ann::Model>(
+        ann::build_paper_model(prep.topo, ann_rng));
+    ann::TrainOptions topt;
+    topt.epochs = spec.ann_epochs;
+    ann::train(*prep.model, prep.train, topt, ann_rng);
+    prep.ann_test_accuracy = ann::evaluate(*prep.model, prep.test);
+
+    // Calibration on a slice of the training set is enough for the
+    // percentile estimate.
+    data::Dataset calib = prep.train;
+    if (calib.samples.size() > 128) calib.samples.resize(128);
+    prep.stack = snn::convert_conv_stack(*prep.model, prep.topo, calib, 0.999f, 8);
+
+    prep.ref_train.reserve(prep.train.size());
+    for (const auto& s : prep.train.samples)
+        prep.ref_train.push_back({feature_rates(*prep.model, prep.stack, s.image),
+                                  s.label});
+    prep.ref_test.reserve(prep.test.size());
+    for (const auto& s : prep.test.samples)
+        prep.ref_test.push_back({feature_rates(*prep.model, prep.stack, s.image),
+                                 s.label});
+    return prep;
+}
+
+std::unique_ptr<EmstdpNetwork> build_chip_network(const Prepared& prep,
+                                                  const EmstdpOptions& opt) {
+    std::vector<std::size_t> hidden = {prep.topo.hidden};
+    return std::make_unique<EmstdpNetwork>(opt, prep.topo.in_c, prep.topo.in_h,
+                                           prep.topo.in_w, &prep.stack, hidden,
+                                           prep.topo.classes);
+}
+
+reference::RefEmstdp build_reference(const Prepared& prep,
+                                     reference::FeedbackMode mode, float eta,
+                                     std::uint64_t seed) {
+    reference::RefConfig cfg;
+    cfg.layer_sizes = {prep.topo.feature_size(), prep.topo.hidden,
+                       prep.topo.classes};
+    cfg.feedback = mode;
+    cfg.eta = eta;
+    cfg.seed = seed;
+    return reference::RefEmstdp(cfg);
+}
+
+double run_reference(reference::RefEmstdp& net, const Prepared& prep,
+                     std::size_t epochs, std::uint64_t shuffle_seed) {
+    common::Rng rng(shuffle_seed);
+    std::vector<std::size_t> order(prep.ref_train.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t e = 0; e < epochs; ++e) {
+        rng.shuffle(order);
+        for (std::size_t idx : order)
+            net.train_sample(prep.ref_train[idx].rates, prep.ref_train[idx].label);
+    }
+    if (prep.ref_test.empty()) return 0.0;
+    std::size_t hits = 0;
+    for (const auto& s : prep.ref_test)
+        if (net.predict(s.rates) == s.label) ++hits;
+    return static_cast<double>(hits) / static_cast<double>(prep.ref_test.size());
+}
+
+}  // namespace neuro::core

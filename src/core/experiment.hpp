@@ -1,0 +1,74 @@
+#pragma once
+// End-to-end experiment pipeline shared by the Table-I/II benches, the
+// examples and the integration tests:
+//
+//   1. synthesize a dataset (or load real MNIST when present),
+//   2. pretrain the paper-topology CNN offline (src/ann),
+//   3. convert + quantize the conv stack (src/snn),
+//   4. build the on-chip EMSTDP network with frozen convs,
+//   5. extract normalized conv features for the full-precision reference.
+//
+// Paper Sec. IV-A: "the convolutional layers are pretrained offline with
+// their respective datasets before mapping on to Loihi whereas the dense
+// layers are trained from scratch in the Loihi."
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ann/model.hpp"
+#include "ann/trainer.hpp"
+#include "core/network.hpp"
+#include "data/dataset.hpp"
+#include "reference/emstdp_ref.hpp"
+#include "snn/convert.hpp"
+
+namespace neuro::core {
+
+struct ExperimentSpec {
+    std::string dataset = "digits";  ///< digits | fashion | cifar | sar
+    std::size_t train_count = 1000;
+    std::size_t test_count = 400;
+    std::size_t ann_epochs = 4;
+    std::vector<std::size_t> hidden = {100};
+    std::size_t classes = 10;
+    std::uint64_t seed = 1;
+};
+
+/// A rate-encoded sample for the full-precision reference: normalized conv
+/// activations in [0,1] plus the label.
+struct RefSample {
+    std::vector<float> rates;
+    std::size_t label = 0;
+};
+
+/// Everything the experiment benches need, prepared once per dataset.
+struct Prepared {
+    data::Dataset train;
+    data::Dataset test;
+    ann::PaperTopology topo;
+    std::shared_ptr<ann::Model> model;  ///< pretrained CNN
+    double ann_test_accuracy = 0.0;     ///< offline upper bound
+    snn::ConvertedStack stack;
+
+    std::vector<RefSample> ref_train;
+    std::vector<RefSample> ref_test;
+};
+
+/// Runs pipeline stages 1-3 and extracts reference features.
+Prepared prepare(const ExperimentSpec& spec);
+
+/// Builds the on-chip network for a prepared experiment.
+std::unique_ptr<EmstdpNetwork> build_chip_network(const Prepared& prep,
+                                                  const EmstdpOptions& opt);
+
+/// Builds the matching full-precision reference (same feature inputs).
+reference::RefEmstdp build_reference(const Prepared& prep,
+                                     reference::FeedbackMode mode, float eta,
+                                     std::uint64_t seed);
+
+/// Trains the reference online for `epochs` passes and returns test accuracy.
+double run_reference(reference::RefEmstdp& net, const Prepared& prep,
+                     std::size_t epochs, std::uint64_t shuffle_seed);
+
+}  // namespace neuro::core

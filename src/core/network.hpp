@@ -1,0 +1,124 @@
+#pragma once
+// EMSTDP network on the chip (paper Sec. III, Fig. 1b).
+//
+// Layout built by this class:
+//
+//   input (bias-driven IF)                                [pixels]
+//     -> conv1 -> conv2 (frozen, pretrained, quantized)   [optional]
+//       -> dense hidden ... -> output                     [plastic]
+//
+//   label (bias-driven, phase 2 only)
+//   out_err+/- : two-channel output error neurons
+//   FA:  hid_err+/- per hidden layer (soma+aux, AND-gated by forward
+//        activity), chained with fixed random weights per eq. (10)
+//   DFA: out_err broadcast to hidden somata's aux compartments through
+//        fixed random weights; GatedAdd join implements the h' gate
+//
+// Per training sample (Operation Flow 1): program input & label biases,
+// run phase 1 (T steps), reset membranes, run phase 2 (T steps), apply the
+// sum-of-products learning rule, reset network state.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/tensor.hpp"
+#include "core/options.hpp"
+#include "loihi/chip.hpp"
+#include "loihi/energy.hpp"
+#include "snn/convert.hpp"
+
+namespace neuro::core {
+
+/// Structural cost summary (ablation C / Fig. 3 inputs).
+struct StructuralCosts {
+    std::size_t compartments = 0;
+    std::size_t synapses = 0;
+    std::size_t cores = 0;
+    std::size_t feedback_synapses = 0;   ///< error-path synapses only
+    std::size_t feedback_compartments = 0;
+};
+
+class EmstdpNetwork {
+public:
+    /// Builds the network. `conv` may be null: the dense stack then trains
+    /// directly on the (flattened) input — used by unit tests and toy tasks.
+    /// `hidden` holds the dense hidden sizes (the paper uses {100}).
+    EmstdpNetwork(const EmstdpOptions& opt, std::size_t in_c, std::size_t in_h,
+                  std::size_t in_w, const snn::ConvertedStack* conv,
+                  std::vector<std::size_t> hidden, std::size_t classes);
+
+    /// One online training step (phase 1 + phase 2 + weight update).
+    void train_sample(const common::Tensor& image, std::size_t label);
+
+    /// Phase-1 inference; argmax of output counts, membrane breaks ties.
+    std::size_t predict(const common::Tensor& image);
+
+    /// Phase-1 output spike counts.
+    std::vector<std::int32_t> output_counts(const common::Tensor& image);
+
+    // ---- incremental online learning hooks (paper Sec. IV-B) --------------
+    /// Classes with mask=false are disabled: their label neurons stay silent
+    /// and their output neurons are clamped off, which freezes their weight
+    /// rows (the update needs postsynaptic activity).
+    void set_class_mask(const std::vector<bool>& mask);
+    /// Adds `offset` to the learning shift (halving eta per unit) — the
+    /// reduced learning rate of IOL step 1. Negative offsets are rejected.
+    void set_learning_shift_offset(int offset);
+
+    // ---- deployment ---------------------------------------------------------
+    /// Checkpoints every synaptic weight (trained dense + frozen conv) to a
+    /// file; load() restores it into an identically-built network. This is
+    /// the host-side equivalent of reading back / reprogramming the chip's
+    /// synaptic memory.
+    void save(const std::string& path) const;
+    void load(const std::string& path);
+
+    // ---- probing ------------------------------------------------------------
+    loihi::Chip& chip() { return chip_; }
+    const loihi::Chip& chip() const { return chip_; }
+    StructuralCosts costs() const;
+    const EmstdpOptions& options() const { return opt_; }
+
+    loihi::PopulationId input_pop() const { return input_; }
+    /// The population feeding the first plastic layer (conv2 or input).
+    loihi::PopulationId feature_pop() const { return feature_; }
+    const std::vector<loihi::PopulationId>& hidden_pops() const { return hidden_pops_; }
+    loihi::PopulationId output_pop() const { return output_; }
+    const std::vector<loihi::ProjectionId>& plastic_projections() const {
+        return plastic_;
+    }
+
+private:
+    EmstdpOptions opt_;
+    loihi::Chip chip_;
+
+    std::size_t classes_;
+    std::size_t input_size_;
+    std::int32_t label_bias_value_;
+
+    loihi::PopulationId input_ = 0;
+    std::optional<loihi::PopulationId> conv1_, conv2_;
+    loihi::PopulationId feature_ = 0;
+    std::vector<loihi::PopulationId> hidden_pops_;
+    loihi::PopulationId output_ = 0;
+    std::optional<loihi::PopulationId> label_;
+    std::optional<loihi::PopulationId> out_err_pos_, out_err_neg_;
+    std::vector<loihi::PopulationId> hid_err_pos_, hid_err_neg_;  // FA only
+
+    std::vector<loihi::ProjectionId> plastic_;
+    std::vector<loihi::ProjectionId> feedback_projections_;
+
+    std::vector<bool> class_mask_;
+    int shift_offset_ = 0;
+
+    /// Spike-insertion rasters for the current sample (SpikeInsertion mode).
+    std::vector<std::vector<bool>> rasters_;
+
+    void program_input(const common::Tensor& image);
+    void run_phase(loihi::Phase phase);
+    void apply_rules();
+};
+
+}  // namespace neuro::core

@@ -1,0 +1,96 @@
+#pragma once
+// Configuration of the on-chip EMSTDP implementation (the paper's primary
+// contribution, Sec. III). Every adaptation technique of the paper is a
+// switch here so the ablation benches can toggle them individually.
+
+#include <cstdint>
+#include <cstddef>
+
+#include "loihi/types.hpp"
+
+namespace neuro::core {
+
+/// Error-feedback topology (paper Sec. III-A, Fig. 1a).
+enum class FeedbackMode {
+    FA,   ///< mirrored error network chained through every trainable layer
+    DFA,  ///< output error broadcast directly to the hidden layers
+};
+
+/// Input encoding (paper Sec. III-D; adaptation technique 4).
+enum class InputMode {
+    BiasProgramming,  ///< one host write per input neuron per sample
+    SpikeInsertion,   ///< one host write per input spike (the costly path)
+};
+
+struct EmstdpOptions {
+    /// Phase length T; a sample occupies 2T steps when training.
+    std::int32_t phase_length = 64;
+
+    FeedbackMode feedback = FeedbackMode::DFA;
+
+    /// Learning rate. Realized on chip as the power-of-two shift of the
+    /// sum-of-products rule: shift = round(log2(T^2 / (eta * theta_dense))),
+    /// so that the integer update equals eta * (h_hat - h)/T * h_pre/T in
+    /// normalized units. The default matches the paper's eta = 2^-3.
+    float eta = 0.125f;
+
+    /// Threshold of the trainable dense layers. Also the scale that maps
+    /// float weights onto the 8-bit grid (w_int = w_float * theta_dense), so
+    /// it fixes the weight resolution: higher threshold = finer grid but
+    /// narrower float range (127 / theta_dense).
+    std::int32_t theta_dense = 256;
+
+    /// Threshold of the error-path neurons. One unit of accumulated rate
+    /// difference produces one error spike.
+    std::int32_t theta_err = 64;
+
+    /// Firing rate of the label neuron for the true class, as a fraction of
+    /// the phase length.
+    float target_rate = 0.75f;
+
+    /// Scale of the fixed random feedback matrices (B), relative to the
+    /// 1/sqrt(fan) normalization.
+    float feedback_gain = 1.0f;
+
+    /// Synaptic weight precision (chip limit). 8 on Loihi; swept by the
+    /// quantization ablation.
+    int weight_bits = 8;
+
+    /// Logical neurons packed per core for the trainable dense layers and
+    /// the error populations — the Fig. 3 sweep variable. Input, conv and
+    /// label populations are capacity-packed.
+    std::size_t neurons_per_core = 10;
+
+    /// Build without label/error populations (the paper's testing
+    /// configuration: "During the inference mode, backward paths are not
+    /// implemented").
+    bool inference_only = false;
+
+    InputMode input_mode = InputMode::BiasProgramming;
+
+    /// Window of the presynaptic trace used by the update. Phase1Only is
+    /// the exact eq. (7) counter (NxSDK epoch structuring); Both is the raw
+    /// hardware counter (ablation D).
+    loihi::TraceWindow pre_window = loihi::TraceWindow::Phase1Only;
+
+    /// Replace the phase-gated postsynaptic counter with a decaying trace
+    /// (impulse 2, 12-bit decay 128) — the fully hardware-faithful
+    /// approximation of h_hat (ablation D).
+    bool hw_trace_approx = false;
+
+    /// Gate the error path by forward phase-1 activity (h' of the shifted
+    /// ReLU, adaptation technique 1). Disabling is an ablation.
+    bool derivative_gating = true;
+
+    /// Stochastic rounding in the learning engine: keeps the expectation of
+    /// sub-LSB updates exact. Essential when eta * spike-count products drop
+    /// below one weight LSB (small learning rates / sparse activity).
+    bool stochastic_rounding = true;
+
+    std::uint64_t seed = 7;
+
+    /// Derived learning shift (see `eta`).
+    int learning_shift() const;
+};
+
+}  // namespace neuro::core

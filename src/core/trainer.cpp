@@ -1,0 +1,48 @@
+#include "core/trainer.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace neuro::core {
+
+double train_epoch(EmstdpNetwork& net, const data::Dataset& stream,
+                   common::Rng& rng, bool measure_prequential) {
+    std::vector<std::size_t> order(stream.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+
+    std::size_t hits = 0;
+    for (std::size_t idx : order) {
+        const auto& s = stream.samples[idx];
+        if (measure_prequential && net.predict(s.image) == s.label) ++hits;
+        net.train_sample(s.image, s.label);
+    }
+    return stream.size() == 0 || !measure_prequential
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(stream.size());
+}
+
+double evaluate(EmstdpNetwork& net, const data::Dataset& test) {
+    if (test.size() == 0) return 0.0;
+    std::size_t hits = 0;
+    for (const auto& s : test.samples)
+        if (net.predict(s.image) == s.label) ++hits;
+    return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+loihi::EnergyReport measure_energy(EmstdpNetwork& net, const data::Dataset& ds,
+                                   std::size_t samples, bool training,
+                                   const loihi::EnergyModelParams& params) {
+    if (ds.size() == 0) throw std::invalid_argument("measure_energy: empty dataset");
+    net.chip().reset_activity();
+    for (std::size_t i = 0; i < samples; ++i) {
+        const auto& s = ds.samples[i % ds.size()];
+        if (training)
+            net.train_sample(s.image, s.label);
+        else
+            (void)net.predict(s.image);
+    }
+    return loihi::estimate_energy(params, net.chip(), net.chip().activity(), samples);
+}
+
+}  // namespace neuro::core

@@ -1,0 +1,33 @@
+#pragma once
+// Dataset-level training/evaluation loops for the on-chip network, plus the
+// energy bookkeeping used by Table II and Fig. 3. Training is strictly
+// online: batch size 1, one pass over the stream per epoch, updates applied
+// at the end of every sample's 2T window (paper Sec. IV-A: "the training
+// data is received as a stream, and training must be carried out in
+// real-time ... Techniques such as batch learning, data augmentation are
+// not feasible").
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/network.hpp"
+#include "data/dataset.hpp"
+#include "loihi/energy.hpp"
+
+namespace neuro::core {
+
+/// One shuffled online pass; returns the training-stream accuracy measured
+/// *before* each update (prequential accuracy, the online-learning metric).
+double train_epoch(EmstdpNetwork& net, const data::Dataset& stream,
+                   common::Rng& rng, bool measure_prequential = false);
+
+/// Top-1 accuracy over a dataset (phase-1 inference only).
+double evaluate(EmstdpNetwork& net, const data::Dataset& test);
+
+/// Runs `samples` training (or evaluation) samples while capturing activity,
+/// then derives the Table-II operating point from the energy model.
+loihi::EnergyReport measure_energy(EmstdpNetwork& net, const data::Dataset& ds,
+                                   std::size_t samples, bool training,
+                                   const loihi::EnergyModelParams& params);
+
+}  // namespace neuro::core

@@ -1,0 +1,183 @@
+// CIFAR-10 substitute: 32x32 RGB scenes with a class-specific object
+// archetype over a cluttered background. This is the hardest of the four
+// generators — classes share shapes (cat/dog/deer/horse are all
+// quadruped-ish blobs) and hue is jittered heavily — mirroring CIFAR-10's
+// position as the hardest paper benchmark (Table I: 61.6% on Loihi).
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "data/raster.hpp"
+
+namespace neuro::data {
+
+namespace {
+
+struct Rgb {
+    float r, g, b;
+};
+
+/// Base hue per class; per-sample jitter is added on top.
+Rgb class_hue(std::size_t label) {
+    switch (label) {
+        case 0: return {0.75f, 0.78f, 0.85f};  // airplane: silver on sky
+        case 1: return {0.80f, 0.15f, 0.15f};  // automobile: red body
+        case 2: return {0.55f, 0.45f, 0.30f};  // bird: brown
+        case 3: return {0.55f, 0.50f, 0.45f};  // cat: grey-brown
+        case 4: return {0.50f, 0.35f, 0.20f};  // deer: tan
+        case 5: return {0.40f, 0.30f, 0.25f};  // dog: dark brown
+        case 6: return {0.25f, 0.65f, 0.25f};  // frog: green
+        case 7: return {0.45f, 0.30f, 0.20f};  // horse: chestnut
+        case 8: return {0.55f, 0.55f, 0.60f};  // ship: grey hull
+        case 9: return {0.75f, 0.60f, 0.20f};  // truck: yellow cab
+        default: return {0.5f, 0.5f, 0.5f};
+    }
+}
+
+/// Background palette: sky-ish for flying/water classes, ground-ish others.
+Rgb background_hue(std::size_t label, common::Rng& rng) {
+    const bool sky = label == 0 || label == 2;
+    const bool water = label == 8;
+    Rgb base;
+    if (sky)
+        base = {0.45f, 0.62f, 0.85f};
+    else if (water)
+        base = {0.25f, 0.40f, 0.60f};
+    else
+        base = {0.35f, 0.48f, 0.30f};
+    const float j = static_cast<float>(rng.normal(0.0, 0.06));
+    return {base.r + j, base.g + j, base.b + j};
+}
+
+/// Object silhouette on a single-channel mask canvas.
+void draw_object_mask(Canvas& m, std::size_t label, common::Rng& rng) {
+    const auto H = static_cast<float>(m.height());
+    const auto W = static_cast<float>(m.width());
+    auto X = [&](float u) { return u * W; };
+    auto Y = [&](float v) { return v * H; };
+    const float wob = static_cast<float>(rng.normal(0.0, 0.02));
+    switch (label) {
+        case 0:  // airplane: fuselage + swept wings
+            m.fill_ellipse(X(0.5f), Y(0.5f + wob), W * 0.32f, H * 0.07f, 0.05f, 1.0f);
+            m.fill_triangle(X(0.42f), Y(0.5f), X(0.3f), Y(0.72f), X(0.56f), Y(0.5f), 1.0f);
+            m.fill_triangle(X(0.42f), Y(0.5f), X(0.3f), Y(0.3f), X(0.56f), Y(0.5f), 1.0f);
+            m.fill_triangle(X(0.78f), Y(0.5f), X(0.72f), Y(0.36f), X(0.84f), Y(0.5f), 1.0f);
+            break;
+        case 1:  // automobile: body + cabin + wheels
+            m.fill_rect(X(0.5f), Y(0.6f), W * 0.3f, H * 0.1f, 0.0f, 1.0f);
+            m.fill_rect(X(0.5f), Y(0.46f), W * 0.17f, H * 0.08f, 0.0f, 1.0f);
+            m.fill_ellipse(X(0.32f), Y(0.72f), W * 0.06f, H * 0.06f, 0.0f, 1.0f);
+            m.fill_ellipse(X(0.68f), Y(0.72f), W * 0.06f, H * 0.06f, 0.0f, 1.0f);
+            break;
+        case 2:  // bird: small body + wing + beak
+            m.fill_ellipse(X(0.5f), Y(0.52f), W * 0.16f, H * 0.1f, 0.1f, 1.0f);
+            m.fill_triangle(X(0.45f), Y(0.5f), X(0.3f), Y(0.3f), X(0.6f), Y(0.45f), 1.0f);
+            m.fill_ellipse(X(0.66f), Y(0.45f), W * 0.06f, H * 0.05f, 0.0f, 1.0f);
+            break;
+        case 3:  // cat: body + round head + pointed ears
+            m.fill_ellipse(X(0.48f), Y(0.6f), W * 0.2f, H * 0.14f, 0.0f, 1.0f);
+            m.fill_ellipse(X(0.66f), Y(0.4f), W * 0.1f, H * 0.1f, 0.0f, 1.0f);
+            m.fill_triangle(X(0.6f), Y(0.33f), X(0.62f), Y(0.2f), X(0.68f), Y(0.32f), 1.0f);
+            m.fill_triangle(X(0.7f), Y(0.32f), X(0.74f), Y(0.2f), X(0.76f), Y(0.33f), 1.0f);
+            break;
+        case 4:  // deer: slim body, long legs, antler strokes
+            m.fill_ellipse(X(0.5f), Y(0.5f), W * 0.18f, H * 0.1f, 0.0f, 1.0f);
+            m.stroke(X(0.38f), Y(0.58f), X(0.36f), Y(0.82f), 1.6f, 1.0f);
+            m.stroke(X(0.62f), Y(0.58f), X(0.64f), Y(0.82f), 1.6f, 1.0f);
+            m.fill_ellipse(X(0.66f), Y(0.34f), W * 0.06f, H * 0.06f, 0.0f, 1.0f);
+            m.stroke(X(0.68f), Y(0.28f), X(0.74f), Y(0.16f), 1.2f, 1.0f);
+            m.stroke(X(0.64f), Y(0.28f), X(0.6f), Y(0.16f), 1.2f, 1.0f);
+            break;
+        case 5:  // dog: body + head + floppy ears
+            m.fill_ellipse(X(0.46f), Y(0.58f), W * 0.2f, H * 0.13f, 0.0f, 1.0f);
+            m.fill_ellipse(X(0.66f), Y(0.42f), W * 0.11f, H * 0.1f, 0.0f, 1.0f);
+            m.fill_ellipse(X(0.6f), Y(0.46f), W * 0.04f, H * 0.08f, 0.3f, 1.0f);
+            m.stroke(X(0.4f), Y(0.68f), X(0.38f), Y(0.82f), 2.0f, 1.0f);
+            m.stroke(X(0.56f), Y(0.68f), X(0.58f), Y(0.82f), 2.0f, 1.0f);
+            break;
+        case 6:  // frog: wide flat body + eye bumps
+            m.fill_ellipse(X(0.5f), Y(0.62f), W * 0.26f, H * 0.12f, 0.0f, 1.0f);
+            m.fill_ellipse(X(0.4f), Y(0.48f), W * 0.05f, H * 0.05f, 0.0f, 1.0f);
+            m.fill_ellipse(X(0.6f), Y(0.48f), W * 0.05f, H * 0.05f, 0.0f, 1.0f);
+            break;
+        case 7:  // horse: large body + neck + legs
+            m.fill_ellipse(X(0.46f), Y(0.52f), W * 0.22f, H * 0.12f, 0.0f, 1.0f);
+            m.fill_rect(X(0.66f), Y(0.38f), W * 0.05f, H * 0.12f, -0.35f, 1.0f);
+            m.fill_ellipse(X(0.74f), Y(0.28f), W * 0.07f, H * 0.05f, 0.2f, 1.0f);
+            m.stroke(X(0.34f), Y(0.6f), X(0.32f), Y(0.84f), 1.8f, 1.0f);
+            m.stroke(X(0.58f), Y(0.6f), X(0.6f), Y(0.84f), 1.8f, 1.0f);
+            break;
+        case 8:  // ship: hull trapezoid + superstructure + mast
+            m.fill_triangle(X(0.2f), Y(0.6f), X(0.8f), Y(0.6f), X(0.68f), Y(0.74f), 1.0f);
+            m.fill_triangle(X(0.2f), Y(0.6f), X(0.32f), Y(0.74f), X(0.68f), Y(0.74f), 1.0f);
+            m.fill_rect(X(0.5f), Y(0.5f), W * 0.14f, H * 0.07f, 0.0f, 1.0f);
+            m.stroke(X(0.5f), Y(0.43f), X(0.5f), Y(0.26f), 1.4f, 1.0f);
+            break;
+        case 9:  // truck: long cargo box + cab + wheels
+            m.fill_rect(X(0.42f), Y(0.52f), W * 0.24f, H * 0.14f, 0.0f, 1.0f);
+            m.fill_rect(X(0.74f), Y(0.58f), W * 0.09f, H * 0.09f, 0.0f, 1.0f);
+            m.fill_ellipse(X(0.3f), Y(0.72f), W * 0.055f, H * 0.055f, 0.0f, 1.0f);
+            m.fill_ellipse(X(0.56f), Y(0.72f), W * 0.055f, H * 0.055f, 0.0f, 1.0f);
+            m.fill_ellipse(X(0.76f), Y(0.72f), W * 0.055f, H * 0.055f, 0.0f, 1.0f);
+            break;
+        default:
+            break;
+    }
+}
+
+}  // namespace
+
+Dataset make_cifar(const GenOptions& opt) {
+    const std::size_t h = opt.height ? opt.height : 32;
+    const std::size_t w = opt.width ? opt.width : 32;
+    Dataset d;
+    d.name = "cifar";
+    d.channels = 3;
+    d.height = h;
+    d.width = w;
+    d.num_classes = 10;
+    d.samples.reserve(opt.count);
+
+    common::Rng rng(opt.seed ^ 0xC1FA9ULL);
+    for (std::size_t i = 0; i < opt.count; ++i) {
+        const auto label = static_cast<std::size_t>(i % 10);
+
+        Canvas mask(h, w);
+        draw_object_mask(mask, label, rng);
+        const float angle = static_cast<float>(rng.normal(0.0, 0.12));
+        const float scale = static_cast<float>(rng.uniform(0.8, 1.15));
+        const float tx = static_cast<float>(rng.uniform(-2.5, 2.5));
+        const float ty = static_cast<float>(rng.uniform(-2.0, 2.0));
+        Canvas warped = mask.jitter(angle, scale, tx, ty);
+        warped.blur(1);
+
+        const Rgb obj0 = class_hue(label);
+        const float hue_j = static_cast<float>(rng.normal(0.0, 0.16));
+        const Rgb obj = {obj0.r + hue_j, obj0.g + hue_j, obj0.b + hue_j};
+        const Rgb bg = background_hue(label, rng);
+
+        Sample s;
+        s.label = label;
+        s.image = common::Tensor({3, h, w});
+        for (std::size_t y = 0; y < h; ++y) {
+            // Vertical background gradient plus clutter noise.
+            const float grad =
+                0.85f + 0.3f * (static_cast<float>(y) / static_cast<float>(h) - 0.5f);
+            for (std::size_t x = 0; x < w; ++x) {
+                const float a = warped.at(y, x);
+                const float clutter = static_cast<float>(rng.normal(0.0, 0.24));
+                auto mix = [&](float o, float b) {
+                    float v = a * o + (1.0f - a) * b * grad + clutter;
+                    return std::min(1.0f, std::max(0.0f, v));
+                };
+                s.image.at3(0, y, x) = mix(obj.r, bg.r);
+                s.image.at3(1, y, x) = mix(obj.g, bg.g);
+                s.image.at3(2, y, x) = mix(obj.b, bg.b);
+            }
+        }
+        d.samples.push_back(std::move(s));
+    }
+    return d;
+}
+
+}  // namespace neuro::data

@@ -1,0 +1,44 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace neuro::data {
+
+Dataset Dataset::filter_classes(const std::vector<std::size_t>& classes) const {
+    Dataset out;
+    out.name = name;
+    out.channels = channels;
+    out.height = height;
+    out.width = width;
+    out.num_classes = num_classes;
+    for (const auto& s : samples) {
+        if (std::find(classes.begin(), classes.end(), s.label) != classes.end())
+            out.samples.push_back(s);
+    }
+    return out;
+}
+
+void Dataset::shuffle(common::Rng& rng) { rng.shuffle(samples); }
+
+std::pair<Dataset, Dataset> split(const Dataset& d, std::size_t train_count) {
+    if (train_count > d.size())
+        throw std::invalid_argument("split: train_count exceeds dataset size");
+    Dataset train = d;
+    Dataset test = d;
+    train.samples.assign(d.samples.begin(),
+                         d.samples.begin() + static_cast<std::ptrdiff_t>(train_count));
+    test.samples.assign(d.samples.begin() + static_cast<std::ptrdiff_t>(train_count),
+                        d.samples.end());
+    return {std::move(train), std::move(test)};
+}
+
+Dataset make_by_name(const std::string& name, const GenOptions& opt) {
+    if (name == "digits") return make_digits(opt);
+    if (name == "fashion") return make_fashion(opt);
+    if (name == "cifar") return make_cifar(opt);
+    if (name == "sar") return make_sar(opt);
+    throw std::invalid_argument("make_by_name: unknown dataset '" + name + "'");
+}
+
+}  // namespace neuro::data

@@ -1,0 +1,75 @@
+#pragma once
+// In-memory labelled image dataset.
+//
+// The paper evaluates on MNIST, Fashion-MNIST, CIFAR-10 and MSTAR. None of
+// those ship with this repository, so src/data provides deterministic
+// procedural generators with the same geometry and class count (see
+// DESIGN.md section 2 for the substitution rationale). Real MNIST IDX files
+// are used instead when present (idx_loader.hpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/tensor.hpp"
+
+namespace neuro::data {
+
+/// One labelled image. Pixels are CHW floats in [0, 1].
+struct Sample {
+    common::Tensor image;
+    std::size_t label = 0;
+};
+
+/// A materialized dataset plus its metadata.
+struct Dataset {
+    std::string name;
+    std::size_t channels = 1;
+    std::size_t height = 0;
+    std::size_t width = 0;
+    std::size_t num_classes = 0;
+    std::vector<Sample> samples;
+
+    std::size_t size() const { return samples.size(); }
+    std::size_t pixels() const { return channels * height * width; }
+
+    /// Keeps only samples whose label passes the filter (used by the
+    /// incremental-online-learning experiment to carve out class subsets).
+    Dataset filter_classes(const std::vector<std::size_t>& classes) const;
+
+    /// Deterministically shuffles sample order in place.
+    void shuffle(common::Rng& rng);
+};
+
+/// Splits into (train, test) by taking the first `train_count` samples for
+/// training. Caller shuffles first if random splits are wanted.
+std::pair<Dataset, Dataset> split(const Dataset& d, std::size_t train_count);
+
+/// Shared options for all four generators.
+struct GenOptions {
+    std::size_t count = 1000;          ///< total samples to synthesize
+    std::uint64_t seed = 1;            ///< deterministic stream seed
+    std::size_t height = 0;            ///< 0 = generator's native size
+    std::size_t width = 0;             ///< 0 = generator's native size
+};
+
+/// MNIST substitute: stroke-rendered digits 0-9, 28x28x1 native.
+Dataset make_digits(const GenOptions& opt);
+
+/// Fashion-MNIST substitute: garment silhouettes, 10 classes, 28x28x1 native.
+Dataset make_fashion(const GenOptions& opt);
+
+/// CIFAR-10 substitute: textured colour shapes, 10 classes, 32x32x3 native.
+Dataset make_cifar(const GenOptions& opt);
+
+/// MSTAR substitute: speckled SAR target chips, 10 vehicle classes,
+/// 32x32x1 native (the paper center-crops 128x128 chips to 64x64 and resizes
+/// to 32x32; we synthesize at 32x32 directly).
+Dataset make_sar(const GenOptions& opt);
+
+/// Dispatch by name ("digits", "fashion", "cifar", "sar").
+Dataset make_by_name(const std::string& name, const GenOptions& opt);
+
+}  // namespace neuro::data

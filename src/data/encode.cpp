@@ -1,0 +1,52 @@
+#include "data/encode.hpp"
+
+#include <cmath>
+
+namespace neuro::data {
+
+std::vector<std::int32_t> quantize_to_bias(const common::Tensor& image,
+                                           std::int32_t phase_length) {
+    std::vector<std::int32_t> bias(image.size());
+    for (std::size_t i = 0; i < image.size(); ++i) {
+        float p = image[i];
+        if (p < 0.0f) p = 0.0f;
+        if (p > 1.0f) p = 1.0f;
+        bias[i] = static_cast<std::int32_t>(
+            std::lround(p * static_cast<float>(phase_length)));
+    }
+    return bias;
+}
+
+std::vector<std::vector<bool>> rate_code_spikes(const common::Tensor& image,
+                                                std::int32_t phase_length) {
+    const auto bias = quantize_to_bias(image, phase_length);
+    std::vector<std::vector<bool>> rasters(image.size());
+    // Emulates the on-chip integration: v += bias each step, spike & reset at
+    // threshold T. This reproduces exactly the spike train the bias encoding
+    // generates, so the two encodings are numerically interchangeable.
+    const std::int32_t theta = phase_length;
+    for (std::size_t i = 0; i < bias.size(); ++i) {
+        rasters[i].assign(static_cast<std::size_t>(phase_length), false);
+        std::int32_t v = 0;
+        for (std::int32_t t = 0; t < phase_length; ++t) {
+            v += bias[i];
+            if (v >= theta) {
+                v -= theta;
+                rasters[i][static_cast<std::size_t>(t)] = true;
+            }
+        }
+    }
+    return rasters;
+}
+
+IoCost io_cost(const common::Tensor& image, std::int32_t phase_length) {
+    IoCost cost;
+    cost.bias_writes = image.size();
+    const auto rasters = rate_code_spikes(image, phase_length);
+    for (const auto& r : rasters)
+        for (bool s : r)
+            if (s) ++cost.spike_inserts;
+    return cost;
+}
+
+}  // namespace neuro::data

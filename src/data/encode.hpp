@@ -1,0 +1,41 @@
+#pragma once
+// Input encoding for the chip (paper Sec. III-D, "Operation Flow 1").
+//
+// Instead of streaming rate-coded spikes from the host (one host<->chip
+// transaction per spike), the paper quantizes each real-valued input to the
+// phase length T and programs it as the *bias* of the corresponding input
+// neuron. The neuron integrates the bias every step, producing an on-chip
+// spike train whose rate floor(i*T/theta) is linearly proportional to the
+// input — one transaction per sample instead of O(pixels * T).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tensor.hpp"
+
+namespace neuro::data {
+
+/// Quantizes pixels in [0,1] to integer bias values in [0, T]. A pixel of
+/// value p produces bias round(p*T); driving an IF neuron with threshold
+/// theta = T yields a spike rate of ~p per step (paper: "Quantize x to T
+/// bins").
+std::vector<std::int32_t> quantize_to_bias(const common::Tensor& image,
+                                           std::int32_t phase_length);
+
+/// Host-side rate coding used by the ablation of adaptation technique 4:
+/// produces, for each pixel, the explicit spike raster of length T that the
+/// host would have to insert (spike at step t when the accumulated value
+/// crosses the threshold). Returns pixel-major rasters.
+std::vector<std::vector<bool>> rate_code_spikes(const common::Tensor& image,
+                                                std::int32_t phase_length);
+
+/// Number of host->chip transactions each encoding needs for one sample:
+/// bias programming needs one write per pixel; spike insertion needs one
+/// write per spike. Used by bench/ablation_input_encoding.
+struct IoCost {
+    std::size_t bias_writes = 0;
+    std::size_t spike_inserts = 0;
+};
+IoCost io_cost(const common::Tensor& image, std::int32_t phase_length);
+
+}  // namespace neuro::data

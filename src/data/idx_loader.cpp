@@ -1,0 +1,123 @@
+#include "data/idx_loader.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace neuro::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in) {
+    unsigned char b[4];
+    in.read(reinterpret_cast<char*>(b), 4);
+    if (!in) throw std::runtime_error("idx: truncated header");
+    return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+           (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+}
+
+}  // namespace
+
+std::optional<Dataset> load_idx(const std::string& images_path,
+                                const std::string& labels_path,
+                                const std::string& name, std::size_t max_count) {
+    std::ifstream img(images_path, std::ios::binary);
+    std::ifstream lab(labels_path, std::ios::binary);
+    if (!img || !lab) return std::nullopt;
+
+    const std::uint32_t img_magic = read_be32(img);
+    if (img_magic != 0x00000803)
+        throw std::runtime_error("idx: bad image magic in " + images_path);
+    const std::uint32_t n_img = read_be32(img);
+    const std::uint32_t rows = read_be32(img);
+    const std::uint32_t cols = read_be32(img);
+
+    const std::uint32_t lab_magic = read_be32(lab);
+    if (lab_magic != 0x00000801)
+        throw std::runtime_error("idx: bad label magic in " + labels_path);
+    const std::uint32_t n_lab = read_be32(lab);
+    if (n_img != n_lab)
+        throw std::runtime_error("idx: image/label count mismatch");
+
+    std::size_t count = n_img;
+    if (max_count != 0 && max_count < count) count = max_count;
+
+    Dataset d;
+    d.name = name;
+    d.channels = 1;
+    d.height = rows;
+    d.width = cols;
+    d.num_classes = 10;
+    d.samples.reserve(count);
+
+    std::vector<unsigned char> buf(static_cast<std::size_t>(rows) * cols);
+    for (std::size_t i = 0; i < count; ++i) {
+        img.read(reinterpret_cast<char*>(buf.data()),
+                 static_cast<std::streamsize>(buf.size()));
+        char lbl = 0;
+        lab.read(&lbl, 1);
+        if (!img || !lab) throw std::runtime_error("idx: truncated data");
+        Sample s;
+        s.label = static_cast<std::size_t>(static_cast<unsigned char>(lbl));
+        if (s.label > 9) throw std::runtime_error("idx: label out of range");
+        s.image = common::Tensor({1, rows, cols});
+        for (std::size_t p = 0; p < buf.size(); ++p)
+            s.image[p] = static_cast<float>(buf[p]) / 255.0f;
+        d.samples.push_back(std::move(s));
+    }
+    return d;
+}
+
+namespace {
+
+void write_be32(std::ostream& out, std::uint32_t v) {
+    const unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                                static_cast<unsigned char>(v >> 16),
+                                static_cast<unsigned char>(v >> 8),
+                                static_cast<unsigned char>(v)};
+    out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+}  // namespace
+
+void save_idx(const Dataset& dataset, const std::string& images_path,
+              const std::string& labels_path) {
+    if (dataset.channels != 1)
+        throw std::invalid_argument("save_idx: IDX ubyte images are single-channel");
+    std::ofstream img(images_path, std::ios::binary);
+    std::ofstream lab(labels_path, std::ios::binary);
+    if (!img || !lab) throw std::runtime_error("save_idx: cannot open output files");
+
+    write_be32(img, 0x00000803);
+    write_be32(img, static_cast<std::uint32_t>(dataset.size()));
+    write_be32(img, static_cast<std::uint32_t>(dataset.height));
+    write_be32(img, static_cast<std::uint32_t>(dataset.width));
+    write_be32(lab, 0x00000801);
+    write_be32(lab, static_cast<std::uint32_t>(dataset.size()));
+
+    std::vector<unsigned char> buf(dataset.height * dataset.width);
+    for (const auto& s : dataset.samples) {
+        for (std::size_t p = 0; p < buf.size(); ++p) {
+            float v = s.image[p];
+            if (v < 0.0f) v = 0.0f;
+            if (v > 1.0f) v = 1.0f;
+            buf[p] = static_cast<unsigned char>(v * 255.0f + 0.5f);
+        }
+        img.write(reinterpret_cast<const char*>(buf.data()),
+                  static_cast<std::streamsize>(buf.size()));
+        const char lbl = static_cast<char>(s.label);
+        lab.write(&lbl, 1);
+    }
+    if (!img || !lab) throw std::runtime_error("save_idx: write failed");
+}
+
+std::optional<Dataset> load_mnist_dir(const std::string& dir, const std::string& split,
+                                      std::size_t max_count) {
+    return load_idx(dir + "/" + split + "-images-idx3-ubyte",
+                    dir + "/" + split + "-labels-idx1-ubyte", "mnist-" + split,
+                    max_count);
+}
+
+}  // namespace neuro::data

@@ -1,0 +1,33 @@
+#pragma once
+// Loader for the IDX file format used by MNIST / Fashion-MNIST. When the
+// real dataset files are available on disk the benches use them instead of
+// the synthetic generators (see DESIGN.md section 2).
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace neuro::data {
+
+/// Loads an images+labels IDX pair (e.g. "train-images-idx3-ubyte" /
+/// "train-labels-idx1-ubyte"). Pixels are scaled to [0,1]. Returns
+/// std::nullopt if either file is missing; throws on malformed content.
+std::optional<Dataset> load_idx(const std::string& images_path,
+                                const std::string& labels_path,
+                                const std::string& name,
+                                std::size_t max_count = 0);
+
+/// Convenience: looks for MNIST under `dir` with the canonical file names
+/// for the given split ("train" or "t10k").
+std::optional<Dataset> load_mnist_dir(const std::string& dir, const std::string& split,
+                                      std::size_t max_count = 0);
+
+/// Writes a single-channel dataset as an IDX images+labels pair (the MNIST
+/// container format), so the synthetic substitutes can be consumed by
+/// external frameworks. Pixels are scaled to 0..255. Throws on multi-channel
+/// datasets or I/O failure.
+void save_idx(const Dataset& dataset, const std::string& images_path,
+              const std::string& labels_path);
+
+}  // namespace neuro::data

@@ -1,0 +1,250 @@
+#include "data/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neuro::data {
+
+Canvas::Canvas(std::size_t height, std::size_t width)
+    : h_(height), w_(width), px_(height * width, 0.0f) {}
+
+namespace {
+/// Signed coverage falloff: full intensity inside the shape, linear
+/// anti-aliasing ramp over one pixel at the boundary.
+inline float coverage(float signed_distance) {
+    if (signed_distance <= 0.0f) return 1.0f;
+    if (signed_distance >= 1.0f) return 0.0f;
+    return 1.0f - signed_distance;
+}
+}  // namespace
+
+void Canvas::stroke(float x0, float y0, float x1, float y1, float thickness,
+                    float intensity) {
+    const float half = thickness * 0.5f;
+    const float pad = half + 1.5f;
+    const int ymin = std::max(0, static_cast<int>(std::floor(std::min(y0, y1) - pad)));
+    const int ymax = std::min(static_cast<int>(h_) - 1,
+                              static_cast<int>(std::ceil(std::max(y0, y1) + pad)));
+    const int xmin = std::max(0, static_cast<int>(std::floor(std::min(x0, x1) - pad)));
+    const int xmax = std::min(static_cast<int>(w_) - 1,
+                              static_cast<int>(std::ceil(std::max(x0, x1) + pad)));
+    const float dx = x1 - x0;
+    const float dy = y1 - y0;
+    const float len2 = dx * dx + dy * dy;
+    for (int y = ymin; y <= ymax; ++y) {
+        for (int x = xmin; x <= xmax; ++x) {
+            const float px = static_cast<float>(x) - x0;
+            const float py = static_cast<float>(y) - y0;
+            float t = len2 > 0.0f ? (px * dx + py * dy) / len2 : 0.0f;
+            t = std::clamp(t, 0.0f, 1.0f);
+            const float ex = px - t * dx;
+            const float ey = py - t * dy;
+            const float d = std::sqrt(ex * ex + ey * ey) - half;
+            const float c = coverage(d);
+            if (c > 0.0f)
+                splat(static_cast<std::size_t>(y), static_cast<std::size_t>(x),
+                      intensity * c);
+        }
+    }
+}
+
+void Canvas::ellipse(float cx, float cy, float rx, float ry, float thickness,
+                     float intensity, float angle) {
+    // Sample the outline densely and draw it as short strokes; robust for the
+    // small canvases the generators use.
+    const int steps =
+        std::max(24, static_cast<int>(2.0f * M_PI * std::max(rx, ry) * 2.0f));
+    const float ca = std::cos(angle);
+    const float sa = std::sin(angle);
+    float prev_x = 0.0f;
+    float prev_y = 0.0f;
+    for (int i = 0; i <= steps; ++i) {
+        const float t = static_cast<float>(i) / static_cast<float>(steps) * 2.0f *
+                        static_cast<float>(M_PI);
+        const float ex = rx * std::cos(t);
+        const float ey = ry * std::sin(t);
+        const float x = cx + ca * ex - sa * ey;
+        const float y = cy + sa * ex + ca * ey;
+        if (i > 0) stroke(prev_x, prev_y, x, y, thickness, intensity);
+        prev_x = x;
+        prev_y = y;
+    }
+}
+
+void Canvas::fill_rect(float cx, float cy, float half_w, float half_h, float angle,
+                       float intensity) {
+    const float ca = std::cos(-angle);
+    const float sa = std::sin(-angle);
+    const float pad = std::max(half_w, half_h) + 2.0f;
+    const int ymin = std::max(0, static_cast<int>(std::floor(cy - pad)));
+    const int ymax =
+        std::min(static_cast<int>(h_) - 1, static_cast<int>(std::ceil(cy + pad)));
+    const int xmin = std::max(0, static_cast<int>(std::floor(cx - pad)));
+    const int xmax =
+        std::min(static_cast<int>(w_) - 1, static_cast<int>(std::ceil(cx + pad)));
+    for (int y = ymin; y <= ymax; ++y) {
+        for (int x = xmin; x <= xmax; ++x) {
+            // Rotate the pixel into the rectangle's frame.
+            const float px = static_cast<float>(x) - cx;
+            const float py = static_cast<float>(y) - cy;
+            const float lx = ca * px - sa * py;
+            const float ly = sa * px + ca * py;
+            const float d =
+                std::max(std::abs(lx) - half_w, std::abs(ly) - half_h);
+            const float c = coverage(d);
+            if (c > 0.0f)
+                splat(static_cast<std::size_t>(y), static_cast<std::size_t>(x),
+                      intensity * c);
+        }
+    }
+}
+
+void Canvas::fill_ellipse(float cx, float cy, float rx, float ry, float angle,
+                          float intensity) {
+    const float ca = std::cos(-angle);
+    const float sa = std::sin(-angle);
+    const float pad = std::max(rx, ry) + 2.0f;
+    const int ymin = std::max(0, static_cast<int>(std::floor(cy - pad)));
+    const int ymax =
+        std::min(static_cast<int>(h_) - 1, static_cast<int>(std::ceil(cy + pad)));
+    const int xmin = std::max(0, static_cast<int>(std::floor(cx - pad)));
+    const int xmax =
+        std::min(static_cast<int>(w_) - 1, static_cast<int>(std::ceil(cx + pad)));
+    for (int y = ymin; y <= ymax; ++y) {
+        for (int x = xmin; x <= xmax; ++x) {
+            const float px = static_cast<float>(x) - cx;
+            const float py = static_cast<float>(y) - cy;
+            const float lx = (ca * px - sa * py) / std::max(rx, 1e-3f);
+            const float ly = (sa * px + ca * py) / std::max(ry, 1e-3f);
+            const float r = std::sqrt(lx * lx + ly * ly);
+            // Approximate signed distance in pixel units.
+            const float d = (r - 1.0f) * std::min(rx, ry);
+            const float c = coverage(d);
+            if (c > 0.0f)
+                splat(static_cast<std::size_t>(y), static_cast<std::size_t>(x),
+                      intensity * c);
+        }
+    }
+}
+
+void Canvas::fill_triangle(float x0, float y0, float x1, float y1, float x2, float y2,
+                           float intensity) {
+    const int ymin = std::max(
+        0, static_cast<int>(std::floor(std::min({y0, y1, y2}) - 1.0f)));
+    const int ymax = std::min(
+        static_cast<int>(h_) - 1,
+        static_cast<int>(std::ceil(std::max({y0, y1, y2}) + 1.0f)));
+    const int xmin = std::max(
+        0, static_cast<int>(std::floor(std::min({x0, x1, x2}) - 1.0f)));
+    const int xmax = std::min(
+        static_cast<int>(w_) - 1,
+        static_cast<int>(std::ceil(std::max({x0, x1, x2}) + 1.0f)));
+    auto edge = [](float ax, float ay, float bx, float by, float px, float py) {
+        return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+    };
+    const float area = edge(x0, y0, x1, y1, x2, y2);
+    if (std::abs(area) < 1e-6f) return;
+    for (int y = ymin; y <= ymax; ++y) {
+        for (int x = xmin; x <= xmax; ++x) {
+            const auto px = static_cast<float>(x);
+            const auto py = static_cast<float>(y);
+            const float w0 = edge(x1, y1, x2, y2, px, py) / area;
+            const float w1 = edge(x2, y2, x0, y0, px, py) / area;
+            const float w2 = edge(x0, y0, x1, y1, px, py) / area;
+            if (w0 >= 0.0f && w1 >= 0.0f && w2 >= 0.0f)
+                splat(static_cast<std::size_t>(y), static_cast<std::size_t>(x),
+                      intensity);
+        }
+    }
+}
+
+void Canvas::blur(int passes) {
+    std::vector<float> tmp(px_.size());
+    for (int p = 0; p < passes; ++p) {
+        for (std::size_t y = 0; y < h_; ++y) {
+            for (std::size_t x = 0; x < w_; ++x) {
+                float acc = 0.0f;
+                float wsum = 0.0f;
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        const auto yy = static_cast<std::ptrdiff_t>(y) + dy;
+                        const auto xx = static_cast<std::ptrdiff_t>(x) + dx;
+                        if (yy < 0 || xx < 0 || yy >= static_cast<std::ptrdiff_t>(h_) ||
+                            xx >= static_cast<std::ptrdiff_t>(w_))
+                            continue;
+                        // Binomial 3x3 kernel: 1-2-1 outer product.
+                        const float wk = (dy == 0 ? 2.0f : 1.0f) * (dx == 0 ? 2.0f : 1.0f);
+                        acc += wk * px_[static_cast<std::size_t>(yy) * w_ +
+                                        static_cast<std::size_t>(xx)];
+                        wsum += wk;
+                    }
+                }
+                tmp[y * w_ + x] = acc / wsum;
+            }
+        }
+        px_.swap(tmp);
+    }
+}
+
+void Canvas::add_gaussian_noise(common::Rng& rng, float sigma) {
+    for (float& p : px_) p += static_cast<float>(rng.normal(0.0, sigma));
+    clamp();
+}
+
+void Canvas::apply_speckle(common::Rng& rng, float strength) {
+    for (float& p : px_) {
+        // Exponential(1) multiplicative speckle, blended by `strength`.
+        const float u = std::max(1e-7f, static_cast<float>(rng.uniform()));
+        const float speckle = -std::log(u);
+        p *= (1.0f - strength) + strength * speckle;
+    }
+    clamp();
+}
+
+void Canvas::clamp() {
+    for (float& p : px_) p = std::clamp(p, 0.0f, 1.0f);
+}
+
+Canvas Canvas::warp_affine(float a00, float a01, float a10, float a11, float tx,
+                           float ty) const {
+    Canvas out(h_, w_);
+    const float cx = static_cast<float>(w_) * 0.5f;
+    const float cy = static_cast<float>(h_) * 0.5f;
+    for (std::size_t y = 0; y < h_; ++y) {
+        for (std::size_t x = 0; x < w_; ++x) {
+            const float dx = static_cast<float>(x) - cx;
+            const float dy = static_cast<float>(y) - cy;
+            const float sx = a00 * dx + a01 * dy + cx + tx;
+            const float sy = a10 * dx + a11 * dy + cy + ty;
+            const int x0 = static_cast<int>(std::floor(sx));
+            const int y0 = static_cast<int>(std::floor(sy));
+            const float fx = sx - static_cast<float>(x0);
+            const float fy = sy - static_cast<float>(y0);
+            float acc = 0.0f;
+            for (int oy = 0; oy <= 1; ++oy) {
+                for (int ox = 0; ox <= 1; ++ox) {
+                    const int xx = x0 + ox;
+                    const int yy = y0 + oy;
+                    if (xx < 0 || yy < 0 || xx >= static_cast<int>(w_) ||
+                        yy >= static_cast<int>(h_))
+                        continue;
+                    const float wgt = (ox ? fx : 1.0f - fx) * (oy ? fy : 1.0f - fy);
+                    acc += wgt * px_[static_cast<std::size_t>(yy) * w_ +
+                                     static_cast<std::size_t>(xx)];
+                }
+            }
+            out.px_[y * w_ + x] = acc;
+        }
+    }
+    return out;
+}
+
+Canvas Canvas::jitter(float angle, float scale, float tx, float ty) const {
+    // Inverse map: rotate by -angle, scale by 1/scale.
+    const float inv = 1.0f / scale;
+    const float ca = std::cos(-angle) * inv;
+    const float sa = std::sin(-angle) * inv;
+    return warp_affine(ca, -sa, sa, ca, tx, ty);
+}
+
+}  // namespace neuro::data

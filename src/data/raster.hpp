@@ -1,0 +1,82 @@
+#pragma once
+// Software rasterizer for the synthetic dataset generators: anti-aliased
+// strokes, filled shapes, affine warps, blur and noise on single-channel
+// float canvases in [0,1].
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace neuro::data {
+
+/// Single-channel float canvas. (0,0) is the top-left pixel centre; x grows
+/// right, y grows down, both in pixel units.
+class Canvas {
+public:
+    Canvas(std::size_t height, std::size_t width);
+
+    std::size_t height() const { return h_; }
+    std::size_t width() const { return w_; }
+
+    float& at(std::size_t y, std::size_t x) { return px_[y * w_ + x]; }
+    float at(std::size_t y, std::size_t x) const { return px_[y * w_ + x]; }
+
+    const std::vector<float>& pixels() const { return px_; }
+
+    /// Anti-aliased thick line segment; intensity is max-combined so strokes
+    /// overlap cleanly.
+    void stroke(float x0, float y0, float x1, float y1, float thickness,
+                float intensity = 1.0f);
+
+    /// Anti-aliased ellipse outline (axis-aligned, then rotated by `angle`
+    /// radians about its centre).
+    void ellipse(float cx, float cy, float rx, float ry, float thickness,
+                 float intensity = 1.0f, float angle = 0.0f);
+
+    /// Filled axis-aligned-then-rotated rectangle.
+    void fill_rect(float cx, float cy, float half_w, float half_h, float angle,
+                   float intensity = 1.0f);
+
+    /// Filled ellipse.
+    void fill_ellipse(float cx, float cy, float rx, float ry, float angle,
+                      float intensity = 1.0f);
+
+    /// Filled triangle (max-combined like the other primitives).
+    void fill_triangle(float x0, float y0, float x1, float y1, float x2, float y2,
+                       float intensity = 1.0f);
+
+    /// 3x3 binomial blur, applied `passes` times.
+    void blur(int passes = 1);
+
+    /// Adds N(0, sigma) per pixel, then clamps to [0,1].
+    void add_gaussian_noise(common::Rng& rng, float sigma);
+
+    /// Multiplies each pixel by an exponential(1) draw — SAR speckle.
+    void apply_speckle(common::Rng& rng, float strength);
+
+    /// Clamp all pixels to [0,1].
+    void clamp();
+
+    /// Resamples this canvas through the inverse affine map
+    ///   src = A * (dst - centre) + centre + t
+    /// with bilinear interpolation; returns the warped canvas. Used for the
+    /// per-sample rotation/scale/translation jitter.
+    Canvas warp_affine(float a00, float a01, float a10, float a11, float tx,
+                       float ty) const;
+
+    /// Convenience jitter: rotation (radians), isotropic scale, translation.
+    Canvas jitter(float angle, float scale, float tx, float ty) const;
+
+private:
+    std::size_t h_;
+    std::size_t w_;
+    std::vector<float> px_;
+
+    void splat(std::size_t y, std::size_t x, float v) {
+        float& p = px_[y * w_ + x];
+        if (v > p) p = v;
+    }
+};
+
+}  // namespace neuro::data

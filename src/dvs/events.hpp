@@ -1,0 +1,116 @@
+#pragma once
+// Dynamic-vision-sensor event streams (paper Sec. I: neuromorphic hardware
+// is "believed to be effective for edge computing or working with certain
+// type of sensor, such as dynamic vision sensor (DVS), whose output is
+// sparse by nature").
+//
+// A DVS pixel emits an event when its log-intensity changes by more than a
+// contrast threshold: ON for brightening, OFF for darkening. No real DVS
+// recordings ship offline, so src/dvs provides a deterministic synthetic
+// sensor (gesture.cpp): a rendered object moves across the field of view,
+// per-timestep intensity differences above threshold become events, plus a
+// configurable background noise rate — the same address-event representation
+// (x, y, t, polarity) real sensors produce.
+//
+// Two consumption paths are provided, matching how Loihi pipelines consume
+// DVS data:
+//   * event-driven — inject_stream() turns every event into one host spike
+//     insertion on a two-channel (ON/OFF) input population (one I/O write
+//     per event; sparse by construction);
+//   * frame-based — accumulate_frame() integrates events into a 2xHxW
+//     tensor for the standard bias-programmed EMSTDP pipeline.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/tensor.hpp"
+#include "loihi/chip.hpp"
+
+namespace neuro::dvs {
+
+/// One address-event: sensor coordinates, timestep and polarity.
+struct Event {
+    std::uint32_t t = 0;
+    std::uint16_t x = 0;
+    std::uint16_t y = 0;
+    bool on = true;  ///< true = brightening (ON), false = darkening (OFF)
+
+    bool operator==(const Event&) const = default;
+};
+
+/// One labelled recording.
+struct EventStream {
+    std::vector<Event> events;  ///< ordered by t (ties in scan order)
+    std::size_t label = 0;
+};
+
+/// A materialized event dataset plus its sensor geometry.
+struct EventDataset {
+    std::string name;
+    std::size_t width = 0;
+    std::size_t height = 0;
+    std::uint32_t duration = 0;  ///< timesteps per recording
+    std::size_t num_classes = 0;
+    std::vector<EventStream> streams;
+
+    std::size_t size() const { return streams.size(); }
+    std::size_t pixels() const { return width * height; }
+};
+
+/// The synthetic gesture classes (clockwise/counterclockwise use a rotating
+/// bar; the sweeps use a straight bar crossing the field of view).
+enum class Gesture : std::uint8_t {
+    SweepRight = 0,  ///< bar moving left -> right
+    SweepLeft,       ///< bar moving right -> left
+    SweepDown,       ///< bar moving top -> bottom
+    SweepUp,         ///< bar moving bottom -> top
+    RotateCw,        ///< bar rotating clockwise about the centre
+    RotateCcw,       ///< bar rotating counterclockwise
+};
+inline constexpr std::size_t kGestureClasses = 6;
+
+struct GestureOptions {
+    std::size_t count = 600;      ///< recordings to synthesize
+    std::size_t width = 16;       ///< sensor width
+    std::size_t height = 16;      ///< sensor height
+    std::uint32_t duration = 64;  ///< timesteps per recording
+    double contrast = 0.25;       ///< event threshold on intensity change
+    double noise_rate = 0.0005;   ///< spurious events / pixel / step
+    std::size_t classes = kGestureClasses;  ///< use the first N classes
+    std::uint64_t seed = 1;
+};
+
+/// Synthesizes a deterministic gesture event dataset. Each recording draws
+/// per-sample speed/phase/thickness jitter so no two recordings of a class
+/// are identical.
+EventDataset make_gestures(const GestureOptions& opt);
+
+/// Integrates a stream into a {2 * bins, H, W} tensor: the recording is cut
+/// into `bins` equal time slices and each slice contributes an ON and an OFF
+/// channel (channel order: slice-major, ON before OFF). Binning preserves
+/// coarse motion direction — with one bin a right-sweep and a left-sweep
+/// accumulate to nearly the same picture; with two, the early/late halves
+/// tell them apart. Normalized so the busiest pixel is 1.0, ready for the
+/// EMSTDP pipeline's rate coding.
+common::Tensor accumulate_frames(const EventStream& stream, std::size_t width,
+                                 std::size_t height, std::uint32_t duration,
+                                 std::size_t bins);
+
+/// Single-bin convenience wrapper: a {2, H, W} event-count picture.
+common::Tensor accumulate_frame(const EventStream& stream, std::size_t width,
+                                std::size_t height);
+
+/// Injects the events of one timestep into a two-channel input population
+/// laid out as [ON(H*W) | OFF(H*W)], row-major. `cursor` tracks the position
+/// in the (time-ordered) event vector; call once per chip step with the
+/// current local time. Each event costs exactly one host I/O write.
+/// Returns how many events were injected.
+std::size_t inject_events_at(loihi::Chip& chip, loihi::PopulationId pop,
+                             const EventStream& stream, std::uint32_t t,
+                             std::size_t& cursor, std::size_t width,
+                             std::size_t height);
+
+}  // namespace neuro::dvs

@@ -1,0 +1,180 @@
+// Synthetic DVS gesture generator: a bright bar moves over a dark field; the
+// sensor model emits ON/OFF events where the per-step intensity difference
+// crosses the contrast threshold, plus uniform background noise. See
+// events.hpp for the rationale.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dvs/events.hpp"
+
+namespace neuro::dvs {
+
+namespace {
+
+/// Continuous bar stimulus: distance of pixel (x, y) to a line through
+/// `centre` with direction angle `phi`, thickness `thick`, mapped to an
+/// intensity in [0, 1] with a soft edge.
+double bar_intensity(double x, double y, double cx, double cy, double phi,
+                     double thick) {
+    const double nx = -std::sin(phi);
+    const double ny = std::cos(phi);
+    const double d = std::abs((x - cx) * nx + (y - cy) * ny);
+    const double edge = thick / 2.0;
+    if (d <= edge) return 1.0;
+    const double falloff = d - edge;
+    return falloff >= 1.0 ? 0.0 : 1.0 - falloff;
+}
+
+struct Pose {
+    double cx, cy, phi;
+};
+
+/// Pose of the stimulus at normalized time u in [0, 1].
+Pose pose_at(Gesture g, double u, double w, double h, double phase) {
+    switch (g) {
+        case Gesture::SweepRight:
+            return {u * (w - 1), h / 2, 1.5707963267948966};  // vertical bar
+        case Gesture::SweepLeft:
+            return {(1.0 - u) * (w - 1), h / 2, 1.5707963267948966};
+        case Gesture::SweepDown:
+            return {w / 2, u * (h - 1), 0.0};  // horizontal bar
+        case Gesture::SweepUp:
+            return {w / 2, (1.0 - u) * (h - 1), 0.0};
+        case Gesture::RotateCw:
+            return {w / 2, h / 2, phase + u * 3.141592653589793};
+        case Gesture::RotateCcw:
+            return {w / 2, h / 2, phase - u * 3.141592653589793};
+    }
+    throw std::invalid_argument("pose_at: bad gesture");
+}
+
+}  // namespace
+
+EventDataset make_gestures(const GestureOptions& opt) {
+    if (opt.classes == 0 || opt.classes > kGestureClasses)
+        throw std::invalid_argument("make_gestures: classes must be 1.." +
+                                    std::to_string(kGestureClasses));
+    if (opt.width < 4 || opt.height < 4)
+        throw std::invalid_argument("make_gestures: sensor too small");
+    if (opt.duration < 2)
+        throw std::invalid_argument("make_gestures: duration must be >= 2");
+
+    EventDataset ds;
+    ds.name = "gestures";
+    ds.width = opt.width;
+    ds.height = opt.height;
+    ds.duration = opt.duration;
+    ds.num_classes = opt.classes;
+    ds.streams.reserve(opt.count);
+
+    common::Rng rng(opt.seed);
+    const auto w = static_cast<double>(opt.width);
+    const auto h = static_cast<double>(opt.height);
+
+    for (std::size_t n = 0; n < opt.count; ++n) {
+        const auto label = n % opt.classes;  // balanced classes
+        const auto g = static_cast<Gesture>(label);
+
+        // Per-recording jitter: speed, thickness, rotation phase, start lag.
+        const double speed = 0.85 + 0.3 * rng.uniform();
+        const double thick = 1.0 + 1.2 * rng.uniform();
+        const double phase = rng.uniform() * 3.141592653589793;
+        const double lag = 0.08 * rng.uniform();
+
+        EventStream stream;
+        stream.label = label;
+
+        std::vector<double> prev(opt.width * opt.height, 0.0);
+        for (std::uint32_t t = 0; t < opt.duration; ++t) {
+            const double u = std::min(
+                1.0, std::max(0.0, speed * (static_cast<double>(t) /
+                                                (opt.duration - 1) -
+                                            lag)));
+            const Pose p = pose_at(g, u, w, h, phase);
+            for (std::size_t y = 0; y < opt.height; ++y) {
+                for (std::size_t x = 0; x < opt.width; ++x) {
+                    const double cur =
+                        bar_intensity(static_cast<double>(x),
+                                      static_cast<double>(y), p.cx, p.cy, p.phi,
+                                      thick);
+                    const double diff = cur - prev[y * opt.width + x];
+                    bool fired = false;
+                    if (diff > opt.contrast) {
+                        stream.events.push_back({t, static_cast<std::uint16_t>(x),
+                                                 static_cast<std::uint16_t>(y),
+                                                 true});
+                        fired = true;
+                    } else if (diff < -opt.contrast) {
+                        stream.events.push_back({t, static_cast<std::uint16_t>(x),
+                                                 static_cast<std::uint16_t>(y),
+                                                 false});
+                        fired = true;
+                    }
+                    // The sensor's change detector resets on each event, so
+                    // the reference intensity only moves when one fires.
+                    if (fired) prev[y * opt.width + x] = cur;
+                    // Background noise: rare spurious events of either sign.
+                    if (rng.bernoulli(opt.noise_rate)) {
+                        stream.events.push_back({t, static_cast<std::uint16_t>(x),
+                                                 static_cast<std::uint16_t>(y),
+                                                 rng.bernoulli(0.5)});
+                    }
+                }
+            }
+        }
+        ds.streams.push_back(std::move(stream));
+    }
+    return ds;
+}
+
+common::Tensor accumulate_frames(const EventStream& stream, std::size_t width,
+                                 std::size_t height, std::uint32_t duration,
+                                 std::size_t bins) {
+    if (bins == 0) throw std::invalid_argument("accumulate_frames: bins == 0");
+    if (duration == 0)
+        throw std::invalid_argument("accumulate_frames: duration == 0");
+    common::Tensor frame({2 * bins, height, width});
+    for (const auto& e : stream.events) {
+        if (e.x >= width || e.y >= height)
+            throw std::out_of_range("accumulate_frames: event outside sensor");
+        if (e.t >= duration)
+            throw std::out_of_range("accumulate_frames: event after duration");
+        const std::size_t slice = (static_cast<std::size_t>(e.t) * bins) / duration;
+        frame.at3(slice * 2 + (e.on ? 0 : 1), e.y, e.x) += 1.0f;
+    }
+    const float peak = frame.max();
+    if (peak > 0.0f) frame *= 1.0f / peak;
+    return frame;
+}
+
+common::Tensor accumulate_frame(const EventStream& stream, std::size_t width,
+                                std::size_t height) {
+    std::uint32_t duration = 1;
+    for (const auto& e : stream.events)
+        duration = std::max(duration, e.t + 1);
+    return accumulate_frames(stream, width, height, duration, 1);
+}
+
+std::size_t inject_events_at(loihi::Chip& chip, loihi::PopulationId pop,
+                             const EventStream& stream, std::uint32_t t,
+                             std::size_t& cursor, std::size_t width,
+                             std::size_t height) {
+    if (chip.population_size(pop) != 2 * width * height)
+        throw std::invalid_argument(
+            "inject_events_at: population must be 2*W*H (ON|OFF channels)");
+    std::size_t injected = 0;
+    while (cursor < stream.events.size() && stream.events[cursor].t == t) {
+        const auto& e = stream.events[cursor];
+        if (e.x >= width || e.y >= height)
+            throw std::out_of_range("inject_events_at: event outside sensor");
+        const std::size_t channel = e.on ? 0 : 1;
+        chip.insert_spike(pop, channel * width * height + e.y * width + e.x);
+        ++cursor;
+        ++injected;
+    }
+    return injected;
+}
+
+}  // namespace neuro::dvs

@@ -1,0 +1,164 @@
+#include "iol/incremental.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace neuro::iol {
+
+namespace {
+
+std::vector<bool> mask_of(std::size_t classes, const std::vector<std::size_t>& on) {
+    std::vector<bool> m(classes, false);
+    for (std::size_t c : on) m[c] = true;
+    return m;
+}
+
+/// Accuracy restricted to the observed classes; predictions over the full
+/// output layer (a disabled class can still be *predicted*, which is exactly
+/// how catastrophic forgetting shows up).
+double eval_observed(core::EmstdpNetwork& net, const data::Dataset& test,
+                     const std::vector<std::size_t>& observed) {
+    std::size_t seen = 0;
+    std::size_t hit = 0;
+    for (const auto& s : test.samples) {
+        if (std::find(observed.begin(), observed.end(), s.label) == observed.end())
+            continue;
+        ++seen;
+        if (net.predict(s.image) == s.label) ++hit;
+    }
+    return seen == 0 ? 0.0 : static_cast<double>(hit) / static_cast<double>(seen);
+}
+
+void train_list(core::EmstdpNetwork& net, const data::Dataset& pool,
+                const std::vector<std::size_t>& indices, common::Rng& rng) {
+    std::vector<std::size_t> order = indices;
+    rng.shuffle(order);
+    for (std::size_t idx : order)
+        net.train_sample(pool.samples[idx].image, pool.samples[idx].label);
+}
+
+}  // namespace
+
+IolResult run_incremental(const NetworkFactory& make_net,
+                          const data::Dataset& train_pool,
+                          const data::Dataset& test_set, const IolOptions& opt) {
+    const std::size_t classes = train_pool.num_classes;
+    const std::size_t needed =
+        opt.initial_classes + opt.classes_per_iteration * opt.iterations;
+    if (needed > classes)
+        throw std::invalid_argument("run_incremental: class schedule exceeds dataset");
+
+    common::Rng rng(opt.seed);
+    IolResult result;
+    result.class_order.resize(classes);
+    std::iota(result.class_order.begin(), result.class_order.end(), std::size_t{0});
+    rng.shuffle(result.class_order);
+
+    // Per-class sample indices, each split into `rounds` chunks.
+    std::vector<std::vector<std::size_t>> by_class(classes);
+    for (std::size_t i = 0; i < train_pool.size(); ++i)
+        by_class[train_pool.samples[i].label].push_back(i);
+    auto chunk = [&](std::size_t cls, std::size_t round) {
+        const auto& all = by_class[cls];
+        const std::size_t per = all.size() / opt.rounds_per_iteration;
+        const std::size_t begin = round * per;
+        const std::size_t end = round + 1 == opt.rounds_per_iteration
+                                    ? all.size()
+                                    : begin + per;
+        return std::vector<std::size_t>(all.begin() + static_cast<std::ptrdiff_t>(begin),
+                                        all.begin() + static_cast<std::ptrdiff_t>(end));
+    };
+
+    auto net = make_net();
+
+    // ---- pretraining on the initial classes --------------------------------
+    std::vector<std::size_t> observed(
+        result.class_order.begin(),
+        result.class_order.begin() + static_cast<std::ptrdiff_t>(opt.initial_classes));
+    net->set_class_mask(mask_of(classes, observed));
+    std::vector<std::size_t> initial_pool;
+    for (std::size_t c : observed)
+        initial_pool.insert(initial_pool.end(), by_class[c].begin(), by_class[c].end());
+    for (std::size_t e = 0; e < opt.pretrain_epochs; ++e)
+        train_list(*net, train_pool, initial_pool, rng);
+    result.pretrain_accuracy = eval_observed(*net, test_set, observed);
+
+    // ---- incremental iterations ---------------------------------------------
+    for (std::size_t it = 0; it < opt.iterations; ++it) {
+        std::vector<std::size_t> fresh(
+            result.class_order.begin() +
+                static_cast<std::ptrdiff_t>(opt.initial_classes +
+                                            it * opt.classes_per_iteration),
+            result.class_order.begin() +
+                static_cast<std::ptrdiff_t>(opt.initial_classes +
+                                            (it + 1) * opt.classes_per_iteration));
+        std::vector<std::size_t> all_observed = observed;
+        all_observed.insert(all_observed.end(), fresh.begin(), fresh.end());
+
+        for (std::size_t round = 0; round < opt.rounds_per_iteration; ++round) {
+            RoundRecord rec;
+            rec.iteration = it;
+            rec.round = round;
+            rec.observed_classes = all_observed;
+
+            // -- step 1: learn the new classes; old classifier neurons
+            //    disabled, learning rate reduced (cross-distillation approx).
+            net->set_class_mask(mask_of(classes, fresh));
+            net->set_learning_shift_offset(opt.step1_shift_offset);
+            std::vector<std::size_t> new_chunk;
+            for (std::size_t c : fresh) {
+                const auto part = chunk(c, round);
+                new_chunk.insert(new_chunk.end(), part.begin(), part.end());
+            }
+            train_list(*net, train_pool, new_chunk, rng);
+            // Evaluation happens with every observed class's classifier
+            // enabled — the step-1 mask is a *training* constraint. (With
+            // the mask still applied, old classes could never be predicted
+            // and the forgetting measurement would be meaningless.)
+            net->set_class_mask(mask_of(classes, all_observed));
+            rec.accuracy_after_step1 = eval_observed(*net, test_set, all_observed);
+            rec.old_class_accuracy_after_step1 =
+                eval_observed(*net, test_set, observed);
+
+            // -- step 2: retrain with new + equal-size replay of old classes
+            //    (sampled fresh each round: "new observations of old
+            //    classes").
+            net->set_class_mask(mask_of(classes, all_observed));
+            net->set_learning_shift_offset(0);
+            std::vector<std::size_t> replay;
+            for (std::size_t k = 0; k < new_chunk.size(); ++k) {
+                // Cycle the old classes so the replay half of the mix is
+                // class-balanced; the sample within the class is random
+                // ("new observations of old classes").
+                const std::size_t cls = observed[k % observed.size()];
+                const auto& pool = by_class[cls];
+                replay.push_back(pool[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(pool.size()) - 1))]);
+            }
+            std::vector<std::size_t> mixed = new_chunk;
+            mixed.insert(mixed.end(), replay.begin(), replay.end());
+            train_list(*net, train_pool, mixed, rng);
+            rec.accuracy_after_step2 = eval_observed(*net, test_set, all_observed);
+
+            result.rounds.push_back(std::move(rec));
+        }
+        observed = all_observed;
+
+        // ---- joint baseline for this iteration ------------------------------
+        auto base = make_net();
+        base->set_class_mask(mask_of(classes, observed));
+        std::vector<std::size_t> joint_pool;
+        for (std::size_t c : observed)
+            joint_pool.insert(joint_pool.end(), by_class[c].begin(),
+                              by_class[c].end());
+        for (std::size_t e = 0; e < opt.baseline_epochs; ++e)
+            train_list(*base, train_pool, joint_pool, rng);
+        result.baseline.push_back(eval_observed(*base, test_set, observed));
+    }
+    return result;
+}
+
+}  // namespace neuro::iol

@@ -1,0 +1,70 @@
+#pragma once
+// Incremental online learning (paper Sec. IV-B, Fig. 4).
+//
+// Protocol: pretrain on 4 randomly selected classes, then run three
+// incremental iterations that each introduce 2 new classes. Per-class data
+// is divided into 5 chunks, giving 5 rounds per iteration; every round runs
+// an alternating two-step technique (He et al., CVPR 2020 style):
+//
+//   step 1 — "learn new classes": train on the new-class chunk with the
+//            old-class classifier neurons disabled and a reduced learning
+//            rate (the paper's approximation of the cross-distillation
+//            loss);
+//   step 2 — "retrain with new and old": train on the new chunk plus an
+//            equal-size sample of old classes drawn from a replay pool that
+//            also contains *new observations* of the old classes.
+//
+// Accuracy over all observed classes is recorded after each step; the
+// baseline is an identical network trained jointly on every observed class.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/network.hpp"
+#include "data/dataset.hpp"
+
+namespace neuro::iol {
+
+struct IolOptions {
+    std::size_t initial_classes = 4;
+    std::size_t classes_per_iteration = 2;
+    std::size_t iterations = 3;
+    std::size_t rounds_per_iteration = 5;
+    /// Learning-shift increase during step 1 (each unit halves the rate).
+    int step1_shift_offset = 2;
+    /// Pretraining passes over the initial classes.
+    std::size_t pretrain_epochs = 2;
+    /// Joint-baseline training passes per iteration.
+    std::size_t baseline_epochs = 2;
+    std::uint64_t seed = 17;
+};
+
+/// Accuracy over observed classes after each step of each round.
+struct RoundRecord {
+    std::size_t iteration = 0;
+    std::size_t round = 0;
+    std::vector<std::size_t> observed_classes;  ///< including the new ones
+    double accuracy_after_step1 = 0.0;
+    double accuracy_after_step2 = 0.0;
+    double old_class_accuracy_after_step1 = 0.0;  ///< forgetting probe
+};
+
+struct IolResult {
+    std::vector<RoundRecord> rounds;
+    double pretrain_accuracy = 0.0;  ///< on the initial classes
+    /// Joint-training baseline accuracy per iteration (all observed classes).
+    std::vector<double> baseline;
+    std::vector<std::size_t> class_order;  ///< order classes were introduced
+};
+
+/// Factory for identical fresh networks (the continuously-trained subject
+/// and the per-iteration joint baselines).
+using NetworkFactory = std::function<std::unique_ptr<core::EmstdpNetwork>()>;
+
+IolResult run_incremental(const NetworkFactory& make_net,
+                          const data::Dataset& train_pool,
+                          const data::Dataset& test_set, const IolOptions& opt);
+
+}  // namespace neuro::iol

@@ -1,0 +1,612 @@
+#include "loihi/chip.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/fixed.hpp"
+
+namespace neuro::loihi {
+
+Chip::Chip(ChipLimits limits) : limits_(limits) {}
+
+PopulationId Chip::add_population(PopulationConfig cfg) {
+    check_finalized(false);
+    if (cfg.size == 0) throw std::invalid_argument("add_population: empty population");
+    Population p;
+    p.cfg = std::move(cfg);
+    p.first = state_.size();
+    state_.resize(state_.size() + p.cfg.size);
+    pop_of_.resize(state_.size(), static_cast<std::uint16_t>(pops_.size()));
+    vth_offset_.resize(state_.size(), 0);
+    dead_.resize(state_.size(), 0);
+    pops_.push_back(std::move(p));
+    return pops_.size() - 1;
+}
+
+ProjectionId Chip::add_projection(ProjectionConfig cfg, std::vector<Synapse> synapses) {
+    check_finalized(false);
+    if (cfg.src >= pops_.size() || cfg.dst >= pops_.size())
+        throw std::invalid_argument("add_projection: bad population id");
+    const auto src_n = pops_[cfg.src].cfg.size;
+    const auto dst_n = pops_[cfg.dst].cfg.size;
+    for (const auto& s : synapses) {
+        if (s.src >= src_n || s.dst >= dst_n)
+            throw std::invalid_argument("add_projection(" + cfg.name +
+                                        "): synapse index out of range");
+        if (s.weight != common::saturate_signed(s.weight, limits_.weight_bits))
+            throw std::invalid_argument("add_projection(" + cfg.name +
+                                        "): weight exceeds " +
+                                        std::to_string(limits_.weight_bits) + " bits");
+        if (s.delay > 62)
+            throw std::invalid_argument("add_projection(" + cfg.name +
+                                        "): delay exceeds 62 steps");
+    }
+    Projection p;
+    p.cfg = std::move(cfg);
+    p.synapses = std::move(synapses);
+    projs_.push_back(std::move(p));
+    return projs_.size() - 1;
+}
+
+void Chip::finalize() {
+    check_finalized(false);
+
+    // ---- core mapping (Operation Flow 1, layer at a time) -----------------
+    std::vector<LayerMapSpec> specs;
+    specs.reserve(pops_.size());
+    for (std::size_t pi = 0; pi < pops_.size(); ++pi) {
+        const auto& pop = pops_[pi];
+        LayerMapSpec spec;
+        spec.name = pop.cfg.name;
+        spec.logical_neurons = pop.cfg.size;
+        spec.compartments_per_neuron =
+            pop.cfg.compartment.join == JoinOp::None ? 1 : 2;
+        std::size_t fan_in = 0;
+        std::size_t fan_out = 0;
+        std::size_t plastic_in = 0;
+        std::size_t sources = 0;
+        for (const auto& proj : projs_) {
+            if (proj.cfg.dst == pi) {
+                fan_in += proj.synapses.size();
+                sources += pops_[proj.cfg.src].cfg.size;
+                if (proj.cfg.plastic) plastic_in += proj.synapses.size();
+            }
+            if (proj.cfg.src == pi) fan_out += proj.synapses.size();
+        }
+        spec.distinct_sources = sources;
+        spec.fan_in_per_neuron = (fan_in + pop.cfg.size - 1) / pop.cfg.size;
+        spec.fan_out_per_neuron = (fan_out + pop.cfg.size - 1) / pop.cfg.size;
+        spec.plastic_fan_in_per_neuron = (plastic_in + pop.cfg.size - 1) / pop.cfg.size;
+        spec.neurons_per_core = pop.cfg.neurons_per_core;
+        specs.push_back(std::move(spec));
+    }
+    mapping_ = map_layers(specs, limits_);
+
+    // ---- fan-out tables ----------------------------------------------------
+    std::vector<std::size_t> degree(state_.size(), 0);
+    for (const auto& proj : projs_)
+        for (const auto& s : proj.synapses) ++degree[pops_[proj.cfg.src].first + s.src];
+
+    fanout_begin_.assign(state_.size() + 1, 0);
+    for (std::size_t c = 0; c < state_.size(); ++c)
+        fanout_begin_[c + 1] = fanout_begin_[c] + degree[c];
+    fanout_.resize(fanout_begin_.back());
+
+    std::vector<std::size_t> cursor(fanout_begin_.begin(), fanout_begin_.end() - 1);
+    for (auto& proj : projs_) {
+        proj.fanout_slot.reserve(proj.synapses.size());
+        for (const auto& s : proj.synapses) {
+            const CompartmentId src = pops_[proj.cfg.src].first + s.src;
+            const CompartmentId dst = pops_[proj.cfg.dst].first + s.dst;
+            FanoutEntry e;
+            e.dst = static_cast<std::uint32_t>(dst);
+            const std::int64_t eff = static_cast<std::int64_t>(s.weight)
+                                     << proj.cfg.weight_exp;
+            e.weight = static_cast<std::int32_t>(eff);
+            e.port = static_cast<std::uint8_t>(proj.cfg.port);
+            e.delay = s.delay;
+            const std::size_t slot = cursor[src]++;
+            proj.fanout_slot.push_back(slot);
+            fanout_[slot] = e;
+        }
+    }
+
+    finalized_ = true;
+}
+
+void Chip::set_bias(PopulationId pop, const std::vector<std::int32_t>& bias) {
+    if (pop >= pops_.size()) throw std::invalid_argument("set_bias: bad population");
+    if (bias.size() != pops_[pop].cfg.size)
+        throw std::invalid_argument("set_bias: size mismatch for " +
+                                    pops_[pop].cfg.name);
+    const CompartmentId base = pops_[pop].first;
+    for (std::size_t i = 0; i < bias.size(); ++i) state_[base + i].bias = bias[i];
+    activity_.host_io_writes += bias.size();
+}
+
+void Chip::clear_bias(PopulationId pop) {
+    if (pop >= pops_.size()) throw std::invalid_argument("clear_bias: bad population");
+    const CompartmentId base = pops_[pop].first;
+    for (std::size_t i = 0; i < pops_[pop].cfg.size; ++i) state_[base + i].bias = 0;
+}
+
+void Chip::insert_spike(PopulationId pop, std::size_t idx) {
+    check_finalized(true);
+    ++activity_.host_io_writes;
+    const CompartmentId c = global_id(pop, idx);
+    // The host write happens either way, but a dead unit relays nothing.
+    if (dead_[c] != 0) return;
+    // Host-inserted spikes drive the same trace machinery as locally
+    // generated ones: on silicon the pre-trace lives with the synapse at the
+    // destination core and is updated by the incoming spike event no matter
+    // where it originated. Spike counters are updated too so probes and the
+    // learning rule see a consistent history.
+    CompartmentState& st = state_[c];
+    const CompartmentConfig& cfg = pops_[pop].cfg.compartment;
+    if (phase_ == Phase::One)
+        ++st.spikes_phase1;
+    else
+        ++st.spikes_phase2;
+    st.x1.on_spike(cfg.pre_trace, phase_);
+    st.y1.on_spike(cfg.post_trace, phase_);
+    st.x2.on_spike(cfg.pre_trace2, phase_);
+    st.y2.on_spike(cfg.post_trace2, phase_);
+    st.tag.on_spike(cfg.tag_trace, phase_);
+    ++activity_.spikes;
+    if (raster_pop_ && pop_of_[c] == *raster_pop_)
+        raster_.emplace_back(now_ + 1,  // delivered with the next step
+                             static_cast<std::uint32_t>(idx));
+    deliver(c);
+}
+
+void Chip::deliver(CompartmentId src) {
+    const std::size_t begin = fanout_begin_[src];
+    const std::size_t end = fanout_begin_[src + 1];
+    for (std::size_t k = begin; k < end; ++k) {
+        const FanoutEntry& e = fanout_[k];
+        if (e.delay != 0) {
+            // Extra latency: park the event on the wheel; it is drained at
+            // the start of step now_ + 1 + delay.
+            wheel_[(now_ + 1 + e.delay) % kWheel].push_back(
+                {e.dst, e.weight, e.port});
+            continue;
+        }
+        CompartmentState& dst = state_[e.dst];
+        if (static_cast<Port>(e.port) == Port::Soma)
+            dst.pending_soma += e.weight;
+        else
+            dst.pending_aux += e.weight;
+    }
+    activity_.synaptic_ops += end - begin;
+}
+
+void Chip::step() {
+    check_finalized(true);
+    ++now_;
+    ++activity_.steps;
+
+    // Deliveries whose delay expires this step.
+    auto& due = wheel_[now_ % kWheel];
+    for (const auto& d : due) {
+        CompartmentState& dst = state_[d.dst];
+        if (static_cast<Port>(d.port) == Port::Soma)
+            dst.pending_soma += d.weight;
+        else
+            dst.pending_aux += d.weight;
+    }
+    due.clear();
+
+    // Pass 1: integrate and decide spikes. Deliveries are queued afterwards
+    // so the step is order-independent (one-step synaptic latency, as on
+    // silicon where spikes propagate between timestep barriers).
+    for (std::size_t c = 0; c < state_.size(); ++c) {
+        CompartmentState& st = state_[c];
+        const CompartmentConfig& cfg = pops_[pop_of_[c]].cfg.compartment;
+        st.spiked = false;
+
+        if (dead_[c] != 0) {
+            // A dead unit sinks whatever arrives and produces nothing.
+            st.pending_soma = 0;
+            st.pending_aux = 0;
+            continue;
+        }
+
+        // Aux-port deliveries are handled even while the soma is frozen so
+        // that the h' gate can observe phase-1 forward activity.
+        if (cfg.join == JoinOp::AndAuxActive) {
+            if (st.pending_aux != 0) st.aux_active = true;
+            st.pending_aux = 0;
+        } else if (cfg.join == JoinOp::GatedAdd || cfg.join == JoinOp::Add) {
+            st.aux_current = st.pending_aux;
+            st.pending_aux = 0;
+        }
+
+        const bool frozen = (phase_ == Phase::One) && !cfg.active_in_phase1;
+        if (frozen) {
+            // A frozen compartment neither integrates nor spikes; current
+            // that would have arrived is dropped (the population is power-
+            // gated during this phase).
+            st.pending_soma = 0;
+            st.x1.tick(cfg.pre_trace, &trace_rng_);
+            st.y1.tick(cfg.post_trace, &trace_rng_);
+            st.x2.tick(cfg.pre_trace2, &trace_rng_);
+            st.y2.tick(cfg.post_trace2, &trace_rng_);
+            st.tag.tick(cfg.tag_trace, &trace_rng_);
+            continue;
+        }
+
+        ++activity_.compartment_updates;
+
+        st.u = common::decay12(st.u, cfg.decay_u) + st.pending_soma;
+        st.pending_soma = 0;
+
+        std::int64_t drive = st.u + st.bias;
+        if ((cfg.join == JoinOp::GatedAdd && st.spikes_phase1 > 0) ||
+            cfg.join == JoinOp::Add)
+            drive += st.aux_current;
+        st.v = common::decay12(st.v, cfg.decay_v) + drive;
+        if (cfg.floor_at_zero && st.v < 0) st.v = 0;
+
+        if (st.refractory_left > 0) {
+            --st.refractory_left;
+            st.x1.tick(cfg.pre_trace, &trace_rng_);
+            st.y1.tick(cfg.post_trace, &trace_rng_);
+            st.x2.tick(cfg.pre_trace2, &trace_rng_);
+            st.y2.tick(cfg.post_trace2, &trace_rng_);
+            st.tag.tick(cfg.tag_trace, &trace_rng_);
+            continue;
+        }
+
+        const std::int64_t vth_eff =
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(cfg.vth) +
+                                          vth_offset_[c]);
+        if (st.v >= vth_eff) {
+            // AND-join: the threshold crossing is consumed either way, but
+            // the outgoing spike is emitted only if the aux gate is open.
+            const bool gate_open =
+                cfg.join != JoinOp::AndAuxActive || st.aux_active;
+            if (cfg.soft_reset)
+                st.v -= vth_eff;
+            else
+                st.v = 0;
+            st.refractory_left = cfg.refractory;
+            if (gate_open) {
+                st.spiked = true;
+                if (phase_ == Phase::One)
+                    ++st.spikes_phase1;
+                else
+                    ++st.spikes_phase2;
+                st.x1.on_spike(cfg.pre_trace, phase_);
+                st.y1.on_spike(cfg.post_trace, phase_);
+                st.x2.on_spike(cfg.pre_trace2, phase_);
+                st.y2.on_spike(cfg.post_trace2, phase_);
+                st.tag.on_spike(cfg.tag_trace, phase_);
+                ++activity_.spikes;
+                if (raster_pop_ && pop_of_[c] == *raster_pop_)
+                    raster_.emplace_back(now_,
+                                         static_cast<std::uint32_t>(
+                                             c - pops_[*raster_pop_].first));
+            }
+        }
+        st.x1.tick(cfg.pre_trace, &trace_rng_);
+        st.y1.tick(cfg.post_trace, &trace_rng_);
+        st.x2.tick(cfg.pre_trace2, &trace_rng_);
+        st.y2.tick(cfg.post_trace2, &trace_rng_);
+        st.tag.tick(cfg.tag_trace, &trace_rng_);
+    }
+
+    // Pass 2: deliver this step's spikes (visible at the next step).
+    for (std::size_t c = 0; c < state_.size(); ++c)
+        if (state_[c].spiked) deliver(c);
+}
+
+void Chip::run(std::size_t steps) {
+    for (std::size_t i = 0; i < steps; ++i) step();
+}
+
+void Chip::apply_learning() {
+    check_finalized(true);
+    for (auto& proj : projs_) {
+        if (!proj.cfg.plastic) continue;
+        const CompartmentId src_base = pops_[proj.cfg.src].first;
+        const CompartmentId dst_base = pops_[proj.cfg.dst].first;
+        for (std::size_t i = 0; i < proj.synapses.size(); ++i) {
+            Synapse& syn = proj.synapses[i];
+            ++activity_.learning_synapse_visits;
+            if (!proj.stuck.empty() && proj.stuck[i] != 0) continue;
+            const CompartmentState& pre = state_[src_base + syn.src];
+            const CompartmentState& post = state_[dst_base + syn.dst];
+            LearnContext ctx;
+            ctx.x0 = pre.spiked ? 1 : 0;
+            ctx.x1 = pre.x1.value;
+            ctx.x2 = pre.x2.value;
+            ctx.y0 = post.spiked ? 1 : 0;
+            ctx.y1 = post.y1.value;
+            ctx.y2 = post.y2.value;
+            ctx.tag = post.tag.value;
+            ctx.weight = syn.weight;
+            const std::int64_t dw = proj.cfg.rule.dw.evaluate(
+                ctx, proj.cfg.stochastic_rounding ? &learn_rng_ : nullptr);
+            if (dw != 0) {
+                syn.weight = common::saturate_signed(
+                    static_cast<std::int64_t>(syn.weight) + dw, limits_.weight_bits);
+                // Propagate into the delivery table (same synaptic memory on
+                // silicon; two views of it in the simulator).
+                fanout_[proj.fanout_slot[i]].weight = static_cast<std::int32_t>(
+                    static_cast<std::int64_t>(syn.weight) << proj.cfg.weight_exp);
+            }
+        }
+    }
+}
+
+void Chip::set_learning_rule(ProjectionId proj, LearningRule rule) {
+    if (proj >= projs_.size())
+        throw std::invalid_argument("set_learning_rule: bad projection");
+    if (!projs_[proj].cfg.plastic)
+        throw std::logic_error("set_learning_rule: projection is not plastic");
+    projs_[proj].cfg.rule = std::move(rule);
+}
+
+void Chip::reset_dynamic_state() {
+    for (auto& st : state_) st.reset_dynamic();
+    for (auto& slot : wheel_) slot.clear();
+}
+
+void Chip::reset_membranes() {
+    for (auto& st : state_) {
+        st.u = 0;
+        st.v = 0;
+        st.pending_soma = 0;
+        st.pending_aux = 0;
+        st.aux_current = 0;
+        st.refractory_left = 0;
+    }
+}
+
+void Chip::set_threshold_offset(PopulationId pop, std::size_t idx,
+                                std::int32_t offset) {
+    vth_offset_[global_id(pop, idx)] = offset;
+}
+
+std::int32_t Chip::threshold_offset(PopulationId pop, std::size_t idx) const {
+    return vth_offset_[global_id(pop, idx)];
+}
+
+void Chip::set_compartment_dead(PopulationId pop, std::size_t idx, bool dead) {
+    dead_[global_id(pop, idx)] = dead ? 1 : 0;
+}
+
+bool Chip::compartment_dead(PopulationId pop, std::size_t idx) const {
+    return dead_[global_id(pop, idx)] != 0;
+}
+
+void Chip::set_synapse_stuck(ProjectionId proj, std::size_t syn,
+                             std::int32_t value) {
+    if (proj >= projs_.size())
+        throw std::invalid_argument("set_synapse_stuck: bad projection");
+    auto& p = projs_[proj];
+    if (syn >= p.synapses.size())
+        throw std::invalid_argument("set_synapse_stuck: bad synapse index");
+    if (p.stuck.empty()) p.stuck.assign(p.synapses.size(), 0);
+    p.stuck[syn] = 1;
+    p.synapses[syn].weight = common::saturate_signed(value, limits_.weight_bits);
+    if (finalized_) {
+        fanout_[p.fanout_slot[syn]].weight = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(p.synapses[syn].weight) << p.cfg.weight_exp);
+    }
+}
+
+bool Chip::synapse_stuck(ProjectionId proj, std::size_t syn) const {
+    if (proj >= projs_.size())
+        throw std::invalid_argument("synapse_stuck: bad projection");
+    const auto& p = projs_[proj];
+    if (syn >= p.synapses.size())
+        throw std::invalid_argument("synapse_stuck: bad synapse index");
+    return !p.stuck.empty() && p.stuck[syn] != 0;
+}
+
+std::size_t Chip::stuck_synapse_count(ProjectionId proj) const {
+    if (proj >= projs_.size())
+        throw std::invalid_argument("stuck_synapse_count: bad projection");
+    const auto& p = projs_[proj];
+    std::size_t n = 0;
+    for (const auto f : p.stuck) n += f;
+    return n;
+}
+
+std::size_t Chip::population_size(PopulationId pop) const {
+    if (pop >= pops_.size())
+        throw std::invalid_argument("population_size: bad population");
+    return pops_[pop].cfg.size;
+}
+
+std::int32_t Chip::nominal_threshold(PopulationId pop) const {
+    if (pop >= pops_.size())
+        throw std::invalid_argument("nominal_threshold: bad population");
+    return pops_[pop].cfg.compartment.vth;
+}
+
+std::vector<std::int32_t> Chip::spike_counts(PopulationId pop, Phase phase) const {
+    const auto n = population_size(pop);
+    std::vector<std::int32_t> out(n);
+    const CompartmentId base = pops_[pop].first;
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = phase == Phase::One ? state_[base + i].spikes_phase1
+                                     : state_[base + i].spikes_phase2;
+    return out;
+}
+
+std::vector<std::int32_t> Chip::spike_counts_total(PopulationId pop) const {
+    const auto n = population_size(pop);
+    std::vector<std::int32_t> out(n);
+    const CompartmentId base = pops_[pop].first;
+    for (std::size_t i = 0; i < n; ++i) out[i] = state_[base + i].spike_count();
+    return out;
+}
+
+std::int64_t Chip::membrane(PopulationId pop, std::size_t idx) const {
+    return state_[global_id(pop, idx)].v;
+}
+
+std::int64_t Chip::current(PopulationId pop, std::size_t idx) const {
+    return state_[global_id(pop, idx)].u;
+}
+
+bool Chip::spiked(PopulationId pop, std::size_t idx) const {
+    return state_[global_id(pop, idx)].spiked;
+}
+
+std::int32_t Chip::trace_x2(PopulationId pop, std::size_t idx) const {
+    return state_[global_id(pop, idx)].x2.value;
+}
+
+std::int32_t Chip::trace_y2(PopulationId pop, std::size_t idx) const {
+    return state_[global_id(pop, idx)].y2.value;
+}
+
+std::int32_t Chip::trace_x1(PopulationId pop, std::size_t idx) const {
+    return state_[global_id(pop, idx)].x1.value;
+}
+
+std::int32_t Chip::trace_y1(PopulationId pop, std::size_t idx) const {
+    return state_[global_id(pop, idx)].y1.value;
+}
+
+std::int32_t Chip::trace_tag(PopulationId pop, std::size_t idx) const {
+    return state_[global_id(pop, idx)].tag.value;
+}
+
+std::vector<std::int32_t> Chip::weights(ProjectionId proj) const {
+    if (proj >= projs_.size()) throw std::invalid_argument("weights: bad projection");
+    std::vector<std::int32_t> out;
+    out.reserve(projs_[proj].synapses.size());
+    for (const auto& s : projs_[proj].synapses) out.push_back(s.weight);
+    return out;
+}
+
+void Chip::set_weights(ProjectionId proj, const std::vector<std::int32_t>& w) {
+    if (proj >= projs_.size())
+        throw std::invalid_argument("set_weights: bad projection");
+    if (finalized_)
+        throw std::logic_error("set_weights: weights are fixed after finalize; "
+                               "use a plastic projection to adapt them");
+    auto& syns = projs_[proj].synapses;
+    if (w.size() != syns.size())
+        throw std::invalid_argument("set_weights: size mismatch");
+    for (std::size_t i = 0; i < w.size(); ++i)
+        syns[i].weight = common::saturate_signed(w[i], limits_.weight_bits);
+}
+
+std::size_t Chip::synapse_count(ProjectionId proj) const {
+    if (proj >= projs_.size())
+        throw std::invalid_argument("synapse_count: bad projection");
+    return projs_[proj].synapses.size();
+}
+
+std::size_t Chip::total_synapses() const {
+    std::size_t n = 0;
+    for (const auto& p : projs_) n += p.synapses.size();
+    return n;
+}
+
+std::size_t Chip::total_compartments() const {
+    std::size_t n = 0;
+    for (const auto& p : pops_) {
+        const std::size_t per =
+            p.cfg.compartment.join == JoinOp::None ? 1 : 2;
+        n += p.cfg.size * per;
+    }
+    return n;
+}
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x4C4F4948;  // "LOIH"
+constexpr std::uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+void Chip::save_weights(std::ostream& out) const {
+    auto put32 = [&](std::uint32_t v) {
+        out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    put32(kCheckpointMagic);
+    put32(kCheckpointVersion);
+    put32(static_cast<std::uint32_t>(projs_.size()));
+    for (const auto& proj : projs_) {
+        put32(static_cast<std::uint32_t>(proj.synapses.size()));
+        for (const auto& syn : proj.synapses)
+            put32(static_cast<std::uint32_t>(syn.weight));
+    }
+}
+
+void Chip::load_weights(std::istream& in) {
+    auto get32 = [&]() {
+        std::uint32_t v = 0;
+        in.read(reinterpret_cast<char*>(&v), sizeof(v));
+        if (!in) throw std::runtime_error("load_weights: truncated checkpoint");
+        return v;
+    };
+    if (get32() != kCheckpointMagic)
+        throw std::runtime_error("load_weights: bad magic");
+    if (get32() != kCheckpointVersion)
+        throw std::runtime_error("load_weights: unsupported version");
+    if (get32() != projs_.size())
+        throw std::runtime_error("load_weights: projection count mismatch");
+    for (auto& proj : projs_) {
+        if (get32() != proj.synapses.size())
+            throw std::runtime_error("load_weights: synapse count mismatch in " +
+                                     proj.cfg.name);
+        for (std::size_t i = 0; i < proj.synapses.size(); ++i) {
+            const auto w = static_cast<std::int32_t>(get32());
+            if (w != common::saturate_signed(w, limits_.weight_bits))
+                throw std::runtime_error("load_weights: weight out of range in " +
+                                         proj.cfg.name);
+            // A stuck memory cell ignores reprogramming; consume the stream
+            // value but keep the fault.
+            if (!proj.stuck.empty() && proj.stuck[i] != 0) continue;
+            proj.synapses[i].weight = w;
+            if (finalized_) {
+                fanout_[proj.fanout_slot[i]].weight = static_cast<std::int32_t>(
+                    static_cast<std::int64_t>(w) << proj.cfg.weight_exp);
+            }
+        }
+    }
+}
+
+const MappingResult& Chip::mapping() const {
+    if (!finalized_) throw std::logic_error("mapping: chip not finalized");
+    return mapping_;
+}
+
+void Chip::enable_raster(PopulationId pop) {
+    if (pop >= pops_.size()) throw std::invalid_argument("enable_raster: bad pop");
+    raster_pop_ = pop;
+}
+
+CompartmentId Chip::global_id(PopulationId pop, std::size_t idx) const {
+    if (pop >= pops_.size() || idx >= pops_[pop].cfg.size)
+        throw std::invalid_argument("bad (population, index)");
+    return pops_[pop].first + idx;
+}
+
+void Chip::check_finalized(bool expected) const {
+    if (finalized_ != expected)
+        throw std::logic_error(expected ? "chip must be finalized first"
+                                        : "chip is already finalized");
+}
+
+EncodedWeight encode_weight(std::int64_t desired, int weight_bits) {
+    EncodedWeight e;
+    const std::int64_t mag = desired < 0 ? -desired : desired;
+    const std::int64_t wmax = (std::int64_t{1} << (weight_bits - 1)) - 1;
+    std::int64_t m = mag;
+    while (m > wmax) {
+        m = (m + 1) >> 1;
+        ++e.exponent;
+    }
+    e.weight = static_cast<std::int32_t>(desired < 0 ? -m : m);
+    return e;
+}
+
+}  // namespace neuro::loihi

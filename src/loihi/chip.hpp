@@ -1,0 +1,280 @@
+#pragma once
+// The chip: populations of CUBA compartments, projections of 8-bit synapses,
+// a barrier-synchronised time stepper, and the microcode learning engine.
+//
+// Usage is NxSDK-shaped: declare populations and projections, finalize()
+// (which also maps compartments onto cores), then per sample: program
+// biases, run phase 1, run phase 2, apply_learning(), reset_dynamic_state().
+//
+// Everything on the datapath is integer; the only floats are in the energy
+// model, which consumes the activity counters this class maintains.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "loihi/compartment.hpp"
+#include "loihi/learning.hpp"
+#include "loihi/mapping.hpp"
+#include "loihi/types.hpp"
+
+namespace neuro::loihi {
+
+/// Static description of a population (a layer's worth of identical
+/// compartments).
+struct PopulationConfig {
+    std::string name;
+    std::size_t size = 0;
+    CompartmentConfig compartment{};
+    /// Logical neurons packed per core; 0 = pack to capacity (Operation
+    /// Flow 1's "optimal number of neurons per core"). A logical neuron with
+    /// an aux compartment occupies two compartment slots.
+    std::size_t neurons_per_core = 0;
+};
+
+/// One synapse, population-local indices. Weights are `weight_bits`-wide
+/// signed integers; the effective current is weight << weight_exp of the
+/// owning projection. `delay` adds extra timesteps on top of the intrinsic
+/// one-step latency (Loihi: 0..62).
+struct Synapse {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::int32_t weight = 0;
+    std::uint8_t delay = 0;
+};
+
+/// Static description of a projection (synapse group).
+struct ProjectionConfig {
+    std::string name;
+    PopulationId src = 0;
+    PopulationId dst = 0;
+    Port port = Port::Soma;
+    int weight_exp = 0;   ///< effective weight = w * 2^weight_exp
+    bool plastic = false; ///< subject to the learning rule at epochs
+    LearningRule rule{};  ///< used when plastic
+    /// Apply the engine's stochastic-rounding mode to the rule's
+    /// power-of-two scaling (see SumOfProducts::evaluate).
+    bool stochastic_rounding = true;
+};
+
+/// Aggregate event counters used by the energy/time model. Counters
+/// accumulate until reset_activity().
+struct ActivityTotals {
+    std::uint64_t steps = 0;
+    std::uint64_t compartment_updates = 0;
+    std::uint64_t synaptic_ops = 0;
+    std::uint64_t spikes = 0;
+    std::uint64_t learning_synapse_visits = 0;
+    std::uint64_t host_io_writes = 0;  ///< bias writes + spike insertions
+};
+
+class Chip {
+public:
+    explicit Chip(ChipLimits limits = {});
+
+    // ---- construction -----------------------------------------------------
+    PopulationId add_population(PopulationConfig cfg);
+    ProjectionId add_projection(ProjectionConfig cfg, std::vector<Synapse> synapses);
+
+    /// Maps populations onto cores and builds the fan-out tables. Must be
+    /// called exactly once, before any stepping. Throws if the network
+    /// violates the chip limits (too many cores needed, bad indices...).
+    void finalize();
+    bool finalized() const { return finalized_; }
+
+    // ---- host interface (Operation Flow 1) --------------------------------
+    /// Programs per-neuron bias registers (the paper's input encoding: one
+    /// host write per neuron per sample). Counted as host I/O.
+    void set_bias(PopulationId pop, const std::vector<std::int32_t>& bias);
+    /// Clears all biases of a population to zero (not counted as I/O).
+    void clear_bias(PopulationId pop);
+    /// Direct spike insertion from the host (the costly input path the bias
+    /// encoding replaces; kept for bench/ablation_input_encoding). The spike
+    /// is delivered to the population's fan-out at the next step.
+    void insert_spike(PopulationId pop, std::size_t idx);
+
+    void set_phase(Phase phase) { phase_ = phase; }
+    Phase phase() const { return phase_; }
+
+    /// Advances one barrier-synchronised timestep.
+    void step();
+    void run(std::size_t steps);
+
+    /// Applies the learning rule of every plastic projection (the end-of-2T
+    /// weight update of Operation Flow 1).
+    void apply_learning();
+
+    /// Replaces the learning rule of a plastic projection. Allowed after
+    /// finalize — reprogramming microcode does not change the network
+    /// structure (the incremental-learning experiment uses this to reduce
+    /// the learning rate during its step 1).
+    void set_learning_rule(ProjectionId proj, LearningRule rule);
+
+    /// Reseeds the learning engine's stochastic-rounding generator (the
+    /// trace-decay generator derives from the same seed).
+    void seed_learning_noise(std::uint64_t seed) {
+        learn_rng_ = common::Rng(seed);
+        trace_rng_ = common::Rng(seed ^ 0x7EAC0DEULL);
+    }
+
+    /// Clears membranes, currents, pending inputs, traces, tags, spike
+    /// counters and aux flags — the paper's per-sample "Reset network state".
+    void reset_dynamic_state();
+
+    /// Clears membranes, currents and pending inputs but *keeps* spike
+    /// counters, traces, tags and aux gates. Called at the phase-1/phase-2
+    /// boundary so phase 2 replays phase 1 exactly when no correction is
+    /// injected — otherwise sub-threshold residues give (h_hat - h) a
+    /// systematic positive bias (see DESIGN.md).
+    void reset_membranes();
+
+    // ---- device variation & fault injection --------------------------------
+    // Deployed-silicon properties (paper Sec. I: in-hardware learning
+    // "provides the ability to compensate any device variation and/or
+    // environment noise"). They persist across reset_dynamic_state() — a
+    // sample reset does not heal a chip — and may be set before or after
+    // finalize. Statistical injectors live in loihi/faults.hpp.
+
+    /// Additive offset on the firing threshold of one compartment (device
+    /// mismatch). The effective threshold is clamped at 1, and soft reset
+    /// subtracts the *effective* threshold so eq. (2)'s floor(u/theta)
+    /// activation holds per-device.
+    void set_threshold_offset(PopulationId pop, std::size_t idx, std::int32_t offset);
+    std::int32_t threshold_offset(PopulationId pop, std::size_t idx) const;
+
+    /// Marks a compartment dead: it never integrates, spikes, or relays
+    /// host-inserted events (a defective or permanently power-gated unit).
+    void set_compartment_dead(PopulationId pop, std::size_t idx, bool dead);
+    bool compartment_dead(PopulationId pop, std::size_t idx) const;
+
+    /// Forces one synapse to a constant weight (stuck-at fault). The learning
+    /// engine skips it and checkpoint loads leave it untouched, exactly as a
+    /// defective synaptic memory cell would behave under reprogramming.
+    void set_synapse_stuck(ProjectionId proj, std::size_t syn, std::int32_t value);
+    bool synapse_stuck(ProjectionId proj, std::size_t syn) const;
+    std::size_t stuck_synapse_count(ProjectionId proj) const;
+
+    // ---- readout -----------------------------------------------------------
+    std::size_t population_size(PopulationId pop) const;
+    /// Configured (nominal) firing threshold of a population, before any
+    /// per-compartment variation offsets.
+    std::int32_t nominal_threshold(PopulationId pop) const;
+    std::vector<std::int32_t> spike_counts(PopulationId pop, Phase phase) const;
+    std::vector<std::int32_t> spike_counts_total(PopulationId pop) const;
+    std::int64_t membrane(PopulationId pop, std::size_t idx) const;
+    std::int64_t current(PopulationId pop, std::size_t idx) const;
+    bool spiked(PopulationId pop, std::size_t idx) const;
+    std::uint64_t now() const { return now_; }
+    std::int32_t trace_x1(PopulationId pop, std::size_t idx) const;
+    std::int32_t trace_y1(PopulationId pop, std::size_t idx) const;
+    std::int32_t trace_x2(PopulationId pop, std::size_t idx) const;
+    std::int32_t trace_y2(PopulationId pop, std::size_t idx) const;
+    std::int32_t trace_tag(PopulationId pop, std::size_t idx) const;
+
+    /// Synapse weights of a projection (for probing / checkpointing).
+    std::vector<std::int32_t> weights(ProjectionId proj) const;
+    void set_weights(ProjectionId proj, const std::vector<std::int32_t>& w);
+    std::size_t synapse_count(ProjectionId proj) const;
+    std::size_t total_synapses() const;
+    std::size_t total_compartments() const;
+
+    /// Serializes every projection's weights (versioned binary format).
+    /// Usable after finalize — this is how a trained chip is checkpointed
+    /// for redeployment; loading refreshes the delivery tables.
+    void save_weights(std::ostream& out) const;
+    void load_weights(std::istream& in);
+
+    const ActivityTotals& activity() const { return activity_; }
+    void reset_activity() { activity_ = {}; }
+
+    const MappingResult& mapping() const;
+    const ChipLimits& limits() const { return limits_; }
+
+    /// Optional spike raster capture (tests); records (step, global index).
+    void enable_raster(PopulationId pop);
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& raster() const {
+        return raster_;
+    }
+
+private:
+    struct Population {
+        PopulationConfig cfg;
+        CompartmentId first = 0;  ///< global index of compartment 0
+    };
+
+    struct FanoutEntry {
+        std::uint32_t dst;       ///< global compartment index
+        std::int32_t weight;     ///< effective (shifted) weight
+        std::uint8_t port;       ///< Port
+        std::uint8_t delay;      ///< extra steps on top of the intrinsic one
+    };
+
+    struct Projection {
+        ProjectionConfig cfg;
+        std::vector<Synapse> synapses;  // population-local indices
+        /// Fan-out table slot of each synapse, so weight updates (learning,
+        /// checkpoint loads) propagate to the delivery path immediately.
+        std::vector<std::size_t> fanout_slot;
+        /// Stuck-at fault mask; empty until the first fault is injected.
+        std::vector<std::uint8_t> stuck;
+    };
+
+    ChipLimits limits_;
+    std::vector<Population> pops_;
+    std::vector<Projection> projs_;
+
+    // Flattened state, indexed by global compartment id.
+    std::vector<CompartmentState> state_;
+    std::vector<std::uint16_t> pop_of_;  // owning population of a compartment
+
+    // Device properties, indexed by global compartment id. Not dynamic
+    // state: reset_dynamic_state() leaves them alone.
+    std::vector<std::int32_t> vth_offset_;
+    std::vector<std::uint8_t> dead_;
+
+    // CSR fan-out built at finalize.
+    std::vector<std::size_t> fanout_begin_;  // size = compartments + 1
+    std::vector<FanoutEntry> fanout_;
+
+    Phase phase_ = Phase::One;
+    bool finalized_ = false;
+    std::uint64_t now_ = 0;
+
+    /// Delay wheel: slot (now_ + delay) % kWheel holds deliveries that
+    /// become visible at that step. Only synapses with delay > 0 use it.
+    static constexpr std::size_t kWheel = 64;
+    struct DelayedDelivery {
+        std::uint32_t dst;
+        std::int32_t weight;
+        std::uint8_t port;
+    };
+    std::array<std::vector<DelayedDelivery>, kWheel> wheel_{};
+
+    ActivityTotals activity_{};
+    MappingResult mapping_{};
+
+    std::optional<PopulationId> raster_pop_{};
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> raster_;
+
+    common::Rng learn_rng_{0xC0FFEE};
+    common::Rng trace_rng_{0x7EAC0DE};
+
+    CompartmentId global_id(PopulationId pop, std::size_t idx) const;
+    void deliver(CompartmentId src);
+    void check_finalized(bool expected) const;
+};
+
+/// Encodes a desired integer magnitude as (weight, exponent) with |weight|
+/// within `weight_bits`. Used for error-injection weights of +-theta where
+/// theta can exceed the 8-bit range.
+struct EncodedWeight {
+    std::int32_t weight = 0;
+    int exponent = 0;
+};
+EncodedWeight encode_weight(std::int64_t desired, int weight_bits);
+
+}  // namespace neuro::loihi

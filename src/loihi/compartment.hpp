@@ -1,0 +1,115 @@
+#pragma once
+// CUBA leaky-integrate-and-fire compartment model (paper Sec. II-B, eq. 8).
+//
+// Two internal state variables per compartment: synaptic response current u
+// (decaying weighted incoming spikes) and membrane potential v. Both decays
+// are 12-bit fixed point exactly as on chip:
+//     u[t] = u[t-1] * (4096 - du) / 4096 + sum(w * s)
+//     v[t] = v[t-1] * (4096 - dv) / 4096 + u[t] + bias
+// Spike when v >= vth.
+//
+// The paper's IF configuration (Sec. III-A): "we utilize the maximum time
+// constant tau_v such that the membrane potential doesn't leak over time
+// whereas the current decays immediately" — i.e. dv = 0 and du = 4096.
+
+#include <cstdint>
+
+#include "common/fixed.hpp"
+#include "loihi/trace.hpp"
+#include "loihi/types.hpp"
+
+namespace neuro::loihi {
+
+/// Static per-population compartment configuration.
+struct CompartmentConfig {
+    std::int32_t decay_u = 4096;  ///< current decay; 4096 = clears every step
+    std::int32_t decay_v = 0;     ///< voltage decay; 0 = perfect integrator
+    std::int32_t vth = 64;        ///< firing threshold
+    /// Reset behaviour. Soft reset (v -= vth) preserves the sub-threshold
+    /// residue, making the spike count exactly floor(u_acc / vth) — this is
+    /// the activation approximation of paper eq. 2. Hard reset clears v to 0.
+    bool soft_reset = true;
+    /// Refractory period in steps after a spike (0 = none).
+    std::int32_t refractory = 0;
+    /// Clamp the membrane at zero from below. Forward-path neurons use this
+    /// so inhibition cannot accumulate an unbounded negative reserve that
+    /// would swallow phase-2 corrections (the *shifted* ReLU of paper
+    /// eq. 2). Error-path neurons keep signed membranes — the two-channel
+    /// (+/-) representation depends on them.
+    bool floor_at_zero = false;
+
+    JoinOp join = JoinOp::None;
+
+    /// Pre-synaptic trace (x1), read when this compartment is the source of
+    /// a learning-enabled projection.
+    TraceConfig pre_trace{};
+    /// Post-synaptic trace (y1), read when it is the destination.
+    TraceConfig post_trace{1, 0, TraceWindow::Phase2Only, 7};
+    /// Optional second trace pair (x2 / y2) with independent time constants
+    /// — Loihi exposes several traces per synapse/compartment precisely so
+    /// rules like triplet STDP can combine a fast and a slow view of the
+    /// same spike train. Impulse 0 (the default) keeps them inert.
+    TraceConfig pre_trace2{0, 0, TraceWindow::Both, 7};
+    TraceConfig post_trace2{0, 0, TraceWindow::Both, 7};
+    /// Tag counter (Z in paper eq. 12): accumulated via the microcode rule
+    /// dt = y0 applied every step; counts spikes across both phases.
+    TraceConfig tag_trace{1, 0, TraceWindow::Both, 8};
+
+    /// When false the compartment is frozen outside phase 2 — neither
+    /// integrating nor spiking. Used for error-path and label populations
+    /// (phase gating, see DESIGN.md Sec. 5).
+    bool active_in_phase1 = true;
+};
+
+/// Dynamic per-compartment state.
+struct CompartmentState {
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    std::int32_t bias = 0;
+    std::int32_t refractory_left = 0;
+
+    /// Accumulators for spikes that arrived this step (applied next step,
+    /// matching the chip's one-step synaptic delay).
+    std::int64_t pending_soma = 0;
+    std::int64_t pending_aux = 0;
+
+    /// Aux-compartment activity flag used by JoinOp::AndAuxActive — true if
+    /// the aux compartment received any input in the current sample window.
+    bool aux_active = false;
+    /// Aux input accumulated for JoinOp::GatedAdd.
+    std::int64_t aux_current = 0;
+
+    // Spike bookkeeping for the current sample window.
+    std::int32_t spikes_phase1 = 0;
+    std::int32_t spikes_phase2 = 0;
+
+    TraceState x1{};   // pre trace
+    TraceState y1{};   // post trace
+    TraceState x2{};   // second pre trace
+    TraceState y2{};   // second post trace
+    TraceState tag{};  // tag counter
+
+    bool spiked = false;  ///< did this compartment fire in the current step
+
+    std::int32_t spike_count() const { return spikes_phase1 + spikes_phase2; }
+
+    void reset_dynamic() {
+        u = 0;
+        v = 0;
+        refractory_left = 0;
+        pending_soma = 0;
+        pending_aux = 0;
+        aux_active = false;
+        aux_current = 0;
+        spikes_phase1 = 0;
+        spikes_phase2 = 0;
+        x1.reset();
+        y1.reset();
+        x2.reset();
+        y2.reset();
+        tag.reset();
+        spiked = false;
+    }
+};
+
+}  // namespace neuro::loihi

@@ -1,0 +1,66 @@
+#include "loihi/faults.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace neuro::loihi {
+
+namespace {
+
+/// First round(fraction * n) entries of a seeded permutation of [0, n).
+std::vector<std::size_t> pick_fraction(std::size_t n, double fraction,
+                                       std::uint64_t seed) {
+    if (fraction < 0.0 || fraction > 1.0)
+        throw std::invalid_argument("fault injection: fraction must be in [0,1]");
+    const auto k = static_cast<std::size_t>(
+        std::llround(fraction * static_cast<double>(n)));
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    common::Rng rng(seed);
+    rng.shuffle(idx);
+    idx.resize(k);
+    return idx;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> apply_threshold_variation(Chip& chip, PopulationId pop,
+                                                    double sigma,
+                                                    std::uint64_t seed) {
+    if (sigma < 0.0)
+        throw std::invalid_argument("apply_threshold_variation: sigma < 0");
+    const std::size_t n = chip.population_size(pop);
+    std::vector<std::int32_t> offsets(n, 0);
+    if (sigma == 0.0) return offsets;
+    common::Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        // The nominal threshold is a population constant; recover it from the
+        // configured value by probing the current offset (0 on first call).
+        const double rel = rng.normal(0.0, sigma);
+        // Offsets are relative to the *configured* vth; the chip clamps the
+        // effective threshold at 1, so arbitrarily negative draws are safe.
+        const auto nominal = static_cast<double>(chip.nominal_threshold(pop));
+        offsets[i] = static_cast<std::int32_t>(std::llround(nominal * rel));
+        chip.set_threshold_offset(pop, i, offsets[i]);
+    }
+    return offsets;
+}
+
+std::size_t kill_fraction(Chip& chip, PopulationId pop, double fraction,
+                          std::uint64_t seed) {
+    const auto victims = pick_fraction(chip.population_size(pop), fraction, seed);
+    for (const auto i : victims) chip.set_compartment_dead(pop, i, true);
+    return victims.size();
+}
+
+std::size_t stick_fraction(Chip& chip, ProjectionId proj, double fraction,
+                           std::int32_t value, std::uint64_t seed) {
+    const auto victims = pick_fraction(chip.synapse_count(proj), fraction, seed);
+    for (const auto i : victims) chip.set_synapse_stuck(proj, i, value);
+    return victims.size();
+}
+
+}  // namespace neuro::loihi

@@ -1,0 +1,46 @@
+#pragma once
+// Statistical device-variation and fault injection (paper Sec. I: in-hardware
+// learning "provides the ability to compensate any device variation and/or
+// environment noise in the inference stage").
+//
+// These helpers model three silicon non-idealities on top of the Chip's
+// per-unit fault API:
+//
+//   * threshold mismatch — every compartment's firing threshold deviates
+//     from nominal by a Gaussian fraction (process variation of the
+//     comparator / charge pump);
+//   * dead compartments — a fraction of units never fire (manufacturing
+//     defects, permanently power-gated rows);
+//   * stuck synapses — a fraction of synaptic memory cells ignore writes and
+//     hold a fixed value.
+//
+// All injectors are deterministic in their seed, so the same "chip instance"
+// can be recreated: the device-variation ablation deploys offline-trained
+// weights onto a varied chip and then trains *the same* varied chip in
+// hardware to show the compensation the paper motivates.
+
+#include <cstdint>
+#include <vector>
+
+#include "loihi/chip.hpp"
+
+namespace neuro::loihi {
+
+/// Applies Gaussian multiplicative threshold mismatch to one population:
+/// vth_offset = round(vth * N(0, sigma)), clamped so the effective threshold
+/// stays >= 1. Returns the applied offsets (one per compartment).
+std::vector<std::int32_t> apply_threshold_variation(Chip& chip, PopulationId pop,
+                                                    double sigma,
+                                                    std::uint64_t seed);
+
+/// Kills round(fraction * size) distinct compartments of the population,
+/// chosen uniformly. Returns how many were killed.
+std::size_t kill_fraction(Chip& chip, PopulationId pop, double fraction,
+                          std::uint64_t seed);
+
+/// Sticks round(fraction * synapses) distinct synapses of the projection at
+/// `value`, chosen uniformly. Returns how many were stuck.
+std::size_t stick_fraction(Chip& chip, ProjectionId proj, double fraction,
+                           std::int32_t value, std::uint64_t seed);
+
+}  // namespace neuro::loihi

@@ -1,0 +1,292 @@
+#include "loihi/learning.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace neuro::loihi {
+
+namespace {
+
+std::int32_t value_of(LearnVar v, const LearnContext& ctx) {
+    switch (v) {
+        case LearnVar::X0: return ctx.x0;
+        case LearnVar::X1: return ctx.x1;
+        case LearnVar::X2: return ctx.x2;
+        case LearnVar::Y0: return ctx.y0;
+        case LearnVar::Y1: return ctx.y1;
+        case LearnVar::Y2: return ctx.y2;
+        case LearnVar::Tag: return ctx.tag;
+        case LearnVar::Wgt: return ctx.weight;
+        case LearnVar::One: return 1;
+    }
+    return 0;
+}
+
+/// Arithmetic scale by 2^exponent with symmetric truncation toward zero.
+std::int64_t scale_pow2(std::int64_t v, int exponent) {
+    if (exponent >= 0) return v << exponent;
+    const std::int64_t div = std::int64_t{1} << (-exponent);
+    return v / div;  // C++ integer division truncates toward zero
+}
+
+/// Stochastic-rounding variant: floor((v + u) / 2^s), u ~ U[0, 2^s).
+/// Unbiased for either sign of v.
+std::int64_t scale_pow2_stochastic(std::int64_t v, int exponent,
+                                   common::Rng& rng) {
+    if (exponent >= 0) return v << exponent;
+    const int s = -exponent;
+    const std::int64_t u =
+        static_cast<std::int64_t>(rng.next_u64() & ((std::uint64_t{1} << s) - 1));
+    return (v + u) >> s;  // arithmetic shift = floor division
+}
+
+const char* var_name(LearnVar v) {
+    switch (v) {
+        case LearnVar::X0: return "x0";
+        case LearnVar::X1: return "x1";
+        case LearnVar::X2: return "x2";
+        case LearnVar::Y0: return "y0";
+        case LearnVar::Y1: return "y1";
+        case LearnVar::Y2: return "y2";
+        case LearnVar::Tag: return "t";
+        case LearnVar::Wgt: return "w";
+        case LearnVar::One: return "1";
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::int64_t SumOfProducts::evaluate(const LearnContext& ctx,
+                                     common::Rng* rounding) const {
+    std::int64_t total = 0;
+    for (const auto& term : terms_) {
+        std::int64_t p = term.mantissa;
+        for (const auto& f : term.factors)
+            p *= static_cast<std::int64_t>(value_of(f.var, ctx)) + f.addend;
+        total += rounding != nullptr ? scale_pow2_stochastic(p, term.exponent, *rounding)
+                                     : scale_pow2(p, term.exponent);
+    }
+    return total;
+}
+
+std::string SumOfProducts::str() const {
+    std::string out;
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+        const auto& t = terms_[i];
+        const bool neg = t.mantissa < 0;
+        const std::int32_t mant = neg ? -t.mantissa : t.mantissa;
+        if (i == 0)
+            out += neg ? "-" : "";
+        else
+            out += neg ? " - " : " + ";
+        std::string coef;
+        if (t.exponent != 0) {
+            // Scale prints as [mant*]2^exp, which the parser reads back as
+            // mantissa * 2^exponent.
+            if (mant != 1) coef = std::to_string(mant) + "*";
+            coef += "2^" + std::to_string(t.exponent);
+        } else if (mant != 1 || t.factors.empty()) {
+            coef = std::to_string(mant);
+        }
+        out += coef;
+        for (std::size_t j = 0; j < t.factors.size(); ++j) {
+            if (j > 0 || !coef.empty()) out += "*";
+            const auto& f = t.factors[j];
+            if (f.addend == 0) {
+                out += var_name(f.var);
+            } else {
+                out += "(";
+                out += var_name(f.var);
+                out += f.addend > 0 ? "+" : "-";
+                out += std::to_string(f.addend > 0 ? f.addend : -f.addend);
+                out += ")";
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for the grammar in the header.
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    SumOfProducts parse() {
+        std::vector<LearnTerm> terms;
+        skip_ws();
+        int sign = 1;
+        if (peek() == '-') {
+            sign = -1;
+            ++pos_;
+        } else if (peek() == '+') {
+            ++pos_;
+        }
+        terms.push_back(parse_term(sign));
+        skip_ws();
+        while (pos_ < text_.size()) {
+            const char c = peek();
+            if (c == '+' || c == '-') {
+                ++pos_;
+                terms.push_back(parse_term(c == '-' ? -1 : 1));
+                skip_ws();
+            } else {
+                fail("expected '+' or '-'");
+            }
+        }
+        return SumOfProducts(std::move(terms));
+    }
+
+private:
+    const std::string& text_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void fail(const std::string& why) const {
+        throw std::invalid_argument("learning-rule parse error at position " +
+                                    std::to_string(pos_) + ": " + why + " in '" +
+                                    text_ + "'");
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    std::int32_t parse_int() {
+        skip_ws();
+        int sign = 1;
+        if (peek() == '-') {
+            sign = -1;
+            ++pos_;
+        }
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("expected integer");
+        std::int64_t v = 0;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            v = v * 10 + (text_[pos_] - '0');
+            if (v > 1'000'000'000) fail("integer constant too large");
+            ++pos_;
+        }
+        return static_cast<std::int32_t>(sign * v);
+    }
+
+    bool try_parse_var(LearnVar& out) {
+        skip_ws();
+        auto match = [&](const char* name, LearnVar v) {
+            const std::size_t n = std::string(name).size();
+            if (text_.compare(pos_, n, name) == 0) {
+                // Must not be followed by an identifier character.
+                const char next = pos_ + n < text_.size() ? text_[pos_ + n] : '\0';
+                if (!std::isalnum(static_cast<unsigned char>(next))) {
+                    pos_ += n;
+                    out = v;
+                    return true;
+                }
+            }
+            return false;
+        };
+        // Longest names first.
+        return match("x0", LearnVar::X0) || match("x1", LearnVar::X1) ||
+               match("x2", LearnVar::X2) || match("y0", LearnVar::Y0) ||
+               match("y1", LearnVar::Y1) || match("y2", LearnVar::Y2) ||
+               match("w", LearnVar::Wgt) || match("t", LearnVar::Tag);
+    }
+
+    LearnFactor parse_factor() {
+        skip_ws();
+        LearnFactor f;
+        if (peek() == '(') {
+            ++pos_;
+            if (!try_parse_var(f.var)) fail("expected variable inside parentheses");
+            skip_ws();
+            if (peek() == '+' || peek() == '-') {
+                const int sign = peek() == '-' ? -1 : 1;
+                ++pos_;
+                f.addend = sign * parse_int();
+            }
+            skip_ws();
+            if (peek() != ')') fail("expected ')'");
+            ++pos_;
+            return f;
+        }
+        if (!try_parse_var(f.var)) fail("expected variable or '('");
+        return f;
+    }
+
+    /// Folds one numeric coefficient into the term. "A^B" is A raised to
+    /// B; negative exponents are only supported for base 2 (the chip's
+    /// shift-based scaling), e.g. "2^-4*x1*y1" or "3*2^-2*x1".
+    void apply_coefficient(LearnTerm& term) {
+        const std::int32_t base = parse_int();
+        skip_ws();
+        if (peek() != '^') {
+            term.mantissa *= base;
+            return;
+        }
+        ++pos_;
+        const std::int32_t exp = parse_int();
+        if (exp >= 0) {
+            std::int64_t v = 1;
+            for (std::int32_t i = 0; i < exp; ++i) {
+                v *= base;
+                if (v > 1'000'000'000) fail("coefficient overflow");
+            }
+            term.mantissa = static_cast<std::int32_t>(term.mantissa * v);
+        } else {
+            if (base != 2) fail("negative exponents require base 2");
+            term.exponent += exp;
+        }
+    }
+
+    LearnTerm parse_term(int sign) {
+        skip_ws();
+        LearnTerm term;
+        term.mantissa = sign;
+        bool have_any = false;
+        for (;;) {
+            skip_ws();
+            if (std::isdigit(static_cast<unsigned char>(peek()))) {
+                apply_coefficient(term);
+            } else {
+                term.factors.push_back(parse_factor());
+            }
+            have_any = true;
+            skip_ws();
+            if (peek() == '*') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        if (!have_any) fail("empty term");
+        return term;
+    }
+};
+
+}  // namespace
+
+SumOfProducts parse_sum_of_products(const std::string& text) {
+    return Parser(text).parse();
+}
+
+LearningRule emstdp_rule(int shift) {
+    LearningRule rule;
+    // dw = 2^-(shift-1) * x1 * y1  -  2^-shift * x1 * t
+    //    = eta * x1 * (2*y1 - t)  with  eta = 2^-shift
+    // which with y1 = h_hat, t = Z = h_hat + h and x1 = h_pre is exactly
+    // paper eq. 12 and therefore eq. 7: eta * (h_hat - h) * h_pre.
+    rule.dw = SumOfProducts({
+        LearnTerm{1, -(shift - 1), {{LearnVar::X1, 0}, {LearnVar::Y1, 0}}},
+        LearnTerm{-1, -shift, {{LearnVar::X1, 0}, {LearnVar::Tag, 0}}},
+    });
+    // dt = y0: the tag accumulates the postsynaptic spike indicator every
+    // step, building up Z across both phases.
+    rule.dt = SumOfProducts({LearnTerm{1, 0, {{LearnVar::Y0, 0}}}});
+    return rule;
+}
+
+}  // namespace neuro::loihi

@@ -1,0 +1,117 @@
+#pragma once
+// Programmable microcode learning engine (paper Sec. II-B, eq. 9).
+//
+// Loihi describes synaptic adaptation rules in sum-of-products form
+//
+//     z := z + sum_i  S_i * prod_j (V_ij + C_ij)
+//
+// where z is a synaptic variable (weight, delay or tag), V_ij is an input
+// variable available *locally* at the synapse — presynaptic traces, post-
+// synaptic traces, the tag, the weight itself — and S_i / C_ij are signed
+// microcode constants (S_i may carry a power-of-two scale).
+//
+// This module provides the rule representation, an NxSDK-style text parser
+// ("dw = 2^-2*x1*y1 - 2^-3*x1*t"), and the integer evaluator. The EMSTDP
+// update (paper eq. 12)
+//
+//     dw = 2*eta*h_hat*h_pre - eta*Z*h_pre,   Z = h_hat + h
+//
+// maps onto it with x1 = pre spike count, y1 = post phase-2 count (h_hat)
+// and t = tag (Z); see emstdp_rule().
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace neuro::loihi {
+
+/// Input variables the learning engine may reference. Only locally available
+/// quantities appear here — that is the hardware's locality constraint.
+enum class LearnVar : std::uint8_t {
+    X0,   ///< presynaptic spike indicator at the epoch boundary (0/1)
+    X1,   ///< presynaptic trace
+    X2,   ///< second presynaptic trace (independent time constant)
+    Y0,   ///< postsynaptic spike indicator at the epoch boundary (0/1)
+    Y1,   ///< postsynaptic trace
+    Y2,   ///< second postsynaptic trace (triplet-STDP style)
+    Tag,  ///< synaptic tag variable
+    Wgt,  ///< current synaptic weight
+    One,  ///< constant 1 (used for pure-constant factors)
+};
+
+/// One (V + C) factor of a product term.
+struct LearnFactor {
+    LearnVar var = LearnVar::One;
+    std::int32_t addend = 0;
+};
+
+/// One S * prod(V + C) term. The scale S is mantissa * 2^exponent; negative
+/// exponents are evaluated as arithmetic shifts, matching the chip's
+/// shift-based scaling.
+struct LearnTerm {
+    std::int32_t mantissa = 1;
+    int exponent = 0;
+    std::vector<LearnFactor> factors;
+};
+
+/// Values visible to the engine when evaluating one synapse.
+struct LearnContext {
+    std::int32_t x0 = 0;
+    std::int32_t x1 = 0;
+    std::int32_t x2 = 0;
+    std::int32_t y0 = 0;
+    std::int32_t y1 = 0;
+    std::int32_t y2 = 0;
+    std::int32_t tag = 0;
+    std::int32_t weight = 0;
+};
+
+/// A sum-of-products expression.
+class SumOfProducts {
+public:
+    SumOfProducts() = default;
+    explicit SumOfProducts(std::vector<LearnTerm> terms) : terms_(std::move(terms)) {}
+
+    /// Integer evaluation. Without `rounding`, negative power-of-two scales
+    /// truncate toward zero (symmetric). With `rounding`, each term is
+    /// scaled with *stochastic rounding* — floor((v + u) / 2^s) for uniform
+    /// u in [0, 2^s) — which keeps the expectation of sub-LSB updates exact.
+    /// Loihi's learning engine provides this rounding mode; without it an
+    /// 8-bit weight grid silently kills every small EMSTDP update.
+    std::int64_t evaluate(const LearnContext& ctx,
+                          common::Rng* rounding = nullptr) const;
+
+    const std::vector<LearnTerm>& terms() const { return terms_; }
+    bool empty() const { return terms_.empty(); }
+
+    /// Round-trippable textual form ("2^-2*x1*y1 - 2^-3*x1*t").
+    std::string str() const;
+
+private:
+    std::vector<LearnTerm> terms_;
+};
+
+/// A full rule: how the weight and the tag transform at a learning epoch.
+struct LearningRule {
+    SumOfProducts dw;
+    SumOfProducts dt;
+};
+
+/// Parses one sum-of-products expression. Accepted grammar (whitespace
+/// insensitive):
+///   expr    := term (('+'|'-') term)*
+///   term    := coef ('*' factor)* | factor ('*' factor)*
+///   coef    := INT | INT '^' SINT        (e.g. "3", "2^-4")
+///   factor  := var | '(' var (('+'|'-') INT)? ')'
+///   var     := x0 | x1 | x2 | y0 | y1 | y2 | t | w
+/// Throws std::invalid_argument with a position-annotated message on errors.
+SumOfProducts parse_sum_of_products(const std::string& text);
+
+/// The paper's on-chip EMSTDP rule (eq. 12) for a given learning-rate shift:
+/// dw = 2^-(shift-1)*x1*y1 - 2^-shift*x1*t. `shift` plays the role of
+/// -log2(eta); the paper uses eta = 2^-3 on normalized rates.
+LearningRule emstdp_rule(int shift);
+
+}  // namespace neuro::loihi

@@ -1,0 +1,81 @@
+#include "loihi/mapping.hpp"
+
+#include <algorithm>
+
+namespace neuro::loihi {
+
+std::size_t synapse_entry_bits(const ChipLimits& limits) {
+    return static_cast<std::size_t>(limits.weight_bits) + 12;
+}
+
+std::size_t capacity_neurons_per_core(const LayerMapSpec& spec,
+                                      const ChipLimits& limits) {
+    std::size_t npc = limits.compartments_per_core /
+                      std::max<std::size_t>(1, spec.compartments_per_neuron);
+    // Synaptic memory: one entry per synapse terminating on the core.
+    if (spec.fan_in_per_neuron > 0)
+        npc = std::min(npc, limits.synapses_per_core / spec.fan_in_per_neuron);
+    // Input-axon table: one entry per distinct presynaptic neuron reaching
+    // the core, bounded by min(distinct_sources, npc * fan_in). When the
+    // whole source population fits the axon table the constraint never
+    // binds, whatever npc is.
+    if (spec.fan_in_per_neuron > 0 &&
+        spec.distinct_sources > limits.fanin_axons_per_core)
+        npc = std::min(npc, limits.fanin_axons_per_core / spec.fan_in_per_neuron);
+    return std::max<std::size_t>(1, npc);
+}
+
+MappingResult map_layers(const std::vector<LayerMapSpec>& layers,
+                         const ChipLimits& limits) {
+    MappingResult result;
+    std::size_t next_core = 0;
+    for (const auto& layer : layers) {
+        LayerAssignment a;
+        std::size_t npc = layer.neurons_per_core != 0
+                              ? layer.neurons_per_core
+                              : capacity_neurons_per_core(layer, limits);
+        // An explicit override must still respect the hard capacity bound.
+        const std::size_t cap = capacity_neurons_per_core(layer, limits);
+        if (npc > cap) {
+            result.violations.push_back(
+                layer.name + ": requested " + std::to_string(npc) +
+                " neurons/core exceeds capacity " + std::to_string(cap) +
+                "; clamped");
+            npc = cap;
+        }
+        a.neurons_per_core = npc;
+        a.first_core = next_core;
+        a.num_cores = layer.logical_neurons == 0
+                          ? 0
+                          : (layer.logical_neurons + npc - 1) / npc;
+        next_core += a.num_cores;
+
+        a.compartments_per_core = npc * layer.compartments_per_neuron;
+        a.synapses_per_core = npc * layer.fan_in_per_neuron;
+        a.plastic_synapses_per_core = npc * layer.plastic_fan_in_per_neuron;
+        a.memory_bytes_per_core =
+            (a.synapses_per_core * synapse_entry_bits(limits) + 7) / 8;
+        result.max_compartments_per_core =
+            std::max(result.max_compartments_per_core, a.compartments_per_core);
+        result.max_synapses_per_core =
+            std::max(result.max_synapses_per_core, a.synapses_per_core);
+        result.max_plastic_synapses_per_core =
+            std::max(result.max_plastic_synapses_per_core,
+                     a.plastic_synapses_per_core);
+        result.max_memory_bytes_per_core =
+            std::max(result.max_memory_bytes_per_core, a.memory_bytes_per_core);
+        result.total_memory_bytes += a.num_cores * a.memory_bytes_per_core;
+
+        result.layers.push_back(a);
+    }
+    result.total_cores = next_core;
+    if (result.total_cores > limits.num_cores) {
+        result.feasible = false;
+        result.violations.push_back(
+            "network needs " + std::to_string(result.total_cores) +
+            " cores but the chip has " + std::to_string(limits.num_cores));
+    }
+    return result;
+}
+
+}  // namespace neuro::loihi

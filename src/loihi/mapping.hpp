@@ -1,0 +1,81 @@
+#pragma once
+// Layer-at-a-time core mapping (paper Sec. III-C, Operation Flow 1).
+//
+// "the neurons are mapped incrementally onto the cores satisfying the
+//  constraints a layer at a time ... we first generate the adjacency
+//  matrices for the connectivity between adjacent layers ... This provides
+//  the number of fan-ins and fan-outs for each neuron which is used to
+//  assign the number of neurons per core."
+//
+// The mapper takes one spec per layer (population) with its fan-in/fan-out
+// demand, honours an explicit neurons-per-core override when given (this is
+// the Fig. 3 sweep variable), and otherwise packs to the capacity bound.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "loihi/types.hpp"
+
+namespace neuro::loihi {
+
+/// Per-layer mapping demand.
+struct LayerMapSpec {
+    std::string name;
+    std::size_t logical_neurons = 0;
+    std::size_t compartments_per_neuron = 1;  ///< 2 for soma+aux neurons
+    std::size_t fan_in_per_neuron = 0;        ///< synapses terminating per neuron
+    std::size_t fan_out_per_neuron = 0;       ///< synapses originating per neuron
+    /// Subset of fan-in that belongs to learning-enabled projections. The
+    /// learning engine scans these entries every epoch; the per-core count
+    /// is the dominant term of the barrier-synchronised step time.
+    std::size_t plastic_fan_in_per_neuron = 0;
+    /// Total presynaptic neurons across incoming projections. Input-axon
+    /// table entries are per *source neuron*, not per synapse, so the
+    /// per-core demand is min(distinct_sources, npc * fan_in).
+    std::size_t distinct_sources = 0;
+    std::size_t neurons_per_core = 0;         ///< 0 = capacity-packed
+};
+
+/// Where one layer landed.
+struct LayerAssignment {
+    std::size_t first_core = 0;
+    std::size_t num_cores = 0;
+    std::size_t neurons_per_core = 0;  ///< the value actually used
+    std::size_t compartments_per_core = 0;
+    std::size_t synapses_per_core = 0;
+    std::size_t plastic_synapses_per_core = 0;
+    std::size_t memory_bytes_per_core = 0;  ///< synaptic memory footprint
+};
+
+struct MappingResult {
+    std::vector<LayerAssignment> layers;
+    std::size_t total_cores = 0;
+    std::size_t max_compartments_per_core = 0;
+    std::size_t max_synapses_per_core = 0;
+    std::size_t max_plastic_synapses_per_core = 0;
+    std::size_t max_memory_bytes_per_core = 0;
+    /// Synaptic memory occupied across all cores (paper Sec. III-A: DFA
+    /// "reduces the amount of memory utilized by the synapses in the cores").
+    std::size_t total_memory_bytes = 0;
+    bool feasible = true;                  ///< fits one chip
+    std::vector<std::string> violations;   ///< human-readable constraint misses
+};
+
+/// Size of one synaptic memory entry in bits: the weight field plus the
+/// fixed addressing / delay / tag overhead of the synaptic memory word
+/// (Loihi packs variable-width entries; 12 overhead bits is the ballpark of
+/// its dense encoding).
+std::size_t synapse_entry_bits(const ChipLimits& limits);
+
+/// Largest neurons-per-core for the layer that satisfies every per-core
+/// limit (compartments, synapse memory, fan-in/fan-out axons). At least 1.
+std::size_t capacity_neurons_per_core(const LayerMapSpec& spec, const ChipLimits& limits);
+
+/// Maps all layers, a layer at a time, cores never shared across layers
+/// (Loihi assigns learning/compartment configuration per core, so the paper
+/// maps homogeneous layers to dedicated cores).
+MappingResult map_layers(const std::vector<LayerMapSpec>& layers,
+                         const ChipLimits& limits);
+
+}  // namespace neuro::loihi

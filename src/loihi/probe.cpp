@@ -1,0 +1,79 @@
+#include "loihi/probe.hpp"
+
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace neuro::loihi {
+
+SpikeProbe::SpikeProbe(const Chip& chip, PopulationId pop) : chip_(chip), pop_(pop) {
+    // Validate eagerly so a typo fails at construction, not mid-run.
+    (void)chip_.population_size(pop_);
+}
+
+void SpikeProbe::sample() {
+    const std::size_t n = chip_.population_size(pop_);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (chip_.spiked(pop_, i))
+            events_.emplace_back(chip_.now(), static_cast<std::uint32_t>(i));
+    }
+}
+
+std::vector<std::uint32_t> SpikeProbe::totals() const {
+    std::vector<std::uint32_t> t(chip_.population_size(pop_), 0);
+    for (const auto& [step, idx] : events_) ++t[idx];
+    return t;
+}
+
+std::string SpikeProbe::write_csv(const std::string& dir,
+                                  const std::string& name) const {
+    common::CsvWriter csv(dir, name, {"step", "neuron"});
+    for (const auto& [step, idx] : events_)
+        csv.add_row({std::to_string(step), std::to_string(idx)});
+    return csv.write();
+}
+
+StateProbe::StateProbe(const Chip& chip, PopulationId pop,
+                       std::vector<std::size_t> neurons, StateField field)
+    : chip_(chip), pop_(pop), neurons_(std::move(neurons)), field_(field) {
+    const std::size_t n = chip_.population_size(pop_);
+    for (std::size_t idx : neurons_)
+        if (idx >= n) throw std::invalid_argument("StateProbe: neuron out of range");
+    series_.resize(neurons_.size());
+}
+
+void StateProbe::sample() {
+    steps_.push_back(chip_.now());
+    for (std::size_t k = 0; k < neurons_.size(); ++k) {
+        const std::size_t i = neurons_[k];
+        std::int64_t v = 0;
+        switch (field_) {
+            case StateField::Membrane: v = chip_.membrane(pop_, i); break;
+            case StateField::Current: v = chip_.current(pop_, i); break;
+            case StateField::TraceX1: v = chip_.trace_x1(pop_, i); break;
+            case StateField::TraceY1: v = chip_.trace_y1(pop_, i); break;
+            case StateField::TraceTag: v = chip_.trace_tag(pop_, i); break;
+        }
+        series_[k].push_back(v);
+    }
+}
+
+void StateProbe::clear() {
+    steps_.clear();
+    for (auto& s : series_) s.clear();
+}
+
+std::string StateProbe::write_csv(const std::string& dir,
+                                  const std::string& name) const {
+    std::vector<std::string> header{"step"};
+    for (std::size_t idx : neurons_) header.push_back("n" + std::to_string(idx));
+    common::CsvWriter csv(dir, name, header);
+    for (std::size_t row = 0; row < steps_.size(); ++row) {
+        std::vector<std::string> cells{std::to_string(steps_[row])};
+        for (const auto& s : series_) cells.push_back(std::to_string(s[row]));
+        csv.add_row(std::move(cells));
+    }
+    return csv.write();
+}
+
+}  // namespace neuro::loihi

@@ -1,0 +1,76 @@
+#pragma once
+// Pull-based probes, the simulator's equivalent of NxSDK's spike/state
+// probes: the caller samples after each step (or each phase) and the probe
+// accumulates a time series that can be inspected or dumped to CSV.
+//
+// Probes are deliberately outside the Chip class: they read only through
+// the public readout API, so they can never perturb the simulation, and any
+// number can watch the same population.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loihi/chip.hpp"
+
+namespace neuro::loihi {
+
+/// Records (step, neuron) pairs for every spike of a population.
+class SpikeProbe {
+public:
+    SpikeProbe(const Chip& chip, PopulationId pop);
+
+    /// Call once per completed chip step.
+    void sample();
+
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& events() const {
+        return events_;
+    }
+    /// Per-neuron spike totals over everything sampled so far.
+    std::vector<std::uint32_t> totals() const;
+    void clear() { events_.clear(); }
+
+    /// Writes "step,neuron" rows; returns the file path.
+    std::string write_csv(const std::string& dir, const std::string& name) const;
+
+private:
+    const Chip& chip_;
+    PopulationId pop_;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> events_;
+};
+
+/// Which scalar a StateProbe records.
+enum class StateField : std::uint8_t {
+    Membrane,
+    Current,
+    TraceX1,
+    TraceY1,
+    TraceTag,
+};
+
+/// Records a per-step time series of one state field for selected neurons.
+class StateProbe {
+public:
+    StateProbe(const Chip& chip, PopulationId pop, std::vector<std::size_t> neurons,
+               StateField field);
+
+    void sample();
+
+    /// series()[k] is the trajectory of the k-th watched neuron.
+    const std::vector<std::vector<std::int64_t>>& series() const { return series_; }
+    const std::vector<std::uint64_t>& steps() const { return steps_; }
+    void clear();
+
+    /// Writes "step,n<idx0>,n<idx1>,..." rows; returns the file path.
+    std::string write_csv(const std::string& dir, const std::string& name) const;
+
+private:
+    const Chip& chip_;
+    PopulationId pop_;
+    std::vector<std::size_t> neurons_;
+    StateField field_;
+    std::vector<std::uint64_t> steps_;
+    std::vector<std::vector<std::int64_t>> series_;
+};
+
+}  // namespace neuro::loihi

@@ -1,0 +1,49 @@
+#include "loihi/stdp.hpp"
+
+namespace neuro::loihi {
+
+LearningRule pairwise_stdp(const PairwiseStdpParams& p) {
+    LearningRule rule;
+    rule.dw = SumOfProducts({
+        LearnTerm{1, p.ltp_exponent, {{LearnVar::X1, 0}, {LearnVar::Y0, 0}}},
+        LearnTerm{-1, p.ltd_exponent, {{LearnVar::X0, 0}, {LearnVar::Y1, 0}}},
+    });
+    return rule;
+}
+
+LearningRule triplet_stdp(const TripletStdpParams& p) {
+    LearningRule rule;
+    rule.dw = SumOfProducts({
+        LearnTerm{1, p.a2_plus_exponent, {{LearnVar::X1, 0}, {LearnVar::Y0, 0}}},
+        LearnTerm{1,
+                  p.a3_plus_exponent,
+                  {{LearnVar::X1, 0}, {LearnVar::Y2, 0}, {LearnVar::Y0, 0}}},
+        LearnTerm{-1, p.a2_minus_exponent, {{LearnVar::X0, 0}, {LearnVar::Y1, 0}}},
+    });
+    return rule;
+}
+
+LearningRule homeostatic_stdp(const HomeostaticStdpParams& p) {
+    LearningRule rule;
+    rule.dw = SumOfProducts({
+        LearnTerm{1, p.ltp_exponent, {{LearnVar::X1, 0}, {LearnVar::Y0, 0}}},
+        LearnTerm{-1, p.decay_exponent, {{LearnVar::Wgt, 0}, {LearnVar::Y0, 0}}},
+    });
+    return rule;
+}
+
+TraceConfig stdp_trace(std::int32_t impulse, std::int32_t decay) {
+    return TraceConfig{impulse, decay, TraceWindow::Both, 7};
+}
+
+CompartmentConfig stdp_compartment(const StdpCompartmentParams& p) {
+    CompartmentConfig cfg;
+    cfg.vth = p.vth;
+    cfg.decay_v = p.decay_v;
+    cfg.pre_trace = p.fast;
+    cfg.post_trace = p.fast;
+    cfg.post_trace2 = p.slow;
+    return cfg;
+}
+
+}  // namespace neuro::loihi

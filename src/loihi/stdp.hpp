@@ -1,0 +1,80 @@
+#pragma once
+// Canonical synaptic-plasticity rules expressed in the chip's sum-of-products
+// microcode (paper Sec. II-B: "Regular pairwise and triplet STDP rules can be
+// implemented along with more complicated adaptation rules utilizing this
+// form").
+//
+// EMSTDP is one point in this rule space; these builders cover the classic
+// unsupervised points, demonstrating that the simulated learning engine is a
+// faithful general-purpose substrate rather than an EMSTDP special case:
+//
+//   pairwise STDP    dw = 2^a+ * x1 * y0  -  2^a- * x0 * y1
+//   triplet STDP     dw = y0 * x1 * (2^a2+ + 2^a3+ * y2)  -  2^a2- * x0 * y1
+//   homeostatic STDP dw = 2^a+ * x1 * y0  -  2^ad * w * y0
+//
+// where x0/y0 are the pre/post spike indicators at the learning epoch, x1/y1
+// the fast pre/post traces, y2 a slow post trace and w the weight itself.
+// All rules assume per-step learning epochs (call Chip::apply_learning()
+// after every step), which is how Loihi realizes spike-timing rules.
+//
+// Timing note: the engine samples traces *after* the current step's spike
+// impulses have been applied, so the y2 factor of the triplet term includes
+// the just-fired post spike's impulse. This adds a constant offset
+// 2^a3+ * x1 * impulse(y2) to every potentiation — a pairwise-shaped bias
+// that leaves the triplet signature (rate-dependent potentiation) intact.
+// Keep the y2 impulse small relative to its saturation for a faithful fit.
+
+#include "loihi/compartment.hpp"
+#include "loihi/learning.hpp"
+#include "loihi/trace.hpp"
+
+namespace neuro::loihi {
+
+/// Trace-based pair rule (Bi & Poo curve): potentiation when a pre trace is
+/// present at a post spike, depression when a post trace is present at a pre
+/// spike. Amplitudes are power-of-two scales, as the chip's shifter prefers.
+struct PairwiseStdpParams {
+    int ltp_exponent = -4;  ///< A+ = 2^ltp_exponent
+    int ltd_exponent = -4;  ///< A- = 2^ltd_exponent
+};
+LearningRule pairwise_stdp(const PairwiseStdpParams& p = {});
+
+/// Minimal triplet rule (Pfister & Gerstner 2006, "minimal" parameter set):
+/// the potentiation amplitude grows with the slow post trace y2, producing
+/// the experimentally observed rate dependence pair rules cannot express.
+struct TripletStdpParams {
+    int a2_plus_exponent = -5;   ///< pair potentiation
+    int a2_minus_exponent = -4;  ///< pair depression
+    int a3_plus_exponent = -8;   ///< triplet potentiation (x1 * y2 * y0)
+};
+LearningRule triplet_stdp(const TripletStdpParams& p = {});
+
+/// Pair potentiation balanced by weight-proportional depression at each post
+/// spike. The fixed point w* = 2^(ltp - decay) * E[x1 | post spike] keeps
+/// weights bounded without hard saturation — a microcode-form homeostasis.
+struct HomeostaticStdpParams {
+    int ltp_exponent = -4;    ///< A+ = 2^ltp_exponent
+    int decay_exponent = -4;  ///< depression = 2^decay_exponent * w per post spike
+};
+LearningRule homeostatic_stdp(const HomeostaticStdpParams& p = {});
+
+/// Saturating 7-bit trace with the given impulse and 12-bit decay, windowed
+/// over both phases — the configuration spike-timing rules expect.
+TraceConfig stdp_trace(std::int32_t impulse, std::int32_t decay);
+
+/// Compartment configuration for an STDP experiment population: fast
+/// pre/post traces and a slow second post trace for triplet rules. The
+/// membrane is memoryless by default (decay_v = 4096, Loihi's maximum): the
+/// neuron fires exactly on the steps its instantaneous drive crosses vth,
+/// which makes it a coincidence detector — the natural element for
+/// controlled-timing protocols and pattern-selectivity experiments. Set
+/// decay_v = 0 for the paper's perfect-integrator IF configuration.
+struct StdpCompartmentParams {
+    std::int32_t vth = 64;
+    std::int32_t decay_v = 4096;
+    TraceConfig fast = stdp_trace(96, 512);  ///< x1 / y1 (~tau of 8 steps)
+    TraceConfig slow = stdp_trace(16, 128);  ///< y2 (~tau of 32 steps)
+};
+CompartmentConfig stdp_compartment(const StdpCompartmentParams& p = {});
+
+}  // namespace neuro::loihi

@@ -1,0 +1,63 @@
+#pragma once
+// Synaptic trace state machines (paper Sec. II-B: "each synapse is
+// associated with integer-valued synaptic variables and multiple presynaptic
+// traces, and ... compartment with postsynaptic traces").
+//
+// A trace is a saturating unsigned integer that receives an impulse on every
+// spike of its owner and decays exponentially with a 12-bit decay constant:
+//     x <- x * (4096 - delta) / 4096            (every step)
+//     x <- sat7(x + impulse)                    (on spike)
+// With delta = 0 and impulse = 1 the trace is a plain spike counter — this
+// is the configuration the EMSTDP mapping uses to hold the spike counts
+// h, h_hat and Z = h + h_hat of the two-phase window (paper eq. 12).
+//
+// Decay uses *stochastic rounding* when a generator is supplied, as the
+// silicon does: with plain truncation a low-valued trace loses at least one
+// count per step and can never climb toward its rate equilibrium, which
+// breaks every decay-based rate estimate (see the hw-decay ablation).
+
+#include "common/fixed.hpp"
+#include "common/rng.hpp"
+#include "loihi/types.hpp"
+
+namespace neuro::loihi {
+
+/// Static configuration of one trace slot.
+struct TraceConfig {
+    std::int32_t impulse = 1;       ///< added on each spike of the owner
+    std::int32_t decay = 0;         ///< 12-bit decay delta (0 = pure counter)
+    TraceWindow window = TraceWindow::Both;
+    int bits = 7;                   ///< saturation width (Loihi traces: 7)
+};
+
+/// Dynamic value of one trace slot.
+struct TraceState {
+    std::int32_t value = 0;
+
+    /// Per-step decay; a pure counter (decay == 0) is untouched. With
+    /// `rounding`, the fractional part of the 12-bit decay is rounded
+    /// stochastically (unbiased); without it, truncation toward zero.
+    void tick(const TraceConfig& cfg, common::Rng* rounding = nullptr) {
+        if (cfg.decay == 0) return;
+        const std::int64_t num =
+            static_cast<std::int64_t>(value) * (4096 - cfg.decay);
+        if (rounding != nullptr) {
+            const auto u = static_cast<std::int64_t>(rounding->next_u64() & 4095);
+            value = static_cast<std::int32_t>((num + u) >> 12);
+        } else {
+            value = static_cast<std::int32_t>(num >> 12);
+        }
+    }
+
+    /// Spike event of the owner during `phase`.
+    void on_spike(const TraceConfig& cfg, Phase phase) {
+        if (cfg.window == TraceWindow::Phase1Only && phase != Phase::One) return;
+        if (cfg.window == TraceWindow::Phase2Only && phase != Phase::Two) return;
+        value = common::saturate_unsigned(
+            static_cast<std::int64_t>(value) + cfg.impulse, cfg.bits);
+    }
+
+    void reset() { value = 0; }
+};
+
+}  // namespace neuro::loihi

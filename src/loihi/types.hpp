@@ -1,0 +1,78 @@
+#pragma once
+// Shared vocabulary types and architectural limits for the Loihi-class chip
+// simulator (paper Sec. II-B; Davies et al., IEEE Micro 2018).
+//
+// Fidelity envelope (DESIGN.md Sec. 5): we model the *architectural*
+// constraints the learning algorithm has to live with — integer state,
+// 8-bit weights, 12-bit decays, saturating 7-bit traces, the sum-of-products
+// learning engine, per-core capacity limits and barrier-synchronised
+// timesteps. We do not model the asynchronous mesh or multi-chip systems.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace neuro::loihi {
+
+/// Index of a population registered with the chip builder.
+using PopulationId = std::size_t;
+
+/// Global (chip-wide) compartment index.
+using CompartmentId = std::size_t;
+
+/// Index of a projection (synapse group between two populations).
+using ProjectionId = std::size_t;
+
+/// Architectural limits of one Loihi chip.
+struct ChipLimits {
+    std::size_t num_cores = 128;                ///< neuromorphic cores per chip
+    std::size_t compartments_per_core = 1024;   ///< compartment registers per core
+    std::size_t synapses_per_core = 131072;     ///< synaptic memory entries per core
+    std::size_t fanin_axons_per_core = 4096;    ///< input axon table entries
+    std::size_t fanout_axons_per_core = 4096;   ///< output axon table entries
+    int weight_bits = 8;                        ///< signed synaptic weight precision
+    int trace_bits = 7;                         ///< unsigned trace precision (0..127)
+    int tag_bits = 8;                           ///< signed tag precision
+    /// Loihi's maximum operating rate is 10 kHz, i.e. a timestep can never
+    /// complete faster than 100 us (paper Sec. IV-A2).
+    double min_step_seconds = 100e-6;
+};
+
+/// Which of the two EMSTDP phases the chip is currently executing. The host
+/// runner switches this; on silicon the equivalent gating is done with
+/// control neurons / NxSDK epoch structuring (DESIGN.md Sec. 5).
+enum class Phase : std::uint8_t {
+    One = 1,  ///< forward response, error path suppressed
+    Two = 2,  ///< error injection, traces for the update accumulate
+};
+
+/// Trace accumulation window (DESIGN.md "Phase gating"). `Both` is what raw
+/// hardware counters do; the phase-restricted modes emulate NxSDK epoch
+/// structuring and are the default for the paper pipeline.
+enum class TraceWindow : std::uint8_t {
+    Both,
+    Phase1Only,
+    Phase2Only,
+};
+
+/// Multi-compartment join operation between an auxiliary compartment and its
+/// soma (paper Sec. III-A: "the spiking activity of the soma is an AND
+/// function of the activity of the soma and the auxiliary compartment").
+enum class JoinOp : std::uint8_t {
+    None,           ///< single-compartment neuron
+    AndAuxActive,   ///< soma may spike only if the aux compartment has
+                    ///< received any activity in the current sample window
+    GatedAdd,       ///< aux input current is added to the soma membrane only
+                    ///< if the soma itself was active in phase 1 (used for
+                    ///< the DFA broadcast: implements the h' gate at the
+                    ///< destination neuron)
+    Add,            ///< aux input current is added unconditionally (plain
+                    ///< dendritic summation)
+};
+
+/// Destination port of a synapse on a multi-compartment neuron.
+enum class Port : std::uint8_t {
+    Soma,
+    Aux,
+};
+
+}  // namespace neuro::loihi

@@ -1,0 +1,110 @@
+#include "nx/net.hpp"
+
+#include <stdexcept>
+
+namespace neuro::nx {
+
+NxNet::NxNet(loihi::ChipLimits limits) : chip_(limits) {}
+
+CompartmentGroup NxNet::create_compartment_group(const std::string& name,
+                                                 std::size_t size,
+                                                 const CompartmentPrototype& proto) {
+    loihi::PopulationConfig cfg;
+    cfg.name = name;
+    cfg.size = size;
+    cfg.compartment = proto.config;
+    cfg.neurons_per_core = proto.neurons_per_core;
+    return CompartmentGroup{chip_.add_population(std::move(cfg)), size};
+}
+
+loihi::ProjectionConfig NxNet::make_config(const CompartmentGroup& src,
+                                           const CompartmentGroup& dst,
+                                           const ConnectionPrototype& proto,
+                                           std::size_t conn_index) {
+    loihi::ProjectionConfig cfg;
+    cfg.name = "conn" + std::to_string(conn_index);
+    cfg.src = src.pop;
+    cfg.dst = dst.pop;
+    cfg.port = proto.port;
+    cfg.weight_exp = proto.weight_exp;
+    cfg.stochastic_rounding = proto.stochastic_rounding;
+    if (!proto.dw.empty()) {
+        cfg.plastic = true;
+        cfg.rule.dw = loihi::parse_sum_of_products(proto.dw);
+    }
+    return cfg;
+}
+
+loihi::ProjectionId NxNet::create_connection_group(
+    const CompartmentGroup& src, const CompartmentGroup& dst,
+    const ConnectionPrototype& proto, const std::vector<std::int32_t>& weights) {
+    return create_connection_group(src, dst, proto, weights,
+                                   std::vector<std::uint8_t>());
+}
+
+loihi::ProjectionId NxNet::create_connection_group(
+    const CompartmentGroup& src, const CompartmentGroup& dst,
+    const ConnectionPrototype& proto, const std::vector<std::int32_t>& weights,
+    const std::vector<std::uint8_t>& mask) {
+    if (weights.size() != src.size * dst.size)
+        throw std::invalid_argument(
+            "create_connection_group: weight matrix must be dst x src (" +
+            std::to_string(dst.size) + " x " + std::to_string(src.size) + ")");
+    if (!mask.empty() && mask.size() != weights.size())
+        throw std::invalid_argument(
+            "create_connection_group: mask size must match the weight matrix");
+    std::vector<loihi::Synapse> syns;
+    syns.reserve(weights.size());
+    for (std::size_t d = 0; d < dst.size; ++d) {
+        for (std::size_t s = 0; s < src.size; ++s) {
+            const std::size_t k = d * src.size + s;
+            if (!mask.empty() && mask[k] == 0) continue;
+            syns.push_back({static_cast<std::uint32_t>(s),
+                            static_cast<std::uint32_t>(d), weights[k],
+                            proto.delay});
+        }
+    }
+    return chip_.add_projection(make_config(src, dst, proto, next_conn_++),
+                                std::move(syns));
+}
+
+loihi::ProjectionId NxNet::connect_one_to_one(const CompartmentGroup& src,
+                                              const CompartmentGroup& dst,
+                                              const ConnectionPrototype& proto,
+                                              std::int32_t weight) {
+    if (src.size != dst.size)
+        throw std::invalid_argument(
+            "connect_one_to_one: group sizes differ (" +
+            std::to_string(src.size) + " vs " + std::to_string(dst.size) + ")");
+    auto syns = snn::identity_synapses(src.size, weight);
+    if (proto.delay != 0)
+        for (auto& s : syns) s.delay = proto.delay;
+    return chip_.add_projection(make_config(src, dst, proto, next_conn_++),
+                                std::move(syns));
+}
+
+loihi::ProjectionId NxNet::connect_conv(const CompartmentGroup& src,
+                                        const CompartmentGroup& dst,
+                                        const ConnectionPrototype& proto,
+                                        const snn::ConvSpec& spec,
+                                        const std::vector<std::int32_t>& kernel) {
+    if (spec.in_size() != src.size)
+        throw std::invalid_argument("connect_conv: spec input size " +
+                                    std::to_string(spec.in_size()) +
+                                    " != source group size " +
+                                    std::to_string(src.size));
+    if (spec.out_size() != dst.size)
+        throw std::invalid_argument("connect_conv: spec output size " +
+                                    std::to_string(spec.out_size()) +
+                                    " != destination group size " +
+                                    std::to_string(dst.size));
+    auto syns = snn::conv_synapses(spec, kernel);
+    if (proto.delay != 0)
+        for (auto& s : syns) s.delay = proto.delay;
+    return chip_.add_projection(make_config(src, dst, proto, next_conn_++),
+                                std::move(syns));
+}
+
+void NxNet::compile() { chip_.finalize(); }
+
+}  // namespace neuro::nx

@@ -1,0 +1,131 @@
+#pragma once
+// NxSDK-shaped network construction API (paper Operation Flow 1: "Create
+// Network N" in Intel Loihi's SDK).
+//
+// Intel's NxSDK builds networks from *prototypes* — reusable parameter
+// bundles — and *groups*: compartment groups instantiate a prototype N
+// times, connection groups connect two compartment groups through a weight
+// matrix and an optional connectivity mask. This module provides that
+// surface on top of the loihi::Chip simulator, so downstream code written
+// against the SDK idiom ports directly:
+//
+//     nx::NxNet net;
+//     nx::CompartmentPrototype if_proto;           // paper IF configuration
+//     if_proto.config.vth = 64;
+//     auto in  = net.create_compartment_group("in", 16, if_proto);
+//     auto out = net.create_compartment_group("out", 4, if_proto);
+//     nx::ConnectionPrototype dense;
+//     net.create_connection_group(in, out, dense, weights);  // {dst, src}
+//     net.compile();
+//     net.set_bias(in, pixel_biases);
+//     net.run(64);
+//     auto counts = net.spike_counts(out);
+//
+// The EMSTDP pipeline in src/core builds on the Chip directly (it predates
+// this layer and needs a few low-level hooks); new applications should
+// prefer this API. compile() is NxSDK's board.run() boundary: construction
+// ends, mapping happens, and the runtime interface becomes usable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loihi/chip.hpp"
+#include "snn/topology.hpp"
+
+namespace neuro::nx {
+
+/// Reusable compartment parameter bundle (NxSDK CompartmentPrototype).
+struct CompartmentPrototype {
+    loihi::CompartmentConfig config{};
+    /// Logical neurons per core for groups built from this prototype
+    /// (0 = capacity-packed, see loihi::PopulationConfig).
+    std::size_t neurons_per_core = 0;
+};
+
+/// Reusable connection parameter bundle (NxSDK ConnectionPrototype). The
+/// learning rule is given in microcode text ("2^-4*x1*y0 - 2^-4*x0*y1");
+/// an empty string means a static (non-plastic) connection.
+struct ConnectionPrototype {
+    int weight_exp = 0;
+    loihi::Port port = loihi::Port::Soma;
+    std::uint8_t delay = 0;
+    std::string dw;  ///< weight-update microcode; empty = static
+    bool stochastic_rounding = true;
+};
+
+/// Handle to a compartment group. Cheap to copy; valid for the lifetime of
+/// the NxNet that created it.
+struct CompartmentGroup {
+    loihi::PopulationId pop = 0;
+    std::size_t size = 0;
+};
+
+class NxNet {
+public:
+    explicit NxNet(loihi::ChipLimits limits = {});
+
+    // ---- construction (before compile) -------------------------------------
+    CompartmentGroup create_compartment_group(const std::string& name,
+                                              std::size_t size,
+                                              const CompartmentPrototype& proto);
+
+    /// Dense connection through a full {dst, src} row-major weight matrix
+    /// (weights[d * src.size + s]); every entry becomes a synapse.
+    loihi::ProjectionId create_connection_group(
+        const CompartmentGroup& src, const CompartmentGroup& dst,
+        const ConnectionPrototype& proto,
+        const std::vector<std::int32_t>& weights);
+
+    /// Masked connection: entries with mask[d * src.size + s] != 0 become
+    /// synapses, the rest are left unconnected (NxSDK connection mask).
+    loihi::ProjectionId create_connection_group(
+        const CompartmentGroup& src, const CompartmentGroup& dst,
+        const ConnectionPrototype& proto, const std::vector<std::int32_t>& weights,
+        const std::vector<std::uint8_t>& mask);
+
+    /// One-to-one connection with a shared weight (src.size == dst.size).
+    loihi::ProjectionId connect_one_to_one(const CompartmentGroup& src,
+                                           const CompartmentGroup& dst,
+                                           const ConnectionPrototype& proto,
+                                           std::int32_t weight);
+
+    /// Convolutional connection: the kernel bank is expanded into explicit
+    /// synapses (Loihi has no weight sharing). Geometry comes from `spec`;
+    /// `kernel` is the {out_c, in_c, k, k} integer bank.
+    loihi::ProjectionId connect_conv(const CompartmentGroup& src,
+                                     const CompartmentGroup& dst,
+                                     const ConnectionPrototype& proto,
+                                     const snn::ConvSpec& spec,
+                                     const std::vector<std::int32_t>& kernel);
+
+    /// Ends construction: maps groups onto cores and builds delivery tables.
+    void compile();
+    bool compiled() const { return chip_.finalized(); }
+
+    // ---- runtime (after compile) --------------------------------------------
+    void run(std::size_t steps) { chip_.run(steps); }
+    void set_bias(const CompartmentGroup& g, const std::vector<std::int32_t>& bias) {
+        chip_.set_bias(g.pop, bias);
+    }
+    std::vector<std::int32_t> spike_counts(const CompartmentGroup& g) const {
+        return chip_.spike_counts_total(g.pop);
+    }
+    /// Per-sample state clear (membranes, traces, counters).
+    void reset() { chip_.reset_dynamic_state(); }
+
+    /// Full access to the underlying chip (probes, learning, energy model).
+    loihi::Chip& chip() { return chip_; }
+    const loihi::Chip& chip() const { return chip_; }
+
+private:
+    loihi::Chip chip_;
+
+    loihi::ProjectionConfig make_config(const CompartmentGroup& src,
+                                        const CompartmentGroup& dst,
+                                        const ConnectionPrototype& proto,
+                                        std::size_t conn_index);
+    std::size_t next_conn_ = 0;
+};
+
+}  // namespace neuro::nx

@@ -1,0 +1,350 @@
+#include "reference/emstdp_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neuro::reference {
+
+namespace {
+
+/// One population of float IF neurons with soft reset.
+struct Pop {
+    std::vector<float> v;
+    std::vector<float> pending;  ///< current arriving this step (u)
+    std::vector<std::uint8_t> spike;
+    std::vector<int> h1, h2;
+
+    explicit Pop(std::size_t n)
+        : v(n, 0.0f), pending(n, 0.0f), spike(n, 0), h1(n, 0), h2(n, 0) {}
+
+    std::size_t size() const { return v.size(); }
+
+    /// Integrate pending + bias and fire against `theta`. `phase1` selects
+    /// the spike counter. A zero gate entry suppresses the spike (AND join)
+    /// while still consuming the threshold crossing. `floor_at_zero` clamps
+    /// the membrane from below — forward neurons use it so that inhibition
+    /// cannot accumulate an unbounded negative reserve (this realises the
+    /// *shifted* ReLU transfer of paper eq. 2; without it, corrections in
+    /// phase 2 are swallowed by the negative well and silent units can never
+    /// be revived by the error path).
+    void tick(float theta, bool phase1, const std::vector<float>* bias,
+              const std::vector<std::uint8_t>* gate, bool floor_at_zero) {
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            v[i] += pending[i] + (bias != nullptr ? (*bias)[i] : 0.0f);
+            pending[i] = 0.0f;
+            if (floor_at_zero && v[i] < 0.0f) v[i] = 0.0f;
+            spike[i] = 0;
+            if (v[i] >= theta) {
+                v[i] -= theta;
+                if (gate == nullptr || (*gate)[i] != 0) {
+                    spike[i] = 1;
+                    (phase1 ? h1[i] : h2[i])++;
+                }
+            }
+        }
+    }
+};
+
+/// pending_dst += W * spikes (row-major W {out, in}).
+void deliver_dense(const std::vector<float>& w, const Pop& src, Pop& dst,
+                   float scale = 1.0f) {
+    const std::size_t in = src.size();
+    const std::size_t out = dst.size();
+    for (std::size_t i = 0; i < in; ++i) {
+        if (!src.spike[i]) continue;
+        const std::size_t col = i;
+        for (std::size_t o = 0; o < out; ++o)
+            dst.pending[o] += scale * w[o * in + col];
+    }
+}
+
+}  // namespace
+
+RefEmstdp::RefEmstdp(RefConfig cfg) : cfg_(std::move(cfg)) {
+    if (cfg_.layer_sizes.size() < 2)
+        throw std::invalid_argument("RefEmstdp: need at least input and output layers");
+    depth_ = cfg_.layer_sizes.size() - 1;
+
+    common::Rng rng(cfg_.seed);
+    // Forward weights: Xavier-uniform on normalized rates.
+    for (std::size_t l = 0; l < depth_; ++l) {
+        const std::size_t in = cfg_.layer_sizes[l];
+        const std::size_t out = cfg_.layer_sizes[l + 1];
+        const float limit =
+            std::sqrt(6.0f / static_cast<float>(in + out));
+        std::vector<float> w(in * out);
+        for (auto& x : w) x = static_cast<float>(rng.uniform(-limit, limit));
+        w_.push_back(std::move(w));
+    }
+    // Feedback matrices (fixed random, uniform — paper Sec. III-D: "the
+    // random fixed weights B sampled from a uniform distribution").
+    if (depth_ >= 2) {
+        if (cfg_.feedback == FeedbackMode::FA) {
+            // Chain: b_[l] maps error at layer l+2 (size n_{l+2}) down to
+            // layer l+1 (size n_{l+1}), for l = 0..depth_-2.
+            for (std::size_t l = 0; l + 1 < depth_; ++l) {
+                const std::size_t rows = cfg_.layer_sizes[l + 1];
+                const std::size_t cols = cfg_.layer_sizes[l + 2];
+                const float limit =
+                    cfg_.feedback_gain / std::sqrt(static_cast<float>(cols));
+                std::vector<float> b(rows * cols);
+                for (auto& x : b) x = static_cast<float>(rng.uniform(-limit, limit));
+                b_.push_back(std::move(b));
+            }
+        } else {
+            // DFA: b_[l] maps the output error (classes) straight to hidden
+            // layer l+1, for l = 0..depth_-2.
+            const std::size_t classes = cfg_.layer_sizes.back();
+            for (std::size_t l = 0; l + 1 < depth_; ++l) {
+                const std::size_t rows = cfg_.layer_sizes[l + 1];
+                const float limit =
+                    cfg_.feedback_gain / std::sqrt(static_cast<float>(classes));
+                std::vector<float> b(rows * classes);
+                for (auto& x : b) x = static_cast<float>(rng.uniform(-limit, limit));
+                b_.push_back(std::move(b));
+            }
+        }
+    }
+    class_mask_.assign(cfg_.layer_sizes.back(), 1.0f);
+}
+
+void RefEmstdp::set_class_mask(const std::vector<float>& mask) {
+    if (mask.size() != class_mask_.size())
+        throw std::invalid_argument("set_class_mask: size mismatch");
+    class_mask_ = mask;
+}
+
+RefEmstdp::RunResult RefEmstdp::run(const std::vector<float>& input_rates,
+                                    std::size_t label, bool learn) {
+    if (input_rates.size() != cfg_.layer_sizes[0])
+        throw std::invalid_argument("RefEmstdp: input size mismatch");
+    const std::size_t classes = cfg_.layer_sizes.back();
+    if (learn && label >= classes) throw std::out_of_range("RefEmstdp: bad label");
+
+    const int T = cfg_.phase_length;
+
+    // Forward populations, fwd[0] = input.
+    std::vector<Pop> fwd;
+    for (std::size_t s : cfg_.layer_sizes) fwd.emplace_back(s);
+    Pop label_pop(classes);
+    // Error channels. FA: one +/- pair per layer 1..depth_. DFA: only the
+    // output pair. err index e maps to layer (e + first_err_layer).
+    Pop out_err_pos(classes), out_err_neg(classes);
+    std::vector<Pop> hid_err_pos, hid_err_neg;  // FA only, layers 1..depth_-1
+    if (cfg_.feedback == FeedbackMode::FA) {
+        for (std::size_t l = 1; l < depth_; ++l) {
+            hid_err_pos.emplace_back(cfg_.layer_sizes[l]);
+            hid_err_neg.emplace_back(cfg_.layer_sizes[l]);
+        }
+    }
+
+    // Bias rates.
+    std::vector<float> in_bias(input_rates);
+    for (auto& r : in_bias) r = std::clamp(r, 0.0f, 1.0f);
+    std::vector<float> label_bias(classes, 0.0f);
+    if (learn) label_bias[label] = cfg_.target_rate * class_mask_[label];
+
+    // Derivative gates from phase-1 activity (filled when phase 2 starts).
+    std::vector<std::vector<std::uint8_t>> gate(depth_ + 1);
+
+    for (int t = 0; t < 2 * T; ++t) {
+        const bool phase1 = t < T;
+        const bool phase2 = !phase1;
+        if (t == T) {
+            // h' of the shifted ReLU: active iff the forward neuron fired
+            // during phase 1 (paper Sec. III-A).
+            for (std::size_t l = 1; l <= depth_; ++l) {
+                gate[l].resize(fwd[l].size());
+                for (std::size_t i = 0; i < fwd[l].size(); ++i)
+                    gate[l][i] = fwd[l].h1[i] > 0 ? 1 : 0;
+            }
+            // Membrane reset at the phase boundary. Without it, sub-threshold
+            // residues from phase 1 give phase 2 a deterministic head start
+            // of up to one spike per neuron; (h_hat - h) then carries a
+            // systematic positive bias that inflates every weight regardless
+            // of the error signal. Resetting makes phase 2 an exact replay
+            // of phase 1 whenever no correction is injected, so the update
+            // measures *only* the error-driven rate change.
+            for (auto& pop : fwd) {
+                std::fill(pop.v.begin(), pop.v.end(), 0.0f);
+                std::fill(pop.pending.begin(), pop.pending.end(), 0.0f);
+            }
+        }
+
+        // ---- integrate & fire ------------------------------------------------
+        fwd[0].tick(1.0f, phase1, &in_bias, nullptr, true);
+        for (std::size_t l = 1; l <= depth_; ++l)
+            fwd[l].tick(cfg_.theta, phase1, nullptr, nullptr, true);
+        if (phase2 && learn) {
+            label_pop.tick(1.0f, false, &label_bias, nullptr, true);
+            // Error channels integrate signed differences; their membranes
+            // must be allowed to go negative (the opposite channel fires).
+            out_err_pos.tick(cfg_.theta_err, false, nullptr, nullptr, false);
+            out_err_neg.tick(cfg_.theta_err, false, nullptr, nullptr, false);
+            for (std::size_t e = 0; e < hid_err_pos.size(); ++e) {
+                const auto* g =
+                    cfg_.derivative_gating ? &gate[e + 1] : nullptr;
+                hid_err_pos[e].tick(cfg_.theta_err, false, nullptr, g, false);
+                hid_err_neg[e].tick(cfg_.theta_err, false, nullptr, g, false);
+            }
+        }
+
+        // ---- deliver spikes (arrive next step) -------------------------------
+        for (std::size_t l = 0; l < depth_; ++l)
+            deliver_dense(w_[l], fwd[l], fwd[l + 1]);
+
+        if (phase2 && learn) {
+            // Output error: epsilon_L = theta_err * (label - prediction).
+            for (std::size_t j = 0; j < classes; ++j) {
+                const float d = cfg_.theta_err *
+                                (static_cast<float>(label_pop.spike[j]) -
+                                 static_cast<float>(fwd[depth_].spike[j]));
+                out_err_pos.pending[j] += d;
+                out_err_neg.pending[j] -= d;
+            }
+            // Correction injection into the output layer: one error spike
+            // adds/removes one output spike.
+            for (std::size_t j = 0; j < classes; ++j) {
+                fwd[depth_].pending[j] +=
+                    cfg_.theta * (static_cast<float>(out_err_pos.spike[j]) -
+                                  static_cast<float>(out_err_neg.spike[j]));
+            }
+
+            if (cfg_.feedback == FeedbackMode::FA) {
+                // Chain the error downwards, gating at each stage, and
+                // inject into the matching forward layer (paper eq. 10).
+                for (std::size_t e = hid_err_pos.size(); e-- > 0;) {
+                    const Pop& up_pos =
+                        (e + 1 == hid_err_pos.size()) ? out_err_pos : hid_err_pos[e + 1];
+                    const Pop& up_neg =
+                        (e + 1 == hid_err_pos.size()) ? out_err_neg : hid_err_neg[e + 1];
+                    const std::size_t rows = hid_err_pos[e].size();
+                    const std::size_t cols = up_pos.size();
+                    const std::vector<float>& B = b_[e];
+                    for (std::size_t j = 0; j < cols; ++j) {
+                        const float d = static_cast<float>(up_pos.spike[j]) -
+                                        static_cast<float>(up_neg.spike[j]);
+                        if (d == 0.0f) continue;
+                        for (std::size_t i = 0; i < rows; ++i) {
+                            const float x = B[i * cols + j] * d;
+                            hid_err_pos[e].pending[i] += x;
+                            hid_err_neg[e].pending[i] -= x;
+                        }
+                    }
+                    // Inject the (gated) error spikes into forward layer e+1.
+                    for (std::size_t i = 0; i < rows; ++i) {
+                        fwd[e + 1].pending[i] +=
+                            cfg_.theta *
+                            (static_cast<float>(hid_err_pos[e].spike[i]) -
+                             static_cast<float>(hid_err_neg[e].spike[i]));
+                    }
+                }
+            } else {
+                // DFA: broadcast the output error spikes straight into every
+                // hidden layer through fixed random weights, gated by h'.
+                for (std::size_t l = 1; l < depth_; ++l) {
+                    const std::vector<float>& B = b_[l - 1];
+                    const std::size_t rows = fwd[l].size();
+                    for (std::size_t j = 0; j < classes; ++j) {
+                        const float d = static_cast<float>(out_err_pos.spike[j]) -
+                                        static_cast<float>(out_err_neg.spike[j]);
+                        if (d == 0.0f) continue;
+                        for (std::size_t i = 0; i < rows; ++i) {
+                            if (cfg_.derivative_gating && !gate[l][i]) continue;
+                            fwd[l].pending[i] += B[i * classes + j] * d;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    RunResult out;
+    out.trace.h1.reserve(depth_ + 1);
+    out.trace.h2.reserve(depth_ + 1);
+    for (std::size_t l = 0; l <= depth_; ++l) {
+        out.trace.h1.push_back(fwd[l].h1);
+        out.trace.h2.push_back(fwd[l].h2);
+    }
+    out.trace.err_pos = out_err_pos.h2;
+    out.trace.err_neg = out_err_neg.h2;
+
+    out.pre_counts.resize(depth_);
+    for (std::size_t l = 0; l < depth_; ++l) {
+        out.pre_counts[l] = fwd[l].h1;
+        if (!cfg_.pre_phase1_only) {
+            for (std::size_t i = 0; i < out.pre_counts[l].size(); ++i)
+                out.pre_counts[l][i] += fwd[l].h2[i];
+        }
+    }
+    return out;
+}
+
+SampleTrace RefEmstdp::train_sample(const std::vector<float>& input_rates,
+                                    std::size_t label) {
+    RunResult r = run(input_rates, label, /*learn=*/true);
+
+    const float T = static_cast<float>(cfg_.phase_length);
+    // The pre-count convention: with pre_phase1_only the factor is h/T; with
+    // both-phase counts it is (h + h_hat)/(2T) ~ h/T, keeping eta comparable.
+    const float pre_norm = cfg_.pre_phase1_only ? T : 2.0f * T;
+    const float eta = cfg_.eta * eta_scale_;
+
+    for (std::size_t l = 0; l < depth_; ++l) {
+        const std::size_t in = cfg_.layer_sizes[l];
+        const std::size_t out = cfg_.layer_sizes[l + 1];
+        const bool is_output = l + 1 == depth_;
+        for (std::size_t o = 0; o < out; ++o) {
+            if (is_output && class_mask_[o] == 0.0f) continue;
+            const float dh = static_cast<float>(r.trace.h2[l + 1][o] -
+                                                r.trace.h1[l + 1][o]) /
+                             T;
+            if (dh == 0.0f) continue;
+            float* row = w_[l].data() + o * in;
+            const auto& pre = r.pre_counts[l];
+            for (std::size_t i = 0; i < in; ++i) {
+                if (pre[i] == 0) continue;
+                row[i] += eta * dh * static_cast<float>(pre[i]) / pre_norm;
+            }
+        }
+    }
+    return std::move(r.trace);
+}
+
+std::vector<int> RefEmstdp::forward_counts(const std::vector<float>& input_rates) {
+    RunResult r = run(input_rates, 0, /*learn=*/false);
+    return r.trace.h1.back();
+}
+
+std::size_t RefEmstdp::predict(const std::vector<float>& input_rates) {
+    if (input_rates.size() != cfg_.layer_sizes[0])
+        throw std::invalid_argument("RefEmstdp: input size mismatch");
+
+    const int T = cfg_.phase_length;
+    std::vector<Pop> fwd;
+    for (std::size_t s : cfg_.layer_sizes) fwd.emplace_back(s);
+    std::vector<float> in_bias(input_rates);
+    for (auto& r : in_bias) r = std::clamp(r, 0.0f, 1.0f);
+
+    for (int t = 0; t < T; ++t) {
+        fwd[0].tick(1.0f, true, &in_bias, nullptr, true);
+        for (std::size_t l = 1; l <= depth_; ++l)
+            fwd[l].tick(cfg_.theta, true, nullptr, nullptr, true);
+        for (std::size_t l = 0; l < depth_; ++l)
+            deliver_dense(w_[l], fwd[l], fwd[l + 1]);
+    }
+
+    // Argmax by spike count; residual membrane breaks ties so that a network
+    // whose outputs are all silent still produces a graded decision.
+    const Pop& out = fwd.back();
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < out.size(); ++j) {
+        if (out.h1[j] > out.h1[best] ||
+            (out.h1[j] == out.h1[best] && out.v[j] > out.v[best]))
+            best = j;
+    }
+    return best;
+}
+
+}  // namespace neuro::reference

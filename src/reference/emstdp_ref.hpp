@@ -1,0 +1,102 @@
+#pragma once
+// Full-precision EMSTDP reference — the paper's "Python (FP)" baseline
+// (Table I): the same spiking two-phase algorithm as the chip, with float
+// weights, batch size 1, the exact eq. (7) update, and none of the chip's
+// quantization or resource constraints. The accuracy gap between this and
+// the Loihi implementation is the quantization cost the paper reports.
+//
+// Dynamics (paper Sec. II-A / III):
+//  * IF neurons, soft reset: v += drive; spike when v >= theta; v -= theta.
+//  * Input/label rates are driven by bias integration (the same encoding
+//    the chip uses), so both implementations see identical spike statistics.
+//  * Phase 1 (T steps): forward response, record h.
+//  * Phase 2 (T steps): label neurons fire at the target rate; two-channel
+//    (+/-) error neurons compute rate differences and inject +-theta
+//    corrections into the forward neurons, settling them at h_hat.
+//  * Update: dW_i = eta * (h_hat_i - h_i) * h_pre^T / T^2  (rates).
+//  * Feedback weights are fixed random (FA chain or DFA broadcast).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace neuro::reference {
+
+enum class FeedbackMode { FA, DFA };
+
+struct RefConfig {
+    std::vector<std::size_t> layer_sizes;  ///< {in, hidden..., classes}
+    int phase_length = 64;                 ///< T
+    float eta = 0.125f;                    ///< paper: 2^-3
+    FeedbackMode feedback = FeedbackMode::DFA;
+    float theta = 1.0f;                    ///< forward threshold (normalized)
+    float theta_err = 1.0f;                ///< error-neuron threshold
+    float target_rate = 0.75f;             ///< label firing rate (of T)
+    float feedback_gain = 1.0f;            ///< scale of the random B matrices
+    /// Use phase-1 presynaptic counts in the update (exact eq. 7). When
+    /// false, both-phase counts are used (the hardware-faithful counter,
+    /// ablation D).
+    bool pre_phase1_only = true;
+    /// Gate hidden error neurons by forward phase-1 activity (h' of the
+    /// shifted ReLU). Disabling is an ablation.
+    bool derivative_gating = true;
+    std::uint64_t seed = 7;
+};
+
+/// Spike counts observed for one sample; returned for probing and tests.
+struct SampleTrace {
+    std::vector<std::vector<int>> h1;    ///< phase-1 counts per layer (incl. input)
+    std::vector<std::vector<int>> h2;    ///< phase-2 counts per layer
+    std::vector<int> err_pos;            ///< output error (+) channel counts
+    std::vector<int> err_neg;            ///< output error (-) channel counts
+};
+
+/// The trainable dense stack. Input is a rate vector in [0,1] (the
+/// normalized conv-feature activations — see snn::convert).
+class RefEmstdp {
+public:
+    explicit RefEmstdp(RefConfig cfg);
+
+    /// Runs both phases and applies the weight update. Returns the trace.
+    SampleTrace train_sample(const std::vector<float>& input_rates,
+                             std::size_t label);
+
+    /// Phase-1-only inference; argmax of output spike counts (membrane
+    /// potential breaks ties so silent outputs still rank).
+    std::size_t predict(const std::vector<float>& input_rates);
+
+    /// Phase-1 output spike counts (for probing).
+    std::vector<int> forward_counts(const std::vector<float>& input_rates);
+
+    const std::vector<std::vector<float>>& weights() const { return w_; }
+    std::vector<std::vector<float>>& weights() { return w_; }
+    const RefConfig& config() const { return cfg_; }
+
+    /// Per-class learning-rate mask for incremental learning experiments:
+    /// output neurons with mask 0 neither fire labels nor learn (the paper's
+    /// "disable the classifier neurons of the old class"). Defaults to 1.
+    void set_class_mask(const std::vector<float>& mask);
+    /// Multiplies eta for subsequent updates (step-1 reduced learning rate).
+    void set_eta_scale(float scale) { eta_scale_ = scale; }
+
+private:
+    RefConfig cfg_;
+    std::size_t depth_;  ///< number of weight matrices
+    // w_[l]: row-major {out, in} between layer l and l+1.
+    std::vector<std::vector<float>> w_;
+    // Feedback matrices. FA: b_[l] maps error at layer l+2 -> layer l+1
+    // (chain). DFA: b_[l] maps output error -> hidden layer l+1 (broadcast).
+    std::vector<std::vector<float>> b_;
+    std::vector<float> class_mask_;
+    float eta_scale_ = 1.0f;
+
+    struct RunResult {
+        SampleTrace trace;
+        std::vector<std::vector<int>> pre_counts;  ///< counts used as h_pre
+    };
+    RunResult run(const std::vector<float>& input_rates, std::size_t label,
+                  bool learn);
+};
+
+}  // namespace neuro::reference

@@ -1,0 +1,114 @@
+#include "snn/convert.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/fixed.hpp"
+
+namespace neuro::snn {
+
+float percentile(std::vector<float> values, float p) {
+    if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+    if (p <= 0.0f || p > 1.0f) throw std::invalid_argument("percentile: p out of range");
+    std::sort(values.begin(), values.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<float>(values.size()))) - 1;
+    return values[std::min(rank, values.size() - 1)];
+}
+
+namespace {
+
+/// Quantizes a normalized weight bank; returns the threshold S (see header).
+std::int32_t quantize_bank(const std::vector<float>& w_norm,
+                           std::vector<std::int32_t>& out, int weight_bits) {
+    float wmax = 0.0f;
+    for (float v : w_norm) wmax = std::max(wmax, std::abs(v));
+    if (wmax <= 0.0f) throw std::invalid_argument("quantize_bank: all-zero weights");
+    const float hi = static_cast<float>((std::int64_t{1} << (weight_bits - 1)) - 1);
+    const float scale = hi / wmax;
+    out.resize(w_norm.size());
+    for (std::size_t i = 0; i < w_norm.size(); ++i)
+        out[i] = common::saturate_signed(
+            static_cast<std::int64_t>(std::lround(w_norm[i] * scale)), weight_bits);
+    return std::max<std::int32_t>(1, static_cast<std::int32_t>(std::lround(scale)));
+}
+
+}  // namespace
+
+ConvertedStack convert_conv_stack(const ann::Model& model,
+                                  const ann::PaperTopology& topo,
+                                  const data::Dataset& calibration,
+                                  float activation_percentile, int weight_bits) {
+    const auto& layers = model.layers();
+    if (layers.size() < 4)
+        throw std::invalid_argument("convert_conv_stack: not a paper-topology model");
+    const auto* conv1 = dynamic_cast<const ann::Conv2d*>(layers[0].get());
+    const auto* conv2 = dynamic_cast<const ann::Conv2d*>(layers[2].get());
+    if (conv1 == nullptr || conv2 == nullptr)
+        throw std::invalid_argument("convert_conv_stack: layers 0/2 are not Conv2d");
+
+    // ---- collect pre-ReLU activation samples -------------------------------
+    std::vector<float> act1;
+    std::vector<float> act2;
+    for (const auto& s : calibration.samples) {
+        const auto y1 =
+            ann::conv2d_forward(s.image, conv1->weights(), conv1->bias(),
+                                conv1->stride());
+        for (float v : y1)
+            if (v > 0.0f) act1.push_back(v);
+        const auto y2 = ann::conv2d_forward(ann::relu_forward(y1), conv2->weights(),
+                                            conv2->bias(), conv2->stride());
+        for (float v : y2)
+            if (v > 0.0f) act2.push_back(v);
+    }
+    // A layer that never activates on calibration data cannot be balanced.
+    const float lambda1 = act1.empty() ? 1.0f : percentile(act1, activation_percentile);
+    const float lambda2 = act2.empty() ? 1.0f : percentile(act2, activation_percentile);
+
+    // ---- normalize ----------------------------------------------------------
+    // Inputs are already in [0,1], so lambda_0 = 1.
+    auto normalize = [](const common::Tensor& w, const common::Tensor& b,
+                        float lambda_prev, float lambda, std::vector<float>& w_out,
+                        std::vector<float>& b_out) {
+        w_out.resize(w.size());
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w_out[i] = w[i] * lambda_prev / lambda;
+        b_out.resize(b.size());
+        for (std::size_t i = 0; i < b.size(); ++i) b_out[i] = b[i] / lambda;
+    };
+
+    std::vector<float> w1n, b1n, w2n, b2n;
+    normalize(conv1->weights(), conv1->bias(), 1.0f, lambda1, w1n, b1n);
+    normalize(conv2->weights(), conv2->bias(), lambda1, lambda2, w2n, b2n);
+
+    // ---- quantize -----------------------------------------------------------
+    ConvertedStack out;
+    out.conv1.spec = {topo.in_c, topo.in_h, topo.in_w,
+                      topo.conv1_c, topo.conv1_k, topo.conv1_s};
+    out.conv2.spec = {topo.conv1_c, topo.conv1_h(), topo.conv1_w(),
+                      topo.conv2_c, topo.conv2_k, topo.conv2_s};
+    out.conv1.lambda = lambda1;
+    out.conv2.lambda = lambda2;
+
+    out.conv1.vth = quantize_bank(w1n, out.conv1.weights, weight_bits);
+    out.conv2.vth = quantize_bank(w2n, out.conv2.weights, weight_bits);
+
+    auto expand_bias = [](const std::vector<float>& b_norm, const ConvSpec& spec,
+                          std::int32_t vth) {
+        std::vector<std::int32_t> bias(spec.out_size(), 0);
+        const std::size_t per_channel = spec.out_h() * spec.out_w();
+        for (std::size_t oc = 0; oc < spec.out_c; ++oc) {
+            const auto b = static_cast<std::int32_t>(
+                std::lround(b_norm[oc] * static_cast<float>(vth)));
+            for (std::size_t i = 0; i < per_channel; ++i)
+                bias[oc * per_channel + i] = b;
+        }
+        return bias;
+    };
+    out.conv1.bias = expand_bias(b1n, out.conv1.spec, out.conv1.vth);
+    out.conv2.bias = expand_bias(b2n, out.conv2.spec, out.conv2.vth);
+    return out;
+}
+
+}  // namespace neuro::snn

@@ -1,0 +1,53 @@
+#pragma once
+// ANN -> SNN conversion of the pretrained convolutional feature stack
+// (paper Sec. IV-A: "the convolutional layers are pretrained offline with
+// their respective datasets before mapping on to Loihi").
+//
+// Method: data-based weight/threshold balancing (Diehl et al., IJCNN 2015).
+// 1. Run calibration images through the float model; record a high
+//    percentile of each conv layer's pre-ReLU activations (lambda_l).
+// 2. Normalize: w_l' = w_l * lambda_{l-1} / lambda_l, b_l' = b_l / lambda_l,
+//    so normalized activations lie in [0,1] and IF spike counts over T steps
+//    approximate a * T.
+// 3. Quantize to the chip: S_l = (2^{bits-1}-1) / max|w_l'|, weights
+//    round(w' * S_l) as signed ints, threshold theta_l = round(S_l), and
+//    per-neuron bias round(b' * S_l) (integrated every step, contributing
+//    b' * T spikes over the window).
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/model.hpp"
+#include "data/dataset.hpp"
+#include "snn/topology.hpp"
+
+namespace neuro::snn {
+
+/// A conv layer ready to be laid onto the chip.
+struct QuantizedConvLayer {
+    ConvSpec spec;
+    /// Kernel-bank-ordered integer weights {out_c, in_c, k, k} flattened.
+    std::vector<std::int32_t> weights;
+    /// Per-output-neuron bias (the channel bias replicated per position).
+    std::vector<std::int32_t> bias;
+    std::int32_t vth = 1;
+    float lambda = 1.0f;  ///< activation scale this layer was normalized to
+};
+
+struct ConvertedStack {
+    QuantizedConvLayer conv1;
+    QuantizedConvLayer conv2;
+};
+
+/// Converts the first two conv layers of a paper-topology model. The model
+/// must have the build_paper_model layout (conv, relu, conv, relu, ...).
+/// `activation_percentile` in (0, 1]; 0.999 is the usual robust-max choice.
+ConvertedStack convert_conv_stack(const ann::Model& model,
+                                  const ann::PaperTopology& topo,
+                                  const data::Dataset& calibration,
+                                  float activation_percentile, int weight_bits);
+
+/// Percentile of a sample vector (nearest-rank); exposed for tests.
+float percentile(std::vector<float> values, float p);
+
+}  // namespace neuro::snn

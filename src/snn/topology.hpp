@@ -1,0 +1,53 @@
+#pragma once
+// Adjacency generation for dense and convolutional layers (paper Sec. III-C:
+// "we first generate the adjacency matrices for the connectivity between
+// adjacent layers (convolution and dense)").
+//
+// Loihi has no weight sharing: a convolution is laid down as an explicit
+// synapse list, one entry per (output neuron, kernel tap), each carrying its
+// own integer weight copied from the kernel. Neuron indexing is CHW-major,
+// matching the flattening used by common::Tensor images.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "loihi/chip.hpp"
+
+namespace neuro::snn {
+
+/// Geometry of one valid convolution layer (floor semantics, as ann::ops).
+struct ConvSpec {
+    std::size_t in_c = 1, in_h = 0, in_w = 0;
+    std::size_t out_c = 1, kernel = 1, stride = 1;
+
+    std::size_t out_h() const;
+    std::size_t out_w() const;
+    std::size_t in_size() const { return in_c * in_h * in_w; }
+    std::size_t out_size() const { return out_c * out_h() * out_w(); }
+    /// Fan-in of every output neuron (= synapses per neuron).
+    std::size_t fan_in() const { return in_c * kernel * kernel; }
+};
+
+/// Visits every connection of the convolution: src and dst are CHW-flat
+/// neuron indices, widx is the flat index into the {out_c, in_c, k, k}
+/// kernel bank.
+void for_each_conv_connection(
+    const ConvSpec& spec,
+    const std::function<void(std::size_t src, std::size_t dst, std::size_t widx)>& fn);
+
+/// Expands the convolution into chip synapses using per-tap integer weights
+/// (length out_c * in_c * k * k, kernel-bank order).
+std::vector<loihi::Synapse> conv_synapses(const ConvSpec& spec,
+                                          const std::vector<std::int32_t>& weights);
+
+/// All-to-all synapses for a dense layer from a row-major {out, in} integer
+/// weight matrix.
+std::vector<loihi::Synapse> dense_synapses(std::size_t in, std::size_t out,
+                                           const std::vector<std::int32_t>& weights);
+
+/// One-to-one synapses (idx -> idx) with a constant weight; used to wire a
+/// forward neuron to the aux compartment of its error twin (the h' gate).
+std::vector<loihi::Synapse> identity_synapses(std::size_t n, std::int32_t weight);
+
+}  // namespace neuro::snn

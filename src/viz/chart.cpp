@@ -1,0 +1,170 @@
+#include "viz/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace neuro::viz {
+
+namespace {
+
+constexpr const char* kMarkers = "*o+x#@";
+
+std::string format_tick(double v) {
+    char buf[32];
+    if (std::abs(v) >= 1000.0 || (std::abs(v) < 0.01 && v != 0.0))
+        std::snprintf(buf, sizeof buf, "%9.2e", v);
+    else
+        std::snprintf(buf, sizeof buf, "%9.3f", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string line_chart(const std::vector<double>& x,
+                       const std::vector<Series>& series,
+                       const ChartOptions& opt) {
+    if (x.size() < 2) throw std::invalid_argument("line_chart: need >= 2 x values");
+    if (series.empty()) throw std::invalid_argument("line_chart: no series");
+    for (const auto& s : series)
+        if (s.y.size() != x.size())
+            throw std::invalid_argument("line_chart: series '" + s.name +
+                                        "' length != x length");
+    if (opt.width < 8 || opt.height < 4)
+        throw std::invalid_argument("line_chart: chart too small");
+
+    // ---- ranges -------------------------------------------------------------
+    const double x_lo = *std::min_element(x.begin(), x.end());
+    const double x_hi = *std::max_element(x.begin(), x.end());
+    double y_lo = opt.y_lo, y_hi = opt.y_hi;
+    if (y_lo >= y_hi) {
+        y_lo = 1e300;
+        y_hi = -1e300;
+        for (const auto& s : series)
+            for (const double v : s.y)
+                if (std::isfinite(v)) {
+                    y_lo = std::min(y_lo, v);
+                    y_hi = std::max(y_hi, v);
+                }
+        if (y_lo > y_hi) throw std::invalid_argument("line_chart: no finite data");
+        const double margin = (y_hi - y_lo) * 0.05;
+        y_lo -= margin;
+        y_hi += margin;
+        if (y_lo == y_hi) {  // flat series: open a unit window around it
+            y_lo -= 0.5;
+            y_hi += 0.5;
+        }
+    }
+
+    // ---- canvas ---------------------------------------------------------------
+    std::vector<std::string> canvas(opt.height, std::string(opt.width, ' '));
+    const auto col_of = [&](double xv) {
+        const double f = (xv - x_lo) / (x_hi - x_lo);
+        return static_cast<std::size_t>(
+            std::lround(f * static_cast<double>(opt.width - 1)));
+    };
+    const auto row_of = [&](double yv) {
+        const double f = (yv - y_lo) / (y_hi - y_lo);
+        const double clamped = std::clamp(f, 0.0, 1.0);
+        return opt.height - 1 -
+               static_cast<std::size_t>(
+                   std::lround(clamped * static_cast<double>(opt.height - 1)));
+    };
+
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        const char mark = kMarkers[si % 6];
+        // Connect consecutive finite points with linear interpolation so the
+        // curve reads as a line, then stamp the sample markers on top.
+        for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+            const double y0 = series[si].y[i];
+            const double y1 = series[si].y[i + 1];
+            if (!std::isfinite(y0) || !std::isfinite(y1)) continue;
+            const std::size_t c0 = col_of(x[i]);
+            const std::size_t c1 = col_of(x[i + 1]);
+            for (std::size_t c = c0; c <= c1; ++c) {
+                const double t =
+                    c1 == c0 ? 0.0
+                             : static_cast<double>(c - c0) /
+                                   static_cast<double>(c1 - c0);
+                canvas[row_of(y0 + t * (y1 - y0))][c] = mark;
+            }
+        }
+        for (std::size_t i = 0; i < x.size(); ++i)
+            if (std::isfinite(series[si].y[i]))
+                canvas[row_of(series[si].y[i])][col_of(x[i])] = mark;
+    }
+
+    // ---- assemble -------------------------------------------------------------
+    std::string out;
+    if (!opt.y_label.empty()) out += opt.y_label + "\n";
+    for (std::size_t r = 0; r < opt.height; ++r) {
+        const double row_v =
+            y_hi - (y_hi - y_lo) * static_cast<double>(r) /
+                       static_cast<double>(opt.height - 1);
+        const bool labelled = r == 0 || r == opt.height - 1 || r == opt.height / 2;
+        out += labelled ? format_tick(row_v) : std::string(9, ' ');
+        out += " |";
+        out += canvas[r];
+        out += "\n";
+    }
+    out += std::string(9, ' ') + " +" + std::string(opt.width, '-') + "\n";
+    out += std::string(11, ' ') + format_tick(x_lo) +
+           std::string(opt.width > 26 ? opt.width - 26 : 1, ' ') +
+           format_tick(x_hi) + "\n";
+    if (!opt.x_label.empty())
+        out += std::string(11 + opt.width / 2 - opt.x_label.size() / 2, ' ') +
+               opt.x_label + "\n";
+    out += "legend:";
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        out += "  ";
+        out += kMarkers[si % 6];
+        out += " " + series[si].name;
+    }
+    out += "\n";
+    return out;
+}
+
+std::string spike_raster(
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& events,
+    std::uint64_t steps, std::uint32_t neurons, std::size_t width,
+    std::size_t height) {
+    if (steps == 0 || neurons == 0)
+        throw std::invalid_argument("spike_raster: empty extent");
+    width = std::min(width, static_cast<std::size_t>(steps));
+    height = std::min(height, static_cast<std::size_t>(neurons));
+
+    std::vector<std::size_t> counts(width * height, 0);
+    std::size_t peak = 0;
+    for (const auto& [t, n] : events) {
+        if (t >= steps || n >= neurons)
+            throw std::out_of_range("spike_raster: event outside extent");
+        const std::size_t c = static_cast<std::size_t>(t * width / steps);
+        const std::size_t r = static_cast<std::size_t>(
+            static_cast<std::uint64_t>(n) * height / neurons);
+        peak = std::max(peak, ++counts[r * width + c]);
+    }
+
+    std::string out = "neuron\n";
+    for (std::size_t r = 0; r < height; ++r) {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%5zu |",
+                      r * static_cast<std::size_t>(neurons) / height);
+        out += buf;
+        for (std::size_t c = 0; c < width; ++c) {
+            const std::size_t v = counts[r * width + c];
+            out += v == 0          ? '.'
+                   : v * 3 <= peak ? '|'
+                   : v * 3 <= 2 * peak ? '+'
+                                       : '#';
+        }
+        out += "\n";
+    }
+    out += std::string(6, ' ') + "+" + std::string(width, '-') + "\n";
+    out += std::string(7, ' ') + "t=0" +
+           std::string(width > 14 ? width - 14 : 1, ' ') + "t=" +
+           std::to_string(steps) + "\n";
+    return out;
+}
+
+}  // namespace neuro::viz

@@ -1,0 +1,50 @@
+#pragma once
+// Terminal plotting for the bench harness: the paper's figures are *curves*
+// (Fig. 3's U-shaped energy trade-off, Fig. 4's forget/recover sawtooth),
+// and a table of numbers hides exactly the shape the reproduction is
+// supposed to show. These renderers draw multi-series ASCII line charts and
+// spike rasters so every figure bench prints the series it reproduces.
+//
+// Rendering is deterministic: same input, same characters — chart output is
+// asserted in tests like any other value.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neuro::viz {
+
+/// One named curve. Use NaN for missing points (they are skipped).
+struct Series {
+    std::string name;
+    std::vector<double> y;
+};
+
+struct ChartOptions {
+    std::size_t width = 64;   ///< plot columns (excluding the axis gutter)
+    std::size_t height = 16;  ///< plot rows
+    std::string x_label;
+    std::string y_label;
+    /// Optional y-range override; when lo >= hi the range is auto-fitted
+    /// with a small margin.
+    double y_lo = 0.0;
+    double y_hi = 0.0;
+};
+
+/// Renders series sampled at shared x positions. Each series gets a marker
+/// from "*o+x#@" in order; overlapping points show the later series' marker.
+/// Returns a multi-line string ending in a legend row.
+std::string line_chart(const std::vector<double>& x,
+                       const std::vector<Series>& series,
+                       const ChartOptions& opt = {});
+
+/// Renders spike events (step, neuron) as a raster: one text row per neuron
+/// bucket, one column per time bucket, '.' for silence and '|' scaled to
+/// '#' for busy buckets.
+std::string spike_raster(
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& events,
+    std::uint64_t steps, std::uint32_t neurons, std::size_t width = 64,
+    std::size_t height = 16);
+
+}  // namespace neuro::viz

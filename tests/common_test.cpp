@@ -1,0 +1,226 @@
+// Unit tests for src/common: RNG determinism and distribution sanity,
+// tensor algebra, fixed-point helpers, table/CSV rendering, CLI parsing and
+// statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/fixed.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/tensor.hpp"
+
+using namespace neuro::common;
+
+TEST(Rng, DeterministicStreams) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next_u64() == b.next_u64()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformMomentsAndRange) {
+    Rng rng(7);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+        sq += u * u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+    EXPECT_NEAR(sq / n - 0.25, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(9);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+    Rng rng(3);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        lo |= v == -2;
+        hi |= v == 2;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ShufflePermutes) {
+    Rng rng(5);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+    auto w = v;
+    rng.shuffle(w);
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng a(11);
+    Rng child = a.split();
+    // The child stream must not replay the parent's.
+    Rng b(11);
+    (void)b.next_u64();  // advance identically to the split call
+    EXPECT_NE(child.next_u64(), b.next_u64());
+}
+
+TEST(Tensor, ShapeAndIndexing) {
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.size(), 24u);
+    EXPECT_EQ(t.rank(), 3u);
+    t.at3(1, 2, 3) = 5.0f;
+    EXPECT_FLOAT_EQ(t[23], 5.0f);
+    EXPECT_EQ(t.describe(), "Tensor[2x3x4]");
+}
+
+TEST(Tensor, ReshapePreservesCount) {
+    Tensor t({4, 6});
+    t.reshape({24});
+    EXPECT_EQ(t.rank(), 1u);
+    EXPECT_THROW(t.reshape({5}), std::invalid_argument);
+}
+
+TEST(Tensor, Arithmetic) {
+    Tensor a({3});
+    Tensor b({3});
+    a.fill(2.0f);
+    b.fill(1.5f);
+    a += b;
+    EXPECT_FLOAT_EQ(a[0], 3.5f);
+    a -= b;
+    EXPECT_FLOAT_EQ(a[1], 2.0f);
+    a *= 2.0f;
+    EXPECT_FLOAT_EQ(a[2], 4.0f);
+    EXPECT_FLOAT_EQ(a.sum(), 12.0f);
+    EXPECT_FLOAT_EQ(a.mean(), 4.0f);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+    Tensor t({4});
+    t[0] = 1.0f;
+    t[1] = 3.0f;
+    t[2] = 3.0f;
+    t[3] = 0.0f;
+    EXPECT_EQ(t.argmax(), 1u);
+}
+
+TEST(Fixed, SaturateSigned) {
+    EXPECT_EQ(saturate_signed(127, 8), 127);
+    EXPECT_EQ(saturate_signed(128, 8), 127);
+    EXPECT_EQ(saturate_signed(-128, 8), -128);
+    EXPECT_EQ(saturate_signed(-129, 8), -128);
+    EXPECT_EQ(saturate_signed(100000, 8), 127);
+}
+
+TEST(Fixed, SaturateUnsigned) {
+    EXPECT_EQ(saturate_unsigned(127, 7), 127);
+    EXPECT_EQ(saturate_unsigned(128, 7), 127);
+    EXPECT_EQ(saturate_unsigned(-5, 7), 0);
+}
+
+TEST(Fixed, Decay12Extremes) {
+    // delta = 0: perfect integrator. delta = 4096: clears in one step.
+    EXPECT_EQ(decay12(1000, 0), 1000);
+    EXPECT_EQ(decay12(1000, 4096), 0);
+    // Halfway decay.
+    EXPECT_EQ(decay12(1000, 2048), 500);
+}
+
+TEST(Fixed, QuantizeRoundTrip) {
+    const float v = 0.37f;
+    const auto q = quantize_signed(v, 1.0f, 8);
+    EXPECT_NEAR(dequantize_signed(q, 1.0f, 8), v, 1.0f / 127.0f);
+    EXPECT_EQ(quantize_signed(2.0f, 1.0f, 8), 127);   // saturates
+    EXPECT_EQ(quantize_signed(-2.0f, 1.0f, 8), -128);
+}
+
+TEST(Table, AlignsAndFormats) {
+    Table t({"name", "value"});
+    t.add_row({"alpha", Table::fmt(1.5)});
+    t.add_row({"b", Table::pct(0.945)});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_NE(s.find("94.5%"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Csv, WritesEscapedFile) {
+    const std::string dir = testing::TempDir() + "/neuro_csv_test";
+    CsvWriter w(dir, "t", {"a", "b"});
+    w.add_row({"x,y", "plain"});
+    const std::string path = w.write();
+    std::ifstream f(path);
+    std::string line;
+    std::getline(f, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(f, line);
+    EXPECT_EQ(line, "\"x,y\",plain");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, ParsesKeysFlagsAndTypes) {
+    const char* argv[] = {"prog", "--alpha=3", "--flag", "--rate=0.5",
+                          "--name=test"};
+    Cli cli(5, argv);
+    EXPECT_FALSE(cli.error());
+    EXPECT_EQ(cli.get_int("alpha", 0), 3);
+    EXPECT_TRUE(cli.get_bool("flag", false));
+    EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 0.5);
+    EXPECT_EQ(cli.get("name", ""), "test");
+    EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, RejectsPositional) {
+    const char* argv[] = {"prog", "positional"};
+    Cli cli(2, argv);
+    EXPECT_TRUE(cli.error());
+}
+
+TEST(Stats, ConfusionAccuracyAndRecall) {
+    Confusion c(3);
+    c.add(0, 0);
+    c.add(0, 1);
+    c.add(1, 1);
+    c.add(2, 2);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.75);
+    EXPECT_DOUBLE_EQ(c.recall(0), 0.5);
+    EXPECT_DOUBLE_EQ(c.recall(1), 1.0);
+    EXPECT_DOUBLE_EQ(c.accuracy_over({0}), 0.5);
+    EXPECT_DOUBLE_EQ(c.accuracy_over({1, 2}), 1.0);
+    EXPECT_THROW(c.add(3, 0), std::out_of_range);
+}
+
+TEST(Stats, MeanStddevArgmax) {
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_NEAR(stddev({1.0, 2.0, 3.0}), 1.0, 1e-12);
+    EXPECT_EQ(argmax(std::vector<double>{1.0, 5.0, 2.0}), 1u);
+    EXPECT_EQ(argmax(std::vector<int>{3, 3, 1}), 0u);
+}

@@ -1,0 +1,283 @@
+// Unit tests for src/data: the four synthetic generators (MNIST / Fashion /
+// CIFAR / MSTAR substitutes), IDX loading, and the bias-encoding of inputs
+// (paper Sec. III-D).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/dataset.hpp"
+#include "data/encode.hpp"
+#include "data/idx_loader.hpp"
+
+using namespace neuro::data;
+using neuro::common::Rng;
+
+namespace {
+
+/// Nearest-centroid accuracy: a floor on class separability that any
+/// learnable dataset must clear comfortably.
+double centroid_accuracy(const Dataset& d) {
+    const std::size_t dim = d.pixels();
+    std::vector<std::vector<double>> centroid(d.num_classes,
+                                              std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> count(d.num_classes, 0);
+    const std::size_t half = d.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+        const auto& s = d.samples[i];
+        ++count[s.label];
+        for (std::size_t p = 0; p < dim; ++p) centroid[s.label][p] += s.image[p];
+    }
+    for (std::size_t c = 0; c < d.num_classes; ++c)
+        if (count[c] > 0)
+            for (auto& v : centroid[c]) v /= static_cast<double>(count[c]);
+
+    std::size_t hit = 0;
+    for (std::size_t i = half; i < d.size(); ++i) {
+        const auto& s = d.samples[i];
+        double best = 1e30;
+        std::size_t best_c = 0;
+        for (std::size_t c = 0; c < d.num_classes; ++c) {
+            double dist = 0.0;
+            for (std::size_t p = 0; p < dim; ++p) {
+                const double e = centroid[c][p] - s.image[p];
+                dist += e * e;
+            }
+            if (dist < best) {
+                best = dist;
+                best_c = c;
+            }
+        }
+        if (best_c == s.label) ++hit;
+    }
+    return static_cast<double>(hit) / static_cast<double>(d.size() - half);
+}
+
+}  // namespace
+
+class GeneratorTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorTest, ShapeLabelsAndRange) {
+    GenOptions opt;
+    opt.count = 100;
+    opt.seed = 5;
+    const Dataset d = make_by_name(GetParam(), opt);
+    EXPECT_EQ(d.size(), 100u);
+    EXPECT_EQ(d.num_classes, 10u);
+    std::vector<std::size_t> counts(10, 0);
+    for (const auto& s : d.samples) {
+        ASSERT_LT(s.label, 10u);
+        ++counts[s.label];
+        ASSERT_EQ(s.image.size(), d.pixels());
+        for (float v : s.image) {
+            ASSERT_GE(v, 0.0f);
+            ASSERT_LE(v, 1.0f);
+        }
+    }
+    // Balanced generation (round-robin labels).
+    for (std::size_t c = 0; c < 10; ++c) EXPECT_EQ(counts[c], 10u);
+}
+
+TEST_P(GeneratorTest, DeterministicPerSeed) {
+    GenOptions opt;
+    opt.count = 20;
+    opt.seed = 77;
+    const Dataset a = make_by_name(GetParam(), opt);
+    const Dataset b = make_by_name(GetParam(), opt);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a.samples[i].label, b.samples[i].label);
+        for (std::size_t p = 0; p < a.samples[i].image.size(); ++p)
+            ASSERT_FLOAT_EQ(a.samples[i].image[p], b.samples[i].image[p]);
+    }
+    opt.seed = 78;
+    const Dataset c = make_by_name(GetParam(), opt);
+    bool differs = false;
+    for (std::size_t p = 0; p < a.samples[0].image.size() && !differs; ++p)
+        differs = a.samples[0].image[p] != c.samples[0].image[p];
+    EXPECT_TRUE(differs) << "different seeds must give different images";
+}
+
+TEST_P(GeneratorTest, ClassesAreSeparable) {
+    GenOptions opt;
+    opt.count = 600;
+    opt.seed = 3;
+    const Dataset d = make_by_name(GetParam(), opt);
+    // Every generator must beat chance by a wide margin even for the
+    // weakest classifier; thresholds reflect intended difficulty ordering.
+    const double acc = centroid_accuracy(d);
+    EXPECT_GT(acc, 0.35) << GetParam() << " centroid accuracy " << acc;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorTest,
+                         testing::Values("digits", "fashion", "cifar", "sar"));
+
+TEST(Generators, DifficultyOrderingDigitsEasiestByCentroid) {
+    GenOptions opt;
+    opt.count = 600;
+    opt.seed = 9;
+    const double digits = centroid_accuracy(make_digits(opt));
+    const double cifar = centroid_accuracy(make_cifar(opt));
+    EXPECT_GT(digits, cifar) << "digits must be easier than the CIFAR substitute";
+}
+
+TEST(Generators, GeometryMatchesPaper) {
+    GenOptions opt;
+    opt.count = 10;
+    EXPECT_EQ(make_digits(opt).height, 28u);
+    EXPECT_EQ(make_digits(opt).channels, 1u);
+    EXPECT_EQ(make_fashion(opt).width, 28u);
+    EXPECT_EQ(make_cifar(opt).channels, 3u);
+    EXPECT_EQ(make_cifar(opt).height, 32u);
+    EXPECT_EQ(make_sar(opt).height, 32u);  // paper crops/resizes MSTAR to 32x32
+    EXPECT_EQ(make_sar(opt).channels, 1u);
+}
+
+TEST(Generators, CustomSizeHonoured) {
+    GenOptions opt;
+    opt.count = 10;
+    opt.height = 14;
+    opt.width = 14;
+    const Dataset d = make_digits(opt);
+    EXPECT_EQ(d.height, 14u);
+    EXPECT_EQ(d.width, 14u);
+}
+
+TEST(Generators, UnknownNameThrows) {
+    EXPECT_THROW(make_by_name("imagenet", {}), std::invalid_argument);
+}
+
+TEST(Dataset, FilterClasses) {
+    GenOptions opt;
+    opt.count = 100;
+    const Dataset d = make_digits(opt);
+    const Dataset f = d.filter_classes({1, 3});
+    EXPECT_EQ(f.size(), 20u);
+    for (const auto& s : f.samples) EXPECT_TRUE(s.label == 1 || s.label == 3);
+}
+
+TEST(Dataset, SplitAndShuffle) {
+    GenOptions opt;
+    opt.count = 50;
+    Dataset d = make_digits(opt);
+    Rng rng(4);
+    d.shuffle(rng);
+    auto [train, test] = split(d, 30);
+    EXPECT_EQ(train.size(), 30u);
+    EXPECT_EQ(test.size(), 20u);
+    EXPECT_THROW(split(d, 51), std::invalid_argument);
+}
+
+TEST(IdxLoader, MissingFilesReturnNullopt) {
+    EXPECT_FALSE(load_idx("/nonexistent/images", "/nonexistent/labels", "x"));
+}
+
+TEST(IdxLoader, ParsesCraftedFiles) {
+    const std::string dir = testing::TempDir() + "/neuro_idx_test";
+    std::filesystem::create_directories(dir);
+    const std::string img_path = dir + "/imgs";
+    const std::string lab_path = dir + "/labs";
+
+    auto be32 = [](std::ofstream& f, std::uint32_t v) {
+        const unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                                    static_cast<unsigned char>(v >> 16),
+                                    static_cast<unsigned char>(v >> 8),
+                                    static_cast<unsigned char>(v)};
+        f.write(reinterpret_cast<const char*>(b), 4);
+    };
+    {
+        std::ofstream f(img_path, std::ios::binary);
+        be32(f, 0x803);
+        be32(f, 2);   // 2 images
+        be32(f, 2);   // 2x2
+        be32(f, 2);
+        const unsigned char px[8] = {0, 64, 128, 255, 10, 20, 30, 40};
+        f.write(reinterpret_cast<const char*>(px), 8);
+    }
+    {
+        std::ofstream f(lab_path, std::ios::binary);
+        be32(f, 0x801);
+        be32(f, 2);
+        const unsigned char lab[2] = {7, 3};
+        f.write(reinterpret_cast<const char*>(lab), 2);
+    }
+    const auto d = load_idx(img_path, lab_path, "crafted");
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->size(), 2u);
+    EXPECT_EQ(d->height, 2u);
+    EXPECT_EQ(d->samples[0].label, 7u);
+    EXPECT_EQ(d->samples[1].label, 3u);
+    EXPECT_FLOAT_EQ(d->samples[0].image[3], 1.0f);
+    EXPECT_NEAR(d->samples[0].image[1], 64.0f / 255.0f, 1e-6);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(IdxWriter, RoundTripsThroughLoader) {
+    GenOptions opt;
+    opt.count = 30;
+    opt.seed = 12;
+    opt.height = 10;
+    opt.width = 10;
+    const Dataset d = make_digits(opt);
+    const std::string dir = testing::TempDir() + "/neuro_idx_rt";
+    std::filesystem::create_directories(dir);
+    save_idx(d, dir + "/imgs", dir + "/labs");
+    const auto back = load_idx(dir + "/imgs", dir + "/labs", "rt");
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), d.size());
+    EXPECT_EQ(back->height, 10u);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        ASSERT_EQ(back->samples[i].label, d.samples[i].label);
+        for (std::size_t px = 0; px < d.pixels(); ++px)
+            ASSERT_NEAR(back->samples[i].image[px], d.samples[i].image[px],
+                        1.0f / 255.0f);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(IdxWriter, RejectsMultiChannel) {
+    GenOptions opt;
+    opt.count = 5;
+    const Dataset d = make_cifar(opt);
+    EXPECT_THROW(save_idx(d, "/tmp/x", "/tmp/y"), std::invalid_argument);
+}
+
+TEST(Encode, BiasQuantizationIsLinear) {
+    neuro::common::Tensor img({4});
+    img[0] = 0.0f;
+    img[1] = 0.25f;
+    img[2] = 0.5f;
+    img[3] = 1.0f;
+    const auto bias = quantize_to_bias(img, 64);
+    EXPECT_EQ(bias[0], 0);
+    EXPECT_EQ(bias[1], 16);
+    EXPECT_EQ(bias[2], 32);
+    EXPECT_EQ(bias[3], 64);
+}
+
+TEST(Encode, RateCodeMatchesBiasIntegration) {
+    // The explicit raster must carry exactly floor-style bias-integration
+    // counts: spikes = bias (for theta = T).
+    neuro::common::Tensor img({3});
+    img[0] = 0.25f;
+    img[1] = 0.75f;
+    img[2] = 1.0f;
+    const auto rasters = rate_code_spikes(img, 64);
+    const auto bias = quantize_to_bias(img, 64);
+    for (std::size_t i = 0; i < 3; ++i) {
+        int count = 0;
+        for (bool s : rasters[i]) count += s ? 1 : 0;
+        EXPECT_EQ(count, bias[i]);
+    }
+}
+
+TEST(Encode, IoCostShowsBiasAdvantage) {
+    // Paper Sec. III-D: bias programming needs one write per pixel; spike
+    // insertion needs one write per spike — far more for bright images.
+    neuro::common::Tensor img({100});
+    img.fill(0.8f);
+    const auto cost = io_cost(img, 64);
+    EXPECT_EQ(cost.bias_writes, 100u);
+    EXPECT_GT(cost.spike_inserts, 40u * 100u);  // ~0.8 * 64 per pixel
+    EXPECT_GT(cost.spike_inserts, cost.bias_writes);
+}

@@ -1,0 +1,202 @@
+// Focused dynamics tests of the on-chip EMSTDP machinery: the two-channel
+// error representation, the h' gating along the feedback path, trace
+// bookkeeping across the two phases, and properties of the IF rate code.
+// These pin the *mechanisms* of paper Sec. III at the spike level, one
+// level below the task-accuracy tests in core_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/network.hpp"
+#include "data/encode.hpp"
+#include "loihi/chip.hpp"
+
+using namespace neuro;
+using core::EmstdpNetwork;
+using core::EmstdpOptions;
+using loihi::Phase;
+using neuro::common::Tensor;
+
+namespace {
+
+/// Single-dense-layer network on an 8-pixel input with 4 classes. The
+/// population order inside EmstdpNetwork is: input, output, label,
+/// out_err+, out_err-.
+struct Probe {
+    EmstdpOptions opt;
+    EmstdpNetwork net;
+    loihi::PopulationId label_pop = 2;
+    loihi::PopulationId err_pos = 3;
+    loihi::PopulationId err_neg = 4;
+
+    explicit Probe(EmstdpOptions o = {})
+        : opt(o), net(opt, 1, 1, 8, nullptr, {}, 4) {}
+
+    /// Runs both phases manually and returns (h1, h2, e+, e-).
+    struct Counts {
+        std::vector<std::int32_t> h1, h2, ep, en;
+    };
+    Counts run(const std::vector<std::int32_t>& input_bias, std::size_t label) {
+        auto& chip = net.chip();
+        chip.reset_dynamic_state();
+        chip.set_bias(net.input_pop(), input_bias);
+        std::vector<std::int32_t> lb(4, 0);
+        lb[label] = static_cast<std::int32_t>(0.75f * 64.0f);
+        chip.set_bias(label_pop, lb);
+        chip.set_phase(Phase::One);
+        chip.run(64);
+        Counts c;
+        c.h1 = chip.spike_counts(net.output_pop(), Phase::One);
+        chip.reset_membranes();
+        chip.set_phase(Phase::Two);
+        chip.run(64);
+        c.h2 = chip.spike_counts(net.output_pop(), Phase::Two);
+        c.ep = chip.spike_counts(err_pos, Phase::Two);
+        c.en = chip.spike_counts(err_neg, Phase::Two);
+        return c;
+    }
+};
+
+}  // namespace
+
+TEST(ErrorChannels, PositiveChannelFiresForUnderActiveTarget) {
+    Probe p;
+    const auto c = p.run(std::vector<std::int32_t>(8, 32), 2);
+    // The labelled class fires on the + channel (target above prediction);
+    // its - channel stays comparatively silent.
+    EXPECT_GT(c.ep[2], 0);
+    EXPECT_LE(c.en[2], c.ep[2] / 2);
+}
+
+TEST(ErrorChannels, NegativeChannelFiresForOverActiveNonTargets) {
+    Probe p;
+    const auto c = p.run(std::vector<std::int32_t>(8, 32), 2);
+    for (std::size_t j = 0; j < 4; ++j) {
+        if (j == 2) continue;
+        // Any non-target class active in phase 1 must show negative error.
+        if (c.h1[j] > 4) {
+            EXPECT_GT(c.en[j], 0) << "class " << j;
+            EXPECT_LE(c.ep[j], 1) << "class " << j;
+        }
+    }
+}
+
+TEST(ErrorChannels, SilentInPhaseOne) {
+    Probe p;
+    auto& chip = p.net.chip();
+    chip.reset_dynamic_state();
+    chip.set_bias(p.net.input_pop(), std::vector<std::int32_t>(8, 40));
+    std::vector<std::int32_t> lb(4, 0);
+    lb[1] = 48;
+    chip.set_bias(p.label_pop, lb);
+    chip.set_phase(Phase::One);
+    chip.run(64);
+    const auto ep = chip.spike_counts(p.err_pos, Phase::One);
+    const auto en = chip.spike_counts(p.err_neg, Phase::One);
+    EXPECT_EQ(std::accumulate(ep.begin(), ep.end(), 0), 0);
+    EXPECT_EQ(std::accumulate(en.begin(), en.end(), 0), 0);
+}
+
+TEST(ErrorChannels, CorrectionMovesOutputTowardTarget) {
+    Probe p;
+    const auto c = p.run(std::vector<std::int32_t>(8, 32), 2);
+    // Labelled class rate must rise in phase 2; strongly active wrong
+    // classes must fall.
+    EXPECT_GT(c.h2[2], c.h1[2]);
+    for (std::size_t j = 0; j < 4; ++j) {
+        if (j == 2) continue;
+        if (c.h1[j] > 8) {
+            EXPECT_LT(c.h2[j], c.h1[j]) << "class " << j;
+        }
+    }
+}
+
+TEST(ErrorChannels, ErrorShrinksAsOutputMatchesTarget) {
+    // Train the same sample repeatedly: the accumulated |error| of the
+    // labelled class must shrink as the weights converge.
+    Probe p;
+    Tensor img({1, 1, 8});
+    for (std::size_t i = 0; i < 8; ++i) img[i] = (i < 4) ? 0.6f : 0.05f;
+    const auto bias = data::quantize_to_bias(img, 64);
+
+    const auto first = p.run(bias, 1);
+    p.net.chip().apply_learning();
+    for (int k = 0; k < 20; ++k) {
+        p.net.train_sample(img, 1);
+    }
+    const auto later = p.run(bias, 1);
+    const int err_first = first.ep[1] + first.en[1];
+    const int err_later = later.ep[1] + later.en[1];
+    EXPECT_LT(err_later, err_first)
+        << "error activity must decay as the sample is learned";
+}
+
+TEST(TraceBookkeeping, MatchesPhaseCountsExactly) {
+    Probe p;
+    const auto c = p.run(std::vector<std::int32_t>(8, 24), 0);
+    auto& chip = p.net.chip();
+    for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_EQ(chip.trace_y1(p.net.output_pop(), j), c.h2[j]) << j;
+        EXPECT_EQ(chip.trace_tag(p.net.output_pop(), j), c.h1[j] + c.h2[j]) << j;
+    }
+    // Pre trace of the input: phase-1 count = programmed bias.
+    EXPECT_EQ(chip.trace_x1(p.net.input_pop(), 0), 24);
+}
+
+TEST(FaGating, SilentForwardNeuronsGetNoHiddenError) {
+    // Build a 2-layer FA network and force one hidden neuron silent by
+    // zeroing the input; its error twin must never fire (the AND gate).
+    EmstdpOptions opt;
+    opt.feedback = core::FeedbackMode::FA;
+    EmstdpNetwork net(opt, 1, 1, 6, nullptr, {5}, 3);
+    // Populations: input 0, dense1 1, output 2, label 3, oe+ 4, oe- 5,
+    // hid_err+ 6, hid_err- 7.
+    auto& chip = net.chip();
+    chip.reset_dynamic_state();
+    chip.set_bias(net.input_pop(), std::vector<std::int32_t>(6, 0));  // silent
+    std::vector<std::int32_t> lb(3, 0);
+    lb[0] = 48;
+    chip.set_bias(3, lb);
+    chip.set_phase(Phase::One);
+    chip.run(64);
+    chip.reset_membranes();
+    chip.set_phase(Phase::Two);
+    chip.run(64);
+    // With zero input, every hidden neuron was silent in phase 1, so the
+    // whole hidden error population is gated shut even though the output
+    // error is firing (label demands activity).
+    const auto hep = chip.spike_counts(6, Phase::Two);
+    const auto hen = chip.spike_counts(7, Phase::Two);
+    EXPECT_EQ(std::accumulate(hep.begin(), hep.end(), 0), 0);
+    EXPECT_EQ(std::accumulate(hen.begin(), hen.end(), 0), 0);
+    const auto oep = chip.spike_counts(4, Phase::Two);
+    EXPECT_GT(std::accumulate(oep.begin(), oep.end(), 0), 0)
+        << "output error itself is ungated";
+}
+
+class RateCodeProperty : public testing::TestWithParam<int> {};
+
+TEST_P(RateCodeProperty, SoftResetCountEqualsFlooredDrive) {
+    // Property of the IF code (paper eq. 2): over a window, the spike count
+    // equals floor(total integrated drive / theta) for any constant drive.
+    const int bias = GetParam();
+    loihi::Chip chip;
+    loihi::PopulationConfig pc;
+    pc.name = "p";
+    pc.size = 1;
+    pc.compartment.vth = 97;  // deliberately not a divisor of anything
+    const auto pop = chip.add_population(pc);
+    chip.finalize();
+    chip.set_bias(pop, {bias});
+    chip.run(64);
+    // A compartment can emit at most one spike per step, so drives above
+    // theta saturate the code at T spikes (backlog accumulates in v).
+    EXPECT_EQ(chip.spike_counts(pop, Phase::One)[0],
+              std::min<std::int64_t>(64, std::int64_t{bias} * 64 / 97));
+}
+
+INSTANTIATE_TEST_SUITE_P(DriveSweep, RateCodeProperty,
+                         testing::Values(1, 3, 13, 48, 97, 150));

@@ -1,0 +1,109 @@
+// Cross-module integration tests: the full Table-I pipeline at miniature
+// scale — synthetic dataset, offline conv pretraining, ANN->SNN conversion,
+// on-chip online learning — plus the reference-vs-chip relationship and the
+// Table-II energy relations on the real paper topology.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+
+using namespace neuro::core;
+using neuro::common::Rng;
+
+namespace {
+
+/// One shared miniature experiment (14x14 digits keep the conv stack and
+/// every code path alive at a fraction of the runtime).
+const Prepared& prep() {
+    static const Prepared p = [] {
+        ExperimentSpec spec;
+        spec.dataset = "digits";
+        spec.train_count = 400;
+        spec.test_count = 150;
+        spec.ann_epochs = 3;
+        spec.seed = 21;
+        return prepare(spec);
+    }();
+    return p;
+}
+
+}  // namespace
+
+TEST(Pipeline, AnnPretrainingReachesHighAccuracy) {
+    EXPECT_GT(prep().ann_test_accuracy, 0.85)
+        << "offline CNN is the upper bound for everything downstream";
+}
+
+TEST(Pipeline, ReferenceLearnsFromConvFeatures) {
+    auto ref = build_reference(prep(), neuro::reference::FeedbackMode::DFA,
+                               0.125f, 7);
+    const double acc = run_reference(ref, prep(), 2, 42);
+    EXPECT_GT(acc, 0.6) << "FP reference on conv features";
+}
+
+TEST(Pipeline, ChipLearnsFromScratchOnline) {
+    EmstdpOptions opt;
+    opt.feedback = FeedbackMode::DFA;
+    auto net = build_chip_network(prep(), opt);
+
+    const double before = evaluate(*net, prep().test);
+    Rng rng(42);
+    train_epoch(*net, prep().train, rng);
+    train_epoch(*net, prep().train, rng);
+    train_epoch(*net, prep().train, rng);
+    const double after = evaluate(*net, prep().test);
+    EXPECT_GT(after, before + 0.3) << "on-chip training must improve accuracy";
+    EXPECT_GT(after, 0.65);
+}
+
+TEST(Pipeline, MappingIsFeasibleOnOneChip) {
+    EmstdpOptions opt;
+    auto net = build_chip_network(prep(), opt);
+    EXPECT_TRUE(net->chip().mapping().feasible);
+    EXPECT_LE(net->costs().cores, 128u);
+}
+
+TEST(Pipeline, TableTwoRelationsHold) {
+    // The qualitative content of Table II: training takes 2T steps vs T,
+    // roughly halving FPS; the inference build uses fewer cores and less
+    // power; energy per image is higher when training.
+    EmstdpOptions train_opt;
+    train_opt.feedback = FeedbackMode::FA;
+    auto train_net = build_chip_network(prep(), train_opt);
+    EmstdpOptions inf_opt = train_opt;
+    inf_opt.inference_only = true;
+    auto inf_net = build_chip_network(prep(), inf_opt);
+
+    const neuro::loihi::EnergyModelParams params;
+    const auto train_r = measure_energy(*train_net, prep().test, 10, true, params);
+    const auto test_r = measure_energy(*inf_net, prep().test, 10, false, params);
+
+    EXPECT_NEAR(test_r.fps / train_r.fps, 2.0, 0.2);
+    EXPECT_LT(test_r.power_w, train_r.power_w);
+    EXPECT_LT(test_r.energy_per_sample_j, train_r.energy_per_sample_j);
+    // The headline claim: millijoules per image, sub-watt power.
+    EXPECT_LT(train_r.power_w, 1.0);
+    EXPECT_GT(train_r.energy_per_sample_j, 1e-4);
+    EXPECT_LT(train_r.energy_per_sample_j, 0.1);
+}
+
+TEST(Pipeline, DfaTrainsWithLowerPowerThanFa) {
+    // Fig. 3 claim: at the same neurons/core, DFA occupies fewer cores and
+    // consumes less active power, with similar throughput.
+    EmstdpOptions fa;
+    fa.feedback = FeedbackMode::FA;
+    EmstdpOptions dfa;
+    dfa.feedback = FeedbackMode::DFA;
+    auto fa_net = build_chip_network(prep(), fa);
+    auto dfa_net = build_chip_network(prep(), dfa);
+
+    const neuro::loihi::EnergyModelParams params;
+    const auto fa_r = measure_energy(*fa_net, prep().test, 6, true, params);
+    const auto dfa_r = measure_energy(*dfa_net, prep().test, 6, true, params);
+
+    EXPECT_LT(dfa_r.cores, fa_r.cores);
+    EXPECT_LT(dfa_r.power_w, fa_r.power_w);
+    EXPECT_NEAR(dfa_r.fps, fa_r.fps, fa_r.fps * 0.15)
+        << "similar throughput at the same neurons-per-core";
+}

@@ -1,0 +1,124 @@
+// Tests for the incremental-online-learning harness (paper Sec. IV-B).
+// Run on a small dense-only network so the full schedule stays fast.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "iol/incremental.hpp"
+
+using namespace neuro::iol;
+using neuro::common::Rng;
+using neuro::common::Tensor;
+
+namespace {
+
+/// Six well-separated rate prototypes over 18 inputs.
+neuro::data::Dataset toy_pool(std::size_t per_class, std::uint64_t seed) {
+    Rng rng(seed);
+    const std::size_t classes = 6;
+    const std::size_t dims = 18;
+    std::vector<std::vector<float>> protos;
+    for (std::size_t c = 0; c < classes; ++c) {
+        std::vector<float> p(dims, 0.05f);
+        for (std::size_t k = 0; k < 3; ++k) p[(c * 3 + k) % dims] = 0.8f;
+        protos.push_back(std::move(p));
+    }
+    neuro::data::Dataset d;
+    d.name = "toy6";
+    d.channels = 1;
+    d.height = 1;
+    d.width = dims;
+    d.num_classes = classes;
+    for (std::size_t i = 0; i < per_class * classes; ++i) {
+        const std::size_t c = i % classes;
+        Tensor x({1, 1, dims});
+        for (std::size_t p = 0; p < dims; ++p) {
+            const float v = protos[c][p] + static_cast<float>(rng.normal(0.0, 0.06));
+            x[p] = std::clamp(v, 0.0f, 1.0f);
+        }
+        d.samples.push_back({std::move(x), c});
+    }
+    return d;
+}
+
+NetworkFactory toy_factory() {
+    return [] {
+        neuro::core::EmstdpOptions opt;
+        opt.seed = 13;
+        return std::make_unique<neuro::core::EmstdpNetwork>(
+            opt, 1, 1, 18, nullptr, std::vector<std::size_t>{}, 6);
+    };
+}
+
+}  // namespace
+
+TEST(Iol, ScheduleBookkeeping) {
+    const auto pool = toy_pool(25, 1);
+    const auto test = toy_pool(10, 2);
+    IolOptions opt;
+    opt.initial_classes = 2;
+    opt.classes_per_iteration = 2;
+    opt.iterations = 2;
+    opt.rounds_per_iteration = 3;
+    opt.pretrain_epochs = 2;
+    opt.baseline_epochs = 1;
+
+    const auto result = run_incremental(toy_factory(), pool, test, opt);
+
+    ASSERT_EQ(result.rounds.size(), 6u);
+    ASSERT_EQ(result.baseline.size(), 2u);
+    EXPECT_EQ(result.class_order.size(), 6u);
+    // Observed classes grow by 2 per iteration.
+    EXPECT_EQ(result.rounds[0].observed_classes.size(), 4u);
+    EXPECT_EQ(result.rounds[3].observed_classes.size(), 6u);
+    for (const auto& r : result.rounds) {
+        EXPECT_GE(r.accuracy_after_step1, 0.0);
+        EXPECT_LE(r.accuracy_after_step1, 1.0);
+        EXPECT_GE(r.accuracy_after_step2, 0.0);
+        EXPECT_LE(r.accuracy_after_step2, 1.0);
+    }
+}
+
+TEST(Iol, PretrainingLearnsInitialClasses) {
+    const auto pool = toy_pool(30, 3);
+    const auto test = toy_pool(12, 4);
+    IolOptions opt;
+    opt.initial_classes = 3;
+    opt.classes_per_iteration = 1;
+    opt.iterations = 1;
+    opt.rounds_per_iteration = 2;
+    opt.pretrain_epochs = 3;
+    const auto result = run_incremental(toy_factory(), pool, test, opt);
+    EXPECT_GT(result.pretrain_accuracy, 0.7)
+        << "pretraining on the initial classes must work";
+}
+
+TEST(Iol, RecoversAcrossRoundsWithinIteration) {
+    // The Fig. 4 signature: accuracy recovers over the rounds of an
+    // iteration — the last round's step-2 accuracy beats the first round's
+    // step-1 accuracy.
+    const auto pool = toy_pool(40, 5);
+    const auto test = toy_pool(15, 6);
+    IolOptions opt;
+    opt.initial_classes = 2;
+    opt.classes_per_iteration = 2;
+    opt.iterations = 1;
+    opt.rounds_per_iteration = 4;
+    opt.pretrain_epochs = 3;
+    const auto result = run_incremental(toy_factory(), pool, test, opt);
+    ASSERT_EQ(result.rounds.size(), 4u);
+    EXPECT_GT(result.rounds.back().accuracy_after_step2,
+              result.rounds.front().accuracy_after_step1);
+}
+
+TEST(Iol, RejectsOversizedSchedule) {
+    const auto pool = toy_pool(10, 7);
+    IolOptions opt;
+    opt.initial_classes = 4;
+    opt.classes_per_iteration = 2;
+    opt.iterations = 3;  // needs 10 classes; pool has 6
+    EXPECT_THROW(run_incremental(toy_factory(), pool, pool, opt),
+                 std::invalid_argument);
+}

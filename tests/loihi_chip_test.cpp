@@ -1,0 +1,517 @@
+// Unit tests for the chip simulator: CUBA/IF compartment dynamics, bias
+// integration (the paper's input encoding), multi-compartment joins, phase
+// gating, traces, spike delivery, learning application and the host API.
+
+#include <gtest/gtest.h>
+
+#include "loihi/chip.hpp"
+
+using namespace neuro::loihi;
+
+namespace {
+
+/// A single-population chip with n IF neurons (paper configuration: no
+/// voltage leak, instant current decay).
+struct SinglePop {
+    Chip chip;
+    PopulationId pop;
+
+    explicit SinglePop(std::size_t n, std::int32_t vth, bool floor = false) {
+        PopulationConfig pc;
+        pc.name = "p";
+        pc.size = n;
+        pc.compartment.vth = vth;
+        pc.compartment.floor_at_zero = floor;
+        pop = chip.add_population(pc);
+        chip.finalize();
+    }
+};
+
+}  // namespace
+
+class BiasIntegrationTest : public testing::TestWithParam<std::int32_t> {};
+
+TEST_P(BiasIntegrationTest, SpikeCountIsFloorBiasTOverTheta) {
+    // Paper Sec. III-D: u_in = i * T, h_in = floor(u_in / theta). With
+    // theta = T the count equals the programmed bias.
+    const std::int32_t T = 64;
+    const std::int32_t bias = GetParam();
+    SinglePop s(1, T);
+    s.chip.set_bias(s.pop, {bias});
+    s.chip.run(static_cast<std::size_t>(T));
+    EXPECT_EQ(s.chip.spike_counts(s.pop, Phase::One)[0], bias);
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasSweep, BiasIntegrationTest,
+                         testing::Values(0, 1, 7, 16, 32, 48, 63, 64));
+
+TEST(Compartment, NoLeakIntegration) {
+    // dv = 0: the membrane holds its value indefinitely.
+    SinglePop s(1, 1000);
+    s.chip.set_bias(s.pop, {10});
+    s.chip.run(5);
+    EXPECT_EQ(s.chip.membrane(s.pop, 0), 50);
+    s.chip.set_bias(s.pop, {0});
+    s.chip.run(100);
+    EXPECT_EQ(s.chip.membrane(s.pop, 0), 50);
+}
+
+TEST(Compartment, VoltageLeakDecays) {
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "lif";
+    pc.size = 1;
+    pc.compartment.vth = 1 << 20;
+    pc.compartment.decay_v = 2048;  // halve every step
+    const auto pop = chip.add_population(pc);
+    chip.finalize();
+    chip.set_bias(pop, {1024});
+    chip.run(1);
+    EXPECT_EQ(chip.membrane(pop, 0), 1024);
+    chip.set_bias(pop, {0});
+    chip.run(1);
+    EXPECT_EQ(chip.membrane(pop, 0), 512);
+    chip.run(2);
+    EXPECT_EQ(chip.membrane(pop, 0), 128);
+}
+
+TEST(Compartment, SoftResetPreservesResidue) {
+    SinglePop s(1, 10);
+    s.chip.set_bias(s.pop, {7});
+    // After 3 steps v accumulated 21 -> spikes at steps 2 and 3, residue 1.
+    s.chip.run(3);
+    EXPECT_EQ(s.chip.spike_counts(s.pop, Phase::One)[0], 2);
+    EXPECT_EQ(s.chip.membrane(s.pop, 0), 1);
+}
+
+TEST(Compartment, HardResetDropsResidue) {
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "hard";
+    pc.size = 1;
+    pc.compartment.vth = 10;
+    pc.compartment.soft_reset = false;
+    const auto pop = chip.add_population(pc);
+    chip.finalize();
+    chip.set_bias(pop, {7});
+    chip.run(3);
+    // Steps: v=7, v=14 -> spike, v=0; v=7. One spike, residue 7.
+    EXPECT_EQ(chip.spike_counts(pop, Phase::One)[0], 1);
+    EXPECT_EQ(chip.membrane(pop, 0), 7);
+}
+
+TEST(Compartment, FloorAtZeroClampsInhibition) {
+    SinglePop s(1, 100, /*floor=*/true);
+    s.chip.set_bias(s.pop, {-50});
+    s.chip.run(10);
+    EXPECT_EQ(s.chip.membrane(s.pop, 0), 0);
+    // Without the floor the membrane would be at -500; one step of +60
+    // must now cross nothing, two steps cross 100 once... verify recovery:
+    s.chip.set_bias(s.pop, {60});
+    s.chip.run(2);
+    EXPECT_EQ(s.chip.spike_counts(s.pop, Phase::One)[0], 1);
+}
+
+TEST(Compartment, RefractoryBlocksSpikes) {
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "ref";
+    pc.size = 1;
+    pc.compartment.vth = 10;
+    pc.compartment.refractory = 3;
+    const auto pop = chip.add_population(pc);
+    chip.finalize();
+    chip.set_bias(pop, {10});
+    chip.run(8);
+    // Fires at step 1, then 3 refractory steps, fires again at step 5, ...
+    EXPECT_EQ(chip.spike_counts(pop, Phase::One)[0], 2);
+}
+
+TEST(Delivery, OneStepSynapticDelay) {
+    Chip chip;
+    PopulationConfig pa;
+    pa.name = "a";
+    pa.size = 1;
+    pa.compartment.vth = 1;
+    const auto a = chip.add_population(pa);
+    PopulationConfig pb;
+    pb.name = "b";
+    pb.size = 1;
+    pb.compartment.vth = 1 << 20;
+    const auto b = chip.add_population(pb);
+    ProjectionConfig pr;
+    pr.name = "ab";
+    pr.src = a;
+    pr.dst = b;
+    chip.add_projection(pr, {{0, 0, 5}});
+    chip.finalize();
+
+    chip.set_bias(a, {1});
+    chip.step();  // a fires
+    EXPECT_EQ(chip.membrane(b, 0), 0) << "spike must not arrive same step";
+    chip.step();
+    EXPECT_EQ(chip.membrane(b, 0), 5);
+}
+
+TEST(Delivery, WeightExponentScales) {
+    Chip chip;
+    PopulationConfig pa;
+    pa.name = "a";
+    pa.size = 1;
+    pa.compartment.vth = 1;
+    const auto a = chip.add_population(pa);
+    PopulationConfig pb;
+    pb.name = "b";
+    pb.size = 1;
+    pb.compartment.vth = 1 << 20;
+    const auto b = chip.add_population(pb);
+    ProjectionConfig pr;
+    pr.name = "ab";
+    pr.src = a;
+    pr.dst = b;
+    pr.weight_exp = 3;
+    chip.add_projection(pr, {{0, 0, 7}});
+    chip.finalize();
+    chip.set_bias(a, {1});
+    chip.run(2);
+    EXPECT_EQ(chip.membrane(b, 0), 56);
+}
+
+TEST(Delivery, RejectsOverwideWeights) {
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "p";
+    pc.size = 2;
+    const auto p = chip.add_population(pc);
+    ProjectionConfig pr;
+    pr.name = "self";
+    pr.src = p;
+    pr.dst = p;
+    EXPECT_THROW(chip.add_projection(pr, {{0, 1, 200}}), std::invalid_argument);
+    EXPECT_THROW(chip.add_projection(pr, {{0, 5, 1}}), std::invalid_argument);
+}
+
+TEST(MultiCompartment, AndAuxGateBlocksUngatedSoma) {
+    // Error-neuron configuration: soma crosses threshold but may only emit
+    // when the aux compartment has seen forward activity (paper Sec. III-A).
+    Chip chip;
+    PopulationConfig gate_src;
+    gate_src.name = "fwd";
+    gate_src.size = 2;
+    gate_src.compartment.vth = 1;
+    const auto fwd = chip.add_population(gate_src);
+
+    PopulationConfig err;
+    err.name = "err";
+    err.size = 2;
+    err.compartment.vth = 4;
+    err.compartment.join = JoinOp::AndAuxActive;
+    const auto e = chip.add_population(err);
+
+    ProjectionConfig gate;
+    gate.name = "gate";
+    gate.src = fwd;
+    gate.dst = e;
+    gate.port = Port::Aux;
+    chip.add_projection(gate, {{0, 0, 1}, {1, 1, 1}});
+    chip.finalize();
+
+    // Only forward neuron 0 is active; drive both error somata by bias.
+    chip.set_bias(fwd, {1, 0});
+    chip.set_bias(e, {4, 4});
+    chip.run(6);
+    const auto counts = chip.spike_counts(e, Phase::One);
+    EXPECT_GT(counts[0], 0) << "gated-open error neuron must fire";
+    EXPECT_EQ(counts[1], 0) << "gated-closed error neuron must stay silent";
+}
+
+TEST(MultiCompartment, GatedAddOnlyAffectsActiveNeurons) {
+    // DFA configuration: aux current reaches the soma only if the neuron
+    // fired in phase 1.
+    Chip chip;
+    PopulationConfig src;
+    src.name = "err";
+    src.size = 1;
+    src.compartment.vth = 1;
+    const auto s = chip.add_population(src);
+
+    PopulationConfig hid;
+    hid.name = "hid";
+    hid.size = 2;
+    hid.compartment.vth = 10;
+    hid.compartment.join = JoinOp::GatedAdd;
+    const auto h = chip.add_population(hid);
+
+    ProjectionConfig pr;
+    pr.name = "dfa";
+    pr.src = s;
+    pr.dst = h;
+    pr.port = Port::Aux;
+    chip.add_projection(pr, {{0, 0, 20}, {0, 1, 20}});
+    chip.finalize();
+
+    // Phase 1: neuron 0 active (bias), neuron 1 silent.
+    chip.set_phase(Phase::One);
+    chip.set_bias(h, {10, 0});
+    chip.run(2);
+    ASSERT_GT(chip.spike_counts(h, Phase::One)[0], 0);
+    ASSERT_EQ(chip.spike_counts(h, Phase::One)[1], 0);
+
+    // Phase 2: error source fires; only neuron 0 may integrate it.
+    chip.set_phase(Phase::Two);
+    chip.set_bias(h, {0, 0});
+    chip.set_bias(s, {1});
+    chip.run(4);
+    EXPECT_GT(chip.spike_counts(h, Phase::Two)[0], 0);
+    EXPECT_EQ(chip.spike_counts(h, Phase::Two)[1], 0);
+}
+
+TEST(PhaseGating, FrozenPopulationIgnoresPhase1) {
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "err";
+    pc.size = 1;
+    pc.compartment.vth = 4;
+    pc.compartment.active_in_phase1 = false;
+    const auto pop = chip.add_population(pc);
+    chip.finalize();
+
+    chip.set_phase(Phase::One);
+    chip.set_bias(pop, {4});
+    chip.run(10);
+    EXPECT_EQ(chip.spike_counts(pop, Phase::One)[0], 0);
+    EXPECT_EQ(chip.membrane(pop, 0), 0);
+
+    chip.set_phase(Phase::Two);
+    chip.run(4);
+    EXPECT_EQ(chip.spike_counts(pop, Phase::Two)[0], 4);
+}
+
+TEST(Traces, WindowsSelectPhases) {
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "p";
+    pc.size = 1;
+    pc.compartment.vth = 1;
+    pc.compartment.pre_trace = {1, 0, TraceWindow::Phase1Only, 7};
+    pc.compartment.post_trace = {1, 0, TraceWindow::Phase2Only, 7};
+    pc.compartment.tag_trace = {1, 0, TraceWindow::Both, 8};
+    const auto pop = chip.add_population(pc);
+    chip.finalize();
+
+    chip.set_bias(pop, {1});
+    chip.set_phase(Phase::One);
+    chip.run(5);
+    chip.set_phase(Phase::Two);
+    chip.run(3);
+    EXPECT_EQ(chip.trace_x1(pop, 0), 5);
+    EXPECT_EQ(chip.trace_y1(pop, 0), 3);
+    EXPECT_EQ(chip.trace_tag(pop, 0), 8);
+}
+
+TEST(Traces, SaturateAtWidth) {
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "p";
+    pc.size = 1;
+    pc.compartment.vth = 1;
+    const auto pop = chip.add_population(pc);
+    chip.finalize();
+    chip.set_bias(pop, {1});
+    chip.run(200);
+    EXPECT_EQ(chip.trace_x1(pop, 0), 127) << "7-bit trace must saturate";
+    EXPECT_EQ(chip.trace_tag(pop, 0), 200) << "8-bit tag: 200 < 255";
+}
+
+TEST(Traces, ExponentialDecayMode) {
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "p";
+    pc.size = 1;
+    pc.compartment.vth = 1 << 20;  // never fires on its own
+    pc.compartment.post_trace = {64, 2048, TraceWindow::Both, 7};
+    const auto pop = chip.add_population(pc);
+    chip.finalize();
+    // Inject one spike through the host path to pump the trace.
+    chip.insert_spike(pop, 0);
+    EXPECT_EQ(chip.trace_y1(pop, 0), 64);
+    chip.run(1);
+    EXPECT_EQ(chip.trace_y1(pop, 0), 32);
+    chip.run(2);
+    EXPECT_EQ(chip.trace_y1(pop, 0), 8);
+}
+
+TEST(Learning, AppliesEmstdpRuleAndUpdatesDelivery) {
+    // Regression test for the weight-writeback bug: after apply_learning,
+    // the *delivered* current must use the updated weight, not the initial
+    // one.
+    Chip chip;
+    PopulationConfig pa;
+    pa.name = "pre";
+    pa.size = 1;
+    pa.compartment.vth = 1;
+    const auto a = chip.add_population(pa);
+    PopulationConfig pb;
+    pb.name = "post";
+    pb.size = 1;
+    pb.compartment.vth = 1 << 20;
+    pb.compartment.post_trace = {1, 0, TraceWindow::Phase2Only, 7};
+    const auto b = chip.add_population(pb);
+
+    ProjectionConfig pr;
+    pr.name = "plastic";
+    pr.src = a;
+    pr.dst = b;
+    pr.plastic = true;
+    pr.rule = emstdp_rule(0);  // shift 0: deterministic integer updates
+    pr.stochastic_rounding = false;
+    const auto proj = chip.add_projection(pr, {{0, 0, 10}});
+    chip.finalize();
+
+    // Pre fires 4 times in phase 1; post "fires" via host insertion 3 times
+    // in phase 2 (so y1 = 3, tag = 3).
+    chip.set_phase(Phase::One);
+    chip.set_bias(a, {1});
+    chip.run(4);
+    chip.set_phase(Phase::Two);
+    chip.set_bias(a, {0});
+    for (int i = 0; i < 3; ++i) chip.insert_spike(b, 0);
+    // dw = 2*x1*y1 - x1*tag = 2*4*3 - 4*3 = 12.
+    chip.apply_learning();
+    EXPECT_EQ(chip.weights(proj)[0], 22);
+
+    // Delivery must now inject 22 per pre spike.
+    chip.reset_dynamic_state();
+    chip.set_phase(Phase::One);
+    chip.set_bias(a, {1});
+    chip.run(2);
+    EXPECT_EQ(chip.membrane(b, 0), 22);
+}
+
+TEST(Learning, WeightsSaturateAtPrecision) {
+    Chip chip;
+    PopulationConfig pa;
+    pa.name = "pre";
+    pa.size = 1;
+    pa.compartment.vth = 1;
+    const auto a = chip.add_population(pa);
+    PopulationConfig pb;
+    pb.name = "post";
+    pb.size = 1;
+    pb.compartment.vth = 1 << 20;
+    const auto b = chip.add_population(pb);
+    ProjectionConfig pr;
+    pr.name = "plastic";
+    pr.src = a;
+    pr.dst = b;
+    pr.plastic = true;
+    pr.rule = emstdp_rule(0);
+    pr.stochastic_rounding = false;
+    const auto proj = chip.add_projection(pr, {{0, 0, 120}});
+    chip.finalize();
+
+    chip.set_phase(Phase::One);
+    chip.set_bias(a, {1});
+    chip.run(20);
+    chip.set_phase(Phase::Two);
+    chip.set_bias(a, {0});
+    for (int i = 0; i < 20; ++i) chip.insert_spike(b, 0);
+    chip.apply_learning();  // raw dw = 2*20*20 - 20*20 = 400 -> saturate
+    EXPECT_EQ(chip.weights(proj)[0], 127);
+}
+
+TEST(HostApi, ResetSemantics) {
+    SinglePop s(1, 10);
+    s.chip.set_bias(s.pop, {7});
+    s.chip.run(5);
+    ASSERT_GT(s.chip.spike_counts(s.pop, Phase::One)[0], 0);
+
+    s.chip.reset_membranes();
+    EXPECT_EQ(s.chip.membrane(s.pop, 0), 0);
+    EXPECT_GT(s.chip.spike_counts(s.pop, Phase::One)[0], 0)
+        << "membrane reset must keep counters";
+    EXPECT_GT(s.chip.trace_x1(s.pop, 0), 0) << "membrane reset must keep traces";
+
+    s.chip.reset_dynamic_state();
+    EXPECT_EQ(s.chip.spike_counts(s.pop, Phase::One)[0], 0);
+    EXPECT_EQ(s.chip.trace_x1(s.pop, 0), 0);
+}
+
+TEST(HostApi, BiasWritesCountAsIo) {
+    SinglePop s(4, 10);
+    const auto before = s.chip.activity().host_io_writes;
+    s.chip.set_bias(s.pop, {1, 2, 3, 4});
+    EXPECT_EQ(s.chip.activity().host_io_writes, before + 4);
+    s.chip.insert_spike(s.pop, 0);
+    EXPECT_EQ(s.chip.activity().host_io_writes, before + 5);
+}
+
+TEST(HostApi, ErrorsOnMisuse) {
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "p";
+    pc.size = 2;
+    const auto pop = chip.add_population(pc);
+    EXPECT_THROW(chip.step(), std::logic_error);  // not finalized
+    chip.finalize();
+    EXPECT_THROW(chip.finalize(), std::logic_error);  // double finalize
+    EXPECT_THROW(chip.set_bias(pop, {1}), std::invalid_argument);  // size
+    EXPECT_THROW(chip.set_bias(99, {1, 2}), std::invalid_argument);
+    EXPECT_THROW(chip.membrane(pop, 5), std::invalid_argument);
+    PopulationConfig pc2;
+    pc2.name = "late";
+    pc2.size = 1;
+    EXPECT_THROW(chip.add_population(pc2), std::logic_error);
+}
+
+TEST(HostApi, RasterRecordsSpikes) {
+    SinglePop s(2, 10);
+    s.chip.enable_raster(s.pop);
+    s.chip.set_bias(s.pop, {10, 0});
+    s.chip.run(3);
+    ASSERT_EQ(s.chip.raster().size(), 3u);
+    EXPECT_EQ(s.chip.raster()[0].second, 0u);
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalState) {
+    auto build_and_run = [] {
+        Chip chip;
+        PopulationConfig pa;
+        pa.name = "a";
+        pa.size = 8;
+        pa.compartment.vth = 17;
+        const auto a = chip.add_population(pa);
+        PopulationConfig pb;
+        pb.name = "b";
+        pb.size = 4;
+        pb.compartment.vth = 23;
+        const auto b = chip.add_population(pb);
+        std::vector<Synapse> syns;
+        for (std::uint32_t i = 0; i < 8; ++i)
+            for (std::uint32_t o = 0; o < 4; ++o)
+                syns.push_back({i, o, static_cast<std::int32_t>((i * 7 + o * 3) % 19) - 9});
+        ProjectionConfig pr;
+        pr.name = "ab";
+        pr.src = a;
+        pr.dst = b;
+        chip.add_projection(pr, syns);
+        chip.finalize();
+        std::vector<std::int32_t> bias;
+        for (int i = 0; i < 8; ++i) bias.push_back(3 + i);
+        chip.set_bias(a, bias);
+        chip.run(64);
+        return chip.spike_counts(b, Phase::One);
+    };
+    EXPECT_EQ(build_and_run(), build_and_run());
+}
+
+TEST(EncodeWeight, SplitsMagnitudeIntoMantissaExponent) {
+    const auto e1 = encode_weight(64, 8);
+    EXPECT_EQ(e1.weight << e1.exponent, 64);
+    const auto e2 = encode_weight(256, 8);
+    EXPECT_EQ(e2.weight << e2.exponent, 256);
+    EXPECT_LE(e2.weight, 127);
+    const auto e3 = encode_weight(-1000, 8);
+    EXPECT_NEAR(static_cast<double>(e3.weight << e3.exponent), -1000.0, 8.0);
+    EXPECT_GE(e3.weight, -128);
+}

@@ -1,0 +1,183 @@
+// Property tests for the microcode learning engine (loihi/learning.hpp):
+// randomized printer/parser round-trips, algebraic identities of the
+// sum-of-products evaluator, statistical unbiasedness of stochastic
+// rounding, and weight saturation at the learning boundary.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "loihi/chip.hpp"
+#include "loihi/learning.hpp"
+
+using namespace neuro;
+using namespace neuro::loihi;
+
+namespace {
+
+/// Uniformly random rule within the engine's vocabulary: up to 3 terms of
+/// up to 3 factors, mantissas in [-9, 9] \ {0}, exponents in [-6, 0] (the
+/// chip scales by right shifts; a positive power folds into the mantissa
+/// and would not round-trip textually), addends in [-4, 4].
+SumOfProducts random_rule(common::Rng& rng) {
+    const LearnVar vars[] = {LearnVar::X0, LearnVar::X1, LearnVar::X2,
+                             LearnVar::Y0, LearnVar::Y1, LearnVar::Y2,
+                             LearnVar::Tag, LearnVar::Wgt};
+    std::vector<LearnTerm> terms;
+    const auto n_terms = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    for (std::size_t t = 0; t < n_terms; ++t) {
+        LearnTerm term;
+        term.mantissa = static_cast<std::int32_t>(rng.uniform_int(1, 9)) *
+                        (rng.bernoulli(0.5) ? 1 : -1);
+        term.exponent = static_cast<int>(rng.uniform_int(-6, 0));
+        const auto n_factors = static_cast<std::size_t>(rng.uniform_int(1, 3));
+        for (std::size_t f = 0; f < n_factors; ++f) {
+            LearnFactor factor;
+            factor.var = vars[rng.uniform_int(0, 7)];
+            factor.addend = static_cast<std::int32_t>(rng.uniform_int(-4, 4));
+            term.factors.push_back(factor);
+        }
+        terms.push_back(std::move(term));
+    }
+    return SumOfProducts(std::move(terms));
+}
+
+LearnContext random_context(common::Rng& rng) {
+    LearnContext ctx;
+    ctx.x0 = static_cast<std::int32_t>(rng.uniform_int(0, 1));
+    ctx.x1 = static_cast<std::int32_t>(rng.uniform_int(0, 127));
+    ctx.x2 = static_cast<std::int32_t>(rng.uniform_int(0, 127));
+    ctx.y0 = static_cast<std::int32_t>(rng.uniform_int(0, 1));
+    ctx.y1 = static_cast<std::int32_t>(rng.uniform_int(0, 127));
+    ctx.y2 = static_cast<std::int32_t>(rng.uniform_int(0, 127));
+    ctx.tag = static_cast<std::int32_t>(rng.uniform_int(-255, 255));
+    ctx.weight = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
+    return ctx;
+}
+
+}  // namespace
+
+class EnginePropertyTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnginePropertyTest, PrinterAndParserAreInverse) {
+    common::Rng rng(GetParam());
+    const auto rule = random_rule(rng);
+    const auto text = rule.str();
+    SumOfProducts reparsed;
+    ASSERT_NO_THROW(reparsed = parse_sum_of_products(text)) << text;
+    // Same evaluation on many contexts, and a fixed-point textual form.
+    for (int k = 0; k < 32; ++k) {
+        const auto ctx = random_context(rng);
+        EXPECT_EQ(reparsed.evaluate(ctx), rule.evaluate(ctx)) << text;
+    }
+    EXPECT_EQ(reparsed.str(), text);
+}
+
+TEST_P(EnginePropertyTest, EvaluationIsAdditiveOverTerms) {
+    common::Rng rng(GetParam() ^ 0xABCD);
+    const auto a = random_rule(rng);
+    const auto b = random_rule(rng);
+    auto joined_terms = a.terms();
+    for (const auto& t : b.terms()) joined_terms.push_back(t);
+    const SumOfProducts joined(std::move(joined_terms));
+    for (int k = 0; k < 32; ++k) {
+        const auto ctx = random_context(rng);
+        EXPECT_EQ(joined.evaluate(ctx), a.evaluate(ctx) + b.evaluate(ctx));
+    }
+}
+
+TEST_P(EnginePropertyTest, StochasticRoundingIsExactOnMultiples) {
+    common::Rng rng(GetParam() ^ 0x1234);
+    common::Rng noise(99);
+    // v divisible by 2^s: rounding must not perturb the result.
+    const int s = static_cast<int>(rng.uniform_int(1, 6));
+    const auto q = static_cast<std::int32_t>(rng.uniform_int(-20, 20));
+    const std::int32_t v = q << s;
+    const SumOfProducts rule(
+        {LearnTerm{1, -s, {{LearnVar::Tag, 0}}}});
+    LearnContext ctx;
+    ctx.tag = v;
+    for (int k = 0; k < 16; ++k) EXPECT_EQ(rule.evaluate(ctx, &noise), q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(EngineRounding, SubLsbUpdatesKeepTheirExpectation) {
+    // v = 3 scaled by 2^-4: truncation gives 0 forever; stochastic rounding
+    // must average 3/16 over many trials.
+    const SumOfProducts rule({LearnTerm{1, -4, {{LearnVar::Tag, 0}}}});
+    LearnContext ctx;
+    ctx.tag = 3;
+    EXPECT_EQ(rule.evaluate(ctx), 0);  // truncation kills it
+
+    common::Rng noise(7);
+    const int trials = 20000;
+    std::int64_t sum = 0;
+    for (int k = 0; k < trials; ++k) sum += rule.evaluate(ctx, &noise);
+    const double mean = static_cast<double>(sum) / trials;
+    EXPECT_NEAR(mean, 3.0 / 16.0, 0.01);
+}
+
+TEST(EngineRounding, UnbiasedForNegativeValuesToo) {
+    const SumOfProducts rule({LearnTerm{1, -4, {{LearnVar::Tag, 0}}}});
+    LearnContext ctx;
+    ctx.tag = -3;
+    common::Rng noise(7);
+    const int trials = 20000;
+    std::int64_t sum = 0;
+    for (int k = 0; k < trials; ++k) sum += rule.evaluate(ctx, &noise);
+    EXPECT_NEAR(static_cast<double>(sum) / trials, -3.0 / 16.0, 0.01);
+}
+
+TEST(EngineRounding, TruncationIsSymmetricAboutZero) {
+    const SumOfProducts rule({LearnTerm{1, -3, {{LearnVar::Tag, 0}}}});
+    for (std::int32_t v = -64; v <= 64; ++v) {
+        LearnContext pos;
+        pos.tag = v;
+        LearnContext neg;
+        neg.tag = -v;
+        EXPECT_EQ(rule.evaluate(pos), -rule.evaluate(neg)) << v;
+    }
+}
+
+TEST(EngineParser, ReportsPositionsOnErrors) {
+    const char* bad[] = {"", "x1 +", "2^-2 * q9", "x1 * (y1 + )", "3 ** x1",
+                         "x1 y1"};
+    for (const char* text : bad) {
+        try {
+            parse_sum_of_products(text);
+            FAIL() << "expected parse failure for '" << text << "'";
+        } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find("position"), std::string::npos);
+        }
+    }
+}
+
+TEST(EngineSaturation, WeightsClampAtTheGridBoundary) {
+    // A rule pushing +1000 per epoch must pin the weight at +127 (8 bits),
+    // and the mirrored rule at -128.
+    for (const int sign : {+1, -1}) {
+        Chip chip;
+        PopulationConfig pc;
+        pc.name = "a";
+        pc.size = 1;
+        pc.compartment.vth = 4;
+        const auto a = chip.add_population(pc);
+        pc.name = "b";
+        const auto b = chip.add_population(pc);
+        ProjectionConfig cfg;
+        cfg.name = "s";
+        cfg.src = a;
+        cfg.dst = b;
+        cfg.plastic = true;
+        cfg.rule.dw = SumOfProducts({LearnTerm{sign * 1000, 0, {}}});
+        const auto proj = chip.add_projection(cfg, {{0, 0, 0, 0}});
+        chip.finalize();
+        chip.apply_learning();
+        chip.apply_learning();  // idempotent at the rail
+        EXPECT_EQ(chip.weights(proj)[0], sign > 0 ? 127 : -128);
+    }
+}

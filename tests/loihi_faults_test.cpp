@@ -1,0 +1,258 @@
+// Device-variation and fault-injection tests (loihi/faults.hpp plus the
+// Chip-level fault API): threshold mismatch, dead compartments and stuck
+// synapses are deployed-silicon properties — they shift dynamics exactly as
+// specified, survive per-sample resets, and are invisible to the learning
+// engine and checkpoint loads in precisely the ways real defects would be.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "loihi/chip.hpp"
+#include "loihi/faults.hpp"
+#include "loihi/learning.hpp"
+
+using namespace neuro::loihi;
+
+namespace {
+
+/// Bias-driven single population of paper-configured IF neurons.
+struct SinglePop {
+    Chip chip;
+    PopulationId pop;
+
+    explicit SinglePop(std::size_t n, std::int32_t vth) {
+        PopulationConfig pc;
+        pc.name = "p";
+        pc.size = n;
+        pc.compartment.vth = vth;
+        pop = chip.add_population(pc);
+        chip.finalize();
+    }
+};
+
+/// Two one-neuron populations joined by one synapse; used to observe the
+/// delivery-path effect of synapse faults.
+struct OnePair {
+    Chip chip;
+    PopulationId src;
+    PopulationId dst;
+    ProjectionId proj;
+
+    explicit OnePair(std::int32_t weight, bool plastic = false) {
+        PopulationConfig pc;
+        pc.name = "src";
+        pc.size = 1;
+        pc.compartment.vth = 4;
+        src = chip.add_population(pc);
+        pc.name = "dst";
+        pc.compartment.vth = 1 << 20;  // integrate only
+        dst = chip.add_population(pc);
+        ProjectionConfig cfg;
+        cfg.name = "s";
+        cfg.src = src;
+        cfg.dst = dst;
+        cfg.plastic = plastic;
+        if (plastic) cfg.rule.dw = parse_sum_of_products("x1*y1");
+        proj = chip.add_projection(cfg, {{0, 0, weight, 0}});
+        chip.finalize();
+    }
+};
+
+}  // namespace
+
+// ---- threshold variation ----------------------------------------------------
+
+class ThresholdOffsetTest : public testing::TestWithParam<std::int32_t> {};
+
+TEST_P(ThresholdOffsetTest, SpikeCountIsFloorOfDriveOverEffectiveThreshold) {
+    const std::int32_t T = 64;
+    const std::int32_t offset = GetParam();
+    SinglePop s(1, /*vth=*/64);
+    s.chip.set_threshold_offset(s.pop, 0, offset);
+    s.chip.set_bias(s.pop, {32});
+    s.chip.run(static_cast<std::size_t>(T));
+    const std::int64_t drive = 32 * T;
+    const std::int64_t vth_eff = std::max(1, 64 + offset);
+    EXPECT_EQ(s.chip.spike_counts(s.pop, Phase::One)[0], drive / vth_eff);
+}
+
+INSTANTIATE_TEST_SUITE_P(OffsetSweep, ThresholdOffsetTest,
+                         testing::Values(-32, -16, 0, 16, 32, 64, 192));
+
+TEST(ThresholdVariation, EffectiveThresholdClampsAtOne) {
+    SinglePop s(1, 64);
+    s.chip.set_threshold_offset(s.pop, 0, -1000);  // would be negative
+    s.chip.set_bias(s.pop, {1});
+    s.chip.run(16);
+    // vth_eff = 1: every step the +1 bias crosses it exactly once.
+    EXPECT_EQ(s.chip.spike_counts(s.pop, Phase::One)[0], 16);
+}
+
+TEST(ThresholdVariation, SigmaZeroIsIdentity) {
+    SinglePop s(8, 64);
+    const auto offsets = apply_threshold_variation(s.chip, s.pop, 0.0, 5);
+    for (const auto o : offsets) EXPECT_EQ(o, 0);
+}
+
+TEST(ThresholdVariation, DeterministicInSeedAndSpreadScalesWithSigma) {
+    SinglePop a(64, 64), b(64, 64), c(64, 64);
+    const auto oa = apply_threshold_variation(a.chip, a.pop, 0.10, 7);
+    const auto ob = apply_threshold_variation(b.chip, b.pop, 0.10, 7);
+    const auto oc = apply_threshold_variation(c.chip, c.pop, 0.10, 8);
+    EXPECT_EQ(oa, ob);
+    EXPECT_NE(oa, oc);
+
+    // Wider sigma -> wider offsets (compare total magnitude).
+    SinglePop d(64, 64);
+    const auto od = apply_threshold_variation(d.chip, d.pop, 0.30, 7);
+    std::int64_t mag_a = 0, mag_d = 0;
+    for (const auto o : oa) mag_a += std::abs(o);
+    for (const auto o : od) mag_d += std::abs(o);
+    EXPECT_GT(mag_d, mag_a);
+}
+
+TEST(ThresholdVariation, OffsetsAreAppliedToTheChip) {
+    SinglePop s(16, 64);
+    const auto offsets = apply_threshold_variation(s.chip, s.pop, 0.2, 3);
+    for (std::size_t i = 0; i < offsets.size(); ++i)
+        EXPECT_EQ(s.chip.threshold_offset(s.pop, i), offsets[i]);
+}
+
+TEST(ThresholdVariation, SurvivesDynamicReset) {
+    SinglePop s(1, 64);
+    s.chip.set_threshold_offset(s.pop, 0, 64);
+    s.chip.reset_dynamic_state();
+    EXPECT_EQ(s.chip.threshold_offset(s.pop, 0), 64);
+}
+
+TEST(ThresholdVariation, RejectsNegativeSigma) {
+    SinglePop s(1, 64);
+    EXPECT_THROW(apply_threshold_variation(s.chip, s.pop, -0.1, 1),
+                 std::invalid_argument);
+}
+
+// ---- dead compartments --------------------------------------------------------
+
+TEST(DeadCompartment, NeverSpikesUnderAnyDrive) {
+    SinglePop s(2, 64);
+    s.chip.set_compartment_dead(s.pop, 0, true);
+    s.chip.set_bias(s.pop, {10000, 10000});
+    s.chip.run(32);
+    EXPECT_EQ(s.chip.spike_counts(s.pop, Phase::One)[0], 0);
+    EXPECT_GT(s.chip.spike_counts(s.pop, Phase::One)[1], 0);
+}
+
+TEST(DeadCompartment, SinksIncomingSpikesWithoutStateChange) {
+    OnePair p(20);
+    p.chip.set_compartment_dead(p.dst, 0, true);
+    p.chip.set_bias(p.src, {4});  // src fires every step
+    p.chip.run(16);
+    EXPECT_EQ(p.chip.membrane(p.dst, 0), 0);
+    EXPECT_EQ(p.chip.current(p.dst, 0), 0);
+}
+
+TEST(DeadCompartment, InsertSpikeIsSilentButCountsTheHostWrite) {
+    OnePair p(20);
+    p.chip.set_compartment_dead(p.src, 0, true);
+    const auto before = p.chip.activity().host_io_writes;
+    p.chip.insert_spike(p.src, 0);
+    p.chip.run(2);
+    EXPECT_EQ(p.chip.activity().host_io_writes, before + 1);
+    EXPECT_EQ(p.chip.membrane(p.dst, 0), 0);
+}
+
+TEST(DeadCompartment, KillFractionIsExactAndDeterministic) {
+    SinglePop a(100, 64), b(100, 64);
+    EXPECT_EQ(kill_fraction(a.chip, a.pop, 0.15, 11), 15u);
+    EXPECT_EQ(kill_fraction(b.chip, b.pop, 0.15, 11), 15u);
+    std::size_t dead = 0;
+    for (std::size_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.chip.compartment_dead(a.pop, i),
+                  b.chip.compartment_dead(b.pop, i));
+        dead += a.chip.compartment_dead(a.pop, i) ? 1 : 0;
+    }
+    EXPECT_EQ(dead, 15u);
+}
+
+TEST(DeadCompartment, FractionBoundsAreChecked) {
+    SinglePop s(10, 64);
+    EXPECT_THROW(kill_fraction(s.chip, s.pop, -0.1, 1), std::invalid_argument);
+    EXPECT_THROW(kill_fraction(s.chip, s.pop, 1.5, 1), std::invalid_argument);
+    EXPECT_EQ(kill_fraction(s.chip, s.pop, 1.0, 1), 10u);
+}
+
+// ---- stuck synapses ----------------------------------------------------------
+
+TEST(StuckSynapse, DeliveryUsesTheStuckValue) {
+    OnePair p(20);
+    p.chip.set_synapse_stuck(p.proj, 0, 5);
+    p.chip.set_bias(p.src, {4});  // one spike per step from step 1
+    p.chip.run(3);
+    // dst integrates (steps arriving at t=2,3) * 5 each; current decays
+    // instantly so the membrane holds the sum.
+    EXPECT_EQ(p.chip.membrane(p.dst, 0), 2 * 5);
+}
+
+TEST(StuckSynapse, LearningEngineSkipsIt) {
+    OnePair p(5, /*plastic=*/true);
+    p.chip.set_synapse_stuck(p.proj, 0, 5);
+    // Give both ends nonzero traces so the x1*y1 rule would potentiate.
+    p.chip.set_bias(p.src, {8});
+    p.chip.set_bias(p.dst, {0});
+    p.chip.run(8);
+    p.chip.apply_learning();
+    EXPECT_EQ(p.chip.weights(p.proj)[0], 5);
+}
+
+TEST(StuckSynapse, CheckpointLoadDoesNotHealIt) {
+    OnePair healthy(20, /*plastic=*/true);
+    std::stringstream ckpt;
+    healthy.chip.save_weights(ckpt);
+
+    OnePair faulty(20, /*plastic=*/true);
+    faulty.chip.set_synapse_stuck(faulty.proj, 0, -3);
+    faulty.chip.load_weights(ckpt);
+    EXPECT_EQ(faulty.chip.weights(faulty.proj)[0], -3);
+    EXPECT_TRUE(faulty.chip.synapse_stuck(faulty.proj, 0));
+}
+
+TEST(StuckSynapse, StickFractionCountsAndBounds) {
+    // A 10x10 all-to-all projection: 100 synapses.
+    Chip chip;
+    PopulationConfig pc;
+    pc.name = "a";
+    pc.size = 10;
+    pc.compartment.vth = 64;
+    const auto a = chip.add_population(pc);
+    pc.name = "b";
+    const auto b = chip.add_population(pc);
+    std::vector<Synapse> syns;
+    for (std::uint32_t i = 0; i < 10; ++i)
+        for (std::uint32_t j = 0; j < 10; ++j) syns.push_back({i, j, 1, 0});
+    ProjectionConfig cfg;
+    cfg.name = "ab";
+    cfg.src = a;
+    cfg.dst = b;
+    const auto proj = chip.add_projection(cfg, std::move(syns));
+    chip.finalize();
+
+    EXPECT_EQ(stick_fraction(chip, proj, 0.25, 0, 9), 25u);
+    EXPECT_EQ(chip.stuck_synapse_count(proj), 25u);
+    std::size_t zeros = 0;
+    for (const auto w : chip.weights(proj)) zeros += (w == 0) ? 1 : 0;
+    EXPECT_EQ(zeros, 25u);
+}
+
+TEST(StuckSynapse, IndexValidation) {
+    OnePair p(20);
+    EXPECT_THROW(p.chip.set_synapse_stuck(p.proj, 7, 0), std::invalid_argument);
+    EXPECT_THROW(p.chip.set_synapse_stuck(99, 0, 0), std::invalid_argument);
+    EXPECT_THROW(p.chip.synapse_stuck(p.proj, 7), std::invalid_argument);
+}
+
+TEST(StuckSynapse, FaultFreeProjectionHasNoStuckEntries) {
+    OnePair p(20);
+    EXPECT_EQ(p.chip.stuck_synapse_count(p.proj), 0u);
+    EXPECT_FALSE(p.chip.synapse_stuck(p.proj, 0));
+}

@@ -1,0 +1,181 @@
+// Unit tests for the sum-of-products learning engine (paper eq. 9): integer
+// evaluation, the microcode text parser, the EMSTDP rule mapping (eq. 12)
+// and the stochastic-rounding mode.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "loihi/learning.hpp"
+
+using namespace neuro::loihi;
+using neuro::common::Rng;
+
+TEST(SumOfProducts, EvaluatesSimpleProducts) {
+    // dw = 2 * x1 * y1
+    SumOfProducts sop({LearnTerm{2, 0, {{LearnVar::X1, 0}, {LearnVar::Y1, 0}}}});
+    LearnContext ctx;
+    ctx.x1 = 3;
+    ctx.y1 = 5;
+    EXPECT_EQ(sop.evaluate(ctx), 30);
+}
+
+TEST(SumOfProducts, FactorsWithAddends) {
+    // dw = (x1 - 2) * (y1 + 1)
+    SumOfProducts sop({LearnTerm{1, 0, {{LearnVar::X1, -2}, {LearnVar::Y1, 1}}}});
+    LearnContext ctx;
+    ctx.x1 = 5;
+    ctx.y1 = 3;
+    EXPECT_EQ(sop.evaluate(ctx), 12);
+}
+
+TEST(SumOfProducts, NegativeShiftTruncatesTowardZero) {
+    // 2^-3 * x1 with x1 = 7 -> 0; x1 = -7 -> 0 (symmetric truncation).
+    SumOfProducts sop({LearnTerm{1, -3, {{LearnVar::X1, 0}}}});
+    LearnContext ctx;
+    ctx.x1 = 7;
+    EXPECT_EQ(sop.evaluate(ctx), 0);
+    ctx.x1 = -7;
+    EXPECT_EQ(sop.evaluate(ctx), 0);
+    ctx.x1 = 17;
+    EXPECT_EQ(sop.evaluate(ctx), 2);
+    ctx.x1 = -17;
+    EXPECT_EQ(sop.evaluate(ctx), -2);
+}
+
+TEST(SumOfProducts, UsesWeightAndTag) {
+    // Weight-decay-like: dw = -(w) + t
+    SumOfProducts sop({LearnTerm{-1, 0, {{LearnVar::Wgt, 0}}},
+                       LearnTerm{1, 0, {{LearnVar::Tag, 0}}}});
+    LearnContext ctx;
+    ctx.weight = 10;
+    ctx.tag = 3;
+    EXPECT_EQ(sop.evaluate(ctx), -7);
+}
+
+TEST(Parser, ParsesEmstdpShape) {
+    const auto sop = parse_sum_of_products("2^-7*x1*y1 - 2^-8*x1*t");
+    LearnContext ctx;
+    ctx.x1 = 64;
+    ctx.y1 = 32;
+    ctx.tag = 48;
+    // 2*64*32/256 - 64*48/256 = 16 - 12 = 4
+    EXPECT_EQ(sop.evaluate(ctx), 4);
+}
+
+TEST(Parser, ParsesPairwiseStdp) {
+    // Classic pairwise STDP: potentiate on post spike by pre trace,
+    // depress on pre spike by post trace.
+    const auto sop = parse_sum_of_products("2^-4*x1*y0 - 2^-4*y1*x0");
+    LearnContext ctx;
+    ctx.x1 = 32;
+    ctx.y0 = 1;
+    ctx.x0 = 0;
+    ctx.y1 = 16;
+    EXPECT_EQ(sop.evaluate(ctx), 2);
+    ctx.y0 = 0;
+    ctx.x0 = 1;
+    EXPECT_EQ(sop.evaluate(ctx), -1);
+}
+
+TEST(Parser, ParsesParenthesizedAddends) {
+    const auto sop = parse_sum_of_products("(x1 - 2) * (y1 + 3)");
+    LearnContext ctx;
+    ctx.x1 = 4;
+    ctx.y1 = 1;
+    EXPECT_EQ(sop.evaluate(ctx), 8);
+}
+
+TEST(Parser, ParsesConstantsAndSigns) {
+    const auto sop = parse_sum_of_products("-3*x1 + 5");
+    LearnContext ctx;
+    ctx.x1 = 2;
+    EXPECT_EQ(sop.evaluate(ctx), -1);
+}
+
+TEST(Parser, RoundTripsThroughStr) {
+    const char* exprs[] = {"2^-7*x1*y1 - 2^-8*x1*t", "(x1-2)*(y1+3)",
+                           "-3*x1 + 5", "x0*y1"};
+    for (const char* e : exprs) {
+        const auto a = parse_sum_of_products(e);
+        const auto b = parse_sum_of_products(a.str());
+        LearnContext ctx;
+        ctx.x0 = 1;
+        ctx.x1 = 13;
+        ctx.y0 = 1;
+        ctx.y1 = 9;
+        ctx.tag = 21;
+        ctx.weight = -4;
+        EXPECT_EQ(a.evaluate(ctx), b.evaluate(ctx)) << e << " -> " << a.str();
+    }
+}
+
+TEST(Parser, RejectsMalformedInput) {
+    EXPECT_THROW(parse_sum_of_products(""), std::invalid_argument);
+    EXPECT_THROW(parse_sum_of_products("x1 *"), std::invalid_argument);
+    EXPECT_THROW(parse_sum_of_products("q1"), std::invalid_argument);
+    EXPECT_THROW(parse_sum_of_products("(x1"), std::invalid_argument);
+    EXPECT_THROW(parse_sum_of_products("x1 x1"), std::invalid_argument);
+    EXPECT_THROW(parse_sum_of_products("2^^3*x1"), std::invalid_argument);
+}
+
+TEST(EmstdpRule, EquivalentToEq7) {
+    // dw = eta*(h_hat - h)*h_pre must emerge from the two-term form with
+    // y1 = h_hat, tag = h_hat + h, x1 = h_pre.
+    const LearningRule rule = emstdp_rule(/*shift=*/4);
+    for (int h_pre : {0, 8, 32}) {
+        for (int h : {0, 5, 20}) {
+            for (int h_hat : {0, 7, 20, 40}) {
+                LearnContext ctx;
+                ctx.x1 = h_pre;
+                ctx.y1 = h_hat;
+                ctx.tag = h_hat + h;
+                const std::int64_t dw = rule.dw.evaluate(ctx);
+                // Expected with symmetric truncation on each term.
+                const std::int64_t t1 = (2LL * h_pre * h_hat) / 16;
+                const std::int64_t t2 = (static_cast<std::int64_t>(h_pre) *
+                                         (h_hat + h)) / 16;
+                EXPECT_EQ(dw, t1 - t2);
+                // Sign must follow (h_hat - h) whenever the magnitude is
+                // above quantization.
+                if (h_pre > 0 && std::abs(h_hat - h) * h_pre >= 32) {
+                    if (h_hat > h) EXPECT_GT(dw, 0);
+                    if (h_hat < h) EXPECT_LT(dw, 0);
+                }
+            }
+        }
+    }
+}
+
+TEST(EmstdpRule, TagRuleCountsPostSpikes) {
+    const LearningRule rule = emstdp_rule(4);
+    LearnContext ctx;
+    ctx.y0 = 1;
+    EXPECT_EQ(rule.dt.evaluate(ctx), 1);
+    ctx.y0 = 0;
+    EXPECT_EQ(rule.dt.evaluate(ctx), 0);
+}
+
+TEST(StochasticRounding, UnbiasedForSubLsbUpdates) {
+    // v = 3 with shift 8 truncates to zero deterministically, but the
+    // stochastically rounded mean must approach 3/256.
+    SumOfProducts sop({LearnTerm{1, -8, {{LearnVar::X1, 0}}}});
+    LearnContext ctx;
+    ctx.x1 = 3;
+    Rng rng(123);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(sop.evaluate(ctx, &rng));
+    EXPECT_EQ(sop.evaluate(ctx), 0) << "deterministic path should truncate";
+    EXPECT_NEAR(sum / n, 3.0 / 256.0, 5e-4);
+}
+
+TEST(StochasticRounding, UnbiasedForNegativeValues) {
+    SumOfProducts sop({LearnTerm{-1, -8, {{LearnVar::X1, 0}}}});
+    LearnContext ctx;
+    ctx.x1 = 3;
+    Rng rng(321);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(sop.evaluate(ctx, &rng));
+    EXPECT_NEAR(sum / n, -3.0 / 256.0, 5e-4);
+}

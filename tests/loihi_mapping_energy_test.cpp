@@ -1,0 +1,223 @@
+// Unit tests for the core mapper (paper Sec. III-C, Operation Flow 1) and
+// the power/time/energy model (Table II, Fig. 3).
+
+#include <gtest/gtest.h>
+
+#include "loihi/chip.hpp"
+#include "loihi/energy.hpp"
+#include "loihi/mapping.hpp"
+
+using namespace neuro::loihi;
+
+TEST(Mapping, CapacityPackingRespectsCompartments) {
+    ChipLimits limits;
+    LayerMapSpec spec;
+    spec.name = "x";
+    spec.logical_neurons = 5000;
+    spec.compartments_per_neuron = 2;
+    EXPECT_EQ(capacity_neurons_per_core(spec, limits), 512u);
+}
+
+TEST(Mapping, CapacityPackingRespectsSynapseMemory) {
+    ChipLimits limits;
+    LayerMapSpec spec;
+    spec.name = "x";
+    spec.logical_neurons = 4096;
+    spec.fan_in_per_neuron = 1024;  // 131072 / 1024 = 128 neurons/core
+    EXPECT_EQ(capacity_neurons_per_core(spec, limits), 128u);
+}
+
+TEST(Mapping, SynapticMemoryAccountsEveryEntry) {
+    ChipLimits limits;  // 8-bit weights -> 20 bits/entry
+    EXPECT_EQ(synapse_entry_bits(limits), 20u);
+
+    LayerMapSpec spec;
+    spec.name = "dense";
+    spec.logical_neurons = 100;
+    spec.fan_in_per_neuron = 392;
+    spec.neurons_per_core = 10;
+    const auto r = map_layers({spec}, limits);
+    ASSERT_EQ(r.layers.size(), 1u);
+    // 10 neurons * 392 fan-in * 20 bits / 8 = 9800 bytes per core.
+    EXPECT_EQ(r.layers[0].memory_bytes_per_core, 9800u);
+    EXPECT_EQ(r.max_memory_bytes_per_core, 9800u);
+    EXPECT_EQ(r.total_memory_bytes, 10u * 9800u);
+}
+
+TEST(Mapping, MemoryScalesWithWeightPrecision) {
+    LayerMapSpec spec;
+    spec.name = "x";
+    spec.logical_neurons = 64;
+    spec.fan_in_per_neuron = 64;
+    spec.neurons_per_core = 8;
+    ChipLimits narrow;
+    narrow.weight_bits = 4;
+    ChipLimits wide;
+    wide.weight_bits = 16;
+    const auto rn = map_layers({spec}, narrow);
+    const auto rw = map_layers({spec}, wide);
+    EXPECT_LT(rn.total_memory_bytes, rw.total_memory_bytes);
+    // 4-bit: 16 bits/entry, 16-bit: 28 bits/entry.
+    EXPECT_EQ(rn.total_memory_bytes * 28, rw.total_memory_bytes * 16);
+}
+
+TEST(Mapping, AxonTableBindsOnlyForLargeSourcePools) {
+    ChipLimits limits;
+    LayerMapSpec spec;
+    spec.name = "x";
+    spec.logical_neurons = 1000;
+    spec.fan_in_per_neuron = 100;
+    spec.distinct_sources = 2000;  // fits the 4096-entry axon table
+    EXPECT_EQ(capacity_neurons_per_core(spec, limits), 1024u);
+    spec.distinct_sources = 8000;  // exceeds it: npc limited to 4096/100
+    EXPECT_EQ(capacity_neurons_per_core(spec, limits), 40u);
+}
+
+TEST(Mapping, ExplicitNpcOverridesAndClamps) {
+    ChipLimits limits;
+    std::vector<LayerMapSpec> layers(1);
+    layers[0].name = "hidden";
+    layers[0].logical_neurons = 100;
+    layers[0].compartments_per_neuron = 2;
+    layers[0].neurons_per_core = 10;
+    auto r = map_layers(layers, limits);
+    EXPECT_EQ(r.layers[0].num_cores, 10u);
+    EXPECT_EQ(r.layers[0].neurons_per_core, 10u);
+    EXPECT_EQ(r.max_compartments_per_core, 20u);
+
+    layers[0].neurons_per_core = 4096;  // beyond capacity: clamped
+    r = map_layers(layers, limits);
+    EXPECT_EQ(r.layers[0].neurons_per_core, 512u);
+    EXPECT_FALSE(r.violations.empty());
+}
+
+TEST(Mapping, LayersGetDisjointCores) {
+    ChipLimits limits;
+    std::vector<LayerMapSpec> layers(3);
+    for (int i = 0; i < 3; ++i) {
+        layers[i].name = "l" + std::to_string(i);
+        layers[i].logical_neurons = 100;
+        layers[i].neurons_per_core = 25;
+    }
+    const auto r = map_layers(layers, limits);
+    EXPECT_EQ(r.total_cores, 12u);
+    EXPECT_EQ(r.layers[0].first_core, 0u);
+    EXPECT_EQ(r.layers[1].first_core, 4u);
+    EXPECT_EQ(r.layers[2].first_core, 8u);
+    EXPECT_TRUE(r.feasible);
+}
+
+TEST(Mapping, InfeasibleWhenChipOverflows) {
+    ChipLimits limits;
+    std::vector<LayerMapSpec> layers(1);
+    layers[0].name = "huge";
+    layers[0].logical_neurons = 10000;
+    layers[0].neurons_per_core = 1;
+    const auto r = map_layers(layers, limits);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_FALSE(r.violations.empty());
+}
+
+namespace {
+
+/// Builds a finalized chip whose single trainable layer is packed at `npc`
+/// neurons/core, mimicking the Fig. 3 sweep structure.
+Chip sweep_chip(std::size_t hidden, std::size_t fan_in, std::size_t npc) {
+    Chip chip;
+    PopulationConfig src;
+    src.name = "features";
+    src.size = fan_in;
+    src.compartment.vth = 64;
+    const auto s = chip.add_population(src);
+    PopulationConfig hid;
+    hid.name = "hidden";
+    hid.size = hidden;
+    hid.compartment.vth = 256;
+    hid.neurons_per_core = npc;
+    const auto h = chip.add_population(hid);
+    std::vector<Synapse> syns;
+    for (std::uint32_t i = 0; i < fan_in; ++i)
+        for (std::uint32_t o = 0; o < hidden; ++o) syns.push_back({i, o, 1});
+    ProjectionConfig pr;
+    pr.name = "plastic";
+    pr.src = s;
+    pr.dst = h;
+    pr.plastic = true;
+    chip.add_projection(pr, syns);
+    chip.finalize();
+    return chip;
+}
+
+EnergyReport report_for(Chip& chip, std::size_t steps) {
+    chip.reset_activity();
+    chip.run(steps);
+    return estimate_energy(EnergyModelParams{}, chip, chip.activity(), 1);
+}
+
+}  // namespace
+
+TEST(Energy, PowerGrowsWithCores) {
+    // Fewer neurons per core -> more occupied cores -> higher active power
+    // (paper Fig. 3: power gating of unused cores).
+    Chip dense = sweep_chip(100, 200, 25);
+    Chip sparse = sweep_chip(100, 200, 5);
+    const auto rd = report_for(dense, 128);
+    const auto rs = report_for(sparse, 128);
+    EXPECT_LT(rd.cores, rs.cores);
+    EXPECT_LT(rd.power_w, rs.power_w);
+}
+
+TEST(Energy, StepTimeGrowsWithNeuronsPerCore) {
+    // More neurons per core -> busier core -> slower barrier step (paper
+    // Fig. 3: "the execution time increases as the core is shared by higher
+    // number of neuron compartments").
+    Chip slow = sweep_chip(100, 200, 25);
+    Chip fast = sweep_chip(100, 200, 5);
+    const auto r_slow = report_for(slow, 128);
+    const auto r_fast = report_for(fast, 128);
+    EXPECT_GT(r_slow.step_seconds, r_fast.step_seconds);
+}
+
+TEST(Energy, StepTimeNeverBeatsSiliconFloor) {
+    Chip tiny = sweep_chip(4, 4, 1);
+    const auto r = report_for(tiny, 64);
+    EXPECT_GE(r.step_seconds, EnergyModelParams{}.step_floor_s);
+    EXPECT_LE(r.fps, 1.0 / (64 * EnergyModelParams{}.step_floor_s) + 1.0);
+}
+
+TEST(Energy, SweepShowsUTradeoff) {
+    // Energy/sample = power * time must not be monotonic across the sweep:
+    // the product of a falling and a rising curve has an interior optimum
+    // (the central claim of Fig. 3).
+    std::vector<double> energy;
+    for (std::size_t npc : {2, 5, 10, 15, 20, 25, 30}) {
+        Chip chip = sweep_chip(100, 200, npc);
+        energy.push_back(report_for(chip, 128).energy_per_sample_j);
+    }
+    const auto best = std::min_element(energy.begin(), energy.end());
+    EXPECT_NE(best, energy.begin()) << "optimum must be interior (not smallest npc)";
+    EXPECT_NE(best, energy.end() - 1) << "optimum must be interior (not largest npc)";
+}
+
+TEST(Energy, TrainingDoublesStepsPerSample) {
+    Chip chip = sweep_chip(100, 200, 10);
+    chip.reset_activity();
+    chip.run(128);  // 2T steps = one training sample
+    const auto train = estimate_energy(EnergyModelParams{}, chip, chip.activity(), 1);
+    chip.reset_activity();
+    chip.run(64);  // T steps = one inference sample
+    const auto test = estimate_energy(EnergyModelParams{}, chip, chip.activity(), 1);
+    EXPECT_EQ(train.steps_per_sample, 128u);
+    EXPECT_EQ(test.steps_per_sample, 64u);
+    EXPECT_GT(train.energy_per_sample_j, test.energy_per_sample_j);
+    EXPECT_NEAR(train.fps * 2.0, test.fps, test.fps * 0.05);
+}
+
+TEST(Energy, RejectsDegenerateInputs) {
+    Chip chip = sweep_chip(4, 4, 1);
+    EXPECT_THROW(estimate_energy(EnergyModelParams{}, chip, chip.activity(), 1),
+                 std::invalid_argument);  // no steps run
+    chip.run(1);
+    EXPECT_THROW(estimate_energy(EnergyModelParams{}, chip, chip.activity(), 0),
+                 std::invalid_argument);  // zero samples
+}

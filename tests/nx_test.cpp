@@ -1,0 +1,195 @@
+// Tests for the NxSDK-shaped construction API (src/nx): prototypes,
+// compartment groups, dense/masked/one-to-one/conv connection groups,
+// microcode-text plasticity, and the compile() construction boundary.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "loihi/stdp.hpp"
+#include "nx/net.hpp"
+
+using namespace neuro;
+using namespace neuro::nx;
+
+namespace {
+
+CompartmentPrototype if_proto(std::int32_t vth = 64) {
+    CompartmentPrototype p;
+    p.config.vth = vth;
+    return p;
+}
+
+}  // namespace
+
+TEST(NxNet, GroupsReportTheirSize) {
+    NxNet net;
+    const auto g = net.create_compartment_group("g", 17, if_proto());
+    EXPECT_EQ(g.size, 17u);
+    EXPECT_EQ(net.chip().population_size(g.pop), 17u);
+}
+
+TEST(NxNet, DenseMatrixLaysDownDstMajorSynapses) {
+    NxNet net;
+    const auto a = net.create_compartment_group("a", 3, if_proto());
+    const auto b = net.create_compartment_group("b", 2, if_proto());
+    // weights[d * 3 + s] = 10*d + s, distinguishable per (d, s).
+    std::vector<std::int32_t> w = {0, 1, 2, 10, 11, 12};
+    const auto proj = net.create_connection_group(a, b, ConnectionPrototype{}, w);
+    net.compile();
+    EXPECT_EQ(net.chip().synapse_count(proj), 6u);
+    EXPECT_EQ(net.chip().weights(proj), w);  // construction order preserved
+}
+
+TEST(NxNet, MaskDropsUnconnectedEntries) {
+    NxNet net;
+    const auto a = net.create_compartment_group("a", 2, if_proto());
+    const auto b = net.create_compartment_group("b", 2, if_proto());
+    const std::vector<std::int32_t> w = {5, 6, 7, 8};
+    const std::vector<std::uint8_t> mask = {1, 0, 0, 1};  // diagonal
+    const auto proj = net.create_connection_group(a, b, ConnectionPrototype{}, w, mask);
+    net.compile();
+    EXPECT_EQ(net.chip().synapse_count(proj), 2u);
+    EXPECT_EQ(net.chip().weights(proj), (std::vector<std::int32_t>{5, 8}));
+}
+
+TEST(NxNet, MatrixAndMaskSizesAreValidated) {
+    NxNet net;
+    const auto a = net.create_compartment_group("a", 3, if_proto());
+    const auto b = net.create_compartment_group("b", 2, if_proto());
+    EXPECT_THROW(net.create_connection_group(a, b, ConnectionPrototype{}, {1, 2, 3}),
+                 std::invalid_argument);
+    EXPECT_THROW(net.create_connection_group(a, b, ConnectionPrototype{},
+                                             std::vector<std::int32_t>(6, 1),
+                                             std::vector<std::uint8_t>(5, 1)),
+                 std::invalid_argument);
+}
+
+TEST(NxNet, OneToOneRequiresMatchingSizes) {
+    NxNet net;
+    const auto a = net.create_compartment_group("a", 3, if_proto());
+    const auto b = net.create_compartment_group("b", 4, if_proto());
+    EXPECT_THROW(net.connect_one_to_one(a, b, ConnectionPrototype{}, 1),
+                 std::invalid_argument);
+}
+
+TEST(NxNet, OneToOneDeliversIdentity) {
+    NxNet net;
+    const auto a = net.create_compartment_group("a", 4, if_proto(4));
+    const auto b = net.create_compartment_group("b", 4, if_proto(1 << 20));
+    net.connect_one_to_one(a, b, ConnectionPrototype{}, 9);
+    net.compile();
+    net.set_bias(a, {4, 0, 0, 4});  // neurons 0 and 3 fire every step
+    net.run(3);
+    // Two spikes delivered each (arrivals at steps 2 and 3).
+    EXPECT_EQ(net.chip().membrane(b.pop, 0), 18);
+    EXPECT_EQ(net.chip().membrane(b.pop, 1), 0);
+    EXPECT_EQ(net.chip().membrane(b.pop, 2), 0);
+    EXPECT_EQ(net.chip().membrane(b.pop, 3), 18);
+}
+
+TEST(NxNet, ConvConnectionMatchesTopologyExpansion) {
+    snn::ConvSpec spec;
+    spec.in_c = 1;
+    spec.in_h = 6;
+    spec.in_w = 6;
+    spec.out_c = 2;
+    spec.kernel = 3;
+    spec.stride = 1;
+    std::vector<std::int32_t> kernel(spec.out_c * spec.in_c * 9);
+    std::iota(kernel.begin(), kernel.end(), 1);
+
+    NxNet net;
+    const auto in = net.create_compartment_group("in", spec.in_size(), if_proto());
+    const auto out =
+        net.create_compartment_group("out", spec.out_size(), if_proto());
+    const auto proj = net.connect_conv(in, out, ConnectionPrototype{}, spec, kernel);
+    net.compile();
+
+    const auto expected = snn::conv_synapses(spec, kernel);
+    EXPECT_EQ(net.chip().synapse_count(proj), expected.size());
+
+    // Geometry mismatches are rejected.
+    NxNet bad;
+    const auto small = bad.create_compartment_group("in", 10, if_proto());
+    const auto o2 = bad.create_compartment_group("out", spec.out_size(), if_proto());
+    EXPECT_THROW(bad.connect_conv(small, o2, ConnectionPrototype{}, spec, kernel),
+                 std::invalid_argument);
+}
+
+TEST(NxNet, MicrocodeTextMakesConnectionPlastic) {
+    NxNet net;
+    CompartmentPrototype proto;
+    proto.config = loihi::stdp_compartment();
+    const auto a = net.create_compartment_group("a", 1, proto);
+    const auto b = net.create_compartment_group("b", 1, proto);
+    ConnectionPrototype plastic;
+    plastic.dw = "2^-4*x1*y0 - 2^-4*x0*y1";  // pairwise STDP
+    plastic.stochastic_rounding = false;
+    const auto proj = net.create_connection_group(a, b, plastic, {0});
+    net.compile();
+
+    // Pre fires, then post 2 steps later: potentiation.
+    net.set_bias(a, {64});
+    net.chip().step();
+    net.chip().apply_learning();
+    net.set_bias(a, {0});
+    net.chip().step();
+    net.chip().apply_learning();
+    net.set_bias(b, {64});
+    net.chip().step();
+    net.chip().apply_learning();
+    EXPECT_GT(net.chip().weights(proj)[0], 0);
+}
+
+TEST(NxNet, BadMicrocodeTextThrowsAtConstruction) {
+    NxNet net;
+    const auto a = net.create_compartment_group("a", 1, if_proto());
+    const auto b = net.create_compartment_group("b", 1, if_proto());
+    ConnectionPrototype bad;
+    bad.dw = "2^-4*q1";  // unknown variable
+    EXPECT_THROW(net.create_connection_group(a, b, bad, {0}),
+                 std::invalid_argument);
+}
+
+TEST(NxNet, PrototypeNeuronsPerCoreReachesTheMapper) {
+    NxNet net;
+    CompartmentPrototype packed = if_proto();
+    packed.neurons_per_core = 5;
+    net.create_compartment_group("layer", 20, packed);
+    net.compile();
+    EXPECT_EQ(net.chip().mapping().layers[0].num_cores, 4u);
+    EXPECT_EQ(net.chip().mapping().layers[0].neurons_per_core, 5u);
+}
+
+TEST(NxNet, CompileIsTheConstructionBoundary) {
+    NxNet net;
+    const auto a = net.create_compartment_group("a", 2, if_proto());
+    const auto b = net.create_compartment_group("b", 2, if_proto());
+    net.create_connection_group(a, b, ConnectionPrototype{},
+                                std::vector<std::int32_t>(4, 1));
+    EXPECT_FALSE(net.compiled());
+    net.compile();
+    EXPECT_TRUE(net.compiled());
+    EXPECT_THROW(net.create_compartment_group("late", 2, if_proto()),
+                 std::logic_error);
+    EXPECT_THROW(net.compile(), std::logic_error);
+}
+
+TEST(NxNet, DelayPropagatesFromPrototype) {
+    NxNet net;
+    const auto a = net.create_compartment_group("a", 1, if_proto(4));
+    const auto b = net.create_compartment_group("b", 1, if_proto(1 << 20));
+    ConnectionPrototype delayed;
+    delayed.delay = 3;
+    net.connect_one_to_one(a, b, delayed, 9);
+    net.compile();
+    net.set_bias(a, {4});
+    net.run(2);  // src fires at steps 1,2; arrivals begin at 1 + 1 + 3 = 5
+    EXPECT_EQ(net.chip().membrane(b.pop, 0), 0);
+    net.set_bias(a, {0});
+    net.run(3);  // now at step 5: first delayed delivery has landed
+    EXPECT_EQ(net.chip().membrane(b.pop, 0), 9);
+    net.run(1);
+    EXPECT_EQ(net.chip().membrane(b.pop, 0), 18);
+}

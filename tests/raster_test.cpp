@@ -1,0 +1,134 @@
+// Unit tests for the software rasterizer behind the synthetic dataset
+// generators: primitive coverage, affine warps, blur and noise processes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "data/raster.hpp"
+
+using neuro::data::Canvas;
+using neuro::common::Rng;
+
+namespace {
+
+float total(const Canvas& c) {
+    float s = 0.0f;
+    for (std::size_t y = 0; y < c.height(); ++y)
+        for (std::size_t x = 0; x < c.width(); ++x) s += c.at(y, x);
+    return s;
+}
+
+}  // namespace
+
+TEST(Canvas, StartsBlank) {
+    Canvas c(8, 8);
+    EXPECT_FLOAT_EQ(total(c), 0.0f);
+}
+
+TEST(Canvas, StrokeCoversSegment) {
+    Canvas c(16, 16);
+    c.stroke(2.0f, 8.0f, 13.0f, 8.0f, 2.0f);
+    // Pixels on the segment's spine are fully covered.
+    EXPECT_FLOAT_EQ(c.at(8, 5), 1.0f);
+    EXPECT_FLOAT_EQ(c.at(8, 10), 1.0f);
+    // Far away stays blank.
+    EXPECT_FLOAT_EQ(c.at(2, 2), 0.0f);
+    EXPECT_FLOAT_EQ(c.at(14, 14), 0.0f);
+}
+
+TEST(Canvas, StrokesMaxCombine) {
+    Canvas c(16, 16);
+    c.stroke(2, 8, 13, 8, 2.0f, 0.5f);
+    c.stroke(8, 2, 8, 13, 2.0f, 0.9f);
+    // Crossing point takes the maximum, not the sum.
+    EXPECT_FLOAT_EQ(c.at(8, 8), 0.9f);
+}
+
+TEST(Canvas, FillRectRespectsRotation) {
+    Canvas axis(20, 20);
+    axis.fill_rect(10, 10, 6, 2, 0.0f);
+    EXPECT_FLOAT_EQ(axis.at(10, 5), 1.0f);   // inside along x
+    EXPECT_FLOAT_EQ(axis.at(5, 10), 0.0f);   // outside along y
+
+    Canvas rot(20, 20);
+    rot.fill_rect(10, 10, 6, 2, static_cast<float>(M_PI / 2));
+    EXPECT_FLOAT_EQ(rot.at(5, 10), 1.0f);    // rotated: long axis now vertical
+    EXPECT_FLOAT_EQ(rot.at(10, 5), 0.0f);
+}
+
+TEST(Canvas, FillEllipseContainment) {
+    Canvas c(20, 20);
+    c.fill_ellipse(10, 10, 5, 3, 0.0f);
+    EXPECT_FLOAT_EQ(c.at(10, 10), 1.0f);
+    EXPECT_FLOAT_EQ(c.at(10, 14), 1.0f);  // inside semi-major
+    EXPECT_FLOAT_EQ(c.at(16, 10), 0.0f);  // outside semi-minor
+}
+
+TEST(Canvas, FillTriangleInterior) {
+    Canvas c(20, 20);
+    c.fill_triangle(2, 2, 17, 2, 2, 17);
+    EXPECT_FLOAT_EQ(c.at(4, 4), 1.0f);
+    EXPECT_FLOAT_EQ(c.at(16, 16), 0.0f);
+}
+
+TEST(Canvas, IdentityWarpPreservesImage) {
+    Canvas c(12, 12);
+    c.fill_rect(6, 6, 3, 3, 0.0f);
+    const Canvas warped = c.jitter(0.0f, 1.0f, 0.0f, 0.0f);
+    for (std::size_t y = 0; y < 12; ++y)
+        for (std::size_t x = 0; x < 12; ++x)
+            EXPECT_NEAR(warped.at(y, x), c.at(y, x), 1e-5f);
+}
+
+TEST(Canvas, TranslationWarpMovesMass) {
+    Canvas c(16, 16);
+    c.fill_rect(6, 8, 2, 2, 0.0f);
+    // jitter's translation is applied in source coordinates; +3 in x shifts
+    // the content left by 3, i.e. content at dst x samples src x+3.
+    const Canvas moved = c.jitter(0.0f, 1.0f, 3.0f, 0.0f);
+    EXPECT_GT(moved.at(8, 3), 0.9f);
+    EXPECT_LT(moved.at(8, 10), 0.1f);
+}
+
+TEST(Canvas, RotationWarpKeepsTotalMassApprox) {
+    Canvas c(24, 24);
+    c.fill_ellipse(12, 12, 5, 5, 0.0f);
+    const float before = total(c);
+    const Canvas rot = c.jitter(0.6f, 1.0f, 0.0f, 0.0f);
+    EXPECT_NEAR(total(rot), before, before * 0.05f);
+}
+
+TEST(Canvas, BlurConservesInteriorMass) {
+    Canvas c(16, 16);
+    c.fill_rect(8, 8, 3, 3, 0.0f);
+    const float before = total(c);
+    c.blur(1);
+    // Binomial blur is mass-conserving up to boundary effects (none here).
+    EXPECT_NEAR(total(c), before, before * 0.02f);
+    // And strictly reduces the peak.
+    EXPECT_LT(c.at(8, 8), 1.0f + 1e-6f);
+}
+
+TEST(Canvas, NoiseClampsToUnitRange) {
+    Canvas c(16, 16);
+    c.fill_rect(8, 8, 6, 6, 0.0f);
+    Rng rng(5);
+    c.add_gaussian_noise(rng, 0.5f);
+    for (std::size_t y = 0; y < 16; ++y)
+        for (std::size_t x = 0; x < 16; ++x) {
+            ASSERT_GE(c.at(y, x), 0.0f);
+            ASSERT_LE(c.at(y, x), 1.0f);
+        }
+}
+
+TEST(Canvas, SpeckleIsMultiplicative) {
+    // Zero pixels stay zero under speckle (it multiplies).
+    Canvas c(8, 8);
+    c.at(3, 3) = 0.5f;
+    Rng rng(6);
+    c.apply_speckle(rng, 0.9f);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 0.0f);
+    EXPECT_GE(c.at(3, 3), 0.0f);
+}

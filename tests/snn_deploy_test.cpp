@@ -1,0 +1,143 @@
+// Tests for the full ANN -> SNN conversion baseline (snn/deploy.hpp): the
+// balanced/quantized dense head, the inference-only chip deployment, and its
+// fidelity to the float model it was converted from.
+
+#include <gtest/gtest.h>
+
+#include "ann/model.hpp"
+#include "ann/trainer.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "snn/deploy.hpp"
+
+using namespace neuro;
+
+namespace {
+
+/// Shared fixture: a small digits task with a briefly pretrained paper CNN.
+struct ConversionCase {
+    data::Dataset train;
+    data::Dataset test;
+    ann::PaperTopology topo{};
+    ann::Model model;
+    double ann_accuracy = 0.0;
+
+    ConversionCase() {
+        data::GenOptions gen;
+        gen.count = 700;
+        gen.seed = 5;
+        gen.height = 16;
+        gen.width = 16;
+        const auto all = data::make_digits(gen);
+        std::tie(train, test) = data::split(all, 500);
+
+        topo.in_c = 1;
+        topo.in_h = 16;
+        topo.in_w = 16;
+        common::Rng rng(7);
+        model = ann::build_paper_model(topo, rng);
+        ann::TrainOptions opt;
+        opt.epochs = 3;
+        common::Rng train_rng(11);
+        ann::train(model, train, opt, train_rng);
+        ann_accuracy = ann::evaluate(model, test);
+    }
+};
+
+ConversionCase& shared_case() {
+    static ConversionCase c;
+    return c;
+}
+
+}  // namespace
+
+TEST(ConvertFullModel, LayersAreWithinTheWeightGrid) {
+    auto& c = shared_case();
+    const auto m = snn::convert_full_model(c.model, c.topo, c.train, 0.999f, 8);
+    for (const auto* layer : {&m.fc1, &m.fc2}) {
+        EXPECT_GE(layer->vth, 1);
+        EXPECT_GT(layer->lambda, 0.0f);
+        ASSERT_EQ(layer->weights.size(), layer->in * layer->out);
+        ASSERT_EQ(layer->bias.size(), layer->out);
+        std::int32_t peak = 0;
+        for (const auto w : layer->weights) {
+            EXPECT_GE(w, -128);
+            EXPECT_LE(w, 127);
+            peak = std::max(peak, std::abs(w));
+        }
+        // The balancing maps the largest |weight| to the top of the grid.
+        EXPECT_GE(peak, 120);
+    }
+    EXPECT_EQ(m.fc1.in, c.topo.feature_size());
+    EXPECT_EQ(m.fc1.out, c.topo.hidden);
+    EXPECT_EQ(m.fc2.out, c.topo.classes);
+}
+
+TEST(ConvertFullModel, RejectsNonPaperModels) {
+    auto& c = shared_case();
+    ann::Model tiny;
+    EXPECT_THROW(snn::convert_full_model(tiny, c.topo, c.train, 0.999f, 8),
+                 std::invalid_argument);
+}
+
+TEST(ConvertedNetwork, TracksTheFloatModelAccuracy) {
+    auto& c = shared_case();
+    const auto m = snn::convert_full_model(c.model, c.topo, c.train, 0.999f, 8);
+    snn::ConvertedNetwork net(m, c.topo, /*phase_length=*/64);
+
+    std::size_t agree = 0, correct = 0;
+    for (const auto& s : c.test.samples) {
+        const auto p = net.predict(s.image);
+        agree += p == c.model.predict(s.image) ? 1 : 0;
+        correct += p == s.label ? 1 : 0;
+    }
+    const double n = static_cast<double>(c.test.size());
+    const double acc = static_cast<double>(correct) / n;
+    // Conversion loses a few points to rate quantization but must stay close
+    // to the float model and far above chance.
+    EXPECT_GT(acc, c.ann_accuracy - 0.15);
+    EXPECT_GT(acc, 0.5);
+    EXPECT_GT(static_cast<double>(agree) / n, 0.6);
+}
+
+TEST(ConvertedNetwork, LongerWindowsDoNotLoseAccuracy) {
+    auto& c = shared_case();
+    const auto m = snn::convert_full_model(c.model, c.topo, c.train, 0.999f, 8);
+    const auto accuracy_at = [&](std::int32_t T) {
+        snn::ConvertedNetwork net(m, c.topo, T);
+        std::size_t correct = 0;
+        for (std::size_t i = 0; i < 120; ++i) {
+            const auto& s = c.test.samples[i];
+            correct += net.predict(s.image) == s.label ? 1 : 0;
+        }
+        return static_cast<double>(correct) / 120.0;
+    };
+    const double coarse = accuracy_at(16);
+    const double fine = accuracy_at(96);
+    EXPECT_GE(fine, coarse - 0.05);  // finer rate code, same or better
+}
+
+TEST(ConvertedNetwork, ValidatesGeometry) {
+    auto& c = shared_case();
+    const auto m = snn::convert_full_model(c.model, c.topo, c.train, 0.999f, 8);
+    EXPECT_THROW(snn::ConvertedNetwork(m, c.topo, 0), std::invalid_argument);
+
+    snn::ConvertedNetwork net(m, c.topo, 32);
+    common::Tensor wrong({1, 8, 8});
+    EXPECT_THROW(net.predict(wrong), std::invalid_argument);
+}
+
+TEST(ConvertedNetwork, IsInferenceOnlyAndStateless) {
+    auto& c = shared_case();
+    const auto m = snn::convert_full_model(c.model, c.topo, c.train, 0.999f, 8);
+    snn::ConvertedNetwork net(m, c.topo, 64);
+    // No plastic projections anywhere: apply_learning must be a no-op on the
+    // weights.
+    const auto w_before = net.chip().weights(3);  // fc2 projection
+    const auto& s = c.test.samples.front();
+    const auto first = net.output_counts(s.image);
+    net.chip().apply_learning();
+    const auto second = net.output_counts(s.image);
+    EXPECT_EQ(first, second);  // per-sample reset makes repeats identical
+    EXPECT_EQ(net.chip().weights(3), w_before);
+}

@@ -1,0 +1,200 @@
+// Unit tests for src/snn: conv/dense adjacency expansion and the ANN->SNN
+// conversion (weight/threshold balancing). The headline property: a
+// quantized spiking conv layer's counts track the float ReLU conv.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ann/model.hpp"
+#include "ann/ops.hpp"
+#include "ann/trainer.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/encode.hpp"
+#include "loihi/chip.hpp"
+#include "snn/convert.hpp"
+#include "snn/topology.hpp"
+
+using namespace neuro::snn;
+using neuro::common::Rng;
+using neuro::common::Tensor;
+
+TEST(ConvSpec, Geometry) {
+    ConvSpec spec{1, 28, 28, 16, 5, 2};
+    EXPECT_EQ(spec.out_h(), 12u);
+    EXPECT_EQ(spec.out_size(), 16u * 12u * 12u);
+    EXPECT_EQ(spec.fan_in(), 25u);
+}
+
+TEST(ConvTopology, ConnectionCountAndBounds) {
+    ConvSpec spec{2, 8, 8, 3, 3, 1};
+    std::size_t count = 0;
+    for_each_conv_connection(spec, [&](std::size_t src, std::size_t dst,
+                                       std::size_t widx) {
+        ASSERT_LT(src, spec.in_size());
+        ASSERT_LT(dst, spec.out_size());
+        ASSERT_LT(widx, 3u * 2u * 3u * 3u);
+        ++count;
+    });
+    EXPECT_EQ(count, spec.out_size() * spec.fan_in());
+}
+
+TEST(ConvTopology, MatchesDirectConvolution) {
+    // Summing weights over the adjacency must reproduce conv2d_forward on a
+    // "rate" vector — the adjacency and the dense math are the same linear
+    // operator.
+    ConvSpec spec{1, 6, 6, 2, 3, 1};
+    Rng rng(3);
+    Tensor img({1, 6, 6});
+    for (auto& v : img) v = static_cast<float>(rng.uniform(0.0, 1.0));
+    Tensor w({2, 1, 3, 3});
+    for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    Tensor b({2});
+
+    const Tensor ref = neuro::ann::conv2d_forward(img, w, b, 1);
+
+    std::vector<float> acc(spec.out_size(), 0.0f);
+    for_each_conv_connection(spec, [&](std::size_t src, std::size_t dst,
+                                       std::size_t widx) {
+        acc[dst] += w[widx] * img[src];
+    });
+    for (std::size_t i = 0; i < acc.size(); ++i) EXPECT_NEAR(acc[i], ref[i], 1e-4f);
+}
+
+TEST(DenseTopology, RowMajorExpansion) {
+    const auto syns = dense_synapses(3, 2, {1, 2, 3, 4, 5, 6});
+    ASSERT_EQ(syns.size(), 6u);
+    // weight of (src=2, dst=1) must be w[1*3+2] = 6.
+    bool found = false;
+    for (const auto& s : syns)
+        if (s.src == 2 && s.dst == 1) {
+            EXPECT_EQ(s.weight, 6);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+    EXPECT_THROW(dense_synapses(3, 2, {1, 2}), std::invalid_argument);
+}
+
+TEST(IdentityTopology, DiagonalOnly) {
+    const auto syns = identity_synapses(4, 7);
+    ASSERT_EQ(syns.size(), 4u);
+    for (const auto& s : syns) {
+        EXPECT_EQ(s.src, s.dst);
+        EXPECT_EQ(s.weight, 7);
+    }
+}
+
+TEST(Percentile, NearestRank) {
+    EXPECT_FLOAT_EQ(percentile({1, 2, 3, 4, 5}, 1.0f), 5.0f);
+    EXPECT_FLOAT_EQ(percentile({1, 2, 3, 4, 5}, 0.5f), 3.0f);
+    EXPECT_FLOAT_EQ(percentile({5, 1, 3}, 0.3f), 1.0f);
+    EXPECT_FLOAT_EQ(percentile({5, 1, 3}, 0.34f), 3.0f);
+    EXPECT_THROW(percentile({}, 0.5f), std::invalid_argument);
+    EXPECT_THROW(percentile({1.0f}, 1.5f), std::invalid_argument);
+}
+
+namespace {
+
+/// Shared fixture: a small pretrained model and its conversion.
+struct ConvertedFixture {
+    neuro::ann::PaperTopology topo;
+    neuro::data::Dataset data;
+    std::unique_ptr<neuro::ann::Model> model;
+    ConvertedStack stack;
+
+    ConvertedFixture() {
+        neuro::data::GenOptions gen;
+        gen.count = 60;
+        gen.seed = 8;
+        gen.height = 14;
+        gen.width = 14;
+        data = neuro::data::make_digits(gen);
+        topo.in_c = 1;
+        topo.in_h = 14;
+        topo.in_w = 14;
+        topo.hidden = 20;
+        Rng rng(4);
+        model = std::make_unique<neuro::ann::Model>(
+            neuro::ann::build_paper_model(topo, rng));
+        neuro::ann::TrainOptions opt;
+        opt.epochs = 2;
+        neuro::ann::train(*model, data, opt, rng);
+        stack = convert_conv_stack(*model, topo, data, 0.999f, 8);
+    }
+};
+
+}  // namespace
+
+TEST(Convert, ProducesValidQuantization) {
+    ConvertedFixture f;
+    EXPECT_GE(f.stack.conv1.vth, 1);
+    EXPECT_GE(f.stack.conv2.vth, 1);
+    EXPECT_GT(f.stack.conv1.lambda, 0.0f);
+    EXPECT_EQ(f.stack.conv1.weights.size(), 16u * 1u * 5u * 5u);
+    EXPECT_EQ(f.stack.conv1.bias.size(), f.stack.conv1.spec.out_size());
+    std::int32_t wmax = 0;
+    for (auto w : f.stack.conv1.weights) wmax = std::max(wmax, std::abs(w));
+    EXPECT_EQ(wmax, 127) << "scaling must use the full 8-bit range";
+}
+
+TEST(Convert, SpikingConvTracksFloatConv) {
+    // Lay the converted conv1 on a chip, rate-code an image via bias
+    // integration, and compare per-neuron spike counts against the
+    // normalized float activations: counts ~ clamp(a / lambda1, 0, 1) * T.
+    ConvertedFixture f;
+    const std::int32_t T = 64;
+
+    neuro::loihi::Chip chip;
+    neuro::loihi::PopulationConfig in;
+    in.name = "in";
+    in.size = f.stack.conv1.spec.in_size();
+    in.compartment.vth = T;
+    in.compartment.floor_at_zero = true;
+    const auto in_pop = chip.add_population(in);
+    neuro::loihi::PopulationConfig c1;
+    c1.name = "conv1";
+    c1.size = f.stack.conv1.spec.out_size();
+    c1.compartment.vth = f.stack.conv1.vth;
+    c1.compartment.floor_at_zero = true;
+    const auto c1_pop = chip.add_population(c1);
+    neuro::loihi::ProjectionConfig pr;
+    pr.name = "conv1";
+    pr.src = in_pop;
+    pr.dst = c1_pop;
+    chip.add_projection(pr, conv_synapses(f.stack.conv1.spec, f.stack.conv1.weights));
+    chip.finalize();
+    chip.set_bias(c1_pop, f.stack.conv1.bias);
+
+    const auto* conv1 =
+        dynamic_cast<const neuro::ann::Conv2d*>(f.model->layers()[0].get());
+    double err_sum = 0.0;
+    std::size_t n = 0;
+    for (int s = 0; s < 5; ++s) {
+        const auto& img = f.data.samples[static_cast<std::size_t>(s)].image;
+        chip.reset_dynamic_state();
+        chip.set_bias(in_pop, neuro::data::quantize_to_bias(img, T));
+        chip.set_bias(c1_pop, f.stack.conv1.bias);
+        chip.run(static_cast<std::size_t>(T) + 2);  // +delay slack
+
+        const auto counts = chip.spike_counts(in_pop, neuro::loihi::Phase::One);
+        const Tensor ref = neuro::ann::relu_forward(neuro::ann::conv2d_forward(
+            img, conv1->weights(), conv1->bias(), conv1->stride()));
+        const auto snn = chip.spike_counts(c1_pop, neuro::loihi::Phase::One);
+        for (std::size_t i = 0; i < snn.size(); ++i) {
+            const double expected =
+                std::min(1.0, static_cast<double>(ref[i]) / f.stack.conv1.lambda) * T;
+            err_sum += std::abs(static_cast<double>(snn[i]) - expected);
+            ++n;
+        }
+    }
+    // Mean absolute count error within a few spikes of T=64.
+    EXPECT_LT(err_sum / static_cast<double>(n), 4.0);
+}
+
+TEST(Convert, RejectsNonPaperModels) {
+    ConvertedFixture f;
+    neuro::ann::Model empty;
+    EXPECT_THROW(convert_conv_stack(empty, f.topo, f.data, 0.999f, 8),
+                 std::invalid_argument);
+}

@@ -1,0 +1,138 @@
+// Tests for the terminal plotting used by the figure benches (src/viz):
+// deterministic geometry, marker placement, range handling, legends, and the
+// spike raster's bucketing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "viz/chart.hpp"
+
+using namespace neuro::viz;
+
+namespace {
+
+/// Splits chart output into lines for structural assertions.
+std::vector<std::string> lines_of(const std::string& s) {
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+}
+
+/// Plot row index (within the chart body) of the first occurrence of `mark`.
+std::size_t first_mark_row(const std::vector<std::string>& lines, char mark) {
+    for (std::size_t r = 0; r < lines.size(); ++r)
+        if (lines[r].find(mark) != std::string::npos) return r;
+    return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+TEST(LineChart, HasExpectedGeometry) {
+    ChartOptions opt;
+    opt.width = 40;
+    opt.height = 10;
+    const auto chart =
+        line_chart({0, 1, 2, 3}, {{"a", {1, 2, 3, 4}}}, opt);
+    const auto lines = lines_of(chart);
+    // 10 plot rows + x-axis + x-tick row + legend.
+    ASSERT_EQ(lines.size(), 13u);
+    for (std::size_t r = 0; r < 10; ++r) {
+        EXPECT_EQ(lines[r].size(), 9 + 2 + 40) << "row " << r;
+        EXPECT_EQ(lines[r][10], '|');
+    }
+    EXPECT_NE(lines[10].find(std::string(40, '-')), std::string::npos);
+    EXPECT_NE(lines.back().find("legend:  * a"), std::string::npos);
+}
+
+TEST(LineChart, RisingSeriesRisesAcrossTheCanvas) {
+    ChartOptions opt;
+    opt.width = 32;
+    opt.height = 8;
+    const auto lines = lines_of(line_chart({0, 1}, {{"up", {0, 1}}}, opt));
+    // First column marker near the bottom row, last column near the top.
+    EXPECT_EQ(lines[0].back(), '*');            // top-right
+    EXPECT_EQ(lines[7][11], '*');               // bottom-left (gutter is 11 cols)
+}
+
+TEST(LineChart, TwoSeriesGetDistinctMarkers) {
+    const auto chart = line_chart(
+        {0, 1, 2}, {{"fa", {1, 2, 3}}, {"dfa", {3, 2, 1}}});
+    EXPECT_NE(chart.find('*'), std::string::npos);
+    EXPECT_NE(chart.find('o'), std::string::npos);
+    EXPECT_NE(chart.find("* fa"), std::string::npos);
+    EXPECT_NE(chart.find("o dfa"), std::string::npos);
+}
+
+TEST(LineChart, FlatSeriesLandsMidWindow) {
+    ChartOptions opt;
+    opt.width = 16;
+    opt.height = 9;
+    const auto lines = lines_of(line_chart({0, 1}, {{"flat", {5, 5}}}, opt));
+    EXPECT_EQ(first_mark_row(lines, '*'), 4u);  // centre row of 9
+}
+
+TEST(LineChart, NanPointsAreSkipped) {
+    const double nan = std::nan("");
+    const auto chart =
+        line_chart({0, 1, 2, 3}, {{"gappy", {1, nan, nan, 2}}});
+    // Only the two finite sample markers (no interpolated bridge).
+    std::size_t stars = 0;
+    for (const char c : chart) stars += c == '*' ? 1 : 0;
+    EXPECT_EQ(stars, 3u);  // 2 sample points + 1 in the legend
+}
+
+TEST(LineChart, ExplicitRangeClampsOutliers) {
+    ChartOptions opt;
+    opt.width = 16;
+    opt.height = 8;
+    opt.y_lo = 0.0;
+    opt.y_hi = 1.0;
+    const auto lines = lines_of(line_chart({0, 1}, {{"hot", {0.5, 99.0}}}, opt));
+    EXPECT_NE(lines[0].find('*'), std::string::npos);  // clamped to top row
+}
+
+TEST(LineChart, ValidatesInput) {
+    EXPECT_THROW(line_chart({0}, {{"a", {1}}}), std::invalid_argument);
+    EXPECT_THROW(line_chart({0, 1}, {}), std::invalid_argument);
+    EXPECT_THROW(line_chart({0, 1}, {{"a", {1, 2, 3}}}), std::invalid_argument);
+    ChartOptions tiny;
+    tiny.width = 2;
+    EXPECT_THROW(line_chart({0, 1}, {{"a", {1, 2}}}, tiny),
+                 std::invalid_argument);
+}
+
+TEST(LineChart, IsDeterministic) {
+    const std::vector<double> x = {0, 1, 2, 3, 4};
+    const std::vector<Series> s = {{"e", {5, 3, 2, 3, 6}}};
+    EXPECT_EQ(line_chart(x, s), line_chart(x, s));
+}
+
+TEST(SpikeRaster, BucketsEventsAndScalesDensity) {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> ev;
+    // Neuron 0 fires every step (dense); neuron 7 fires once.
+    for (std::uint64_t t = 0; t < 64; ++t) ev.push_back({t, 0});
+    ev.push_back({32, 7});
+    const auto raster = spike_raster(ev, 64, 8, 16, 8);
+    const auto lines = lines_of(raster);
+    ASSERT_GE(lines.size(), 9u);
+    // Row of neuron 0 is saturated '#', row of neuron 7 has one light mark.
+    EXPECT_NE(lines[1].find('#'), std::string::npos);
+    EXPECT_NE(lines[8].find('|'), std::string::npos);
+    EXPECT_EQ(lines[8].find('#'), std::string::npos);
+}
+
+TEST(SpikeRaster, SilenceIsDots) {
+    const auto raster = spike_raster({}, 10, 4, 10, 4);
+    for (const auto& line : lines_of(raster))
+        EXPECT_EQ(line.find('#'), std::string::npos);
+}
+
+TEST(SpikeRaster, ValidatesExtent) {
+    EXPECT_THROW(spike_raster({}, 0, 4), std::invalid_argument);
+    EXPECT_THROW(spike_raster({{5, 0}}, 4, 4), std::out_of_range);
+    EXPECT_THROW(spike_raster({{0, 9}}, 4, 4), std::out_of_range);
+}
