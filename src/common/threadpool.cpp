@@ -1,0 +1,59 @@
+#include "common/threadpool.hpp"
+
+namespace neuro::common {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0) threads = 1;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(std::size_t jobs, const std::function<void(std::size_t)>& fn) {
+    if (jobs == 0) return;
+    std::unique_lock<std::mutex> lock(m_);
+    fn_ = &fn;
+    jobs_ = jobs;
+    next_ = 0;
+    first_error_ = nullptr;
+    cv_work_.notify_all();
+    cv_done_.wait(lock, [this] { return next_ >= jobs_ && in_flight_ == 0; });
+    fn_ = nullptr;
+    jobs_ = 0;
+    if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop() {
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+        cv_work_.wait(lock, [this] { return stop_ || next_ < jobs_; });
+        if (stop_) return;
+        const std::size_t job = next_++;
+        ++in_flight_;
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+            (*fn_)(job);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lock.lock();
+        if (err && !first_error_) first_error_ = err;
+        --in_flight_;
+        if (next_ >= jobs_ && in_flight_ == 0) cv_done_.notify_all();
+    }
+}
+
+}  // namespace neuro::common

@@ -1,0 +1,55 @@
+#pragma once
+// A small fixed-size worker pool for data-parallel fan-out (used by
+// core::ParallelTrainer to drive one network replica per worker).
+//
+// Deliberately minimal: one blocking `run(jobs, fn)` primitive that executes
+// fn(0) .. fn(jobs-1) across the workers and returns when all are done. No
+// futures, no task graph — the trainer's batch loop is a strict fork/join,
+// and keeping the primitive strict keeps the determinism argument simple
+// (all cross-thread data hand-off happens at the join barrier).
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace neuro::common {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+    /// (at least 1).
+    explicit ThreadPool(std::size_t threads = 0);
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+    ~ThreadPool();
+
+    std::size_t size() const { return workers_.size(); }
+
+    /// Runs fn(job) for every job in [0, jobs), distributing jobs across the
+    /// workers, and blocks until all have finished. Jobs are claimed from a
+    /// shared counter, so callers that need determinism must make fn's
+    /// result independent of which worker runs which job (ParallelTrainer
+    /// writes into per-job slots for exactly this reason). If any job
+    /// throws, the first exception is rethrown here after the join.
+    void run(std::size_t jobs, const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    const std::function<void(std::size_t)>* fn_ = nullptr;
+    std::size_t jobs_ = 0;
+    std::size_t next_ = 0;
+    std::size_t in_flight_ = 0;
+    std::exception_ptr first_error_;
+    bool stop_ = false;
+};
+
+}  // namespace neuro::common

@@ -488,6 +488,21 @@ void EmstdpNetwork::set_learning_shift_offset(int offset) {
     for (auto proj : plastic_) chip_.set_learning_rule(proj, rule);
 }
 
+std::vector<std::vector<std::int32_t>> EmstdpNetwork::plastic_weights() const {
+    std::vector<std::vector<std::int32_t>> out;
+    out.reserve(plastic_.size());
+    for (auto proj : plastic_) out.push_back(chip_.weights(proj));
+    return out;
+}
+
+void EmstdpNetwork::set_plastic_weights(
+    const std::vector<std::vector<std::int32_t>>& w) {
+    if (w.size() != plastic_.size())
+        throw std::invalid_argument("set_plastic_weights: layer count mismatch");
+    for (std::size_t p = 0; p < plastic_.size(); ++p)
+        chip_.program_weights(plastic_[p], w[p]);
+}
+
 void EmstdpNetwork::save(const std::string& path) const {
     std::ofstream out(path, std::ios::binary);
     if (!out) throw std::runtime_error("EmstdpNetwork::save: cannot open " + path);

@@ -67,6 +67,22 @@ public:
     /// reduced learning rate of IOL step 1. Negative offsets are rejected.
     void set_learning_shift_offset(int offset);
 
+    // ---- replication & weight sync (parallel trainer support) --------------
+    /// Deep copy: chip structure, synaptic weights, device faults and all
+    /// dynamic state. Replicas share nothing with the original — this is how
+    /// ParallelTrainer builds one independent chip per worker thread.
+    EmstdpNetwork clone() const { return *this; }
+
+    /// Current weights of every plastic projection, in plastic_projections()
+    /// order (frozen conv weights are excluded — they never change).
+    std::vector<std::vector<std::int32_t>> plastic_weights() const;
+
+    /// Reprograms every plastic projection (sizes must match
+    /// plastic_weights(); values must fit the weight precision). Works on a
+    /// finalized chip — the host-side equivalent of rewriting synaptic
+    /// memory — and leaves stuck-at faulted cells untouched.
+    void set_plastic_weights(const std::vector<std::vector<std::int32_t>>& w);
+
     // ---- deployment ---------------------------------------------------------
     /// Checkpoints every synaptic weight (trained dense + frozen conv) to a
     /// file; load() restores it into an identically-built network. This is

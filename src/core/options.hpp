@@ -93,4 +93,56 @@ struct EmstdpOptions {
     int learning_shift() const;
 };
 
+/// How ParallelTrainer folds the per-sample integer weight deltas of a
+/// mini-batch back into the master network.
+enum class MergeMode {
+    /// Sum every shard's delta, then clip once at `weight_bits`
+    /// (w' = clip(w0 + sum dw_i)). On its own this scales the effective
+    /// learning rate by the batch size — EMSTDP destabilizes beyond small
+    /// batches that way — so by default ParallelOptions::compensate_rate
+    /// lowers each replica's on-chip rate by the same factor.
+    SumClip,
+    /// Average the deltas (truncating division toward zero), then clip
+    /// (w' = clip(w0 + sum dw_i / batch)). Keeps the per-batch step size
+    /// independent of the batch size.
+    MeanClip,
+};
+
+/// Configuration of core::ParallelTrainer (the data-parallel batched
+/// training engine; see docs/ARCHITECTURE.md for the design and its
+/// determinism contract).
+struct ParallelOptions {
+    /// Worker threads — and therefore network replicas. 0 means
+    /// std::thread::hardware_concurrency(). The trained weights are
+    /// bit-identical for every value of `threads`; only wall-clock changes.
+    std::size_t threads = 0;
+
+    /// Mini-batch size. 1 reproduces the paper's strictly-online Operation
+    /// Flow 1 bit-for-bit (every sample trains on the master network in
+    /// stream order). Values > 1 switch to synchronous data-parallel
+    /// semantics: each sample of the batch trains against the batch-start
+    /// weights on a replica, and the integer deltas are merged at the batch
+    /// boundary according to `merge`.
+    std::size_t batch = 1;
+
+    /// Delta merge rule applied at each batch boundary (batch > 1 only).
+    MergeMode merge = MergeMode::SumClip;
+
+    /// Keep the effective learning rate of SumClip equal to the serial
+    /// trainer's by adding round(log2(batch)) to the learning shift of
+    /// every replica — i.e. each sample updates with eta/batch, realized
+    /// the way the silicon would (reprogramming the rule's power-of-two
+    /// shift), and the batch sum restores eta. Stochastic rounding keeps
+    /// the now sub-LSB per-sample updates unbiased. Ignored for batch == 1
+    /// and for MergeMode::MeanClip (the mean already normalizes).
+    bool compensate_rate = true;
+
+    /// Base seed for the per-sample learning-noise streams of the batched
+    /// path. 0 derives it from the network's EmstdpOptions::seed. Each
+    /// sample's stochastic-rounding stream is a pure function of
+    /// (seed, epoch, position in stream), never of the worker that ran it —
+    /// this is what makes the result independent of `threads`.
+    std::uint64_t seed = 0;
+};
+
 }  // namespace neuro::core

@@ -1,0 +1,176 @@
+#include "core/parallel_trainer.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/fixed.hpp"
+#include "core/trainer.hpp"
+
+namespace neuro::core {
+
+int ParallelTrainer::rate_shift() const {
+    if (!opt_.compensate_rate || opt_.batch <= 1 ||
+        opt_.merge == MergeMode::MeanClip)
+        return 0;
+    return static_cast<int>(
+        std::lround(std::log2(static_cast<double>(opt_.batch))));
+}
+
+ParallelTrainer::ParallelTrainer(EmstdpNetwork& master, ParallelOptions opt)
+    : master_(master), opt_(opt) {
+    if (opt_.batch == 0)
+        throw std::invalid_argument("ParallelTrainer: batch must be >= 1");
+    seed_base_ = opt_.seed != 0 ? opt_.seed : master_.options().seed;
+
+    pool_ = std::make_unique<common::ThreadPool>(opt_.threads);
+    const std::size_t workers = pool_->size();
+
+    // Batched training runs exclusively on replicas — worker 0 included —
+    // so rate compensation never touches the master's learning rule. With
+    // batch == 1 the replicas only serve the parallel evaluator, and
+    // worker 0 reuses the master (a single-threaded trainer carries no
+    // copy at all).
+    replicas_.resize(workers);
+    for (std::size_t w = (opt_.batch > 1 ? 0 : 1); w < workers; ++w) {
+        replicas_[w] = std::make_unique<EmstdpNetwork>(master_.clone());
+        if (rate_shift() > 0) replicas_[w]->set_learning_shift_offset(rate_shift());
+    }
+
+    const auto shapes = master_.plastic_weights();
+    deltas_.resize(workers);
+    for (auto& d : deltas_) {
+        d.resize(shapes.size());
+        for (std::size_t p = 0; p < shapes.size(); ++p)
+            d[p].assign(shapes[p].size(), 0);
+    }
+    hits_.assign(workers, 0);
+}
+
+ParallelTrainer::~ParallelTrainer() = default;
+
+std::size_t ParallelTrainer::threads() const { return pool_->size(); }
+
+std::uint64_t ParallelTrainer::sample_seed(std::uint64_t pos) const {
+    // Two rounds of SplitMix64 over a (seed, epoch, pos) mix. Any stream
+    // collision across samples would correlate their rounding noise, but
+    // never break the thread-invariance argument.
+    std::uint64_t s = seed_base_ ^ (0x9E3779B97F4A7C15ULL * (epoch_ + 1));
+    s += (pos + 1) * 0xBF58476D1CE4E5B9ULL;
+    common::splitmix64(s);
+    return common::splitmix64(s) | 1;
+}
+
+double ParallelTrainer::train_epoch(const data::Dataset& stream,
+                                    common::Rng& rng, bool measure_prequential) {
+    ++epoch_;
+
+    // The strictly-online configuration is the serial trainer, verbatim —
+    // same loop, same network, same RNG consumption.
+    if (opt_.batch <= 1)
+        return core::train_epoch(master_, stream, rng, measure_prequential);
+
+    std::vector<std::size_t> order(stream.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+
+    std::fill(hits_.begin(), hits_.end(), std::size_t{0});
+    for (std::size_t b = 0; b < order.size(); b += opt_.batch)
+        train_batch(stream, order, b, std::min(b + opt_.batch, order.size()),
+                    measure_prequential);
+
+    const std::size_t hits = std::accumulate(hits_.begin(), hits_.end(),
+                                             std::size_t{0});
+    return stream.size() == 0 || !measure_prequential
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(stream.size());
+}
+
+void ParallelTrainer::train_batch(const data::Dataset& stream,
+                                  const std::vector<std::size_t>& order,
+                                  std::size_t begin, std::size_t end,
+                                  bool measure_prequential) {
+    const std::size_t count = end - begin;
+    const std::size_t workers = pool_->size();
+    const auto w0 = master_.plastic_weights();
+
+    for (auto& d : deltas_)
+        for (auto& layer : d) std::fill(layer.begin(), layer.end(), 0);
+
+    pool_->run(workers, [&](std::size_t w) {
+        EmstdpNetwork& net = *replicas_[w];
+        auto& delta = deltas_[w];
+        // Round-robin sharding; any partition would give the same merged
+        // result, since each sample's delta is taken from the same anchor.
+        for (std::size_t j = w; j < count; j += workers) {
+            const std::size_t pos = begin + j;
+            const auto& s = stream.samples[order[pos]];
+            net.set_plastic_weights(w0);
+            // Seed before predicting too: with decaying traces the
+            // inference pass consumes the trace RNG, and the prequential
+            // hit must not depend on the replica's history.
+            net.chip().seed_learning_noise(sample_seed(pos));
+            if (measure_prequential && net.predict(s.image) == s.label)
+                ++hits_[w];
+            net.chip().seed_learning_noise(sample_seed(pos));
+            net.train_sample(s.image, s.label);
+            const auto after = net.plastic_weights();
+            for (std::size_t p = 0; p < after.size(); ++p)
+                for (std::size_t i = 0; i < after[p].size(); ++i)
+                    delta[p][i] += after[p][i] - w0[p][i];
+        }
+    });
+
+    // Merge on the caller thread, in fixed layer/synapse order. Integer
+    // sums commute, so the round-robin sharding above cannot leak the
+    // worker count into the result.
+    auto merged = w0;
+    for (std::size_t p = 0; p < merged.size(); ++p) {
+        for (std::size_t i = 0; i < merged[p].size(); ++i) {
+            std::int64_t sum = 0;
+            for (std::size_t w = 0; w < workers; ++w) sum += deltas_[w][p][i];
+            if (opt_.merge == MergeMode::MeanClip)
+                sum /= static_cast<std::int64_t>(count);
+            merged[p][i] = common::saturate_signed(
+                static_cast<std::int64_t>(w0[p][i]) + sum,
+                master_.options().weight_bits);
+        }
+    }
+    master_.set_plastic_weights(merged);
+}
+
+double ParallelTrainer::evaluate(const data::Dataset& test) {
+    if (test.size() == 0) return 0.0;
+    const std::size_t workers = pool_->size();
+    if (workers == 1) return core::evaluate(master_, test);
+
+    const auto w = master_.plastic_weights();
+    for (std::size_t r = 0; r < workers; ++r)
+        if (replicas_[r]) replicas_[r]->set_plastic_weights(w);
+
+    std::vector<std::size_t> hits(workers, 0);
+    pool_->run(workers, [&](std::size_t r) {
+        EmstdpNetwork& net = replicas_[r] ? *replicas_[r] : master_;
+        for (std::size_t i = r; i < test.size(); i += workers)
+            if (net.predict(test.samples[i].image) == test.samples[i].label)
+                ++hits[r];
+    });
+    const std::size_t total = std::accumulate(hits.begin(), hits.end(),
+                                              std::size_t{0});
+    return static_cast<double>(total) / static_cast<double>(test.size());
+}
+
+void ParallelTrainer::set_class_mask(const std::vector<bool>& mask) {
+    master_.set_class_mask(mask);
+    for (auto& r : replicas_)
+        if (r) r->set_class_mask(mask);
+}
+
+void ParallelTrainer::set_learning_shift_offset(int offset) {
+    master_.set_learning_shift_offset(offset);
+    // Replicas stack the rate compensation on top of the user's offset.
+    for (auto& r : replicas_)
+        if (r) r->set_learning_shift_offset(offset + rate_shift());
+}
+
+}  // namespace neuro::core

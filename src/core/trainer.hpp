@@ -6,6 +6,10 @@
 // data is received as a stream, and training must be carried out in
 // real-time ... Techniques such as batch learning, data augmentation are
 // not feasible").
+//
+// For throughput-oriented (non-real-time) training across replicated chips,
+// see core/parallel_trainer.hpp — its batch == 1 configuration reproduces
+// these loops bit-for-bit.
 
 #include <cstdint>
 

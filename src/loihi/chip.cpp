@@ -113,6 +113,23 @@ void Chip::finalize() {
         }
     }
 
+    // ---- sparse-sweep bookkeeping ------------------------------------------
+    pop_has_decay_.assign(pops_.size(), 0);
+    for (std::size_t pi = 0; pi < pops_.size(); ++pi) {
+        const CompartmentConfig& cfg = pops_[pi].cfg.compartment;
+        const bool decays = cfg.pre_trace.decay != 0 || cfg.post_trace.decay != 0 ||
+                            cfg.pre_trace2.decay != 0 ||
+                            cfg.post_trace2.decay != 0 || cfg.tag_trace.decay != 0;
+        pop_has_decay_[pi] = decays ? 1 : 0;
+    }
+    eligible_phase1_ = eligible_phase2_ = 0;
+    for (std::size_t c = 0; c < state_.size(); ++c) {
+        if (dead_[c] != 0) continue;
+        ++eligible_phase2_;
+        if (pops_[pop_of_[c]].cfg.compartment.active_in_phase1) ++eligible_phase1_;
+    }
+    wake_all();
+
     finalized_ = true;
 }
 
@@ -123,6 +140,10 @@ void Chip::set_bias(PopulationId pop, const std::vector<std::int32_t>& bias) {
                                     pops_[pop].cfg.name);
     const CompartmentId base = pops_[pop].first;
     for (std::size_t i = 0; i < bias.size(); ++i) state_[base + i].bias = bias[i];
+    // A bias write can turn a dormant compartment live; clearing one to zero
+    // never invalidates dormancy, so clear_bias needs no wake.
+    if (finalized_ && sparse_)
+        for (std::size_t i = 0; i < bias.size(); ++i) wake(base + i);
     activity_.host_io_writes += bias.size();
 }
 
@@ -178,6 +199,12 @@ void Chip::deliver(CompartmentId src) {
             dst.pending_soma += e.weight;
         else
             dst.pending_aux += e.weight;
+        // Sleeping targets must rejoin the sweep (no-op in dense mode where
+        // every flag stays 1; the flag shares the line loaded just above).
+        if (dst.awake == 0) {
+            dst.awake = 1;
+            wake_buf_.push_back(e.dst);
+        }
     }
     activity_.synaptic_ops += end - begin;
 }
@@ -195,111 +222,228 @@ void Chip::step() {
             dst.pending_soma += d.weight;
         else
             dst.pending_aux += d.weight;
+        if (sparse_) wake(d.dst);
     }
     due.clear();
 
-    // Pass 1: integrate and decide spikes. Deliveries are queued afterwards
-    // so the step is order-independent (one-step synaptic latency, as on
-    // silicon where spikes propagate between timestep barriers).
-    for (std::size_t c = 0; c < state_.size(); ++c) {
-        CompartmentState& st = state_[c];
-        const CompartmentConfig& cfg = pops_[pop_of_[c]].cfg.compartment;
-        st.spiked = false;
+    if (sparse_)
+        step_sparse();
+    else
+        step_dense();
+}
 
-        if (dead_[c] != 0) {
-            // A dead unit sinks whatever arrives and produces nothing.
-            st.pending_soma = 0;
-            st.pending_aux = 0;
-            continue;
-        }
+// Pass 1 physics of one compartment: integrate and decide the spike.
+// Deliveries are queued in pass 2 so the step is order-independent
+// (one-step synaptic latency, as on silicon where spikes propagate between
+// timestep barriers). `count_update` is false under the sparse sweep, which
+// accounts compartment_updates in bulk instead.
+void Chip::step_compartment(CompartmentId c, bool count_update) {
+    CompartmentState& st = state_[c];
+    const CompartmentConfig& cfg = pops_[pop_of_[c]].cfg.compartment;
+    st.spiked = false;
 
-        // Aux-port deliveries are handled even while the soma is frozen so
-        // that the h' gate can observe phase-1 forward activity.
-        if (cfg.join == JoinOp::AndAuxActive) {
-            if (st.pending_aux != 0) st.aux_active = true;
-            st.pending_aux = 0;
-        } else if (cfg.join == JoinOp::GatedAdd || cfg.join == JoinOp::Add) {
-            st.aux_current = st.pending_aux;
-            st.pending_aux = 0;
-        }
-
-        const bool frozen = (phase_ == Phase::One) && !cfg.active_in_phase1;
-        if (frozen) {
-            // A frozen compartment neither integrates nor spikes; current
-            // that would have arrived is dropped (the population is power-
-            // gated during this phase).
-            st.pending_soma = 0;
-            st.x1.tick(cfg.pre_trace, &trace_rng_);
-            st.y1.tick(cfg.post_trace, &trace_rng_);
-            st.x2.tick(cfg.pre_trace2, &trace_rng_);
-            st.y2.tick(cfg.post_trace2, &trace_rng_);
-            st.tag.tick(cfg.tag_trace, &trace_rng_);
-            continue;
-        }
-
-        ++activity_.compartment_updates;
-
-        st.u = common::decay12(st.u, cfg.decay_u) + st.pending_soma;
+    if (dead_[c] != 0) {
+        // A dead unit sinks whatever arrives and produces nothing.
         st.pending_soma = 0;
+        st.pending_aux = 0;
+        return;
+    }
 
-        std::int64_t drive = st.u + st.bias;
-        if ((cfg.join == JoinOp::GatedAdd && st.spikes_phase1 > 0) ||
-            cfg.join == JoinOp::Add)
-            drive += st.aux_current;
-        st.v = common::decay12(st.v, cfg.decay_v) + drive;
-        if (cfg.floor_at_zero && st.v < 0) st.v = 0;
+    // Aux-port deliveries are handled even while the soma is frozen so
+    // that the h' gate can observe phase-1 forward activity.
+    if (cfg.join == JoinOp::AndAuxActive) {
+        if (st.pending_aux != 0) st.aux_active = true;
+        st.pending_aux = 0;
+    } else if (cfg.join == JoinOp::GatedAdd || cfg.join == JoinOp::Add) {
+        st.aux_current = st.pending_aux;
+        st.pending_aux = 0;
+    }
 
-        if (st.refractory_left > 0) {
-            --st.refractory_left;
-            st.x1.tick(cfg.pre_trace, &trace_rng_);
-            st.y1.tick(cfg.post_trace, &trace_rng_);
-            st.x2.tick(cfg.pre_trace2, &trace_rng_);
-            st.y2.tick(cfg.post_trace2, &trace_rng_);
-            st.tag.tick(cfg.tag_trace, &trace_rng_);
-            continue;
-        }
-
-        const std::int64_t vth_eff =
-            std::max<std::int64_t>(1, static_cast<std::int64_t>(cfg.vth) +
-                                          vth_offset_[c]);
-        if (st.v >= vth_eff) {
-            // AND-join: the threshold crossing is consumed either way, but
-            // the outgoing spike is emitted only if the aux gate is open.
-            const bool gate_open =
-                cfg.join != JoinOp::AndAuxActive || st.aux_active;
-            if (cfg.soft_reset)
-                st.v -= vth_eff;
-            else
-                st.v = 0;
-            st.refractory_left = cfg.refractory;
-            if (gate_open) {
-                st.spiked = true;
-                if (phase_ == Phase::One)
-                    ++st.spikes_phase1;
-                else
-                    ++st.spikes_phase2;
-                st.x1.on_spike(cfg.pre_trace, phase_);
-                st.y1.on_spike(cfg.post_trace, phase_);
-                st.x2.on_spike(cfg.pre_trace2, phase_);
-                st.y2.on_spike(cfg.post_trace2, phase_);
-                st.tag.on_spike(cfg.tag_trace, phase_);
-                ++activity_.spikes;
-                if (raster_pop_ && pop_of_[c] == *raster_pop_)
-                    raster_.emplace_back(now_,
-                                         static_cast<std::uint32_t>(
-                                             c - pops_[*raster_pop_].first));
-            }
-        }
+    const bool frozen = (phase_ == Phase::One) && !cfg.active_in_phase1;
+    if (frozen) {
+        // A frozen compartment neither integrates nor spikes; current
+        // that would have arrived is dropped (the population is power-
+        // gated during this phase).
+        st.pending_soma = 0;
         st.x1.tick(cfg.pre_trace, &trace_rng_);
         st.y1.tick(cfg.post_trace, &trace_rng_);
         st.x2.tick(cfg.pre_trace2, &trace_rng_);
         st.y2.tick(cfg.post_trace2, &trace_rng_);
         st.tag.tick(cfg.tag_trace, &trace_rng_);
+        return;
     }
 
+    if (count_update) ++activity_.compartment_updates;
+
+    st.u = common::decay12(st.u, cfg.decay_u) + st.pending_soma;
+    st.pending_soma = 0;
+
+    std::int64_t drive = st.u + st.bias;
+    if ((cfg.join == JoinOp::GatedAdd && st.spikes_phase1 > 0) ||
+        cfg.join == JoinOp::Add)
+        drive += st.aux_current;
+    st.v = common::decay12(st.v, cfg.decay_v) + drive;
+    if (cfg.floor_at_zero && st.v < 0) st.v = 0;
+
+    if (st.refractory_left > 0) {
+        --st.refractory_left;
+        st.x1.tick(cfg.pre_trace, &trace_rng_);
+        st.y1.tick(cfg.post_trace, &trace_rng_);
+        st.x2.tick(cfg.pre_trace2, &trace_rng_);
+        st.y2.tick(cfg.post_trace2, &trace_rng_);
+        st.tag.tick(cfg.tag_trace, &trace_rng_);
+        return;
+    }
+
+    const std::int64_t vth_eff =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(cfg.vth) +
+                                      vth_offset_[c]);
+    if (st.v >= vth_eff) {
+        // AND-join: the threshold crossing is consumed either way, but
+        // the outgoing spike is emitted only if the aux gate is open.
+        const bool gate_open =
+            cfg.join != JoinOp::AndAuxActive || st.aux_active;
+        if (cfg.soft_reset)
+            st.v -= vth_eff;
+        else
+            st.v = 0;
+        st.refractory_left = cfg.refractory;
+        if (gate_open) {
+            st.spiked = true;
+            if (phase_ == Phase::One)
+                ++st.spikes_phase1;
+            else
+                ++st.spikes_phase2;
+            st.x1.on_spike(cfg.pre_trace, phase_);
+            st.y1.on_spike(cfg.post_trace, phase_);
+            st.x2.on_spike(cfg.pre_trace2, phase_);
+            st.y2.on_spike(cfg.post_trace2, phase_);
+            st.tag.on_spike(cfg.tag_trace, phase_);
+            ++activity_.spikes;
+            if (raster_pop_ && pop_of_[c] == *raster_pop_)
+                raster_.emplace_back(now_,
+                                     static_cast<std::uint32_t>(
+                                         c - pops_[*raster_pop_].first));
+        }
+    }
+    st.x1.tick(cfg.pre_trace, &trace_rng_);
+    st.y1.tick(cfg.post_trace, &trace_rng_);
+    st.x2.tick(cfg.pre_trace2, &trace_rng_);
+    st.y2.tick(cfg.post_trace2, &trace_rng_);
+    st.tag.tick(cfg.tag_trace, &trace_rng_);
+}
+
+void Chip::step_dense() {
+    for (std::size_t c = 0; c < state_.size(); ++c)
+        step_compartment(c, /*count_update=*/true);
     // Pass 2: deliver this step's spikes (visible at the next step).
     for (std::size_t c = 0; c < state_.size(); ++c)
         if (state_[c].spiked) deliver(c);
+}
+
+void Chip::step_sparse() {
+    merge_wakes();
+
+    // The dense sweep counts an update for every non-dead compartment that
+    // is not phase-gated off, whether or not anything changed; account the
+    // skipped ones in bulk so the energy model sees identical totals.
+    activity_.compartment_updates +=
+        phase_ == Phase::One ? eligible_phase1_ : eligible_phase2_;
+
+    std::size_t keep = 0;
+    for (std::size_t r = 0; r < active_list_.size(); ++r) {
+        const std::uint32_t c = active_list_[r];
+        step_compartment(c, /*count_update=*/false);
+        if (can_sleep(c))
+            state_[c].awake = 0;
+        else
+            active_list_[keep++] = c;
+    }
+    active_list_.resize(keep);
+
+    // Pass 2: deliver this step's spikes; deliver() re-wakes the targets
+    // for the next step. Only surviving list members can have spiked.
+    for (std::size_t r = 0; r < keep; ++r) {
+        const std::uint32_t c = active_list_[r];
+        if (state_[c].spiked) deliver(c);
+    }
+}
+
+void Chip::wake(CompartmentId c) {
+    if (state_[c].awake == 0) {
+        state_[c].awake = 1;
+        wake_buf_.push_back(static_cast<std::uint32_t>(c));
+    }
+}
+
+void Chip::wake_all() {
+    active_list_.resize(state_.size());
+    for (std::size_t c = 0; c < state_.size(); ++c) {
+        active_list_[c] = static_cast<std::uint32_t>(c);
+        state_[c].awake = 1;
+    }
+    wake_buf_.clear();
+}
+
+void Chip::merge_wakes() {
+    if (wake_buf_.empty()) return;
+    std::sort(wake_buf_.begin(), wake_buf_.end());
+    // Allocation-free backward two-pointer merge of the sorted wake buffer
+    // into the sorted active list (this runs every step; std::inplace_merge
+    // would grab a temporary buffer each time).
+    std::size_t i = active_list_.size();
+    std::size_t j = wake_buf_.size();
+    active_list_.resize(i + j);
+    std::size_t k = active_list_.size();
+    while (j > 0) {
+        if (i > 0 && active_list_[i - 1] > wake_buf_[j - 1])
+            active_list_[--k] = active_list_[--i];
+        else
+            active_list_[--k] = wake_buf_[--j];
+    }
+    wake_buf_.clear();
+}
+
+// True when the next visits to `c` are guaranteed no-ops, so the sweep may
+// drop it until an external event (delivery, host write) wakes it again.
+// Evaluated *after* step_compartment, and deliberately phase-independent:
+// a compartment put to sleep stays correct across set_phase() flips.
+bool Chip::can_sleep(CompartmentId c) const {
+    const CompartmentState& st = state_[c];
+    // A dead unit only ever sinks pending input, which the visit above has
+    // just cleared; it never ticks traces or consumes RNG.
+    if (dead_[c] != 0) return true;
+    // A decaying trace evolves — and draws from the shared rounding RNG —
+    // every step, so these compartments must be visited in dense order.
+    if (pop_has_decay_[pop_of_[c]] != 0) return false;
+    if (st.spiked) return false;  // must clear the flag and deliver next step
+    if (st.pending_soma != 0) return false;
+    if (st.bias != 0) return false;
+    if (st.u != 0) return false;
+    if (st.aux_current != 0) return false;
+    if (st.refractory_left != 0) return false;
+    const CompartmentConfig& cfg = pops_[pop_of_[c]].cfg.compartment;
+    // Joined neurons consume pending_aux each visit; unjoined ones never
+    // read it, so a residual value there cannot change anything.
+    if (cfg.join != JoinOp::None && st.pending_aux != 0) return false;
+    if (st.v != 0) {
+        if (cfg.decay_v != 0) return false;           // v still decaying
+        if (cfg.floor_at_zero && st.v < 0) return false;  // would clamp
+        const std::int64_t vth_eff =
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(cfg.vth) +
+                                          vth_offset_[c]);
+        if (st.v >= vth_eff) return false;            // would keep spiking
+    }
+    return true;
+}
+
+void Chip::set_sparse_sweep(bool enabled) {
+    if (enabled == sparse_) return;
+    sparse_ = enabled;
+    // Either direction re-arms the full list: the dense sweep relies on
+    // every awake flag being 1 (so deliveries never queue wakes), and the
+    // sparse sweep must start from a complete list.
+    if (finalized_) wake_all();
 }
 
 void Chip::run(std::size_t steps) {
@@ -367,7 +511,10 @@ void Chip::reset_membranes() {
 
 void Chip::set_threshold_offset(PopulationId pop, std::size_t idx,
                                 std::int32_t offset) {
-    vth_offset_[global_id(pop, idx)] = offset;
+    const CompartmentId c = global_id(pop, idx);
+    vth_offset_[c] = offset;
+    // A lowered threshold can make a dormant sub-threshold membrane fire.
+    if (finalized_ && sparse_) wake(c);
 }
 
 std::int32_t Chip::threshold_offset(PopulationId pop, std::size_t idx) const {
@@ -375,7 +522,19 @@ std::int32_t Chip::threshold_offset(PopulationId pop, std::size_t idx) const {
 }
 
 void Chip::set_compartment_dead(PopulationId pop, std::size_t idx, bool dead) {
-    dead_[global_id(pop, idx)] = dead ? 1 : 0;
+    const CompartmentId c = global_id(pop, idx);
+    const bool was = dead_[c] != 0;
+    dead_[c] = dead ? 1 : 0;
+    if (!finalized_ || was == dead) return;  // finalize (re)derives the counts
+    const bool p1 = pops_[pop].cfg.compartment.active_in_phase1;
+    if (dead) {
+        --eligible_phase2_;
+        if (p1) --eligible_phase1_;
+    } else {
+        ++eligible_phase2_;
+        if (p1) ++eligible_phase1_;
+    }
+    if (sparse_) wake(c);
 }
 
 bool Chip::compartment_dead(PopulationId pop, std::size_t idx) const {
@@ -499,6 +658,33 @@ void Chip::set_weights(ProjectionId proj, const std::vector<std::int32_t>& w) {
         syns[i].weight = common::saturate_signed(w[i], limits_.weight_bits);
 }
 
+void Chip::write_weight(Projection& p, std::size_t i, std::int32_t w) {
+    // A stuck memory cell ignores reprogramming.
+    if (!p.stuck.empty() && p.stuck[i] != 0) return;
+    p.synapses[i].weight = w;
+    if (finalized_) {
+        fanout_[p.fanout_slot[i]].weight = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(w) << p.cfg.weight_exp);
+    }
+}
+
+void Chip::program_weights(ProjectionId proj, const std::vector<std::int32_t>& w) {
+    if (proj >= projs_.size())
+        throw std::invalid_argument("program_weights: bad projection");
+    auto& p = projs_[proj];
+    if (w.size() != p.synapses.size())
+        throw std::invalid_argument("program_weights: size mismatch for " +
+                                    p.cfg.name);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        if (w[i] != common::saturate_signed(w[i], limits_.weight_bits))
+            throw std::invalid_argument("program_weights(" + p.cfg.name +
+                                        "): weight exceeds " +
+                                        std::to_string(limits_.weight_bits) +
+                                        " bits");
+        write_weight(p, i, w[i]);
+    }
+}
+
 std::size_t Chip::synapse_count(ProjectionId proj) const {
     if (proj >= projs_.size())
         throw std::invalid_argument("synapse_count: bad projection");
@@ -562,14 +748,8 @@ void Chip::load_weights(std::istream& in) {
             if (w != common::saturate_signed(w, limits_.weight_bits))
                 throw std::runtime_error("load_weights: weight out of range in " +
                                          proj.cfg.name);
-            // A stuck memory cell ignores reprogramming; consume the stream
-            // value but keep the fault.
-            if (!proj.stuck.empty() && proj.stuck[i] != 0) continue;
-            proj.synapses[i].weight = w;
-            if (finalized_) {
-                fanout_[proj.fanout_slot[i]].weight = static_cast<std::int32_t>(
-                    static_cast<std::int64_t>(w) << proj.cfg.weight_exp);
-            }
+            // Stream values for stuck cells are consumed but not applied.
+            write_weight(proj, i, w);
         }
     }
 }

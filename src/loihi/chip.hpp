@@ -101,8 +101,26 @@ public:
     Phase phase() const { return phase_; }
 
     /// Advances one barrier-synchronised timestep.
+    ///
+    /// By default the sweep is *sparse*: only compartments on the active
+    /// list are visited. A compartment leaves the list when visiting it
+    /// could not change any state — no pending input, zero bias, fully
+    /// decayed current, stable sub-threshold membrane, no refractory
+    /// countdown, no decaying traces — and re-enters it on any spike
+    /// delivery or host write. The sparse sweep is bit-identical to the
+    /// dense reference sweep (including the stochastic-rounding RNG streams
+    /// and every ActivityTotals counter); it only changes the step cost
+    /// from O(compartments) to O(active + spike traffic).
     void step();
     void run(std::size_t steps);
+
+    /// Selects the step-loop implementation: sparse active-set sweep (the
+    /// default) or the dense reference sweep that visits every compartment.
+    /// The two are bit-identical; the dense path is kept for regression
+    /// testing and as the baseline of bench/throughput_parallel. May be
+    /// toggled at any time.
+    void set_sparse_sweep(bool enabled);
+    bool sparse_sweep() const { return sparse_; }
 
     /// Applies the learning rule of every plastic projection (the end-of-2T
     /// weight update of Operation Flow 1).
@@ -178,6 +196,13 @@ public:
     /// Synapse weights of a projection (for probing / checkpointing).
     std::vector<std::int32_t> weights(ProjectionId proj) const;
     void set_weights(ProjectionId proj, const std::vector<std::int32_t>& w);
+
+    /// Reprograms the weights of one projection. Unlike set_weights() this
+    /// is allowed after finalize — it models the host rewriting synaptic
+    /// memory on a deployed chip (the weight-sync path of the parallel
+    /// trainer): stuck-at faulted cells ignore the write and the delivery
+    /// tables are refreshed immediately. Weights must fit `weight_bits`.
+    void program_weights(ProjectionId proj, const std::vector<std::int32_t>& w);
     std::size_t synapse_count(ProjectionId proj) const;
     std::size_t total_synapses() const;
     std::size_t total_compartments() const;
@@ -263,9 +288,40 @@ private:
     common::Rng learn_rng_{0xC0FFEE};
     common::Rng trace_rng_{0x7EAC0DE};
 
+    // ---- sparse active-set sweep (see step()) ------------------------------
+    bool sparse_ = true;
+    /// Sorted global ids of compartments that must be visited next step.
+    /// Kept in ascending order so the visit order — and therefore the
+    /// trace-decay RNG stream — matches the dense sweep exactly.
+    /// (The membership flag lives in CompartmentState::awake so the
+    /// delivery hot path touches no extra cache line.)
+    std::vector<std::uint32_t> active_list_;
+    std::vector<std::uint32_t> wake_buf_;    ///< wakes pending the next merge
+    /// Per-population: any trace with a nonzero decay constant? Such
+    /// compartments tick the shared trace RNG every step and never sleep.
+    std::vector<std::uint8_t> pop_has_decay_;
+    /// Number of compartments the dense sweep would count as updated per
+    /// step (non-dead, and active in the given phase) — used to keep
+    /// ActivityTotals::compartment_updates exact under the sparse sweep.
+    std::size_t eligible_phase1_ = 0;
+    std::size_t eligible_phase2_ = 0;
+
+    void wake(CompartmentId c);
+    void wake_all();
+    void merge_wakes();
+    bool can_sleep(CompartmentId c) const;
+    /// One compartment's worth of the pass-1 physics (integrate, spike,
+    /// traces); shared verbatim between the dense and sparse sweeps.
+    void step_compartment(CompartmentId c, bool count_update);
+    void step_dense();
+    void step_sparse();
+
     CompartmentId global_id(PopulationId pop, std::size_t idx) const;
     void deliver(CompartmentId src);
     void check_finalized(bool expected) const;
+    /// Writes one synapse's weight, honouring stuck-at faults and keeping
+    /// the delivery table in sync (shared by program_weights/load_weights).
+    void write_weight(Projection& p, std::size_t i, std::int32_t w);
 };
 
 /// Encodes a desired integer magnitude as (weight, exponent) with |weight|

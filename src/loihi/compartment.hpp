@@ -91,6 +91,11 @@ struct CompartmentState {
 
     bool spiked = false;  ///< did this compartment fire in the current step
 
+    /// Membership flag of the chip's sparse active list (kept here rather
+    /// than in a side array so the delivery hot path finds it on the same
+    /// cache line as pending_soma). Owned by Chip; not dynamic state.
+    std::uint8_t awake = 1;
+
     std::int32_t spike_count() const { return spikes_phase1 + spikes_phase2; }
 
     void reset_dynamic() {
