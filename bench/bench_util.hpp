@@ -1,9 +1,15 @@
 #pragma once
 // Shared helpers for the bench binaries: uniform banners, paper-value
-// annotations and CSV output location.
+// annotations, and CSV/JSON output location. CSV is the human/plotting
+// format; JSON (one array of row objects per bench) is the machine-tracked
+// format CI and cross-PR perf tooling consume.
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -26,5 +32,105 @@ inline void banner(const std::string& title, const std::string& paper_ref,
 inline void footnote(const std::string& text) {
     std::printf("\nNote: %s\n", text.c_str());
 }
+
+/// Accumulates rows and writes them to `<dir>/<name>.json` as an array of
+/// objects keyed by the header, creating the directory if needed. Cells
+/// that parse as finite numbers are emitted as JSON numbers, everything
+/// else as escaped strings — so downstream tooling can consume the series
+/// without per-bench schemas. Mirrors common::CsvWriter's interface so a
+/// bench can feed both writers the same rows.
+class JsonWriter {
+public:
+    JsonWriter(std::string dir, std::string name, std::vector<std::string> keys)
+        : dir_(std::move(dir)), name_(std::move(name)), keys_(std::move(keys)) {}
+
+    void add_row(std::vector<std::string> values) {
+        if (values.size() != keys_.size())
+            throw std::invalid_argument("JsonWriter: row width mismatch");
+        rows_.push_back(std::move(values));
+    }
+
+    /// Flushes to disk; returns the file path. Safe to call once at the end.
+    std::string write() const {
+        std::filesystem::create_directories(dir_);
+        const std::string path = dir_ + "/" + name_ + ".json";
+        std::ofstream out(path);
+        if (!out) throw std::runtime_error("JsonWriter: cannot open " + path);
+        out << "[\n";
+        for (std::size_t r = 0; r < rows_.size(); ++r) {
+            out << "  {";
+            for (std::size_t k = 0; k < keys_.size(); ++k) {
+                out << quote(keys_[k]) << ": " << cell(rows_[r][k]);
+                if (k + 1 < keys_.size()) out << ", ";
+            }
+            out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+        }
+        out << "]\n";
+        return path;
+    }
+
+private:
+    static std::string quote(const std::string& s) {
+        std::string q = "\"";
+        for (const char c : s) {
+            switch (c) {
+                case '"': q += "\\\""; break;
+                case '\\': q += "\\\\"; break;
+                case '\n': q += "\\n"; break;
+                case '\t': q += "\\t"; break;
+                default:
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        char buf[8];
+                        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                        q += buf;
+                    } else {
+                        q += c;
+                    }
+            }
+        }
+        return q + "\"";
+    }
+
+    /// Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    /// — deliberately narrower than strtod (no hex, no leading '.', no '+',
+    /// no inf/nan), so a pass-through cell is always valid JSON.
+    static bool is_json_number(const std::string& s) {
+        std::size_t i = 0;
+        const auto digit = [&](std::size_t k) {
+            return k < s.size() && s[k] >= '0' && s[k] <= '9';
+        };
+        const auto digits = [&]() {
+            std::size_t n = 0;
+            while (digit(i)) ++i, ++n;
+            return n;
+        };
+        if (i < s.size() && s[i] == '-') ++i;
+        if (i < s.size() && s[i] == '0')
+            ++i;  // a leading zero must stand alone
+        else if (digits() == 0)
+            return false;
+        if (i < s.size() && s[i] == '.') {
+            ++i;
+            if (digits() == 0) return false;
+        }
+        if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+            ++i;
+            if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+            if (digits() == 0) return false;
+        }
+        return i == s.size();
+    }
+
+    /// Numbers pass through raw (JSON numbers); everything else becomes an
+    /// escaped string.
+    static std::string cell(const std::string& s) {
+        return !s.empty() && is_json_number(s) ? s : quote(s);
+    }
+
+    std::string dir_;
+    std::string name_;
+    std::vector<std::string> keys_;
+    std::vector<std::vector<std::string>> rows_;
+};
 
 }  // namespace neuro::bench

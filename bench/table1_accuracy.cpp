@@ -50,6 +50,8 @@ constexpr PaperRow kPaper[] = {
 
 constexpr std::uint64_t kSeeds[] = {7, 19};
 
+// Both implementations run through the same runtime surface: compile an
+// immutable model on the right backend, open a session, train online.
 double run_chip(const core::Prepared& prep, core::FeedbackMode mode,
                 std::size_t epochs) {
     double acc = 0.0;
@@ -57,11 +59,12 @@ double run_chip(const core::Prepared& prep, core::FeedbackMode mode,
         core::EmstdpOptions opt;
         opt.feedback = mode;
         opt.seed = seed;
-        auto net = core::build_chip_network(prep, opt);
+        const auto model = core::compile_chip_model(prep, opt);
+        auto session = model->open_session();
         common::Rng rng(42 + seed);
         for (std::size_t e = 0; e < epochs; ++e)
-            core::train_epoch(*net, prep.train, rng);
-        acc += core::evaluate(*net, prep.test);
+            core::train_epoch(*session, prep.train, rng);
+        acc += core::evaluate(*session, prep.test);
     }
     return acc / static_cast<double>(std::size(kSeeds));
 }
@@ -70,8 +73,9 @@ double run_ref(const core::Prepared& prep, reference::FeedbackMode mode,
                std::size_t epochs) {
     double acc = 0.0;
     for (std::uint64_t seed : kSeeds) {
-        auto ref = core::build_reference(prep, mode, 0.125f, seed);
-        acc += core::run_reference(ref, prep, epochs, 42 + seed);
+        const auto model = core::compile_reference_model(prep, mode, 0.125f, seed);
+        auto session = model->open_session();
+        acc += core::run_reference(*session, prep, epochs, 42 + seed);
     }
     return acc / static_cast<double>(std::size(kSeeds));
 }
@@ -127,6 +131,8 @@ int main(int argc, char** argv) {
                          "DFA Python(FP)"});
     common::CsvWriter csv(bench::kCsvDir, "table1_accuracy",
                           {"dataset", "fa_chip", "fa_ref", "dfa_chip", "dfa_ref"});
+    bench::JsonWriter json(bench::kCsvDir, "table1_accuracy",
+                           {"dataset", "fa_chip", "fa_ref", "dfa_chip", "dfa_ref"});
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& r = rows[i];
         table.add_row({r.dataset, common::Table::pct(r.fa_chip),
@@ -136,14 +142,18 @@ int main(int argc, char** argv) {
                        common::Table::pct(kPaper[i].fa_ref),
                        common::Table::pct(kPaper[i].dfa_chip),
                        common::Table::pct(kPaper[i].dfa_ref)});
-        csv.add_row({r.dataset, std::to_string(r.fa_chip), std::to_string(r.fa_ref),
-                     std::to_string(r.dfa_chip), std::to_string(r.dfa_ref)});
+        const std::vector<std::string> cells = {
+            r.dataset, std::to_string(r.fa_chip), std::to_string(r.fa_ref),
+            std::to_string(r.dfa_chip), std::to_string(r.dfa_ref)};
+        csv.add_row(cells);
+        json.add_row(cells);
     }
     std::printf("Measured (synthetic substitutes, this run):\n");
     table.print();
     std::printf("\nPaper Table I (real datasets, Loihi silicon):\n");
     paper.print();
-    std::printf("\nCSV: %s\n", csv.write().c_str());
+    std::printf("\nCSV: %s\nJSON: %s\n", csv.write().c_str(),
+                json.write().c_str());
 
     bench::footnote(
         "shape checks: (1) full precision >= Loihi-sim per column (8-bit "

@@ -1,15 +1,21 @@
 // Quickstart: train a two-layer spiking network *on the simulated chip*
 // with EMSTDP, from scratch, on a toy rate-vector task — the smallest
-// complete use of the public API.
+// complete use of the public runtime API:
+//
+//   ModelSpec  (what to build)
+//     -> CompiledModel::compile  (immutable; all expensive setup happens here)
+//       -> open_session          (cheap; one per thread)
+//         -> train / predict / save
 //
 //   build:  cmake -B build -G Ninja && cmake --build build
-//   run:    ./build/examples/quickstart
+//   run:    ./build/example_quickstart
 
 #include <algorithm>
 #include <cstdio>
 
 #include "common/rng.hpp"
 #include "core/network.hpp"
+#include "runtime/compiled_model.hpp"
 
 using neuro::common::Rng;
 using neuro::common::Tensor;
@@ -33,33 +39,45 @@ int main() {
         return std::pair{std::move(x), c};
     };
 
-    // Network: 24 inputs -> 16 hidden -> 3 outputs, trained on-chip with
+    // Model: 24 inputs -> 16 hidden -> 3 outputs, trained on-chip with
     // direct feedback alignment. Everything on the datapath is 8-bit.
     neuro::core::EmstdpOptions opt;
     opt.feedback = neuro::core::FeedbackMode::DFA;
     opt.phase_length = 64;  // T: each phase runs 64 timesteps
-    neuro::core::EmstdpNetwork net(opt, /*in_c=*/1, /*in_h=*/1, /*in_w=*/24,
-                                   /*conv=*/nullptr, /*hidden=*/{16},
-                                   /*classes=*/3);
 
+    neuro::runtime::ModelSpec spec;
+    spec.input(1, 1, 24).hidden_layers({16}).output_classes(3).with_options(opt);
+
+    // Compile once (builds the chip, maps cores, freezes initial weights),
+    // then open a session holding the dynamic state.
+    const auto model = neuro::runtime::CompiledModel::compile(
+        spec, neuro::runtime::BackendKind::LoihiSim);
+    auto session = model->open_session();
+
+    const auto costs = session->native_network()->costs();
     std::printf("network: %zu compartments, %zu synapses, %zu cores\n",
-                net.costs().compartments, net.costs().synapses, net.costs().cores);
+                costs.compartments, costs.synapses, costs.cores);
 
     // Online training: one sample at a time, two phases of T steps each,
     // weight update at the end of the 2T window (paper Operation Flow 1).
     for (int i = 0; i < 300; ++i) {
         auto [x, y] = sample(rng);
-        net.train_sample(x, y);
+        session->train(x, y);
         if ((i + 1) % 100 == 0) {
             Rng eval_rng(42);
             int hit = 0;
             for (int k = 0; k < 60; ++k) {
                 auto [tx, ty] = sample(eval_rng);
-                if (net.predict(tx) == ty) ++hit;
+                if (session->predict(tx) == ty) ++hit;
             }
             std::printf("after %4d samples: accuracy %.1f%%\n", i + 1,
                         100.0 * hit / 60.0);
         }
     }
+
+    // Checkpoint the trained weights; CompiledModel::with_weights +
+    // open_session loads them anywhere (any backend, any thread).
+    session->save("quickstart.weights");
+    std::printf("weights checkpointed to quickstart.weights\n");
     return 0;
 }

@@ -83,6 +83,39 @@ std::unique_ptr<EmstdpNetwork> build_chip_network(const Prepared& prep,
                                            prep.topo.classes);
 }
 
+std::shared_ptr<const runtime::CompiledModel> compile_chip_model(
+    const Prepared& prep, const EmstdpOptions& opt) {
+    runtime::ModelSpec spec;
+    spec.input(prep.topo.in_c, prep.topo.in_h, prep.topo.in_w)
+        .hidden_layers({prep.topo.hidden})
+        .output_classes(prep.topo.classes)
+        .with_options(opt)
+        .with_conv(prep.stack);
+    return runtime::CompiledModel::compile(spec, runtime::BackendKind::LoihiSim);
+}
+
+std::shared_ptr<const runtime::CompiledModel> compile_reference_model(
+    const Prepared& prep, reference::FeedbackMode mode, float eta,
+    std::uint64_t seed) {
+    EmstdpOptions opt;
+    opt.feedback = mode == reference::FeedbackMode::FA ? FeedbackMode::FA
+                                                       : FeedbackMode::DFA;
+    opt.eta = eta;
+    opt.seed = seed;
+    runtime::ModelSpec spec;
+    spec.input(1, 1, prep.topo.feature_size())
+        .hidden_layers({prep.topo.hidden})
+        .output_classes(prep.topo.classes)
+        .with_options(opt);
+    return runtime::CompiledModel::compile(spec, runtime::BackendKind::Reference);
+}
+
+common::Tensor ref_tensor(const RefSample& sample) {
+    common::Tensor t({1, 1, sample.rates.size()});
+    for (std::size_t i = 0; i < sample.rates.size(); ++i) t[i] = sample.rates[i];
+    return t;
+}
+
 reference::RefEmstdp build_reference(const Prepared& prep,
                                      reference::FeedbackMode mode, float eta,
                                      std::uint64_t seed) {
@@ -95,21 +128,56 @@ reference::RefEmstdp build_reference(const Prepared& prep,
     return reference::RefEmstdp(cfg);
 }
 
-double run_reference(reference::RefEmstdp& net, const Prepared& prep,
-                     std::size_t epochs, std::uint64_t shuffle_seed) {
+namespace {
+
+/// The one definition of the reference evaluation protocol (shuffled online
+/// epochs, then test-set accuracy), shared by both run_reference surfaces.
+/// Callbacks take indices into ref_train / ref_test so each surface can
+/// pre-marshal its inputs once.
+template <typename TrainFn, typename PredictFn>
+double run_reference_protocol(const Prepared& prep, std::size_t epochs,
+                              std::uint64_t shuffle_seed, TrainFn train_at,
+                              PredictFn predict_at) {
     common::Rng rng(shuffle_seed);
     std::vector<std::size_t> order(prep.ref_train.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     for (std::size_t e = 0; e < epochs; ++e) {
         rng.shuffle(order);
-        for (std::size_t idx : order)
-            net.train_sample(prep.ref_train[idx].rates, prep.ref_train[idx].label);
+        for (std::size_t idx : order) train_at(idx);
     }
     if (prep.ref_test.empty()) return 0.0;
     std::size_t hits = 0;
-    for (const auto& s : prep.ref_test)
-        if (net.predict(s.rates) == s.label) ++hits;
+    for (std::size_t i = 0; i < prep.ref_test.size(); ++i)
+        if (predict_at(i) == prep.ref_test[i].label) ++hits;
     return static_cast<double>(hits) / static_cast<double>(prep.ref_test.size());
+}
+
+}  // namespace
+
+double run_reference(reference::RefEmstdp& net, const Prepared& prep,
+                     std::size_t epochs, std::uint64_t shuffle_seed) {
+    return run_reference_protocol(
+        prep, epochs, shuffle_seed,
+        [&](std::size_t i) {
+            net.train_sample(prep.ref_train[i].rates, prep.ref_train[i].label);
+        },
+        [&](std::size_t i) { return net.predict(prep.ref_test[i].rates); });
+}
+
+double run_reference(runtime::Session& session, const Prepared& prep,
+                     std::size_t epochs, std::uint64_t shuffle_seed) {
+    // Marshal the fixed datasets into tensors once, not per call.
+    std::vector<common::Tensor> train_in, test_in;
+    train_in.reserve(prep.ref_train.size());
+    for (const auto& s : prep.ref_train) train_in.push_back(ref_tensor(s));
+    test_in.reserve(prep.ref_test.size());
+    for (const auto& s : prep.ref_test) test_in.push_back(ref_tensor(s));
+    return run_reference_protocol(
+        prep, epochs, shuffle_seed,
+        [&](std::size_t i) {
+            session.train(train_in[i], prep.ref_train[i].label);
+        },
+        [&](std::size_t i) { return session.predict(test_in[i]); });
 }
 
 }  // namespace neuro::core

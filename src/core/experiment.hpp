@@ -21,6 +21,7 @@
 #include "core/network.hpp"
 #include "data/dataset.hpp"
 #include "reference/emstdp_ref.hpp"
+#include "runtime/compiled_model.hpp"
 #include "snn/convert.hpp"
 
 namespace neuro::core {
@@ -67,8 +68,35 @@ reference::RefEmstdp build_reference(const Prepared& prep,
                                      reference::FeedbackMode mode, float eta,
                                      std::uint64_t seed);
 
+// ---- runtime-API entry points (docs/ARCHITECTURE.md §5) --------------------
+
+/// Compiles the on-chip network of a prepared experiment as an immutable
+/// runtime model (LoihiSim backend, frozen conv stack included). Sessions
+/// opened from it take raw images and behave exactly like
+/// build_chip_network's EmstdpNetwork.
+std::shared_ptr<const runtime::CompiledModel> compile_chip_model(
+    const Prepared& prep, const EmstdpOptions& opt);
+
+/// Compiles the matching full-precision reference as a runtime model
+/// (Reference backend). Its sessions take *normalized conv-feature rate
+/// tensors* (Prepared::ref_train / ref_test, see ref_tensor), not raw
+/// images — the reference has no conv stack.
+std::shared_ptr<const runtime::CompiledModel> compile_reference_model(
+    const Prepared& prep, reference::FeedbackMode mode, float eta,
+    std::uint64_t seed);
+
+/// Wraps a RefSample's rate vector as the 1x1xN tensor reference sessions
+/// consume.
+common::Tensor ref_tensor(const RefSample& sample);
+
 /// Trains the reference online for `epochs` passes and returns test accuracy.
 double run_reference(reference::RefEmstdp& net, const Prepared& prep,
+                     std::size_t epochs, std::uint64_t shuffle_seed);
+
+/// Session-based run_reference: the same shuffle/train/evaluate protocol
+/// over a Reference-backend session (see compile_reference_model), so
+/// chip-vs-reference comparisons stay in lockstep across both surfaces.
+double run_reference(runtime::Session& session, const Prepared& prep,
                      std::size_t epochs, std::uint64_t shuffle_seed);
 
 }  // namespace neuro::core

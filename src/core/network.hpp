@@ -68,10 +68,19 @@ public:
     void set_learning_shift_offset(int offset);
 
     // ---- replication & weight sync (parallel trainer support) --------------
-    /// Deep copy: chip structure, synaptic weights, device faults and all
-    /// dynamic state. Replicas share nothing with the original — this is how
-    /// ParallelTrainer builds one independent chip per worker thread.
-    EmstdpNetwork clone() const { return *this; }
+    /// Explicit replication: the replica behaves exactly like an independent
+    /// deep copy (device faults, class masks, RNG streams and all dynamic
+    /// state are captured as of this call), but the finalized chip structure
+    /// is shared and the synaptic weight image is shared copy-on-write, so a
+    /// replica costs only its dynamic state until it first trains. This is
+    /// how ParallelTrainer and runtime::Session build per-thread instances.
+    /// Implicit copying is deliberately inaccessible — a silent full-network
+    /// copy can't happen by accident.
+    EmstdpNetwork replicate() const { return EmstdpNetwork(*this); }
+
+    EmstdpNetwork(EmstdpNetwork&&) = default;
+    EmstdpNetwork& operator=(EmstdpNetwork&&) = default;
+    EmstdpNetwork& operator=(const EmstdpNetwork&) = delete;
 
     /// Current weights of every plastic projection, in plastic_projections()
     /// order (frozen conv weights are excluded — they never change).
@@ -107,6 +116,9 @@ public:
     }
 
 private:
+    /// Reachable only through replicate().
+    EmstdpNetwork(const EmstdpNetwork&) = default;
+
     EmstdpOptions opt_;
     loihi::Chip chip_;
 

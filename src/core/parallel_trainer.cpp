@@ -6,6 +6,7 @@
 
 #include "common/fixed.hpp"
 #include "core/trainer.hpp"
+#include "runtime/loihi_backend.hpp"
 
 namespace neuro::core {
 
@@ -26,14 +27,18 @@ ParallelTrainer::ParallelTrainer(EmstdpNetwork& master, ParallelOptions opt)
     pool_ = std::make_unique<common::ThreadPool>(opt_.threads);
     const std::size_t workers = pool_->size();
 
-    // Batched training runs exclusively on replicas — worker 0 included —
+    // One immutable compiled snapshot of the master; every worker session
+    // shares its chip structure and (until it trains) its weight image.
+    model_ = runtime::adopt(master_);
+
+    // Batched training runs exclusively on sessions — worker 0 included —
     // so rate compensation never touches the master's learning rule. With
-    // batch == 1 the replicas only serve the parallel evaluator, and
+    // batch == 1 the sessions only serve the parallel evaluator, and
     // worker 0 reuses the master (a single-threaded trainer carries no
-    // copy at all).
+    // session at all).
     replicas_.resize(workers);
     for (std::size_t w = (opt_.batch > 1 ? 0 : 1); w < workers; ++w) {
-        replicas_[w] = std::make_unique<EmstdpNetwork>(master_.clone());
+        replicas_[w] = model_->open_session();
         if (rate_shift() > 0) replicas_[w]->set_learning_shift_offset(rate_shift());
     }
 
@@ -92,39 +97,39 @@ void ParallelTrainer::train_batch(const data::Dataset& stream,
                                   bool measure_prequential) {
     const std::size_t count = end - begin;
     const std::size_t workers = pool_->size();
-    const auto w0 = master_.plastic_weights();
+    const runtime::WeightSnapshot w0{master_.plastic_weights()};
 
     for (auto& d : deltas_)
         for (auto& layer : d) std::fill(layer.begin(), layer.end(), 0);
 
     pool_->run(workers, [&](std::size_t w) {
-        EmstdpNetwork& net = *replicas_[w];
+        runtime::Session& sess = *replicas_[w];
         auto& delta = deltas_[w];
         // Round-robin sharding; any partition would give the same merged
         // result, since each sample's delta is taken from the same anchor.
         for (std::size_t j = w; j < count; j += workers) {
             const std::size_t pos = begin + j;
             const auto& s = stream.samples[order[pos]];
-            net.set_plastic_weights(w0);
+            sess.load_weights(w0);
             // Seed before predicting too: with decaying traces the
             // inference pass consumes the trace RNG, and the prequential
-            // hit must not depend on the replica's history.
-            net.chip().seed_learning_noise(sample_seed(pos));
-            if (measure_prequential && net.predict(s.image) == s.label)
+            // hit must not depend on the session's history.
+            sess.seed_noise(sample_seed(pos));
+            if (measure_prequential && sess.predict(s.image) == s.label)
                 ++hits_[w];
-            net.chip().seed_learning_noise(sample_seed(pos));
-            net.train_sample(s.image, s.label);
-            const auto after = net.plastic_weights();
-            for (std::size_t p = 0; p < after.size(); ++p)
-                for (std::size_t i = 0; i < after[p].size(); ++i)
-                    delta[p][i] += after[p][i] - w0[p][i];
+            sess.seed_noise(sample_seed(pos));
+            sess.train(s.image, s.label);
+            const auto after = sess.weights();
+            for (std::size_t p = 0; p < after.layers.size(); ++p)
+                for (std::size_t i = 0; i < after.layers[p].size(); ++i)
+                    delta[p][i] += after.layers[p][i] - w0.layers[p][i];
         }
     });
 
     // Merge on the caller thread, in fixed layer/synapse order. Integer
     // sums commute, so the round-robin sharding above cannot leak the
     // worker count into the result.
-    auto merged = w0;
+    auto merged = w0.layers;
     for (std::size_t p = 0; p < merged.size(); ++p) {
         for (std::size_t i = 0; i < merged[p].size(); ++i) {
             std::int64_t sum = 0;
@@ -132,7 +137,7 @@ void ParallelTrainer::train_batch(const data::Dataset& stream,
             if (opt_.merge == MergeMode::MeanClip)
                 sum /= static_cast<std::int64_t>(count);
             merged[p][i] = common::saturate_signed(
-                static_cast<std::int64_t>(w0[p][i]) + sum,
+                static_cast<std::int64_t>(w0.layers[p][i]) + sum,
                 master_.options().weight_bits);
         }
     }
@@ -144,16 +149,18 @@ double ParallelTrainer::evaluate(const data::Dataset& test) {
     const std::size_t workers = pool_->size();
     if (workers == 1) return core::evaluate(master_, test);
 
-    const auto w = master_.plastic_weights();
+    const runtime::WeightSnapshot w{master_.plastic_weights()};
     for (std::size_t r = 0; r < workers; ++r)
-        if (replicas_[r]) replicas_[r]->set_plastic_weights(w);
+        if (replicas_[r]) replicas_[r]->load_weights(w);
 
     std::vector<std::size_t> hits(workers, 0);
     pool_->run(workers, [&](std::size_t r) {
-        EmstdpNetwork& net = replicas_[r] ? *replicas_[r] : master_;
-        for (std::size_t i = r; i < test.size(); i += workers)
-            if (net.predict(test.samples[i].image) == test.samples[i].label)
-                ++hits[r];
+        for (std::size_t i = r; i < test.size(); i += workers) {
+            const std::size_t got =
+                replicas_[r] ? replicas_[r]->predict(test.samples[i].image)
+                             : master_.predict(test.samples[i].image);
+            if (got == test.samples[i].label) ++hits[r];
+        }
     });
     const std::size_t total = std::accumulate(hits.begin(), hits.end(),
                                               std::size_t{0});
@@ -168,7 +175,7 @@ void ParallelTrainer::set_class_mask(const std::vector<bool>& mask) {
 
 void ParallelTrainer::set_learning_shift_offset(int offset) {
     master_.set_learning_shift_offset(offset);
-    // Replicas stack the rate compensation on top of the user's offset.
+    // Sessions stack the rate compensation on top of the user's offset.
     for (auto& r : replicas_)
         if (r) r->set_learning_shift_offset(offset + rate_shift());
 }

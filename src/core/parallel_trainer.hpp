@@ -5,9 +5,10 @@
 // whole chip for 2T timesteps, so training throughput is capped at
 // 1 / (2T * step_time) samples per second no matter how large the host is.
 // ParallelTrainer lifts that cap the same way Loihi itself would — by
-// replicating the network: N independent EmstdpNetwork replicas (one per
-// worker thread) each train a disjoint shard of every mini-batch, and the
-// integer plastic-weight deltas are merged at the batch boundary.
+// replicating the network: N independent runtime::Session workers (one per
+// thread, all over one shared CompiledModel snapshot of the master) each
+// train a disjoint shard of every mini-batch, and the integer
+// plastic-weight deltas are merged at the batch boundary.
 //
 // Determinism contract:
 //   * batch == 1 reproduces the serial core::train_epoch bit-for-bit
@@ -28,14 +29,18 @@
 #include "core/network.hpp"
 #include "core/options.hpp"
 #include "data/dataset.hpp"
+#include "runtime/compiled_model.hpp"
 
 namespace neuro::core {
 
 class ParallelTrainer {
 public:
-    /// Builds `threads` deep replicas of `master` (device faults and class
-    /// masks are captured as of this call; use the forwarding setters below
-    /// for later changes). `master` is borrowed, not owned — it always holds
+    /// Compiles `master`'s current state into an immutable
+    /// runtime::CompiledModel and opens one runtime::Session per worker
+    /// thread over it (device faults and class masks are captured as of
+    /// this call; use the forwarding setters below for later changes).
+    /// Sessions share the compiled chip structure — no per-worker chip
+    /// deep-copy happens. `master` is borrowed, not owned — it always holds
     /// the authoritative weights, and the caller keeps using it for
     /// inference, checkpointing and probing.
     ParallelTrainer(EmstdpNetwork& master, ParallelOptions opt);
@@ -66,6 +71,10 @@ public:
     EmstdpNetwork& network() { return master_; }
     const EmstdpNetwork& network() const { return master_; }
 
+    /// The compiled model the worker sessions were opened from (the
+    /// master's state at construction time).
+    const runtime::CompiledModel& model() const { return *model_; }
+
     /// Number of worker threads == number of replicas actually built.
     std::size_t threads() const;
 
@@ -90,11 +99,14 @@ private:
     std::uint64_t epoch_ = 0;
 
     std::unique_ptr<common::ThreadPool> pool_;
-    /// Training replicas: one per worker when batch > 1 (the master never
+    /// Immutable snapshot of the master at construction; all worker
+    /// sessions read its shared structure and copy-on-write weight image.
+    std::shared_ptr<const runtime::CompiledModel> model_;
+    /// Training sessions: one per worker when batch > 1 (the master never
     /// trains in the batched path, so its learning rule stays untouched by
     /// rate compensation); only workers >= 1 when batch == 1 (evaluate-only,
     /// worker 0 reuses the master).
-    std::vector<std::unique_ptr<EmstdpNetwork>> replicas_;
+    std::vector<std::unique_ptr<runtime::Session>> replicas_;
 
     /// Per-worker delta accumulators: deltas_[w][layer][synapse], int64 so a
     /// whole batch can never overflow before the merge clips once.

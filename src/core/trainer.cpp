@@ -5,8 +5,16 @@
 
 namespace neuro::core {
 
-double train_epoch(EmstdpNetwork& net, const data::Dataset& stream,
-                   common::Rng& rng, bool measure_prequential) {
+namespace {
+
+// The one definition of the online-epoch and evaluation protocols, shared
+// by the EmstdpNetwork and runtime::Session surfaces so seeded comparisons
+// between them line up bit-for-bit.
+
+template <typename PredictFn, typename TrainFn>
+double train_epoch_protocol(const data::Dataset& stream, common::Rng& rng,
+                            bool measure_prequential, PredictFn predict,
+                            TrainFn train) {
     std::vector<std::size_t> order(stream.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     rng.shuffle(order);
@@ -14,20 +22,36 @@ double train_epoch(EmstdpNetwork& net, const data::Dataset& stream,
     std::size_t hits = 0;
     for (std::size_t idx : order) {
         const auto& s = stream.samples[idx];
-        if (measure_prequential && net.predict(s.image) == s.label) ++hits;
-        net.train_sample(s.image, s.label);
+        if (measure_prequential && predict(s.image) == s.label) ++hits;
+        train(s.image, s.label);
     }
     return stream.size() == 0 || !measure_prequential
                ? 0.0
                : static_cast<double>(hits) / static_cast<double>(stream.size());
 }
 
-double evaluate(EmstdpNetwork& net, const data::Dataset& test) {
+template <typename PredictFn>
+double evaluate_protocol(const data::Dataset& test, PredictFn predict) {
     if (test.size() == 0) return 0.0;
     std::size_t hits = 0;
     for (const auto& s : test.samples)
-        if (net.predict(s.image) == s.label) ++hits;
+        if (predict(s.image) == s.label) ++hits;
     return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+}  // namespace
+
+double train_epoch(EmstdpNetwork& net, const data::Dataset& stream,
+                   common::Rng& rng, bool measure_prequential) {
+    return train_epoch_protocol(
+        stream, rng, measure_prequential,
+        [&](const common::Tensor& x) { return net.predict(x); },
+        [&](const common::Tensor& x, std::size_t y) { net.train_sample(x, y); });
+}
+
+double evaluate(EmstdpNetwork& net, const data::Dataset& test) {
+    return evaluate_protocol(
+        test, [&](const common::Tensor& x) { return net.predict(x); });
 }
 
 loihi::EnergyReport measure_energy(EmstdpNetwork& net, const data::Dataset& ds,
@@ -43,6 +67,30 @@ loihi::EnergyReport measure_energy(EmstdpNetwork& net, const data::Dataset& ds,
             (void)net.predict(s.image);
     }
     return loihi::estimate_energy(params, net.chip(), net.chip().activity(), samples);
+}
+
+double train_epoch(runtime::Session& session, const data::Dataset& stream,
+                   common::Rng& rng, bool measure_prequential) {
+    return train_epoch_protocol(
+        stream, rng, measure_prequential,
+        [&](const common::Tensor& x) { return session.predict(x); },
+        [&](const common::Tensor& x, std::size_t y) { session.train(x, y); });
+}
+
+double evaluate(runtime::Session& session, const data::Dataset& test) {
+    return evaluate_protocol(
+        test, [&](const common::Tensor& x) { return session.predict(x); });
+}
+
+loihi::EnergyReport measure_energy(runtime::Session& session,
+                                   const data::Dataset& ds, std::size_t samples,
+                                   bool training,
+                                   const loihi::EnergyModelParams& params) {
+    auto* net = session.native_network();
+    if (net == nullptr)
+        throw std::invalid_argument(
+            "measure_energy: this backend has no activity/energy model");
+    return measure_energy(*net, ds, samples, training, params);
 }
 
 }  // namespace neuro::core

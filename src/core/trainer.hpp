@@ -17,6 +17,7 @@
 #include "core/network.hpp"
 #include "data/dataset.hpp"
 #include "loihi/energy.hpp"
+#include "runtime/session.hpp"
 
 namespace neuro::core {
 
@@ -32,6 +33,24 @@ double evaluate(EmstdpNetwork& net, const data::Dataset& test);
 /// then derives the Table-II operating point from the energy model.
 loihi::EnergyReport measure_energy(EmstdpNetwork& net, const data::Dataset& ds,
                                    std::size_t samples, bool training,
+                                   const loihi::EnergyModelParams& params);
+
+// ---- runtime-session equivalents -----------------------------------------
+// Backend-agnostic versions of the loops above for code on the runtime API
+// (spec -> CompiledModel -> Session). On a LoihiSim session they consume
+// `rng` and drive the chip exactly like the EmstdpNetwork overloads, so
+// seeded comparisons line up bit-for-bit.
+
+double train_epoch(runtime::Session& session, const data::Dataset& stream,
+                   common::Rng& rng, bool measure_prequential = false);
+
+double evaluate(runtime::Session& session, const data::Dataset& test);
+
+/// Session version of measure_energy. Throws std::invalid_argument when the
+/// session's backend has no activity/energy model (e.g. Reference).
+loihi::EnergyReport measure_energy(runtime::Session& session,
+                                   const data::Dataset& ds, std::size_t samples,
+                                   bool training,
                                    const loihi::EnergyModelParams& params);
 
 }  // namespace neuro::core

@@ -9,28 +9,35 @@
 
 namespace neuro::loihi {
 
-Chip::Chip(ChipLimits limits) : limits_(limits) {}
+Chip::Chip(ChipLimits limits)
+    : limits_(limits), s_(std::make_shared<Structure>()) {}
+
+void Chip::detach_structure() {
+    if (s_.use_count() != 1) s_ = std::make_shared<Structure>(*s_);
+}
 
 PopulationId Chip::add_population(PopulationConfig cfg) {
     check_finalized(false);
+    detach_structure();
     if (cfg.size == 0) throw std::invalid_argument("add_population: empty population");
     Population p;
     p.cfg = std::move(cfg);
     p.first = state_.size();
     state_.resize(state_.size() + p.cfg.size);
-    pop_of_.resize(state_.size(), static_cast<std::uint16_t>(pops_.size()));
+    s_->pop_of.resize(state_.size(), static_cast<std::uint16_t>(s_->pops.size()));
     vth_offset_.resize(state_.size(), 0);
     dead_.resize(state_.size(), 0);
-    pops_.push_back(std::move(p));
-    return pops_.size() - 1;
+    s_->pops.push_back(std::move(p));
+    return s_->pops.size() - 1;
 }
 
 ProjectionId Chip::add_projection(ProjectionConfig cfg, std::vector<Synapse> synapses) {
     check_finalized(false);
-    if (cfg.src >= pops_.size() || cfg.dst >= pops_.size())
+    detach_structure();
+    if (cfg.src >= s_->pops.size() || cfg.dst >= s_->pops.size())
         throw std::invalid_argument("add_projection: bad population id");
-    const auto src_n = pops_[cfg.src].cfg.size;
-    const auto dst_n = pops_[cfg.dst].cfg.size;
+    const auto src_n = s_->pops[cfg.src].cfg.size;
+    const auto dst_n = s_->pops[cfg.dst].cfg.size;
     for (const auto& s : synapses) {
         if (s.src >= src_n || s.dst >= dst_n)
             throw std::invalid_argument("add_projection(" + cfg.name +
@@ -46,18 +53,20 @@ ProjectionId Chip::add_projection(ProjectionConfig cfg, std::vector<Synapse> syn
     Projection p;
     p.cfg = std::move(cfg);
     p.synapses = std::move(synapses);
-    projs_.push_back(std::move(p));
-    return projs_.size() - 1;
+    s_->projs.push_back(std::move(p));
+    stuck_.emplace_back();
+    return s_->projs.size() - 1;
 }
 
 void Chip::finalize() {
     check_finalized(false);
+    detach_structure();
 
     // ---- core mapping (Operation Flow 1, layer at a time) -----------------
     std::vector<LayerMapSpec> specs;
-    specs.reserve(pops_.size());
-    for (std::size_t pi = 0; pi < pops_.size(); ++pi) {
-        const auto& pop = pops_[pi];
+    specs.reserve(s_->pops.size());
+    for (std::size_t pi = 0; pi < s_->pops.size(); ++pi) {
+        const auto& pop = s_->pops[pi];
         LayerMapSpec spec;
         spec.name = pop.cfg.name;
         spec.logical_neurons = pop.cfg.size;
@@ -67,10 +76,10 @@ void Chip::finalize() {
         std::size_t fan_out = 0;
         std::size_t plastic_in = 0;
         std::size_t sources = 0;
-        for (const auto& proj : projs_) {
+        for (const auto& proj : s_->projs) {
             if (proj.cfg.dst == pi) {
                 fan_in += proj.synapses.size();
-                sources += pops_[proj.cfg.src].cfg.size;
+                sources += s_->pops[proj.cfg.src].cfg.size;
                 if (proj.cfg.plastic) plastic_in += proj.synapses.size();
             }
             if (proj.cfg.src == pi) fan_out += proj.synapses.size();
@@ -82,51 +91,66 @@ void Chip::finalize() {
         spec.neurons_per_core = pop.cfg.neurons_per_core;
         specs.push_back(std::move(spec));
     }
-    mapping_ = map_layers(specs, limits_);
+    s_->mapping = map_layers(specs, limits_);
 
-    // ---- fan-out tables ----------------------------------------------------
+    // ---- fan-out tables & weight image -------------------------------------
     std::vector<std::size_t> degree(state_.size(), 0);
-    for (const auto& proj : projs_)
-        for (const auto& s : proj.synapses) ++degree[pops_[proj.cfg.src].first + s.src];
+    for (const auto& proj : s_->projs)
+        for (const auto& s : proj.synapses)
+            ++degree[s_->pops[proj.cfg.src].first + s.src];
 
-    fanout_begin_.assign(state_.size() + 1, 0);
+    s_->fanout_begin.assign(state_.size() + 1, 0);
     for (std::size_t c = 0; c < state_.size(); ++c)
-        fanout_begin_[c + 1] = fanout_begin_[c] + degree[c];
-    fanout_.resize(fanout_begin_.back());
+        s_->fanout_begin[c + 1] = s_->fanout_begin[c] + degree[c];
+    s_->fanout.resize(s_->fanout_begin.back());
 
-    std::vector<std::size_t> cursor(fanout_begin_.begin(), fanout_begin_.end() - 1);
-    for (auto& proj : projs_) {
+    img_ = std::make_shared<Weights>();
+    img_->w.resize(s_->projs.size());
+    img_->eff.resize(s_->fanout_begin.back());
+
+    std::vector<std::size_t> cursor(s_->fanout_begin.begin(),
+                                    s_->fanout_begin.end() - 1);
+    for (std::size_t pi = 0; pi < s_->projs.size(); ++pi) {
+        auto& proj = s_->projs[pi];
+        auto& w = img_->w[pi];
+        w.reserve(proj.synapses.size());
         proj.fanout_slot.reserve(proj.synapses.size());
         for (const auto& s : proj.synapses) {
-            const CompartmentId src = pops_[proj.cfg.src].first + s.src;
-            const CompartmentId dst = pops_[proj.cfg.dst].first + s.dst;
+            const CompartmentId src = s_->pops[proj.cfg.src].first + s.src;
+            const CompartmentId dst = s_->pops[proj.cfg.dst].first + s.dst;
             FanoutEntry e;
             e.dst = static_cast<std::uint32_t>(dst);
-            const std::int64_t eff = static_cast<std::int64_t>(s.weight)
-                                     << proj.cfg.weight_exp;
-            e.weight = static_cast<std::int32_t>(eff);
             e.port = static_cast<std::uint8_t>(proj.cfg.port);
             e.delay = s.delay;
             const std::size_t slot = cursor[src]++;
             proj.fanout_slot.push_back(slot);
-            fanout_[slot] = e;
+            s_->fanout[slot] = e;
+            w.push_back(s.weight);
+            img_->eff[slot] = static_cast<std::int32_t>(
+                static_cast<std::int64_t>(s.weight) << proj.cfg.weight_exp);
         }
+        if (proj.cfg.plastic) s_->has_plastic = true;
     }
 
+    rules_.resize(s_->projs.size());
+    for (std::size_t pi = 0; pi < s_->projs.size(); ++pi)
+        rules_[pi] = s_->projs[pi].cfg.rule;
+
     // ---- sparse-sweep bookkeeping ------------------------------------------
-    pop_has_decay_.assign(pops_.size(), 0);
-    for (std::size_t pi = 0; pi < pops_.size(); ++pi) {
-        const CompartmentConfig& cfg = pops_[pi].cfg.compartment;
+    s_->pop_has_decay.assign(s_->pops.size(), 0);
+    for (std::size_t pi = 0; pi < s_->pops.size(); ++pi) {
+        const CompartmentConfig& cfg = s_->pops[pi].cfg.compartment;
         const bool decays = cfg.pre_trace.decay != 0 || cfg.post_trace.decay != 0 ||
                             cfg.pre_trace2.decay != 0 ||
                             cfg.post_trace2.decay != 0 || cfg.tag_trace.decay != 0;
-        pop_has_decay_[pi] = decays ? 1 : 0;
+        s_->pop_has_decay[pi] = decays ? 1 : 0;
     }
     eligible_phase1_ = eligible_phase2_ = 0;
     for (std::size_t c = 0; c < state_.size(); ++c) {
         if (dead_[c] != 0) continue;
         ++eligible_phase2_;
-        if (pops_[pop_of_[c]].cfg.compartment.active_in_phase1) ++eligible_phase1_;
+        if (s_->pops[s_->pop_of[c]].cfg.compartment.active_in_phase1)
+            ++eligible_phase1_;
     }
     wake_all();
 
@@ -134,11 +158,11 @@ void Chip::finalize() {
 }
 
 void Chip::set_bias(PopulationId pop, const std::vector<std::int32_t>& bias) {
-    if (pop >= pops_.size()) throw std::invalid_argument("set_bias: bad population");
-    if (bias.size() != pops_[pop].cfg.size)
+    if (pop >= s_->pops.size()) throw std::invalid_argument("set_bias: bad population");
+    if (bias.size() != s_->pops[pop].cfg.size)
         throw std::invalid_argument("set_bias: size mismatch for " +
-                                    pops_[pop].cfg.name);
-    const CompartmentId base = pops_[pop].first;
+                                    s_->pops[pop].cfg.name);
+    const CompartmentId base = s_->pops[pop].first;
     for (std::size_t i = 0; i < bias.size(); ++i) state_[base + i].bias = bias[i];
     // A bias write can turn a dormant compartment live; clearing one to zero
     // never invalidates dormancy, so clear_bias needs no wake.
@@ -148,9 +172,9 @@ void Chip::set_bias(PopulationId pop, const std::vector<std::int32_t>& bias) {
 }
 
 void Chip::clear_bias(PopulationId pop) {
-    if (pop >= pops_.size()) throw std::invalid_argument("clear_bias: bad population");
-    const CompartmentId base = pops_[pop].first;
-    for (std::size_t i = 0; i < pops_[pop].cfg.size; ++i) state_[base + i].bias = 0;
+    if (pop >= s_->pops.size()) throw std::invalid_argument("clear_bias: bad population");
+    const CompartmentId base = s_->pops[pop].first;
+    for (std::size_t i = 0; i < s_->pops[pop].cfg.size; ++i) state_[base + i].bias = 0;
 }
 
 void Chip::insert_spike(PopulationId pop, std::size_t idx) {
@@ -165,7 +189,7 @@ void Chip::insert_spike(PopulationId pop, std::size_t idx) {
     // where it originated. Spike counters are updated too so probes and the
     // learning rule see a consistent history.
     CompartmentState& st = state_[c];
-    const CompartmentConfig& cfg = pops_[pop].cfg.compartment;
+    const CompartmentConfig& cfg = s_->pops[pop].cfg.compartment;
     if (phase_ == Phase::One)
         ++st.spikes_phase1;
     else
@@ -176,29 +200,31 @@ void Chip::insert_spike(PopulationId pop, std::size_t idx) {
     st.y2.on_spike(cfg.post_trace2, phase_);
     st.tag.on_spike(cfg.tag_trace, phase_);
     ++activity_.spikes;
-    if (raster_pop_ && pop_of_[c] == *raster_pop_)
+    if (raster_pop_ && s_->pop_of[c] == *raster_pop_)
         raster_.emplace_back(now_ + 1,  // delivered with the next step
                              static_cast<std::uint32_t>(idx));
     deliver(c);
 }
 
 void Chip::deliver(CompartmentId src) {
-    const std::size_t begin = fanout_begin_[src];
-    const std::size_t end = fanout_begin_[src + 1];
+    const std::size_t begin = s_->fanout_begin[src];
+    const std::size_t end = s_->fanout_begin[src + 1];
+    const FanoutEntry* fo = s_->fanout.data();
+    const std::int32_t* eff = img_->eff.data();
     for (std::size_t k = begin; k < end; ++k) {
-        const FanoutEntry& e = fanout_[k];
+        const FanoutEntry& e = fo[k];
         if (e.delay != 0) {
             // Extra latency: park the event on the wheel; it is drained at
             // the start of step now_ + 1 + delay.
             wheel_[(now_ + 1 + e.delay) % kWheel].push_back(
-                {e.dst, e.weight, e.port});
+                {e.dst, eff[k], e.port});
             continue;
         }
         CompartmentState& dst = state_[e.dst];
         if (static_cast<Port>(e.port) == Port::Soma)
-            dst.pending_soma += e.weight;
+            dst.pending_soma += eff[k];
         else
-            dst.pending_aux += e.weight;
+            dst.pending_aux += eff[k];
         // Sleeping targets must rejoin the sweep (no-op in dense mode where
         // every flag stays 1; the flag shares the line loaded just above).
         if (dst.awake == 0) {
@@ -239,7 +265,7 @@ void Chip::step() {
 // accounts compartment_updates in bulk instead.
 void Chip::step_compartment(CompartmentId c, bool count_update) {
     CompartmentState& st = state_[c];
-    const CompartmentConfig& cfg = pops_[pop_of_[c]].cfg.compartment;
+    const CompartmentConfig& cfg = s_->pops[s_->pop_of[c]].cfg.compartment;
     st.spiked = false;
 
     if (dead_[c] != 0) {
@@ -320,10 +346,10 @@ void Chip::step_compartment(CompartmentId c, bool count_update) {
             st.y2.on_spike(cfg.post_trace2, phase_);
             st.tag.on_spike(cfg.tag_trace, phase_);
             ++activity_.spikes;
-            if (raster_pop_ && pop_of_[c] == *raster_pop_)
+            if (raster_pop_ && s_->pop_of[c] == *raster_pop_)
                 raster_.emplace_back(now_,
                                      static_cast<std::uint32_t>(
-                                         c - pops_[*raster_pop_].first));
+                                         c - s_->pops[*raster_pop_].first));
         }
     }
     st.x1.tick(cfg.pre_trace, &trace_rng_);
@@ -415,14 +441,14 @@ bool Chip::can_sleep(CompartmentId c) const {
     if (dead_[c] != 0) return true;
     // A decaying trace evolves — and draws from the shared rounding RNG —
     // every step, so these compartments must be visited in dense order.
-    if (pop_has_decay_[pop_of_[c]] != 0) return false;
+    if (s_->pop_has_decay[s_->pop_of[c]] != 0) return false;
     if (st.spiked) return false;  // must clear the flag and deliver next step
     if (st.pending_soma != 0) return false;
     if (st.bias != 0) return false;
     if (st.u != 0) return false;
     if (st.aux_current != 0) return false;
     if (st.refractory_left != 0) return false;
-    const CompartmentConfig& cfg = pops_[pop_of_[c]].cfg.compartment;
+    const CompartmentConfig& cfg = s_->pops[s_->pop_of[c]].cfg.compartment;
     // Joined neurons consume pending_aux each visit; unjoined ones never
     // read it, so a residual value there cannot change anything.
     if (cfg.join != JoinOp::None && st.pending_aux != 0) return false;
@@ -450,16 +476,24 @@ void Chip::run(std::size_t steps) {
     for (std::size_t i = 0; i < steps; ++i) step();
 }
 
+void Chip::detach_weights() {
+    if (img_.use_count() != 1) img_ = std::make_shared<Weights>(*img_);
+}
+
 void Chip::apply_learning() {
     check_finalized(true);
-    for (auto& proj : projs_) {
+    if (s_->has_plastic) detach_weights();
+    for (std::size_t pi = 0; pi < s_->projs.size(); ++pi) {
+        const auto& proj = s_->projs[pi];
         if (!proj.cfg.plastic) continue;
-        const CompartmentId src_base = pops_[proj.cfg.src].first;
-        const CompartmentId dst_base = pops_[proj.cfg.dst].first;
+        auto& w = img_->w[pi];
+        const auto& stuck = stuck_[pi];
+        const CompartmentId src_base = s_->pops[proj.cfg.src].first;
+        const CompartmentId dst_base = s_->pops[proj.cfg.dst].first;
         for (std::size_t i = 0; i < proj.synapses.size(); ++i) {
-            Synapse& syn = proj.synapses[i];
+            const Synapse& syn = proj.synapses[i];
             ++activity_.learning_synapse_visits;
-            if (!proj.stuck.empty() && proj.stuck[i] != 0) continue;
+            if (!stuck.empty() && stuck[i] != 0) continue;
             const CompartmentState& pre = state_[src_base + syn.src];
             const CompartmentState& post = state_[dst_base + syn.dst];
             LearnContext ctx;
@@ -470,27 +504,32 @@ void Chip::apply_learning() {
             ctx.y1 = post.y1.value;
             ctx.y2 = post.y2.value;
             ctx.tag = post.tag.value;
-            ctx.weight = syn.weight;
-            const std::int64_t dw = proj.cfg.rule.dw.evaluate(
+            ctx.weight = w[i];
+            const std::int64_t dw = rules_[pi].dw.evaluate(
                 ctx, proj.cfg.stochastic_rounding ? &learn_rng_ : nullptr);
             if (dw != 0) {
-                syn.weight = common::saturate_signed(
-                    static_cast<std::int64_t>(syn.weight) + dw, limits_.weight_bits);
+                w[i] = common::saturate_signed(
+                    static_cast<std::int64_t>(w[i]) + dw, limits_.weight_bits);
                 // Propagate into the delivery table (same synaptic memory on
                 // silicon; two views of it in the simulator).
-                fanout_[proj.fanout_slot[i]].weight = static_cast<std::int32_t>(
-                    static_cast<std::int64_t>(syn.weight) << proj.cfg.weight_exp);
+                img_->eff[proj.fanout_slot[i]] = static_cast<std::int32_t>(
+                    static_cast<std::int64_t>(w[i]) << proj.cfg.weight_exp);
             }
         }
     }
 }
 
 void Chip::set_learning_rule(ProjectionId proj, LearningRule rule) {
-    if (proj >= projs_.size())
+    if (proj >= s_->projs.size())
         throw std::invalid_argument("set_learning_rule: bad projection");
-    if (!projs_[proj].cfg.plastic)
+    if (!s_->projs[proj].cfg.plastic)
         throw std::logic_error("set_learning_rule: projection is not plastic");
-    projs_[proj].cfg.rule = std::move(rule);
+    if (finalized_) {
+        rules_[proj] = std::move(rule);
+    } else {
+        detach_structure();
+        s_->projs[proj].cfg.rule = std::move(rule);
+    }
 }
 
 void Chip::reset_dynamic_state() {
@@ -526,7 +565,7 @@ void Chip::set_compartment_dead(PopulationId pop, std::size_t idx, bool dead) {
     const bool was = dead_[c] != 0;
     dead_[c] = dead ? 1 : 0;
     if (!finalized_ || was == dead) return;  // finalize (re)derives the counts
-    const bool p1 = pops_[pop].cfg.compartment.active_in_phase1;
+    const bool p1 = s_->pops[pop].cfg.compartment.active_in_phase1;
     if (dead) {
         --eligible_phase2_;
         if (p1) --eligible_phase1_;
@@ -543,54 +582,57 @@ bool Chip::compartment_dead(PopulationId pop, std::size_t idx) const {
 
 void Chip::set_synapse_stuck(ProjectionId proj, std::size_t syn,
                              std::int32_t value) {
-    if (proj >= projs_.size())
+    if (proj >= s_->projs.size())
         throw std::invalid_argument("set_synapse_stuck: bad projection");
-    auto& p = projs_[proj];
+    if (!finalized_) detach_structure();  // the builder weight is written below
+    auto& p = s_->projs[proj];
     if (syn >= p.synapses.size())
         throw std::invalid_argument("set_synapse_stuck: bad synapse index");
-    if (p.stuck.empty()) p.stuck.assign(p.synapses.size(), 0);
-    p.stuck[syn] = 1;
-    p.synapses[syn].weight = common::saturate_signed(value, limits_.weight_bits);
+    if (stuck_[proj].empty()) stuck_[proj].assign(p.synapses.size(), 0);
+    stuck_[proj][syn] = 1;
+    const std::int32_t w = common::saturate_signed(value, limits_.weight_bits);
     if (finalized_) {
-        fanout_[p.fanout_slot[syn]].weight = static_cast<std::int32_t>(
-            static_cast<std::int64_t>(p.synapses[syn].weight) << p.cfg.weight_exp);
+        detach_weights();
+        img_->w[proj][syn] = w;
+        img_->eff[p.fanout_slot[syn]] = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(w) << p.cfg.weight_exp);
+    } else {
+        p.synapses[syn].weight = w;
     }
 }
 
 bool Chip::synapse_stuck(ProjectionId proj, std::size_t syn) const {
-    if (proj >= projs_.size())
+    if (proj >= s_->projs.size())
         throw std::invalid_argument("synapse_stuck: bad projection");
-    const auto& p = projs_[proj];
-    if (syn >= p.synapses.size())
+    if (syn >= s_->projs[proj].synapses.size())
         throw std::invalid_argument("synapse_stuck: bad synapse index");
-    return !p.stuck.empty() && p.stuck[syn] != 0;
+    return !stuck_[proj].empty() && stuck_[proj][syn] != 0;
 }
 
 std::size_t Chip::stuck_synapse_count(ProjectionId proj) const {
-    if (proj >= projs_.size())
+    if (proj >= s_->projs.size())
         throw std::invalid_argument("stuck_synapse_count: bad projection");
-    const auto& p = projs_[proj];
     std::size_t n = 0;
-    for (const auto f : p.stuck) n += f;
+    for (const auto f : stuck_[proj]) n += f;
     return n;
 }
 
 std::size_t Chip::population_size(PopulationId pop) const {
-    if (pop >= pops_.size())
+    if (pop >= s_->pops.size())
         throw std::invalid_argument("population_size: bad population");
-    return pops_[pop].cfg.size;
+    return s_->pops[pop].cfg.size;
 }
 
 std::int32_t Chip::nominal_threshold(PopulationId pop) const {
-    if (pop >= pops_.size())
+    if (pop >= s_->pops.size())
         throw std::invalid_argument("nominal_threshold: bad population");
-    return pops_[pop].cfg.compartment.vth;
+    return s_->pops[pop].cfg.compartment.vth;
 }
 
 std::vector<std::int32_t> Chip::spike_counts(PopulationId pop, Phase phase) const {
     const auto n = population_size(pop);
     std::vector<std::int32_t> out(n);
-    const CompartmentId base = pops_[pop].first;
+    const CompartmentId base = s_->pops[pop].first;
     for (std::size_t i = 0; i < n; ++i)
         out[i] = phase == Phase::One ? state_[base + i].spikes_phase1
                                      : state_[base + i].spikes_phase2;
@@ -600,7 +642,7 @@ std::vector<std::int32_t> Chip::spike_counts(PopulationId pop, Phase phase) cons
 std::vector<std::int32_t> Chip::spike_counts_total(PopulationId pop) const {
     const auto n = population_size(pop);
     std::vector<std::int32_t> out(n);
-    const CompartmentId base = pops_[pop].first;
+    const CompartmentId base = s_->pops[pop].first;
     for (std::size_t i = 0; i < n; ++i) out[i] = state_[base + i].spike_count();
     return out;
 }
@@ -638,40 +680,50 @@ std::int32_t Chip::trace_tag(PopulationId pop, std::size_t idx) const {
 }
 
 std::vector<std::int32_t> Chip::weights(ProjectionId proj) const {
-    if (proj >= projs_.size()) throw std::invalid_argument("weights: bad projection");
+    if (proj >= s_->projs.size())
+        throw std::invalid_argument("weights: bad projection");
+    if (finalized_) return img_->w[proj];
     std::vector<std::int32_t> out;
-    out.reserve(projs_[proj].synapses.size());
-    for (const auto& s : projs_[proj].synapses) out.push_back(s.weight);
+    out.reserve(s_->projs[proj].synapses.size());
+    for (const auto& s : s_->projs[proj].synapses) out.push_back(s.weight);
     return out;
 }
 
 void Chip::set_weights(ProjectionId proj, const std::vector<std::int32_t>& w) {
-    if (proj >= projs_.size())
+    if (proj >= s_->projs.size())
         throw std::invalid_argument("set_weights: bad projection");
     if (finalized_)
         throw std::logic_error("set_weights: weights are fixed after finalize; "
                                "use a plastic projection to adapt them");
-    auto& syns = projs_[proj].synapses;
+    detach_structure();
+    auto& syns = s_->projs[proj].synapses;
     if (w.size() != syns.size())
         throw std::invalid_argument("set_weights: size mismatch");
     for (std::size_t i = 0; i < w.size(); ++i)
         syns[i].weight = common::saturate_signed(w[i], limits_.weight_bits);
 }
 
-void Chip::write_weight(Projection& p, std::size_t i, std::int32_t w) {
+void Chip::write_weight(std::size_t proj, std::size_t i, std::int32_t w) {
     // A stuck memory cell ignores reprogramming.
-    if (!p.stuck.empty() && p.stuck[i] != 0) return;
-    p.synapses[i].weight = w;
+    if (!stuck_[proj].empty() && stuck_[proj][i] != 0) return;
+    const auto& p = s_->projs[proj];
     if (finalized_) {
-        fanout_[p.fanout_slot[i]].weight = static_cast<std::int32_t>(
+        img_->w[proj][i] = w;
+        img_->eff[p.fanout_slot[i]] = static_cast<std::int32_t>(
             static_cast<std::int64_t>(w) << p.cfg.weight_exp);
+    } else {
+        s_->projs[proj].synapses[i].weight = w;
     }
 }
 
 void Chip::program_weights(ProjectionId proj, const std::vector<std::int32_t>& w) {
-    if (proj >= projs_.size())
+    if (proj >= s_->projs.size())
         throw std::invalid_argument("program_weights: bad projection");
-    auto& p = projs_[proj];
+    if (finalized_)
+        detach_weights();
+    else
+        detach_structure();  // pre-finalize, write_weight hits the builder
+    const auto& p = s_->projs[proj];
     if (w.size() != p.synapses.size())
         throw std::invalid_argument("program_weights: size mismatch for " +
                                     p.cfg.name);
@@ -681,25 +733,25 @@ void Chip::program_weights(ProjectionId proj, const std::vector<std::int32_t>& w
                                         "): weight exceeds " +
                                         std::to_string(limits_.weight_bits) +
                                         " bits");
-        write_weight(p, i, w[i]);
+        write_weight(proj, i, w[i]);
     }
 }
 
 std::size_t Chip::synapse_count(ProjectionId proj) const {
-    if (proj >= projs_.size())
+    if (proj >= s_->projs.size())
         throw std::invalid_argument("synapse_count: bad projection");
-    return projs_[proj].synapses.size();
+    return s_->projs[proj].synapses.size();
 }
 
 std::size_t Chip::total_synapses() const {
     std::size_t n = 0;
-    for (const auto& p : projs_) n += p.synapses.size();
+    for (const auto& p : s_->projs) n += p.synapses.size();
     return n;
 }
 
 std::size_t Chip::total_compartments() const {
     std::size_t n = 0;
-    for (const auto& p : pops_) {
+    for (const auto& p : s_->pops) {
         const std::size_t per =
             p.cfg.compartment.join == JoinOp::None ? 1 : 2;
         n += p.cfg.size * per;
@@ -718,11 +770,11 @@ void Chip::save_weights(std::ostream& out) const {
     };
     put32(kCheckpointMagic);
     put32(kCheckpointVersion);
-    put32(static_cast<std::uint32_t>(projs_.size()));
-    for (const auto& proj : projs_) {
-        put32(static_cast<std::uint32_t>(proj.synapses.size()));
-        for (const auto& syn : proj.synapses)
-            put32(static_cast<std::uint32_t>(syn.weight));
+    put32(static_cast<std::uint32_t>(s_->projs.size()));
+    for (std::size_t pi = 0; pi < s_->projs.size(); ++pi) {
+        const auto w = weights(pi);
+        put32(static_cast<std::uint32_t>(w.size()));
+        for (const auto v : w) put32(static_cast<std::uint32_t>(v));
     }
 }
 
@@ -737,9 +789,14 @@ void Chip::load_weights(std::istream& in) {
         throw std::runtime_error("load_weights: bad magic");
     if (get32() != kCheckpointVersion)
         throw std::runtime_error("load_weights: unsupported version");
-    if (get32() != projs_.size())
+    if (get32() != s_->projs.size())
         throw std::runtime_error("load_weights: projection count mismatch");
-    for (auto& proj : projs_) {
+    if (finalized_)
+        detach_weights();
+    else
+        detach_structure();  // pre-finalize, write_weight hits the builder
+    for (std::size_t pi = 0; pi < s_->projs.size(); ++pi) {
+        const auto& proj = s_->projs[pi];
         if (get32() != proj.synapses.size())
             throw std::runtime_error("load_weights: synapse count mismatch in " +
                                      proj.cfg.name);
@@ -749,25 +806,25 @@ void Chip::load_weights(std::istream& in) {
                 throw std::runtime_error("load_weights: weight out of range in " +
                                          proj.cfg.name);
             // Stream values for stuck cells are consumed but not applied.
-            write_weight(proj, i, w);
+            write_weight(pi, i, w);
         }
     }
 }
 
 const MappingResult& Chip::mapping() const {
     if (!finalized_) throw std::logic_error("mapping: chip not finalized");
-    return mapping_;
+    return s_->mapping;
 }
 
 void Chip::enable_raster(PopulationId pop) {
-    if (pop >= pops_.size()) throw std::invalid_argument("enable_raster: bad pop");
+    if (pop >= s_->pops.size()) throw std::invalid_argument("enable_raster: bad pop");
     raster_pop_ = pop;
 }
 
 CompartmentId Chip::global_id(PopulationId pop, std::size_t idx) const {
-    if (pop >= pops_.size() || idx >= pops_[pop].cfg.size)
+    if (pop >= s_->pops.size() || idx >= s_->pops[pop].cfg.size)
         throw std::invalid_argument("bad (population, index)");
-    return pops_[pop].first + idx;
+    return s_->pops[pop].first + idx;
 }
 
 void Chip::check_finalized(bool expected) const {

@@ -8,10 +8,21 @@
 //
 // Everything on the datapath is integer; the only floats are in the energy
 // model, which consumes the activity counters this class maintains.
+//
+// Copy semantics (the runtime Session substrate): once finalized, a chip's
+// structure — populations, synapse topology, CSR fan-out, core mapping — is
+// immutable and *shared* between copies through a shared_ptr, and the
+// synaptic weight image is shared copy-on-write (detached on the first
+// write: learning, reprogramming, checkpoint load, stuck-at injection).
+// Copying a finalized chip therefore costs only the dynamic state
+// (compartments, wheel, RNGs), not the synapse tables; N inference copies
+// read one weight image. Behaviour is bit-identical to an independent deep
+// copy. Pre-finalize copies still deep-copy everything.
 
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,7 +50,9 @@ struct PopulationConfig {
 /// One synapse, population-local indices. Weights are `weight_bits`-wide
 /// signed integers; the effective current is weight << weight_exp of the
 /// owning projection. `delay` adds extra timesteps on top of the intrinsic
-/// one-step latency (Loihi: 0..62).
+/// one-step latency (Loihi: 0..62). After finalize, `weight` holds the
+/// *initial* (programmed-at-build) value; the live weight lives in the
+/// chip's copy-on-write weight image.
 struct Synapse {
     std::uint32_t src = 0;
     std::uint32_t dst = 0;
@@ -55,7 +68,7 @@ struct ProjectionConfig {
     Port port = Port::Soma;
     int weight_exp = 0;   ///< effective weight = w * 2^weight_exp
     bool plastic = false; ///< subject to the learning rule at epochs
-    LearningRule rule{};  ///< used when plastic
+    LearningRule rule{};  ///< initial rule when plastic (see set_learning_rule)
     /// Apply the engine's stochastic-rounding mode to the rule's
     /// power-of-two scaling (see SumOfProducts::evaluate).
     bool stochastic_rounding = true;
@@ -75,6 +88,17 @@ struct ActivityTotals {
 class Chip {
 public:
     explicit Chip(ChipLimits limits = {});
+
+    /// Copies share the structure and (copy-on-write) the weight image;
+    /// dynamic state, device faults, rules and RNG streams are deep. The
+    /// defaulted memberwise copy is correct because both shared blocks are
+    /// copy-on-write: the structure detaches on the next pre-finalize build
+    /// mutation (and is immutable after finalize), the weight image on the
+    /// next weight write.
+    Chip(const Chip& other) = default;
+    Chip& operator=(const Chip& other) = default;
+    Chip(Chip&&) = default;
+    Chip& operator=(Chip&&) = default;
 
     // ---- construction -----------------------------------------------------
     PopulationId add_population(PopulationConfig cfg);
@@ -123,7 +147,8 @@ public:
     bool sparse_sweep() const { return sparse_; }
 
     /// Applies the learning rule of every plastic projection (the end-of-2T
-    /// weight update of Operation Flow 1).
+    /// weight update of Operation Flow 1). Detaches the shared weight image
+    /// on the first call after a copy (copy-on-write).
     void apply_learning();
 
     /// Replaces the learning rule of a plastic projection. Allowed after
@@ -155,7 +180,9 @@ public:
     // "provides the ability to compensate any device variation and/or
     // environment noise"). They persist across reset_dynamic_state() — a
     // sample reset does not heal a chip — and may be set before or after
-    // finalize. Statistical injectors live in loihi/faults.hpp.
+    // finalize. Statistical injectors live in loihi/faults.hpp. Faults are
+    // per-chip: replicas copied from a faulted chip inherit its faults, and
+    // faults injected later never leak into other copies.
 
     /// Additive offset on the firing threshold of one compartment (device
     /// mismatch). The effective threshold is clamped at 1, and soft reset
@@ -225,45 +252,80 @@ public:
         return raster_;
     }
 
+    // ---- sharing introspection ---------------------------------------------
+    /// True when both chips read the same finalized structure tables
+    /// (populations, synapse topology, fan-out, mapping).
+    bool shares_structure_with(const Chip& other) const {
+        return finalized_ && s_ == other.s_;
+    }
+    /// True while both chips still read the same copy-on-write weight image
+    /// (no weight write has detached either side since the copy).
+    bool shares_weights_with(const Chip& other) const {
+        return img_ != nullptr && img_ == other.img_;
+    }
+
 private:
     struct Population {
         PopulationConfig cfg;
         CompartmentId first = 0;  ///< global index of compartment 0
     };
 
+    /// Structural half of a fan-out entry; the effective weight lives in the
+    /// copy-on-write image (Weights::eff), indexed by the same slot.
     struct FanoutEntry {
         std::uint32_t dst;       ///< global compartment index
-        std::int32_t weight;     ///< effective (shifted) weight
         std::uint8_t port;       ///< Port
         std::uint8_t delay;      ///< extra steps on top of the intrinsic one
     };
 
     struct Projection {
         ProjectionConfig cfg;
-        std::vector<Synapse> synapses;  // population-local indices
+        std::vector<Synapse> synapses;  // population-local; initial weights
         /// Fan-out table slot of each synapse, so weight updates (learning,
         /// checkpoint loads) propagate to the delivery path immediately.
         std::vector<std::size_t> fanout_slot;
-        /// Stuck-at fault mask; empty until the first fault is injected.
-        std::vector<std::uint8_t> stuck;
+    };
+
+    /// Everything frozen at finalize() and shared between copies.
+    struct Structure {
+        std::vector<Population> pops;
+        std::vector<Projection> projs;
+        std::vector<std::uint16_t> pop_of;      // owning population per compartment
+        std::vector<std::size_t> fanout_begin;  // CSR, size = compartments + 1
+        std::vector<FanoutEntry> fanout;
+        /// Per-population: any trace with a nonzero decay constant? Such
+        /// compartments tick the shared trace RNG every step and never sleep.
+        std::vector<std::uint8_t> pop_has_decay;
+        MappingResult mapping;
+        bool has_plastic = false;
+    };
+
+    /// The live synaptic memory: per-projection raw weights plus the
+    /// effective (exponent-shifted) delivery weights, one per fan-out slot.
+    /// Shared between copies until the first write (copy-on-write).
+    struct Weights {
+        std::vector<std::vector<std::int32_t>> w;
+        std::vector<std::int32_t> eff;
     };
 
     ChipLimits limits_;
-    std::vector<Population> pops_;
-    std::vector<Projection> projs_;
+    /// Mutable while building (copy-on-write, see detach_structure);
+    /// logically frozen (and shared) after finalize.
+    std::shared_ptr<Structure> s_;
+    std::shared_ptr<Weights> img_;  ///< null until finalize; copy-on-write
 
     // Flattened state, indexed by global compartment id.
     std::vector<CompartmentState> state_;
-    std::vector<std::uint16_t> pop_of_;  // owning population of a compartment
 
     // Device properties, indexed by global compartment id. Not dynamic
     // state: reset_dynamic_state() leaves them alone.
     std::vector<std::int32_t> vth_offset_;
     std::vector<std::uint8_t> dead_;
-
-    // CSR fan-out built at finalize.
-    std::vector<std::size_t> fanout_begin_;  // size = compartments + 1
-    std::vector<FanoutEntry> fanout_;
+    /// Per-projection stuck-at masks; empty until the first fault.
+    std::vector<std::vector<std::uint8_t>> stuck_;
+    /// Live learning rules (set_learning_rule reprograms microcode per chip
+    /// without touching the shared structure). Sized at finalize.
+    std::vector<LearningRule> rules_;
 
     Phase phase_ = Phase::One;
     bool finalized_ = false;
@@ -280,7 +342,6 @@ private:
     std::array<std::vector<DelayedDelivery>, kWheel> wheel_{};
 
     ActivityTotals activity_{};
-    MappingResult mapping_{};
 
     std::optional<PopulationId> raster_pop_{};
     std::vector<std::pair<std::uint64_t, std::uint32_t>> raster_;
@@ -297,12 +358,10 @@ private:
     /// delivery hot path touches no extra cache line.)
     std::vector<std::uint32_t> active_list_;
     std::vector<std::uint32_t> wake_buf_;    ///< wakes pending the next merge
-    /// Per-population: any trace with a nonzero decay constant? Such
-    /// compartments tick the shared trace RNG every step and never sleep.
-    std::vector<std::uint8_t> pop_has_decay_;
     /// Number of compartments the dense sweep would count as updated per
     /// step (non-dead, and active in the given phase) — used to keep
     /// ActivityTotals::compartment_updates exact under the sparse sweep.
+    /// Depends on dead_, hence per-chip rather than structural.
     std::size_t eligible_phase1_ = 0;
     std::size_t eligible_phase2_ = 0;
 
@@ -319,9 +378,17 @@ private:
     CompartmentId global_id(PopulationId pop, std::size_t idx) const;
     void deliver(CompartmentId src);
     void check_finalized(bool expected) const;
+    /// Clones the structure iff it is still shared with another chip (call
+    /// before any pre-finalize build mutation; after finalize the structure
+    /// is immutable and stays shared forever).
+    void detach_structure();
+    /// Clones the weight image iff it is still shared with another chip
+    /// (call before any weight write after finalize).
+    void detach_weights();
     /// Writes one synapse's weight, honouring stuck-at faults and keeping
     /// the delivery table in sync (shared by program_weights/load_weights).
-    void write_weight(Projection& p, std::size_t i, std::int32_t w);
+    /// Caller must detach_weights() first.
+    void write_weight(std::size_t proj, std::size_t i, std::int32_t w);
 };
 
 /// Encodes a desired integer magnitude as (weight, exponent) with |weight|

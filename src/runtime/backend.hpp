@@ -1,0 +1,39 @@
+#pragma once
+// The backend contract (docs/ARCHITECTURE.md §5). A Backend turns a
+// ModelSpec into an immutable CompiledModel whose Sessions implement the
+// full Session interface. Conformance requirements:
+//
+//   * compile() validates the spec (throwing std::invalid_argument for
+//     anything it cannot realize, e.g. conv stacks on the Reference
+//     backend) and performs ALL expensive construction up front.
+//   * Sessions opened from one model are mutually independent and start
+//     from identical state, regardless of when they are opened.
+//   * Weight snapshots are canonical (integer, theta_dense grid): a
+//     snapshot taken on one backend must load on every other.
+//   * Optional capabilities (activity counters, native network access)
+//     return null rather than throwing when unsupported.
+
+#include <memory>
+#include <vector>
+
+#include "runtime/compiled_model.hpp"
+#include "runtime/model_spec.hpp"
+
+namespace neuro::runtime {
+
+class Backend {
+public:
+    virtual ~Backend() = default;
+    virtual BackendKind kind() const = 0;
+    virtual const char* name() const = 0;
+    virtual std::shared_ptr<const CompiledModel> compile(
+        const ModelSpec& spec) const = 0;
+};
+
+/// The built-in backend for `kind` (static lifetime).
+const Backend& backend_for(BackendKind kind);
+
+/// All built-in backends, for enumeration in tools and tests.
+std::vector<const Backend*> backends();
+
+}  // namespace neuro::runtime

@@ -1,0 +1,51 @@
+#pragma once
+// CompiledModel: the immutable, shareable artifact between a ModelSpec and
+// its Sessions. Compiling does all the expensive, once-per-topology work —
+// building the network, core mapping, fan-out tables, weight initialization
+// — and freezes the result. Threads then open cheap per-thread Sessions
+// against the one shared model; nothing in a CompiledModel ever mutates, so
+// no synchronization is needed around it.
+
+#include <memory>
+
+#include "runtime/model_spec.hpp"
+#include "runtime/session.hpp"
+#include "runtime/weights.hpp"
+
+namespace neuro::runtime {
+
+class CompiledModel {
+public:
+    virtual ~CompiledModel() = default;
+
+    CompiledModel(const CompiledModel&) = delete;
+    CompiledModel& operator=(const CompiledModel&) = delete;
+
+    /// Validates `spec` and compiles it on the chosen backend. The returned
+    /// model is immutable; hold it by shared_ptr and share it freely.
+    static std::shared_ptr<const CompiledModel> compile(
+        const ModelSpec& spec, BackendKind kind = BackendKind::LoihiSim);
+
+    const ModelSpec& spec() const { return spec_; }
+    virtual BackendKind backend() const = 0;
+
+    /// Opens a fresh Session holding only dynamic state. Every session
+    /// starts from this model's (frozen) initial weights and RNG state, so
+    /// two sessions opened at any time behave identically.
+    virtual std::unique_ptr<Session> open_session() const = 0;
+
+    /// A new model identical to this one but starting from `snap` — the
+    /// deploy path: train somewhere, snapshot, compile-with-weights, then
+    /// open read-only inference sessions everywhere. This model is unchanged.
+    virtual std::shared_ptr<const CompiledModel> with_weights(
+        const WeightSnapshot& snap) const = 0;
+
+    /// The frozen initial plastic weights sessions start from.
+    virtual WeightSnapshot initial_weights() const = 0;
+
+protected:
+    explicit CompiledModel(ModelSpec spec) : spec_(std::move(spec)) {}
+    ModelSpec spec_;
+};
+
+}  // namespace neuro::runtime

@@ -1,0 +1,101 @@
+#include "runtime/loihi_backend.hpp"
+
+#include "core/network.hpp"
+
+namespace neuro::runtime {
+
+namespace {
+
+class LoihiSession final : public Session {
+public:
+    explicit LoihiSession(core::EmstdpNetwork net) : net_(std::move(net)) {}
+
+    BackendKind backend() const override { return BackendKind::LoihiSim; }
+
+    void train(const common::Tensor& image, std::size_t label) override {
+        net_.train_sample(image, label);
+    }
+    std::size_t predict(const common::Tensor& image) override {
+        return net_.predict(image);
+    }
+    std::vector<std::int32_t> output_counts(const common::Tensor& image) override {
+        return net_.output_counts(image);
+    }
+
+    WeightSnapshot weights() const override { return {net_.plastic_weights()}; }
+    void load_weights(const WeightSnapshot& snap) override {
+        net_.set_plastic_weights(snap.layers);
+    }
+
+    void set_class_mask(const std::vector<bool>& mask) override {
+        net_.set_class_mask(mask);
+    }
+    void set_learning_shift_offset(int offset) override {
+        net_.set_learning_shift_offset(offset);
+    }
+    void seed_noise(std::uint64_t seed) override {
+        net_.chip().seed_learning_noise(seed);
+    }
+
+    const loihi::ActivityTotals* activity() const override {
+        return &net_.chip().activity();
+    }
+    core::EmstdpNetwork* native_network() override { return &net_; }
+
+private:
+    core::EmstdpNetwork net_;
+};
+
+}  // namespace
+
+/// Immutable artifact: a fully-built, finalized prototype network. Sessions
+/// replicate it — which shares the chip structure and weight image — so the
+/// expensive construction happens exactly once, at compile().
+class LoihiCompiledModel final : public CompiledModel {
+public:
+    LoihiCompiledModel(ModelSpec spec, core::EmstdpNetwork proto)
+        : CompiledModel(std::move(spec)), proto_(std::move(proto)) {}
+
+    BackendKind backend() const override { return BackendKind::LoihiSim; }
+
+    std::unique_ptr<Session> open_session() const override {
+        return std::make_unique<LoihiSession>(proto_.replicate());
+    }
+
+    std::shared_ptr<const CompiledModel> with_weights(
+        const WeightSnapshot& snap) const override {
+        auto net = proto_.replicate();
+        net.set_plastic_weights(snap.layers);
+        return std::make_shared<LoihiCompiledModel>(spec_, std::move(net));
+    }
+
+    WeightSnapshot initial_weights() const override {
+        return {proto_.plastic_weights()};
+    }
+
+private:
+    core::EmstdpNetwork proto_;
+};
+
+std::shared_ptr<const CompiledModel> LoihiSimBackend::compile(
+    const ModelSpec& spec) const {
+    spec.validate();
+    core::EmstdpNetwork proto(spec.options, spec.in_c, spec.in_h, spec.in_w,
+                              spec.conv.get(), spec.hidden, spec.classes);
+    return std::make_shared<LoihiCompiledModel>(spec, std::move(proto));
+}
+
+std::shared_ptr<const CompiledModel> adopt(const core::EmstdpNetwork& net) {
+    ModelSpec spec;
+    spec.options = net.options();
+    const auto& chip = net.chip();
+    spec.input(1, 1, chip.population_size(net.input_pop()));
+    std::vector<std::size_t> hidden;
+    hidden.reserve(net.hidden_pops().size());
+    for (auto p : net.hidden_pops()) hidden.push_back(chip.population_size(p));
+    spec.hidden_layers(std::move(hidden));
+    spec.output_classes(chip.population_size(net.output_pop()));
+    return std::make_shared<LoihiCompiledModel>(std::move(spec), net.replicate());
+}
+
+}  // namespace neuro::runtime

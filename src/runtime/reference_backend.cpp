@@ -1,0 +1,161 @@
+#include "runtime/reference_backend.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/fixed.hpp"
+#include "reference/emstdp_ref.hpp"
+
+namespace neuro::runtime {
+
+namespace {
+
+std::vector<float> to_rates(const common::Tensor& image, std::size_t expected) {
+    if (image.size() != expected)
+        throw std::invalid_argument("ReferenceBackend: input size mismatch");
+    return {image.data(), image.data() + image.size()};
+}
+
+/// Float weights -> canonical chip-grid snapshot (round, saturate).
+WeightSnapshot to_snapshot(const std::vector<std::vector<float>>& weights,
+                           std::int32_t theta_dense, int weight_bits) {
+    WeightSnapshot snap;
+    snap.layers.reserve(weights.size());
+    for (const auto& layer : weights) {
+        std::vector<std::int32_t> w(layer.size());
+        for (std::size_t i = 0; i < layer.size(); ++i)
+            w[i] = static_cast<std::int32_t>(common::saturate_signed(
+                std::lround(layer[i] * static_cast<float>(theta_dense)),
+                weight_bits));
+        snap.layers.push_back(std::move(w));
+    }
+    return snap;
+}
+
+/// Canonical snapshot -> float weights, written in place (validates shape).
+/// Inverse of to_snapshot; the one definition behind both load_weights and
+/// with_weights.
+void from_snapshot(const WeightSnapshot& snap,
+                   std::vector<std::vector<float>>& weights,
+                   std::int32_t theta_dense, const char* what) {
+    if (snap.layers.size() != weights.size())
+        throw std::invalid_argument(std::string(what) +
+                                    ": layer count mismatch");
+    for (std::size_t l = 0; l < weights.size(); ++l) {
+        if (snap.layers[l].size() != weights[l].size())
+            throw std::invalid_argument(std::string(what) +
+                                        ": layer size mismatch");
+        for (std::size_t i = 0; i < weights[l].size(); ++i)
+            weights[l][i] = static_cast<float>(snap.layers[l][i]) /
+                            static_cast<float>(theta_dense);
+    }
+}
+
+class ReferenceSession final : public Session {
+public:
+    ReferenceSession(reference::RefEmstdp ref, std::int32_t theta_dense,
+                     int weight_bits)
+        : ref_(std::move(ref)), theta_dense_(theta_dense),
+          weight_bits_(weight_bits) {}
+
+    BackendKind backend() const override { return BackendKind::Reference; }
+
+    void train(const common::Tensor& image, std::size_t label) override {
+        ref_.train_sample(to_rates(image, ref_.config().layer_sizes.front()),
+                          label);
+    }
+    std::size_t predict(const common::Tensor& image) override {
+        return ref_.predict(to_rates(image, ref_.config().layer_sizes.front()));
+    }
+    std::vector<std::int32_t> output_counts(const common::Tensor& image) override {
+        const auto counts = ref_.forward_counts(
+            to_rates(image, ref_.config().layer_sizes.front()));
+        return {counts.begin(), counts.end()};
+    }
+
+    WeightSnapshot weights() const override {
+        return to_snapshot(ref_.weights(), theta_dense_, weight_bits_);
+    }
+    void load_weights(const WeightSnapshot& snap) override {
+        from_snapshot(snap, ref_.weights(), theta_dense_, "load_weights");
+    }
+
+    void set_class_mask(const std::vector<bool>& mask) override {
+        std::vector<float> m(mask.size());
+        for (std::size_t i = 0; i < mask.size(); ++i) m[i] = mask[i] ? 1.0f : 0.0f;
+        ref_.set_class_mask(m);
+    }
+    void set_learning_shift_offset(int offset) override {
+        if (offset < 0)
+            throw std::invalid_argument(
+                "set_learning_shift_offset: negative offset");
+        ref_.set_eta_scale(std::ldexp(1.0f, -offset));
+    }
+    void seed_noise(std::uint64_t) override {
+        // The float reference is noise-free; accepted for protocol parity.
+    }
+
+private:
+    reference::RefEmstdp ref_;
+    std::int32_t theta_dense_;
+    int weight_bits_;
+};
+
+class ReferenceCompiledModel final : public CompiledModel {
+public:
+    ReferenceCompiledModel(ModelSpec spec, reference::RefEmstdp proto)
+        : CompiledModel(std::move(spec)), proto_(std::move(proto)) {}
+
+    BackendKind backend() const override { return BackendKind::Reference; }
+
+    std::unique_ptr<Session> open_session() const override {
+        return std::make_unique<ReferenceSession>(
+            proto_, spec_.options.theta_dense, spec_.options.weight_bits);
+    }
+
+    std::shared_ptr<const CompiledModel> with_weights(
+        const WeightSnapshot& snap) const override {
+        auto model = std::make_shared<ReferenceCompiledModel>(spec_, proto_);
+        from_snapshot(snap, model->proto_.weights(), spec_.options.theta_dense,
+                      "with_weights");
+        return model;
+    }
+
+    WeightSnapshot initial_weights() const override {
+        return to_snapshot(proto_.weights(), spec_.options.theta_dense,
+                           spec_.options.weight_bits);
+    }
+
+private:
+    reference::RefEmstdp proto_;
+};
+
+}  // namespace
+
+std::shared_ptr<const CompiledModel> ReferenceBackend::compile(
+    const ModelSpec& spec) const {
+    spec.validate();
+    if (spec.conv)
+        throw std::invalid_argument(
+            "ReferenceBackend: conv stacks are not supported; feed normalized "
+            "conv features instead (core::compile_reference_model)");
+    reference::RefConfig cfg;
+    cfg.layer_sizes.push_back(spec.input_size());
+    for (std::size_t h : spec.hidden) cfg.layer_sizes.push_back(h);
+    cfg.layer_sizes.push_back(spec.classes);
+    cfg.phase_length = spec.options.phase_length;
+    cfg.eta = spec.options.eta;
+    cfg.feedback = spec.options.feedback == core::FeedbackMode::FA
+                       ? reference::FeedbackMode::FA
+                       : reference::FeedbackMode::DFA;
+    cfg.target_rate = spec.options.target_rate;
+    cfg.feedback_gain = spec.options.feedback_gain;
+    cfg.pre_phase1_only =
+        spec.options.pre_window == loihi::TraceWindow::Phase1Only;
+    cfg.derivative_gating = spec.options.derivative_gating;
+    cfg.seed = spec.options.seed;
+    return std::make_shared<ReferenceCompiledModel>(
+        spec, reference::RefEmstdp(std::move(cfg)));
+}
+
+}  // namespace neuro::runtime

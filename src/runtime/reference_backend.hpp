@@ -1,0 +1,22 @@
+#pragma once
+// ReferenceBackend: the full-precision float EMSTDP implementation behind
+// the runtime Session contract — the paper's "Python (FP)" baseline as a
+// drop-in backend. Inputs are rate tensors in [0,1] (flattened); conv
+// stacks are not supported (the experiment pipeline feeds it normalized
+// conv *features* instead, see core::compile_reference_model). Weight
+// snapshots are converted to/from the canonical chip grid with
+// w_float = w_int / theta_dense.
+
+#include "runtime/backend.hpp"
+
+namespace neuro::runtime {
+
+class ReferenceBackend final : public Backend {
+public:
+    BackendKind kind() const override { return BackendKind::Reference; }
+    const char* name() const override { return "reference"; }
+    std::shared_ptr<const CompiledModel> compile(
+        const ModelSpec& spec) const override;
+};
+
+}  // namespace neuro::runtime

@@ -1,0 +1,35 @@
+#include "runtime/backend.hpp"
+
+#include <stdexcept>
+
+#include "runtime/loihi_backend.hpp"
+#include "runtime/reference_backend.hpp"
+#include "runtime/session.hpp"
+
+namespace neuro::runtime {
+
+const Backend& backend_for(BackendKind kind) {
+    static const LoihiSimBackend loihi_sim;
+    static const ReferenceBackend reference;
+    switch (kind) {
+        case BackendKind::LoihiSim: return loihi_sim;
+        case BackendKind::Reference: return reference;
+    }
+    throw std::invalid_argument("backend_for: unknown backend kind");
+}
+
+std::vector<const Backend*> backends() {
+    return {&backend_for(BackendKind::LoihiSim),
+            &backend_for(BackendKind::Reference)};
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile(
+    const ModelSpec& spec, BackendKind kind) {
+    return backend_for(kind).compile(spec);
+}
+
+void Session::save(const std::string& path) const {
+    save_snapshot(path, weights());
+}
+
+}  // namespace neuro::runtime

@@ -1,0 +1,81 @@
+#pragma once
+// A Session is the only mutable object in the runtime API: it owns the
+// dynamic state of one executing model instance (membranes, spike counters,
+// RNG streams, and — once it diverges — its own weight image) while reading
+// the immutable CompiledModel it was opened from.
+//
+// Threading rules (docs/ARCHITECTURE.md §5):
+//   * A CompiledModel is immutable — share one across any number of threads.
+//   * A Session is NOT thread-safe — open one per thread. Opening is cheap:
+//     sessions share the compiled structure, and the weight image is
+//     copy-on-write (an inference-only session never copies it).
+//   * Sessions outlive their model safely (shared structure is refcounted).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/tensor.hpp"
+#include "runtime/model_spec.hpp"
+#include "runtime/weights.hpp"
+
+namespace neuro::loihi {
+struct ActivityTotals;
+}
+namespace neuro::core {
+class EmstdpNetwork;
+}
+
+namespace neuro::runtime {
+
+class Session {
+public:
+    virtual ~Session() = default;
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    virtual BackendKind backend() const = 0;
+
+    // ---- the workload ------------------------------------------------------
+    /// One online EMSTDP training step (phase 1 + phase 2 + weight update).
+    virtual void train(const common::Tensor& image, std::size_t label) = 0;
+    /// Phase-1 inference; argmax of output spike counts.
+    virtual std::size_t predict(const common::Tensor& image) = 0;
+    /// Phase-1 output spike counts (probing).
+    virtual std::vector<std::int32_t> output_counts(const common::Tensor& image) = 0;
+
+    // ---- weights -----------------------------------------------------------
+    /// Current plastic weights in the canonical (chip-grid) representation.
+    virtual WeightSnapshot weights() const = 0;
+    /// Reprograms the plastic weights from a canonical snapshot.
+    virtual void load_weights(const WeightSnapshot& snap) = 0;
+    /// Checkpoints weights() to a file (load with runtime::load_snapshot +
+    /// Session::load_weights or CompiledModel::with_weights).
+    void save(const std::string& path) const;
+
+    // ---- online-learning knobs (paper Sec. IV-B) ---------------------------
+    virtual void set_class_mask(const std::vector<bool>& mask) = 0;
+    /// Adds `offset` to the learning shift — halves the learning rate per
+    /// unit. The Reference backend realizes it as an eta scale of 2^-offset.
+    virtual void set_learning_shift_offset(int offset) = 0;
+
+    // ---- determinism -------------------------------------------------------
+    /// Reseeds the backend's stochastic streams (stochastic rounding on the
+    /// chip). Backends without noise accept and ignore it, so seeded
+    /// protocols like ParallelTrainer run unchanged on every backend.
+    virtual void seed_noise(std::uint64_t seed) = 0;
+
+    // ---- optional capabilities ---------------------------------------------
+    /// Activity counters for the energy model; null when the backend does
+    /// not model events (Reference).
+    virtual const loihi::ActivityTotals* activity() const { return nullptr; }
+    /// Escape hatch to the underlying simulated network for probing tools
+    /// that predate the runtime API; null on non-chip backends.
+    virtual core::EmstdpNetwork* native_network() { return nullptr; }
+
+protected:
+    Session() = default;
+};
+
+}  // namespace neuro::runtime

@@ -1,0 +1,62 @@
+#include "runtime/weights.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace neuro::runtime {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4E525753;  // "NRWS"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_snapshot(const std::string& path, const WeightSnapshot& snap) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("save_snapshot: cannot open " + path);
+    auto put32 = [&](std::uint32_t v) {
+        out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    put32(kMagic);
+    put32(kVersion);
+    put32(static_cast<std::uint32_t>(snap.layers.size()));
+    for (const auto& layer : snap.layers) {
+        put32(static_cast<std::uint32_t>(layer.size()));
+        for (const auto w : layer) put32(static_cast<std::uint32_t>(w));
+    }
+    if (!out) throw std::runtime_error("save_snapshot: write failed for " + path);
+}
+
+WeightSnapshot load_snapshot(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("load_snapshot: cannot open " + path);
+    in.seekg(0, std::ios::end);
+    const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0);
+    auto get32 = [&]() {
+        std::uint32_t v = 0;
+        in.read(reinterpret_cast<char*>(&v), sizeof(v));
+        if (!in) throw std::runtime_error("load_snapshot: truncated file " + path);
+        return v;
+    };
+    // Every count in the file describes at least 4 bytes of payload, so any
+    // count beyond file_bytes/4 is corruption — reject it before resize()
+    // turns it into a multi-gigabyte allocation.
+    auto get_count = [&]() {
+        const std::uint32_t n = get32();
+        if (n > file_bytes / 4)
+            throw std::runtime_error("load_snapshot: corrupt count in " + path);
+        return n;
+    };
+    if (get32() != kMagic) throw std::runtime_error("load_snapshot: bad magic");
+    if (get32() != kVersion)
+        throw std::runtime_error("load_snapshot: unsupported version");
+    WeightSnapshot snap;
+    snap.layers.resize(get_count());
+    for (auto& layer : snap.layers) {
+        layer.resize(get_count());
+        for (auto& w : layer) w = static_cast<std::int32_t>(get32());
+    }
+    return snap;
+}
+
+}  // namespace neuro::runtime

@@ -1,0 +1,32 @@
+#pragma once
+// Canonical plastic-weight snapshot exchanged through the runtime API.
+//
+// Weights are integers on the theta_dense grid — exactly what the chip
+// stores in synaptic memory — in plastic-projection order, each layer
+// row-major {out, in} (the dense_synapses / RefEmstdp convention). The
+// LoihiSim backend uses them verbatim; the Reference backend maps them to
+// floats as w_float = w_int / theta_dense. One snapshot therefore loads
+// into any backend, which is what the cross-backend parity tests exercise.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neuro::runtime {
+
+struct WeightSnapshot {
+    /// layers[l][o * in + i] — plastic projections only, input-to-output
+    /// order (frozen conv weights never change and are not part of it).
+    std::vector<std::vector<std::int32_t>> layers;
+
+    bool empty() const { return layers.empty(); }
+};
+
+/// Writes a snapshot to `path` (versioned binary format). Throws on I/O
+/// failure.
+void save_snapshot(const std::string& path, const WeightSnapshot& snap);
+
+/// Reads a snapshot written by save_snapshot. Throws on malformed files.
+WeightSnapshot load_snapshot(const std::string& path);
+
+}  // namespace neuro::runtime
