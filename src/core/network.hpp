@@ -111,6 +111,10 @@ public:
     loihi::PopulationId feature_pop() const { return feature_; }
     const std::vector<loihi::PopulationId>& hidden_pops() const { return hidden_pops_; }
     loihi::PopulationId output_pop() const { return output_; }
+    /// The label population (nullopt for inference-only builds). Exposed for
+    /// drivers that replay the training protocol on a different substrate
+    /// (core::ShardedEmstdpNetwork).
+    std::optional<loihi::PopulationId> label_pop() const { return label_; }
     const std::vector<loihi::ProjectionId>& plastic_projections() const {
         return plastic_;
     }

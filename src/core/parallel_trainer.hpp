@@ -10,6 +10,12 @@
 // train a disjoint shard of every mini-batch, and the integer
 // plastic-weight deltas are merged at the batch boundary.
 //
+// This is *inter-model* parallelism (N one-chip replicas). Its complement,
+// *intra-model* parallelism for networks bigger than one chip, is the
+// multi-chip sharded execution of core/sharded_network.hpp (ARCHITECTURE
+// §6); the two compose conceptually but this trainer's master/replica
+// weight-sync path assumes single-chip models.
+//
 // Determinism contract:
 //   * batch == 1 reproduces the serial core::train_epoch bit-for-bit
 //     (same shuffle, same RNG streams, same weights after every sample).

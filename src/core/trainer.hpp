@@ -46,8 +46,11 @@ double train_epoch(runtime::Session& session, const data::Dataset& stream,
 
 double evaluate(runtime::Session& session, const data::Dataset& test);
 
-/// Session version of measure_energy. Throws std::invalid_argument when the
-/// session's backend has no activity/energy model (e.g. Reference).
+/// Session version of measure_energy. Sharded (multi-chip) sessions report
+/// the package operating point: barrier-synchronised step time of the
+/// slowest shard, power and cores summed across chips. Throws
+/// std::invalid_argument when the session's backend has no activity/energy
+/// model (e.g. Reference).
 loihi::EnergyReport measure_energy(runtime::Session& session,
                                    const data::Dataset& ds, std::size_t samples,
                                    bool training,

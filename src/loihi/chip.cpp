@@ -617,6 +617,61 @@ std::size_t Chip::stuck_synapse_count(ProjectionId proj) const {
     return n;
 }
 
+void Chip::deliver_external(PopulationId pop, std::size_t idx,
+                            std::int32_t eff_weight, Port port) {
+    check_finalized(true);
+    const CompartmentId c = global_id(pop, idx);
+    CompartmentState& dst = state_[c];
+    if (port == Port::Soma)
+        dst.pending_soma += eff_weight;
+    else
+        dst.pending_aux += eff_weight;
+    if (sparse_ && dst.awake == 0) {
+        dst.awake = 1;
+        wake_buf_.push_back(static_cast<std::uint32_t>(c));
+    }
+}
+
+void Chip::collect_spiked(PopulationId pop,
+                          std::vector<std::uint32_t>& out) const {
+    const auto n = population_size(pop);
+    const CompartmentId base = s_->pops[pop].first;
+    for (std::size_t i = 0; i < n; ++i)
+        if (state_[base + i].spiked) out.push_back(static_cast<std::uint32_t>(i));
+}
+
+const PopulationConfig& Chip::population_config(PopulationId pop) const {
+    if (pop >= s_->pops.size())
+        throw std::invalid_argument("population_config: bad population");
+    return s_->pops[pop].cfg;
+}
+
+const ProjectionConfig& Chip::projection_config(ProjectionId proj) const {
+    if (proj >= s_->projs.size())
+        throw std::invalid_argument("projection_config: bad projection");
+    return s_->projs[proj].cfg;
+}
+
+const std::vector<Synapse>& Chip::projection_synapses(ProjectionId proj) const {
+    if (proj >= s_->projs.size())
+        throw std::invalid_argument("projection_synapses: bad projection");
+    return s_->projs[proj].synapses;
+}
+
+const LearningRule& Chip::learning_rule(ProjectionId proj) const {
+    if (proj >= s_->projs.size())
+        throw std::invalid_argument("learning_rule: bad projection");
+    return finalized_ ? rules_[proj] : s_->projs[proj].cfg.rule;
+}
+
+std::vector<std::int32_t> Chip::biases(PopulationId pop) const {
+    const auto n = population_size(pop);
+    std::vector<std::int32_t> out(n);
+    const CompartmentId base = s_->pops[pop].first;
+    for (std::size_t i = 0; i < n; ++i) out[i] = state_[base + i].bias;
+    return out;
+}
+
 std::size_t Chip::population_size(PopulationId pop) const {
     if (pop >= s_->pops.size())
         throw std::invalid_argument("population_size: bad population");

@@ -203,6 +203,41 @@ public:
     bool synapse_stuck(ProjectionId proj, std::size_t syn) const;
     std::size_t stuck_synapse_count(ProjectionId proj) const;
 
+    // ---- inter-chip mesh interface (multi-chip sharding) -------------------
+    // These are the primitives loihi::ShardedChip builds on: a router owns
+    // the synapses that cross chip boundaries and uses them to re-create the
+    // exact effect of an on-chip delivery on the destination chip.
+
+    /// Delivers one already-weighted synaptic event to a compartment, exactly
+    /// as the local fan-out path would (pending accumulator + wake). Visible
+    /// at the next step. Not host I/O, and deliberately not a synaptic op on
+    /// this chip either: on-chip accounting charges synops at spike
+    /// *emission* (see deliver()), so the router tallies cross-chip events
+    /// on the sending side to keep system totals identical to an unsharded
+    /// chip.
+    void deliver_external(PopulationId pop, std::size_t idx,
+                          std::int32_t eff_weight, Port port);
+
+    /// Appends the population-local indices of compartments that fired
+    /// during the most recent step (the boundary-spike readout of the
+    /// inter-chip router).
+    void collect_spiked(PopulationId pop, std::vector<std::uint32_t>& out) const;
+
+    // ---- structure introspection (used to split a chip into shards) --------
+    std::size_t num_populations() const { return s_->pops.size(); }
+    std::size_t num_projections() const { return s_->projs.size(); }
+    const PopulationConfig& population_config(PopulationId pop) const;
+    const ProjectionConfig& projection_config(ProjectionId proj) const;
+    /// Synapse list as built (weights are the *initial* values; live weights
+    /// come from weights()).
+    const std::vector<Synapse>& projection_synapses(ProjectionId proj) const;
+    /// The *live* learning rule: reflects post-finalize reprogramming via
+    /// set_learning_rule (ProjectionConfig::rule keeps only the build-time
+    /// value).
+    const LearningRule& learning_rule(ProjectionId proj) const;
+    /// Current bias registers of a population.
+    std::vector<std::int32_t> biases(PopulationId pop) const;
+
     // ---- readout -----------------------------------------------------------
     std::size_t population_size(PopulationId pop) const;
     /// Configured (nominal) firing threshold of a population, before any

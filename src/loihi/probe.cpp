@@ -66,7 +66,13 @@ void StateProbe::clear() {
 std::string StateProbe::write_csv(const std::string& dir,
                                   const std::string& name) const {
     std::vector<std::string> header{"step"};
-    for (std::size_t idx : neurons_) header.push_back("n" + std::to_string(idx));
+    for (std::size_t idx : neurons_) {
+        // Two-step append instead of "n" + std::to_string(idx): the rvalue
+        // operator+ trips GCC 12's -Wrestrict false positive under -O3.
+        std::string col = "n";
+        col += std::to_string(idx);
+        header.push_back(std::move(col));
+    }
     common::CsvWriter csv(dir, name, header);
     for (std::size_t row = 0; row < steps_.size(); ++row) {
         std::vector<std::string> cells{std::to_string(steps_[row])};

@@ -1,0 +1,163 @@
+#include "loihi/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace neuro::loihi {
+
+namespace {
+
+constexpr std::size_t kUnassigned = std::numeric_limits<std::size_t>::max();
+
+/// One packing attempt. `balance` spreads the load toward equal shards
+/// (explicit shard counts: per-shard soft target of the remaining cores
+/// divided by the remaining shards); without it each shard packs to the
+/// hard one-chip budget, which minimizes the shard count (auto mode).
+/// Returns false when some population cannot be placed under the hard cap.
+bool pack(const std::vector<PopulationDemand>& pops,
+          const std::vector<std::vector<std::size_t>>& affinity,
+          std::size_t hard_cap, std::size_t num_shards, bool balance,
+          std::vector<std::size_t>& shard_of,
+          std::vector<std::size_t>& cores_per_shard) {
+    const std::size_t n = pops.size();
+    shard_of.assign(n, kUnassigned);
+    cores_per_shard.clear();
+
+    std::size_t remaining_cores = 0;
+    for (const auto& p : pops) remaining_cores += p.cores;
+    std::size_t unassigned = n;
+
+    for (std::size_t s = 0; s < num_shards && unassigned > 0; ++s) {
+        const bool last = s + 1 == num_shards;
+        // Soft target for this shard: an even split of what is left across
+        // the shards still to open, never below the largest remaining
+        // population (which must land somewhere), never above one chip.
+        std::size_t cap = hard_cap;
+        if (balance && !last) {
+            std::size_t target =
+                (remaining_cores + (num_shards - s) - 1) / (num_shards - s);
+            for (std::size_t p = 0; p < n; ++p)
+                if (shard_of[p] == kUnassigned) target = std::max(target, pops[p].cores);
+            cap = std::min(hard_cap, target);
+        }
+
+        // Seed with the lowest-index unassigned population (stable, and
+        // layer build order starts at the input).
+        std::size_t cores = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+            if (shard_of[p] == kUnassigned) {
+                shard_of[p] = s;
+                cores = pops[p].cores;
+                remaining_cores -= pops[p].cores;
+                --unassigned;
+                break;
+            }
+        }
+
+        // Grow: repeatedly admit the unassigned population with the largest
+        // synapse affinity to this shard (ties -> lowest index). Populations
+        // with no coupling to the shard open a later shard instead — except
+        // on the last shard, which must take whatever still fits.
+        for (;;) {
+            std::size_t best = kUnassigned;
+            std::size_t best_aff = 0;
+            for (std::size_t p = 0; p < n; ++p) {
+                if (shard_of[p] != kUnassigned) continue;
+                if (cores + pops[p].cores > cap) continue;
+                std::size_t aff = 0;
+                for (std::size_t q = 0; q < n; ++q)
+                    if (shard_of[q] == s) aff += affinity[p][q];
+                if (best == kUnassigned || aff > best_aff) {
+                    best = p;
+                    best_aff = aff;
+                }
+            }
+            if (best == kUnassigned) break;
+            if (best_aff == 0 && !last) break;
+            shard_of[best] = s;
+            cores += pops[best].cores;
+            remaining_cores -= pops[best].cores;
+            --unassigned;
+        }
+        cores_per_shard.push_back(cores);
+    }
+    return unassigned == 0;
+}
+
+}  // namespace
+
+ShardPlan plan_shards(const std::vector<PopulationDemand>& pops,
+                      const std::vector<PopulationAffinity>& edges,
+                      const ChipLimits& limits, std::size_t num_shards) {
+    const std::size_t n = pops.size();
+    ShardPlan plan;
+    if (n == 0) return plan;
+
+    std::size_t total = 0;
+    for (const auto& p : pops) {
+        if (p.cores > limits.num_cores)
+            throw std::invalid_argument(
+                "plan_shards: population '" + p.name + "' needs " +
+                std::to_string(p.cores) + " cores but one chip has " +
+                std::to_string(limits.num_cores) +
+                " (populations cannot split across chips)");
+        total += p.cores;
+    }
+    plan.total_cores = total;
+
+    std::vector<std::vector<std::size_t>> affinity(
+        n, std::vector<std::size_t>(n, 0));
+    for (const auto& e : edges) {
+        if (e.a >= n || e.b >= n)
+            throw std::invalid_argument("plan_shards: edge references population " +
+                                        std::to_string(std::max(e.a, e.b)) +
+                                        " but there are only " + std::to_string(n));
+        if (e.a == e.b) continue;  // intra-population synapses never cross
+        affinity[e.a][e.b] += e.synapses;
+        affinity[e.b][e.a] += e.synapses;
+    }
+
+    std::vector<std::size_t> shard_of;
+    std::vector<std::size_t> cores_per_shard;
+    bool packed = false;
+    if (num_shards == 0) {
+        // Auto: the smallest shard count whose packing fits. Each population
+        // fits one chip, so k == n always succeeds.
+        std::size_t k = std::max<std::size_t>(
+            1, (total + limits.num_cores - 1) / limits.num_cores);
+        for (; k <= n && !packed; ++k)
+            packed = pack(pops, affinity, limits.num_cores, k,
+                          /*balance=*/false, shard_of, cores_per_shard);
+    } else {
+        // Explicit: spread over the requested count (soft-balanced); if the
+        // balanced heuristic strands a population, retry with every shard
+        // allowed to fill to the hard budget before giving up.
+        packed = (pack(pops, affinity, limits.num_cores, num_shards,
+                       /*balance=*/true, shard_of, cores_per_shard) &&
+                  cores_per_shard.size() == num_shards) ||
+                 (pack(pops, affinity, limits.num_cores, num_shards,
+                       /*balance=*/false, shard_of, cores_per_shard) &&
+                  cores_per_shard.size() == num_shards);
+        if (!packed)
+            throw std::invalid_argument(
+                "plan_shards: network (" + std::to_string(n) +
+                " populations, " + std::to_string(total) +
+                " cores) does not spread across exactly " +
+                std::to_string(num_shards) + " chips of " +
+                std::to_string(limits.num_cores) +
+                " cores (populations are atomic)");
+    }
+    if (!packed)
+        throw std::invalid_argument("plan_shards: packing failed");  // unreachable
+
+    plan.shard_of = std::move(shard_of);
+    plan.cores_per_shard = std::move(cores_per_shard);
+    plan.num_shards = plan.cores_per_shard.size();
+    for (const auto& e : edges)
+        if (e.a != e.b && plan.shard_of[e.a] != plan.shard_of[e.b])
+            plan.cut_synapses += e.synapses;
+    return plan;
+}
+
+}  // namespace neuro::loihi

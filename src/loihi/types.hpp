@@ -6,7 +6,10 @@
 // constraints the learning algorithm has to live with — integer state,
 // 8-bit weights, 12-bit decays, saturating 7-bit traces, the sum-of-products
 // learning engine, per-core capacity limits and barrier-synchronised
-// timesteps. We do not model the asynchronous mesh or multi-chip systems.
+// timesteps. Multi-chip systems are modeled at the barrier level: networks
+// larger than one chip's core budget shard across several Chip instances
+// with boundary spikes exchanged between timestep barriers (loihi/shard.hpp
+// + loihi/router.hpp); the asynchronous mesh itself is not simulated.
 
 #include <cstddef>
 #include <cstdint>

@@ -1,6 +1,9 @@
 #include "runtime/loihi_backend.hpp"
 
+#include <stdexcept>
+
 #include "core/network.hpp"
+#include "runtime/sharded_backend.hpp"
 
 namespace neuro::runtime {
 
@@ -77,11 +80,32 @@ private:
     core::EmstdpNetwork proto_;
 };
 
+std::shared_ptr<const CompiledModel> make_single_chip_model(
+    ModelSpec spec, core::EmstdpNetwork proto) {
+    return std::make_shared<LoihiCompiledModel>(std::move(spec),
+                                                std::move(proto));
+}
+
 std::shared_ptr<const CompiledModel> LoihiSimBackend::compile(
     const ModelSpec& spec) const {
     spec.validate();
+    // An explicit shard request belongs to the sharded backend wholesale.
+    if (spec.shards > 1)
+        return backend_for(BackendKind::ShardedLoihiSim).compile(spec);
     core::EmstdpNetwork proto(spec.options, spec.in_c, spec.in_h, spec.in_w,
                               spec.conv.get(), spec.hidden, spec.classes);
+    // Transparent spill: a model whose mapping exceeds one chip's core
+    // budget compiles to a shard plan instead — same Session API, several
+    // chips underneath — provided every population fits a chip (otherwise
+    // keep the historical permissive single-chip simulation). An explicit
+    // shards == 1 opts out: it pins the single-chip path even over budget.
+    if (spec.shards == 0 && !proto.chip().mapping().feasible) {
+        try {
+            return make_sharded_model(spec, proto, /*num_shards=*/0);
+        } catch (const std::invalid_argument&) {
+            // e.g. one population alone exceeds the chip: not shardable.
+        }
+    }
     return std::make_shared<LoihiCompiledModel>(spec, std::move(proto));
 }
 

@@ -32,4 +32,10 @@ public:
 /// compiled chip but is not re-described in the spec.
 std::shared_ptr<const CompiledModel> adopt(const core::EmstdpNetwork& net);
 
+/// Wraps a prototype network as a single-chip compiled model without the
+/// spill check (the degenerate target of ShardedLoihiBackend and the tail
+/// of LoihiSimBackend::compile).
+std::shared_ptr<const CompiledModel> make_single_chip_model(
+    ModelSpec spec, core::EmstdpNetwork proto);
+
 }  // namespace neuro::runtime

@@ -8,6 +8,7 @@ const char* to_string(BackendKind kind) {
     switch (kind) {
         case BackendKind::LoihiSim: return "loihi-sim";
         case BackendKind::Reference: return "reference";
+        case BackendKind::ShardedLoihiSim: return "sharded-loihi-sim";
     }
     return "?";
 }
@@ -36,6 +37,11 @@ ModelSpec& ModelSpec::with_options(const core::EmstdpOptions& opt) {
 
 ModelSpec& ModelSpec::with_conv(const snn::ConvertedStack& stack) {
     conv = std::make_shared<const snn::ConvertedStack>(stack);
+    return *this;
+}
+
+ModelSpec& ModelSpec::with_shards(std::size_t n) {
+    shards = n;
     return *this;
 }
 

@@ -27,6 +27,11 @@ namespace neuro::runtime {
 enum class BackendKind {
     LoihiSim,   ///< bit-faithful chip simulator (loihi::Chip, integer datapath)
     Reference,  ///< full-precision float EMSTDP (reference::RefEmstdp)
+    /// Multi-chip sharded simulator: the model partitions across several
+    /// Chip instances with inter-chip spike routing (loihi/router.hpp).
+    /// Compiling a spec that fits one chip degenerates to the LoihiSim
+    /// path; LoihiSim compiles of over-budget models spill here.
+    ShardedLoihiSim,
 };
 
 const char* to_string(BackendKind kind);
@@ -43,6 +48,13 @@ struct ModelSpec {
     core::EmstdpOptions options{};
     /// Optional pretrained frozen conv stack (owned; captured by with_conv).
     std::shared_ptr<const snn::ConvertedStack> conv;
+    /// Chip-simulator shard count: 0 plans automatically (1 chip when the
+    /// model fits, the minimum that fits otherwise); >= 2 forces exactly
+    /// that many shards (an error when the network cannot spread that far);
+    /// 1 pins the single-chip path — on LoihiSim even for over-budget
+    /// models (the historical permissive simulation). Ignored by the
+    /// Reference backend.
+    std::size_t shards = 0;
 
     // ---- builder-style setters (each returns *this for chaining) -----------
     ModelSpec& input(std::size_t c, std::size_t h, std::size_t w);
@@ -51,6 +63,8 @@ struct ModelSpec {
     ModelSpec& with_options(const core::EmstdpOptions& opt);
     /// Copies the stack; the spec (and every model compiled from it) owns it.
     ModelSpec& with_conv(const snn::ConvertedStack& stack);
+    /// Requests multi-chip sharded execution (see BackendKind::ShardedLoihiSim).
+    ModelSpec& with_shards(std::size_t n);
 
     std::size_t input_size() const { return in_c * in_h * in_w; }
     /// Size of the population feeding the first plastic layer.

@@ -24,6 +24,7 @@ struct ActivityTotals;
 }
 namespace neuro::core {
 class EmstdpNetwork;
+class ShardedEmstdpNetwork;
 }
 
 namespace neuro::runtime {
@@ -73,6 +74,12 @@ public:
     /// Escape hatch to the underlying simulated network for probing tools
     /// that predate the runtime API; null on non-chip backends.
     virtual core::EmstdpNetwork* native_network() { return nullptr; }
+    /// Escape hatch to the multi-chip network of a sharded session; null
+    /// everywhere else (a 1-shard compile degenerates to the single-chip
+    /// path and exposes native_network instead).
+    virtual core::ShardedEmstdpNetwork* native_sharded_network() {
+        return nullptr;
+    }
 
 protected:
     Session() = default;

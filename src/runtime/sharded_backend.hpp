@@ -1,0 +1,37 @@
+#pragma once
+// ShardedLoihiBackend: multi-chip sharded execution behind the unchanged
+// Session API. compile() builds the usual single-chip prototype, plans a
+// shard partition (loihi::plan_shards), and — when more than one chip is
+// needed or requested — compiles to a core::ShardedEmstdpNetwork whose
+// sessions step N chips in lockstep with inter-chip spike routing. A spec
+// that plans to a single shard degenerates to today's single-chip path
+// (the returned sessions are ordinary LoihiSim sessions, bit-identical to
+// BackendKind::LoihiSim), wrapped so the model still reports this backend.
+
+#include <memory>
+
+#include "runtime/backend.hpp"
+
+namespace neuro::core {
+class EmstdpNetwork;
+}
+
+namespace neuro::runtime {
+
+class ShardedLoihiBackend final : public Backend {
+public:
+    BackendKind kind() const override { return BackendKind::ShardedLoihiSim; }
+    const char* name() const override { return "sharded-loihi-sim"; }
+    std::shared_ptr<const CompiledModel> compile(
+        const ModelSpec& spec) const override;
+};
+
+/// Compiles `proto` to a sharded model with `num_shards` chips (0 = auto).
+/// Throws std::invalid_argument when the network cannot shard (a single
+/// population exceeding one chip's core budget, or an unpackable explicit
+/// count). Used by LoihiSimBackend's transparent spill path.
+std::shared_ptr<const CompiledModel> make_sharded_model(
+    const ModelSpec& spec, const core::EmstdpNetwork& proto,
+    std::size_t num_shards);
+
+}  // namespace neuro::runtime

@@ -1,0 +1,92 @@
+// Unit tests for the header-only bench helpers (bench/bench_util.hpp),
+// primarily JsonWriter: emitted files must be valid JSON whatever the cell
+// contents — quotes, backslashes, control characters — and numeric cells
+// must pass through as JSON numbers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "bench/bench_util.hpp"
+
+using neuro::bench::JsonWriter;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+struct TempDir {
+    std::string path = "bench_util_test_out";
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+}  // namespace
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlCharacters) {
+    TempDir tmp;
+    JsonWriter json(tmp.path, "escapes", {"name \"quoted\"", "value"});
+    json.add_row({std::string("back\\slash \"q\" tab\t newline\n bell\x07"),
+                  "plain"});
+    const auto path = json.write();
+
+    const std::string text = slurp(path);
+    EXPECT_EQ(text,
+              "[\n"
+              "  {\"name \\\"quoted\\\"\": "
+              "\"back\\\\slash \\\"q\\\" tab\\t newline\\n bell\\u0007\", "
+              "\"value\": \"plain\"}\n"
+              "]\n");
+}
+
+TEST(JsonWriter, NumericCellsPassThroughAsJsonNumbers) {
+    TempDir tmp;
+    JsonWriter json(tmp.path, "numbers", {"a", "b", "c", "d"});
+    json.add_row({"42", "-3.5", "1e-9", "0"});
+    const std::string text = slurp(json.write());
+    EXPECT_EQ(text,
+              "[\n"
+              "  {\"a\": 42, \"b\": -3.5, \"c\": 1e-9, \"d\": 0}\n"
+              "]\n");
+}
+
+TEST(JsonWriter, NumberLookalikesAreQuotedStrings) {
+    TempDir tmp;
+    // Not valid JSON numbers: leading zeros, bare dot/sign, hex, inf/nan,
+    // trailing garbage — all must emit as strings, never as raw tokens.
+    JsonWriter json(tmp.path, "lookalikes", {"k"});
+    for (const char* cell :
+         {"007", ".5", "+1", "-", "0x1F", "inf", "nan", "1.", "1e", "3 "})
+        json.add_row({cell});
+    const std::string text = slurp(json.write());
+    for (const char* cell : {"\"007\"", "\".5\"", "\"+1\"", "\"-\"", "\"0x1F\"",
+                             "\"inf\"", "\"nan\"", "\"1.\"", "\"1e\"", "\"3 \""})
+        EXPECT_NE(text.find(cell), std::string::npos) << cell;
+}
+
+TEST(JsonWriter, RowWidthMismatchThrows) {
+    JsonWriter json("unused", "x", {"a", "b"});
+    EXPECT_THROW(json.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(JsonWriter, MultipleRowsFormAnArray) {
+    TempDir tmp;
+    JsonWriter json(tmp.path, "rows", {"config", "rate"});
+    json.add_row({"serial", "10.5"});
+    json.add_row({"parallel", "21.0"});
+    const std::string text = slurp(json.write());
+    EXPECT_EQ(text,
+              "[\n"
+              "  {\"config\": \"serial\", \"rate\": 10.5},\n"
+              "  {\"config\": \"parallel\", \"rate\": 21.0}\n"
+              "]\n");
+}

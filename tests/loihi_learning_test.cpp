@@ -138,8 +138,12 @@ TEST(EmstdpRule, EquivalentToEq7) {
                 // Sign must follow (h_hat - h) whenever the magnitude is
                 // above quantization.
                 if (h_pre > 0 && std::abs(h_hat - h) * h_pre >= 32) {
-                    if (h_hat > h) EXPECT_GT(dw, 0);
-                    if (h_hat < h) EXPECT_LT(dw, 0);
+                    if (h_hat > h) {
+                        EXPECT_GT(dw, 0);
+                    }
+                    if (h_hat < h) {
+                        EXPECT_LT(dw, 0);
+                    }
                 }
             }
         }

@@ -1,0 +1,162 @@
+// Shard-partitioner unit tests (loihi/shard.hpp): core-budget packing,
+// cut minimization, degenerate single-shard plans, clean errors for
+// unshardable inputs, and plan determinism.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "loihi/shard.hpp"
+
+using namespace neuro;
+using loihi::ChipLimits;
+using loihi::plan_shards;
+using loihi::PopulationAffinity;
+using loihi::PopulationDemand;
+using loihi::ShardPlan;
+
+namespace {
+
+ChipLimits limits_with_cores(std::size_t cores) {
+    ChipLimits l;
+    l.num_cores = cores;
+    return l;
+}
+
+/// A layered-network shape: forward chain with heavy adjacent coupling and
+/// a light error side-channel, like the EMSTDP build.
+std::vector<PopulationDemand> layered_pops() {
+    return {{"input", 2},  {"dense1", 40}, {"dense2", 40},
+            {"output", 2}, {"label", 1},   {"oe+", 1},
+            {"oe-", 1}};
+}
+
+std::vector<PopulationAffinity> layered_edges() {
+    return {{0, 1, 25600}, {1, 2, 10000}, {2, 3, 1000}, {4, 5, 10},
+            {3, 5, 10},    {4, 6, 10},    {3, 6, 10},   {5, 3, 10},
+            {6, 3, 10}};
+}
+
+void expect_valid_partition(const ShardPlan& plan,
+                            const std::vector<PopulationDemand>& pops,
+                            std::size_t core_budget) {
+    ASSERT_EQ(plan.shard_of.size(), pops.size());
+    ASSERT_EQ(plan.cores_per_shard.size(), plan.num_shards);
+    std::vector<std::size_t> cores(plan.num_shards, 0);
+    for (std::size_t p = 0; p < pops.size(); ++p) {
+        ASSERT_LT(plan.shard_of[p], plan.num_shards);
+        cores[plan.shard_of[p]] += pops[p].cores;
+    }
+    for (std::size_t s = 0; s < plan.num_shards; ++s) {
+        EXPECT_EQ(cores[s], plan.cores_per_shard[s]) << "shard " << s;
+        EXPECT_LE(cores[s], core_budget) << "shard " << s;
+        EXPECT_GT(plan.cores_per_shard[s], 0u) << "empty shard " << s;
+    }
+}
+
+}  // namespace
+
+TEST(ShardPlan, SingleShardDegenerate) {
+    const auto plan =
+        plan_shards(layered_pops(), layered_edges(), limits_with_cores(128), 0);
+    EXPECT_EQ(plan.num_shards, 1u);
+    EXPECT_TRUE(plan.single());
+    EXPECT_EQ(plan.cut_synapses, 0u);
+    for (const auto s : plan.shard_of) EXPECT_EQ(s, 0u);
+    EXPECT_EQ(plan.cores_per_shard.at(0), plan.total_cores);
+}
+
+TEST(ShardPlan, AutoUsesMinimumShardsThatFit) {
+    // 87 total cores on 48-core chips: needs at least 2, and the packing
+    // must respect the budget.
+    const auto limits = limits_with_cores(48);
+    const auto plan = plan_shards(layered_pops(), layered_edges(), limits, 0);
+    EXPECT_GE(plan.num_shards, 2u);
+    EXPECT_LE(plan.num_shards, 3u);
+    expect_valid_partition(plan, layered_pops(), limits.num_cores);
+    // The heavy input->dense1 edge (25600 synapses) must not be cut when a
+    // cut of the lighter dense2 boundary suffices.
+    EXPECT_EQ(plan.shard_of[0], plan.shard_of[1]);
+    EXPECT_LT(plan.cut_synapses, 25600u);
+}
+
+TEST(ShardPlan, ExplicitShardCountsSpread) {
+    for (const std::size_t n : {2u, 4u}) {
+        SCOPED_TRACE(n);
+        const auto plan =
+            plan_shards(layered_pops(), layered_edges(), limits_with_cores(128), n);
+        EXPECT_EQ(plan.num_shards, n);
+        expect_valid_partition(plan, layered_pops(), 128);
+    }
+}
+
+TEST(ShardPlan, CutSynapsesMatchesAssignment) {
+    const auto pops = layered_pops();
+    const auto edges = layered_edges();
+    const auto plan = plan_shards(pops, edges, limits_with_cores(128), 3);
+    std::size_t cut = 0;
+    for (const auto& e : edges)
+        if (plan.shard_of[e.a] != plan.shard_of[e.b]) cut += e.synapses;
+    EXPECT_EQ(plan.cut_synapses, cut);
+}
+
+TEST(ShardPlan, PopulationLargerThanOneChipErrorsCleanly) {
+    auto pops = layered_pops();
+    pops[1].cores = 200;  // dense1 alone exceeds the chip
+    EXPECT_THROW(plan_shards(pops, layered_edges(), limits_with_cores(128), 0),
+                 std::invalid_argument);
+    EXPECT_THROW(plan_shards(pops, layered_edges(), limits_with_cores(128), 4),
+                 std::invalid_argument);
+    try {
+        plan_shards(pops, layered_edges(), limits_with_cores(128), 0);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("dense1"), std::string::npos);
+    }
+}
+
+TEST(ShardPlan, UnpackableExplicitCountThrows) {
+    const std::vector<PopulationDemand> pops = {{"a", 100}, {"b", 100}};
+    EXPECT_THROW(plan_shards(pops, {}, limits_with_cores(128), 1),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(plan_shards(pops, {}, limits_with_cores(128), 2));
+}
+
+TEST(ShardPlan, MoreShardsThanPopulationsThrows) {
+    // Populations are atomic, so 3 of them can never spread across 8 chips;
+    // an explicit count that cannot be reached is an error, not a silent
+    // smaller plan.
+    const std::vector<PopulationDemand> pops = {{"a", 1}, {"b", 1}, {"c", 1}};
+    EXPECT_THROW(plan_shards(pops, {}, limits_with_cores(128), 8),
+                 std::invalid_argument);
+    EXPECT_EQ(plan_shards(pops, {}, limits_with_cores(128), 3).num_shards, 3u);
+}
+
+TEST(ShardPlan, BadEdgeIndexThrows) {
+    EXPECT_THROW(
+        plan_shards(layered_pops(), {{0, 99, 5}}, limits_with_cores(128), 0),
+        std::invalid_argument);
+}
+
+TEST(ShardPlan, DeterministicAcrossRuns) {
+    for (const std::size_t n : {0u, 2u, 3u, 4u}) {
+        SCOPED_TRACE(n);
+        const auto a =
+            plan_shards(layered_pops(), layered_edges(), limits_with_cores(64), n);
+        for (int run = 0; run < 5; ++run) {
+            const auto b = plan_shards(layered_pops(), layered_edges(),
+                                       limits_with_cores(64), n);
+            EXPECT_EQ(a.num_shards, b.num_shards);
+            EXPECT_EQ(a.shard_of, b.shard_of);
+            EXPECT_EQ(a.cores_per_shard, b.cores_per_shard);
+            EXPECT_EQ(a.cut_synapses, b.cut_synapses);
+        }
+    }
+}
+
+TEST(ShardPlan, EmptyNetworkTrivialPlan) {
+    const auto plan = plan_shards({}, {}, limits_with_cores(128), 0);
+    EXPECT_EQ(plan.shard_of.size(), 0u);
+    EXPECT_EQ(plan.total_cores, 0u);
+}
