@@ -1,0 +1,279 @@
+// Load test of the async serving engine (neuro::serve) — not a paper
+// figure; this gates the "heavy traffic" scaling axis of the ROADMAP
+// north star and seeds the bench trajectory tracked by the nightly CI.
+//
+// Two load shapes over one CompiledModel:
+//   * closed-loop: C client threads, each submits and waits (think RPC
+//     fan-in) — measures capacity and scale-out across worker counts.
+//   * open-loop: Poisson arrivals (seeded RNG) at an offered rate above
+//     the measured capacity, with the Shed backpressure policy — measures
+//     saturation throughput, tail latency under overload, and shed rate.
+//
+// Writes bench_results/serving_load.{csv,json}; CI compares the JSON's
+// same-run throughput ratios (workers=N vs workers=1) against
+// bench/baselines/serving_load.json via tools/check_bench_regression.py.
+//
+// CLI: --requests=N per config, --workers=MAX (sweeps 1,2,..,MAX),
+//      --batch=B (micro-batch cap), --clients=C, --queue=Q, --delay_us=D,
+//      --seed=S (Poisson stream), --rate_x=F (offered = F * capacity).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "data/dataset.hpp"
+#include "runtime/compiled_model.hpp"
+#include "serve/server.hpp"
+
+using namespace neuro;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct LoadRow {
+    std::string config;
+    std::string mode;
+    std::size_t workers = 0;
+    std::size_t batch = 0;
+    std::size_t requests = 0;
+    double offered_rps = 0.0;  // 0 for closed-loop
+    double throughput_rps = 0.0;
+    serve::ServerStats stats;
+};
+
+serve::ServerOptions make_options(std::size_t workers, std::size_t batch,
+                                  std::size_t queue, std::uint64_t delay_us,
+                                  serve::Backpressure bp) {
+    serve::ServerOptions opt;
+    opt.workers = workers;
+    opt.queue_capacity = queue;
+    opt.batch.max_batch = batch;
+    opt.batch.max_delay_us = delay_us;
+    opt.backpressure = bp;
+    return opt;
+}
+
+/// Closed loop: `clients` threads submit-and-wait round-robin over the
+/// image set until `requests` total responses have been collected.
+LoadRow run_closed(const std::shared_ptr<const runtime::CompiledModel>& model,
+                   const data::Dataset& images, std::size_t workers,
+                   std::size_t batch, std::size_t requests,
+                   std::size_t clients, std::size_t queue,
+                   std::uint64_t delay_us) {
+    serve::Server server(model,
+                         make_options(workers, batch, queue, delay_us,
+                                      serve::Backpressure::Block));
+    server.start();
+    common::ThreadPool pool(clients);
+    const auto t0 = std::chrono::steady_clock::now();
+    pool.run(clients, [&](std::size_t c) {
+        for (std::size_t i = c; i < requests; i += clients)
+            (void)server.submit(images.samples[i % images.size()].image).get();
+    });
+    const double wall = seconds_since(t0);
+    server.shutdown();
+
+    LoadRow row;
+    row.config = "closed, workers=" + std::to_string(workers) +
+                 ", batch=" + std::to_string(batch);
+    row.mode = "closed";
+    row.workers = workers;
+    row.batch = batch;
+    row.requests = requests;
+    row.throughput_rps = static_cast<double>(requests) / wall;
+    row.stats = server.stats();
+    return row;
+}
+
+/// Open loop: one generator thread submits with exponential (Poisson
+/// process) inter-arrival gaps at `offered_rps`, shedding when the queue
+/// is full; every handle is then collected after the drain.
+LoadRow run_open(const std::shared_ptr<const runtime::CompiledModel>& model,
+                 const data::Dataset& images, std::size_t workers,
+                 std::size_t batch, std::size_t requests, double offered_rps,
+                 std::size_t queue, std::uint64_t delay_us,
+                 std::uint64_t seed) {
+    serve::Server server(model,
+                         make_options(workers, batch, queue, delay_us,
+                                      serve::Backpressure::Shed));
+    server.start();
+    common::Rng rng(seed);
+    std::vector<serve::InferenceHandle> handles;
+    handles.reserve(requests);
+    const auto t0 = std::chrono::steady_clock::now();
+    double arrival_s = 0.0;
+    for (std::size_t i = 0; i < requests; ++i) {
+        // Exponential gap: -ln(1-u)/rate — a seeded Poisson process.
+        arrival_s += -std::log(1.0 - rng.uniform()) / offered_rps;
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(arrival_s)));
+        handles.push_back(server.submit(images.samples[i % images.size()].image));
+    }
+    server.shutdown();  // drain everything accepted
+    const double wall = seconds_since(t0);
+    std::size_t ok = 0;
+    for (auto& h : handles)
+        if (h.get().status == serve::Status::Ok) ++ok;
+
+    LoadRow row;
+    row.config = "open, workers=" + std::to_string(workers) +
+                 ", batch=" + std::to_string(batch);
+    row.mode = "open";
+    row.workers = workers;
+    row.batch = batch;
+    row.requests = requests;
+    row.offered_rps = offered_rps;
+    row.throughput_rps = static_cast<double>(ok) / wall;
+    row.stats = server.stats();
+    return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    common::Cli cli(argc, argv);
+    const auto requests = static_cast<std::size_t>(cli.get_int("requests", 256));
+    const auto max_workers = static_cast<std::size_t>(cli.get_int("workers", 4));
+    const auto batch = static_cast<std::size_t>(cli.get_int("batch", 8));
+    const auto clients = static_cast<std::size_t>(
+        cli.get_int("clients", static_cast<std::int64_t>(2 * max_workers)));
+    const auto queue = static_cast<std::size_t>(cli.get_int("queue", 128));
+    const auto delay_us =
+        static_cast<std::uint64_t>(cli.get_int("delay_us", 200));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+    const double rate_x = cli.get_double("rate_x", 1.5);
+    // CI's hard scale-out floor: fail unless the best closed-loop rate at
+    // max workers is at least this multiple of the workers=1 rate. Off by
+    // default — on a 1-core dev container the sweep measures overhead only.
+    const double min_scaleout = cli.get_double("min_scaleout", 0.0);
+
+    bench::banner(
+        "Serving load — async engine, micro-batching, backpressure",
+        "scaling engineering on top of phase-based EMSTDP inference "
+        "(no paper figure)",
+        std::to_string(requests) + " requests/config, worker sweep 1.." +
+            std::to_string(max_workers) + ", micro-batch " +
+            std::to_string(batch) + ", " + std::to_string(clients) +
+            " closed-loop clients, " +
+            std::to_string(std::thread::hardware_concurrency()) +
+            " hardware threads");
+
+    data::GenOptions gen;
+    gen.count = 64;
+    gen.seed = 5;
+    gen.height = 16;
+    gen.width = 16;
+    const auto images = data::make_digits(gen);
+
+    runtime::ModelSpec spec;
+    spec.input(1, 16, 16).hidden_layers({100}).output_classes(10);
+    const auto model =
+        runtime::CompiledModel::compile(spec, runtime::BackendKind::LoihiSim);
+
+    std::vector<LoadRow> rows;
+
+    // ---- closed-loop worker sweep at batch=1, then micro-batched -----------
+    for (std::size_t w = 1; w <= max_workers; w *= 2)
+        rows.push_back(run_closed(model, images, w, 1, requests, clients,
+                                  queue, delay_us));
+    if (max_workers > 1 && (max_workers & (max_workers - 1)) != 0)
+        rows.push_back(run_closed(model, images, max_workers, 1, requests,
+                                  clients, queue, delay_us));
+    if (batch > 1)
+        rows.push_back(run_closed(model, images, max_workers, batch, requests,
+                                  clients, queue, delay_us));
+
+    // ---- open-loop Poisson overload at rate_x times measured capacity ------
+    double capacity = 0.0;
+    for (const auto& r : rows) capacity = std::max(capacity, r.throughput_rps);
+    rows.push_back(run_open(model, images, max_workers, batch, requests,
+                            rate_x * capacity, queue, delay_us, seed));
+
+    // ---- report ------------------------------------------------------------
+    common::Table table({"configuration", "req/s", "vs 1 worker", "p50 us",
+                         "p95 us", "p99 us", "shed"});
+    common::CsvWriter csv(bench::kCsvDir, "serving_load",
+                          {"config", "mode", "workers", "batch", "requests",
+                           "offered_rps", "throughput_rps", "p50_us", "p95_us",
+                           "p99_us", "accepted", "rejected"});
+    bench::JsonWriter json(bench::kCsvDir, "serving_load",
+                           {"config", "mode", "workers", "batch", "requests",
+                            "offered_rps", "throughput_rps", "p50_us",
+                            "p95_us", "p99_us", "accepted", "rejected"});
+    double base_rps = 0.0;
+    for (const auto& r : rows) {
+        if (r.mode == "closed" && r.workers == 1 && r.batch == 1)
+            base_rps = r.throughput_rps;
+        table.add_row({r.config, common::Table::fmt(r.throughput_rps, 1),
+                       base_rps > 0.0
+                           ? common::Table::fmt(r.throughput_rps / base_rps, 2) + "x"
+                           : "-",
+                       common::Table::fmt(r.stats.p50_us, 0),
+                       common::Table::fmt(r.stats.p95_us, 0),
+                       common::Table::fmt(r.stats.p99_us, 0),
+                       std::to_string(r.stats.rejected)});
+        const std::vector<std::string> cells = {
+            r.config,
+            r.mode,
+            std::to_string(r.workers),
+            std::to_string(r.batch),
+            std::to_string(r.requests),
+            std::to_string(r.offered_rps),
+            std::to_string(r.throughput_rps),
+            std::to_string(r.stats.p50_us),
+            std::to_string(r.stats.p95_us),
+            std::to_string(r.stats.p99_us),
+            std::to_string(r.stats.accepted),
+            std::to_string(r.stats.rejected)};
+        csv.add_row(cells);
+        json.add_row(cells);
+        std::printf("%-28s %8.1f req/s   p50 %6.0f us   p99 %6.0f us   "
+                    "shed %llu\n",
+                    r.config.c_str(), r.throughput_rps, r.stats.p50_us,
+                    r.stats.p99_us,
+                    static_cast<unsigned long long>(r.stats.rejected));
+        std::fflush(stdout);
+    }
+
+    std::printf("\n");
+    table.print();
+    double best = 0.0;
+    for (const auto& r : rows)
+        if (r.mode == "closed" && r.workers == max_workers)
+            best = std::max(best, r.throughput_rps);
+    const double scaleout = base_rps > 0.0 ? best / base_rps : 0.0;
+    if (base_rps > 0.0 && max_workers > 1)
+        std::printf("\nscale-out: workers=%zu serves %.2fx the requests/sec "
+                    "of workers=1\n",
+                    max_workers, scaleout);
+    std::printf("CSV: %s\nJSON: %s\n", csv.write().c_str(),
+                json.write().c_str());
+    bench::footnote(
+        "closed-loop rows measure capacity (every client waits for its "
+        "response); the open-loop row offers a seeded Poisson stream at "
+        "rate_x times the best closed-loop rate with the Shed policy, so "
+        "its rejected column is the backpressure doing its job. Speedup "
+        "saturates at the physical core count.");
+    if (min_scaleout > 0.0 && scaleout < min_scaleout) {
+        std::fprintf(stderr,
+                     "FAIL: scale-out %.2fx is below the required %.2fx "
+                     "(workers=%zu vs workers=1)\n",
+                     scaleout, min_scaleout, max_workers);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,142 @@
+#pragma once
+// A bounded MPMC blocking queue — the hand-off primitive between request
+// producers and the serving workers (src/serve). Sits next to ThreadPool as
+// the second concurrency primitive in common/: where ThreadPool is a strict
+// fork/join for data-parallel batches, BoundedQueue is a flow-controlled
+// stream for open-ended request traffic.
+//
+// Design notes:
+//   * Fixed-capacity ring over a pre-sized std::vector<T> — no allocation
+//     after construction, slots are reused by move-assignment (T must be
+//     default-constructible and movable). The layout is deliberately
+//     lock-free-friendly (head/count indices over a power-of-two-free ring),
+//     but the implementation uses one mutex + two condvars: every consumer
+//     needs timed blocking waits for micro-batch coalescing, which a CAS
+//     loop cannot provide without a parked-thread list anyway.
+//   * Backpressure is the point: push() blocks when full (credit-based
+//     flow control), try_push() refuses when full (load shedding). The
+//     caller picks the policy per call, not per queue.
+//   * close() is the shutdown protocol: producers are refused from then on,
+//     consumers drain what was accepted and then see pop() == false. Items
+//     already accepted are never dropped by the queue itself.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace neuro::common {
+
+template <typename T>
+class BoundedQueue {
+public:
+    enum class Push { Ok, Full, Closed };
+
+    explicit BoundedQueue(std::size_t capacity)
+        : slots_(capacity == 0 ? throw std::invalid_argument(
+                                     "BoundedQueue: zero capacity")
+                               : capacity) {}
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lock(m_);
+        return count_;
+    }
+
+    bool closed() const {
+        std::lock_guard<std::mutex> lock(m_);
+        return closed_;
+    }
+
+    /// Blocks while the queue is full; returns false iff the queue is (or
+    /// becomes) closed. Like try_push, the value is moved out of `v` only
+    /// on success, so a refused caller can still complete/reuse it.
+    bool push(T& v) {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_space_.wait(lock, [&] { return closed_ || count_ < slots_.size(); });
+        if (closed_) return false;
+        place(std::move(v));
+        lock.unlock();
+        cv_items_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking push. On Full/Closed the value stays in `v` so a
+    /// shedding caller can complete it with a rejection.
+    Push try_push(T& v) {
+        std::unique_lock<std::mutex> lock(m_);
+        if (closed_) return Push::Closed;
+        if (count_ == slots_.size()) return Push::Full;
+        place(std::move(v));
+        lock.unlock();
+        cv_items_.notify_one();
+        return Push::Ok;
+    }
+
+    /// Blocks while the queue is empty; returns false only when the queue
+    /// is closed AND fully drained (accepted items are always delivered).
+    bool pop(T& out) {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_items_.wait(lock, [&] { return closed_ || count_ > 0; });
+        if (count_ == 0) return false;  // closed and drained
+        take(out);
+        lock.unlock();
+        cv_space_.notify_one();
+        return true;
+    }
+
+    /// pop() with a deadline: returns false on timeout as well as on
+    /// closed-and-drained. The micro-batch coalescing wait in
+    /// serve::collect_batch is the intended caller.
+    bool pop_until(T& out, std::chrono::steady_clock::time_point deadline) {
+        std::unique_lock<std::mutex> lock(m_);
+        if (!cv_items_.wait_until(lock, deadline,
+                                  [&] { return closed_ || count_ > 0; }))
+            return false;  // timeout
+        if (count_ == 0) return false;  // closed and drained
+        take(out);
+        lock.unlock();
+        cv_space_.notify_one();
+        return true;
+    }
+
+    /// Refuses all future pushes and wakes every blocked producer and
+    /// consumer. Idempotent. Items already accepted remain poppable.
+    void close() {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            closed_ = true;
+        }
+        cv_items_.notify_all();
+        cv_space_.notify_all();
+    }
+
+private:
+    void place(T&& v) {
+        slots_[(head_ + count_) % slots_.size()] = std::move(v);
+        ++count_;
+    }
+
+    void take(T& out) {
+        out = std::move(slots_[head_]);
+        head_ = (head_ + 1) % slots_.size();
+        --count_;
+    }
+
+    mutable std::mutex m_;
+    std::condition_variable cv_items_;  // signaled on push/close
+    std::condition_variable cv_space_;  // signaled on pop/close
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace neuro::common

@@ -7,6 +7,7 @@
 // no synchronization is needed around it.
 
 #include <memory>
+#include <vector>
 
 #include "runtime/model_spec.hpp"
 #include "runtime/session.hpp"
@@ -33,6 +34,16 @@ public:
     /// starts from this model's (frozen) initial weights and RNG state, so
     /// two sessions opened at any time behave identically.
     virtual std::unique_ptr<Session> open_session() const = 0;
+
+    /// Session-pool hook: opens `n` independent sessions in one call — the
+    /// worker-pool pattern (serve::Server, ParallelTrainer) without N open
+    /// loops at every call site. Sessions are mutually independent.
+    std::vector<std::unique_ptr<Session>> open_sessions(std::size_t n) const {
+        std::vector<std::unique_ptr<Session>> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) out.push_back(open_session());
+        return out;
+    }
 
     /// A new model identical to this one but starting from `snap` — the
     /// deploy path: train somewhere, snapshot, compile-with-weights, then

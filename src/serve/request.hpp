@@ -1,0 +1,81 @@
+#pragma once
+// The request/response vocabulary of neuro::serve. A client submits an
+// image and gets back an InferenceHandle — a one-shot future that resolves
+// to an InferenceResult once a worker session has run the phase-1 inference
+// (or immediately, when the request is shed or the server is down).
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/tensor.hpp"
+
+namespace neuro::serve {
+
+enum class Status {
+    Ok,        ///< inference ran; label (and counts, if requested) are valid
+    Rejected,  ///< shed by backpressure policy or submitted after shutdown
+    Error,     ///< the backend threw (e.g. image size mismatch); see `error`
+};
+
+const char* to_string(Status s);
+
+struct InferenceResult {
+    Status status = Status::Rejected;
+    /// argmax prediction. For count requests ties break on the raw counts
+    /// (first maximum) rather than the backend's membrane tie-break.
+    std::size_t label = 0;
+    /// Phase-1 output spike counts; filled only for Server::submit_counts.
+    std::vector<std::int32_t> counts;
+    /// Accept-to-completion latency (queueing + batching + inference).
+    double latency_us = 0.0;
+    /// Size of the micro-batch this request was dispatched in (>= 1).
+    std::size_t batch_size = 0;
+    /// Exception text when status == Error.
+    std::string error;
+};
+
+/// One-shot handle to an in-flight request. Move-only, like the future it
+/// wraps; get() blocks until a worker (or the shed path) completes it.
+class InferenceHandle {
+public:
+    InferenceHandle() = default;
+    explicit InferenceHandle(std::future<InferenceResult> f)
+        : future_(std::move(f)) {}
+
+    /// A handle that is already complete — the shed/shutdown fast path.
+    static InferenceHandle immediate(InferenceResult r) {
+        std::promise<InferenceResult> p;
+        p.set_value(std::move(r));
+        return InferenceHandle(p.get_future());
+    }
+
+    bool valid() const { return future_.valid(); }
+    /// True once the result can be get() without blocking.
+    bool ready() const {
+        return future_.valid() &&
+               future_.wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready;
+    }
+    void wait() const { future_.wait(); }
+    InferenceResult get() { return future_.get(); }
+
+private:
+    std::future<InferenceResult> future_;
+};
+
+/// The internal wire format between Server::submit and the worker loops —
+/// what actually travels through the BoundedQueue. Public because the
+/// scheduler (collect_batch) and tests operate on queues of these.
+struct Request {
+    enum class Kind { Predict, Counts };
+    Kind kind = Kind::Predict;
+    common::Tensor image;
+    std::chrono::steady_clock::time_point accepted_at{};
+    std::promise<InferenceResult> promise;
+};
+
+}  // namespace neuro::serve

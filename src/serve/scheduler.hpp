@@ -1,0 +1,51 @@
+#pragma once
+// Micro-batching scheduler for neuro::serve. Each worker repeatedly calls
+// collect_batch(): block for the first request, then coalesce more until
+// the batch is full or max_delay_us has elapsed since the first arrival —
+// whichever hits first. Coalescing trades a bounded latency increase (at
+// most max_delay_us of extra queueing for the first request in a batch)
+// for fewer wake-ups per request and batch-sized dispatch units, which is
+// what a phase-aligned neuromorphic backend wants: EMSTDP inference runs
+// in fixed-length phases, so requests dispatched together pipeline through
+// one session without re-arming the worker in between.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+
+namespace neuro::serve {
+
+struct BatchPolicy {
+    /// Upper bound on requests per dispatch; 1 disables coalescing.
+    std::size_t max_batch = 8;
+    /// How long a batch may wait for company after its first request.
+    std::uint64_t max_delay_us = 200;
+};
+
+/// Collects one micro-batch from `q` into `out` (cleared first). Blocks
+/// until at least one item is available; returns false only when the queue
+/// is closed and drained — the worker's signal to exit. A timeout or a
+/// close mid-coalesce simply dispatches the partial batch.
+template <typename T>
+bool collect_batch(common::BoundedQueue<T>& q, const BatchPolicy& policy,
+                   std::vector<T>& out) {
+    out.clear();
+    T first;
+    if (!q.pop(first)) return false;
+    out.push_back(std::move(first));
+    if (policy.max_batch <= 1) return true;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(policy.max_delay_us);
+    while (out.size() < policy.max_batch) {
+        T next;
+        if (!q.pop_until(next, deadline)) break;
+        out.push_back(std::move(next));
+    }
+    return true;
+}
+
+}  // namespace neuro::serve

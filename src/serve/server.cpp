@@ -1,0 +1,155 @@
+#include "serve/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace neuro::serve {
+
+namespace {
+
+InferenceResult rejected_result() {
+    InferenceResult r;
+    r.status = Status::Rejected;
+    return r;
+}
+
+double micros_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+const char* to_string(Status s) {
+    switch (s) {
+        case Status::Ok: return "ok";
+        case Status::Rejected: return "rejected";
+        case Status::Error: return "error";
+    }
+    return "?";
+}
+
+Server::Server(std::shared_ptr<const runtime::CompiledModel> model,
+               ServerOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      queue_(options.queue_capacity) {
+    if (!model_) throw std::invalid_argument("Server: null model");
+    if (options_.workers == 0)
+        throw std::invalid_argument("Server: zero workers");
+    if (options_.batch.max_batch == 0)
+        throw std::invalid_argument("Server: zero max_batch");
+    sessions_ = model_->open_sessions(options_.workers);
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+    std::lock_guard<std::mutex> lock(lifecycle_m_);
+    start_locked();
+}
+
+void Server::start_locked() {
+    if (started_.load()) return;  // lifecycle_m_ is held: no concurrent start
+    // start_time_ is written before started_ flips so the unsynchronized
+    // read in elapsed_seconds() (gated on started_) sees a complete value.
+    start_time_ = std::chrono::steady_clock::now();
+    workers_.reserve(options_.workers);
+    for (std::size_t w = 0; w < options_.workers; ++w)
+        workers_.emplace_back([this, w] { worker_loop(w); });
+    started_.store(true);
+}
+
+void Server::shutdown() {
+    std::lock_guard<std::mutex> lock(lifecycle_m_);
+    // Start-before-drain so requests queued against a never-started server
+    // still run to completion (the accepted-implies-completed guarantee).
+    start_locked();
+    closing_.store(true);
+    queue_.close();
+    if (joined_.exchange(true)) return;
+    for (auto& w : workers_)
+        if (w.joinable()) w.join();
+    frozen_elapsed_s_.store(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time_)
+            .count());
+}
+
+InferenceHandle Server::enqueue(Request::Kind kind,
+                                const common::Tensor& image) {
+    if (closing_.load()) {
+        metrics_.on_reject();
+        return InferenceHandle::immediate(rejected_result());
+    }
+    Request req;
+    req.kind = kind;
+    req.image = image;
+    req.accepted_at = std::chrono::steady_clock::now();
+    auto future = req.promise.get_future();
+
+    bool accepted = false;
+    if (options_.backpressure == Backpressure::Block) {
+        accepted = queue_.push(req);  // false only if closed while waiting
+    } else {
+        accepted =
+            queue_.try_push(req) == common::BoundedQueue<Request>::Push::Ok;
+    }
+    if (!accepted) {
+        metrics_.on_reject();
+        req.promise.set_value(rejected_result());
+    } else {
+        metrics_.on_accept(queue_.size());
+    }
+    return InferenceHandle(std::move(future));
+}
+
+void Server::worker_loop(std::size_t worker_index) {
+    runtime::Session& session = *sessions_[worker_index];
+    std::vector<Request> batch;
+    std::vector<double> ok_latencies_us;
+    while (collect_batch(queue_, options_.batch, batch)) {
+        ok_latencies_us.clear();
+        std::size_t error_count = 0;
+        for (Request& r : batch) {
+            InferenceResult res;
+            res.batch_size = batch.size();
+            try {
+                if (r.kind == Request::Kind::Predict) {
+                    res.label = session.predict(r.image);
+                } else {
+                    res.counts = session.output_counts(r.image);
+                    std::size_t best = 0;
+                    for (std::size_t j = 1; j < res.counts.size(); ++j)
+                        if (res.counts[j] > res.counts[best]) best = j;
+                    res.label = best;
+                }
+                res.status = Status::Ok;
+            } catch (const std::exception& e) {
+                res.status = Status::Error;
+                res.error = e.what();
+            }
+            res.latency_us = micros_since(r.accepted_at);
+            if (res.status == Status::Ok)
+                ok_latencies_us.push_back(res.latency_us);
+            else
+                ++error_count;
+            r.promise.set_value(std::move(res));
+        }
+        metrics_.on_batch(batch.size(), ok_latencies_us, error_count);
+    }
+}
+
+double Server::elapsed_seconds() const {
+    const double frozen = frozen_elapsed_s_.load();
+    if (frozen >= 0.0) return frozen;
+    if (!started_.load()) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_time_)
+        .count();
+}
+
+ServerStats Server::stats() const { return metrics_.snapshot(elapsed_seconds()); }
+
+}  // namespace neuro::serve

@@ -1,0 +1,110 @@
+#pragma once
+// neuro::serve::Server — the async serving engine over the runtime API.
+//
+//   submit() ──► BoundedQueue ──► collect_batch() ──► worker Session ──► future
+//                 (backpressure)    (micro-batching)    (one per worker)
+//
+// One Server owns one immutable CompiledModel and a pool of worker
+// Sessions (one per worker thread — Sessions are not thread-safe, models
+// are; see docs/ARCHITECTURE.md §5). Producers on any number of threads
+// submit images; workers coalesce requests into micro-batches (up to
+// max_batch or max_delay_us, whichever first) and resolve each request's
+// future. Every ACCEPTED request is guaranteed to complete: shutdown()
+// closes the intake, drains the queue, and joins the workers.
+//
+// Backpressure (ServerOptions::backpressure):
+//   * Block — submit() blocks until queue space frees (closed-loop
+//     clients; no request is ever dropped).
+//   * Shed  — submit() returns an already-completed Rejected handle when
+//     the queue is full (open-loop traffic; bounded memory and latency).
+//
+// Determinism: workers run each request individually on an isolated
+// Session, so results are bit-identical to sequential Session calls no
+// matter the batch size, worker count, or arrival order (tests/serve_test).
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "common/tensor.hpp"
+#include "runtime/compiled_model.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/stats.hpp"
+
+namespace neuro::serve {
+
+enum class Backpressure { Block, Shed };
+
+struct ServerOptions {
+    std::size_t workers = 2;         ///< worker threads == backend sessions
+    std::size_t queue_capacity = 64; ///< bounded intake; the backpressure knob
+    BatchPolicy batch;               ///< micro-batch coalescing policy
+    Backpressure backpressure = Backpressure::Block;
+};
+
+class Server {
+public:
+    /// Validates options and opens one Session per worker. Workers do not
+    /// run until start(); submissions before start() queue up (or shed once
+    /// the queue fills), which makes backpressure tests deterministic.
+    Server(std::shared_ptr<const runtime::CompiledModel> model,
+           ServerOptions options = {});
+    /// Drains and joins (shutdown()).
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Spawns the worker threads. Idempotent; harmless after shutdown().
+    void start();
+
+    /// Async argmax inference. The handle resolves with status Ok and the
+    /// predicted label (bit-identical to Session::predict on this model).
+    InferenceHandle submit(const common::Tensor& image) {
+        return enqueue(Request::Kind::Predict, image);
+    }
+
+    /// Async phase-1 spike counts (bit-identical to Session::output_counts).
+    InferenceHandle submit_counts(const common::Tensor& image) {
+        return enqueue(Request::Kind::Counts, image);
+    }
+
+    /// Graceful shutdown: refuses new submissions, completes every accepted
+    /// request, then joins the workers. Idempotent. If the server was never
+    /// start()ed, it is started first so queued requests still drain.
+    void shutdown();
+
+    bool running() const { return started_.load() && !joined_.load(); }
+    const ServerOptions& options() const { return options_; }
+
+    /// Point-in-time counters + latency percentiles. elapsed/throughput are
+    /// measured from start() (frozen at shutdown()).
+    ServerStats stats() const;
+
+private:
+    InferenceHandle enqueue(Request::Kind kind, const common::Tensor& image);
+    void start_locked();
+    void worker_loop(std::size_t worker_index);
+    double elapsed_seconds() const;
+
+    std::mutex lifecycle_m_;  // serializes start()/shutdown()
+    std::shared_ptr<const runtime::CompiledModel> model_;
+    ServerOptions options_;
+    common::BoundedQueue<Request> queue_;
+    std::vector<std::unique_ptr<runtime::Session>> sessions_;
+    std::vector<std::thread> workers_;
+    ServerMetrics metrics_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> closing_{false};
+    std::atomic<bool> joined_{false};
+    std::chrono::steady_clock::time_point start_time_{};
+    std::atomic<double> frozen_elapsed_s_{-1.0};
+};
+
+}  // namespace neuro::serve

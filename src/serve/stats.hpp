@@ -1,0 +1,89 @@
+#pragma once
+// Serving observability: a log-bucketed latency histogram plus the
+// thread-safe metrics sink workers record into. Server::stats() snapshots
+// the sink into a plain ServerStats struct that benches export through
+// bench_util::JsonWriter (see bench/serving_load.cpp for the schema).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace neuro::serve {
+
+/// Fixed-footprint latency histogram: 64 octaves x 16 sub-buckets per
+/// octave (~6% relative resolution), plus a sub-microsecond bucket. No
+/// allocation on record(), so workers can log every request.
+class LatencyHistogram {
+public:
+    static constexpr std::size_t kOctaves = 64;
+    static constexpr std::size_t kSubBuckets = 16;
+
+    void record(double us);
+
+    std::uint64_t count() const { return count_; }
+    double max_us() const { return max_; }
+    double mean_us() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+    /// Value at quantile q in [0, 1] — the upper edge of the bucket holding
+    /// the rank-ceil(q*count) sample, so the estimate errs high by at most
+    /// one sub-bucket (~6%). Returns 0 when empty.
+    double percentile(double q) const;
+
+private:
+    static std::size_t bucket_of(double us);
+    static double upper_edge(std::size_t bucket);
+
+    std::array<std::uint64_t, 1 + kOctaves * kSubBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Point-in-time snapshot of a Server's counters. Plain data — safe to
+/// copy out of the lock and print/serialize at leisure.
+struct ServerStats {
+    std::uint64_t accepted = 0;   ///< entered the queue
+    std::uint64_t rejected = 0;   ///< shed (queue full) or refused (shutdown)
+    std::uint64_t completed = 0;  ///< resolved Ok
+    std::uint64_t errors = 0;     ///< resolved Error (backend threw)
+    std::uint64_t batches = 0;    ///< dispatch units executed
+    double mean_batch = 0.0;
+    std::size_t max_batch = 0;
+    std::size_t peak_queue_depth = 0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double mean_us = 0.0;
+    double max_us = 0.0;
+    double elapsed_s = 0.0;        ///< since Server::start()
+    double throughput_rps = 0.0;   ///< completed / elapsed_s
+};
+
+/// The mutable, mutex-guarded sink behind Server::stats(). One mutex is
+/// plenty: inference dominates each request by orders of magnitude.
+class ServerMetrics {
+public:
+    void on_accept(std::size_t queue_depth_after);
+    void on_reject();
+    /// One dispatched micro-batch: its size plus per-request outcomes.
+    void on_batch(std::size_t batch_size, const std::vector<double>& ok_latencies_us,
+                  std::size_t error_count);
+
+    ServerStats snapshot(double elapsed_s) const;
+
+private:
+    mutable std::mutex m_;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t errors_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t batched_requests_ = 0;
+    std::size_t max_batch_ = 0;
+    std::size_t peak_queue_depth_ = 0;
+    LatencyHistogram latency_;
+};
+
+}  // namespace neuro::serve

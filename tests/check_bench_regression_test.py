@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench_regression.py — the CI bench gate is
+itself gated (registered with ctest as check_bench_regression_py).
+
+Runs the tool as a subprocess against synthetic baseline/result trees in a
+temp dir, covering: pass/fail tolerance edges, same-run ratio
+normalization, the min_baseline signal floor, missing baselines/results/
+metrics/rows, --only filtering, and malformed JSON.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(REPO_ROOT, "tools", "check_bench_regression.py")
+
+
+def run_tool(*args):
+    proc = subprocess.run(
+        [sys.executable, TOOL, *args],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def throughput_rows(serial_dense, others):
+    """throughput_parallel-shaped rows: one normalization row + extras."""
+    rows = [{"config": "serial, dense sweep", "threads": 1,
+             "samples_per_sec": serial_dense}]
+    for config, rate in others.items():
+        rows.append({"config": config, "threads": 2,
+                     "samples_per_sec": rate})
+    return rows
+
+
+class GateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.baselines = os.path.join(self.tmp.name, "baselines")
+        self.results = os.path.join(self.tmp.name, "results")
+        os.makedirs(self.baselines)
+        os.makedirs(self.results)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, where, name, rows):
+        with open(os.path.join(where, name + ".json"), "w",
+                  encoding="utf-8") as f:
+            json.dump(rows, f)
+
+    def run_gate(self, *extra):
+        return run_tool("--baselines", self.baselines,
+                        "--results", self.results, *extra)
+
+    # ---- normalization + tolerance edges ------------------------------------
+
+    def test_ratio_normalization_ignores_absolute_machine_speed(self):
+        # Baseline machine: 100 -> 200 (2x). Current machine 10x slower
+        # overall but with the same ratio: must pass.
+        self.write(self.baselines, "throughput_parallel",
+                   throughput_rows(100.0, {"parallel": 200.0}))
+        self.write(self.results, "throughput_parallel",
+                   throughput_rows(10.0, {"parallel": 20.0}))
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+
+    def test_ratio_regression_fails(self):
+        # Ratio drops 2.0 -> 1.0 (50% > 20% tolerance) even though the raw
+        # current rate is higher than baseline.
+        self.write(self.baselines, "throughput_parallel",
+                   throughput_rows(100.0, {"parallel": 200.0}))
+        self.write(self.results, "throughput_parallel",
+                   throughput_rows(300.0, {"parallel": 300.0}))
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("regressed", out)
+
+    def test_exactly_at_tolerance_floor_passes(self):
+        # floor = 2.0 * (1 - 0.25) = 1.5; current ratio exactly 1.5.
+        self.write(self.baselines, "throughput_parallel",
+                   throughput_rows(100.0, {"parallel": 200.0}))
+        self.write(self.results, "throughput_parallel",
+                   throughput_rows(100.0, {"parallel": 150.0}))
+        code, out = self.run_gate("--tolerance", "0.25")
+        self.assertEqual(code, 0, out)
+
+    def test_just_below_tolerance_floor_fails(self):
+        self.write(self.baselines, "throughput_parallel",
+                   throughput_rows(100.0, {"parallel": 200.0}))
+        self.write(self.results, "throughput_parallel",
+                   throughput_rows(100.0, {"parallel": 149.0}))
+        code, out = self.run_gate("--tolerance", "0.25")
+        self.assertEqual(code, 1, out)
+
+    def test_zero_tolerance_requires_no_drop_at_all(self):
+        self.write(self.baselines, "throughput_parallel",
+                   throughput_rows(100.0, {"parallel": 200.0}))
+        self.write(self.results, "throughput_parallel",
+                   throughput_rows(100.0, {"parallel": 199.9}))
+        code, _ = self.run_gate("--tolerance", "0.0")
+        self.assertEqual(code, 1)
+        self.write(self.results, "throughput_parallel",
+                   throughput_rows(100.0, {"parallel": 200.0}))
+        code, _ = self.run_gate("--tolerance", "0.0")
+        self.assertEqual(code, 0)
+
+    def test_missing_normalization_row_is_an_error(self):
+        self.write(self.baselines, "throughput_parallel",
+                   throughput_rows(100.0, {"parallel": 200.0}))
+        self.write(self.results, "throughput_parallel",
+                   [{"config": "parallel", "samples_per_sec": 200.0}])
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("normalization row", out)
+
+    def test_serving_load_rule_normalizes_by_single_worker(self):
+        base = [
+            {"config": "closed, workers=1, batch=1", "throughput_rps": 100.0},
+            {"config": "closed, workers=4, batch=1", "throughput_rps": 300.0},
+        ]
+        cur_ok = [
+            {"config": "closed, workers=1, batch=1", "throughput_rps": 50.0},
+            {"config": "closed, workers=4, batch=1", "throughput_rps": 150.0},
+        ]
+        self.write(self.baselines, "serving_load", base)
+        self.write(self.results, "serving_load", cur_ok)
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        # Scale-out collapse (3x -> 1x) must fail.
+        cur_bad = [
+            {"config": "closed, workers=1, batch=1", "throughput_rps": 100.0},
+            {"config": "closed, workers=4, batch=1", "throughput_rps": 100.0},
+        ]
+        self.write(self.results, "serving_load", cur_bad)
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+
+    # ---- accuracy rules ------------------------------------------------------
+
+    def test_min_baseline_skips_chance_level_rows(self):
+        self.write(self.baselines, "table1_accuracy",
+                   [{"dataset": "mnist", "fa_chip": 0.10, "dfa_chip": 0.80}])
+        # fa_chip collapses but its baseline (0.10) is under the 0.25
+        # signal floor, so only dfa_chip is gated.
+        self.write(self.results, "table1_accuracy",
+                   [{"dataset": "mnist", "fa_chip": 0.01, "dfa_chip": 0.78}])
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        self.assertIn("signal floor", out)
+
+    def test_lost_metric_fails(self):
+        self.write(self.baselines, "table1_accuracy",
+                   [{"dataset": "mnist", "fa_chip": 0.80, "dfa_chip": 0.80}])
+        self.write(self.results, "table1_accuracy",
+                   [{"dataset": "mnist", "fa_chip": 0.80}])
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("lost metric", out)
+
+    def test_missing_row_fails(self):
+        self.write(self.baselines, "table1_accuracy",
+                   [{"dataset": "mnist", "fa_chip": 0.80, "dfa_chip": 0.80}])
+        self.write(self.results, "table1_accuracy",
+                   [{"dataset": "fashion", "fa_chip": 0.80, "dfa_chip": 0.8}])
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from results", out)
+
+    # ---- missing files / malformed input ------------------------------------
+
+    def test_missing_baselines_dir_fails(self):
+        code, out = run_tool("--baselines",
+                             os.path.join(self.tmp.name, "nope"),
+                             "--results", self.results)
+        self.assertEqual(code, 1)
+        self.assertIn("no baselines directory", out)
+
+    def test_empty_baselines_dir_fails(self):
+        code, out = self.run_gate()
+        self.assertEqual(code, 1)
+        self.assertIn("nothing checked", out)
+
+    def test_missing_results_file_fails(self):
+        self.write(self.baselines, "serving_load",
+                   [{"config": "closed, workers=1, batch=1",
+                     "throughput_rps": 100.0}])
+        code, out = self.run_gate()
+        self.assertEqual(code, 1)
+        self.assertIn("did the bench run", out)
+
+    def test_non_array_results_json_fails(self):
+        self.write(self.baselines, "table1_accuracy",
+                   [{"dataset": "mnist", "fa_chip": 0.8, "dfa_chip": 0.8}])
+        self.write(self.results, "table1_accuracy", {"dataset": "mnist"})
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("expected a JSON array", out)
+
+    def test_unknown_bench_is_reported_but_skipped(self):
+        self.write(self.baselines, "mystery_bench", [{"x": 1}])
+        self.write(self.results, "mystery_bench", [{"x": 1}])
+        self.write(self.baselines, "table1_accuracy",
+                   [{"dataset": "mnist", "fa_chip": 0.8, "dfa_chip": 0.8}])
+        self.write(self.results, "table1_accuracy",
+                   [{"dataset": "mnist", "fa_chip": 0.8, "dfa_chip": 0.8}])
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        self.assertIn("no gating rule", out)
+
+    # ---- --only filtering ----------------------------------------------------
+
+    def test_only_skips_other_baselines_instead_of_requiring_them(self):
+        self.write(self.baselines, "serving_load",
+                   [{"config": "closed, workers=1, batch=1",
+                     "throughput_rps": 100.0},
+                    {"config": "closed, workers=2, batch=1",
+                     "throughput_rps": 150.0}])
+        self.write(self.results, "serving_load",
+                   [{"config": "closed, workers=1, batch=1",
+                     "throughput_rps": 100.0},
+                    {"config": "closed, workers=2, batch=1",
+                     "throughput_rps": 150.0}])
+        # A baseline with no matching results would normally fail the run…
+        self.write(self.baselines, "table1_accuracy",
+                   [{"dataset": "mnist", "fa_chip": 0.8, "dfa_chip": 0.8}])
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        # …but --only scopes the gate to the bench this job actually ran.
+        code, out = self.run_gate("--only", "serving_load")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("table1", out)
+
+    def test_only_with_unknown_name_fails(self):
+        self.write(self.baselines, "serving_load",
+                   [{"config": "closed, workers=1, batch=1",
+                     "throughput_rps": 100.0}])
+        self.write(self.results, "serving_load",
+                   [{"config": "closed, workers=1, batch=1",
+                     "throughput_rps": 100.0}])
+        code, out = self.run_gate("--only", "serving_load",
+                                  "--only", "typo_bench")
+        self.assertEqual(code, 1, out)
+        self.assertIn("typo_bench", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

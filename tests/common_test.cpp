@@ -1,13 +1,19 @@
 // Unit tests for src/common: RNG determinism and distribution sanity,
-// tensor algebra, fixed-point helpers, table/CSV rendering, CLI parsing and
-// statistics.
+// tensor algebra, fixed-point helpers, table/CSV rendering, CLI parsing,
+// statistics, and the bounded MPMC queue.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
 
+#include "common/bounded_queue.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/fixed.hpp"
@@ -223,4 +229,140 @@ TEST(Stats, MeanStddevArgmax) {
     EXPECT_NEAR(stddev({1.0, 2.0, 3.0}), 1.0, 1e-12);
     EXPECT_EQ(argmax(std::vector<double>{1.0, 5.0, 2.0}), 1u);
     EXPECT_EQ(argmax(std::vector<int>{3, 3, 1}), 0u);
+}
+
+TEST(BoundedQueue, FifoOrderAndSize) {
+    BoundedQueue<int> q(4);
+    EXPECT_EQ(q.capacity(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        int v = i;
+        EXPECT_TRUE(q.push(v));
+    }
+    EXPECT_EQ(q.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        int out = -1;
+        EXPECT_TRUE(q.pop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, ZeroCapacityThrows) {
+    EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFullAndKeepsValue) {
+    BoundedQueue<std::unique_ptr<int>> q(1);
+    auto a = std::make_unique<int>(1);
+    EXPECT_EQ(q.try_push(a), BoundedQueue<std::unique_ptr<int>>::Push::Ok);
+    EXPECT_EQ(a, nullptr);  // moved out on success
+    auto b = std::make_unique<int>(2);
+    EXPECT_EQ(q.try_push(b), BoundedQueue<std::unique_ptr<int>>::Push::Full);
+    ASSERT_NE(b, nullptr);  // refused value stays with the caller
+    EXPECT_EQ(*b, 2);
+    q.close();
+    EXPECT_EQ(q.try_push(b), BoundedQueue<std::unique_ptr<int>>::Push::Closed);
+    ASSERT_NE(b, nullptr);
+}
+
+TEST(BoundedQueue, CloseDrainsAcceptedItemsThenRefuses) {
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 3; ++i) {
+        int v = i;
+        ASSERT_TRUE(q.push(v));
+    }
+    q.close();
+    EXPECT_TRUE(q.closed());
+    int v = 99;
+    EXPECT_FALSE(q.push(v));
+    int out = -1;
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(q.pop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(q.pop(out));  // closed and drained
+}
+
+TEST(BoundedQueue, PopUntilTimesOutOnEmpty) {
+    BoundedQueue<int> q(2);
+    int out = -1;
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(q.pop_until(
+        out, t0 + std::chrono::milliseconds(5)));
+    EXPECT_GE(std::chrono::steady_clock::now() - t0,
+              std::chrono::milliseconds(4));
+}
+
+TEST(BoundedQueue, BlockingPushUnblocksOnPop) {
+    BoundedQueue<int> q(1);
+    int v0 = 0;
+    ASSERT_TRUE(q.push(v0));
+    std::atomic<bool> second_pushed{false};
+    std::thread producer([&] {
+        int v1 = 1;
+        ASSERT_TRUE(q.push(v1));  // blocks until the consumer pops
+        second_pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_FALSE(second_pushed.load());
+    int out = -1;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 0);
+    producer.join();
+    EXPECT_TRUE(second_pushed.load());
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+    BoundedQueue<int> q(1);
+    int v0 = 0;
+    ASSERT_TRUE(q.push(v0));
+    std::thread producer([&] {
+        int v1 = 1;
+        EXPECT_FALSE(q.push(v1));  // full, then woken by close: refused
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    producer.join();
+    int out = -1;
+    EXPECT_TRUE(q.pop(out));  // the accepted item still drains
+    EXPECT_EQ(out, 0);
+    EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+    BoundedQueue<int> q(1);
+    std::thread consumer([&] {
+        int out = -1;
+        EXPECT_FALSE(q.pop(out));  // empty, then woken by close: drained
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    consumer.join();
+}
+
+TEST(BoundedQueue, MpmcStressDeliversEverythingOnce) {
+    constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 250;
+    BoundedQueue<int> q(16);
+    std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+    for (auto& s : seen) s.store(0);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p)
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                int v = p * kPerProducer + i;
+                ASSERT_TRUE(q.push(v));
+            }
+        });
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c)
+        consumers.emplace_back([&] {
+            int out = -1;
+            while (q.pop(out)) seen[static_cast<std::size_t>(out)]++;
+        });
+    for (auto& t : threads) t.join();
+    q.close();
+    for (auto& t : consumers) t.join();
+    for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
 }

@@ -45,6 +45,14 @@ RULES = {
         "metrics": ["fa_chip", "dfa_chip"],
         "min_baseline": 0.25,
     },
+    # Serving scale-out: each config's request rate is normalized by the
+    # same-run single-worker unbatched rate, so the gate tracks the
+    # worker-scaling and batching ratios rather than machine speed.
+    "serving_load": {
+        "key": "config",
+        "metrics": ["throughput_rps"],
+        "normalize_by": "closed, workers=1, batch=1",
+    },
 }
 
 
@@ -127,6 +135,10 @@ def main():
     parser.add_argument("--baselines", default="bench/baselines")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional drop per metric (default 0.20)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="BENCH",
+                        help="gate only this bench (repeatable); other "
+                             "baselines are skipped rather than required")
     args = parser.parse_args()
 
     if not os.path.isdir(args.baselines):
@@ -135,10 +147,14 @@ def main():
 
     failures = []
     checked = 0
+    seen = set()
     for entry in sorted(os.listdir(args.baselines)):
         if not entry.endswith(".json"):
             continue
         name = entry[:-len(".json")]
+        seen.add(name)
+        if args.only is not None and name not in args.only:
+            continue
         baseline_path = os.path.join(args.baselines, entry)
         results_path = os.path.join(args.results, entry)
         print(f"checking {name}:")
@@ -152,6 +168,11 @@ def main():
         except (ValueError, KeyError, json.JSONDecodeError) as err:
             failures.append(f"{name}: {err}")
         checked += 1
+
+    for name in args.only or []:
+        if name not in seen:
+            failures.append(f"--only {name}: no baseline file "
+                            f"{os.path.join(args.baselines, name + '.json')}")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)
