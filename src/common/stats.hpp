@@ -1,8 +1,11 @@
 #pragma once
-// Small statistics helpers: accuracy bookkeeping, confusion matrices and
-// running means, shared by trainers, tests and benches.
+// Small statistics helpers: accuracy bookkeeping, confusion matrices,
+// running means and the log-bucketed latency histogram, shared by trainers,
+// serving subsystems (serve, online), tests and benches.
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -43,6 +46,40 @@ private:
     std::vector<std::size_t> cells_;  // n_ x n_, row = truth
     std::size_t total_ = 0;
     std::size_t correct_ = 0;
+};
+
+/// Fixed-footprint latency histogram: 64 octaves x 16 sub-buckets per
+/// octave (~6% relative resolution), plus a sub-microsecond bucket. No
+/// allocation on record(), so hot loops can log every event. Not
+/// thread-safe — callers own the synchronization (serve::ServerMetrics
+/// records under its mutex). Extracted from neuro::serve so the online
+/// engine and future subsystems can reuse it without depending on serve.
+class LatencyHistogram {
+public:
+    static constexpr std::size_t kOctaves = 64;
+    static constexpr std::size_t kSubBuckets = 16;
+
+    void record(double us);
+
+    std::uint64_t count() const { return count_; }
+    double max_us() const { return max_; }
+    double mean_us() const {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    /// Value at quantile q in [0, 1] — the upper edge of the bucket holding
+    /// the rank-ceil(q*count) sample, so the estimate errs high by at most
+    /// one sub-bucket (~6%). Returns 0 when empty.
+    double percentile(double q) const;
+
+private:
+    static std::size_t bucket_of(double us);
+    static double upper_edge(std::size_t bucket);
+
+    std::array<std::uint64_t, 1 + kOctaves * kSubBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
 };
 
 }  // namespace neuro::common

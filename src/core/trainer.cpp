@@ -85,6 +85,13 @@ double evaluate(runtime::Session& session, const data::Dataset& test) {
         test, [&](const common::Tensor& x) { return session.predict(x); });
 }
 
+bool train_prequential(runtime::Session& session, const common::Tensor& image,
+                       std::size_t label) {
+    const bool hit = session.predict(image) == label;
+    session.train(image, label);
+    return hit;
+}
+
 loihi::EnergyReport measure_energy(runtime::Session& session,
                                    const data::Dataset& ds, std::size_t samples,
                                    bool training,

@@ -46,6 +46,14 @@ double train_epoch(runtime::Session& session, const data::Dataset& stream,
 
 double evaluate(runtime::Session& session, const data::Dataset& test);
 
+/// One prequential step for open-ended streams (the learning-while-serving
+/// engine's inner loop): predicts *before* updating and returns whether the
+/// pre-update prediction was correct, then trains on the sample. The
+/// running hit rate is the prequential accuracy train_epoch reports, but
+/// usable sample-by-sample where there is no epoch.
+bool train_prequential(runtime::Session& session, const common::Tensor& image,
+                       std::size_t label);
+
 /// Session version of measure_energy. Sharded (multi-chip) sessions report
 /// the package operating point: barrier-synchronised step time of the
 /// slowest shard, power and cores summed across chips. Throws

@@ -42,6 +42,30 @@ void train_list(core::EmstdpNetwork& net, const data::Dataset& pool,
 
 }  // namespace
 
+std::vector<std::size_t> sample_replay(
+    const std::vector<std::vector<std::size_t>>& by_class,
+    const std::vector<std::size_t>& observed, std::size_t count,
+    common::Rng& rng) {
+    if (count == 0) return {};
+    if (observed.empty())
+        throw std::invalid_argument("sample_replay: no observed classes");
+    std::vector<std::size_t> replay;
+    replay.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+        // Cycle the old classes so the replay mix is class-balanced; the
+        // sample within the class is random ("new observations of old
+        // classes").
+        const std::size_t cls = observed[k % observed.size()];
+        if (cls >= by_class.size() || by_class[cls].empty())
+            throw std::invalid_argument(
+                "sample_replay: observed class has no samples");
+        const auto& pool = by_class[cls];
+        replay.push_back(pool[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(pool.size()) - 1))]);
+    }
+    return replay;
+}
+
 IolResult run_incremental(const NetworkFactory& make_net,
                           const data::Dataset& train_pool,
                           const data::Dataset& test_set, const IolOptions& opt) {
@@ -128,16 +152,8 @@ IolResult run_incremental(const NetworkFactory& make_net,
             //    classes").
             net->set_class_mask(mask_of(classes, all_observed));
             net->set_learning_shift_offset(0);
-            std::vector<std::size_t> replay;
-            for (std::size_t k = 0; k < new_chunk.size(); ++k) {
-                // Cycle the old classes so the replay half of the mix is
-                // class-balanced; the sample within the class is random
-                // ("new observations of old classes").
-                const std::size_t cls = observed[k % observed.size()];
-                const auto& pool = by_class[cls];
-                replay.push_back(pool[static_cast<std::size_t>(rng.uniform_int(
-                    0, static_cast<std::int64_t>(pool.size()) - 1))]);
-            }
+            const std::vector<std::size_t> replay =
+                sample_replay(by_class, observed, new_chunk.size(), rng);
             std::vector<std::size_t> mixed = new_chunk;
             mixed.insert(mixed.end(), replay.begin(), replay.end());
             train_list(*net, train_pool, mixed, rng);

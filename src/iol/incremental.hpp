@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/network.hpp"
 #include "data/dataset.hpp"
 
@@ -62,6 +63,19 @@ struct IolResult {
 /// Factory for identical fresh networks (the continuously-trained subject
 /// and the per-iteration joint baselines).
 using NetworkFactory = std::function<std::unique_ptr<core::EmstdpNetwork>()>;
+
+/// Draws `count` replay sample indices from the per-class index pools of
+/// the already-observed (old) classes: classes cycle round-robin — a
+/// class-balanced mix — and the sample within a class is uniform ("new
+/// observations of old classes", He et al. style). The draw sequence is a
+/// pure function of `rng`'s state: same seed, same draws, on any thread —
+/// the determinism contract pinned by tests/iol_test.cpp and mirrored by
+/// the online engine's replay pool (online::ReplayPool). Throws
+/// std::invalid_argument when `observed` is empty or one of its pools is.
+std::vector<std::size_t> sample_replay(
+    const std::vector<std::vector<std::size_t>>& by_class,
+    const std::vector<std::size_t>& observed, std::size_t count,
+    common::Rng& rng);
 
 IolResult run_incremental(const NetworkFactory& make_net,
                           const data::Dataset& train_pool,

@@ -1,0 +1,50 @@
+#pragma once
+// Configuration of the learning-while-serving engine (online::OnlineEngine,
+// docs/ARCHITECTURE.md §9). Defaults are tuned for the digits task at test
+// scale; benches and production deployments override per workload.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace neuro::online {
+
+struct OnlineOptions {
+    /// Feedback samples trained between candidate publications (the
+    /// publish interval — also the cadence of the shadow-eval gate).
+    std::size_t publish_interval = 32;
+
+    /// Replay-pool capacity per class (bounded reservoir); 0 disables
+    /// replay entirely (pure streaming updates).
+    std::size_t replay_per_class = 64;
+
+    /// Replay samples mixed in per feedback sample (class-balanced draws,
+    /// the iol::sample_replay contract); 0 disables replay training.
+    std::size_t replay_per_sample = 1;
+
+    /// Shadow-eval gate: a candidate may trail the last good version's
+    /// held-out accuracy by at most this much...
+    double max_regression = 0.02;
+    /// ...and must clear this absolute accuracy floor (0 disables).
+    double min_accuracy = 0.0;
+
+    /// Directory of the on-disk model registry (created if missing); empty
+    /// disables persistence — accepted versions then live only in memory.
+    std::string registry_dir;
+
+    /// Learner-side micro-batch coalescing over the feedback queue (same
+    /// collect_batch mechanics as the serving workers).
+    std::size_t feedback_batch = 8;
+    std::uint64_t feedback_wait_us = 500;
+
+    /// Seed of the replay pool's draw/reservoir streams; the whole learning
+    /// trajectory is deterministic given the seed and the feedback order.
+    std::uint64_t seed = 17;
+
+    /// Extra learning shift applied to the learner session (each unit
+    /// halves the learning rate — conservative online updates on top of an
+    /// already-good model, paper Sec. IV-B's step-1 spirit).
+    int learning_shift_offset = 0;
+};
+
+}  // namespace neuro::online

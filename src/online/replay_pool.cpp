@@ -1,0 +1,49 @@
+#include "online/replay_pool.hpp"
+
+#include <stdexcept>
+
+namespace neuro::online {
+
+ReplayPool::ReplayPool(std::size_t num_classes, std::size_t per_class,
+                       std::uint64_t seed)
+    : buckets_(num_classes), seen_(num_classes, 0), per_class_(per_class),
+      reservoir_rng_(seed), draw_rng_(common::Rng(seed).split()) {
+    if (num_classes == 0)
+        throw std::invalid_argument("ReplayPool: zero classes");
+}
+
+void ReplayPool::add(const common::Tensor& image, std::size_t label) {
+    if (label >= buckets_.size())
+        throw std::invalid_argument("ReplayPool: label out of range");
+    if (per_class_ == 0) return;
+    auto& bucket = buckets_[label];
+    const std::uint64_t seen = ++seen_[label];
+    if (bucket.size() < per_class_) {
+        bucket.push_back({image, label});
+        ++stored_;
+        return;
+    }
+    // Reservoir step: keep each of the `seen` observations with equal
+    // probability per_class/seen.
+    const auto j = static_cast<std::uint64_t>(reservoir_rng_.uniform_int(
+        0, static_cast<std::int64_t>(seen) - 1));
+    if (j < per_class_) bucket[j] = {image, label};
+}
+
+std::vector<serve::FeedbackSample> ReplayPool::draw(std::size_t count) {
+    std::vector<serve::FeedbackSample> out;
+    if (stored_ == 0 || count == 0) return out;
+    out.reserve(count);
+    while (out.size() < count) {
+        // Advance the cursor to the next non-empty class (stored_ > 0
+        // guarantees one exists).
+        while (buckets_[cursor_ % buckets_.size()].empty()) ++cursor_;
+        const auto& bucket = buckets_[cursor_ % buckets_.size()];
+        ++cursor_;
+        out.push_back(bucket[static_cast<std::size_t>(draw_rng_.uniform_int(
+            0, static_cast<std::int64_t>(bucket.size()) - 1))]);
+    }
+    return out;
+}
+
+}  // namespace neuro::online

@@ -1,0 +1,60 @@
+#pragma once
+// Replay pool of the online learner — the continual-learning half of
+// learning-while-serving. Interleaving replay draws with fresh feedback is
+// what keeps the live model from catastrophically forgetting quiet classes
+// while a bursty feedback stream hammers the loud ones (the production
+// analogue of the paper's Sec. IV-B incremental protocol).
+//
+// The draw discipline mirrors iol::sample_replay exactly: classes with at
+// least one stored sample cycle round-robin (a class-balanced mix) and the
+// sample within a class is uniform. Draws come from a dedicated RNG stream
+// split off the seed, so the draw sequence is a pure function of (seed,
+// draw index, pool contents) — independent of reservoir churn — which is
+// the determinism contract tests/iol_test.cpp pins and
+// tests/online_test.cpp reuses.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/feedback.hpp"
+
+namespace neuro::online {
+
+/// Bounded per-class reservoir of labeled samples. Deliberately not
+/// thread-safe: it lives on the learner thread (OnlineEngine) and nothing
+/// else touches it.
+class ReplayPool {
+public:
+    ReplayPool(std::size_t num_classes, std::size_t per_class,
+               std::uint64_t seed);
+
+    /// Observes one labeled sample. While a class bucket has room the
+    /// sample is kept; afterwards classic reservoir sampling keeps every
+    /// observation of the class equally likely to be retained.
+    void add(const common::Tensor& image, std::size_t label);
+
+    /// Draws `count` replay samples (copies — the pool may churn freely
+    /// afterwards). Classes cycle round-robin across calls so the mix
+    /// stays balanced over the whole stream, not just within one draw.
+    /// Returns fewer than `count` only when the pool is empty.
+    std::vector<serve::FeedbackSample> draw(std::size_t count);
+
+    std::size_t stored() const { return stored_; }
+    std::size_t stored_in(std::size_t cls) const {
+        return buckets_[cls].size();
+    }
+    std::size_t num_classes() const { return buckets_.size(); }
+
+private:
+    std::vector<std::vector<serve::FeedbackSample>> buckets_;
+    std::vector<std::uint64_t> seen_;  ///< per-class observation counts
+    std::size_t per_class_;
+    std::size_t stored_ = 0;
+    std::size_t cursor_ = 0;  ///< round-robin class cursor
+    common::Rng reservoir_rng_;
+    common::Rng draw_rng_;
+};
+
+}  // namespace neuro::online

@@ -61,7 +61,7 @@ public:
 
     BackendKind backend() const override { return BackendKind::LoihiSim; }
 
-    std::unique_ptr<Session> open_session() const override {
+    std::unique_ptr<Session> do_open_session() const override {
         return std::make_unique<LoihiSession>(proto_.replicate());
     }
 

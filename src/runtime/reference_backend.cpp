@@ -108,7 +108,7 @@ public:
 
     BackendKind backend() const override { return BackendKind::Reference; }
 
-    std::unique_ptr<Session> open_session() const override {
+    std::unique_ptr<Session> do_open_session() const override {
         return std::make_unique<ReferenceSession>(
             proto_, spec_.options.theta_dense, spec_.options.weight_bits);
     }

@@ -6,6 +6,7 @@
 #include "runtime/reference_backend.hpp"
 #include "runtime/session.hpp"
 #include "runtime/sharded_backend.hpp"
+#include "runtime/weight_channel.hpp"
 
 namespace neuro::runtime {
 
@@ -34,6 +35,18 @@ std::shared_ptr<const CompiledModel> CompiledModel::compile(
 
 void Session::save(const std::string& path) const {
     save_snapshot(path, weights());
+}
+
+bool Session::refresh() {
+    if (!channel_) return false;
+    // Fast path: one locked 64-bit read when nothing new was published —
+    // the per-batch cost on a serving pool that never sees a publish.
+    if (channel_->version() == seen_version_) return false;
+    const auto image = channel_->current();
+    if (image->version == seen_version_) return false;
+    load_weights(image->snapshot);
+    seen_version_ = image->version;
+    return true;
 }
 
 }  // namespace neuro::runtime

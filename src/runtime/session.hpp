@@ -12,7 +12,9 @@
 //   * Sessions outlive their model safely (shared structure is refcounted).
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/tensor.hpp"
@@ -28,6 +30,8 @@ class ShardedEmstdpNetwork;
 }
 
 namespace neuro::runtime {
+
+class WeightChannel;
 
 class Session {
 public:
@@ -54,6 +58,24 @@ public:
     /// Checkpoints weights() to a file (load with runtime::load_snapshot +
     /// Session::load_weights or CompiledModel::with_weights).
     void save(const std::string& path) const;
+
+    // ---- published-weights stream (learning-while-serving, §9) -------------
+    /// If the model this session was opened from has published a weight
+    /// image newer than the one this session runs on, loads it and returns
+    /// true. Call only at batch boundaries — never mid-phase — so results
+    /// stay bit-deterministic against the version each request started on.
+    /// When nothing new was published this is one cheap version check.
+    bool refresh();
+
+    /// Version of the published image this session last loaded; 0 while it
+    /// still runs on the weights it was opened with (or weights it loaded
+    /// itself through load_weights).
+    std::uint64_t weights_version() const { return seen_version_; }
+
+    /// Wiring used by CompiledModel::open_session; not for callers.
+    void attach_weight_channel(std::shared_ptr<const WeightChannel> channel) {
+        channel_ = std::move(channel);
+    }
 
     // ---- online-learning knobs (paper Sec. IV-B) ---------------------------
     virtual void set_class_mask(const std::vector<bool>& mask) = 0;
@@ -83,6 +105,10 @@ public:
 
 protected:
     Session() = default;
+
+private:
+    std::shared_ptr<const WeightChannel> channel_;
+    std::uint64_t seen_version_ = 0;
 };
 
 }  // namespace neuro::runtime

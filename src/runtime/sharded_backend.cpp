@@ -67,7 +67,7 @@ public:
         return BackendKind::ShardedLoihiSim;
     }
 
-    std::unique_ptr<Session> open_session() const override {
+    std::unique_ptr<Session> do_open_session() const override {
         return std::make_unique<ShardedSession>(proto_.replicate());
     }
 
@@ -98,7 +98,7 @@ public:
     BackendKind backend() const override {
         return BackendKind::ShardedLoihiSim;
     }
-    std::unique_ptr<Session> open_session() const override {
+    std::unique_ptr<Session> do_open_session() const override {
         return inner_->open_session();
     }
     std::shared_ptr<const CompiledModel> with_weights(

@@ -1,0 +1,63 @@
+#pragma once
+// Versioned weight publication — the runtime half of learning-while-serving
+// (neuro::online, docs/ARCHITECTURE.md §9).
+//
+// A CompiledModel's *structure* stays immutable forever; the one sanctioned
+// mutable slot it carries is this channel: the latest published weight
+// image. Publishing atomically swaps a shared_ptr to an immutable
+// WeightVersion, so every reader pins the exact image it loaded (COW at
+// image granularity) — a publish never mutates or frees weights an
+// in-flight inference still reads, which is what keeps serving
+// bit-deterministic against the version each request started on.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "runtime/weights.hpp"
+
+namespace neuro::runtime {
+
+/// One published weight image. Immutable once constructed and held by
+/// shared_ptr; sessions that loaded it keep it alive for as long as they
+/// need it regardless of later publishes.
+struct WeightVersion {
+    std::uint64_t version = 0;  ///< 0 is reserved for "initial weights"
+    WeightSnapshot snapshot;    ///< empty at the version-0 sentinel
+};
+
+/// The atomically-swappable slot behind CompiledModel::publish_weights and
+/// Session::refresh. Thread-safe for any number of publishers and readers.
+/// Version ids are strictly monotonic and carry no content semantics:
+/// rolling back republishes an old snapshot under a NEW id, so readers
+/// never have to reason about version numbers moving backwards.
+class WeightChannel {
+public:
+    /// Latest published image; the version-0 sentinel before any publish.
+    std::shared_ptr<const WeightVersion> current() const {
+        std::lock_guard<std::mutex> lock(m_);
+        return current_;
+    }
+
+    std::uint64_t version() const {
+        std::lock_guard<std::mutex> lock(m_);
+        return current_->version;
+    }
+
+    /// Swaps `snap` in as the next version; returns its version id.
+    std::uint64_t publish(WeightSnapshot snap) {
+        auto next = std::make_shared<WeightVersion>();
+        next->snapshot = std::move(snap);
+        std::lock_guard<std::mutex> lock(m_);
+        next->version = current_->version + 1;
+        current_ = std::move(next);
+        return current_->version;
+    }
+
+private:
+    mutable std::mutex m_;
+    std::shared_ptr<const WeightVersion> current_ =
+        std::make_shared<WeightVersion>();
+};
+
+}  // namespace neuro::runtime

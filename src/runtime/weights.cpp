@@ -1,5 +1,7 @@
 #include "runtime/weights.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <stdexcept>
 
@@ -7,22 +9,45 @@ namespace neuro::runtime {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x4E525753;  // "NRWS"
-constexpr std::uint32_t kVersion = 1;
+// v1: magic, version, layer count, then per layer {count, words}.
+// v2 appends a trailing FNV-1a checksum over every 32-bit word after the
+// version field, so truncation and bit corruption fail loudly instead of
+// loading garbage weights. Readers accept both.
+constexpr std::uint32_t kVersion = 2;
+
+/// Incremental FNV-1a over the file's 32-bit words (byte order is the
+/// writer's native order, same as the payload itself).
+struct Fnv32 {
+    std::uint32_t state = 2166136261u;
+    void feed(std::uint32_t word) {
+        for (int b = 0; b < 4; ++b) {
+            state ^= (word >> (8 * b)) & 0xFFu;
+            state *= 16777619u;
+        }
+    }
+};
+
 }  // namespace
 
 void save_snapshot(const std::string& path, const WeightSnapshot& snap) {
     std::ofstream out(path, std::ios::binary);
     if (!out) throw std::runtime_error("save_snapshot: cannot open " + path);
+    Fnv32 sum;
     auto put32 = [&](std::uint32_t v) {
         out.write(reinterpret_cast<const char*>(&v), sizeof(v));
     };
+    auto put_summed = [&](std::uint32_t v) {
+        sum.feed(v);
+        put32(v);
+    };
     put32(kMagic);
     put32(kVersion);
-    put32(static_cast<std::uint32_t>(snap.layers.size()));
+    put_summed(static_cast<std::uint32_t>(snap.layers.size()));
     for (const auto& layer : snap.layers) {
-        put32(static_cast<std::uint32_t>(layer.size()));
-        for (const auto w : layer) put32(static_cast<std::uint32_t>(w));
+        put_summed(static_cast<std::uint32_t>(layer.size()));
+        for (const auto w : layer) put_summed(static_cast<std::uint32_t>(w));
     }
+    put32(sum.state);
     if (!out) throw std::runtime_error("save_snapshot: write failed for " + path);
 }
 
@@ -32,30 +57,56 @@ WeightSnapshot load_snapshot(const std::string& path) {
     in.seekg(0, std::ios::end);
     const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
     in.seekg(0);
+    Fnv32 sum;
     auto get32 = [&]() {
         std::uint32_t v = 0;
         in.read(reinterpret_cast<char*>(&v), sizeof(v));
         if (!in) throw std::runtime_error("load_snapshot: truncated file " + path);
         return v;
     };
-    // Every count in the file describes at least 4 bytes of payload, so any
-    // count beyond file_bytes/4 is corruption — reject it before resize()
-    // turns it into a multi-gigabyte allocation.
-    auto get_count = [&]() {
-        const std::uint32_t n = get32();
-        if (n > file_bytes / 4)
-            throw std::runtime_error("load_snapshot: corrupt count in " + path);
-        return n;
-    };
     if (get32() != kMagic) throw std::runtime_error("load_snapshot: bad magic");
-    if (get32() != kVersion)
+    const std::uint32_t version = get32();
+    if (version != 1 && version != kVersion)
         throw std::runtime_error("load_snapshot: unsupported version");
+    auto get_summed = [&]() {
+        const std::uint32_t v = get32();
+        sum.feed(v);
+        return v;
+    };
+    // Exact payload budget: everything after the 8-byte header, minus the
+    // v2 trailing checksum. Every count read must leave room for the data
+    // it announces; an oversized count is rejected *before* resize() turns
+    // it into a multi-gigabyte allocation (or bad_alloc).
+    std::uint64_t remaining_words =
+        (file_bytes - std::min<std::uint64_t>(file_bytes, 8)) / 4;
+    if (version >= 2) remaining_words = remaining_words > 0 ? remaining_words - 1 : 0;
+    auto take_words = [&](std::uint64_t n, const char* what) {
+        if (n > remaining_words)
+            throw std::runtime_error("load_snapshot: corrupt " +
+                                     std::string(what) + " in " + path +
+                                     " (announces more data than the file holds)");
+        remaining_words -= n;
+    };
+    take_words(1, "header");
     WeightSnapshot snap;
-    snap.layers.resize(get_count());
+    const std::uint32_t layer_count = get_summed();
+    // Each layer contributes at least its own count word, so a layer count
+    // beyond the remaining words is corruption — reject before resize().
+    if (layer_count > remaining_words)
+        throw std::runtime_error(
+            "load_snapshot: corrupt layer count in " + path +
+            " (announces more layers than the file holds)");
+    snap.layers.resize(layer_count);
     for (auto& layer : snap.layers) {
-        layer.resize(get_count());
-        for (auto& w : layer) w = static_cast<std::int32_t>(get32());
+        take_words(1, "layer header");
+        const std::uint32_t count = get_summed();
+        take_words(count, "layer size");
+        layer.resize(count);
+        for (auto& w : layer) w = static_cast<std::int32_t>(get_summed());
     }
+    if (version >= 2 && get32() != sum.state)
+        throw std::runtime_error("load_snapshot: checksum mismatch in " + path +
+                                 " (truncated or corrupt file)");
     return snap;
 }
 

@@ -22,11 +22,14 @@ struct WeightSnapshot {
     bool empty() const { return layers.empty(); }
 };
 
-/// Writes a snapshot to `path` (versioned binary format). Throws on I/O
-/// failure.
+/// Writes a snapshot to `path` (versioned binary format, v2: trailing
+/// FNV-1a checksum). Throws on I/O failure.
 void save_snapshot(const std::string& path, const WeightSnapshot& snap);
 
-/// Reads a snapshot written by save_snapshot. Throws on malformed files.
+/// Reads a snapshot written by save_snapshot (v1 files — no checksum — are
+/// still accepted). Throws on malformed, truncated or corrupt files; every
+/// announced element count is validated against the file size before any
+/// allocation happens.
 WeightSnapshot load_snapshot(const std::string& path);
 
 }  // namespace neuro::runtime

@@ -1,0 +1,29 @@
+#pragma once
+// Labeled-feedback intake for learning-while-serving (neuro::online,
+// docs/ARCHITECTURE.md §9). Clients that learn the true label after (or
+// alongside) an inference hand it back through Server::submit_feedback;
+// the samples flow through a second BoundedQueue that the background
+// learner (online::OnlineEngine) drains with the same micro-batch
+// coalescing the serving workers use.
+//
+// Feedback is advisory by contract: the serving path never blocks on it,
+// and a full queue sheds (the learner is allowed to fall behind a feedback
+// burst — inference traffic is the priority workload).
+
+#include <cstddef>
+
+#include "common/bounded_queue.hpp"
+#include "common/tensor.hpp"
+
+namespace neuro::serve {
+
+/// One labeled observation — the raw material of the online learner.
+struct FeedbackSample {
+    common::Tensor image;
+    std::size_t label = 0;
+};
+
+/// The hand-off between Server::submit_feedback and the online learner.
+using FeedbackQueue = common::BoundedQueue<FeedbackSample>;
+
+}  // namespace neuro::serve

@@ -40,6 +40,8 @@ Server::Server(std::shared_ptr<const runtime::CompiledModel> model,
         throw std::invalid_argument("Server: zero workers");
     if (options_.batch.max_batch == 0)
         throw std::invalid_argument("Server: zero max_batch");
+    if (options_.feedback_capacity > 0)
+        feedback_ = std::make_shared<FeedbackQueue>(options_.feedback_capacity);
     sessions_ = model_->open_sessions(options_.workers);
 }
 
@@ -68,6 +70,9 @@ void Server::shutdown() {
     start_locked();
     closing_.store(true);
     queue_.close();
+    // Closing the feedback stream is the learner's end-of-input signal: it
+    // drains what was accepted and stops (online::OnlineEngine).
+    if (feedback_) feedback_->close();
     if (joined_.exchange(true)) return;
     for (auto& w : workers_)
         if (w.joinable()) w.join();
@@ -105,11 +110,29 @@ InferenceHandle Server::enqueue(Request::Kind kind,
     return InferenceHandle(std::move(future));
 }
 
+bool Server::submit_feedback(const common::Tensor& image, std::size_t label) {
+    // Label validation happens at the intake, not on the learner thread: a
+    // malformed client sample must never be able to take the learner down.
+    if (!feedback_ || closing_.load() || label >= model_->spec().classes) {
+        metrics_.on_feedback_drop();
+        return false;
+    }
+    FeedbackSample sample{image, label};
+    if (feedback_->try_push(sample) != FeedbackQueue::Push::Ok) {
+        metrics_.on_feedback_drop();
+        return false;
+    }
+    return true;
+}
+
 void Server::worker_loop(std::size_t worker_index) {
     runtime::Session& session = *sessions_[worker_index];
     std::vector<Request> batch;
     std::vector<double> ok_latencies_us;
     while (collect_batch(queue_, options_.batch, batch)) {
+        // Batch boundary: adopt any newly published weight image before the
+        // batch runs, so every request in it executes against one version.
+        if (session.refresh()) metrics_.on_weight_refresh();
         ok_latencies_us.clear();
         std::size_t error_count = 0;
         for (Request& r : batch) {

@@ -21,6 +21,16 @@
 // Determinism: workers run each request individually on an isolated
 // Session, so results are bit-identical to sequential Session calls no
 // matter the batch size, worker count, or arrival order (tests/serve_test).
+//
+// Learning-while-serving (docs/ARCHITECTURE.md §9): every worker calls
+// Session::refresh() at each batch boundary, so a weight image published on
+// the model (by online::OnlineEngine, or anyone) is picked up by the whole
+// pool within one batch per worker — without pausing the pool, and without
+// affecting requests already in flight. On a model that never publishes the
+// refresh is a single version check and serving is bit-identical to a
+// frozen server. The optional feedback queue (ServerOptions::
+// feedback_capacity, submit_feedback) is the labeled-sample intake the
+// online learner drains.
 
 #include <atomic>
 #include <chrono>
@@ -33,6 +43,7 @@
 #include "common/bounded_queue.hpp"
 #include "common/tensor.hpp"
 #include "runtime/compiled_model.hpp"
+#include "serve/feedback.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/stats.hpp"
@@ -46,6 +57,9 @@ struct ServerOptions {
     std::size_t queue_capacity = 64; ///< bounded intake; the backpressure knob
     BatchPolicy batch;               ///< micro-batch coalescing policy
     Backpressure backpressure = Backpressure::Block;
+    /// Capacity of the labeled-feedback queue (learning-while-serving);
+    /// 0 disables the feedback intake entirely.
+    std::size_t feedback_capacity = 0;
 };
 
 class Server {
@@ -75,6 +89,20 @@ public:
         return enqueue(Request::Kind::Counts, image);
     }
 
+    /// Hands a labeled observation to the feedback stream. Best-effort:
+    /// returns false — and drops the sample — when the feedback intake is
+    /// disabled (feedback_capacity == 0), the queue is full, the label is
+    /// out of range for the model, or the server is shutting down. Never
+    /// blocks: inference traffic has priority over learning material.
+    bool submit_feedback(const common::Tensor& image, std::size_t label);
+
+    /// The feedback stream the online learner drains (null when
+    /// feedback_capacity == 0). Closed by shutdown(), which is the
+    /// learner's signal to finish its drain and stop.
+    const std::shared_ptr<FeedbackQueue>& feedback_queue() const {
+        return feedback_;
+    }
+
     /// Graceful shutdown: refuses new submissions, completes every accepted
     /// request, then joins the workers. Idempotent. If the server was never
     /// start()ed, it is started first so queued requests still drain.
@@ -97,6 +125,7 @@ private:
     std::shared_ptr<const runtime::CompiledModel> model_;
     ServerOptions options_;
     common::BoundedQueue<Request> queue_;
+    std::shared_ptr<FeedbackQueue> feedback_;
     std::vector<std::unique_ptr<runtime::Session>> sessions_;
     std::vector<std::thread> workers_;
     ServerMetrics metrics_;

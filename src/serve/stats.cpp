@@ -5,49 +5,6 @@
 
 namespace neuro::serve {
 
-std::size_t LatencyHistogram::bucket_of(double us) {
-    if (!(us >= 1.0)) return 0;  // sub-microsecond (and NaN) bucket
-    int exp = 0;
-    const double frac = std::frexp(us, &exp);  // frac in [0.5, 1), us = frac * 2^exp
-    // Octave o covers [2^o, 2^(o+1)); frac*2 in [1, 2) picks the sub-bucket.
-    const auto octave = std::min<std::size_t>(static_cast<std::size_t>(exp - 1),
-                                              kOctaves - 1);
-    const auto sub = std::min<std::size_t>(
-        static_cast<std::size_t>((frac * 2.0 - 1.0) * kSubBuckets),
-        kSubBuckets - 1);
-    return 1 + octave * kSubBuckets + sub;
-}
-
-double LatencyHistogram::upper_edge(std::size_t bucket) {
-    if (bucket == 0) return 1.0;
-    const std::size_t b = bucket - 1;
-    const std::size_t octave = b / kSubBuckets;
-    const std::size_t sub = b % kSubBuckets;
-    return std::ldexp(1.0 + static_cast<double>(sub + 1) /
-                                static_cast<double>(kSubBuckets),
-                      static_cast<int>(octave));
-}
-
-void LatencyHistogram::record(double us) {
-    ++buckets_[bucket_of(us)];
-    ++count_;
-    sum_ += us;
-    max_ = std::max(max_, us);
-}
-
-double LatencyHistogram::percentile(double q) const {
-    if (count_ == 0) return 0.0;
-    q = std::clamp(q, 0.0, 1.0);
-    const auto rank = static_cast<std::uint64_t>(
-        std::max(1.0, std::ceil(q * static_cast<double>(count_))));
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < buckets_.size(); ++b) {
-        seen += buckets_[b];
-        if (seen >= rank) return std::min(upper_edge(b), max_);
-    }
-    return max_;
-}
-
 void ServerMetrics::on_accept(std::size_t queue_depth_after) {
     std::lock_guard<std::mutex> lock(m_);
     ++accepted_;
@@ -57,6 +14,16 @@ void ServerMetrics::on_accept(std::size_t queue_depth_after) {
 void ServerMetrics::on_reject() {
     std::lock_guard<std::mutex> lock(m_);
     ++rejected_;
+}
+
+void ServerMetrics::on_weight_refresh() {
+    std::lock_guard<std::mutex> lock(m_);
+    ++weight_refreshes_;
+}
+
+void ServerMetrics::on_feedback_drop() {
+    std::lock_guard<std::mutex> lock(m_);
+    ++feedback_dropped_;
 }
 
 void ServerMetrics::on_batch(std::size_t batch_size,
@@ -79,6 +46,8 @@ ServerStats ServerMetrics::snapshot(double elapsed_s) const {
     s.completed = completed_;
     s.errors = errors_;
     s.batches = batches_;
+    s.weight_refreshes = weight_refreshes_;
+    s.feedback_dropped = feedback_dropped_;
     s.mean_batch = batches_ == 0 ? 0.0
                                  : static_cast<double>(batched_requests_) /
                                        static_cast<double>(batches_);

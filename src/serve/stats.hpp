@@ -4,42 +4,18 @@
 // the sink into a plain ServerStats struct that benches export through
 // bench_util::JsonWriter (see bench/serving_load.cpp for the schema).
 
-#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <vector>
 
+#include "common/stats.hpp"
+
 namespace neuro::serve {
 
-/// Fixed-footprint latency histogram: 64 octaves x 16 sub-buckets per
-/// octave (~6% relative resolution), plus a sub-microsecond bucket. No
-/// allocation on record(), so workers can log every request.
-class LatencyHistogram {
-public:
-    static constexpr std::size_t kOctaves = 64;
-    static constexpr std::size_t kSubBuckets = 16;
-
-    void record(double us);
-
-    std::uint64_t count() const { return count_; }
-    double max_us() const { return max_; }
-    double mean_us() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
-
-    /// Value at quantile q in [0, 1] — the upper edge of the bucket holding
-    /// the rank-ceil(q*count) sample, so the estimate errs high by at most
-    /// one sub-bucket (~6%). Returns 0 when empty.
-    double percentile(double q) const;
-
-private:
-    static std::size_t bucket_of(double us);
-    static double upper_edge(std::size_t bucket);
-
-    std::array<std::uint64_t, 1 + kOctaves * kSubBuckets> buckets_{};
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double max_ = 0.0;
-};
+/// The histogram now lives in common::stats (shared with neuro::online);
+/// this alias keeps the historical serve::LatencyHistogram name working.
+using LatencyHistogram = common::LatencyHistogram;
 
 /// Point-in-time snapshot of a Server's counters. Plain data — safe to
 /// copy out of the lock and print/serialize at leisure.
@@ -49,6 +25,12 @@ struct ServerStats {
     std::uint64_t completed = 0;  ///< resolved Ok
     std::uint64_t errors = 0;     ///< resolved Error (backend threw)
     std::uint64_t batches = 0;    ///< dispatch units executed
+    /// Times a worker session loaded a newly published weight image at a
+    /// batch boundary (learning-while-serving; 0 on a frozen model).
+    std::uint64_t weight_refreshes = 0;
+    /// Labeled feedback samples dropped because the feedback queue was
+    /// full, disabled, or closing (feedback is best-effort by design).
+    std::uint64_t feedback_dropped = 0;
     double mean_batch = 0.0;
     std::size_t max_batch = 0;
     std::size_t peak_queue_depth = 0;
@@ -70,6 +52,10 @@ public:
     /// One dispatched micro-batch: its size plus per-request outcomes.
     void on_batch(std::size_t batch_size, const std::vector<double>& ok_latencies_us,
                   std::size_t error_count);
+    /// A worker session picked up a newly published weight image.
+    void on_weight_refresh();
+    /// A feedback sample was shed (queue full/disabled/closing).
+    void on_feedback_drop();
 
     ServerStats snapshot(double elapsed_s) const;
 
@@ -80,6 +66,8 @@ private:
     std::uint64_t completed_ = 0;
     std::uint64_t errors_ = 0;
     std::uint64_t batches_ = 0;
+    std::uint64_t weight_refreshes_ = 0;
+    std::uint64_t feedback_dropped_ = 0;
     std::uint64_t batched_requests_ = 0;
     std::size_t max_batch_ = 0;
     std::size_t peak_queue_depth_ = 0;

@@ -366,3 +366,27 @@ TEST(BoundedQueue, MpmcStressDeliversEverythingOnce) {
     for (auto& t : consumers) t.join();
     for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
 }
+
+// ---- latency histogram (moved here from serve; serve keeps an alias) --------
+
+TEST(LatencyHistogram, PercentilesBoundedBySubBucketResolution) {
+    LatencyHistogram h;
+    for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_DOUBLE_EQ(h.max_us(), 1000.0);
+    EXPECT_NEAR(h.mean_us(), 500.5, 1e-9);
+    // Log-bucketed estimates err high by at most one sub-bucket (~6%).
+    EXPECT_GE(h.percentile(0.50), 500.0);
+    EXPECT_LE(h.percentile(0.50), 500.0 * 1.07);
+    EXPECT_GE(h.percentile(0.99), 990.0);
+    EXPECT_LE(h.percentile(0.99), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+}
+
+TEST(LatencyHistogram, EmptyAndSubMicrosecond) {
+    LatencyHistogram h;
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    h.record(0.25);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_LE(h.percentile(0.99), 1.0);
+}

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "iol/incremental.hpp"
@@ -121,4 +124,83 @@ TEST(Iol, RejectsOversizedSchedule) {
     opt.iterations = 3;  // needs 10 classes; pool has 6
     EXPECT_THROW(run_incremental(toy_factory(), pool, pool, opt),
                  std::invalid_argument);
+}
+
+// ---- replay-draw determinism ------------------------------------------------
+// sample_replay is the contract the online engine's replay pool mirrors
+// (online::ReplayPool): class-balanced round-robin over the observed
+// classes, uniform within the class, and a draw sequence that is a pure
+// function of the RNG seed — identical across runs and thread counts.
+
+namespace {
+
+std::vector<std::vector<std::size_t>> toy_by_class() {
+    // Class c owns indices [100*c, 100*c + 20).
+    std::vector<std::vector<std::size_t>> by_class(6);
+    for (std::size_t c = 0; c < 6; ++c)
+        for (std::size_t i = 0; i < 20; ++i) by_class[c].push_back(100 * c + i);
+    return by_class;
+}
+
+}  // namespace
+
+TEST(IolReplay, SameSeedSameDrawsAcrossRuns) {
+    const auto by_class = toy_by_class();
+    const std::vector<std::size_t> observed{1, 3, 4};
+    auto draw = [&](std::uint64_t seed) {
+        Rng rng(seed);
+        std::vector<std::size_t> all;
+        for (int round = 0; round < 5; ++round) {
+            const auto r = sample_replay(by_class, observed, 7, rng);
+            all.insert(all.end(), r.begin(), r.end());
+        }
+        return all;
+    };
+    EXPECT_EQ(draw(17), draw(17));
+    EXPECT_NE(draw(17), draw(18));
+}
+
+TEST(IolReplay, DrawsAreIdenticalOnEveryThreadCount) {
+    const auto by_class = toy_by_class();
+    const std::vector<std::size_t> observed{0, 2, 5};
+    Rng serial_rng(99);
+    const auto expected = sample_replay(by_class, observed, 60, serial_rng);
+
+    for (std::size_t threads : {2u, 4u, 8u}) {
+        std::vector<std::vector<std::size_t>> results(threads);
+        std::vector<std::thread> pool;
+        for (std::size_t t = 0; t < threads; ++t)
+            pool.emplace_back([&, t] {
+                Rng rng(99);  // each thread re-derives the same stream
+                results[t] = sample_replay(by_class, observed, 60, rng);
+            });
+        for (auto& th : pool) th.join();
+        for (const auto& r : results) EXPECT_EQ(r, expected);
+    }
+}
+
+TEST(IolReplay, ClassBalancedAndWithinPoolDraws) {
+    const auto by_class = toy_by_class();
+    const std::vector<std::size_t> observed{1, 4};
+    Rng rng(7);
+    const auto r = sample_replay(by_class, observed, 10, rng);
+    ASSERT_EQ(r.size(), 10u);
+    std::size_t from_1 = 0;
+    std::size_t from_4 = 0;
+    for (std::size_t idx : r) {
+        if (idx >= 100 && idx < 120) ++from_1;
+        else if (idx >= 400 && idx < 420) ++from_4;
+        else FAIL() << "draw " << idx << " outside the observed pools";
+    }
+    EXPECT_EQ(from_1, 5u);  // strict alternation: the round-robin cycle
+    EXPECT_EQ(from_4, 5u);
+}
+
+TEST(IolReplay, RejectsEmptyObservedOrEmptyPool) {
+    auto by_class = toy_by_class();
+    Rng rng(1);
+    EXPECT_THROW(sample_replay(by_class, {}, 3, rng), std::invalid_argument);
+    by_class[2].clear();
+    EXPECT_THROW(sample_replay(by_class, {2}, 3, rng), std::invalid_argument);
+    EXPECT_TRUE(sample_replay(by_class, {2}, 0, rng).empty());  // count 0: no-op
 }

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <type_traits>
 #include <vector>
@@ -323,6 +326,84 @@ TEST(Runtime, SnapshotSaveLoadRoundTrip) {
     for (const auto& s : probe.samples)
         EXPECT_EQ(restored->output_counts(s.image),
                   session->output_counts(s.image));
+    std::remove(path.c_str());
+}
+
+// ---- snapshot-format hardening ----------------------------------------------
+
+namespace {
+
+/// Writes a snapshot in the PR 2 v1 layout (no checksum) so the v1
+/// compatibility contract stays pinned even though save_snapshot now
+/// emits v2.
+void write_v1_snapshot(const std::string& path,
+                       const runtime::WeightSnapshot& snap) {
+    std::ofstream out(path, std::ios::binary);
+    auto put32 = [&](std::uint32_t v) {
+        out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    put32(0x4E525753);  // "NRWS"
+    put32(1);           // version 1
+    put32(static_cast<std::uint32_t>(snap.layers.size()));
+    for (const auto& layer : snap.layers) {
+        put32(static_cast<std::uint32_t>(layer.size()));
+        for (const auto w : layer) put32(static_cast<std::uint32_t>(w));
+    }
+}
+
+}  // namespace
+
+TEST(Runtime, SnapshotV1FilesStillLoad) {
+    const runtime::WeightSnapshot snap{{{5, -6, 7}, {8, -9}}};
+    const std::string path = "runtime_test_v1.weights";
+    write_v1_snapshot(path, snap);
+    EXPECT_EQ(runtime::load_snapshot(path).layers, snap.layers);
+    std::remove(path.c_str());
+}
+
+TEST(Runtime, SnapshotRejectsCorruptionAndTruncation) {
+    const runtime::WeightSnapshot snap{{{11, 22, 33, 44}, {55, 66}}};
+    const std::string path = "runtime_test_corrupt.weights";
+    runtime::save_snapshot(path, snap);
+
+    // Baseline: the untouched file round-trips.
+    EXPECT_EQ(runtime::load_snapshot(path).layers, snap.layers);
+
+    // One flipped payload byte trips the trailing checksum.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(14);
+        char b = 0x21;
+        f.write(&b, 1);
+    }
+    EXPECT_THROW(runtime::load_snapshot(path), std::runtime_error);
+
+    // A truncated file fails loudly too (checksum or short read).
+    runtime::save_snapshot(path, snap);
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) - 5);
+    EXPECT_THROW(runtime::load_snapshot(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(Runtime, SnapshotRejectsAbsurdCountsBeforeAllocating) {
+    // A hand-built file whose layer count / element counts announce far
+    // more data than the file holds must be rejected up front (clear
+    // error, no multi-gigabyte resize, no bad_alloc).
+    const std::string path = "runtime_test_absurd.weights";
+    auto write_header = [&](std::uint32_t layers, std::uint32_t elements) {
+        std::ofstream out(path, std::ios::binary);
+        auto put32 = [&](std::uint32_t v) {
+            out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+        };
+        put32(0x4E525753);
+        put32(1);  // v1: no checksum to satisfy, purely the size checks
+        put32(layers);
+        if (layers > 0) put32(elements);
+    };
+    write_header(0xFFFFFFFFu, 0);  // absurd layer count
+    EXPECT_THROW(runtime::load_snapshot(path), std::runtime_error);
+    write_header(1, 0x7FFFFFFFu);  // absurd element count in one layer
+    EXPECT_THROW(runtime::load_snapshot(path), std::runtime_error);
     std::remove(path.c_str());
 }
 

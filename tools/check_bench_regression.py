@@ -53,6 +53,16 @@ RULES = {
         "metrics": ["throughput_rps"],
         "normalize_by": "closed, workers=1, batch=1",
     },
+    # Learning-while-serving: the feedback order and the integer simulator
+    # make the end-of-stream accuracy reproducible across machines, so it
+    # compares absolutely (like table1). The serve-only control row sits at
+    # chance and is skipped by the signal floor; latency columns are
+    # machine-dependent and deliberately not gated.
+    "online_serving": {
+        "key": "config",
+        "metrics": ["final_accuracy"],
+        "min_baseline": 0.2,
+    },
 }
 
 
