@@ -139,7 +139,7 @@ int main(int argc, char** argv) {
     sopt.workers = workers;
     sopt.queue_capacity = 128;
     sopt.batch.max_batch = batch;
-    sopt.feedback_capacity = 256;
+    sopt.admission.feedback_capacity = 256;
 
     std::vector<Row> rows;
 

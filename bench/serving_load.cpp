@@ -100,17 +100,24 @@ LoadRow run_closed(const std::shared_ptr<const runtime::CompiledModel>& model,
 
 /// Open loop: one generator thread submits with exponential (Poisson
 /// process) inter-arrival gaps at `offered_rps`, shedding when the queue
-/// is full; every handle is then collected after the drain.
+/// is full; every handle is then collected after the drain. `admission`
+/// and `deadline_us` (relative SLO per request, 0 = none) parameterize the
+/// head-of-queue disciplines for the overload sweep; the defaults make
+/// this the historical blunt-shedding open-loop row.
 LoadRow run_open(const std::shared_ptr<const runtime::CompiledModel>& model,
                  const data::Dataset& images, std::size_t workers,
                  std::size_t batch, std::size_t requests, double offered_rps,
-                 std::size_t queue, std::uint64_t delay_us,
-                 std::uint64_t seed) {
-    serve::Server server(model,
-                         make_options(workers, batch, queue, delay_us,
-                                      serve::Backpressure::Shed));
+                 std::size_t queue, std::uint64_t delay_us, std::uint64_t seed,
+                 serve::AdmissionConfig admission = {},
+                 std::uint64_t deadline_us = 0, std::string label = {}) {
+    auto options =
+        make_options(workers, batch, queue, delay_us, serve::Backpressure::Shed);
+    options.admission = admission;
+    serve::Server server(model, options);
     server.start();
     common::Rng rng(seed);
+    serve::SubmitOptions sub;
+    sub.deadline_us = deadline_us;
     std::vector<serve::InferenceHandle> handles;
     handles.reserve(requests);
     const auto t0 = std::chrono::steady_clock::now();
@@ -121,7 +128,8 @@ LoadRow run_open(const std::shared_ptr<const runtime::CompiledModel>& model,
         std::this_thread::sleep_until(
             t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                      std::chrono::duration<double>(arrival_s)));
-        handles.push_back(server.submit(images.samples[i % images.size()].image));
+        handles.push_back(
+            server.submit(images.samples[i % images.size()].image, sub));
     }
     server.shutdown();  // drain everything accepted
     const double wall = seconds_since(t0);
@@ -130,8 +138,9 @@ LoadRow run_open(const std::shared_ptr<const runtime::CompiledModel>& model,
         if (h.get().status == serve::Status::Ok) ++ok;
 
     LoadRow row;
-    row.config = "open, workers=" + std::to_string(workers) +
-                 ", batch=" + std::to_string(batch);
+    row.config = label.empty() ? "open, workers=" + std::to_string(workers) +
+                                     ", batch=" + std::to_string(batch)
+                               : std::move(label);
     row.mode = "open";
     row.workers = workers;
     row.batch = batch;
@@ -156,6 +165,25 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(cli.get_int("delay_us", 200));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
     const double rate_x = cli.get_double("rate_x", 1.5);
+    // Overload sweep (tail-latency engineering, docs/ARCHITECTURE.md §10):
+    // offered rate multiple, per-row request count (0 = 4x --requests), the
+    // CoDel discipline, and the per-request SLO for the deadline row.
+    const double overload_x = cli.get_double("overload_x", 3.0);
+    auto overload_requests =
+        static_cast<std::size_t>(cli.get_int("overload_requests", 0));
+    if (overload_requests == 0) overload_requests = 4 * requests;
+    const auto codel_target_us =
+        static_cast<std::uint64_t>(cli.get_int("codel_target_us", 5'000));
+    const auto codel_interval_us =
+        static_cast<std::uint64_t>(cli.get_int("codel_interval_us", 10'000));
+    const auto deadline_us =
+        static_cast<std::uint64_t>(cli.get_int("deadline_us", 30'000));
+    // Optional self-gates (CI uses tools/check_bench_regression.py against
+    // the committed baseline instead; these catch gross failures locally):
+    // p99 of accepted requests under CoDel must stay within max_p99x times
+    // the closed-loop p99, while goodput holds min_goodput_frac of capacity.
+    const double max_p99x = cli.get_double("max_p99x", 0.0);
+    const double min_goodput_frac = cli.get_double("min_goodput_frac", 0.0);
     // CI's hard scale-out floor: fail unless the best closed-loop rate at
     // max workers is at least this multiple of the workers=1 rate. Off by
     // default — on a 1-core dev container the sweep measures overhead only.
@@ -268,12 +296,111 @@ int main(int argc, char** argv) {
         "rate_x times the best closed-loop rate with the Shed policy, so "
         "its rejected column is the backpressure doing its job. Speedup "
         "saturates at the physical core count.");
+    // ---- overload: admission control vs blunt shedding ---------------------
+    // Three disciplines against the same Poisson storm at overload_x times
+    // capacity, plus the closed-loop reference row CI normalizes against
+    // (machine-speed independence — see tools/check_bench_regression.py).
+    std::vector<LoadRow> orows;
+    LoadRow closed_ref;
+    for (const auto& r : rows)
+        if (r.mode == "closed" && r.workers == max_workers) closed_ref = r;
+    closed_ref.config = "closed-ref";
+    orows.push_back(closed_ref);
+
+    const double overload_rps = overload_x * capacity;
+    serve::AdmissionConfig codel_cfg;
+    codel_cfg.codel.enabled = true;
+    codel_cfg.codel.target_us = codel_target_us;
+    codel_cfg.codel.interval_us = codel_interval_us;
+    orows.push_back(run_open(model, images, max_workers, batch,
+                             overload_requests, overload_rps, queue, delay_us,
+                             seed, {}, 0, "overload, shed-only"));
+    orows.push_back(run_open(model, images, max_workers, batch,
+                             overload_requests, overload_rps, queue, delay_us,
+                             seed, codel_cfg, 0, "overload, codel"));
+    orows.push_back(run_open(model, images, max_workers, batch,
+                             overload_requests, overload_rps, queue, delay_us,
+                             seed, codel_cfg, deadline_us,
+                             "overload, codel+deadline"));
+
+    common::Table otable({"configuration", "goodput req/s", "p99 us",
+                          "sojourn p99 us", "shed", "codel drop", "deadline"});
+    const std::vector<std::string> ocols = {
+        "config",        "mode",          "workers",
+        "batch",         "requests",      "offered_rps",
+        "goodput_rps",   "p95_us",        "p99_us",
+        "sojourn_p99_us", "accepted",     "shed",
+        "codel_dropped", "deadline_missed", "drop_state_entries"};
+    common::CsvWriter ocsv(bench::kCsvDir, "serving_overload", ocols);
+    bench::JsonWriter ojson(bench::kCsvDir, "serving_overload", ocols);
+    for (const auto& r : orows) {
+        otable.add_row({r.config, common::Table::fmt(r.throughput_rps, 1),
+                        common::Table::fmt(r.stats.p99_us, 0),
+                        common::Table::fmt(r.stats.sojourn_p99_us, 0),
+                        std::to_string(r.stats.rejected),
+                        std::to_string(r.stats.codel_dropped),
+                        std::to_string(r.stats.deadline_missed)});
+        const std::vector<std::string> cells = {
+            r.config,
+            r.mode,
+            std::to_string(r.workers),
+            std::to_string(r.batch),
+            std::to_string(r.requests),
+            std::to_string(r.offered_rps),
+            std::to_string(r.throughput_rps),
+            std::to_string(r.stats.p95_us),
+            std::to_string(r.stats.p99_us),
+            std::to_string(r.stats.sojourn_p99_us),
+            std::to_string(r.stats.accepted),
+            std::to_string(r.stats.rejected),
+            std::to_string(r.stats.codel_dropped),
+            std::to_string(r.stats.deadline_missed),
+            std::to_string(r.stats.drop_state_entries)};
+        ocsv.add_row(cells);
+        ojson.add_row(cells);
+    }
+    std::printf("\n");
+    otable.print();
+    std::printf("CSV: %s\nJSON: %s\n", ocsv.write().c_str(),
+                ojson.write().c_str());
+    bench::footnote(
+        "overload rows offer the same seeded Poisson storm at overload_x "
+        "times the measured capacity. shed-only is the blunt baseline "
+        "(bounded queue, full tail cost); codel sheds the stalest head "
+        "entries once standing delay exceeds target; codel+deadline also "
+        "refuses to spend a session slot on requests whose SLO already "
+        "passed. goodput counts Ok responses only; p99 is over accepted "
+        "(Ok) requests — the CoDel rows trade a few percent goodput for a "
+        "bounded tail.");
+
+    bool failed = false;
     if (min_scaleout > 0.0 && scaleout < min_scaleout) {
         std::fprintf(stderr,
                      "FAIL: scale-out %.2fx is below the required %.2fx "
                      "(workers=%zu vs workers=1)\n",
                      scaleout, min_scaleout, max_workers);
-        return 1;
+        failed = true;
     }
-    return 0;
+    for (const auto& r : orows) {
+        if (r.config.find("codel") == std::string::npos) continue;
+        if (max_p99x > 0.0 && closed_ref.stats.p99_us > 0.0 &&
+            r.stats.p99_us > max_p99x * closed_ref.stats.p99_us) {
+            std::fprintf(stderr,
+                         "FAIL: %s p99 %.0f us exceeds %.1fx the closed-loop "
+                         "p99 (%.0f us)\n",
+                         r.config.c_str(), r.stats.p99_us, max_p99x,
+                         closed_ref.stats.p99_us);
+            failed = true;
+        }
+        if (min_goodput_frac > 0.0 &&
+            r.throughput_rps < min_goodput_frac * capacity) {
+            std::fprintf(stderr,
+                         "FAIL: %s goodput %.1f req/s is below %.2f of the "
+                         "measured capacity (%.1f req/s)\n",
+                         r.config.c_str(), r.throughput_rps, min_goodput_frac,
+                         capacity);
+            failed = true;
+        }
+    }
+    return failed ? 1 : 0;
 }

@@ -39,7 +39,7 @@ int main() {
 
     serve::ServerOptions sopt;
     sopt.workers = 2;
-    sopt.feedback_capacity = 256;  // enables the labeled-feedback intake
+    sopt.admission.feedback_capacity = 256;  // enables the labeled-feedback intake
     serve::Server server(model, sopt);
 
     // ---- the online engine -------------------------------------------------

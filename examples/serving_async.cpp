@@ -13,6 +13,10 @@
 //      (p50/p95/p99), batch shapes, and throughput from ServerStats.
 //   5. Overload a tiny-queue Shed-policy server to see backpressure
 //      reject the overflow instead of queueing without bound.
+//   6. Admission control: submit with a priority class and an SLO
+//      deadline, and watch an expired request get rejected at the queue
+//      head instead of wasting a session slot — on a ManualClock, so the
+//      expiry is deterministic (docs/ARCHITECTURE.md §10).
 //
 // Run:  ./example_serving_async [--workers=N] [--batch=B] [--requests=R]
 
@@ -111,5 +115,28 @@ int main(int argc, char** argv) {
     std::printf("overloaded shed-policy server (queue 8): %zu served, %zu "
                 "rejected of %zu — bounded memory, bounded latency\n",
                 ok, shed, burst.size());
+
+    // ---- 6. admission control: priority classes + SLO deadlines ------------
+    auto clock = std::make_shared<serve::ManualClock>();
+    serve::ServerOptions adm_opt = opt;
+    adm_opt.workers = 1;
+    adm_opt.clock = clock;  // virtual time: the expiry below is deterministic
+    adm_opt.admission.codel.enabled = true;
+    serve::Server admitting(servable, adm_opt);
+    serve::SubmitOptions slo;
+    slo.priority = serve::Priority::Batch;
+    slo.deadline_us = 500;  // relative SLO, stamped absolute at submit()
+    auto stale = admitting.submit(test.samples[0].image, slo);
+    auto live = admitting.submit(test.samples[1].image);  // Interactive, no SLO
+    clock->advance_us(1'000);  // the Batch request's deadline passes in-queue
+    admitting.start();
+    admitting.shutdown();
+    const auto r_stale = stale.get();
+    const auto r_live = live.get();
+    std::printf("deadline demo: stale request -> %s (%s, sojourn %llu us), "
+                "live request -> %s\n",
+                serve::to_string(r_stale.status), serve::to_string(r_stale.reject),
+                static_cast<unsigned long long>(r_stale.sojourn_us),
+                serve::to_string(r_live.status));
     return 0;
 }

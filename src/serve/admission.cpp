@@ -1,0 +1,22 @@
+#include "serve/admission.hpp"
+
+namespace neuro::serve {
+
+const char* to_string(Priority p) {
+    switch (p) {
+        case Priority::Interactive: return "interactive";
+        case Priority::Batch: return "batch";
+        case Priority::Feedback: return "feedback";
+    }
+    return "?";
+}
+
+const char* to_string(DropCause c) {
+    switch (c) {
+        case DropCause::Overload: return "overload";
+        case DropCause::DeadlineExceeded: return "deadline-exceeded";
+    }
+    return "?";
+}
+
+}  // namespace neuro::serve

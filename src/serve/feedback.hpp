@@ -2,18 +2,23 @@
 // Labeled-feedback intake for learning-while-serving (neuro::online,
 // docs/ARCHITECTURE.md §9). Clients that learn the true label after (or
 // alongside) an inference hand it back through Server::submit_feedback;
-// the samples flow through a second BoundedQueue that the background
-// learner (online::OnlineEngine) drains with the same micro-batch
-// coalescing the serving workers use.
+// the samples flow through the Feedback class of the admission layer —
+// an AdmissionQueue running the same CoDel discipline as the request
+// queue — which the background learner (online::OnlineEngine) drains with
+// the same micro-batch coalescing the serving workers use.
 //
 // Feedback is advisory by contract: the serving path never blocks on it,
-// and a full queue sheds (the learner is allowed to fall behind a feedback
-// burst — inference traffic is the priority workload).
+// a full queue sheds at the intake, and under standing delay CoDel sheds
+// stale samples at the head — a label that sat in the queue through a
+// whole overload episode describes a model state the learner has already
+// moved past, so training on it is wasted energy. Capacity and discipline
+// come from ServerOptions::admission (AdmissionConfig::feedback_capacity),
+// not a standalone knob: feedback is just the lowest-priority class.
 
 #include <cstddef>
 
-#include "common/bounded_queue.hpp"
 #include "common/tensor.hpp"
+#include "serve/admission.hpp"
 
 namespace neuro::serve {
 
@@ -24,6 +29,6 @@ struct FeedbackSample {
 };
 
 /// The hand-off between Server::submit_feedback and the online learner.
-using FeedbackQueue = common::BoundedQueue<FeedbackSample>;
+using FeedbackQueue = AdmissionQueue<FeedbackSample>;
 
 }  // namespace neuro::serve

@@ -1,8 +1,10 @@
 #pragma once
 // The request/response vocabulary of neuro::serve. A client submits an
-// image and gets back an InferenceHandle — a one-shot future that resolves
-// to an InferenceResult once a worker session has run the phase-1 inference
-// (or immediately, when the request is shed or the server is down).
+// image (optionally with a priority class and an SLO deadline) and gets
+// back an InferenceHandle — a one-shot future that resolves to an
+// InferenceResult once a worker session has run the phase-1 inference, or
+// immediately when admission control rejects the request (shed at intake,
+// CoDel head drop, missed deadline, shutdown).
 
 #include <chrono>
 #include <cstdint>
@@ -12,19 +14,46 @@
 #include <vector>
 
 #include "common/tensor.hpp"
+#include "serve/admission.hpp"
 
 namespace neuro::serve {
 
 enum class Status {
     Ok,        ///< inference ran; label (and counts, if requested) are valid
-    Rejected,  ///< shed by backpressure policy or submitted after shutdown
+    Rejected,  ///< never dispatched — see InferenceResult::reject for why
     Error,     ///< the backend threw (e.g. image size mismatch); see `error`
 };
 
 const char* to_string(Status s);
 
+/// Why a request resolved Rejected. QueueFull rejects happen at the intake
+/// (Shed backpressure); Overload and DeadlineExceeded rejects happen at
+/// the queue head — the request WAS accepted, but admission control chose
+/// not to spend a session slot on it (docs/ARCHITECTURE.md §10).
+enum class RejectReason : std::uint8_t {
+    None,              ///< not rejected
+    QueueFull,         ///< shed at intake by the Shed backpressure policy
+    Shutdown,          ///< submitted after (or refused during) shutdown
+    Overload,          ///< CoDel drop state shed it from the queue head
+    DeadlineExceeded,  ///< its SLO deadline passed while it queued
+};
+
+const char* to_string(RejectReason r);
+
+/// Per-request submission parameters (Server::submit / submit_counts).
+struct SubmitOptions {
+    Priority priority = Priority::Interactive;
+    /// SLO deadline relative to acceptance, in microseconds; 0 = none.
+    /// A request whose deadline passes while it queues is never
+    /// dispatched — it resolves Rejected{DeadlineExceeded} instead.
+    std::uint64_t deadline_us = 0;
+};
+
 struct InferenceResult {
     Status status = Status::Rejected;
+    RejectReason reject = RejectReason::None;
+    /// The class the request was submitted under.
+    Priority priority = Priority::Interactive;
     /// argmax prediction. For count requests ties break on the raw counts
     /// (first maximum) rather than the backend's membrane tie-break.
     std::size_t label = 0;
@@ -32,6 +61,9 @@ struct InferenceResult {
     std::vector<std::int32_t> counts;
     /// Accept-to-completion latency (queueing + batching + inference).
     double latency_us = 0.0;
+    /// Time spent queued before dispatch or head drop (0 for intake
+    /// rejects, which never queued).
+    double sojourn_us = 0.0;
     /// Size of the micro-batch this request was dispatched in (>= 1).
     std::size_t batch_size = 0;
     /// Exception text when status == Error.
@@ -39,7 +71,7 @@ struct InferenceResult {
 };
 
 /// One-shot handle to an in-flight request. Move-only, like the future it
-/// wraps; get() blocks until a worker (or the shed path) completes it.
+/// wraps; get() blocks until a worker (or the reject path) completes it.
 class InferenceHandle {
 public:
     InferenceHandle() = default;
@@ -68,13 +100,14 @@ private:
 };
 
 /// The internal wire format between Server::submit and the worker loops —
-/// what actually travels through the BoundedQueue. Public because the
-/// scheduler (collect_batch) and tests operate on queues of these.
+/// what actually travels through the AdmissionQueue. Enqueue time, class
+/// and deadline live in the queue's entry metadata (the queue stamps them
+/// via its Clock); the Request itself carries only what the worker needs
+/// to run and resolve the inference.
 struct Request {
     enum class Kind { Predict, Counts };
     Kind kind = Kind::Predict;
     common::Tensor image;
-    std::chrono::steady_clock::time_point accepted_at{};
     std::promise<InferenceResult> promise;
 };
 

@@ -7,16 +7,12 @@ namespace neuro::serve {
 
 namespace {
 
-InferenceResult rejected_result() {
+InferenceResult rejected_result(RejectReason reason, Priority cls) {
     InferenceResult r;
     r.status = Status::Rejected;
+    r.reject = reason;
+    r.priority = cls;
     return r;
-}
-
-double micros_since(std::chrono::steady_clock::time_point t0) {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
 }
 
 }  // namespace
@@ -30,18 +26,31 @@ const char* to_string(Status s) {
     return "?";
 }
 
+const char* to_string(RejectReason r) {
+    switch (r) {
+        case RejectReason::None: return "none";
+        case RejectReason::QueueFull: return "queue-full";
+        case RejectReason::Shutdown: return "shutdown";
+        case RejectReason::Overload: return "overload";
+        case RejectReason::DeadlineExceeded: return "deadline-exceeded";
+    }
+    return "?";
+}
+
 Server::Server(std::shared_ptr<const runtime::CompiledModel> model,
                ServerOptions options)
     : model_(std::move(model)),
       options_(options),
-      queue_(options.queue_capacity) {
+      clock_(options.clock ? options.clock : default_clock()),
+      queue_(options.queue_capacity, options.admission, clock_) {
     if (!model_) throw std::invalid_argument("Server: null model");
     if (options_.workers == 0)
         throw std::invalid_argument("Server: zero workers");
     if (options_.batch.max_batch == 0)
         throw std::invalid_argument("Server: zero max_batch");
-    if (options_.feedback_capacity > 0)
-        feedback_ = std::make_shared<FeedbackQueue>(options_.feedback_capacity);
+    if (options_.admission.feedback_capacity > 0)
+        feedback_ = std::make_shared<FeedbackQueue>(
+            options_.admission.feedback_capacity, options_.admission, clock_);
     sessions_ = model_->open_sessions(options_.workers);
 }
 
@@ -82,28 +91,40 @@ void Server::shutdown() {
             .count());
 }
 
-InferenceHandle Server::enqueue(Request::Kind kind,
-                                const common::Tensor& image) {
+InferenceHandle Server::enqueue(Request::Kind kind, const common::Tensor& image,
+                                SubmitOptions opt) {
     if (closing_.load()) {
         metrics_.on_reject();
-        return InferenceHandle::immediate(rejected_result());
+        return InferenceHandle::immediate(
+            rejected_result(RejectReason::Shutdown, opt.priority));
     }
     Request req;
     req.kind = kind;
     req.image = image;
-    req.accepted_at = std::chrono::steady_clock::now();
     auto future = req.promise.get_future();
 
+    // A relative SLO becomes an absolute Clock deadline at the intake; the
+    // queue compares against the same clock at the head.
+    const std::uint64_t deadline_us =
+        opt.deadline_us == 0 ? 0 : clock_->now_us() + opt.deadline_us;
+
     bool accepted = false;
+    RejectReason refusal = RejectReason::Shutdown;
     if (options_.backpressure == Backpressure::Block) {
-        accepted = queue_.push(req);  // false only if closed while waiting
+        // push() returns false only if the queue closed while waiting.
+        accepted = queue_.push(req, opt.priority, deadline_us);
     } else {
-        accepted =
-            queue_.try_push(req) == common::BoundedQueue<Request>::Push::Ok;
+        switch (queue_.try_push(req, opt.priority, deadline_us)) {
+            case AdmissionQueue<Request>::Push::Ok: accepted = true; break;
+            case AdmissionQueue<Request>::Push::Full:
+                refusal = RejectReason::QueueFull;
+                break;
+            case AdmissionQueue<Request>::Push::Closed: break;
+        }
     }
     if (!accepted) {
         metrics_.on_reject();
-        req.promise.set_value(rejected_result());
+        req.promise.set_value(rejected_result(refusal, opt.priority));
     } else {
         metrics_.on_accept(queue_.size());
     }
@@ -118,7 +139,8 @@ bool Server::submit_feedback(const common::Tensor& image, std::size_t label) {
         return false;
     }
     FeedbackSample sample{image, label};
-    if (feedback_->try_push(sample) != FeedbackQueue::Push::Ok) {
+    if (feedback_->try_push(sample, Priority::Feedback) !=
+        FeedbackQueue::Push::Ok) {
         metrics_.on_feedback_drop();
         return false;
     }
@@ -127,17 +149,34 @@ bool Server::submit_feedback(const common::Tensor& image, std::size_t label) {
 
 void Server::worker_loop(std::size_t worker_index) {
     runtime::Session& session = *sessions_[worker_index];
-    std::vector<Request> batch;
+    std::vector<Admitted<Request>> batch;
     std::vector<double> ok_latencies_us;
-    while (collect_batch(queue_, options_.batch, batch)) {
+    std::vector<double> sojourns_us;
+    // Head drops resolve here, on the worker thread: the request WAS
+    // accepted, so its future must complete — as an explicit rejection.
+    const auto reject_drop = [this](Dropped<Request>&& d) {
+        InferenceResult res = rejected_result(
+            d.cause == DropCause::DeadlineExceeded
+                ? RejectReason::DeadlineExceeded
+                : RejectReason::Overload,
+            d.cls);
+        res.sojourn_us = static_cast<double>(d.sojourn_us);
+        metrics_.on_admission_drop(res.sojourn_us);
+        d.value.promise.set_value(std::move(res));
+    };
+    while (collect_admitted(queue_, options_.batch, batch, reject_drop)) {
         // Batch boundary: adopt any newly published weight image before the
         // batch runs, so every request in it executes against one version.
         if (session.refresh()) metrics_.on_weight_refresh();
         ok_latencies_us.clear();
+        sojourns_us.clear();
         std::size_t error_count = 0;
-        for (Request& r : batch) {
+        for (Admitted<Request>& a : batch) {
+            Request& r = a.value;
             InferenceResult res;
             res.batch_size = batch.size();
+            res.priority = a.cls;
+            res.sojourn_us = static_cast<double>(a.sojourn_us);
             try {
                 if (r.kind == Request::Kind::Predict) {
                     res.label = session.predict(r.image);
@@ -153,14 +192,18 @@ void Server::worker_loop(std::size_t worker_index) {
                 res.status = Status::Error;
                 res.error = e.what();
             }
-            res.latency_us = micros_since(r.accepted_at);
+            const std::uint64_t now = clock_->now_us();
+            res.latency_us = static_cast<double>(
+                now >= a.enqueued_at_us ? now - a.enqueued_at_us : 0);
+            sojourns_us.push_back(res.sojourn_us);
             if (res.status == Status::Ok)
                 ok_latencies_us.push_back(res.latency_us);
             else
                 ++error_count;
             r.promise.set_value(std::move(res));
         }
-        metrics_.on_batch(batch.size(), ok_latencies_us, error_count);
+        metrics_.on_batch(batch.size(), ok_latencies_us, sojourns_us,
+                          error_count);
     }
 }
 
@@ -173,6 +216,10 @@ double Server::elapsed_seconds() const {
         .count();
 }
 
-ServerStats Server::stats() const { return metrics_.snapshot(elapsed_seconds()); }
+ServerStats Server::stats() const {
+    return metrics_.snapshot(elapsed_seconds(), queue_.counters(),
+                             feedback_ ? feedback_->counters()
+                                       : AdmissionCounters{});
+}
 
 }  // namespace neuro::serve

@@ -1,22 +1,37 @@
 #pragma once
 // neuro::serve::Server — the async serving engine over the runtime API.
 //
-//   submit() ──► BoundedQueue ──► collect_batch() ──► worker Session ──► future
-//                 (backpressure)    (micro-batching)    (one per worker)
+//   submit() ──► AdmissionQueue ──► collect_admitted() ──► worker Session
+//                 (backpressure,      (micro-batching +        ──► future
+//                  priority classes)   CoDel / deadline drops)
 //
 // One Server owns one immutable CompiledModel and a pool of worker
 // Sessions (one per worker thread — Sessions are not thread-safe, models
 // are; see docs/ARCHITECTURE.md §5). Producers on any number of threads
-// submit images; workers coalesce requests into micro-batches (up to
-// max_batch or max_delay_us, whichever first) and resolve each request's
-// future. Every ACCEPTED request is guaranteed to complete: shutdown()
-// closes the intake, drains the queue, and joins the workers.
+// submit images — optionally with a priority class and an SLO deadline
+// (SubmitOptions); workers coalesce admitted requests into micro-batches
+// (up to max_batch or max_delay_us, whichever first) and resolve each
+// request's future. Every ACCEPTED request is guaranteed to resolve:
+// dispatched requests complete Ok/Error, head-dropped requests complete
+// Rejected{Overload|DeadlineExceeded} — shutdown() closes the intake,
+// drains the queue, and joins the workers.
 //
-// Backpressure (ServerOptions::backpressure):
+// Backpressure (ServerOptions::backpressure) acts at the intake:
 //   * Block — submit() blocks until queue space frees (closed-loop
 //     clients; no request is ever dropped).
-//   * Shed  — submit() returns an already-completed Rejected handle when
-//     the queue is full (open-loop traffic; bounded memory and latency).
+//   * Shed  — submit() returns an already-completed Rejected{QueueFull}
+//     handle when the queue is full (open-loop traffic; bounded memory).
+//
+// Admission control (ServerOptions::admission) acts at the head — see
+// docs/ARCHITECTURE.md §10: CoDel controlled delay keeps the standing
+// queue near target_us under overload by shedding the stalest work,
+// weighted round robin shares worker bandwidth across Interactive/Batch/
+// Feedback classes, and deadline-expired requests never cost a session
+// slot. All admission time flows through the injectable Clock
+// (ServerOptions::clock), so every state transition is deterministically
+// testable with a ManualClock. With CoDel off (the default) and no
+// deadlines, admission degenerates to FIFO and serving is bit-identical
+// to the pre-admission engine.
 //
 // Determinism: workers run each request individually on an isolated
 // Session, so results are bit-identical to sequential Session calls no
@@ -26,11 +41,10 @@
 // Session::refresh() at each batch boundary, so a weight image published on
 // the model (by online::OnlineEngine, or anyone) is picked up by the whole
 // pool within one batch per worker — without pausing the pool, and without
-// affecting requests already in flight. On a model that never publishes the
-// refresh is a single version check and serving is bit-identical to a
-// frozen server. The optional feedback queue (ServerOptions::
-// feedback_capacity, submit_feedback) is the labeled-sample intake the
-// online learner drains.
+// affecting requests already in flight. The labeled-feedback intake is the
+// admission layer's Feedback class (AdmissionConfig::feedback_capacity,
+// submit_feedback): a second AdmissionQueue under the same CoDel
+// discipline, drained by the online learner.
 
 #include <atomic>
 #include <chrono>
@@ -40,9 +54,10 @@
 #include <thread>
 #include <vector>
 
-#include "common/bounded_queue.hpp"
 #include "common/tensor.hpp"
 #include "runtime/compiled_model.hpp"
+#include "serve/admission.hpp"
+#include "serve/clock.hpp"
 #include "serve/feedback.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
@@ -57,9 +72,13 @@ struct ServerOptions {
     std::size_t queue_capacity = 64; ///< bounded intake; the backpressure knob
     BatchPolicy batch;               ///< micro-batch coalescing policy
     Backpressure backpressure = Backpressure::Block;
-    /// Capacity of the labeled-feedback queue (learning-while-serving);
-    /// 0 disables the feedback intake entirely.
-    std::size_t feedback_capacity = 0;
+    /// Head-of-queue admission control: CoDel discipline, class weights,
+    /// and the Feedback-class (labeled feedback) intake capacity.
+    AdmissionConfig admission;
+    /// Time source for admission decisions and latency accounting; null
+    /// (default) uses the shared monotonic SteadyClock. Tests inject a
+    /// ManualClock to drive CoDel/deadline transitions deterministically.
+    std::shared_ptr<Clock> clock;
 };
 
 class Server {
@@ -79,44 +98,52 @@ public:
     void start();
 
     /// Async argmax inference. The handle resolves with status Ok and the
-    /// predicted label (bit-identical to Session::predict on this model).
-    InferenceHandle submit(const common::Tensor& image) {
-        return enqueue(Request::Kind::Predict, image);
+    /// predicted label (bit-identical to Session::predict on this model),
+    /// or Rejected when backpressure or admission control refused it.
+    InferenceHandle submit(const common::Tensor& image,
+                           SubmitOptions opt = {}) {
+        return enqueue(Request::Kind::Predict, image, opt);
     }
 
     /// Async phase-1 spike counts (bit-identical to Session::output_counts).
-    InferenceHandle submit_counts(const common::Tensor& image) {
-        return enqueue(Request::Kind::Counts, image);
+    InferenceHandle submit_counts(const common::Tensor& image,
+                                  SubmitOptions opt = {}) {
+        return enqueue(Request::Kind::Counts, image, opt);
     }
 
-    /// Hands a labeled observation to the feedback stream. Best-effort:
+    /// Hands a labeled observation to the Feedback class. Best-effort:
     /// returns false — and drops the sample — when the feedback intake is
-    /// disabled (feedback_capacity == 0), the queue is full, the label is
-    /// out of range for the model, or the server is shutting down. Never
-    /// blocks: inference traffic has priority over learning material.
+    /// disabled (admission.feedback_capacity == 0), the queue is full, the
+    /// label is out of range for the model, or the server is shutting
+    /// down. Never blocks: inference traffic has priority over learning
+    /// material.
     bool submit_feedback(const common::Tensor& image, std::size_t label);
 
     /// The feedback stream the online learner drains (null when
-    /// feedback_capacity == 0). Closed by shutdown(), which is the
-    /// learner's signal to finish its drain and stop.
+    /// admission.feedback_capacity == 0). Closed by shutdown(), which is
+    /// the learner's signal to finish its drain and stop.
     const std::shared_ptr<FeedbackQueue>& feedback_queue() const {
         return feedback_;
     }
 
-    /// Graceful shutdown: refuses new submissions, completes every accepted
-    /// request, then joins the workers. Idempotent. If the server was never
-    /// start()ed, it is started first so queued requests still drain.
+    /// Graceful shutdown: refuses new submissions, resolves every accepted
+    /// request (dispatch or admission drop), then joins the workers.
+    /// Idempotent. If the server was never start()ed, it is started first
+    /// so queued requests still drain.
     void shutdown();
 
     bool running() const { return started_.load() && !joined_.load(); }
     const ServerOptions& options() const { return options_; }
+    /// The admission clock (the injected one, or the shared steady clock).
+    const std::shared_ptr<Clock>& clock() const { return clock_; }
 
     /// Point-in-time counters + latency percentiles. elapsed/throughput are
     /// measured from start() (frozen at shutdown()).
     ServerStats stats() const;
 
 private:
-    InferenceHandle enqueue(Request::Kind kind, const common::Tensor& image);
+    InferenceHandle enqueue(Request::Kind kind, const common::Tensor& image,
+                            SubmitOptions opt);
     void start_locked();
     void worker_loop(std::size_t worker_index);
     double elapsed_seconds() const;
@@ -124,7 +151,8 @@ private:
     std::mutex lifecycle_m_;  // serializes start()/shutdown()
     std::shared_ptr<const runtime::CompiledModel> model_;
     ServerOptions options_;
-    common::BoundedQueue<Request> queue_;
+    std::shared_ptr<Clock> clock_;
+    AdmissionQueue<Request> queue_;
     std::shared_ptr<FeedbackQueue> feedback_;
     std::vector<std::unique_ptr<runtime::Session>> sessions_;
     std::vector<std::thread> workers_;

@@ -16,6 +16,11 @@ void ServerMetrics::on_reject() {
     ++rejected_;
 }
 
+void ServerMetrics::on_admission_drop(double sojourn_us) {
+    std::lock_guard<std::mutex> lock(m_);
+    sojourn_.record(sojourn_us);
+}
+
 void ServerMetrics::on_weight_refresh() {
     std::lock_guard<std::mutex> lock(m_);
     ++weight_refreshes_;
@@ -28,6 +33,7 @@ void ServerMetrics::on_feedback_drop() {
 
 void ServerMetrics::on_batch(std::size_t batch_size,
                              const std::vector<double>& ok_latencies_us,
+                             const std::vector<double>& sojourns_us,
                              std::size_t error_count) {
     std::lock_guard<std::mutex> lock(m_);
     ++batches_;
@@ -36,9 +42,12 @@ void ServerMetrics::on_batch(std::size_t batch_size,
     completed_ += ok_latencies_us.size();
     errors_ += error_count;
     for (const double us : ok_latencies_us) latency_.record(us);
+    for (const double us : sojourns_us) sojourn_.record(us);
 }
 
-ServerStats ServerMetrics::snapshot(double elapsed_s) const {
+ServerStats ServerMetrics::snapshot(double elapsed_s,
+                                    const AdmissionCounters& queue,
+                                    const AdmissionCounters& feedback) const {
     std::lock_guard<std::mutex> lock(m_);
     ServerStats s;
     s.accepted = accepted_;
@@ -46,6 +55,20 @@ ServerStats ServerMetrics::snapshot(double elapsed_s) const {
     s.completed = completed_;
     s.errors = errors_;
     s.batches = batches_;
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+        s.class_accepted[c] = queue.accepted[c] + feedback.accepted[c];
+        s.class_dropped[c] = queue.codel_dropped[c] + feedback.codel_dropped[c];
+        s.class_deadline_missed[c] =
+            queue.deadline_dropped[c] + feedback.deadline_dropped[c];
+        s.codel_dropped += s.class_dropped[c];
+        s.deadline_missed += s.class_deadline_missed[c];
+    }
+    s.drop_state_entries =
+        queue.drop_state_entries + feedback.drop_state_entries;
+    s.sojourn_p50_us = sojourn_.percentile(0.50);
+    s.sojourn_p95_us = sojourn_.percentile(0.95);
+    s.sojourn_p99_us = sojourn_.percentile(0.99);
+    s.sojourn_max_us = sojourn_.max_us();
     s.weight_refreshes = weight_refreshes_;
     s.feedback_dropped = feedback_dropped_;
     s.mean_batch = batches_ == 0 ? 0.0

@@ -139,6 +139,72 @@ class GateTest(unittest.TestCase):
         code, out = self.run_gate()
         self.assertEqual(code, 1, out)
 
+    # ---- lower-is-better metrics (serving_overload max_metrics) --------------
+
+    @staticmethod
+    def overload_rows(shed_goodput, shed_p99, codel_goodput, codel_p99):
+        return [
+            {"config": "overload, shed-only",
+             "goodput_rps": shed_goodput, "p99_us": shed_p99},
+            {"config": "overload, codel",
+             "goodput_rps": codel_goodput, "p99_us": codel_p99},
+        ]
+
+    def test_overload_p99_within_ceiling_passes(self):
+        # Baseline: codel p99 at 0.6x of blunt shedding. Current run is a
+        # 10x slower machine with the same ratios: must pass.
+        self.write(self.baselines, "serving_overload",
+                   self.overload_rows(1000.0, 100000.0, 950.0, 60000.0))
+        self.write(self.results, "serving_overload",
+                   self.overload_rows(100.0, 1000000.0, 95.0, 600000.0))
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+
+    def test_overload_p99_blowup_fails_even_with_goodput_held(self):
+        # p99 ratio 0.6 -> 0.9 (+50% > 20% tolerance): the tail is no
+        # longer bounded relative to blunt shedding, so the gate fails even
+        # though goodput is fine and ABSOLUTE p99 improved.
+        self.write(self.baselines, "serving_overload",
+                   self.overload_rows(1000.0, 100000.0, 950.0, 60000.0))
+        self.write(self.results, "serving_overload",
+                   self.overload_rows(1000.0, 50000.0, 950.0, 45000.0))
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("p99_us regressed", out)
+
+    def test_overload_p99_exactly_at_ceiling_passes(self):
+        # ceiling = 0.5 * (1 + 0.20) = 0.6; current ratio exactly 0.6.
+        self.write(self.baselines, "serving_overload",
+                   self.overload_rows(1000.0, 100000.0, 1000.0, 50000.0))
+        self.write(self.results, "serving_overload",
+                   self.overload_rows(1000.0, 100000.0, 1000.0, 60000.0))
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+
+    def test_overload_goodput_collapse_fails(self):
+        # The tail is great because admission drops nearly everything:
+        # goodput ratio 0.95 -> 0.5 must fail despite the excellent p99.
+        self.write(self.baselines, "serving_overload",
+                   self.overload_rows(1000.0, 100000.0, 950.0, 60000.0))
+        self.write(self.results, "serving_overload",
+                   self.overload_rows(1000.0, 100000.0, 500.0, 5000.0))
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("goodput_rps regressed", out)
+
+    def test_overload_extra_result_rows_are_not_gated(self):
+        # The results file carries a closed-ref context row; the committed
+        # baseline deliberately omits it, so it must not be compared.
+        self.write(self.baselines, "serving_overload",
+                   self.overload_rows(1000.0, 100000.0, 950.0, 60000.0))
+        cur = self.overload_rows(1000.0, 100000.0, 950.0, 60000.0)
+        cur.append({"config": "closed-ref",
+                    "goodput_rps": 123.0, "p99_us": 9999999.0})
+        self.write(self.results, "serving_overload", cur)
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("closed-ref", out)
+
     # ---- accuracy rules ------------------------------------------------------
 
     def test_min_baseline_skips_chance_level_rows(self):

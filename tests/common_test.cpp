@@ -390,3 +390,231 @@ TEST(LatencyHistogram, EmptyAndSubMicrosecond) {
     EXPECT_EQ(h.count(), 1u);
     EXPECT_LE(h.percentile(0.99), 1.0);
 }
+
+// ---- randomized producer/consumer stress (seeded, satellite of the
+// ---- admission-control PR; run under TSan in CI) ----------------------------
+
+#include <map>
+#include <mutex>
+
+#include "serve/admission.hpp"
+#include "serve/clock.hpp"
+
+namespace {
+
+// Encode (producer, sequence) so consumers can check per-producer FIFO
+// without any out-of-band bookkeeping.
+constexpr int kSeqBase = 1'000'000;
+int encode(int producer, int seq) { return producer * kSeqBase + seq; }
+
+}  // namespace
+
+// Randomized (seeded ⇒ reproducible) MPMC interleavings: no accepted item
+// is lost or duplicated, and items from one producer are consumed in the
+// order that producer pushed them — the queue may interleave producers
+// arbitrarily, but never reorders a single producer's stream.
+TEST(BoundedQueueStress, SeededMpmcInterleavingsConserveItemsAndProducerFifo) {
+    for (const std::uint64_t seed : {7ull, 21ull, 1968ull}) {
+        Rng rng(seed);
+        const int producers = static_cast<int>(rng.uniform_int(2, 4));
+        const int consumers = static_cast<int>(rng.uniform_int(2, 4));
+        const int per_producer = static_cast<int>(rng.uniform_int(200, 400));
+        BoundedQueue<int> q(static_cast<std::size_t>(rng.uniform_int(1, 8)));
+
+        std::vector<std::thread> threads;
+        std::mutex consumed_m;
+        std::vector<int> consumed;
+        for (int p = 0; p < producers; ++p) {
+            threads.emplace_back([&, p] {
+                for (int s = 0; s < per_producer; ++s) {
+                    int v = encode(p, s);
+                    ASSERT_TRUE(q.push(v));  // Block mode: nothing is shed
+                }
+            });
+        }
+        std::atomic<int> remaining{producers * per_producer};
+        for (int c = 0; c < consumers; ++c) {
+            threads.emplace_back([&] {
+                int out;
+                std::vector<int> local;
+                while (remaining.fetch_sub(1) > 0) {
+                    if (!q.pop(out)) break;
+                    local.push_back(out);
+                }
+                std::lock_guard<std::mutex> lock(consumed_m);
+                consumed.insert(consumed.end(), local.begin(), local.end());
+            });
+        }
+        // Consumers claim items via `remaining`, so exactly
+        // producers*per_producer pops happen and every thread terminates.
+        for (auto& t : threads) t.join();
+
+        ASSERT_EQ(consumed.size(),
+                  static_cast<std::size_t>(producers * per_producer))
+            << "seed " << seed;
+        // Conservation: each (producer, seq) appears exactly once.
+        std::vector<int> sorted = consumed;
+        std::sort(sorted.begin(), sorted.end());
+        for (int p = 0, i = 0; p < producers; ++p)
+            for (int s = 0; s < per_producer; ++s, ++i)
+                ASSERT_EQ(sorted[static_cast<std::size_t>(i)], encode(p, s))
+                    << "seed " << seed;
+    }
+}
+
+// NOTE on FIFO-per-producer above: with multiple consumers, consumption
+// order across consumers is not globally observable, so FIFO is asserted
+// in the single-consumer variant below where the pop order IS the queue
+// order.
+TEST(BoundedQueueStress, SingleConsumerObservesPerProducerFifo) {
+    Rng rng(4242);
+    const int producers = 4;
+    const int per_producer = 500;
+    BoundedQueue<int> q(static_cast<std::size_t>(rng.uniform_int(2, 6)));
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int s = 0; s < per_producer; ++s) {
+                int v = encode(p, s);
+                ASSERT_TRUE(q.push(v));
+            }
+        });
+    }
+    std::vector<int> consumed;
+    int out;
+    for (int i = 0; i < producers * per_producer; ++i) {
+        ASSERT_TRUE(q.pop(out));
+        consumed.push_back(out);
+    }
+    for (auto& t : threads) t.join();
+
+    std::map<int, int> next_seq;
+    for (const int v : consumed) {
+        const int p = v / kSeqBase;
+        const int s = v % kSeqBase;
+        ASSERT_EQ(s, next_seq[p]) << "producer " << p << " reordered";
+        ++next_seq[p];
+    }
+}
+
+// close() during a concurrent push storm: whatever the queue ACCEPTED is
+// exactly what consumers drain — no accepted item vanishes, no refused
+// item sneaks in.
+TEST(BoundedQueueStress, CloseUnderConcurrentSubmittersDrainsExactlyAccepted) {
+    BoundedQueue<int> q(4);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 300;
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<int> started{0};
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            started.fetch_add(1);
+            for (int s = 0; s < kPerProducer; ++s) {
+                int v = encode(p, s);
+                if (q.try_push(v) == BoundedQueue<int>::Push::Ok)
+                    accepted.fetch_add(1);
+            }
+        });
+    }
+    std::uint64_t consumed = 0;
+    std::thread consumer([&] {
+        int out;
+        while (q.pop(out)) ++consumed;
+    });
+    while (started.load() < kProducers) std::this_thread::yield();
+    q.close();  // races with in-flight try_push calls by design
+    for (auto& t : producers) t.join();
+    consumer.join();
+    EXPECT_EQ(consumed, accepted.load());
+}
+
+// The same conservation law for the admission queue, with drops in the
+// balance: accepted == admitted + dropped, every drop carries the right
+// cause, and within one class a single consumer observes producer FIFO.
+TEST(AdmissionQueueStress, ConcurrentProducersConserveEntriesAcrossClasses) {
+    using neuro::serve::Admitted;
+    using neuro::serve::AdmissionQueue;
+    using neuro::serve::DropCause;
+    using neuro::serve::Dropped;
+    using neuro::serve::Priority;
+
+    auto clk = std::make_shared<neuro::serve::ManualClock>();
+    clk->set_us(1'000);
+    AdmissionQueue<int> q(8, neuro::serve::AdmissionConfig{}, clk);
+
+    constexpr int kProducers = 3;  // one per priority class
+    constexpr int kPerProducer = 400;
+    std::vector<std::thread> producers;
+    std::atomic<std::uint64_t> expired_pushed{0};
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            Rng rng(100 + static_cast<std::uint64_t>(p));
+            const auto cls = static_cast<Priority>(p);
+            for (int s = 0; s < kPerProducer; ++s) {
+                int v = encode(p, s);
+                // ~25% of entries carry an already-expired deadline (the
+                // clock is frozen at 1000, the deadline is 500): they must
+                // surface as DeadlineExceeded drops, never dispatch.
+                const bool expired = rng.bernoulli(0.25);
+                if (expired) expired_pushed.fetch_add(1);
+                ASSERT_TRUE(q.push(v, cls, expired ? 500u : 0u));
+            }
+        });
+    }
+
+    std::vector<int> admitted;
+    std::vector<Dropped<int>> dropped;
+    std::thread consumer([&] {
+        Admitted<int> out;
+        std::vector<Dropped<int>> drops;
+        for (;;) {
+            drops.clear();
+            const bool got = q.pop(out, drops);
+            dropped.insert(dropped.end(),
+                           std::make_move_iterator(drops.begin()),
+                           std::make_move_iterator(drops.end()));
+            if (got)
+                admitted.push_back(out.value);
+            else if (drops.empty())
+                break;  // terminal: closed and drained
+        }
+    });
+    for (auto& t : producers) t.join();
+    q.close();
+    consumer.join();
+
+    EXPECT_EQ(admitted.size() + dropped.size(),
+              static_cast<std::size_t>(kProducers * kPerProducer));
+    EXPECT_EQ(dropped.size(), expired_pushed.load());
+    for (const auto& d : dropped)
+        EXPECT_EQ(d.cause, DropCause::DeadlineExceeded);
+
+    // Single consumer ⇒ per-class order is observable: the admitted and
+    // dropped streams each replay their producer's sequence monotonically
+    // (one producer per class; the queue never reorders within a class).
+    std::map<int, int> next_admitted, next_dropped;
+    for (const int v : admitted) {
+        const int p = v / kSeqBase;
+        ASSERT_GE(v % kSeqBase, next_admitted[p]);
+        next_admitted[p] = v % kSeqBase;
+    }
+    for (const auto& d : dropped) {
+        const int p = d.value / kSeqBase;
+        ASSERT_GE(d.value % kSeqBase, next_dropped[p]);
+        next_dropped[p] = d.value % kSeqBase;
+    }
+
+    const auto counters = q.counters();
+    std::uint64_t acc = 0, disp = 0, dl = 0;
+    for (std::size_t c = 0; c < neuro::serve::kPriorityClasses; ++c) {
+        acc += counters.accepted[c];
+        disp += counters.dispatched[c];
+        dl += counters.deadline_dropped[c];
+    }
+    EXPECT_EQ(acc, static_cast<std::uint64_t>(kProducers * kPerProducer));
+    EXPECT_EQ(disp, admitted.size());
+    EXPECT_EQ(dl, dropped.size());
+}

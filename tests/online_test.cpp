@@ -184,7 +184,7 @@ TEST(OnlineServing, NoPublishMeansBitIdenticalServing) {
     serve::ServerOptions opt;
     opt.workers = 2;
     opt.batch.max_batch = 4;
-    opt.feedback_capacity = 64;
+    opt.admission.feedback_capacity = 64;
     serve::Server server(model, opt);
     online::OnlineOptions oopt;
     oopt.publish_interval = 1'000'000;  // never reached
@@ -472,7 +472,7 @@ TEST(OnlineServing, MalformedFeedbackNeverKillsTheLearner) {
 
     // Intake validation: an out-of-range label is dropped at submit time.
     serve::ServerOptions opt;
-    opt.feedback_capacity = 8;
+    opt.admission.feedback_capacity = 8;
     serve::Server server(model, opt);
     EXPECT_FALSE(server.submit_feedback(good.samples[0].image, kClasses + 3));
     EXPECT_GE(server.stats().feedback_dropped, 1u);
@@ -507,7 +507,7 @@ TEST(OnlineServing, LearnerAndServerRunConcurrently) {
     serve::ServerOptions opt;
     opt.workers = 2;
     opt.batch.max_batch = 4;
-    opt.feedback_capacity = 128;
+    opt.admission.feedback_capacity = 128;
     serve::Server server(model, opt);
     online::OnlineOptions oopt;
     oopt.publish_interval = 16;

@@ -168,11 +168,13 @@ TEST(Server, ShedPolicyRejectsExactlyTheOverflowBeforeStart) {
     for (int i = 0; i < 5; ++i)
         handles.push_back(server.submit(images.samples[0].image));
 
-    // Queue holds 2: requests 2..4 must already be complete as Rejected.
+    // Queue holds 2: requests 2..4 must already be complete as Rejected,
+    // with the intake-specific reason (shed, not head-dropped).
     for (int i = 2; i < 5; ++i) {
         ASSERT_TRUE(handles[static_cast<std::size_t>(i)].ready());
-        EXPECT_EQ(handles[static_cast<std::size_t>(i)].get().status,
-                  serve::Status::Rejected);
+        auto r = handles[static_cast<std::size_t>(i)].get();
+        EXPECT_EQ(r.status, serve::Status::Rejected);
+        EXPECT_EQ(r.reject, serve::RejectReason::QueueFull);
     }
     server.shutdown();  // auto-starts and drains the two accepted requests
     for (int i = 0; i < 2; ++i)
@@ -237,7 +239,9 @@ TEST(Server, ShutdownDrainsEveryAcceptedRequest) {
     // After shutdown the intake is closed: immediate rejection.
     auto late = server.submit(images.samples[0].image);
     ASSERT_TRUE(late.ready());
-    EXPECT_EQ(late.get().status, serve::Status::Rejected);
+    auto late_result = late.get();
+    EXPECT_EQ(late_result.status, serve::Status::Rejected);
+    EXPECT_EQ(late_result.reject, serve::RejectReason::Shutdown);
     EXPECT_FALSE(server.running());
     const auto stats = server.stats();
     EXPECT_EQ(stats.completed, 20u);
@@ -326,6 +330,57 @@ TEST(Server, StatsInvariantsAfterLoad) {
     EXPECT_LE(s.p99_us, s.max_us * 1.07);  // bucket upper-edge slack
     EXPECT_GT(s.elapsed_s, 0.0);
     EXPECT_GT(s.throughput_rps, 0.0);
+
+    // Admission-layer stats under a no-overload run: everything rode the
+    // default Interactive class, the sojourn histogram saw every dispatch,
+    // and CoDel (disabled) never engaged.
+    constexpr auto kInteractive =
+        static_cast<std::size_t>(serve::Priority::Interactive);
+    EXPECT_EQ(s.class_accepted[kInteractive], 32u);
+    EXPECT_EQ(s.class_dropped[kInteractive], 0u);
+    EXPECT_EQ(s.class_deadline_missed[kInteractive], 0u);
+    EXPECT_EQ(s.codel_dropped, 0u);
+    EXPECT_EQ(s.deadline_missed, 0u);
+    EXPECT_EQ(s.drop_state_entries, 0u);
+    EXPECT_LE(s.sojourn_p50_us, s.sojourn_p95_us);
+    EXPECT_LE(s.sojourn_p95_us, s.sojourn_p99_us);
+    EXPECT_LE(s.sojourn_p99_us, s.sojourn_max_us * 1.07);
+    // Queue wait is a component of end-to-end latency.
+    EXPECT_LE(s.sojourn_p50_us, s.max_us);
+}
+
+// Per-class accounting: one request per class (feedback via its own
+// intake), each attributed to the right AdmissionCounters slot.
+TEST(Server, StatsAttributeAcceptsToTheSubmittedClass) {
+    const auto model = make_model();
+    const auto images = make_images(3);
+    serve::ServerOptions opt;
+    opt.workers = 1;
+    opt.admission.feedback_capacity = 4;
+    serve::Server server(model, opt);
+    server.start();
+
+    serve::SubmitOptions interactive;  // default class
+    serve::SubmitOptions batch;
+    batch.priority = serve::Priority::Batch;
+    auto r0 = server.submit(images.samples[0].image, interactive).get();
+    auto r1 = server.submit(images.samples[1].image, batch).get();
+    ASSERT_TRUE(server.submit_feedback(images.samples[2].image, 1));
+    EXPECT_EQ(r0.status, serve::Status::Ok);
+    EXPECT_EQ(r0.priority, serve::Priority::Interactive);
+    EXPECT_EQ(r1.status, serve::Status::Ok);
+    EXPECT_EQ(r1.priority, serve::Priority::Batch);
+    server.shutdown();
+
+    const auto s = server.stats();
+    constexpr auto kI = static_cast<std::size_t>(serve::Priority::Interactive);
+    constexpr auto kB = static_cast<std::size_t>(serve::Priority::Batch);
+    constexpr auto kF = static_cast<std::size_t>(serve::Priority::Feedback);
+    EXPECT_EQ(s.class_accepted[kI], 1u);
+    EXPECT_EQ(s.class_accepted[kB], 1u);
+    EXPECT_EQ(s.class_accepted[kF], 1u);
+    EXPECT_EQ(s.codel_dropped + s.deadline_missed, 0u);
+    EXPECT_EQ(s.feedback_dropped, 0u);
 }
 
 // ---- concurrency (run under TSan in CI) -------------------------------------

@@ -25,9 +25,11 @@ import os
 import sys
 
 # Per-bench gating rules. `metrics` are higher-is-better numeric columns;
-# `normalize_by` names the reference row whose metric value divides every
-# row's (same-run normalization); `min_baseline` skips rows whose baseline
-# value carries no signal (e.g. chance-level accuracy at smoke scale).
+# `max_metrics` are lower-is-better columns (latency-style: the gate fails
+# when current exceeds baseline * (1 + tolerance)); `normalize_by` names
+# the reference row whose metric value divides every row's (same-run
+# normalization); `min_baseline` skips rows whose baseline value carries
+# no signal (e.g. chance-level accuracy at smoke scale).
 #
 # table1 gates only the chip columns: the chip simulator is pure integer
 # with seeded RNG, so those accuracies are reproducible across machines.
@@ -52,6 +54,20 @@ RULES = {
         "key": "config",
         "metrics": ["throughput_rps"],
         "normalize_by": "closed, workers=1, batch=1",
+    },
+    # Tail latency under overload: every row is normalized by the same-run
+    # blunt-shedding row ("overload, shed-only"), so the gate tracks what
+    # admission control buys over tail-dropping on the same machine under
+    # the same Poisson storm: goodput must hold (higher is better) while
+    # p99 of accepted requests stays bounded (lower is better). The
+    # closed-ref row in the results file is context only — it is absent
+    # from the committed baseline, so it is not gated (its ratio to the
+    # overload rows is too machine-dependent).
+    "serving_overload": {
+        "key": "config",
+        "metrics": ["goodput_rps"],
+        "max_metrics": ["p99_us"],
+        "normalize_by": "overload, shed-only",
     },
     # Learning-while-serving: the feedback order and the integer simulator
     # make the end-of-stream accuracy reproducible across machines, so it
@@ -81,12 +97,16 @@ def index_rows(rows, key):
     return out
 
 
+def all_metrics(rule):
+    return list(rule.get("metrics", [])) + list(rule.get("max_metrics", []))
+
+
 def normalized(rows_by_key, rule):
     ref_key = rule.get("normalize_by")
     out = {}
     for key, row in rows_by_key.items():
         out[key] = {}
-        for metric in rule["metrics"]:
+        for metric in all_metrics(rule):
             value = row.get(metric)
             if not isinstance(value, (int, float)):
                 continue
@@ -116,14 +136,30 @@ def check_bench(name, baseline_path, results_path, tolerance):
         if key not in cur:
             failures.append(f"{name}: row '{key}' missing from results")
             continue
+        lower_is_better = set(rule.get("max_metrics", []))
         for metric, base_value in metrics.items():
-            if base_value < rule.get("min_baseline", 0.0):
+            is_max = metric in lower_is_better
+            if not is_max and base_value < rule.get("min_baseline", 0.0):
                 print(f"  [      skip] {name} / {key} / {metric}: baseline "
                       f"{base_value:.4g} below signal floor")
                 continue
             cur_value = cur[key].get(metric)
             if cur_value is None:
                 failures.append(f"{name}: '{key}' lost metric {metric}")
+                continue
+            if is_max:
+                ceiling = base_value * (1.0 + tolerance)
+                bad = cur_value > ceiling
+                status = "REGRESSION" if bad else "ok"
+                print(f"  [{status:>10}] {name} / {key} / {metric}: "
+                      f"baseline {base_value:.4g}, current {cur_value:.4g} "
+                      f"(ceiling {ceiling:.4g})")
+                if bad:
+                    failures.append(
+                        f"{name}: '{key}' {metric} regressed "
+                        f"{(cur_value / base_value - 1) * 100.0:.1f}% "
+                        f"(baseline {base_value:.4g} -> {cur_value:.4g}, "
+                        f"tolerance {tolerance * 100.0:.0f}%)")
                 continue
             floor = base_value * (1.0 - tolerance)
             status = "ok" if cur_value >= floor else "REGRESSION"
