@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/csv.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 
 namespace neuro::bench {
@@ -60,7 +61,10 @@ public:
         for (std::size_t r = 0; r < rows_.size(); ++r) {
             out << "  {";
             for (std::size_t k = 0; k < keys_.size(); ++k) {
-                out << quote(keys_[k]) << ": " << cell(rows_[r][k]);
+                // Escaping/number rules live in common/json.hpp, shared
+                // with serve::stats_to_json and the netd control socket.
+                out << common::json_quote(keys_[k]) << ": "
+                    << common::json_cell(rows_[r][k]);
                 if (k + 1 < keys_.size()) out << ", ";
             }
             out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
@@ -70,63 +74,6 @@ public:
     }
 
 private:
-    static std::string quote(const std::string& s) {
-        std::string q = "\"";
-        for (const char c : s) {
-            switch (c) {
-                case '"': q += "\\\""; break;
-                case '\\': q += "\\\\"; break;
-                case '\n': q += "\\n"; break;
-                case '\t': q += "\\t"; break;
-                default:
-                    if (static_cast<unsigned char>(c) < 0x20) {
-                        char buf[8];
-                        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                        q += buf;
-                    } else {
-                        q += c;
-                    }
-            }
-        }
-        return q + "\"";
-    }
-
-    /// Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
-    /// — deliberately narrower than strtod (no hex, no leading '.', no '+',
-    /// no inf/nan), so a pass-through cell is always valid JSON.
-    static bool is_json_number(const std::string& s) {
-        std::size_t i = 0;
-        const auto digit = [&](std::size_t k) {
-            return k < s.size() && s[k] >= '0' && s[k] <= '9';
-        };
-        const auto digits = [&]() {
-            std::size_t n = 0;
-            while (digit(i)) ++i, ++n;
-            return n;
-        };
-        if (i < s.size() && s[i] == '-') ++i;
-        if (i < s.size() && s[i] == '0')
-            ++i;  // a leading zero must stand alone
-        else if (digits() == 0)
-            return false;
-        if (i < s.size() && s[i] == '.') {
-            ++i;
-            if (digits() == 0) return false;
-        }
-        if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
-            ++i;
-            if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
-            if (digits() == 0) return false;
-        }
-        return i == s.size();
-    }
-
-    /// Numbers pass through raw (JSON numbers); everything else becomes an
-    /// escaped string.
-    static std::string cell(const std::string& s) {
-        return !s.empty() && is_json_number(s) ? s : quote(s);
-    }
-
     std::string dir_;
     std::string name_;
     std::vector<std::string> keys_;

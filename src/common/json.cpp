@@ -1,0 +1,72 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace neuro::common {
+
+std::string json_quote(const std::string& s) {
+    std::string q = "\"";
+    for (const char c : s) {
+        switch (c) {
+            case '"': q += "\\\""; break;
+            case '\\': q += "\\\\"; break;
+            case '\n': q += "\\n"; break;
+            case '\t': q += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    q += buf;
+                } else {
+                    q += c;
+                }
+        }
+    }
+    return q + "\"";
+}
+
+bool is_json_number(const std::string& s) {
+    std::size_t i = 0;
+    const auto digit = [&](std::size_t k) {
+        return k < s.size() && s[k] >= '0' && s[k] <= '9';
+    };
+    const auto digits = [&]() {
+        std::size_t n = 0;
+        while (digit(i)) ++i, ++n;
+        return n;
+    };
+    if (i < s.size() && s[i] == '-') ++i;
+    if (i < s.size() && s[i] == '0')
+        ++i;  // a leading zero must stand alone
+    else if (digits() == 0)
+        return false;
+    if (i < s.size() && s[i] == '.') {
+        ++i;
+        if (digits() == 0) return false;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+        ++i;
+        if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+        if (digits() == 0) return false;
+    }
+    return i == s.size();
+}
+
+std::string json_cell(const std::string& s) {
+    return !s.empty() && is_json_number(s) ? s : json_quote(s);
+}
+
+std::string json_double(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    std::string out(buf);
+    // %g can print "1e+05" style exponents, which are valid JSON, but it
+    // never prints a bare trailing '.' — so the grammar check only fails
+    // on pathological locales; fall back to quoting rather than emitting
+    // invalid JSON.
+    return is_json_number(out) ? out : json_quote(out);
+}
+
+}  // namespace neuro::common

@@ -1,0 +1,75 @@
+#pragma once
+// Minimal JSON emission helpers shared by everything in the project that
+// writes JSON by hand: bench_util::JsonWriter (bench result arrays),
+// serve::stats_to_json (the ServerStats blob behind the neurod control
+// socket's `stats` command), and the netd daemon's connection dumps. One
+// escaping implementation, one number grammar — so a cell that round-trips
+// through any of them is always valid JSON.
+//
+// This is an *emitter* only. Nothing in the project parses JSON; the
+// consumers are CI tooling (tools/check_bench_regression.py) and humans.
+
+#include <cstdint>
+#include <string>
+
+namespace neuro::common {
+
+/// `s` as a double-quoted JSON string literal: quotes/backslashes escaped,
+/// control characters emitted as \uXXXX (plus the \n and \t shorthands).
+std::string json_quote(const std::string& s);
+
+/// Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+/// — deliberately narrower than strtod (no hex, no leading '.', no '+',
+/// no inf/nan), so a pass-through cell is always valid JSON.
+bool is_json_number(const std::string& s);
+
+/// Numbers pass through raw (JSON numbers); everything else becomes an
+/// escaped string literal.
+std::string json_cell(const std::string& s);
+
+/// A finite double as a JSON number (shortest round-trip-safe form);
+/// non-finite values — which JSON cannot represent — become null.
+std::string json_double(double v);
+
+/// Incremental "{...}" builder for flat or hand-nested objects. add() keys
+/// are escaped; values are typed. add_raw() splices pre-built JSON (a
+/// nested object or array) verbatim.
+class JsonObject {
+public:
+    JsonObject() : out_("{") {}
+
+    JsonObject& add(const std::string& key, const std::string& v) {
+        return add_raw(key, json_quote(v));
+    }
+    JsonObject& add(const std::string& key, const char* v) {
+        return add_raw(key, json_quote(v));
+    }
+    JsonObject& add(const std::string& key, double v) {
+        return add_raw(key, json_double(v));
+    }
+    JsonObject& add(const std::string& key, std::uint64_t v) {
+        return add_raw(key, std::to_string(v));
+    }
+    JsonObject& add(const std::string& key, std::int64_t v) {
+        return add_raw(key, std::to_string(v));
+    }
+    JsonObject& add(const std::string& key, bool v) {
+        return add_raw(key, v ? "true" : "false");
+    }
+    JsonObject& add_raw(const std::string& key, const std::string& raw_json) {
+        if (out_.size() > 1) out_ += ",";
+        out_ += json_quote(key);
+        out_ += ":";
+        out_ += raw_json;
+        return *this;
+    }
+
+    /// The finished object. The builder may keep add()ing afterwards; str()
+    /// is a pure snapshot.
+    std::string str() const { return out_ + "}"; }
+
+private:
+    std::string out_;
+};
+
+}  // namespace neuro::common

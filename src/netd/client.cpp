@@ -1,0 +1,173 @@
+#include "netd/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace neuro::netd {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error("netd::Client: " + what + ": " +
+                             std::strerror(errno));
+}
+
+void write_all(int fd, const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("send");
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        decoder_ = std::move(other.decoder_);
+    }
+    return *this;
+}
+
+Client Client::connect_unix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("netd::Client: socket path too long: " +
+                                 path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(unix)");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("connect " + path);
+    }
+    return Client(fd);
+}
+
+Client Client::connect_tcp(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(tcp)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("connect 127.0.0.1:" + std::to_string(port));
+    }
+    return Client(fd);
+}
+
+void Client::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Client::send(const RequestFrame& f) {
+    const auto bytes = encode(f);
+    send_raw(bytes.data(), bytes.size());
+}
+
+void Client::send_raw(const void* data, std::size_t n) {
+    if (fd_ < 0) throw std::runtime_error("netd::Client: not connected");
+    write_all(fd_, data, n);
+}
+
+std::size_t Client::recv_raw(void* buf, std::size_t n) {
+    if (fd_ < 0) throw std::runtime_error("netd::Client: not connected");
+    for (;;) {
+        const ssize_t r = ::recv(fd_, buf, n, 0);
+        if (r >= 0) return static_cast<std::size_t>(r);
+        if (errno == EINTR) continue;
+        throw_errno("recv");
+    }
+}
+
+bool Client::recv_response(ResponseFrame& out) {
+    if (fd_ < 0) throw std::runtime_error("netd::Client: not connected");
+    for (;;) {
+        switch (decoder_.next_response(out)) {
+            case Decoder::Result::Frame: return true;
+            case Decoder::Result::Error:
+                throw std::runtime_error(
+                    std::string("netd::Client: protocol error: ") +
+                    to_string(decoder_.error()));
+            case Decoder::Result::NeedMore: break;
+        }
+        std::uint8_t buf[16 * 1024];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n == 0) return false;  // daemon closed the connection
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("recv");
+        }
+        decoder_.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+ResponseFrame Client::call(const RequestFrame& f) {
+    send(f);
+    ResponseFrame resp;
+    while (recv_response(resp)) {
+        if (resp.request_id == f.request_id) return resp;
+        // A pipelined response from an earlier request; callers using
+        // call() one-at-a-time never hit this, drop it and keep reading.
+    }
+    throw std::runtime_error(
+        "netd::Client: connection closed before the response arrived");
+}
+
+std::string control_request(const std::string& control_path,
+                            const std::string& command) {
+    Client c = Client::connect_unix(control_path);
+    const std::string line = command + "\n";
+    c.send_raw(line.data(), line.size());
+
+    std::string reply;
+    char buf[4096];
+    for (;;) {
+        const std::size_t nl = reply.find('\n');
+        if (nl != std::string::npos) {
+            reply.resize(nl);
+            if (!reply.empty() && reply.back() == '\r') reply.pop_back();
+            return reply;
+        }
+        const std::size_t n = c.recv_raw(buf, sizeof(buf));
+        if (n == 0)
+            throw std::runtime_error(
+                "netd: control connection closed before a reply line");
+        reply.append(buf, n);
+    }
+}
+
+}  // namespace neuro::netd

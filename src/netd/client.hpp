@@ -1,0 +1,69 @@
+#pragma once
+// neuro::netd::Client — a minimal blocking client for the neurod wire
+// protocol, shared by the loopback tests, the socket-mode load bench and
+// examples/neurod_client. Deliberately synchronous and single-threaded:
+// the daemon is the part of the system that must never block; a client
+// may simply read until its response arrives.
+//
+// Responses can arrive out of order when requests are pipelined (the
+// daemon writes each back as its completion fires), so recv_response()
+// returns frames in arrival order and callers match on request_id.
+
+#include <cstdint>
+#include <string>
+
+#include "netd/protocol.hpp"
+
+namespace neuro::netd {
+
+class Client {
+public:
+    Client() = default;
+    /// Closes the connection.
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&& other) noexcept;
+
+    /// Connects to a Unix-domain socket path; throws std::runtime_error on
+    /// failure (daemon not up, path wrong).
+    static Client connect_unix(const std::string& path);
+    /// Connects to 127.0.0.1:port (the daemon's optional TCP listener).
+    static Client connect_tcp(std::uint16_t port);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /// Writes one encoded request frame (blocking until fully written).
+    void send(const RequestFrame& f);
+    /// Writes raw bytes — lets tests drip a frame onto the wire in
+    /// arbitrary splits.
+    void send_raw(const void* data, std::size_t n);
+
+    /// Blocking raw read: bytes received, 0 on EOF. Throws on socket error.
+    std::size_t recv_raw(void* buf, std::size_t n);
+
+    /// Blocks until one whole response frame arrives. Returns false on EOF
+    /// (daemon closed the connection); throws on a protocol violation.
+    bool recv_response(ResponseFrame& out);
+
+    /// send() + recv_response() matched on request_id — the simple
+    /// one-at-a-time call pattern.
+    ResponseFrame call(const RequestFrame& f);
+
+private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    Decoder decoder_;
+};
+
+/// One-shot admin command against the daemon's control socket: connects,
+/// sends `command` + '\n', returns the single reply line (without the
+/// newline). Throws on connect/IO failure or EOF before a full line.
+std::string control_request(const std::string& control_path,
+                            const std::string& command);
+
+}  // namespace neuro::netd

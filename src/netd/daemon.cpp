@@ -1,0 +1,693 @@
+#include "netd/daemon.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/json.hpp"
+#include "serve/request.hpp"
+
+namespace neuro::netd {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error("netd: " + what + ": " + std::strerror(errno));
+}
+
+std::uint64_t us_u64(double us) {
+    return us <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(us));
+}
+
+/// InferenceResult → wire response. The echoed request id / priority come
+/// from the request frame; everything else is the server's disposition.
+ResponseFrame to_response(std::uint64_t request_id,
+                          const serve::InferenceResult& r) {
+    ResponseFrame out;
+    switch (r.status) {
+        case serve::Status::Ok: out.status = WireStatus::Ok; break;
+        case serve::Status::Rejected: out.status = WireStatus::Rejected; break;
+        case serve::Status::Error: out.status = WireStatus::Error; break;
+    }
+    out.reject_reason = static_cast<std::uint8_t>(r.reject);
+    out.priority = static_cast<std::uint8_t>(r.priority);
+    out.request_id = request_id;
+    out.label = static_cast<std::uint32_t>(r.label);
+    out.latency_us = us_u64(r.latency_us);
+    out.sojourn_us = us_u64(r.sojourn_us);
+    out.batch_size = static_cast<std::uint32_t>(r.batch_size);
+    out.counts = r.counts;
+    out.error = r.error;
+    return out;
+}
+
+}  // namespace
+
+Daemon::Daemon(std::shared_ptr<serve::Server> server,
+               std::shared_ptr<const runtime::CompiledModel> model,
+               DaemonOptions options,
+               std::shared_ptr<online::ModelRegistry> registry)
+    : server_(std::move(server)),
+      model_(std::move(model)),
+      options_(std::move(options)),
+      registry_(std::move(registry)) {
+    if (!server_) throw std::invalid_argument("netd: null server");
+    if (!model_) throw std::invalid_argument("netd: null model");
+    if (server_->options().backpressure != serve::Backpressure::Shed)
+        throw std::invalid_argument(
+            "netd: the daemon requires Backpressure::Shed — Block would "
+            "park the event loop on a full queue");
+    if (options_.data_path.empty() && options_.tcp_port == 0)
+        throw std::invalid_argument("netd: no data listener configured");
+}
+
+Daemon::~Daemon() {
+    // Worker completion callbacks hold ConnPtrs plus `this` (dirty list,
+    // eventfd). The serving engine guarantees every accepted request
+    // resolves, so this wait is bounded by the server's own drain.
+    while (inflight_.load() != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (const auto& [fd, conn] : conns_) {
+        std::lock_guard<std::mutex> lk(conn->m);
+        conn->closed = true;
+        ::close(fd);
+    }
+    for (const auto& [fd, control] : listeners_) ::close(fd);
+    if (!options_.data_path.empty()) ::unlink(options_.data_path.c_str());
+    if (!options_.control_path.empty())
+        ::unlink(options_.control_path.c_str());
+}
+
+// ---- listeners -------------------------------------------------------------
+
+int Daemon::listen_unix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::invalid_argument("netd: socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd =
+        ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(unix)");
+    ::unlink(path.c_str());  // replace a stale socket file from a prior run
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        ::close(fd);
+        throw_errno("bind " + path);
+    }
+    if (::listen(fd, 128) != 0) {
+        ::close(fd);
+        throw_errno("listen " + path);
+    }
+    return fd;
+}
+
+int Daemon::listen_tcp(std::uint16_t port) {
+    const int fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(tcp)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        ::close(fd);
+        throw_errno("bind 127.0.0.1:" + std::to_string(port));
+    }
+    if (::listen(fd, 128) != 0) {
+        ::close(fd);
+        throw_errno("listen tcp");
+    }
+    return fd;
+}
+
+void Daemon::setup_listeners() {
+    if (!options_.data_path.empty())
+        listeners_.emplace_back(listen_unix(options_.data_path), false);
+    if (options_.tcp_port != 0)
+        listeners_.emplace_back(listen_tcp(options_.tcp_port), false);
+    if (!options_.control_path.empty())
+        listeners_.emplace_back(listen_unix(options_.control_path), true);
+    for (const auto& [fd, control] : listeners_) {
+        const bool is_control = control;
+        const int lfd = fd;
+        loop_.add(lfd, EPOLLIN,
+                  [this, lfd, is_control](std::uint32_t) {
+                      on_accept(lfd, is_control);
+                  });
+    }
+}
+
+void Daemon::on_accept(int listen_fd, bool control) {
+    for (;;) {
+        const int fd =
+            ::accept4(listen_fd, nullptr, nullptr,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            return;  // EMFILE and friends: drop this readiness round
+        }
+        auto conn = std::make_shared<Connection>(options_.max_frame_bytes);
+        conn->fd = fd;
+        conn->control = control;
+        conns_[fd] = conn;
+        totals_.connections_accepted.fetch_add(1);
+        totals_.connections_open.fetch_add(1);
+        loop_.add(fd, EPOLLIN, [this, conn](std::uint32_t events) {
+            on_conn_event(conn, events);
+        });
+    }
+}
+
+// ---- connection event plumbing ---------------------------------------------
+
+void Daemon::on_conn_event(const ConnPtr& conn, std::uint32_t events) {
+    if (events & (EPOLLHUP | EPOLLERR)) {
+        close_connection(conn);
+        return;
+    }
+    if (events & EPOLLIN) on_readable(conn);
+    if ((events & EPOLLOUT) && conn->fd >= 0) on_writable(conn);
+}
+
+void Daemon::on_readable(const ConnPtr& conn) {
+    std::uint8_t buf[64 * 1024];
+    // Level-triggered: read a bounded amount per round and let epoll call
+    // us again, so one firehose client cannot starve the other fds.
+    for (int round = 0; round < 4; ++round) {
+        const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+        if (n == 0) {  // peer closed; in-flight responses are discarded
+            close_connection(conn);
+            return;
+        }
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            close_connection(conn);
+            return;
+        }
+        conn->counters.bytes_in += static_cast<std::uint64_t>(n);
+        totals_.bytes_in.fetch_add(static_cast<std::uint64_t>(n));
+
+        if (conn->control) {
+            conn->line_buf.append(reinterpret_cast<const char*>(buf),
+                                  static_cast<std::size_t>(n));
+            // An unterminated flood has no frame ceiling to bound it — cap
+            // the line buffer like a frame.
+            if (conn->line_buf.size() > options_.max_frame_bytes) {
+                totals_.malformed_closed.fetch_add(1);
+                close_connection(conn);
+                return;
+            }
+            std::size_t nl;
+            while ((nl = conn->line_buf.find('\n')) != std::string::npos) {
+                std::string line = conn->line_buf.substr(0, nl);
+                conn->line_buf.erase(0, nl + 1);
+                if (!line.empty() && line.back() == '\r') line.pop_back();
+                handle_control_line(conn, line);
+                if (conn->fd < 0) return;  // command closed the connection
+            }
+        } else {
+            conn->decoder.feed(buf, static_cast<std::size_t>(n));
+            RequestFrame f;
+            for (;;) {
+                const Decoder::Result r = conn->decoder.next_request(f);
+                if (r == Decoder::Result::NeedMore) break;
+                if (r == Decoder::Result::Error) {
+                    // Framing is lost; no reply is possible on a stream we
+                    // can no longer delimit. Count it and sever.
+                    totals_.malformed_closed.fetch_add(1);
+                    close_connection(conn);
+                    return;
+                }
+                conn->counters.frames_in++;
+                totals_.frames_in.fetch_add(1);
+                handle_request(conn, std::move(f));
+                if (conn->fd < 0) return;
+            }
+        }
+        if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+    }
+    update_read_interest(conn);
+}
+
+void Daemon::on_writable(const ConnPtr& conn) {
+    flush_conn(conn);
+    if (conn->fd >= 0) update_read_interest(conn);
+}
+
+void Daemon::on_wake() {
+    std::vector<ConnPtr> dirty;
+    {
+        std::lock_guard<std::mutex> lk(dirty_m_);
+        dirty.swap(dirty_);
+    }
+    for (const ConnPtr& conn : dirty) {
+        if (conn->fd < 0) continue;
+        flush_conn(conn);
+        if (conn->fd >= 0) update_read_interest(conn);
+    }
+    on_tick();  // a wake is also the drain-progress signal
+}
+
+void Daemon::on_tick() {
+    if ((drain_requested_.load() || shutdown_requested_.load()) && !draining_)
+        begin_drain();
+    if (draining_) check_drain_progress();
+}
+
+// ---- write path ------------------------------------------------------------
+
+void Daemon::deliver(const ConnPtr& conn, std::vector<std::uint8_t> bytes) {
+    // Worker-thread side of the writeback: queue the encoded response and
+    // wake the loop. A closed connection still reaches here (mid-flight
+    // disconnect) — the bytes are dropped but the in-flight accounting and
+    // the wakeup still happen, so a drain never stalls on a dead client.
+    {
+        std::lock_guard<std::mutex> lk(conn->m);
+        if (!conn->closed) {
+            conn->pending_bytes += bytes.size();
+            conn->pending.push_back(std::move(bytes));
+        }
+    }
+    conn->inflight.fetch_sub(1);
+    inflight_.fetch_sub(1);
+    {
+        std::lock_guard<std::mutex> lk(dirty_m_);
+        dirty_.push_back(conn);
+    }
+    loop_.wakeup();
+}
+
+void Daemon::append_out(const ConnPtr& conn, const std::uint8_t* data,
+                        std::size_t n) {
+    conn->outbuf.insert(conn->outbuf.end(), data, data + n);
+    flush_conn(conn);
+}
+
+void Daemon::flush_conn(const ConnPtr& conn) {
+    // Pull worker-delivered responses into the loop-owned buffer first.
+    {
+        std::lock_guard<std::mutex> lk(conn->m);
+        while (!conn->pending.empty()) {
+            auto& b = conn->pending.front();
+            conn->outbuf.insert(conn->outbuf.end(), b.begin(), b.end());
+            conn->counters.responses_out++;
+            totals_.responses_out.fetch_add(1);
+            conn->pending.pop_front();
+        }
+        conn->pending_bytes = 0;
+    }
+    while (conn->out_off < conn->outbuf.size()) {
+        const ssize_t n =
+            ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+                   conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            close_connection(conn);  // EPIPE/ECONNRESET: peer is gone
+            return;
+        }
+        conn->out_off += static_cast<std::size_t>(n);
+        conn->counters.bytes_out += static_cast<std::uint64_t>(n);
+        totals_.bytes_out.fetch_add(static_cast<std::uint64_t>(n));
+    }
+    const bool blocked = conn->out_off < conn->outbuf.size();
+    if (!blocked) {
+        conn->outbuf.clear();
+        conn->out_off = 0;
+    } else if (conn->out_off > (1u << 16)) {
+        conn->outbuf.erase(
+            conn->outbuf.begin(),
+            conn->outbuf.begin() + static_cast<std::ptrdiff_t>(conn->out_off));
+        conn->out_off = 0;
+    }
+    if (blocked != conn->want_write) {
+        conn->want_write = blocked;
+        update_read_interest(conn);
+    }
+}
+
+std::size_t Daemon::unflushed_bytes(const ConnPtr& conn) {
+    std::size_t pending;
+    {
+        std::lock_guard<std::mutex> lk(conn->m);
+        pending = conn->pending_bytes;
+    }
+    return pending + (conn->outbuf.size() - conn->out_off);
+}
+
+void Daemon::update_read_interest(const ConnPtr& conn) {
+    if (conn->fd < 0) return;
+    bool pause = draining_ && !conn->control;
+    if (!pause) {
+        const std::size_t backlog = unflushed_bytes(conn);
+        const std::size_t inflight = conn->inflight.load();
+        if (conn->paused)
+            // Hysteresis: resume only once both pressures halve, so a
+            // client at the edge does not flap the interest mask.
+            pause = backlog > options_.write_buffer_limit / 2 ||
+                    inflight > options_.max_inflight_per_conn / 2;
+        else
+            pause = backlog > options_.write_buffer_limit ||
+                    inflight >= options_.max_inflight_per_conn;
+    }
+    if (pause && !conn->paused) totals_.backpressure_pauses.fetch_add(1);
+    conn->paused = pause;
+    const std::uint32_t events = (pause ? 0u : static_cast<std::uint32_t>(
+                                                   EPOLLIN)) |
+                                 (conn->want_write ? EPOLLOUT : 0u);
+    loop_.modify(conn->fd, events);
+}
+
+void Daemon::close_connection(ConnPtr conn) {  // NOLINT: by-value keeps it alive
+    if (conn->fd < 0) return;
+    {
+        std::lock_guard<std::mutex> lk(conn->m);
+        conn->closed = true;
+        conn->pending.clear();
+        conn->pending_bytes = 0;
+    }
+    loop_.remove(conn->fd);
+    ::close(conn->fd);
+    conns_.erase(conn->fd);
+    conn->fd = -1;
+    totals_.connections_open.fetch_sub(1);
+}
+
+// ---- request handling ------------------------------------------------------
+
+void Daemon::handle_request(const ConnPtr& conn, RequestFrame&& f) {
+    common::Tensor image(std::vector<std::size_t>(f.shape.begin(),
+                                                  f.shape.end()));
+    std::memcpy(image.data(), f.data.data(), f.data.size() * sizeof(float));
+
+    if (f.kind == MsgKind::Feedback) {
+        // Feedback is fire-and-forget into the learner's queue; the reply
+        // is immediate and local — it never touches a worker.
+        conn->counters.feedback_frames++;
+        totals_.feedback_frames.fetch_add(1);
+        const bool ok = server_->submit_feedback(image, f.label);
+        ResponseFrame resp;
+        resp.status = ok ? WireStatus::Ok : WireStatus::Rejected;
+        resp.reject_reason = static_cast<std::uint8_t>(
+            ok ? serve::RejectReason::None : serve::RejectReason::QueueFull);
+        resp.priority = static_cast<std::uint8_t>(serve::Priority::Feedback);
+        resp.request_id = f.request_id;
+        resp.label = f.label;
+        const auto bytes = encode(resp);
+        append_out(conn, bytes.data(), bytes.size());
+        return;
+    }
+
+    serve::SubmitOptions opt;
+    opt.priority = static_cast<serve::Priority>(f.priority);
+    opt.deadline_us = f.deadline_us;
+    const std::uint64_t request_id = f.request_id;
+
+    conn->inflight.fetch_add(1);
+    inflight_.fetch_add(1);
+    // The callback runs on a worker thread (or inline right here for an
+    // intake shed) — either way deliver() owns the thread-safety.
+    auto done = [this, conn, request_id](serve::InferenceResult&& r) {
+        deliver(conn, encode(to_response(request_id, r)));
+    };
+    if (f.kind == MsgKind::Predict)
+        server_->submit_async(image, opt, std::move(done));
+    else
+        server_->submit_counts_async(image, opt, std::move(done));
+}
+
+// ---- control socket --------------------------------------------------------
+
+void Daemon::handle_control_line(const ConnPtr& conn,
+                                 const std::string& line) {
+    if (line.empty()) return;
+    totals_.control_commands.fetch_add(1);
+    const std::string reply = run_control_command(line) + "\n";
+    append_out(conn, reinterpret_cast<const std::uint8_t*>(reply.data()),
+               reply.size());
+}
+
+std::string Daemon::run_control_command(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd, arg;
+    in >> cmd >> arg;
+
+    try {
+        if (cmd == "ping") return "ok pong";
+        if (cmd == "stats") return "ok " + stats_json();
+        if (cmd == "version")
+            return "ok " + std::to_string(model_->published_version());
+        if (cmd == "drain") {
+            drain_requested_.store(true);
+            return "ok draining";
+        }
+        if (cmd == "shutdown") {
+            shutdown_requested_.store(true);
+            drain_requested_.store(true);
+            return "ok shutting-down";
+        }
+        if (cmd == "unload") {
+            // Back to the compiled-in initial weights; sessions pick the
+            // image up at their next refresh().
+            model_->publish_weights(model_->initial_weights());
+            pinned_version_ = 0;
+            return "ok unloaded";
+        }
+        if (cmd == "versions") {
+            if (!registry_) return "err no registry";
+            registry_->reload();
+            std::string out = "[";
+            for (const auto& e : registry_->entries()) {
+                if (out.size() > 1) out += ",";
+                out += common::JsonObject()
+                           .add("version", static_cast<std::uint64_t>(e.version))
+                           .add("accuracy", e.accuracy)
+                           .str();
+            }
+            return "ok " + out + "]";
+        }
+        if (cmd == "load" || cmd == "pin") {
+            if (!registry_) return "err no registry";
+            if (arg.empty()) return "err usage: " + cmd + " <version>|latest";
+            registry_->reload();
+            std::uint64_t version = 0;
+            if (arg == "latest") {
+                const auto last = registry_->last_good();
+                if (!last) return "err registry is empty";
+                version = last->version;
+            } else {
+                try {
+                    version = std::stoull(arg);
+                } catch (const std::exception&) {
+                    return "err bad version: " + arg;
+                }
+            }
+            if (!registry_->has(version))
+                return "err unknown version: " + std::to_string(version);
+            model_->publish_weights(registry_->load(version));
+            pinned_version_ = version;
+            return "ok pinned " + std::to_string(version) + " published " +
+                   std::to_string(model_->published_version());
+        }
+        if (cmd == "rollback") {
+            if (!registry_) return "err no registry";
+            registry_->reload();
+            const auto& entries = registry_->entries();
+            // Step back one accepted version from the current pin (or from
+            // the newest entry when nothing was explicitly pinned).
+            std::size_t idx = entries.size();
+            for (std::size_t i = 0; i < entries.size(); ++i)
+                if (entries[i].version == pinned_version_) idx = i;
+            if (idx == entries.size() && entries.size() >= 2)
+                idx = entries.size() - 1;
+            if (idx == 0 || idx == entries.size())
+                return "err nothing to roll back to";
+            const std::uint64_t version = entries[idx - 1].version;
+            model_->publish_weights(registry_->load(version));
+            pinned_version_ = version;
+            return "ok pinned " + std::to_string(version) + " published " +
+                   std::to_string(model_->published_version());
+        }
+    } catch (const std::exception& e) {
+        return std::string("err ") + e.what();
+    }
+    return "err unknown command: " + cmd;
+}
+
+std::string Daemon::stats_json() const {
+    const DaemonStats d = stats();
+    std::string conns = "[";
+    for (const auto& [fd, conn] : conns_) {
+        if (conns.size() > 1) conns += ",";
+        conns += common::JsonObject()
+                     .add("fd", static_cast<std::int64_t>(fd))
+                     .add("control", conn->control)
+                     .add("frames_in", conn->counters.frames_in)
+                     .add("responses_out", conn->counters.responses_out)
+                     .add("bytes_in", conn->counters.bytes_in)
+                     .add("bytes_out", conn->counters.bytes_out)
+                     .add("feedback_frames", conn->counters.feedback_frames)
+                     .add("inflight",
+                          static_cast<std::uint64_t>(conn->inflight.load()))
+                     .add("paused", conn->paused)
+                     .str();
+    }
+    conns += "]";
+    const std::string daemon =
+        common::JsonObject()
+            .add("connections_accepted", d.connections_accepted)
+            .add("connections_open", d.connections_open)
+            .add("frames_in", d.frames_in)
+            .add("responses_out", d.responses_out)
+            .add("bytes_in", d.bytes_in)
+            .add("bytes_out", d.bytes_out)
+            .add("malformed_closed", d.malformed_closed)
+            .add("feedback_frames", d.feedback_frames)
+            .add("control_commands", d.control_commands)
+            .add("backpressure_pauses", d.backpressure_pauses)
+            .add("inflight", d.inflight)
+            .add("draining", d.draining)
+            .add("published_version", model_->published_version())
+            .add("pinned_version", pinned_version_)
+            .str();
+    return common::JsonObject()
+        .add_raw("server", serve::stats_to_json(server_->stats()))
+        .add_raw("daemon", daemon)
+        .add_raw("connections", conns)
+        .str();
+}
+
+// ---- lifecycle -------------------------------------------------------------
+
+void Daemon::run() {
+    setup_listeners();
+    loop_.set_on_wake([this] { on_wake(); });
+    loop_.set_on_tick([this] { on_tick(); });
+    // A bounded wait keeps drain timeouts honest even with no fd traffic.
+    loop_.run(/*tick_ms=*/50);
+
+    // Past this point no handler can run; release whatever is left.
+    std::vector<ConnPtr> leftover;
+    leftover.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) leftover.push_back(conn);
+    for (const ConnPtr& conn : leftover) close_connection(conn);
+    for (const auto& [fd, control] : listeners_) {
+        loop_.remove(fd);
+        ::close(fd);
+    }
+    listeners_.clear();
+    if (!options_.data_path.empty()) ::unlink(options_.data_path.c_str());
+    if (!options_.control_path.empty())
+        ::unlink(options_.control_path.c_str());
+    finished_.store(true);
+}
+
+void Daemon::request_drain() {
+    drain_requested_.store(true);
+    loop_.wakeup();
+}
+
+void Daemon::request_shutdown() {
+    // Async-signal-safe: two lock-free stores and one eventfd write.
+    shutdown_requested_.store(true);
+    drain_requested_.store(true);
+    loop_.wakeup();
+}
+
+void Daemon::begin_drain() {
+    draining_ = true;
+    drain_started_ = std::chrono::steady_clock::now();
+    // New connections: refused (data listeners gone). On a pure drain the
+    // control listener stays so an operator can watch stats / escalate to
+    // shutdown; shutdown closes it too.
+    auto keep = listeners_.end();
+    for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+        const bool keep_control = it->second && !shutdown_requested_.load();
+        if (keep_control) {
+            keep = it;
+            continue;
+        }
+        loop_.remove(it->first);
+        ::close(it->first);
+    }
+    if (keep != listeners_.end()) {
+        listeners_ = {*keep};
+    } else {
+        listeners_.clear();
+        if (!options_.control_path.empty())
+            ::unlink(options_.control_path.c_str());
+    }
+    if (!options_.data_path.empty()) ::unlink(options_.data_path.c_str());
+    // Existing requests: already submitted, will resolve. Unread requests:
+    // never read — EPOLLIN interest drops for every data connection.
+    for (const auto& [fd, conn] : conns_)
+        if (!conn->control) update_read_interest(conn);
+}
+
+void Daemon::check_drain_progress() {
+    const bool timed_out =
+        std::chrono::steady_clock::now() - drain_started_ >=
+        std::chrono::milliseconds(options_.drain_timeout_ms);
+
+    std::vector<ConnPtr> closable;
+    bool data_left = false;
+    for (const auto& [fd, conn] : conns_) {
+        if (conn->control) continue;
+        // Accepted-implies-responded: a data connection is severed only
+        // once its in-flight requests resolved AND their responses hit the
+        // socket — unless the drain timeout says the client is dead.
+        if (timed_out ||
+            (conn->inflight.load() == 0 && unflushed_bytes(conn) == 0))
+            closable.push_back(conn);
+        else
+            data_left = true;
+    }
+    for (const ConnPtr& conn : closable) close_connection(conn);
+
+    if (!shutdown_requested_.load()) return;  // pure drain: loop stays up
+    if (data_left && !timed_out) return;
+    if (inflight_.load() != 0 && !timed_out) return;
+
+    // Flush control replies (the `shutdown` ack) before exiting; a blocked
+    // control peer is abandoned rather than allowed to wedge the exit.
+    for (const auto& [fd, conn] : conns_)
+        if (conn->control && conn->fd >= 0) flush_conn(conn);
+    loop_.stop();
+}
+
+DaemonStats Daemon::stats() const {
+    DaemonStats s;
+    s.connections_accepted = totals_.connections_accepted.load();
+    s.connections_open = totals_.connections_open.load();
+    s.frames_in = totals_.frames_in.load();
+    s.responses_out = totals_.responses_out.load();
+    s.bytes_in = totals_.bytes_in.load();
+    s.bytes_out = totals_.bytes_out.load();
+    s.malformed_closed = totals_.malformed_closed.load();
+    s.feedback_frames = totals_.feedback_frames.load();
+    s.control_commands = totals_.control_commands.load();
+    s.backpressure_pauses = totals_.backpressure_pauses.load();
+    s.inflight = inflight_.load();
+    s.draining = drain_requested_.load() || shutdown_requested_.load();
+    return s;
+}
+
+}  // namespace neuro::netd

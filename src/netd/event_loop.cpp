@@ -1,0 +1,118 @@
+#include "netd/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace neuro::netd {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::runtime_error(std::string("EventLoop: ") + what + ": " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) throw_errno("epoll_create1");
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+        ::close(epoll_fd_);
+        throw_errno("eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+        ::close(wake_fd_);
+        ::close(epoll_fd_);
+        throw_errno("epoll_ctl(wake)");
+    }
+}
+
+EventLoop::~EventLoop() {
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, Handler h) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+        throw_errno("epoll_ctl(add)");
+    handlers_[fd] = std::move(h);
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0)
+        throw_errno("epoll_ctl(mod)");
+}
+
+void EventLoop::remove(int fd) {
+    // The fd may already be gone (closed elsewhere); deregistration is
+    // best-effort, the handler map is what dispatch consults.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    handlers_.erase(fd);
+}
+
+void EventLoop::run(int tick_ms) {
+    running_.store(true);
+    std::vector<epoll_event> events(64);
+    while (running_.load()) {
+        const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                   static_cast<int>(events.size()), tick_ms);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("epoll_wait");
+        }
+        bool woken = false;
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == wake_fd_) {
+                std::uint64_t drain = 0;
+                // Coalesced counter; one read clears it.
+                while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+                }
+                woken = true;
+                continue;
+            }
+            // A handler earlier in this batch may have removed this fd —
+            // dispatch only to still-registered handlers.
+            const auto it = handlers_.find(fd);
+            if (it == handlers_.end()) continue;
+            // Invoke a COPY: a handler that remove()s its own fd (closing
+            // a connection) would otherwise destroy the closure it is
+            // executing, freeing its captured state mid-call.
+            const Handler h = it->second;
+            h(events[i].events);
+        }
+        if (woken && on_wake_) on_wake_();
+        if (on_tick_) on_tick_();
+    }
+}
+
+void EventLoop::stop() {
+    running_.store(false);
+    wakeup();
+}
+
+void EventLoop::wakeup() {
+    const std::uint64_t one = 1;
+    // EAGAIN (counter saturated) still wakes the loop; nothing to handle.
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace neuro::netd

@@ -1,0 +1,67 @@
+#pragma once
+// neuro::netd::EventLoop — a thin single-threaded epoll readiness loop
+// (the llarp/ev idiom: register fd → callback, run until stopped). The
+// loop thread owns every handler; the ONLY thread-safe entry points are
+// wakeup() and stop(), which are also async-signal-safe (one eventfd
+// write, no locks) — that is what lets a SIGTERM handler request a
+// graceful drain without touching daemon state from signal context.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+namespace neuro::netd {
+
+class EventLoop {
+public:
+    /// `events` is the epoll readiness mask (EPOLLIN/EPOLLOUT/EPOLLHUP...).
+    using Handler = std::function<void(std::uint32_t events)>;
+
+    /// Throws std::runtime_error when epoll/eventfd creation fails.
+    EventLoop();
+    ~EventLoop();
+
+    EventLoop(const EventLoop&) = delete;
+    EventLoop& operator=(const EventLoop&) = delete;
+
+    /// Registers `fd` for `events`; `h` runs on the loop thread whenever
+    /// the fd is ready. Level-triggered (no EPOLLET): a handler that does
+    /// not finish its work is simply called again.
+    void add(int fd, std::uint32_t events, Handler h);
+    /// Changes the interest mask of a registered fd.
+    void modify(int fd, std::uint32_t events);
+    /// Deregisters `fd`. Safe to call from inside any handler, including
+    /// the fd's own (the loop dispatches on a copy of the handler, so the
+    /// executing closure survives its map entry) — pending readiness for a
+    /// removed fd in the current batch is skipped. Does NOT close the fd.
+    void remove(int fd);
+
+    /// Dispatches until stop(). `tick_ms` < 0 blocks indefinitely between
+    /// events; >= 0 bounds each wait so the caller's on_tick can poll
+    /// (drain timeouts). on_wake runs after wakeup() was called (possibly
+    /// coalesced); on_tick runs after every dispatch round.
+    void run(int tick_ms = -1);
+
+    /// Ends run() after the current dispatch round. Thread- and
+    /// async-signal-safe.
+    void stop();
+
+    /// Wakes the loop thread. Thread- and async-signal-safe.
+    void wakeup();
+
+    void set_on_wake(std::function<void()> f) { on_wake_ = std::move(f); }
+    void set_on_tick(std::function<void()> f) { on_tick_ = std::move(f); }
+
+private:
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1;  ///< eventfd; also how stop() interrupts epoll_wait
+    // Lock-free (and async-signal-safe to write): stop() stores false and
+    // the eventfd write forces the loop out of epoll_wait to observe it.
+    std::atomic<bool> running_{false};
+    std::unordered_map<int, Handler> handlers_;
+    std::function<void()> on_wake_;
+    std::function<void()> on_tick_;
+};
+
+}  // namespace neuro::netd

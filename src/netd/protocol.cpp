@@ -1,0 +1,272 @@
+#include "netd/protocol.hpp"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace neuro::netd {
+
+namespace {
+
+// ---- little-endian primitives ----------------------------------------------
+// Byte-by-byte shifts, not memcpy-of-host-int: the wire format is LE by
+// definition, independent of the host (and free of alignment traps).
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+    out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    put_u32(out, static_cast<std::uint32_t>(v));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+    static_assert(sizeof(float) == 4);
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    put_u32(out, bits);
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+    put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+/// Bounds-checked sequential reader over one frame body.
+struct Cursor {
+    const std::uint8_t* p;
+    std::size_t left;
+
+    bool u8(std::uint8_t& v) {
+        if (left < 1) return false;
+        v = *p++;
+        --left;
+        return true;
+    }
+    bool u32(std::uint32_t& v) {
+        if (left < 4) return false;
+        v = static_cast<std::uint32_t>(p[0]) |
+            static_cast<std::uint32_t>(p[1]) << 8 |
+            static_cast<std::uint32_t>(p[2]) << 16 |
+            static_cast<std::uint32_t>(p[3]) << 24;
+        p += 4;
+        left -= 4;
+        return true;
+    }
+    bool u64(std::uint64_t& v) {
+        std::uint32_t lo, hi;
+        if (!u32(lo) || !u32(hi)) return false;
+        v = static_cast<std::uint64_t>(lo) |
+            static_cast<std::uint64_t>(hi) << 32;
+        return true;
+    }
+    bool f32(float& v) {
+        std::uint32_t bits;
+        if (!u32(bits)) return false;
+        std::memcpy(&v, &bits, 4);
+        return true;
+    }
+    bool i32(std::int32_t& v) {
+        std::uint32_t bits;
+        if (!u32(bits)) return false;
+        v = static_cast<std::int32_t>(bits);
+        return true;
+    }
+};
+
+}  // namespace
+
+const char* to_string(DecodeError e) {
+    switch (e) {
+        case DecodeError::None: return "none";
+        case DecodeError::BadVersion: return "bad-version";
+        case DecodeError::BadKind: return "bad-kind";
+        case DecodeError::BadPriority: return "bad-priority";
+        case DecodeError::BadShape: return "bad-shape";
+        case DecodeError::Oversized: return "oversized";
+        case DecodeError::Malformed: return "malformed";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t> encode(const RequestFrame& f) {
+    if (f.shape.empty() || f.shape.size() > kMaxRank)
+        throw std::invalid_argument("netd::encode: rank must be 1.." +
+                                    std::to_string(kMaxRank));
+    std::uint64_t elems = 1;
+    for (const std::uint32_t d : f.shape) {
+        if (d == 0)
+            throw std::invalid_argument("netd::encode: zero dimension");
+        elems *= d;
+    }
+    if (elems != f.data.size())
+        throw std::invalid_argument(
+            "netd::encode: payload size does not match shape");
+
+    std::vector<std::uint8_t> out;
+    out.reserve(4 + 29 + 4 * f.shape.size() + 4 * f.data.size());
+    put_u32(out, 0);  // length back-patched below
+    put_u8(out, f.version);
+    put_u8(out, static_cast<std::uint8_t>(f.kind));
+    put_u8(out, f.priority);
+    put_u8(out, 0);  // reserved
+    put_u64(out, f.request_id);
+    put_u64(out, f.deadline_us);
+    put_u32(out, f.label);
+    put_u8(out, static_cast<std::uint8_t>(f.shape.size()));
+    for (const std::uint32_t d : f.shape) put_u32(out, d);
+    for (const float v : f.data) put_f32(out, v);
+
+    const std::uint32_t body = static_cast<std::uint32_t>(out.size() - 4);
+    out[0] = static_cast<std::uint8_t>(body);
+    out[1] = static_cast<std::uint8_t>(body >> 8);
+    out[2] = static_cast<std::uint8_t>(body >> 16);
+    out[3] = static_cast<std::uint8_t>(body >> 24);
+    return out;
+}
+
+std::vector<std::uint8_t> encode(const ResponseFrame& f) {
+    if (f.error.size() > std::numeric_limits<std::uint32_t>::max())
+        throw std::invalid_argument("netd::encode: error text too long");
+    std::vector<std::uint8_t> out;
+    out.reserve(4 + 44 + 4 * f.counts.size() + f.error.size());
+    put_u32(out, 0);  // length back-patched below
+    put_u8(out, f.version);
+    put_u8(out, static_cast<std::uint8_t>(f.status));
+    put_u8(out, f.reject_reason);
+    put_u8(out, f.priority);
+    put_u64(out, f.request_id);
+    put_u32(out, f.label);
+    put_u64(out, f.latency_us);
+    put_u64(out, f.sojourn_us);
+    put_u32(out, f.batch_size);
+    put_u32(out, static_cast<std::uint32_t>(f.counts.size()));
+    for (const std::int32_t c : f.counts) put_i32(out, c);
+    put_u32(out, static_cast<std::uint32_t>(f.error.size()));
+    out.insert(out.end(), f.error.begin(), f.error.end());
+
+    const std::uint32_t body = static_cast<std::uint32_t>(out.size() - 4);
+    out[0] = static_cast<std::uint8_t>(body);
+    out[1] = static_cast<std::uint8_t>(body >> 8);
+    out[2] = static_cast<std::uint8_t>(body >> 16);
+    out[3] = static_cast<std::uint8_t>(body >> 24);
+    return out;
+}
+
+void Decoder::feed(const std::uint8_t* data, std::size_t n) {
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection never grows the buffer beyond ~2 frames.
+    if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+Decoder::Result Decoder::next_body(const std::uint8_t** begin,
+                                   std::size_t* len) {
+    if (error_ != DecodeError::None) return Result::Error;
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < 4) return Result::NeedMore;
+    const std::uint8_t* h = buf_.data() + pos_;
+    const std::uint32_t body = static_cast<std::uint32_t>(h[0]) |
+                               static_cast<std::uint32_t>(h[1]) << 8 |
+                               static_cast<std::uint32_t>(h[2]) << 16 |
+                               static_cast<std::uint32_t>(h[3]) << 24;
+    // The ceiling is checked BEFORE waiting for the body: a hostile length
+    // prefix is rejected from 4 bytes of input, it never sizes a buffer.
+    if (body > max_frame_) return fail(DecodeError::Oversized);
+    if (body < 1) return fail(DecodeError::Malformed);
+    if (avail < 4 + static_cast<std::size_t>(body)) return Result::NeedMore;
+    *begin = h + 4;
+    *len = body;
+    return Result::Frame;
+}
+
+void Decoder::consume(std::size_t frame_total) { pos_ += frame_total; }
+
+Decoder::Result Decoder::next_request(RequestFrame& out) {
+    const std::uint8_t* body = nullptr;
+    std::size_t len = 0;
+    const Result r = next_body(&body, &len);
+    if (r != Result::Frame) return r;
+
+    Cursor c{body, len};
+    RequestFrame f;
+    std::uint8_t kind = 0, reserved = 0, rank = 0;
+    if (!c.u8(f.version) || !c.u8(kind) || !c.u8(f.priority) ||
+        !c.u8(reserved) || !c.u64(f.request_id) || !c.u64(f.deadline_us) ||
+        !c.u32(f.label) || !c.u8(rank))
+        return fail(DecodeError::Malformed);
+    if (f.version != kProtocolVersion) return fail(DecodeError::BadVersion);
+    if (kind > static_cast<std::uint8_t>(MsgKind::Feedback))
+        return fail(DecodeError::BadKind);
+    if (f.priority > 2) return fail(DecodeError::BadPriority);
+    if (reserved != 0) return fail(DecodeError::Malformed);
+    if (rank < 1 || rank > kMaxRank) return fail(DecodeError::BadShape);
+    f.kind = static_cast<MsgKind>(kind);
+
+    std::uint64_t elems = 1;
+    f.shape.resize(rank);
+    for (std::uint8_t i = 0; i < rank; ++i) {
+        if (!c.u32(f.shape[i])) return fail(DecodeError::Malformed);
+        if (f.shape[i] == 0) return fail(DecodeError::BadShape);
+        elems *= f.shape[i];
+        // Even with in-range dims, the product must fit the body we
+        // already have — anything larger is inconsistent framing.
+        if (elems > len / 4 + 1) return fail(DecodeError::BadShape);
+    }
+    if (c.left != elems * 4) return fail(DecodeError::BadShape);
+    f.data.resize(static_cast<std::size_t>(elems));
+    for (float& v : f.data)
+        if (!c.f32(v)) return fail(DecodeError::Malformed);
+    if (c.left != 0) return fail(DecodeError::Malformed);
+
+    out = std::move(f);
+    consume(4 + len);
+    return Result::Frame;
+}
+
+Decoder::Result Decoder::next_response(ResponseFrame& out) {
+    const std::uint8_t* body = nullptr;
+    std::size_t len = 0;
+    const Result r = next_body(&body, &len);
+    if (r != Result::Frame) return r;
+
+    Cursor c{body, len};
+    ResponseFrame f;
+    std::uint8_t status = 0;
+    std::uint32_t ncounts = 0, errlen = 0;
+    if (!c.u8(f.version) || !c.u8(status) || !c.u8(f.reject_reason) ||
+        !c.u8(f.priority) || !c.u64(f.request_id) || !c.u32(f.label) ||
+        !c.u64(f.latency_us) || !c.u64(f.sojourn_us) || !c.u32(f.batch_size) ||
+        !c.u32(ncounts))
+        return fail(DecodeError::Malformed);
+    if (f.version != kProtocolVersion) return fail(DecodeError::BadVersion);
+    if (status > static_cast<std::uint8_t>(WireStatus::Error))
+        return fail(DecodeError::BadKind);
+    if (f.priority > 2) return fail(DecodeError::BadPriority);
+    f.status = static_cast<WireStatus>(status);
+    if (static_cast<std::size_t>(ncounts) * 4 > c.left)
+        return fail(DecodeError::Malformed);
+    f.counts.resize(ncounts);
+    for (std::int32_t& v : f.counts)
+        if (!c.i32(v)) return fail(DecodeError::Malformed);
+    if (!c.u32(errlen)) return fail(DecodeError::Malformed);
+    if (errlen != c.left) return fail(DecodeError::Malformed);
+    f.error.assign(reinterpret_cast<const char*>(c.p), errlen);
+
+    out = std::move(f);
+    consume(4 + len);
+    return Result::Frame;
+}
+
+}  // namespace neuro::netd

@@ -1,0 +1,146 @@
+#pragma once
+// neuro::netd wire protocol — the compact length-prefixed binary framing
+// between a client and the neurod daemon (docs/ARCHITECTURE.md §11).
+//
+// This layer is PURE: encode() produces bytes, Decoder consumes bytes fed
+// in arbitrary chunks (partial reads, coalesced reads, byte-at-a-time) and
+// yields whole frames or a typed decode error — no sockets, no clocks, no
+// allocation surprises. tests/netd_protocol_test.cpp pins framing, field
+// fidelity and malformed-input rejection deterministically against this
+// surface alone; the daemon and every client (bench, example, tests) share
+// it, so both directions of the wire are one implementation.
+//
+// All integers are little-endian. A frame is a u32 body length followed by
+// the body; the decoder enforces a configurable body-size ceiling so a
+// hostile length prefix can never drive allocation.
+//
+//   request body                        response body
+//   ------------                        -------------
+//   u8  version (= kProtocolVersion)    u8  version
+//   u8  kind (Predict|Counts|Feedback)  u8  status (Ok|Rejected|Error)
+//   u8  priority (serve::Priority)      u8  reject_reason (serve::RejectReason)
+//   u8  reserved (= 0)                  u8  priority
+//   u64 request_id (echoed verbatim)    u64 request_id
+//   u64 deadline_us (relative; 0=none)  u32 label
+//   u32 label (Feedback only)           u64 latency_us
+//   u8  rank (1..kMaxRank)              u64 sojourn_us
+//   u32 dims[rank]                      u32 batch_size
+//   f32 data[prod(dims)]                u32 ncounts, i32 counts[ncounts]
+//                                       u32 error_len, u8 error[error_len]
+//
+// The admission metadata (priority class + relative deadline) travels in
+// the request header end-to-end into serve::AdmissionQueue; the response
+// echoes the request id (responses may arrive out of order — the daemon
+// writes each back the moment its completion callback fires) plus the
+// server-side disposition: status, reject reason, measured latency and
+// queue sojourn, and the micro-batch size it dispatched in.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neuro::netd {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Default ceiling on a frame body; a 1 MiB body fits a ~256k-element
+/// tensor, far beyond any model this system serves.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 1u << 20;
+inline constexpr std::size_t kMaxRank = 4;
+
+/// What a request frame asks for. Predict/Counts mirror Server::submit /
+/// submit_counts; Feedback carries a labeled sample for the online learner
+/// (Server::submit_feedback) and is answered with Ok (accepted) or
+/// Rejected{QueueFull} (feedback is best-effort by contract).
+enum class MsgKind : std::uint8_t { Predict = 0, Counts = 1, Feedback = 2 };
+
+/// Response disposition; numerically aligned with serve::Status.
+enum class WireStatus : std::uint8_t { Ok = 0, Rejected = 1, Error = 2 };
+
+/// Why a Decoder rejected input. Any decode error is fatal for the
+/// connection: framing is lost, so the daemon closes the socket.
+enum class DecodeError : std::uint8_t {
+    None = 0,
+    BadVersion,   ///< version byte != kProtocolVersion
+    BadKind,      ///< unknown MsgKind / WireStatus
+    BadPriority,  ///< priority byte outside serve::Priority
+    BadShape,     ///< rank/dims inconsistent with the body length
+    Oversized,    ///< length prefix above the decoder's ceiling
+    Malformed,    ///< body too short / trailing garbage / reserved != 0
+};
+
+const char* to_string(DecodeError e);
+
+struct RequestFrame {
+    std::uint8_t version = kProtocolVersion;
+    MsgKind kind = MsgKind::Predict;
+    std::uint8_t priority = 0;      ///< serve::Priority numeric value
+    std::uint64_t request_id = 0;   ///< client-chosen, echoed in the response
+    std::uint64_t deadline_us = 0;  ///< SLO relative to acceptance; 0 = none
+    std::uint32_t label = 0;        ///< Feedback frames only
+    std::vector<std::uint32_t> shape;  ///< tensor dims, rank 1..kMaxRank
+    std::vector<float> data;           ///< row-major payload, size = prod(shape)
+};
+
+struct ResponseFrame {
+    std::uint8_t version = kProtocolVersion;
+    WireStatus status = WireStatus::Rejected;
+    std::uint8_t reject_reason = 0;  ///< serve::RejectReason numeric value
+    std::uint8_t priority = 0;
+    std::uint64_t request_id = 0;
+    std::uint32_t label = 0;
+    std::uint64_t latency_us = 0;
+    std::uint64_t sojourn_us = 0;
+    std::uint32_t batch_size = 0;
+    std::vector<std::int32_t> counts;  ///< filled for Counts requests
+    std::string error;                 ///< exception text when status == Error
+};
+
+/// Serializes a frame, length prefix included. Throws std::invalid_argument
+/// when the frame is self-inconsistent (shape/data mismatch, rank out of
+/// range) — an encoder must never emit bytes its own decoder rejects.
+std::vector<std::uint8_t> encode(const RequestFrame& f);
+std::vector<std::uint8_t> encode(const ResponseFrame& f);
+
+/// Incremental frame extractor. feed() any byte chunks as they arrive;
+/// next_request()/next_response() then yields:
+///   Result::Frame    — `out` holds one whole decoded frame,
+///   Result::NeedMore — nothing complete buffered yet,
+///   Result::Error    — the stream is invalid; error() says why and the
+///                      decoder is poisoned (every further call errors) —
+///                      framing cannot be recovered, close the connection.
+/// One Decoder decodes one direction of one stream (requests on the server
+/// side, responses on the client side).
+class Decoder {
+public:
+    enum class Result { Frame, NeedMore, Error };
+
+    explicit Decoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+        : max_frame_(max_frame_bytes) {}
+
+    void feed(const std::uint8_t* data, std::size_t n);
+
+    Result next_request(RequestFrame& out);
+    Result next_response(ResponseFrame& out);
+
+    DecodeError error() const { return error_; }
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+private:
+    /// Locates the next whole frame body; returns NeedMore/Error or Frame
+    /// with [*begin, *begin + *len) valid until the next feed().
+    Result next_body(const std::uint8_t** begin, std::size_t* len);
+    void consume(std::size_t frame_total);
+    Result fail(DecodeError e) {
+        error_ = e;
+        return Result::Error;
+    }
+
+    std::size_t max_frame_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;  ///< consumed prefix of buf_
+    DecodeError error_ = DecodeError::None;
+};
+
+}  // namespace neuro::netd

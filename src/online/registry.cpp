@@ -16,22 +16,36 @@ ModelRegistry::ModelRegistry(std::string dir) : dir_(std::move(dir)) {
     if (dir_.empty())
         throw std::invalid_argument("ModelRegistry: empty directory");
     fs::create_directories(dir_);
+    reload();
+}
+
+void ModelRegistry::reload() {
     const fs::path manifest = fs::path(dir_) / "MANIFEST";
-    if (!fs::exists(manifest)) return;
-    std::ifstream in(manifest);
-    if (!in)
-        throw std::runtime_error("ModelRegistry: cannot read " +
-                                 manifest.string());
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty()) continue;
-        std::istringstream row(line);
-        RegistryEntry entry;
-        if (!(row >> entry.version >> entry.accuracy))
-            throw std::runtime_error("ModelRegistry: malformed manifest line '" +
-                                     line + "' in " + manifest.string());
-        entries_.push_back(entry);
+    std::vector<RegistryEntry> fresh;
+    if (fs::exists(manifest)) {
+        std::ifstream in(manifest);
+        if (!in)
+            throw std::runtime_error("ModelRegistry: cannot read " +
+                                     manifest.string());
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty()) continue;
+            std::istringstream row(line);
+            RegistryEntry entry;
+            if (!(row >> entry.version >> entry.accuracy))
+                throw std::runtime_error(
+                    "ModelRegistry: malformed manifest line '" + line +
+                    "' in " + manifest.string());
+            fresh.push_back(entry);
+        }
     }
+    entries_ = std::move(fresh);
+}
+
+bool ModelRegistry::has(std::uint64_t version) const {
+    return std::any_of(
+        entries_.begin(), entries_.end(),
+        [&](const RegistryEntry& e) { return e.version == version; });
 }
 
 std::string ModelRegistry::snapshot_path(std::uint64_t version) const {
@@ -72,10 +86,7 @@ std::optional<RegistryEntry> ModelRegistry::last_good() const {
 }
 
 runtime::WeightSnapshot ModelRegistry::load(std::uint64_t version) const {
-    const bool known = std::any_of(
-        entries_.begin(), entries_.end(),
-        [&](const RegistryEntry& e) { return e.version == version; });
-    if (!known)
+    if (!has(version))
         throw std::invalid_argument("ModelRegistry: version " +
                                     std::to_string(version) + " not recorded");
     return runtime::load_snapshot(snapshot_path(version));

@@ -40,8 +40,17 @@ public:
     void record(std::uint64_t version, double accuracy,
                 const runtime::WeightSnapshot& snap);
 
+    /// Re-reads the manifest from disk, picking up versions another process
+    /// (e.g. an online learner running next to a neurod daemon) has
+    /// accepted since this registry was opened. Throws on a malformed
+    /// manifest, leaving the in-memory entries unchanged.
+    void reload();
+
     /// Accepted versions in acceptance order (empty for a fresh registry).
     const std::vector<RegistryEntry>& entries() const { return entries_; }
+
+    /// Whether `version` is recorded in the (in-memory) manifest.
+    bool has(std::uint64_t version) const;
 
     /// The most recently accepted version — what a restart should serve.
     std::optional<RegistryEntry> last_good() const;

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <string>
 #include <utility>
@@ -99,6 +100,13 @@ private:
     std::future<InferenceResult> future_;
 };
 
+/// Completion callback for the push-style submit path (Server::
+/// submit_async). Invoked exactly once per request with the final result —
+/// on a worker thread for dispatched/head-dropped requests, inline on the
+/// submitter's thread for intake rejects. Must not throw and must not
+/// block: the serving workers (and, in neurod, the epoll loop) run it.
+using CompletionFn = std::function<void(InferenceResult&&)>;
+
 /// The internal wire format between Server::submit and the worker loops —
 /// what actually travels through the AdmissionQueue. Enqueue time, class
 /// and deadline live in the queue's entry metadata (the queue stamps them
@@ -109,6 +117,19 @@ struct Request {
     Kind kind = Kind::Predict;
     common::Tensor image;
     std::promise<InferenceResult> promise;
+    /// When set, the request resolves through the callback and the promise
+    /// is never touched (the future-less submit_async path — one fewer
+    /// allocation and no blocking get() anywhere).
+    CompletionFn on_complete;
+
+    /// Routes the result to whichever completion mechanism this request
+    /// uses. Every accepted request is resolved exactly once.
+    void resolve(InferenceResult&& r) {
+        if (on_complete)
+            on_complete(std::move(r));
+        else
+            promise.set_value(std::move(r));
+    }
 };
 
 }  // namespace neuro::serve

@@ -93,16 +93,29 @@ void Server::shutdown() {
 
 InferenceHandle Server::enqueue(Request::Kind kind, const common::Tensor& image,
                                 SubmitOptions opt) {
-    if (closing_.load()) {
-        metrics_.on_reject();
-        return InferenceHandle::immediate(
-            rejected_result(RejectReason::Shutdown, opt.priority));
-    }
     Request req;
     req.kind = kind;
     req.image = image;
     auto future = req.promise.get_future();
+    enqueue_request(std::move(req), opt);
+    return InferenceHandle(std::move(future));
+}
 
+void Server::enqueue_async(Request::Kind kind, const common::Tensor& image,
+                           SubmitOptions opt, CompletionFn done) {
+    Request req;
+    req.kind = kind;
+    req.image = image;
+    req.on_complete = std::move(done);
+    enqueue_request(std::move(req), opt);
+}
+
+void Server::enqueue_request(Request req, SubmitOptions opt) {
+    if (closing_.load()) {
+        metrics_.on_reject();
+        req.resolve(rejected_result(RejectReason::Shutdown, opt.priority));
+        return;
+    }
     // A relative SLO becomes an absolute Clock deadline at the intake; the
     // queue compares against the same clock at the head.
     const std::uint64_t deadline_us =
@@ -124,11 +137,10 @@ InferenceHandle Server::enqueue(Request::Kind kind, const common::Tensor& image,
     }
     if (!accepted) {
         metrics_.on_reject();
-        req.promise.set_value(rejected_result(refusal, opt.priority));
+        req.resolve(rejected_result(refusal, opt.priority));
     } else {
         metrics_.on_accept(queue_.size());
     }
-    return InferenceHandle(std::move(future));
 }
 
 bool Server::submit_feedback(const common::Tensor& image, std::size_t label) {
@@ -162,7 +174,7 @@ void Server::worker_loop(std::size_t worker_index) {
             d.cls);
         res.sojourn_us = static_cast<double>(d.sojourn_us);
         metrics_.on_admission_drop(res.sojourn_us);
-        d.value.promise.set_value(std::move(res));
+        d.value.resolve(std::move(res));
     };
     while (collect_admitted(queue_, options_.batch, batch, reject_drop)) {
         // Batch boundary: adopt any newly published weight image before the
@@ -200,7 +212,7 @@ void Server::worker_loop(std::size_t worker_index) {
                 ok_latencies_us.push_back(res.latency_us);
             else
                 ++error_count;
-            r.promise.set_value(std::move(res));
+            r.resolve(std::move(res));
         }
         metrics_.on_batch(batch.size(), ok_latencies_us, sojourns_us,
                           error_count);

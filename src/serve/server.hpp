@@ -111,6 +111,24 @@ public:
         return enqueue(Request::Kind::Counts, image, opt);
     }
 
+    /// Push-style submit: instead of a future, `done` is invoked exactly
+    /// once with the final result — on a worker thread when the request was
+    /// dispatched or head-dropped, inline on the calling thread when it was
+    /// refused at the intake. `done` must not throw or block (neurod's
+    /// epoll loop and the serving workers run it). With Block backpressure
+    /// the *submit call* may still block on queue space, so event-loop
+    /// callers pair this with the Shed policy.
+    void submit_async(const common::Tensor& image, SubmitOptions opt,
+                      CompletionFn done) {
+        enqueue_async(Request::Kind::Predict, image, opt, std::move(done));
+    }
+
+    /// submit_async for phase-1 spike counts.
+    void submit_counts_async(const common::Tensor& image, SubmitOptions opt,
+                             CompletionFn done) {
+        enqueue_async(Request::Kind::Counts, image, opt, std::move(done));
+    }
+
     /// Hands a labeled observation to the Feedback class. Best-effort:
     /// returns false — and drops the sample — when the feedback intake is
     /// disabled (admission.feedback_capacity == 0), the queue is full, the
@@ -144,6 +162,11 @@ public:
 private:
     InferenceHandle enqueue(Request::Kind kind, const common::Tensor& image,
                             SubmitOptions opt);
+    void enqueue_async(Request::Kind kind, const common::Tensor& image,
+                       SubmitOptions opt, CompletionFn done);
+    /// Shared intake tail: pushes `req` under the backpressure policy and
+    /// resolves it immediately on refusal.
+    void enqueue_request(Request req, SubmitOptions opt);
     void start_locked();
     void worker_loop(std::size_t worker_index);
     double elapsed_seconds() const;

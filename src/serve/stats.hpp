@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -69,6 +70,13 @@ struct ServerStats {
     double elapsed_s = 0.0;        ///< since Server::start()
     double throughput_rps = 0.0;   ///< completed / elapsed_s
 };
+
+/// The canonical JSON rendering of a ServerStats snapshot (one flat object,
+/// per-class counters as three-element arrays). This is the single schema
+/// shared by the neurod control socket's `stats` command and the bench
+/// binaries' stats dumps — escaping and number formatting come from
+/// common/json.hpp, the same rules bench_util::JsonWriter uses.
+std::string stats_to_json(const ServerStats& s);
 
 /// The mutable, mutex-guarded sink behind Server::stats(). One mutex is
 /// plenty: inference dominates each request by orders of magnitude.

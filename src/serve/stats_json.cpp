@@ -1,0 +1,57 @@
+// serve::stats_to_json — the one ServerStats JSON schema, shared by the
+// neurod control socket (`stats` command), the socket-mode load bench, and
+// anything else that wants the full snapshot rather than a bench row.
+
+#include <string>
+
+#include "common/json.hpp"
+#include "serve/stats.hpp"
+
+namespace neuro::serve {
+
+namespace {
+
+std::string class_array(const std::array<std::uint64_t, kPriorityClasses>& a) {
+    std::string out = "[";
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+        if (c > 0) out += ",";
+        out += std::to_string(a[c]);
+    }
+    return out + "]";
+}
+
+}  // namespace
+
+std::string stats_to_json(const ServerStats& s) {
+    common::JsonObject o;
+    o.add("accepted", s.accepted)
+        .add("rejected", s.rejected)
+        .add("completed", s.completed)
+        .add("errors", s.errors)
+        .add("batches", s.batches)
+        .add_raw("class_accepted", class_array(s.class_accepted))
+        .add_raw("class_dropped", class_array(s.class_dropped))
+        .add_raw("class_deadline_missed", class_array(s.class_deadline_missed))
+        .add("codel_dropped", s.codel_dropped)
+        .add("deadline_missed", s.deadline_missed)
+        .add("drop_state_entries", s.drop_state_entries)
+        .add("sojourn_p50_us", s.sojourn_p50_us)
+        .add("sojourn_p95_us", s.sojourn_p95_us)
+        .add("sojourn_p99_us", s.sojourn_p99_us)
+        .add("sojourn_max_us", s.sojourn_max_us)
+        .add("weight_refreshes", s.weight_refreshes)
+        .add("feedback_dropped", s.feedback_dropped)
+        .add("mean_batch", s.mean_batch)
+        .add("max_batch", static_cast<std::uint64_t>(s.max_batch))
+        .add("peak_queue_depth", static_cast<std::uint64_t>(s.peak_queue_depth))
+        .add("p50_us", s.p50_us)
+        .add("p95_us", s.p95_us)
+        .add("p99_us", s.p99_us)
+        .add("mean_us", s.mean_us)
+        .add("max_us", s.max_us)
+        .add("elapsed_s", s.elapsed_s)
+        .add("throughput_rps", s.throughput_rps);
+    return o.str();
+}
+
+}  // namespace neuro::serve

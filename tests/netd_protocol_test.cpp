@@ -1,0 +1,374 @@
+// Contract tests for the neurod wire protocol codec (netd/protocol.hpp) —
+// the PURE layer, no sockets:
+//   * request/response round-trips preserve every field bit-exactly
+//     (deadline and priority fidelity is what admission control rides on),
+//   * the incremental decoder yields identical frames no matter how the
+//     byte stream is chunked (byte-at-a-time partial reads included),
+//   * truncated, oversized, inconsistent and wrong-version frames are
+//     rejected with a typed error and WITHOUT undefined behaviour — a
+//     hostile length prefix or shape product never drives an allocation,
+//   * a decoder that errored is poisoned: framing is unrecoverable.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "netd/protocol.hpp"
+
+using namespace neuro;
+using netd::DecodeError;
+using netd::Decoder;
+using netd::MsgKind;
+using netd::RequestFrame;
+using netd::ResponseFrame;
+using netd::WireStatus;
+
+namespace {
+
+RequestFrame sample_request() {
+    RequestFrame f;
+    f.kind = MsgKind::Counts;
+    f.priority = 1;  // serve::Priority::Batch
+    f.request_id = 0xDEADBEEFCAFEF00Dull;
+    f.deadline_us = 1'234'567;
+    f.label = 7;
+    f.shape = {2, 3, 4};
+    f.data.resize(24);
+    for (std::size_t i = 0; i < f.data.size(); ++i)
+        f.data[i] = 0.25f * static_cast<float>(i) - 1.5f;
+    return f;
+}
+
+ResponseFrame sample_response() {
+    ResponseFrame f;
+    f.status = WireStatus::Ok;
+    f.reject_reason = 0;
+    f.priority = 2;
+    f.request_id = 42;
+    f.label = 9;
+    f.latency_us = 12'345;
+    f.sojourn_us = 678;
+    f.batch_size = 8;
+    f.counts = {0, -3, 17, std::numeric_limits<std::int32_t>::min(),
+                std::numeric_limits<std::int32_t>::max()};
+    f.error = "";
+    return f;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+/// Builds a raw request frame with full control over every header byte —
+/// the malformed-input tests cannot go through encode(), which validates.
+std::vector<std::uint8_t> raw_request(std::uint8_t version, std::uint8_t kind,
+                                      std::uint8_t priority,
+                                      std::uint8_t reserved, std::uint8_t rank,
+                                      const std::vector<std::uint32_t>& dims,
+                                      std::size_t payload_floats) {
+    std::vector<std::uint8_t> body;
+    body.push_back(version);
+    body.push_back(kind);
+    body.push_back(priority);
+    body.push_back(reserved);
+    for (int i = 0; i < 16; ++i) body.push_back(0);  // request_id, deadline
+    put_u32(body, 0);                                // label
+    body.push_back(rank);
+    for (const std::uint32_t d : dims) put_u32(body, d);
+    for (std::size_t i = 0; i < payload_floats * 4; ++i) body.push_back(0);
+
+    std::vector<std::uint8_t> out;
+    put_u32(out, static_cast<std::uint32_t>(body.size()));
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+DecodeError decode_error_of(const std::vector<std::uint8_t>& bytes) {
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    RequestFrame f;
+    EXPECT_EQ(d.next_request(f), Decoder::Result::Error);
+    return d.error();
+}
+
+}  // namespace
+
+// ---- round-trips ------------------------------------------------------------
+
+TEST(NetdProtocol, RequestRoundTripPreservesEveryField) {
+    const RequestFrame in = sample_request();
+    const auto bytes = netd::encode(in);
+
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    RequestFrame out;
+    ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+
+    EXPECT_EQ(out.version, netd::kProtocolVersion);
+    EXPECT_EQ(out.kind, in.kind);
+    EXPECT_EQ(out.priority, in.priority);
+    EXPECT_EQ(out.request_id, in.request_id);
+    EXPECT_EQ(out.deadline_us, in.deadline_us);
+    EXPECT_EQ(out.label, in.label);
+    EXPECT_EQ(out.shape, in.shape);
+    EXPECT_EQ(out.data, in.data);
+    EXPECT_EQ(d.buffered(), 0u);
+    EXPECT_EQ(d.next_request(out), Decoder::Result::NeedMore);
+}
+
+TEST(NetdProtocol, ResponseRoundTripPreservesEveryField) {
+    ResponseFrame in = sample_response();
+    in.status = WireStatus::Error;
+    in.reject_reason = 3;
+    in.error = "backend exploded: size mismatch";
+    const auto bytes = netd::encode(in);
+
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    ResponseFrame out;
+    ASSERT_EQ(d.next_response(out), Decoder::Result::Frame);
+
+    EXPECT_EQ(out.status, in.status);
+    EXPECT_EQ(out.reject_reason, in.reject_reason);
+    EXPECT_EQ(out.priority, in.priority);
+    EXPECT_EQ(out.request_id, in.request_id);
+    EXPECT_EQ(out.label, in.label);
+    EXPECT_EQ(out.latency_us, in.latency_us);
+    EXPECT_EQ(out.sojourn_us, in.sojourn_us);
+    EXPECT_EQ(out.batch_size, in.batch_size);
+    EXPECT_EQ(out.counts, in.counts);
+    EXPECT_EQ(out.error, in.error);
+}
+
+TEST(NetdProtocol, DeadlineAndPriorityTravelBitExact) {
+    // The admission metadata is the point of the protocol — pin the edge
+    // values (no deadline, 1us, u64 max) across every priority class.
+    for (const std::uint64_t deadline :
+         {std::uint64_t{0}, std::uint64_t{1},
+          std::numeric_limits<std::uint64_t>::max()}) {
+        for (std::uint8_t prio = 0; prio <= 2; ++prio) {
+            RequestFrame in;
+            in.priority = prio;
+            in.deadline_us = deadline;
+            in.shape = {4};
+            in.data = {1, 2, 3, 4};
+            const auto bytes = netd::encode(in);
+            Decoder d;
+            d.feed(bytes.data(), bytes.size());
+            RequestFrame out;
+            ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+            EXPECT_EQ(out.deadline_us, deadline);
+            EXPECT_EQ(out.priority, prio);
+        }
+    }
+}
+
+// ---- incremental feeding ----------------------------------------------------
+
+TEST(NetdProtocol, ByteAtATimeFeedYieldsTheSameFrame) {
+    const RequestFrame in = sample_request();
+    const auto bytes = netd::encode(in);
+
+    Decoder d;
+    RequestFrame out;
+    for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+        d.feed(&bytes[i], 1);
+        ASSERT_EQ(d.next_request(out), Decoder::Result::NeedMore)
+            << "frame completed early at byte " << i;
+    }
+    d.feed(&bytes[bytes.size() - 1], 1);
+    ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.request_id, in.request_id);
+    EXPECT_EQ(out.data, in.data);
+}
+
+TEST(NetdProtocol, CoalescedFramesDecodeInOrder) {
+    RequestFrame a = sample_request();
+    a.request_id = 1;
+    RequestFrame b = sample_request();
+    b.request_id = 2;
+    b.shape = {5};
+    b.data = {9, 8, 7, 6, 5};
+
+    auto bytes = netd::encode(a);
+    const auto more = netd::encode(b);
+    bytes.insert(bytes.end(), more.begin(), more.end());
+
+    // Split the two-frame stream at an arbitrary awkward point.
+    Decoder d;
+    d.feed(bytes.data(), 7);
+    d.feed(bytes.data() + 7, bytes.size() - 7);
+    RequestFrame out;
+    ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.request_id, 1u);
+    ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.request_id, 2u);
+    EXPECT_EQ(out.data, b.data);
+    EXPECT_EQ(d.next_request(out), Decoder::Result::NeedMore);
+}
+
+TEST(NetdProtocol, LongStreamDoesNotAccumulateBuffer) {
+    const auto bytes = netd::encode(sample_request());
+    Decoder d;
+    RequestFrame out;
+    for (int i = 0; i < 200; ++i) {
+        d.feed(bytes.data(), bytes.size());
+        ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+    }
+    EXPECT_EQ(d.buffered(), 0u);
+}
+
+// ---- malformed input --------------------------------------------------------
+
+TEST(NetdProtocol, OversizedLengthPrefixRejectedFromFourBytes) {
+    // 256 MiB claimed body: the decoder must reject from the prefix alone,
+    // before any body arrives and before any allocation is sized by it.
+    std::vector<std::uint8_t> bytes;
+    put_u32(bytes, 256u << 20);
+    Decoder d(netd::kDefaultMaxFrameBytes);
+    d.feed(bytes.data(), bytes.size());
+    RequestFrame f;
+    EXPECT_EQ(d.next_request(f), Decoder::Result::Error);
+    EXPECT_EQ(d.error(), DecodeError::Oversized);
+}
+
+TEST(NetdProtocol, ZeroLengthBodyIsMalformed) {
+    std::vector<std::uint8_t> bytes;
+    put_u32(bytes, 0);
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    RequestFrame f;
+    EXPECT_EQ(d.next_request(f), Decoder::Result::Error);
+    EXPECT_EQ(d.error(), DecodeError::Malformed);
+}
+
+TEST(NetdProtocol, WrongVersionRejected) {
+    EXPECT_EQ(decode_error_of(raw_request(netd::kProtocolVersion + 1, 0, 0, 0,
+                                          1, {4}, 4)),
+              DecodeError::BadVersion);
+}
+
+TEST(NetdProtocol, UnknownKindRejected) {
+    EXPECT_EQ(
+        decode_error_of(raw_request(netd::kProtocolVersion, 7, 0, 0, 1, {4}, 4)),
+        DecodeError::BadKind);
+}
+
+TEST(NetdProtocol, OutOfRangePriorityRejected) {
+    EXPECT_EQ(
+        decode_error_of(raw_request(netd::kProtocolVersion, 0, 3, 0, 1, {4}, 4)),
+        DecodeError::BadPriority);
+}
+
+TEST(NetdProtocol, NonZeroReservedByteRejected) {
+    EXPECT_EQ(
+        decode_error_of(raw_request(netd::kProtocolVersion, 0, 0, 9, 1, {4}, 4)),
+        DecodeError::Malformed);
+}
+
+TEST(NetdProtocol, RankZeroAndRankFiveRejected) {
+    EXPECT_EQ(
+        decode_error_of(raw_request(netd::kProtocolVersion, 0, 0, 0, 0, {}, 0)),
+        DecodeError::BadShape);
+    EXPECT_EQ(decode_error_of(raw_request(netd::kProtocolVersion, 0, 0, 0, 5,
+                                          {1, 1, 1, 1, 1}, 1)),
+              DecodeError::BadShape);
+}
+
+TEST(NetdProtocol, ZeroDimensionRejected) {
+    EXPECT_EQ(decode_error_of(
+                  raw_request(netd::kProtocolVersion, 0, 0, 0, 2, {4, 0}, 0)),
+              DecodeError::BadShape);
+}
+
+TEST(NetdProtocol, TruncatedPayloadRejected) {
+    // Shape says 8 floats, body carries 4.
+    EXPECT_EQ(decode_error_of(
+                  raw_request(netd::kProtocolVersion, 0, 0, 0, 1, {8}, 4)),
+              DecodeError::BadShape);
+}
+
+TEST(NetdProtocol, TrailingGarbageRejected) {
+    // Shape says 2 floats, body carries 6.
+    EXPECT_EQ(decode_error_of(
+                  raw_request(netd::kProtocolVersion, 0, 0, 0, 1, {2}, 6)),
+              DecodeError::BadShape);
+}
+
+TEST(NetdProtocol, HugeShapeProductRejectedWithoutOverflow) {
+    // 0xFFFFFFFF^4 overflows u64 ~ 2^128; the decoder must reject on the
+    // body-length bound long before the product wraps into plausibility.
+    EXPECT_EQ(decode_error_of(raw_request(
+                  netd::kProtocolVersion, 0, 0, 0, 4,
+                  {0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu}, 8)),
+              DecodeError::BadShape);
+}
+
+TEST(NetdProtocol, HeaderShorterThanFixedFieldsIsMalformed) {
+    std::vector<std::uint8_t> bytes;
+    put_u32(bytes, 3);  // 3-byte body cannot hold the fixed header
+    bytes.push_back(netd::kProtocolVersion);
+    bytes.push_back(0);
+    bytes.push_back(0);
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    RequestFrame f;
+    EXPECT_EQ(d.next_request(f), Decoder::Result::Error);
+    EXPECT_EQ(d.error(), DecodeError::Malformed);
+}
+
+TEST(NetdProtocol, ErrorPoisonsTheDecoder) {
+    Decoder d;
+    const auto bad =
+        raw_request(netd::kProtocolVersion + 1, 0, 0, 0, 1, {4}, 4);
+    d.feed(bad.data(), bad.size());
+    RequestFrame f;
+    ASSERT_EQ(d.next_request(f), Decoder::Result::Error);
+
+    // Even a perfectly valid follow-up frame must NOT decode: framing is
+    // lost, the only safe move is closing the connection.
+    const auto good = netd::encode(sample_request());
+    d.feed(good.data(), good.size());
+    EXPECT_EQ(d.next_request(f), Decoder::Result::Error);
+    EXPECT_EQ(d.error(), DecodeError::BadVersion);
+}
+
+TEST(NetdProtocol, ResponseCountsOverrunIsMalformed) {
+    auto bytes = netd::encode(sample_response());
+    // Patch ncounts (offset: 4 len + 4 hdr + 8 id + 4 label + 8 + 8 + 4) to
+    // claim more entries than the body holds.
+    const std::size_t ncounts_off = 4 + 4 + 8 + 4 + 8 + 8 + 4;
+    bytes[ncounts_off] = 0xFF;
+    bytes[ncounts_off + 1] = 0xFF;
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    ResponseFrame f;
+    EXPECT_EQ(d.next_response(f), Decoder::Result::Error);
+    EXPECT_EQ(d.error(), DecodeError::Malformed);
+}
+
+// ---- encoder validation -----------------------------------------------------
+
+TEST(NetdProtocol, EncodeRejectsSelfInconsistentFrames) {
+    RequestFrame f;
+    f.shape = {2, 2};
+    f.data = {1, 2, 3};  // 3 != 4
+    EXPECT_THROW(netd::encode(f), std::invalid_argument);
+
+    f.shape = {};
+    f.data = {};
+    EXPECT_THROW(netd::encode(f), std::invalid_argument);
+
+    f.shape = {1, 1, 1, 1, 1};  // rank 5
+    f.data = {0.f};
+    EXPECT_THROW(netd::encode(f), std::invalid_argument);
+
+    f.shape = {0};
+    f.data = {};
+    EXPECT_THROW(netd::encode(f), std::invalid_argument);
+}

@@ -1,0 +1,423 @@
+// End-to-end loopback tests for the neurod daemon (netd/daemon.hpp):
+//   * predictions over the wire are bit-identical to in-process serving
+//     (which is itself bit-identical to sequential Session inference),
+//   * pipelined requests resolve out-of-order-safe by request id,
+//   * admission metadata survives the wire: a deadline that expires while
+//     queued comes back Rejected{DeadlineExceeded}, pinned on a ManualClock,
+//   * malformed/oversized frames close that connection and ONLY that
+//     connection — the daemon keeps serving,
+//   * a client that disconnects mid-flight leaks nothing (ASan-enforced)
+//     and never wedges the drain,
+//   * drain/shutdown semantics: accepted-implies-responded, control socket
+//     survives a pure drain,
+//   * control commands: ping/stats/version, and registry pin/rollback
+//     round-trips through online::ModelRegistry into live published weights.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "netd/client.hpp"
+#include "netd/daemon.hpp"
+#include "online/registry.hpp"
+#include "runtime/compiled_model.hpp"
+#include "serve/clock.hpp"
+#include "serve/server.hpp"
+
+using namespace neuro;
+using netd::MsgKind;
+using netd::RequestFrame;
+using netd::ResponseFrame;
+using netd::WireStatus;
+
+namespace {
+
+constexpr std::size_t kSide = 12;
+constexpr std::size_t kClasses = 10;
+
+std::shared_ptr<const runtime::CompiledModel> make_model() {
+    runtime::ModelSpec spec;
+    spec.input(1, kSide, kSide).hidden_layers({40}).output_classes(kClasses);
+    return runtime::CompiledModel::compile(spec,
+                                           runtime::BackendKind::LoihiSim);
+}
+
+data::Dataset make_images(std::size_t n) {
+    data::GenOptions gen;
+    gen.count = n;
+    gen.seed = 33;
+    gen.height = kSide;
+    gen.width = kSide;
+    return data::make_digits(gen);
+}
+
+RequestFrame make_frame(const common::Tensor& img, std::uint64_t id,
+                        MsgKind kind = MsgKind::Predict) {
+    RequestFrame f;
+    f.kind = kind;
+    f.request_id = id;
+    f.shape.assign(img.shape().begin(), img.shape().end());
+    f.data.assign(img.data(), img.data() + img.size());
+    return f;
+}
+
+/// Polls `cond` generously (sized for TSan's slowdown; real waits are ms).
+template <typename F>
+bool eventually(F cond) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(90);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (cond()) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return cond();
+}
+
+/// A weight image whose output layer always predicts `winner` — makes
+/// control-socket weight pinning observable through the data socket.
+runtime::WeightSnapshot forced_snapshot(const runtime::CompiledModel& model,
+                                        std::size_t winner) {
+    runtime::WeightSnapshot snap = model.initial_weights();
+    auto& out = snap.layers.back();
+    const std::size_t fan_in = out.size() / kClasses;
+    for (std::size_t c = 0; c < kClasses; ++c)
+        for (std::size_t i = 0; i < fan_in; ++i)
+            out[c * fan_in + i] = c == winner ? 60 : -60;
+    return snap;
+}
+
+/// One daemon on unique Unix socket paths, run on a dedicated thread.
+/// Tests tweak the public option fields before start().
+struct Harness {
+    std::shared_ptr<const runtime::CompiledModel> model = make_model();
+    serve::ServerOptions sopt;
+    netd::DaemonOptions dopt;
+    std::shared_ptr<online::ModelRegistry> registry;
+
+    std::shared_ptr<serve::Server> server;
+    std::unique_ptr<netd::Daemon> daemon;
+    std::thread thread;
+
+    Harness() {
+        static std::atomic<int> counter{0};
+        const auto base =
+            std::filesystem::temp_directory_path() /
+            ("neuro_netd_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+        dopt.data_path = base.string() + ".sock";
+        dopt.control_path = base.string() + ".ctl";
+        sopt.workers = 2;
+        sopt.queue_capacity = 64;
+        sopt.backpressure = serve::Backpressure::Shed;
+    }
+
+    void start(bool start_server = true) {
+        server = std::make_shared<serve::Server>(model, sopt);
+        if (start_server) server->start();
+        daemon = std::make_unique<netd::Daemon>(server, model, dopt, registry);
+        thread = std::thread([this] { daemon->run(); });
+        // The daemon binds on its own thread; wait until it answers.
+        ASSERT_TRUE(eventually([&] {
+            try {
+                netd::Client::connect_unix(dopt.data_path);
+                return true;
+            } catch (const std::exception&) {
+                return false;
+            }
+        }));
+    }
+
+    netd::Client connect() { return netd::Client::connect_unix(dopt.data_path); }
+    std::string control(const std::string& cmd) {
+        return netd::control_request(dopt.control_path, cmd);
+    }
+
+    void stop() {
+        if (daemon && !daemon->finished()) daemon->request_shutdown();
+        if (thread.joinable()) thread.join();
+        if (server) server->shutdown();
+    }
+
+    ~Harness() {
+        stop();
+        std::filesystem::remove(dopt.data_path);
+        std::filesystem::remove(dopt.control_path);
+    }
+};
+
+}  // namespace
+
+// ---- data path --------------------------------------------------------------
+
+TEST(Netd, PredictAndCountsBitIdenticalToInProcess) {
+    Harness h;
+    h.start();
+    const auto images = make_images(16);
+    const auto session = h.model->open_session();
+    auto client = h.connect();
+
+    std::uint64_t id = 1;
+    for (const auto& sample : images.samples) {
+        const auto resp = client.call(make_frame(sample.image, id++));
+        ASSERT_EQ(resp.status, WireStatus::Ok) << resp.error;
+        EXPECT_EQ(resp.label, session->predict(sample.image));
+        EXPECT_GE(resp.batch_size, 1u);
+
+        const auto counts =
+            client.call(make_frame(sample.image, id++, MsgKind::Counts));
+        ASSERT_EQ(counts.status, WireStatus::Ok) << counts.error;
+        EXPECT_EQ(counts.counts, session->output_counts(sample.image));
+    }
+}
+
+TEST(Netd, PipelinedRequestsResolveByRequestId) {
+    Harness h;
+    h.start();
+    const auto images = make_images(12);
+    const auto session = h.model->open_session();
+
+    std::map<std::uint64_t, std::size_t> expected;
+    auto client = h.connect();
+    std::uint64_t id = 100;
+    for (const auto& sample : images.samples) {
+        client.send(make_frame(sample.image, id));
+        expected[id++] = session->predict(sample.image);
+    }
+    // Responses may arrive in any order (each is written back the moment
+    // its completion fires) — match them by echoed id.
+    const std::size_t total = expected.size();
+    for (std::size_t i = 0; i < total; ++i) {
+        ResponseFrame resp;
+        ASSERT_TRUE(client.recv_response(resp));
+        ASSERT_EQ(resp.status, WireStatus::Ok) << resp.error;
+        auto it = expected.find(resp.request_id);
+        ASSERT_NE(it, expected.end());
+        EXPECT_EQ(resp.label, it->second);
+        expected.erase(it);
+    }
+    EXPECT_TRUE(expected.empty());
+}
+
+TEST(Netd, WireDeadlineExpiresIntoRejectedFrame) {
+    // ManualClock + a not-yet-started server pin the race: the request is
+    // accepted over the wire, virtual time jumps past its deadline, and
+    // only then do workers run — the head drop must come back as a frame.
+    Harness h;
+    const auto clock = std::make_shared<serve::ManualClock>();
+    h.sopt.clock = clock;
+    h.start(/*start_server=*/false);
+
+    auto client = h.connect();
+    auto frame = make_frame(make_images(1).samples[0].image, 77);
+    frame.deadline_us = 1'000;
+    client.send(frame);
+    ASSERT_TRUE(eventually([&] { return h.server->stats().accepted >= 1; }));
+
+    clock->advance_us(2'000);  // the SLO passes while queued
+    h.server->start();
+
+    ResponseFrame resp;
+    ASSERT_TRUE(client.recv_response(resp));
+    EXPECT_EQ(resp.request_id, 77u);
+    EXPECT_EQ(resp.status, WireStatus::Rejected);
+    EXPECT_EQ(resp.reject_reason,
+              static_cast<std::uint8_t>(serve::RejectReason::DeadlineExceeded));
+    EXPECT_GE(resp.sojourn_us, 1'000u);
+}
+
+TEST(Netd, FeedbackFramesFeedTheLearnerQueue) {
+    Harness h;
+    h.sopt.admission.feedback_capacity = 8;
+    h.start();
+    const auto img = make_images(1).samples[0].image;
+
+    auto client = h.connect();
+    auto frame = make_frame(img, 5, MsgKind::Feedback);
+    frame.label = 3;
+    const auto resp = client.call(frame);
+    EXPECT_EQ(resp.status, WireStatus::Ok);
+    EXPECT_EQ(resp.label, 3u);
+    EXPECT_EQ(resp.priority,
+              static_cast<std::uint8_t>(serve::Priority::Feedback));
+
+    // With the feedback intake disabled the same frame is refused, not
+    // dropped silently.
+    Harness off;
+    off.start();
+    auto client2 = off.connect();
+    const auto refused = client2.call(frame);
+    EXPECT_EQ(refused.status, WireStatus::Rejected);
+    EXPECT_EQ(refused.reject_reason,
+              static_cast<std::uint8_t>(serve::RejectReason::QueueFull));
+}
+
+// ---- fault containment ------------------------------------------------------
+
+TEST(Netd, MalformedFrameClosesOnlyThatConnection) {
+    Harness h;
+    h.start();
+
+    auto bad = h.connect();
+    const std::uint8_t garbage[] = {0x10, 0x00, 0x00, 0x00,  // 16-byte body
+                                    0xFF, 0xFF, 0xFF, 0xFF,  // bad version...
+                                    0,    0,    0,    0,
+                                    0,    0,    0,    0,
+                                    0,    0,    0,    0};
+    bad.send_raw(garbage, sizeof(garbage));
+    std::uint8_t buf[16];
+    EXPECT_EQ(bad.recv_raw(buf, sizeof(buf)), 0u);  // EOF, no reply
+    EXPECT_TRUE(
+        eventually([&] { return h.daemon->stats().malformed_closed >= 1; }));
+
+    // The daemon itself is healthy: a fresh connection serves normally.
+    auto good = h.connect();
+    const auto resp = good.call(make_frame(make_images(1).samples[0].image, 1));
+    EXPECT_EQ(resp.status, WireStatus::Ok) << resp.error;
+}
+
+TEST(Netd, OversizedLengthPrefixClosesTheConnection) {
+    Harness h;
+    h.start();
+    auto client = h.connect();
+    const std::uint8_t huge[] = {0x00, 0x00, 0x00, 0x10};  // 256 MiB body
+    client.send_raw(huge, sizeof(huge));
+    std::uint8_t buf[16];
+    EXPECT_EQ(client.recv_raw(buf, sizeof(buf)), 0u);
+    EXPECT_TRUE(
+        eventually([&] { return h.daemon->stats().malformed_closed >= 1; }));
+}
+
+TEST(Netd, ClientDisconnectMidFlightDoesNotWedgeTheDaemon) {
+    Harness h;
+    h.start();
+    const auto img = make_images(1).samples[0].image;
+    {
+        auto client = h.connect();
+        for (std::uint64_t id = 0; id < 8; ++id)
+            client.send(make_frame(img, id));
+        // Destructor closes the socket with every request still in flight;
+        // completions hit a closed connection and must be discarded.
+    }
+    EXPECT_TRUE(eventually([&] {
+        const auto s = h.daemon->stats();
+        return s.inflight == 0 && s.connections_open == 0;
+    }));
+    auto client = h.connect();
+    const auto resp = client.call(make_frame(img, 99));
+    EXPECT_EQ(resp.status, WireStatus::Ok) << resp.error;
+}
+
+// ---- drain / shutdown -------------------------------------------------------
+
+TEST(Netd, GracefulShutdownAnswersEverythingItRead) {
+    Harness h;
+    h.start();
+    const auto img = make_images(1).samples[0].image;
+    auto client = h.connect();
+    constexpr std::uint64_t kRequests = 16;
+    for (std::uint64_t id = 0; id < kRequests; ++id)
+        client.send(make_frame(img, id));
+    // Wait until every frame is in the daemon before pulling the plug, so
+    // "accepted" is exact; then every accepted request must still answer.
+    ASSERT_TRUE(
+        eventually([&] { return h.daemon->stats().frames_in == kRequests; }));
+    h.daemon->request_shutdown();
+
+    std::size_t answered = 0;
+    ResponseFrame resp;
+    while (client.recv_response(resp)) ++answered;  // reads until EOF
+    EXPECT_EQ(answered, kRequests);
+    EXPECT_TRUE(eventually([&] { return h.daemon->finished(); }));
+    h.thread.join();
+}
+
+TEST(Netd, DrainClosesDataPlaneButKeepsControlUp) {
+    Harness h;
+    h.start();
+    EXPECT_EQ(h.control("drain"), "ok draining");
+
+    // The data listener goes away (its socket file is unlinked)...
+    EXPECT_TRUE(eventually([&] {
+        try {
+            h.connect();
+            return false;
+        } catch (const std::exception&) {
+            return true;
+        }
+    }));
+    // ...while the control plane still answers, and can then escalate.
+    EXPECT_EQ(h.control("ping"), "ok pong");
+    EXPECT_EQ(h.control("shutdown"), "ok shutting-down");
+    EXPECT_TRUE(eventually([&] { return h.daemon->finished(); }));
+    h.thread.join();
+}
+
+// ---- control socket ---------------------------------------------------------
+
+TEST(Netd, ControlPingStatsAndVersion) {
+    Harness h;
+    h.start();
+    EXPECT_EQ(h.control("ping"), "ok pong");
+    EXPECT_EQ(h.control("version"), "ok 0");
+    EXPECT_EQ(h.control("bogus"), "err unknown command: bogus");
+    EXPECT_EQ(h.control("load 1"), "err no registry");
+
+    const std::string stats = h.control("stats");
+    ASSERT_EQ(stats.rfind("ok {", 0), 0u) << stats;
+    EXPECT_NE(stats.find("\"server\":{"), std::string::npos);
+    EXPECT_NE(stats.find("\"daemon\":{"), std::string::npos);
+    EXPECT_NE(stats.find("\"connections\":["), std::string::npos);
+    EXPECT_NE(stats.find("\"control_commands\""), std::string::npos);
+}
+
+TEST(Netd, RegistryPinAndRollbackRoundTrip) {
+    Harness h;
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("neuro_netd_reg_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    h.registry = std::make_shared<online::ModelRegistry>(dir.string());
+    h.registry->record(1, 0.81, forced_snapshot(*h.model, 1));
+    h.registry->record(2, 0.86, forced_snapshot(*h.model, 2));
+    h.start();
+
+    const auto img = make_images(1).samples[0].image;
+    auto client = h.connect();
+
+    EXPECT_EQ(h.control("load latest"), "ok pinned 2 published 1");
+    // Worker sessions adopt the published image at their next batch
+    // boundary; the forced output layer then predicts the winner.
+    EXPECT_TRUE(eventually([&] {
+        static std::uint64_t id = 1000;
+        return client.call(make_frame(img, id++)).label == 2u;
+    }));
+
+    EXPECT_EQ(h.control("rollback"), "ok pinned 1 published 2");
+    EXPECT_TRUE(eventually([&] {
+        static std::uint64_t id = 2000;
+        return client.call(make_frame(img, id++)).label == 1u;
+    }));
+
+    EXPECT_EQ(h.control("rollback"), "err nothing to roll back to");
+    EXPECT_EQ(h.control("load 9"), "err unknown version: 9");
+    EXPECT_EQ(h.control("version"), "ok 2");
+    EXPECT_EQ(h.control("unload"), "ok unloaded");
+    EXPECT_EQ(h.control("version"), "ok 3");
+
+    const std::string versions = h.control("versions");
+    EXPECT_NE(versions.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(versions.find("\"version\":2"), std::string::npos);
+
+    h.stop();
+    std::filesystem::remove_all(dir);
+}

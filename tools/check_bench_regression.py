@@ -69,6 +69,18 @@ RULES = {
         "max_metrics": ["p99_us"],
         "normalize_by": "overload, shed-only",
     },
+    # Wire tax: the socket-closed row is normalized by the same-run
+    # in-process row at identical workers/batch/queue, so the gate tracks
+    # how much throughput neurod's framing + socket hops cost relative to
+    # calling the server directly — a ratio that transfers across machines.
+    # The socket-open row rides along in the results but is absent from the
+    # committed baseline (Poisson timing over a real socket is too
+    # machine-dependent to gate).
+    "serving_socket": {
+        "key": "config",
+        "metrics": ["throughput_rps"],
+        "normalize_by": "inproc",
+    },
     # Learning-while-serving: the feedback order and the integer simulator
     # make the end-of-stream accuracy reproducible across machines, so it
     # compares absolutely (like table1). The serve-only control row sits at
