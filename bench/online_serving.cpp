@@ -215,7 +215,7 @@ int main(int argc, char** argv) {
                                  std::chrono::duration<double>(
                                      static_cast<double>(i) / rate)));
                     serve::FeedbackSample f{stream.samples[i].image,
-                                            stream.samples[i].label};
+                                            stream.samples[i].label, {}};
                     server.feedback_queue()->push(f);
                 }
             });

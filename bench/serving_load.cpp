@@ -21,10 +21,18 @@
 // same-run throughput ratios (workers=N vs workers=1) against
 // bench/baselines/serving_load.json via tools/check_bench_regression.py.
 //
+// A fourth section sweeps multi-tenancy: the same closed-loop driver
+// round-robins over M fleet entries behind one serve::ModelRouter
+// (pre-loaded — steady-state routing cost, not lazy-load compiles) and
+// exports serving_multimodel.{csv,json}; CI normalizes each row by the
+// same-run models=1 row, gating the fan-out tax of routing across M
+// session pools instead of one.
+//
 // CLI: --requests=N per config, --workers=MAX (sweeps 1,2,..,MAX),
 //      --batch=B (micro-batch cap), --clients=C, --queue=Q, --delay_us=D,
 //      --seed=S (Poisson stream), --rate_x=F (offered = F * capacity),
-//      --socket=0 (skip the socket section), --connect=PATH (smoke mode).
+//      --socket=0 (skip the socket section), --models=M (tenant sweep
+//      1,2,..,M; 0 skips it), --connect=PATH (smoke mode).
 
 #include <unistd.h>
 
@@ -47,7 +55,9 @@
 #include "data/dataset.hpp"
 #include "netd/client.hpp"
 #include "netd/daemon.hpp"
+#include "online/registry.hpp"
 #include "runtime/compiled_model.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 
 using namespace neuro;
@@ -336,6 +346,67 @@ LoadRow run_socket_open(
     return row;
 }
 
+// ---- multi-model (serve::ModelRouter fleet) --------------------------------
+
+struct FleetRow {
+    std::string config;
+    std::size_t models = 0;
+    std::size_t requests = 0;
+    double throughput_rps = 0.0;
+    serve::ServerStats stats;
+    std::size_t resident_bytes = 0;
+    std::uint64_t loads = 0;
+};
+
+/// Closed loop across `models` pre-loaded fleet entries: the same
+/// submit-and-wait driver as run_closed, with each request addressed
+/// round-robin to entry i % models. Unlimited budget — this row measures
+/// the fan-out tax of M session pools, not eviction churn.
+FleetRow run_multimodel(
+    const std::shared_ptr<const runtime::CompiledModel>& model,
+    const data::Dataset& images, std::size_t workers, std::size_t batch,
+    std::size_t requests, std::size_t clients, std::size_t queue,
+    std::uint64_t delay_us, const std::string& fleet_dir,
+    const std::vector<std::string>& names, std::size_t models) {
+    serve::RouterOptions ropt;
+    ropt.workers = workers;
+    ropt.queue_capacity = queue;
+    ropt.batch.max_batch = batch;
+    ropt.batch.max_delay_us = delay_us;
+    ropt.backpressure = serve::Backpressure::Block;
+    ropt.fleet_dir = fleet_dir;
+    serve::ModelRouter router(model, ropt);
+    // Materialize every tenant before the clock starts: lazy-load compiles
+    // are a one-time cost, not what this row is measuring.
+    for (std::size_t m = 0; m < models; ++m) router.load(names[m]);
+    router.start();
+
+    common::ThreadPool pool(clients);
+    const auto t0 = std::chrono::steady_clock::now();
+    pool.run(clients, [&](std::size_t c) {
+        for (std::size_t i = c; i < requests; i += clients) {
+            serve::SubmitOptions sub;
+            sub.model = names[i % models];
+            (void)router
+                .submit(images.samples[i % images.size()].image,
+                        std::move(sub))
+                .get();
+        }
+    });
+    const double wall = seconds_since(t0);
+
+    FleetRow row;
+    row.config = "multimodel, models=" + std::to_string(models);
+    row.models = models;
+    row.requests = requests;
+    row.throughput_rps = static_cast<double>(requests) / wall;
+    row.stats = router.stats();
+    row.resident_bytes = router.resident_bytes();
+    for (const auto& s : router.model_stats()) row.loads += s.loads;
+    router.shutdown();
+    return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -374,6 +445,8 @@ int main(int argc, char** argv) {
     // default — on a 1-core dev container the sweep measures overhead only.
     const double min_scaleout = cli.get_double("min_scaleout", 0.0);
     const bool run_socket = cli.get_bool("socket", true);
+    const auto max_models =
+        static_cast<std::size_t>(cli.get_int("models", 4));
     const std::string connect = cli.get("connect", "");
 
     data::GenOptions gen;
@@ -640,6 +713,87 @@ int main(int argc, char** argv) {
             "socket-open pipelines a Poisson stream over one connection. "
             "Frame encode + two socket hops + response decode is the whole "
             "difference from the inproc row.");
+    }
+
+    // ---- multi-model: the fan-out tax of routing across M tenants ----------
+    // One router, M pre-loaded fleet entries, the same closed-loop driver
+    // round-robining over them. CI normalizes each row by the same-run
+    // models=1 row (a single fleet entry behind the same router machinery),
+    // so the gate tracks what spreading traffic across M session pools
+    // costs — a ratio that transfers across machines.
+    if (max_models > 0) {
+        const auto fleet =
+            std::filesystem::temp_directory_path() /
+            ("neuro_loadbench_fleet_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(fleet);
+        std::filesystem::create_directories(fleet);
+        std::vector<std::string> names;
+        for (std::size_t m = 0; m < max_models; ++m) {
+            names.push_back("m" + std::to_string(m));
+            online::ModelRegistry reg((fleet / names.back()).string());
+            reg.record(1, 1.0, model->initial_weights());
+        }
+
+        std::vector<FleetRow> mrows;
+        for (std::size_t m = 1; m <= max_models; m *= 2)
+            mrows.push_back(run_multimodel(model, images, max_workers, batch,
+                                           requests, clients, queue, delay_us,
+                                           fleet.string(), names, m));
+        if (max_models > 1 && (max_models & (max_models - 1)) != 0)
+            mrows.push_back(run_multimodel(model, images, max_workers, batch,
+                                           requests, clients, queue, delay_us,
+                                           fleet.string(), names, max_models));
+
+        common::Table mtable({"configuration", "req/s", "vs models=1",
+                              "p50 us", "p99 us", "resident KiB"});
+        const std::vector<std::string> mcols = {
+            "config", "mode", "workers", "batch", "models", "requests",
+            "throughput_rps", "p50_us", "p95_us", "p99_us", "accepted",
+            "rejected", "resident_bytes", "loads"};
+        common::CsvWriter mcsv(bench::kCsvDir, "serving_multimodel", mcols);
+        bench::JsonWriter mjson(bench::kCsvDir, "serving_multimodel", mcols);
+        const double single = mrows.front().throughput_rps;
+        for (const auto& r : mrows) {
+            mtable.add_row(
+                {r.config, common::Table::fmt(r.throughput_rps, 1),
+                 single > 0.0
+                     ? common::Table::fmt(r.throughput_rps / single, 2) + "x"
+                     : "-",
+                 common::Table::fmt(r.stats.p50_us, 0),
+                 common::Table::fmt(r.stats.p99_us, 0),
+                 common::Table::fmt(
+                     static_cast<double>(r.resident_bytes) / 1024.0, 1)});
+            const std::vector<std::string> cells = {
+                r.config,
+                "multimodel",
+                std::to_string(max_workers),
+                std::to_string(batch),
+                std::to_string(r.models),
+                std::to_string(r.requests),
+                std::to_string(r.throughput_rps),
+                std::to_string(r.stats.p50_us),
+                std::to_string(r.stats.p95_us),
+                std::to_string(r.stats.p99_us),
+                std::to_string(r.stats.accepted),
+                std::to_string(r.stats.rejected),
+                std::to_string(r.resident_bytes),
+                std::to_string(r.loads)};
+            mcsv.add_row(cells);
+            mjson.add_row(cells);
+        }
+        std::printf("\n");
+        mtable.print();
+        std::printf("CSV: %s\nJSON: %s\n", mcsv.write().c_str(),
+                    mjson.write().c_str());
+        bench::footnote(
+            "multimodel rows route the identical closed-loop workload "
+            "round-robin across M pre-loaded fleet entries behind one "
+            "ModelRouter (unlimited residency budget — no eviction churn). "
+            "models=1 exercises the same routing machinery on a single "
+            "entry, so the vs-models=1 ratio is purely the cost of "
+            "fanning out across M session pools.");
+        std::error_code ec;
+        std::filesystem::remove_all(fleet, ec);
     }
 
     bool failed = false;

@@ -1,0 +1,183 @@
+// Example: multi-model serving — two tenants on one daemon, one socket.
+//
+// Where examples/neurod_client.cpp speaks protocol v1 to a single-model
+// daemon, this example runs the fleet stack (docs/ARCHITECTURE.md §12):
+// a serve::ModelRouter fronting one default model plus a directory of
+// named fleet entries, behind the same neurod event loop.
+//   1. Build a fleet directory: one online::ModelRegistry per model name.
+//      "alpha" gets two weight versions so the canary walk below has
+//      somewhere to go; forced output layers make every switch visible
+//      as a changed label.
+//   2. Address models by name over ONE connection with v2 frames —
+//      `model=""` is the default model, and a v1 frame still works
+//      unchanged (per-frame version negotiation).
+//   3. Drive a canary rollout entirely through the admin control socket:
+//      `canary alpha 2 25` splits a quarter of alpha's traffic onto
+//      version 2 (deterministic per request_id), `stats alpha` shows the
+//      per-arm counters, and `pin alpha 2` + `canary alpha 0 0` is the
+//      promotion: version 2 becomes the base, the canary arm is retired.
+//
+// Run:  ./example_multimodel_serving
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "netd/client.hpp"
+#include "netd/daemon.hpp"
+#include "online/registry.hpp"
+#include "runtime/compiled_model.hpp"
+#include "serve/router.hpp"
+
+using namespace neuro;
+
+namespace {
+
+constexpr std::size_t kClasses = 10;
+
+netd::RequestFrame frame_for(const common::Tensor& img, std::uint64_t id,
+                             const std::string& model) {
+    netd::RequestFrame f;
+    f.version = netd::kProtocolVersionV2;
+    f.model = model;
+    f.request_id = id;
+    f.shape.assign(img.shape().begin(), img.shape().end());
+    f.data.assign(img.data(), img.data() + img.size());
+    return f;
+}
+
+/// A weight image whose output layer always predicts `winner`, so every
+/// routing / canary / promotion step below is visible as a label change.
+runtime::WeightSnapshot forced(const runtime::CompiledModel& model,
+                               std::size_t winner) {
+    runtime::WeightSnapshot snap = model.initial_weights();
+    auto& out = snap.layers.back();
+    const std::size_t fan_in = out.size() / kClasses;
+    for (std::size_t c = 0; c < kClasses; ++c)
+        for (std::size_t i = 0; i < fan_in; ++i)
+            out[c * fan_in + i] = c == winner ? 60 : -60;
+    return snap;
+}
+
+}  // namespace
+
+int main() {
+    data::GenOptions gen;
+    gen.count = 8;
+    gen.seed = 5;
+    gen.height = 16;
+    gen.width = 16;
+    const auto images = data::make_digits(gen);
+
+    runtime::ModelSpec spec;
+    spec.input(1, 16, 16).hidden_layers({100}).output_classes(kClasses);
+    const auto model =
+        runtime::CompiledModel::compile(spec, runtime::BackendKind::LoihiSim);
+
+    // ---- 1. a fleet directory: one registry subdirectory per model ---------
+    // In production the online engine (or a deploy pipeline) records these;
+    // here forced winners stand in for genuinely different tenants.
+    const auto fleet = std::filesystem::temp_directory_path() /
+                       ("multimodel_example_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(fleet);
+    std::filesystem::create_directories(fleet);
+    {
+        online::ModelRegistry alpha((fleet / "alpha").string());
+        alpha.record(1, 0.81, forced(*model, 1));  // today's alpha
+        alpha.record(2, 0.88, forced(*model, 3));  // the canary candidate
+        online::ModelRegistry beta((fleet / "beta").string());
+        beta.record(1, 0.84, forced(*model, 2));
+    }
+
+    serve::RouterOptions ropt;
+    ropt.workers = 2;
+    ropt.backpressure = serve::Backpressure::Shed;  // the daemon's requirement
+    ropt.fleet_dir = fleet.string();
+    auto router = std::make_shared<serve::ModelRouter>(model, ropt);
+    router->start();
+
+    netd::DaemonOptions dopt;
+    const auto base = std::filesystem::temp_directory_path() /
+                      ("multimodel_example_" + std::to_string(::getpid()));
+    dopt.data_path = base.string() + ".sock";
+    dopt.control_path = base.string() + ".ctl";
+    netd::Daemon daemon(router, dopt);
+    std::thread loop([&] { daemon.run(); });
+    for (;;) {
+        try {
+            netd::Client::connect_unix(dopt.data_path);
+            break;
+        } catch (const std::exception&) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+    const auto ctl = [&](const std::string& cmd) {
+        return netd::control_request(dopt.control_path, cmd);
+    };
+    std::printf("daemon up on %s, fleet at %s\n\n", dopt.data_path.c_str(),
+                fleet.c_str());
+
+    // Left alone, the first alpha frame would lazy-load the registry's
+    // last GOOD version (2). This walkthrough wants to roll 1 -> 2 by
+    // hand, so pin alpha to version 1 up front.
+    std::printf("control> pin alpha 1   %s\n\n", ctl("pin alpha 1").c_str());
+
+    // ---- 2. three tenants, one connection ----------------------------------
+    // The router lazy-loads "beta" from the fleet directory at its first
+    // frame; "" is the always-resident default model.
+    auto client = netd::Client::connect_unix(dopt.data_path);
+    const auto& img = images.samples[0].image;
+    std::uint64_t id = 1;
+    for (const std::string name : {"", "alpha", "beta", "alpha", ""}) {
+        const auto r = client.call(frame_for(img, id++, name));
+        std::printf("  model=%-8s -> label=%u (v%u echo model=\"%s\")\n",
+                    name.empty() ? "\"\"" : name.c_str(), r.label, r.version,
+                    r.model.c_str());
+    }
+    // A v1 frame on the same socket still serves the default model — old
+    // clients never notice the fleet exists.
+    netd::RequestFrame v1;
+    v1.request_id = id++;
+    v1.shape.assign(img.shape().begin(), img.shape().end());
+    v1.data.assign(img.data(), img.data() + img.size());
+    const auto legacy = client.call(v1);
+    std::printf("  v1 frame      -> label=%u (response stays v%u)\n\n",
+                legacy.label, legacy.version);
+
+    // ---- 3. canary rollout, driven from the control socket -----------------
+    std::printf("control> models        %.100s...\n", ctl("models").c_str());
+    std::printf("control> canary 25%%    %s\n", ctl("canary alpha 2 25").c_str());
+    std::size_t canaried = 0;
+    constexpr std::size_t kProbe = 40;
+    for (std::size_t i = 0; i < kProbe; ++i)
+        if (client.call(frame_for(img, id++, "alpha")).label == 3) ++canaried;
+    std::printf("  %zu of %zu alpha requests served by the version-2 canary "
+                "(deterministic per request_id)\n",
+                canaried, kProbe);
+    std::printf("control> stats alpha   %.140s...\n", ctl("stats alpha").c_str());
+
+    // Promotion: version 2 becomes the pinned base, the canary is retired.
+    std::printf("control> pin alpha 2   %s\n", ctl("pin alpha 2").c_str());
+    std::printf("control> clear canary  %s\n", ctl("canary alpha 0 0").c_str());
+    for (;;) {  // sessions adopt the new base at their next batch boundary
+        if (client.call(frame_for(img, id++, "alpha")).label == 3) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::printf("  alpha now serves version 2 on the base arm\n");
+
+    daemon.request_shutdown();
+    loop.join();
+    router->shutdown();
+    std::filesystem::remove(dopt.data_path);
+    std::filesystem::remove(dopt.control_path);
+    std::filesystem::remove_all(fleet);
+    std::printf("\ndrained — two tenants, one socket, zero client restarts\n");
+    return 0;
+}

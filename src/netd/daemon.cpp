@@ -30,11 +30,17 @@ std::uint64_t us_u64(double us) {
     return us <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(us));
 }
 
-/// InferenceResult → wire response. The echoed request id / priority come
-/// from the request frame; everything else is the server's disposition.
-ResponseFrame to_response(std::uint64_t request_id,
+/// InferenceResult → wire response. The echoed version / model / request
+/// id / priority come from the request frame; everything else is the
+/// server's disposition. A v1 request gets a v1 response (no model field —
+/// byte-identical to the pre-router daemon); a v2 request's response
+/// echoes its model so one connection can demux across the fleet.
+ResponseFrame to_response(std::uint8_t version, const std::string& model,
+                          std::uint64_t request_id,
                           const serve::InferenceResult& r) {
     ResponseFrame out;
+    out.version = version;
+    if (version >= kProtocolVersionV2) out.model = model;
     switch (r.status) {
         case serve::Status::Ok: out.status = WireStatus::Ok; break;
         case serve::Status::Rejected: out.status = WireStatus::Rejected; break;
@@ -52,19 +58,69 @@ ResponseFrame to_response(std::uint64_t request_id,
     return out;
 }
 
+/// One fleet entry as the control plane's JSON (the `models` array and the
+/// per-model `stats <name>` reply share this schema).
+std::string entry_json(const serve::ModelEntryStats& s) {
+    return common::JsonObject()
+        .add("name", s.name)
+        .add("resident", s.resident)
+        .add("pinned", s.pinned)
+        .add("base_version", s.base_version)
+        .add("canary_version", s.canary_version)
+        .add("canary_pct", static_cast<std::uint64_t>(s.canary_pct))
+        .add("base_dispatched", s.base_dispatched)
+        .add("base_ok", s.base_ok)
+        .add("base_errors", s.base_errors)
+        .add("canary_dispatched", s.canary_dispatched)
+        .add("canary_ok", s.canary_ok)
+        .add("canary_errors", s.canary_errors)
+        .add("loads", s.loads)
+        .add("evictions", s.evictions)
+        .add("weight_bytes", static_cast<std::uint64_t>(s.weight_bytes))
+        .add("last_used", s.last_used)
+        .add("inflight", s.inflight)
+        .str();
+}
+
+/// True when `tok` belongs to the legacy default-model grammar (`load
+/// <version>|latest`): model names must start with a letter and "latest"
+/// is reserved, so the two command forms never collide.
+bool is_version_token(const std::string& tok) {
+    if (tok == "latest") return true;
+    if (tok.empty()) return false;
+    for (const char c : tok)
+        if (c < '0' || c > '9') return false;
+    return true;
+}
+
 }  // namespace
+
+Daemon::Daemon(std::shared_ptr<serve::ModelRouter> router,
+               DaemonOptions options,
+               std::shared_ptr<online::ModelRegistry> registry)
+    : router_(std::move(router)),
+      options_(std::move(options)),
+      registry_(std::move(registry)) {
+    if (!router_) throw std::invalid_argument("netd: null router");
+    model_ = router_->default_model();
+    validate_config();
+}
 
 Daemon::Daemon(std::shared_ptr<serve::Server> server,
                std::shared_ptr<const runtime::CompiledModel> model,
                DaemonOptions options,
                std::shared_ptr<online::ModelRegistry> registry)
-    : server_(std::move(server)),
+    : router_(server ? server->router() : nullptr),
       model_(std::move(model)),
       options_(std::move(options)),
       registry_(std::move(registry)) {
-    if (!server_) throw std::invalid_argument("netd: null server");
+    if (!router_) throw std::invalid_argument("netd: null server");
     if (!model_) throw std::invalid_argument("netd: null model");
-    if (server_->options().backpressure != serve::Backpressure::Shed)
+    validate_config();
+}
+
+void Daemon::validate_config() const {
+    if (router_->options().backpressure != serve::Backpressure::Shed)
         throw std::invalid_argument(
             "netd: the daemon requires Backpressure::Shed — Block would "
             "park the event loop on a full queue");
@@ -403,8 +459,12 @@ void Daemon::handle_request(const ConnPtr& conn, RequestFrame&& f) {
         // is immediate and local — it never touches a worker.
         conn->counters.feedback_frames++;
         totals_.feedback_frames.fetch_add(1);
-        const bool ok = server_->submit_feedback(image, f.label);
+        serve::SubmitOptions fopt;
+        fopt.model = f.model;
+        const bool ok = router_->submit_feedback(image, f.label, fopt);
         ResponseFrame resp;
+        resp.version = f.version;
+        if (f.version >= kProtocolVersionV2) resp.model = f.model;
         resp.status = ok ? WireStatus::Ok : WireStatus::Rejected;
         resp.reject_reason = static_cast<std::uint8_t>(
             ok ? serve::RejectReason::None : serve::RejectReason::QueueFull);
@@ -419,19 +479,24 @@ void Daemon::handle_request(const ConnPtr& conn, RequestFrame&& f) {
     serve::SubmitOptions opt;
     opt.priority = static_cast<serve::Priority>(f.priority);
     opt.deadline_us = f.deadline_us;
+    opt.model = f.model;  // v1 frames decode with model == "" (the default)
+    opt.request_id = f.request_id;
     const std::uint64_t request_id = f.request_id;
+    const std::uint8_t version = f.version;
 
     conn->inflight.fetch_add(1);
     inflight_.fetch_add(1);
     // The callback runs on a worker thread (or inline right here for an
-    // intake shed) — either way deliver() owns the thread-safety.
-    auto done = [this, conn, request_id](serve::InferenceResult&& r) {
-        deliver(conn, encode(to_response(request_id, r)));
+    // intake shed or an unknown model) — either way deliver() owns the
+    // thread-safety.
+    opt.on_complete = [this, conn, version, model = std::move(f.model),
+                       request_id](serve::InferenceResult&& r) {
+        deliver(conn, encode(to_response(version, model, request_id, r)));
     };
     if (f.kind == MsgKind::Predict)
-        server_->submit_async(image, opt, std::move(done));
+        router_->submit_async(image, std::move(opt));
     else
-        server_->submit_counts_async(image, opt, std::move(done));
+        router_->submit_counts_async(image, std::move(opt));
 }
 
 // ---- control socket --------------------------------------------------------
@@ -447,14 +512,35 @@ void Daemon::handle_control_line(const ConnPtr& conn,
 
 std::string Daemon::run_control_command(const std::string& line) {
     std::istringstream in(line);
-    std::string cmd, arg;
-    in >> cmd >> arg;
+    std::string cmd, arg, arg2, arg3;
+    in >> cmd >> arg >> arg2 >> arg3;
 
     try {
         if (cmd == "ping") return "ok pong";
-        if (cmd == "stats") return "ok " + stats_json();
+        if (cmd == "stats") {
+            // `stats <name>` narrows to one fleet entry's counters.
+            if (!arg.empty())
+                return "ok " + entry_json(router_->model_stats(arg));
+            return "ok " + stats_json();
+        }
         if (cmd == "version")
             return "ok " + std::to_string(model_->published_version());
+        if (cmd == "models") return "ok " + models_json();
+        if (cmd == "canary") {
+            if (arg.empty() || arg2.empty() || arg3.empty())
+                return "err usage: canary <name> <version> <pct>";
+            std::uint64_t version = 0;
+            std::uint32_t pct = 0;
+            try {
+                version = std::stoull(arg2);
+                pct = static_cast<std::uint32_t>(std::stoul(arg3));
+            } catch (const std::exception&) {
+                return "err bad canary arguments: " + arg2 + " " + arg3;
+            }
+            router_->set_canary(arg, version, pct);
+            return "ok canary " + arg + " version " + std::to_string(version) +
+                   " pct " + std::to_string(pct);
+        }
         if (cmd == "drain") {
             drain_requested_.store(true);
             return "ok draining";
@@ -465,8 +551,13 @@ std::string Daemon::run_control_command(const std::string& line) {
             return "ok shutting-down";
         }
         if (cmd == "unload") {
-            // Back to the compiled-in initial weights; sessions pick the
-            // image up at their next refresh().
+            if (!arg.empty()) {
+                // Fleet form: drop the entry's residency, pin, and canary.
+                router_->unload(arg);
+                return "ok unloaded " + arg;
+            }
+            // Legacy form: back to the compiled-in initial weights;
+            // sessions pick the image up at their next refresh().
             model_->publish_weights(model_->initial_weights());
             pinned_version_ = 0;
             return "ok unloaded";
@@ -485,6 +576,25 @@ std::string Daemon::run_control_command(const std::string& line) {
             return "ok " + out + "]";
         }
         if (cmd == "load" || cmd == "pin") {
+            // Fleet forms: `load <name>` makes an entry resident; `pin
+            // <name> <version>` publishes + pins one. A version token
+            // (digits or "latest") always means the legacy default-model
+            // form — names cannot start with a digit.
+            if (cmd == "load" && !arg.empty() && !is_version_token(arg)) {
+                const std::uint64_t v = router_->load(arg);
+                return "ok loaded " + arg + " version " + std::to_string(v);
+            }
+            if (cmd == "pin" && !arg.empty() && !is_version_token(arg)) {
+                std::uint64_t version = 0;
+                if (arg2.empty()) return "err usage: pin <name> <version>";
+                try {
+                    version = std::stoull(arg2);
+                } catch (const std::exception&) {
+                    return "err bad version: " + arg2;
+                }
+                const std::uint64_t v = router_->pin(arg, version);
+                return "ok pinned " + arg + " " + std::to_string(v);
+            }
             if (!registry_) return "err no registry";
             if (arg.empty()) return "err usage: " + cmd + " <version>|latest";
             registry_->reload();
@@ -567,12 +677,24 @@ std::string Daemon::stats_json() const {
             .add("draining", d.draining)
             .add("published_version", model_->published_version())
             .add("pinned_version", pinned_version_)
+            .add("resident_bytes",
+                 static_cast<std::uint64_t>(router_->resident_bytes()))
             .str();
     return common::JsonObject()
-        .add_raw("server", serve::stats_to_json(server_->stats()))
+        .add_raw("server", serve::stats_to_json(router_->stats()))
         .add_raw("daemon", daemon)
+        .add_raw("models", models_json())
         .add_raw("connections", conns)
         .str();
+}
+
+std::string Daemon::models_json() const {
+    std::string out = "[";
+    for (const auto& s : router_->model_stats()) {
+        if (out.size() > 1) out += ",";
+        out += entry_json(s);
+    }
+    return out + "]";
 }
 
 // ---- lifecycle -------------------------------------------------------------

@@ -1,15 +1,21 @@
 #pragma once
-// neuro::netd::Daemon — the network front-end over serve::Server
-// (docs/ARCHITECTURE.md §11). A single-threaded epoll readiness loop
+// neuro::netd::Daemon — the network front-end over serve::ModelRouter
+// (docs/ARCHITECTURE.md §11–12). A single-threaded epoll readiness loop
 // accepts TCP / Unix-domain connections speaking the binary wire protocol
 // (netd/protocol.hpp), decodes requests, and hands them to the serving
 // engine via the future-less submit_async path; completion callbacks —
 // fired on the serving workers — encode the response and append it to the
 // connection's write queue, then wake the loop to flush it non-blocking.
 //
-//   clients ──► epoll loop ──decode──► Server::submit_async ──► workers
-//      ▲                                                           │
-//      └── write queues ◄── wakeup ◄── completion callbacks ◄──────┘
+//   clients ──► epoll loop ──decode──► ModelRouter::submit_async ──► workers
+//      ▲                                                                │
+//      └── write queues ◄── wakeup ◄── completion callbacks ◄───────────┘
+//
+// Multi-model: a v2 request frame's model field becomes
+// SubmitOptions::model, so one connection addresses any fleet entry the
+// router can lazily load; the response echoes the request's version and
+// model (protocol.hpp negotiation table). v1 frames route to the default
+// entry and answer byte-identically to the pre-router daemon.
 //
 // Threading: the loop thread owns all connection read state (decoder,
 // epoll registration, the in-flight write buffer); worker callbacks touch
@@ -36,9 +42,14 @@
 //
 // The admin control socket (dinit idiom: line commands over a Unix
 // socket) shares the same loop: `stats` (ServerStats + per-connection
-// counters as JSON), model weight load/unload and pin/rollback through
-// online::ModelRegistry, `drain`, `shutdown`. See control command table
-// in docs/ARCHITECTURE.md §11.
+// counters as JSON), default-model weight load/unload and pin/rollback
+// through online::ModelRegistry, `drain`, `shutdown` — plus the fleet
+// commands `models`, `stats <name>`, `load <name>`, `unload <name>`,
+// `pin <name> <version>` and `canary <name> <version> <pct>`. The two
+// grammars share verbs without ambiguity: model names must start with a
+// letter, so a numeric (or "latest") first argument always means the
+// legacy default-model form. See the control command table in
+// docs/ARCHITECTURE.md §11–12.
 
 #include <atomic>
 #include <chrono>
@@ -54,6 +65,7 @@
 #include "netd/protocol.hpp"
 #include "online/registry.hpp"
 #include "runtime/compiled_model.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 
 namespace neuro::netd {
@@ -106,13 +118,21 @@ struct DaemonStats {
 
 class Daemon {
 public:
-    /// `server` must use Backpressure::Shed (throws otherwise — Block
-    /// would park the event loop on a full queue). `model` is the served
-    /// CompiledModel (weight publication target for control commands);
-    /// `registry` is optional — without it the model-management commands
-    /// answer `err no registry`. The daemon does not start() or shutdown()
-    /// the server: the owner controls the serving lifecycle (tests exploit
-    /// this to pin deadline behaviour on a ManualClock before workers run).
+    /// Router-native form: `router` is the serving fleet the wire drives.
+    /// It must use Backpressure::Shed (throws otherwise — Block would park
+    /// the event loop on a full queue). `registry` is the DEFAULT model's
+    /// registry for the legacy load/pin/rollback commands; optional —
+    /// without it those commands answer `err no registry` (fleet entries
+    /// carry their own registries via RouterOptions::fleet_dir). The
+    /// daemon does not start() or shutdown() the router: the owner
+    /// controls the serving lifecycle (tests exploit this to pin deadline
+    /// behaviour on a ManualClock before workers run).
+    Daemon(std::shared_ptr<serve::ModelRouter> router, DaemonOptions options,
+           std::shared_ptr<online::ModelRegistry> registry = nullptr);
+
+    /// Legacy single-model form: drives `server`'s underlying router (a
+    /// fleet of one). `model` is the served CompiledModel (weight
+    /// publication target for the legacy control commands).
     Daemon(std::shared_ptr<serve::Server> server,
            std::shared_ptr<const runtime::CompiledModel> model,
            DaemonOptions options,
@@ -179,6 +199,7 @@ private:
     void handle_control_line(const ConnPtr& conn, const std::string& line);
     std::string run_control_command(const std::string& line);
     std::string stats_json() const;
+    std::string models_json() const;
 
     // ---- cross-thread delivery (worker callbacks) ----
     void deliver(const ConnPtr& conn, std::vector<std::uint8_t> bytes);
@@ -198,7 +219,10 @@ private:
     void check_drain_progress();
     std::size_t unflushed_bytes(const ConnPtr& conn);
 
-    std::shared_ptr<serve::Server> server_;
+    /// Shared construction tail: option/backpressure validation.
+    void validate_config() const;
+
+    std::shared_ptr<serve::ModelRouter> router_;
     std::shared_ptr<const runtime::CompiledModel> model_;
     DaemonOptions options_;
     std::shared_ptr<online::ModelRegistry> registry_;

@@ -92,11 +92,36 @@ const char* to_string(DecodeError e) {
         case DecodeError::BadShape: return "bad-shape";
         case DecodeError::Oversized: return "oversized";
         case DecodeError::Malformed: return "malformed";
+        case DecodeError::BadModel: return "bad-model";
     }
     return "?";
 }
 
+namespace {
+
+// An encoder must never emit bytes its own decoder rejects: a model name
+// only exists on the wire from v2 on, so asking for one in a v1 frame is a
+// caller bug, not something to silently truncate.
+void check_versioned_model(std::uint8_t version, const std::string& model) {
+    if (version != kProtocolVersion && version != kProtocolVersionV2)
+        throw std::invalid_argument("netd::encode: unknown protocol version");
+    if (version < kProtocolVersionV2 && !model.empty())
+        throw std::invalid_argument(
+            "netd::encode: model field requires protocol v2");
+    if (model.size() > kMaxModelName)
+        throw std::invalid_argument("netd::encode: model name longer than " +
+                                    std::to_string(kMaxModelName));
+}
+
+void put_model(std::vector<std::uint8_t>& out, const std::string& model) {
+    put_u8(out, static_cast<std::uint8_t>(model.size()));
+    out.insert(out.end(), model.begin(), model.end());
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> encode(const RequestFrame& f) {
+    check_versioned_model(f.version, f.model);
     if (f.shape.empty() || f.shape.size() > kMaxRank)
         throw std::invalid_argument("netd::encode: rank must be 1.." +
                                     std::to_string(kMaxRank));
@@ -111,7 +136,8 @@ std::vector<std::uint8_t> encode(const RequestFrame& f) {
             "netd::encode: payload size does not match shape");
 
     std::vector<std::uint8_t> out;
-    out.reserve(4 + 29 + 4 * f.shape.size() + 4 * f.data.size());
+    out.reserve(4 + 30 + f.model.size() + 4 * f.shape.size() +
+                4 * f.data.size());
     put_u32(out, 0);  // length back-patched below
     put_u8(out, f.version);
     put_u8(out, static_cast<std::uint8_t>(f.kind));
@@ -120,6 +146,7 @@ std::vector<std::uint8_t> encode(const RequestFrame& f) {
     put_u64(out, f.request_id);
     put_u64(out, f.deadline_us);
     put_u32(out, f.label);
+    if (f.version >= kProtocolVersionV2) put_model(out, f.model);
     put_u8(out, static_cast<std::uint8_t>(f.shape.size()));
     for (const std::uint32_t d : f.shape) put_u32(out, d);
     for (const float v : f.data) put_f32(out, v);
@@ -133,16 +160,19 @@ std::vector<std::uint8_t> encode(const RequestFrame& f) {
 }
 
 std::vector<std::uint8_t> encode(const ResponseFrame& f) {
+    check_versioned_model(f.version, f.model);
     if (f.error.size() > std::numeric_limits<std::uint32_t>::max())
         throw std::invalid_argument("netd::encode: error text too long");
     std::vector<std::uint8_t> out;
-    out.reserve(4 + 44 + 4 * f.counts.size() + f.error.size());
+    out.reserve(4 + 45 + f.model.size() + 4 * f.counts.size() +
+                f.error.size());
     put_u32(out, 0);  // length back-patched below
     put_u8(out, f.version);
     put_u8(out, static_cast<std::uint8_t>(f.status));
     put_u8(out, f.reject_reason);
     put_u8(out, f.priority);
     put_u64(out, f.request_id);
+    if (f.version >= kProtocolVersionV2) put_model(out, f.model);
     put_u32(out, f.label);
     put_u64(out, f.latency_us);
     put_u64(out, f.sojourn_us);
@@ -204,13 +234,27 @@ Decoder::Result Decoder::next_request(RequestFrame& out) {
     std::uint8_t kind = 0, reserved = 0, rank = 0;
     if (!c.u8(f.version) || !c.u8(kind) || !c.u8(f.priority) ||
         !c.u8(reserved) || !c.u64(f.request_id) || !c.u64(f.deadline_us) ||
-        !c.u32(f.label) || !c.u8(rank))
+        !c.u32(f.label))
         return fail(DecodeError::Malformed);
-    if (f.version != kProtocolVersion) return fail(DecodeError::BadVersion);
+    if (f.version != kProtocolVersion && f.version != kProtocolVersionV2)
+        return fail(DecodeError::BadVersion);
     if (kind > static_cast<std::uint8_t>(MsgKind::Feedback))
         return fail(DecodeError::BadKind);
     if (f.priority > 2) return fail(DecodeError::BadPriority);
     if (reserved != 0) return fail(DecodeError::Malformed);
+    if (f.version >= kProtocolVersionV2) {
+        // The declared name length is validated against what the body
+        // actually holds BEFORE any read — a lying model_len is the same
+        // hostile framing as an oversized tensor and poisons the decoder.
+        std::uint8_t model_len = 0;
+        if (!c.u8(model_len)) return fail(DecodeError::Malformed);
+        if (model_len > kMaxModelName || c.left < model_len)
+            return fail(DecodeError::BadModel);
+        f.model.assign(reinterpret_cast<const char*>(c.p), model_len);
+        c.p += model_len;
+        c.left -= model_len;
+    }
+    if (!c.u8(rank)) return fail(DecodeError::Malformed);
     if (rank < 1 || rank > kMaxRank) return fail(DecodeError::BadShape);
     f.kind = static_cast<MsgKind>(kind);
 
@@ -246,11 +290,22 @@ Decoder::Result Decoder::next_response(ResponseFrame& out) {
     std::uint8_t status = 0;
     std::uint32_t ncounts = 0, errlen = 0;
     if (!c.u8(f.version) || !c.u8(status) || !c.u8(f.reject_reason) ||
-        !c.u8(f.priority) || !c.u64(f.request_id) || !c.u32(f.label) ||
-        !c.u64(f.latency_us) || !c.u64(f.sojourn_us) || !c.u32(f.batch_size) ||
-        !c.u32(ncounts))
+        !c.u8(f.priority) || !c.u64(f.request_id))
         return fail(DecodeError::Malformed);
-    if (f.version != kProtocolVersion) return fail(DecodeError::BadVersion);
+    if (f.version != kProtocolVersion && f.version != kProtocolVersionV2)
+        return fail(DecodeError::BadVersion);
+    if (f.version >= kProtocolVersionV2) {
+        std::uint8_t model_len = 0;
+        if (!c.u8(model_len)) return fail(DecodeError::Malformed);
+        if (model_len > kMaxModelName || c.left < model_len)
+            return fail(DecodeError::BadModel);
+        f.model.assign(reinterpret_cast<const char*>(c.p), model_len);
+        c.p += model_len;
+        c.left -= model_len;
+    }
+    if (!c.u32(f.label) || !c.u64(f.latency_us) || !c.u64(f.sojourn_us) ||
+        !c.u32(f.batch_size) || !c.u32(ncounts))
+        return fail(DecodeError::Malformed);
     if (status > static_cast<std::uint8_t>(WireStatus::Error))
         return fail(DecodeError::BadKind);
     if (f.priority > 2) return fail(DecodeError::BadPriority);

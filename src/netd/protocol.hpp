@@ -14,19 +14,39 @@
 // the body; the decoder enforces a configurable body-size ceiling so a
 // hostile length prefix can never drive allocation.
 //
-//   request body                        response body
-//   ------------                        -------------
-//   u8  version (= kProtocolVersion)    u8  version
+// Two body versions coexist on the same stream, negotiated PER FRAME by
+// the leading version byte (docs/ARCHITECTURE.md §12). v2 adds exactly one
+// field to each direction — the model name addressing a fleet entry:
+//
+//   request body (v1 | v2)              response body (v1 | v2)
+//   ----------------------              -----------------------
+//   u8  version (1 or 2)                u8  version (echoes the request's)
 //   u8  kind (Predict|Counts|Feedback)  u8  status (Ok|Rejected|Error)
 //   u8  priority (serve::Priority)      u8  reject_reason (serve::RejectReason)
 //   u8  reserved (= 0)                  u8  priority
 //   u64 request_id (echoed verbatim)    u64 request_id
-//   u64 deadline_us (relative; 0=none)  u32 label
-//   u32 label (Feedback only)           u64 latency_us
-//   u8  rank (1..kMaxRank)              u64 sojourn_us
-//   u32 dims[rank]                      u32 batch_size
-//   f32 data[prod(dims)]                u32 ncounts, i32 counts[ncounts]
-//                                       u32 error_len, u8 error[error_len]
+//   u64 deadline_us (relative; 0=none)  [v2] u8 model_len, u8 model[model_len]
+//   u32 label (Feedback only)           u32 label
+//   [v2] u8 model_len,                  u64 latency_us
+//        u8 model[model_len]            u64 sojourn_us
+//   u8  rank (1..kMaxRank)              u32 batch_size
+//   u32 dims[rank]                      u32 ncounts, i32 counts[ncounts]
+//   f32 data[prod(dims)]                u32 error_len, u8 error[error_len]
+//
+// Negotiation table (server side):
+//   frame version | model field | routed to
+//   ------------- | ----------- | -------------------------------------
+//   1             | absent      | default model; v1 response (byte-
+//                 |             | identical to the pre-router daemon)
+//   2             | empty       | default model; v2 response echoes ""
+//   2             | "name"      | fleet entry "name"; v2 response echoes
+//                 |             | it (unknown names reject with
+//                 |             | serve::RejectReason::UnknownModel)
+//   other         | —           | DecodeError::BadVersion, socket closed
+//
+// A declared model_len that overruns the body (or exceeds kMaxModelName)
+// poisons the decoder exactly like an oversized tensor shape: framing is
+// untrustworthy, so the daemon closes the connection.
 //
 // The admission metadata (priority class + relative deadline) travels in
 // the request header end-to-end into serve::AdmissionQueue; the response
@@ -42,11 +62,17 @@
 
 namespace neuro::netd {
 
+/// v1: the original single-model framing. Still fully supported — a v1
+/// client against a router-backed daemon behaves byte-identically.
 inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2: adds the model-name field (multi-model routing).
+inline constexpr std::uint8_t kProtocolVersionV2 = 2;
 /// Default ceiling on a frame body; a 1 MiB body fits a ~256k-element
 /// tensor, far beyond any model this system serves.
 inline constexpr std::uint32_t kDefaultMaxFrameBytes = 1u << 20;
 inline constexpr std::size_t kMaxRank = 4;
+/// Ceiling on the v2 model-name field (matches the router's name rules).
+inline constexpr std::size_t kMaxModelName = 64;
 
 /// What a request frame asks for. Predict/Counts mirror Server::submit /
 /// submit_counts; Feedback carries a labeled sample for the online learner
@@ -61,12 +87,13 @@ enum class WireStatus : std::uint8_t { Ok = 0, Rejected = 1, Error = 2 };
 /// connection: framing is lost, so the daemon closes the socket.
 enum class DecodeError : std::uint8_t {
     None = 0,
-    BadVersion,   ///< version byte != kProtocolVersion
+    BadVersion,   ///< version byte is neither v1 nor v2
     BadKind,      ///< unknown MsgKind / WireStatus
     BadPriority,  ///< priority byte outside serve::Priority
     BadShape,     ///< rank/dims inconsistent with the body length
     Oversized,    ///< length prefix above the decoder's ceiling
     Malformed,    ///< body too short / trailing garbage / reserved != 0
+    BadModel,     ///< v2 model_len overruns the body or kMaxModelName
 };
 
 const char* to_string(DecodeError e);
@@ -78,6 +105,9 @@ struct RequestFrame {
     std::uint64_t request_id = 0;   ///< client-chosen, echoed in the response
     std::uint64_t deadline_us = 0;  ///< SLO relative to acceptance; 0 = none
     std::uint32_t label = 0;        ///< Feedback frames only
+    /// v2: fleet entry to serve this request ("" = default model). Encoding
+    /// a non-empty name requires version >= 2 (encode() throws otherwise).
+    std::string model;
     std::vector<std::uint32_t> shape;  ///< tensor dims, rank 1..kMaxRank
     std::vector<float> data;           ///< row-major payload, size = prod(shape)
 };
@@ -88,6 +118,9 @@ struct ResponseFrame {
     std::uint8_t reject_reason = 0;  ///< serve::RejectReason numeric value
     std::uint8_t priority = 0;
     std::uint64_t request_id = 0;
+    /// v2: echoes the request's model field so one connection can demux
+    /// responses across models without tracking ids itself.
+    std::string model;
     std::uint32_t label = 0;
     std::uint64_t latency_us = 0;
     std::uint64_t sojourn_us = 0;

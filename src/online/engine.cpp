@@ -94,6 +94,10 @@ void OnlineEngine::learner_loop() {
     std::vector<serve::FeedbackSample> batch;
     while (serve::collect_batch(*feedback_, policy, batch)) {
         for (const serve::FeedbackSample& sample : batch) {
+            // This engine trains the DEFAULT model only; a sample addressed
+            // to a fleet entry is another tenant's learning material
+            // (serve/feedback.hpp) — skip it without charging the stats.
+            if (!sample.model.empty()) continue;
             // A bad sample (or a failing registry disk) must never
             // std::terminate the process that is also serving traffic:
             // count it, skip it, keep learning.

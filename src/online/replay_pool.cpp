@@ -19,7 +19,7 @@ void ReplayPool::add(const common::Tensor& image, std::size_t label) {
     auto& bucket = buckets_[label];
     const std::uint64_t seen = ++seen_[label];
     if (bucket.size() < per_class_) {
-        bucket.push_back({image, label});
+        bucket.push_back({image, label, {}});
         ++stored_;
         return;
     }
@@ -27,7 +27,7 @@ void ReplayPool::add(const common::Tensor& image, std::size_t label) {
     // probability per_class/seen.
     const auto j = static_cast<std::uint64_t>(reservoir_rng_.uniform_int(
         0, static_cast<std::int64_t>(seen) - 1));
-    if (j < per_class_) bucket[j] = {image, label};
+    if (j < per_class_) bucket[j] = {image, label, {}};
 }
 
 std::vector<serve::FeedbackSample> ReplayPool::draw(std::size_t count) {

@@ -16,6 +16,7 @@
 // not a standalone knob: feedback is just the lowest-priority class.
 
 #include <cstddef>
+#include <string>
 
 #include "common/tensor.hpp"
 #include "serve/admission.hpp"
@@ -26,6 +27,10 @@ namespace neuro::serve {
 struct FeedbackSample {
     common::Tensor image;
     std::size_t label = 0;
+    /// Fleet entry the label belongs to ("" = default model). The online
+    /// engine trains the default model and skips addressed samples; a
+    /// per-model learner can filter on it.
+    std::string model;
 };
 
 /// The hand-off between Server::submit_feedback and the online learner.

@@ -37,17 +37,43 @@ enum class RejectReason : std::uint8_t {
     Shutdown,          ///< submitted after (or refused during) shutdown
     Overload,          ///< CoDel drop state shed it from the queue head
     DeadlineExceeded,  ///< its SLO deadline passed while it queued
+    UnknownModel,      ///< SubmitOptions::model names no fleet entry
 };
 
 const char* to_string(RejectReason r);
 
-/// Per-request submission parameters (Server::submit / submit_counts).
+struct InferenceResult;
+
+/// Completion callback for the push-style submit path (SubmitOptions::
+/// on_complete / Server::submit_async). Invoked exactly once per request
+/// with the final result — on a worker thread for dispatched/head-dropped
+/// requests, inline on the submitter's thread for intake rejects. Must not
+/// throw and must not block: the serving workers (and, in neurod, the
+/// epoll loop) run it.
+using CompletionFn = std::function<void(InferenceResult&&)>;
+
+/// Per-request submission parameters — the single options struct every
+/// submit verb (submit / submit_counts / submit_async / submit_feedback)
+/// takes, on both Server and ModelRouter. One struct instead of parallel
+/// overload ladders: a new knob lands in every path at once.
 struct SubmitOptions {
     Priority priority = Priority::Interactive;
     /// SLO deadline relative to acceptance, in microseconds; 0 = none.
     /// A request whose deadline passes while it queues is never
     /// dispatched — it resolves Rejected{DeadlineExceeded} instead.
     std::uint64_t deadline_us = 0;
+    /// Which fleet entry serves this request; "" = the default model, so
+    /// every pre-router call site keeps its meaning unchanged. On a plain
+    /// single-model Server a non-empty name resolves
+    /// Rejected{UnknownModel}.
+    std::string model;
+    /// Stable client-supplied id (netd passes the wire request_id). The
+    /// router hashes it to pick the canary arm, so a retry of the same
+    /// logical request deterministically lands on the same weights.
+    std::uint64_t request_id = 0;
+    /// When set, the request resolves through this callback instead of a
+    /// future (the push-style submit_async path).
+    CompletionFn on_complete;
 };
 
 struct InferenceResult {
@@ -100,22 +126,20 @@ private:
     std::future<InferenceResult> future_;
 };
 
-/// Completion callback for the push-style submit path (Server::
-/// submit_async). Invoked exactly once per request with the final result —
-/// on a worker thread for dispatched/head-dropped requests, inline on the
-/// submitter's thread for intake rejects. Must not throw and must not
-/// block: the serving workers (and, in neurod, the epoll loop) run it.
-using CompletionFn = std::function<void(InferenceResult&&)>;
-
-/// The internal wire format between Server::submit and the worker loops —
-/// what actually travels through the AdmissionQueue. Enqueue time, class
-/// and deadline live in the queue's entry metadata (the queue stamps them
-/// via its Clock); the Request itself carries only what the worker needs
-/// to run and resolve the inference.
+/// The internal wire format between submit and the worker loops — what
+/// actually travels through the AdmissionQueue. Enqueue time, class and
+/// deadline live in the queue's entry metadata (the queue stamps them via
+/// its Clock); the Request itself carries only what the worker needs to
+/// route, run, and resolve the inference.
 struct Request {
     enum class Kind { Predict, Counts };
     Kind kind = Kind::Predict;
     common::Tensor image;
+    /// Fleet entry this request is addressed to ("" = default model); the
+    /// router resolves it to a session pool at dispatch time.
+    std::string model;
+    /// Client id the router hashes for the canary split (0 when unset).
+    std::uint64_t request_id = 0;
     std::promise<InferenceResult> promise;
     /// When set, the request resolves through the callback and the promise
     /// is never touched (the future-less submit_async path — one fewer

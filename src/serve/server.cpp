@@ -5,18 +5,6 @@
 
 namespace neuro::serve {
 
-namespace {
-
-InferenceResult rejected_result(RejectReason reason, Priority cls) {
-    InferenceResult r;
-    r.status = Status::Rejected;
-    r.reject = reason;
-    r.priority = cls;
-    return r;
-}
-
-}  // namespace
-
 const char* to_string(Status s) {
     switch (s) {
         case Status::Ok: return "ok";
@@ -33,205 +21,29 @@ const char* to_string(RejectReason r) {
         case RejectReason::Shutdown: return "shutdown";
         case RejectReason::Overload: return "overload";
         case RejectReason::DeadlineExceeded: return "deadline-exceeded";
+        case RejectReason::UnknownModel: return "unknown-model";
     }
     return "?";
 }
 
 Server::Server(std::shared_ptr<const runtime::CompiledModel> model,
                ServerOptions options)
-    : model_(std::move(model)),
-      options_(options),
-      clock_(options.clock ? options.clock : default_clock()),
-      queue_(options.queue_capacity, options.admission, clock_) {
-    if (!model_) throw std::invalid_argument("Server: null model");
+    : options_(options) {
+    // Validate with the historical messages before the router sees it.
+    if (!model) throw std::invalid_argument("Server: null model");
     if (options_.workers == 0)
         throw std::invalid_argument("Server: zero workers");
     if (options_.batch.max_batch == 0)
         throw std::invalid_argument("Server: zero max_batch");
-    if (options_.admission.feedback_capacity > 0)
-        feedback_ = std::make_shared<FeedbackQueue>(
-            options_.admission.feedback_capacity, options_.admission, clock_);
-    sessions_ = model_->open_sessions(options_.workers);
-}
-
-Server::~Server() { shutdown(); }
-
-void Server::start() {
-    std::lock_guard<std::mutex> lock(lifecycle_m_);
-    start_locked();
-}
-
-void Server::start_locked() {
-    if (started_.load()) return;  // lifecycle_m_ is held: no concurrent start
-    // start_time_ is written before started_ flips so the unsynchronized
-    // read in elapsed_seconds() (gated on started_) sees a complete value.
-    start_time_ = std::chrono::steady_clock::now();
-    workers_.reserve(options_.workers);
-    for (std::size_t w = 0; w < options_.workers; ++w)
-        workers_.emplace_back([this, w] { worker_loop(w); });
-    started_.store(true);
-}
-
-void Server::shutdown() {
-    std::lock_guard<std::mutex> lock(lifecycle_m_);
-    // Start-before-drain so requests queued against a never-started server
-    // still run to completion (the accepted-implies-completed guarantee).
-    start_locked();
-    closing_.store(true);
-    queue_.close();
-    // Closing the feedback stream is the learner's end-of-input signal: it
-    // drains what was accepted and stops (online::OnlineEngine).
-    if (feedback_) feedback_->close();
-    if (joined_.exchange(true)) return;
-    for (auto& w : workers_)
-        if (w.joinable()) w.join();
-    frozen_elapsed_s_.store(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start_time_)
-            .count());
-}
-
-InferenceHandle Server::enqueue(Request::Kind kind, const common::Tensor& image,
-                                SubmitOptions opt) {
-    Request req;
-    req.kind = kind;
-    req.image = image;
-    auto future = req.promise.get_future();
-    enqueue_request(std::move(req), opt);
-    return InferenceHandle(std::move(future));
-}
-
-void Server::enqueue_async(Request::Kind kind, const common::Tensor& image,
-                           SubmitOptions opt, CompletionFn done) {
-    Request req;
-    req.kind = kind;
-    req.image = image;
-    req.on_complete = std::move(done);
-    enqueue_request(std::move(req), opt);
-}
-
-void Server::enqueue_request(Request req, SubmitOptions opt) {
-    if (closing_.load()) {
-        metrics_.on_reject();
-        req.resolve(rejected_result(RejectReason::Shutdown, opt.priority));
-        return;
-    }
-    // A relative SLO becomes an absolute Clock deadline at the intake; the
-    // queue compares against the same clock at the head.
-    const std::uint64_t deadline_us =
-        opt.deadline_us == 0 ? 0 : clock_->now_us() + opt.deadline_us;
-
-    bool accepted = false;
-    RejectReason refusal = RejectReason::Shutdown;
-    if (options_.backpressure == Backpressure::Block) {
-        // push() returns false only if the queue closed while waiting.
-        accepted = queue_.push(req, opt.priority, deadline_us);
-    } else {
-        switch (queue_.try_push(req, opt.priority, deadline_us)) {
-            case AdmissionQueue<Request>::Push::Ok: accepted = true; break;
-            case AdmissionQueue<Request>::Push::Full:
-                refusal = RejectReason::QueueFull;
-                break;
-            case AdmissionQueue<Request>::Push::Closed: break;
-        }
-    }
-    if (!accepted) {
-        metrics_.on_reject();
-        req.resolve(rejected_result(refusal, opt.priority));
-    } else {
-        metrics_.on_accept(queue_.size());
-    }
-}
-
-bool Server::submit_feedback(const common::Tensor& image, std::size_t label) {
-    // Label validation happens at the intake, not on the learner thread: a
-    // malformed client sample must never be able to take the learner down.
-    if (!feedback_ || closing_.load() || label >= model_->spec().classes) {
-        metrics_.on_feedback_drop();
-        return false;
-    }
-    FeedbackSample sample{image, label};
-    if (feedback_->try_push(sample, Priority::Feedback) !=
-        FeedbackQueue::Push::Ok) {
-        metrics_.on_feedback_drop();
-        return false;
-    }
-    return true;
-}
-
-void Server::worker_loop(std::size_t worker_index) {
-    runtime::Session& session = *sessions_[worker_index];
-    std::vector<Admitted<Request>> batch;
-    std::vector<double> ok_latencies_us;
-    std::vector<double> sojourns_us;
-    // Head drops resolve here, on the worker thread: the request WAS
-    // accepted, so its future must complete — as an explicit rejection.
-    const auto reject_drop = [this](Dropped<Request>&& d) {
-        InferenceResult res = rejected_result(
-            d.cause == DropCause::DeadlineExceeded
-                ? RejectReason::DeadlineExceeded
-                : RejectReason::Overload,
-            d.cls);
-        res.sojourn_us = static_cast<double>(d.sojourn_us);
-        metrics_.on_admission_drop(res.sojourn_us);
-        d.value.resolve(std::move(res));
-    };
-    while (collect_admitted(queue_, options_.batch, batch, reject_drop)) {
-        // Batch boundary: adopt any newly published weight image before the
-        // batch runs, so every request in it executes against one version.
-        if (session.refresh()) metrics_.on_weight_refresh();
-        ok_latencies_us.clear();
-        sojourns_us.clear();
-        std::size_t error_count = 0;
-        for (Admitted<Request>& a : batch) {
-            Request& r = a.value;
-            InferenceResult res;
-            res.batch_size = batch.size();
-            res.priority = a.cls;
-            res.sojourn_us = static_cast<double>(a.sojourn_us);
-            try {
-                if (r.kind == Request::Kind::Predict) {
-                    res.label = session.predict(r.image);
-                } else {
-                    res.counts = session.output_counts(r.image);
-                    std::size_t best = 0;
-                    for (std::size_t j = 1; j < res.counts.size(); ++j)
-                        if (res.counts[j] > res.counts[best]) best = j;
-                    res.label = best;
-                }
-                res.status = Status::Ok;
-            } catch (const std::exception& e) {
-                res.status = Status::Error;
-                res.error = e.what();
-            }
-            const std::uint64_t now = clock_->now_us();
-            res.latency_us = static_cast<double>(
-                now >= a.enqueued_at_us ? now - a.enqueued_at_us : 0);
-            sojourns_us.push_back(res.sojourn_us);
-            if (res.status == Status::Ok)
-                ok_latencies_us.push_back(res.latency_us);
-            else
-                ++error_count;
-            r.resolve(std::move(res));
-        }
-        metrics_.on_batch(batch.size(), ok_latencies_us, sojourns_us,
-                          error_count);
-    }
-}
-
-double Server::elapsed_seconds() const {
-    const double frozen = frozen_elapsed_s_.load();
-    if (frozen >= 0.0) return frozen;
-    if (!started_.load()) return 0.0;
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_time_)
-        .count();
-}
-
-ServerStats Server::stats() const {
-    return metrics_.snapshot(elapsed_seconds(), queue_.counters(),
-                             feedback_ ? feedback_->counters()
-                                       : AdmissionCounters{});
+    RouterOptions ropt;
+    ropt.workers = options_.workers;
+    ropt.queue_capacity = options_.queue_capacity;
+    ropt.batch = options_.batch;
+    ropt.backpressure = options_.backpressure;
+    ropt.admission = options_.admission;
+    ropt.clock = options_.clock;
+    // No fleet_dir and no budget: the fleet of one, permanently resident.
+    router_ = std::make_shared<ModelRouter>(std::move(model), std::move(ropt));
 }
 
 }  // namespace neuro::serve

@@ -1,58 +1,45 @@
 #pragma once
-// neuro::serve::Server — the async serving engine over the runtime API.
+// neuro::serve::Server — the single-model face of the serving engine.
 //
 //   submit() ──► AdmissionQueue ──► collect_admitted() ──► worker Session
 //                 (backpressure,      (micro-batching +        ──► future
 //                  priority classes)   CoDel / deadline drops)
 //
-// One Server owns one immutable CompiledModel and a pool of worker
-// Sessions (one per worker thread — Sessions are not thread-safe, models
-// are; see docs/ARCHITECTURE.md §5). Producers on any number of threads
-// submit images — optionally with a priority class and an SLO deadline
-// (SubmitOptions); workers coalesce admitted requests into micro-batches
-// (up to max_batch or max_delay_us, whichever first) and resolve each
-// request's future. Every ACCEPTED request is guaranteed to resolve:
-// dispatched requests complete Ok/Error, head-dropped requests complete
-// Rejected{Overload|DeadlineExceeded} — shutdown() closes the intake,
-// drains the queue, and joins the workers.
+// Since the multi-model PR the engine itself lives in serve::ModelRouter
+// (router.hpp, docs/ARCHITECTURE.md §12); a Server is a thin wrapper that
+// configures a router with exactly one permanently resident model — the
+// fleet of one. Every behavioral contract established here still holds
+// and is still test-enforced (tests/serve_test.cpp):
 //
-// Backpressure (ServerOptions::backpressure) acts at the intake:
-//   * Block — submit() blocks until queue space frees (closed-loop
-//     clients; no request is ever dropped).
-//   * Shed  — submit() returns an already-completed Rejected{QueueFull}
-//     handle when the queue is full (open-loop traffic; bounded memory).
+//   * One Server owns one immutable CompiledModel and a pool of worker
+//     Sessions (one per worker thread — Sessions are not thread-safe,
+//     models are; docs/ARCHITECTURE.md §5).
+//   * Every ACCEPTED request resolves: dispatched requests complete
+//     Ok/Error, head-dropped requests complete Rejected{Overload|
+//     DeadlineExceeded} — shutdown() closes the intake, drains the queue,
+//     and joins the workers.
+//   * Backpressure (ServerOptions::backpressure) acts at the intake:
+//     Block parks the submitter until space frees; Shed returns an
+//     already-completed Rejected{QueueFull} handle.
+//   * Admission control (ServerOptions::admission) acts at the head —
+//     CoDel controlled delay, weighted round robin across classes,
+//     deadline-expired requests never cost a session slot
+//     (docs/ARCHITECTURE.md §10) — all on the injectable Clock.
+//   * Determinism: results are bit-identical to sequential Session calls
+//     no matter the batch size, worker count, or arrival order.
+//   * Learning-while-serving: workers refresh() at batch boundaries, so a
+//     published weight image reaches the pool within one batch per worker
+//     (docs/ARCHITECTURE.md §9); labeled feedback flows through the
+//     admission layer's Feedback class (submit_feedback).
 //
-// Admission control (ServerOptions::admission) acts at the head — see
-// docs/ARCHITECTURE.md §10: CoDel controlled delay keeps the standing
-// queue near target_us under overload by shedding the stalest work,
-// weighted round robin shares worker bandwidth across Interactive/Batch/
-// Feedback classes, and deadline-expired requests never cost a session
-// slot. All admission time flows through the injectable Clock
-// (ServerOptions::clock), so every state transition is deterministically
-// testable with a ManualClock. With CoDel off (the default) and no
-// deadlines, admission degenerates to FIFO and serving is bit-identical
-// to the pre-admission engine.
-//
-// Determinism: workers run each request individually on an isolated
-// Session, so results are bit-identical to sequential Session calls no
-// matter the batch size, worker count, or arrival order (tests/serve_test).
-//
-// Learning-while-serving (docs/ARCHITECTURE.md §9): every worker calls
-// Session::refresh() at each batch boundary, so a weight image published on
-// the model (by online::OnlineEngine, or anyone) is picked up by the whole
-// pool within one batch per worker — without pausing the pool, and without
-// affecting requests already in flight. The labeled-feedback intake is the
-// admission layer's Feedback class (AdmissionConfig::feedback_capacity,
-// submit_feedback): a second AdmissionQueue under the same CoDel
-// discipline, drained by the online learner.
+// API note: every submit verb takes the one SubmitOptions struct
+// (priority, deadline_us, model, request_id, on_complete). The old
+// (image, opt, done) callback overloads survive as thin shims.
 
 #include <atomic>
-#include <chrono>
 #include <cstddef>
 #include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <utility>
 
 #include "common/tensor.hpp"
 #include "runtime/compiled_model.hpp"
@@ -60,12 +47,11 @@
 #include "serve/clock.hpp"
 #include "serve/feedback.hpp"
 #include "serve/request.hpp"
+#include "serve/router.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/stats.hpp"
 
 namespace neuro::serve {
-
-enum class Backpressure { Block, Shed };
 
 struct ServerOptions {
     std::size_t workers = 2;         ///< worker threads == backend sessions
@@ -89,44 +75,59 @@ public:
     Server(std::shared_ptr<const runtime::CompiledModel> model,
            ServerOptions options = {});
     /// Drains and joins (shutdown()).
-    ~Server();
+    ~Server() = default;
 
     Server(const Server&) = delete;
     Server& operator=(const Server&) = delete;
 
     /// Spawns the worker threads. Idempotent; harmless after shutdown().
-    void start();
+    void start() { router_->start(); }
 
     /// Async argmax inference. The handle resolves with status Ok and the
     /// predicted label (bit-identical to Session::predict on this model),
-    /// or Rejected when backpressure or admission control refused it.
+    /// or Rejected when backpressure or admission control refused it. When
+    /// opt.on_complete is set the result goes through the callback instead
+    /// and the returned handle is invalid.
     InferenceHandle submit(const common::Tensor& image,
                            SubmitOptions opt = {}) {
-        return enqueue(Request::Kind::Predict, image, opt);
+        return router_->submit(image, std::move(opt));
     }
 
     /// Async phase-1 spike counts (bit-identical to Session::output_counts).
     InferenceHandle submit_counts(const common::Tensor& image,
                                   SubmitOptions opt = {}) {
-        return enqueue(Request::Kind::Counts, image, opt);
+        return router_->submit_counts(image, std::move(opt));
     }
 
-    /// Push-style submit: instead of a future, `done` is invoked exactly
-    /// once with the final result — on a worker thread when the request was
-    /// dispatched or head-dropped, inline on the calling thread when it was
-    /// refused at the intake. `done` must not throw or block (neurod's
-    /// epoll loop and the serving workers run it). With Block backpressure
-    /// the *submit call* may still block on queue space, so event-loop
-    /// callers pair this with the Shed policy.
-    void submit_async(const common::Tensor& image, SubmitOptions opt,
-                      CompletionFn done) {
-        enqueue_async(Request::Kind::Predict, image, opt, std::move(done));
+    /// Push-style submit: opt.on_complete is invoked exactly once with the
+    /// final result — on a worker thread when the request was dispatched or
+    /// head-dropped, inline on the calling thread when it was refused at
+    /// the intake. The callback must not throw or block (neurod's epoll
+    /// loop and the serving workers run it). With Block backpressure the
+    /// *submit call* may still block on queue space, so event-loop callers
+    /// pair this with the Shed policy.
+    void submit_async(const common::Tensor& image, SubmitOptions opt) {
+        router_->submit_async(image, std::move(opt));
     }
 
     /// submit_async for phase-1 spike counts.
+    void submit_counts_async(const common::Tensor& image, SubmitOptions opt) {
+        router_->submit_counts_async(image, std::move(opt));
+    }
+
+    /// Deprecated shim (pre-unification signature): the callback now lives
+    /// in SubmitOptions::on_complete — prefer submit_async(image, opt).
+    void submit_async(const common::Tensor& image, SubmitOptions opt,
+                      CompletionFn done) {
+        opt.on_complete = std::move(done);
+        submit_async(image, std::move(opt));
+    }
+
+    /// Deprecated shim: prefer submit_counts_async(image, opt).
     void submit_counts_async(const common::Tensor& image, SubmitOptions opt,
                              CompletionFn done) {
-        enqueue_async(Request::Kind::Counts, image, opt, std::move(done));
+        opt.on_complete = std::move(done);
+        submit_counts_async(image, std::move(opt));
     }
 
     /// Hands a labeled observation to the Feedback class. Best-effort:
@@ -135,56 +136,40 @@ public:
     /// label is out of range for the model, or the server is shutting
     /// down. Never blocks: inference traffic has priority over learning
     /// material.
-    bool submit_feedback(const common::Tensor& image, std::size_t label);
+    bool submit_feedback(const common::Tensor& image, std::size_t label,
+                         const SubmitOptions& opt = {}) {
+        return router_->submit_feedback(image, label, opt);
+    }
 
     /// The feedback stream the online learner drains (null when
     /// admission.feedback_capacity == 0). Closed by shutdown(), which is
     /// the learner's signal to finish its drain and stop.
     const std::shared_ptr<FeedbackQueue>& feedback_queue() const {
-        return feedback_;
+        return router_->feedback_queue();
     }
 
     /// Graceful shutdown: refuses new submissions, resolves every accepted
     /// request (dispatch or admission drop), then joins the workers.
     /// Idempotent. If the server was never start()ed, it is started first
     /// so queued requests still drain.
-    void shutdown();
+    void shutdown() { router_->shutdown(); }
 
-    bool running() const { return started_.load() && !joined_.load(); }
+    bool running() const { return router_->running(); }
     const ServerOptions& options() const { return options_; }
     /// The admission clock (the injected one, or the shared steady clock).
-    const std::shared_ptr<Clock>& clock() const { return clock_; }
+    const std::shared_ptr<Clock>& clock() const { return router_->clock(); }
+
+    /// The engine underneath — what netd::Daemon actually drives. A plain
+    /// Server's router serves only the default entry "".
+    const std::shared_ptr<ModelRouter>& router() const { return router_; }
 
     /// Point-in-time counters + latency percentiles. elapsed/throughput are
     /// measured from start() (frozen at shutdown()).
-    ServerStats stats() const;
+    ServerStats stats() const { return router_->stats(); }
 
 private:
-    InferenceHandle enqueue(Request::Kind kind, const common::Tensor& image,
-                            SubmitOptions opt);
-    void enqueue_async(Request::Kind kind, const common::Tensor& image,
-                       SubmitOptions opt, CompletionFn done);
-    /// Shared intake tail: pushes `req` under the backpressure policy and
-    /// resolves it immediately on refusal.
-    void enqueue_request(Request req, SubmitOptions opt);
-    void start_locked();
-    void worker_loop(std::size_t worker_index);
-    double elapsed_seconds() const;
-
-    std::mutex lifecycle_m_;  // serializes start()/shutdown()
-    std::shared_ptr<const runtime::CompiledModel> model_;
     ServerOptions options_;
-    std::shared_ptr<Clock> clock_;
-    AdmissionQueue<Request> queue_;
-    std::shared_ptr<FeedbackQueue> feedback_;
-    std::vector<std::unique_ptr<runtime::Session>> sessions_;
-    std::vector<std::thread> workers_;
-    ServerMetrics metrics_;
-    std::atomic<bool> started_{false};
-    std::atomic<bool> closing_{false};
-    std::atomic<bool> joined_{false};
-    std::chrono::steady_clock::time_point start_time_{};
-    std::atomic<double> frozen_elapsed_s_{-1.0};
+    std::shared_ptr<ModelRouter> router_;
 };
 
 }  // namespace neuro::serve

@@ -139,6 +139,50 @@ class GateTest(unittest.TestCase):
         code, out = self.run_gate()
         self.assertEqual(code, 1, out)
 
+    # ---- multi-model fan-out tax (serving_multimodel) ------------------------
+
+    @staticmethod
+    def multimodel_rows(single, others):
+        rows = [{"config": "multimodel, models=1", "models": 1,
+                 "throughput_rps": single}]
+        for m, rate in others.items():
+            rows.append({"config": f"multimodel, models={m}", "models": m,
+                         "throughput_rps": rate})
+        return rows
+
+    def test_multimodel_fanout_ratio_transfers_across_machines(self):
+        # Baseline: models=4 holds 90% of the single-tenant rate. Current
+        # machine is 10x slower with the same fan-out tax: must pass.
+        self.write(self.baselines, "serving_multimodel",
+                   self.multimodel_rows(1000.0, {2: 950.0, 4: 900.0}))
+        self.write(self.results, "serving_multimodel",
+                   self.multimodel_rows(100.0, {2: 95.0, 4: 90.0}))
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+
+    def test_multimodel_fanout_collapse_fails(self):
+        # Fan-out ratio 0.9 -> 0.5 (44% > 20% tolerance): routing across
+        # four pools suddenly costs half the throughput — gate must fail
+        # even though the raw current rate beats the baseline's.
+        self.write(self.baselines, "serving_multimodel",
+                   self.multimodel_rows(1000.0, {2: 950.0, 4: 900.0}))
+        self.write(self.results, "serving_multimodel",
+                   self.multimodel_rows(2000.0, {2: 1900.0, 4: 1000.0}))
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("models=4", out)
+        self.assertIn("throughput_rps regressed", out)
+
+    def test_multimodel_missing_reference_row_is_an_error(self):
+        self.write(self.baselines, "serving_multimodel",
+                   self.multimodel_rows(1000.0, {4: 900.0}))
+        self.write(self.results, "serving_multimodel",
+                   [{"config": "multimodel, models=4", "models": 4,
+                     "throughput_rps": 900.0}])
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("normalization row", out)
+
     # ---- lower-is-better metrics (serving_overload max_metrics) --------------
 
     @staticmethod

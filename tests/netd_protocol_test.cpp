@@ -7,6 +7,9 @@
 //   * truncated, oversized, inconsistent and wrong-version frames are
 //     rejected with a typed error and WITHOUT undefined behaviour — a
 //     hostile length prefix or shape product never drives an allocation,
+//   * v2 frames carry the model field both directions, v1 and v2 coexist
+//     on one stream, and a declared model_len that overruns the body (or
+//     the kMaxModelName ceiling) poisons the decoder (BadModel),
 //   * a decoder that errored is poisoned: framing is unrecoverable.
 
 #include <gtest/gtest.h>
@@ -78,6 +81,33 @@ std::vector<std::uint8_t> raw_request(std::uint8_t version, std::uint8_t kind,
     body.push_back(reserved);
     for (int i = 0; i < 16; ++i) body.push_back(0);  // request_id, deadline
     put_u32(body, 0);                                // label
+    body.push_back(rank);
+    for (const std::uint32_t d : dims) put_u32(body, d);
+    for (std::size_t i = 0; i < payload_floats * 4; ++i) body.push_back(0);
+
+    std::vector<std::uint8_t> out;
+    put_u32(out, static_cast<std::uint32_t>(body.size()));
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+/// Raw v2 request with a hand-controlled model_len declaration — possibly
+/// lying about how many model bytes follow (the overrun tests).
+std::vector<std::uint8_t> raw_v2_request(std::uint8_t declared_model_len,
+                                         const std::string& model_bytes,
+                                         std::uint8_t rank,
+                                         const std::vector<std::uint32_t>& dims,
+                                         std::size_t payload_floats) {
+    std::vector<std::uint8_t> body;
+    body.push_back(netd::kProtocolVersionV2);
+    body.push_back(0);  // Predict
+    body.push_back(0);  // priority
+    body.push_back(0);  // reserved
+    for (int i = 0; i < 16; ++i) body.push_back(0);  // request_id, deadline
+    put_u32(body, 0);                                // label
+    body.push_back(declared_model_len);
+    for (const char c : model_bytes)
+        body.push_back(static_cast<std::uint8_t>(c));
     body.push_back(rank);
     for (const std::uint32_t d : dims) put_u32(body, d);
     for (std::size_t i = 0; i < payload_floats * 4; ++i) body.push_back(0);
@@ -248,8 +278,11 @@ TEST(NetdProtocol, ZeroLengthBodyIsMalformed) {
 }
 
 TEST(NetdProtocol, WrongVersionRejected) {
-    EXPECT_EQ(decode_error_of(raw_request(netd::kProtocolVersion + 1, 0, 0, 0,
-                                          1, {4}, 4)),
+    // v1 and v2 are the negotiable set; anything above is unknown.
+    EXPECT_EQ(decode_error_of(raw_request(netd::kProtocolVersionV2 + 1, 0, 0,
+                                          0, 1, {4}, 4)),
+              DecodeError::BadVersion);
+    EXPECT_EQ(decode_error_of(raw_request(0, 0, 0, 0, 1, {4}, 4)),
               DecodeError::BadVersion);
 }
 
@@ -325,7 +358,7 @@ TEST(NetdProtocol, HeaderShorterThanFixedFieldsIsMalformed) {
 TEST(NetdProtocol, ErrorPoisonsTheDecoder) {
     Decoder d;
     const auto bad =
-        raw_request(netd::kProtocolVersion + 1, 0, 0, 0, 1, {4}, 4);
+        raw_request(netd::kProtocolVersionV2 + 1, 0, 0, 0, 1, {4}, 4);
     d.feed(bad.data(), bad.size());
     RequestFrame f;
     ASSERT_EQ(d.next_request(f), Decoder::Result::Error);
@@ -352,6 +385,160 @@ TEST(NetdProtocol, ResponseCountsOverrunIsMalformed) {
     EXPECT_EQ(d.error(), DecodeError::Malformed);
 }
 
+// ---- v2: the model field ----------------------------------------------------
+
+TEST(NetdProtocol, V2RequestRoundTripPreservesModel) {
+    RequestFrame in = sample_request();
+    in.version = netd::kProtocolVersionV2;
+    in.model = "tenant-a.v3";
+    const auto bytes = netd::encode(in);
+
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    RequestFrame out;
+    ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.version, netd::kProtocolVersionV2);
+    EXPECT_EQ(out.model, in.model);
+    EXPECT_EQ(out.kind, in.kind);
+    EXPECT_EQ(out.priority, in.priority);
+    EXPECT_EQ(out.request_id, in.request_id);
+    EXPECT_EQ(out.deadline_us, in.deadline_us);
+    EXPECT_EQ(out.shape, in.shape);
+    EXPECT_EQ(out.data, in.data);
+    EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(NetdProtocol, V2ResponseRoundTripPreservesModel) {
+    ResponseFrame in = sample_response();
+    in.version = netd::kProtocolVersionV2;
+    in.model = "tenant-b";
+    const auto bytes = netd::encode(in);
+
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    ResponseFrame out;
+    ASSERT_EQ(d.next_response(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.version, netd::kProtocolVersionV2);
+    EXPECT_EQ(out.model, in.model);
+    EXPECT_EQ(out.request_id, in.request_id);
+    EXPECT_EQ(out.counts, in.counts);
+}
+
+TEST(NetdProtocol, V2EmptyModelMeansDefaultAndRoundTrips) {
+    RequestFrame in = sample_request();
+    in.version = netd::kProtocolVersionV2;
+    in.model = "";
+    const auto bytes = netd::encode(in);
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    RequestFrame out;
+    ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.version, netd::kProtocolVersionV2);
+    EXPECT_TRUE(out.model.empty());
+    EXPECT_EQ(out.data, in.data);
+}
+
+TEST(NetdProtocol, V1AndV2FramesCoexistOnOneStream) {
+    // Per-frame negotiation: the same decoder must handle both versions
+    // back to back — that is what lets a fleet client keep a v1 library
+    // talking while newer code sends v2.
+    RequestFrame v1 = sample_request();
+    v1.request_id = 1;
+    RequestFrame v2 = sample_request();
+    v2.version = netd::kProtocolVersionV2;
+    v2.model = "m";
+    v2.request_id = 2;
+
+    auto bytes = netd::encode(v1);
+    const auto more = netd::encode(v2);
+    bytes.insert(bytes.end(), more.begin(), more.end());
+
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    RequestFrame out;
+    ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.version, netd::kProtocolVersion);
+    EXPECT_TRUE(out.model.empty());
+    ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.version, netd::kProtocolVersionV2);
+    EXPECT_EQ(out.model, "m");
+}
+
+TEST(NetdProtocol, V2ByteAtATimeFeedYieldsTheSameFrame) {
+    RequestFrame in = sample_request();
+    in.version = netd::kProtocolVersionV2;
+    in.model = "slow-reader";
+    const auto bytes = netd::encode(in);
+
+    Decoder d;
+    RequestFrame out;
+    for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+        d.feed(&bytes[i], 1);
+        ASSERT_EQ(d.next_request(out), Decoder::Result::NeedMore);
+    }
+    d.feed(&bytes[bytes.size() - 1], 1);
+    ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.model, in.model);
+    EXPECT_EQ(out.data, in.data);
+}
+
+TEST(NetdProtocol, ModelLenOverrunningBodyRejected) {
+    // Declares 40 model bytes but carries 4: the rest of the "name" would
+    // be the rank/dims/payload bytes — framing is untrustworthy.
+    EXPECT_EQ(decode_error_of(raw_v2_request(40, "abcd", 1, {4}, 4)),
+              DecodeError::BadModel);
+}
+
+TEST(NetdProtocol, ModelLenAboveCeilingRejected) {
+    // 65 > kMaxModelName even though the body really does carry 65 bytes.
+    const std::string name(65, 'x');
+    EXPECT_EQ(decode_error_of(raw_v2_request(
+                  static_cast<std::uint8_t>(name.size()), name, 1, {4}, 4)),
+              DecodeError::BadModel);
+}
+
+TEST(NetdProtocol, ModelLenEatingTheWholeBodyRejected) {
+    // model_len swallows every remaining byte including the tensor header:
+    // caught as BadModel or a downstream Malformed, never UB. Build a body
+    // whose declared name length exactly equals what is left.
+    const auto frame = raw_v2_request(13, "abcd", 1, {1}, 1);
+    Decoder d;
+    d.feed(frame.data(), frame.size());
+    RequestFrame f;
+    EXPECT_EQ(d.next_request(f), Decoder::Result::Error);
+}
+
+TEST(NetdProtocol, BadModelPoisonsTheDecoder) {
+    Decoder d;
+    const auto bad = raw_v2_request(40, "abcd", 1, {4}, 4);
+    d.feed(bad.data(), bad.size());
+    RequestFrame f;
+    ASSERT_EQ(d.next_request(f), Decoder::Result::Error);
+    EXPECT_EQ(d.error(), DecodeError::BadModel);
+
+    const auto good = netd::encode(sample_request());
+    d.feed(good.data(), good.size());
+    EXPECT_EQ(d.next_request(f), Decoder::Result::Error);
+    EXPECT_EQ(d.error(), DecodeError::BadModel);
+}
+
+TEST(NetdProtocol, V2ResponseModelOverrunRejected) {
+    // Corrupt an encoded v2 response's model_len to overrun the body.
+    ResponseFrame in = sample_response();
+    in.version = netd::kProtocolVersionV2;
+    in.model = "ab";
+    auto bytes = netd::encode(in);
+    // Offset: 4 len + 4 header (version/status/reject/priority) + 8 id.
+    const std::size_t model_len_off = 4 + 4 + 8;
+    ASSERT_EQ(bytes[model_len_off], 2u);
+    bytes[model_len_off] = 0xFF;
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    ResponseFrame out;
+    EXPECT_EQ(d.next_response(out), Decoder::Result::Error);
+    EXPECT_EQ(d.error(), DecodeError::BadModel);
+}
+
 // ---- encoder validation -----------------------------------------------------
 
 TEST(NetdProtocol, EncodeRejectsSelfInconsistentFrames) {
@@ -371,4 +558,27 @@ TEST(NetdProtocol, EncodeRejectsSelfInconsistentFrames) {
     f.shape = {0};
     f.data = {};
     EXPECT_THROW(netd::encode(f), std::invalid_argument);
+}
+
+TEST(NetdProtocol, EncodeRejectsModelMisuse) {
+    // A v1 frame cannot carry a model name (no field to put it in), an
+    // unknown version cannot be emitted at all, and an over-long name
+    // would be rejected by every decoder — encode() refuses all three.
+    RequestFrame f;
+    f.shape = {4};
+    f.data = {1, 2, 3, 4};
+    f.model = "tenant-a";  // still version 1
+    EXPECT_THROW(netd::encode(f), std::invalid_argument);
+
+    f.version = netd::kProtocolVersionV2 + 1;
+    f.model = "";
+    EXPECT_THROW(netd::encode(f), std::invalid_argument);
+
+    f.version = netd::kProtocolVersionV2;
+    f.model = std::string(netd::kMaxModelName + 1, 'x');
+    EXPECT_THROW(netd::encode(f), std::invalid_argument);
+
+    ResponseFrame r = sample_response();
+    r.model = "tenant-a";  // version 1
+    EXPECT_THROW(netd::encode(r), std::invalid_argument);
 }

@@ -11,7 +11,11 @@
 //   * drain/shutdown semantics: accepted-implies-responded, control socket
 //     survives a pure drain,
 //   * control commands: ping/stats/version, and registry pin/rollback
-//     round-trips through online::ModelRegistry into live published weights.
+//     round-trips through online::ModelRegistry into live published weights,
+//   * multi-model (v2): one connection routes to several fleet entries
+//     bit-identically to dedicated sessions, responses echo version+model,
+//     and the fleet control commands (models/load/pin/canary/unload)
+//     drive the router end-to-end.
 
 #include <gtest/gtest.h>
 
@@ -72,6 +76,16 @@ RequestFrame make_frame(const common::Tensor& img, std::uint64_t id,
     return f;
 }
 
+/// A v2 frame addressed to a fleet entry ("" = default model).
+RequestFrame make_v2_frame(const common::Tensor& img, std::uint64_t id,
+                           const std::string& model,
+                           MsgKind kind = MsgKind::Predict) {
+    RequestFrame f = make_frame(img, id, kind);
+    f.version = netd::kProtocolVersionV2;
+    f.model = model;
+    return f;
+}
+
 /// Polls `cond` generously (sized for TSan's slowdown; real waits are ms).
 template <typename F>
 bool eventually(F cond) {
@@ -97,6 +111,22 @@ runtime::WeightSnapshot forced_snapshot(const runtime::CompiledModel& model,
     return snap;
 }
 
+/// A fleet root with one single-version registry per (name, winner).
+std::string make_fleet(
+    const std::string& tag, const runtime::CompiledModel& model,
+    const std::vector<std::pair<std::string, std::size_t>>& entries) {
+    const auto root = std::filesystem::temp_directory_path() /
+                      ("neuro_netd_fleet_" + std::to_string(::getpid()) +
+                       "_" + tag);
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+    for (const auto& [name, winner] : entries) {
+        online::ModelRegistry reg((root / name).string());
+        reg.record(1, 0.9, forced_snapshot(model, winner));
+    }
+    return root.string();
+}
+
 /// One daemon on unique Unix socket paths, run on a dedicated thread.
 /// Tests tweak the public option fields before start().
 struct Harness {
@@ -104,8 +134,13 @@ struct Harness {
     serve::ServerOptions sopt;
     netd::DaemonOptions dopt;
     std::shared_ptr<online::ModelRegistry> registry;
+    /// When set, start() builds a fleet-enabled ModelRouter and the
+    /// router-native Daemon instead of the legacy Server + compat ctor.
+    std::string fleet_dir;
+    std::size_t budget_bytes = 0;
 
     std::shared_ptr<serve::Server> server;
+    std::shared_ptr<serve::ModelRouter> router;
     std::unique_ptr<netd::Daemon> daemon;
     std::thread thread;
 
@@ -123,9 +158,26 @@ struct Harness {
     }
 
     void start(bool start_server = true) {
-        server = std::make_shared<serve::Server>(model, sopt);
-        if (start_server) server->start();
-        daemon = std::make_unique<netd::Daemon>(server, model, dopt, registry);
+        if (fleet_dir.empty()) {
+            server = std::make_shared<serve::Server>(model, sopt);
+            router = server->router();
+            if (start_server) server->start();
+            daemon =
+                std::make_unique<netd::Daemon>(server, model, dopt, registry);
+        } else {
+            serve::RouterOptions ropt;
+            ropt.workers = sopt.workers;
+            ropt.queue_capacity = sopt.queue_capacity;
+            ropt.batch = sopt.batch;
+            ropt.backpressure = sopt.backpressure;
+            ropt.admission = sopt.admission;
+            ropt.clock = sopt.clock;
+            ropt.fleet_dir = fleet_dir;
+            ropt.resident_budget_bytes = budget_bytes;
+            router = std::make_shared<serve::ModelRouter>(model, ropt);
+            if (start_server) router->start();
+            daemon = std::make_unique<netd::Daemon>(router, dopt, registry);
+        }
         thread = std::thread([this] { daemon->run(); });
         // The daemon binds on its own thread; wait until it answers.
         ASSERT_TRUE(eventually([&] {
@@ -146,7 +198,10 @@ struct Harness {
     void stop() {
         if (daemon && !daemon->finished()) daemon->request_shutdown();
         if (thread.joinable()) thread.join();
-        if (server) server->shutdown();
+        if (server)
+            server->shutdown();
+        else if (router)
+            router->shutdown();
     }
 
     ~Harness() {
@@ -420,4 +475,151 @@ TEST(Netd, RegistryPinAndRollbackRoundTrip) {
 
     h.stop();
     std::filesystem::remove_all(dir);
+}
+
+// ---- multi-model (protocol v2) ----------------------------------------------
+
+TEST(Netd, V2RoutesToMultipleModelsBitIdentically) {
+    Harness h;
+    h.fleet_dir = make_fleet("route", *h.model, {{"alpha", 1}, {"beta", 2}});
+    h.start();
+    const auto images = make_images(8);
+
+    // Ground truth: dedicated sessions per weight image, outside the daemon.
+    const auto plain = h.model->open_session();
+    const auto alpha =
+        h.model->with_weights(forced_snapshot(*h.model, 1))->open_session();
+    const auto beta =
+        h.model->with_weights(forced_snapshot(*h.model, 2))->open_session();
+
+    // Pipeline all three tenants interleaved over ONE connection and match
+    // replies by id — routing must never bleed one model's weights into
+    // another's answers.
+    auto client = h.connect();
+    std::map<std::uint64_t, std::pair<std::string, std::size_t>> expected;
+    std::uint64_t id = 1;
+    for (const auto& sample : images.samples) {
+        client.send(make_v2_frame(sample.image, id, ""));
+        expected[id++] = {"", plain->predict(sample.image)};
+        client.send(make_v2_frame(sample.image, id, "alpha"));
+        expected[id++] = {"alpha", alpha->predict(sample.image)};
+        client.send(make_v2_frame(sample.image, id, "beta"));
+        expected[id++] = {"beta", beta->predict(sample.image)};
+    }
+    const std::size_t total = expected.size();
+    for (std::size_t i = 0; i < total; ++i) {
+        ResponseFrame resp;
+        ASSERT_TRUE(client.recv_response(resp));
+        ASSERT_EQ(resp.status, WireStatus::Ok) << resp.error;
+        auto it = expected.find(resp.request_id);
+        ASSERT_NE(it, expected.end());
+        EXPECT_EQ(resp.version, netd::kProtocolVersionV2);
+        EXPECT_EQ(resp.model, it->second.first);
+        EXPECT_EQ(resp.label, it->second.second);
+        expected.erase(it);
+    }
+    EXPECT_TRUE(expected.empty());
+
+    // Counts go through the same per-model sessions, bit-identically.
+    const auto& img = images.samples[0].image;
+    const auto counts =
+        client.call(make_v2_frame(img, 9000, "alpha", MsgKind::Counts));
+    ASSERT_EQ(counts.status, WireStatus::Ok) << counts.error;
+    EXPECT_EQ(counts.counts, alpha->output_counts(img));
+}
+
+TEST(Netd, V2UnknownModelRejectsOnTheWire) {
+    Harness h;
+    h.fleet_dir = make_fleet("ghost", *h.model, {{"alpha", 1}});
+    h.start();
+    auto client = h.connect();
+
+    const auto resp =
+        client.call(make_v2_frame(make_images(1).samples[0].image, 7, "nope"));
+    EXPECT_EQ(resp.status, WireStatus::Rejected);
+    EXPECT_EQ(resp.reject_reason,
+              static_cast<std::uint8_t>(serve::RejectReason::UnknownModel));
+    EXPECT_EQ(resp.version, netd::kProtocolVersionV2);
+    EXPECT_EQ(resp.model, "nope");
+}
+
+TEST(Netd, V1FramesStillServeTheDefaultModelOnAFleetDaemon) {
+    // A v1 client pointed at a fleet-enabled daemon must see exactly what it
+    // saw before multi-model existed: default-model answers in v1 frames.
+    Harness h;
+    h.fleet_dir = make_fleet("compat", *h.model, {{"alpha", 1}});
+    h.start();
+    const auto img = make_images(1).samples[0].image;
+    const auto session = h.model->open_session();
+
+    auto client = h.connect();
+    const auto resp = client.call(make_frame(img, 42));
+    ASSERT_EQ(resp.status, WireStatus::Ok) << resp.error;
+    EXPECT_EQ(resp.version, netd::kProtocolVersion);
+    EXPECT_TRUE(resp.model.empty());
+    EXPECT_EQ(resp.label, session->predict(img));
+}
+
+TEST(Netd, FleetControlCommandsDriveTheRouter) {
+    Harness h;
+    h.fleet_dir = make_fleet("ctl", *h.model, {{"alpha", 1}, {"beta", 2}});
+    // A second alpha version with a different forced winner makes pin and
+    // canary switches observable through the data socket.
+    {
+        online::ModelRegistry reg(
+            (std::filesystem::path(h.fleet_dir) / "alpha").string());
+        reg.record(2, 0.95, forced_snapshot(*h.model, 3));
+    }
+    h.start();
+    const auto img = make_images(1).samples[0].image;
+    auto client = h.connect();
+
+    // Discovery before anything is resident.
+    const std::string cold = h.control("models");
+    ASSERT_EQ(cold.rfind("ok [", 0), 0u) << cold;
+    EXPECT_NE(cold.find("\"name\":\"alpha\""), std::string::npos);
+    EXPECT_NE(cold.find("\"name\":\"beta\""), std::string::npos);
+    EXPECT_NE(cold.find("\"resident\":false"), std::string::npos);
+
+    // Explicit load picks the registry's last good version (2).
+    EXPECT_EQ(h.control("load alpha"), "ok loaded alpha version 2");
+    EXPECT_TRUE(eventually([&] {
+        static std::uint64_t id = 1000;
+        return client.call(make_v2_frame(img, id++, "alpha")).label == 3u;
+    }));
+
+    // Pin rolls the base arm back to version 1 on the live entry.
+    EXPECT_EQ(h.control("pin alpha 1"), "ok pinned alpha 1");
+    EXPECT_TRUE(eventually([&] {
+        static std::uint64_t id = 2000;
+        return client.call(make_v2_frame(img, id++, "alpha")).label == 1u;
+    }));
+
+    // Canary at 100% sends every request to version 2's arm...
+    EXPECT_EQ(h.control("canary alpha 2 100"), "ok canary alpha version 2 pct 100");
+    EXPECT_TRUE(eventually([&] {
+        static std::uint64_t id = 3000;
+        return client.call(make_v2_frame(img, id++, "alpha")).label == 3u;
+    }));
+    // ...and clearing it restores the pinned base.
+    EXPECT_EQ(h.control("canary alpha 0 0"), "ok canary alpha version 0 pct 0");
+    EXPECT_TRUE(eventually([&] {
+        static std::uint64_t id = 4000;
+        return client.call(make_v2_frame(img, id++, "alpha")).label == 1u;
+    }));
+
+    // Per-entry stats narrow to one JSON object with live counters.
+    const std::string stats = h.control("stats alpha");
+    ASSERT_EQ(stats.rfind("ok {", 0), 0u) << stats;
+    EXPECT_NE(stats.find("\"name\":\"alpha\""), std::string::npos);
+    EXPECT_NE(stats.find("\"resident\":true"), std::string::npos);
+    // The daemon-wide stats JSON now carries the fleet too.
+    const std::string all = h.control("stats");
+    EXPECT_NE(all.find("\"models\":["), std::string::npos);
+
+    EXPECT_EQ(h.control("unload alpha"), "ok unloaded alpha");
+    const std::string after = h.control("models");
+    EXPECT_NE(after.find("\"name\":\"alpha\""), std::string::npos);
+
+    std::filesystem::remove_all(h.fleet_dir);
 }

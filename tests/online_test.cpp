@@ -270,7 +270,7 @@ TEST(OnlineServing, PoisonedFeedbackTripsRollbackAndLastGoodKeepsServing) {
     std::size_t pushed = 0;
     for (std::size_t round = 0; round < 2; ++round)
         for (const auto& s : train.samples) {
-            serve::FeedbackSample f{s.image, s.label};
+            serve::FeedbackSample f{s.image, s.label, {}};
             ASSERT_TRUE(feedback->push(f));
             ++pushed;
         }
@@ -284,7 +284,7 @@ TEST(OnlineServing, PoisonedFeedbackTripsRollbackAndLastGoodKeepsServing) {
     // Phase 2: poisoned labels (cyclic shift — every label wrong).
     for (std::size_t round = 0; round < 4; ++round)
         for (const auto& s : train.samples) {
-            serve::FeedbackSample f{s.image, (s.label + 1) % kClasses};
+            serve::FeedbackSample f{s.image, (s.label + 1) % kClasses, {}};
             ASSERT_TRUE(feedback->push(f));
             ++pushed;
         }
@@ -338,7 +338,7 @@ TEST(OnlineServing, RestartRepublishesRegistryLastGood) {
         online::OnlineEngine engine(model, feedback, holdout, oopt);
         engine.start();
         for (const auto& s : train.samples) {
-            serve::FeedbackSample f{s.image, s.label};
+            serve::FeedbackSample f{s.image, s.label, {}};
             ASSERT_TRUE(feedback->push(f));
         }
         ASSERT_TRUE(eventually(
@@ -484,10 +484,10 @@ TEST(OnlineServing, MalformedFeedbackNeverKillsTheLearner) {
     auto queue = std::make_shared<serve::FeedbackQueue>(16);
     online::OnlineEngine engine(model, queue, toy_set(2, 64));
     engine.start();
-    serve::FeedbackSample bad{good.samples[0].image, kClasses + 7};
+    serve::FeedbackSample bad{good.samples[0].image, kClasses + 7, {}};
     ASSERT_TRUE(queue->push(bad));
     for (const auto& s : good.samples) {
-        serve::FeedbackSample f{s.image, s.label};
+        serve::FeedbackSample f{s.image, s.label, {}};
         ASSERT_TRUE(queue->push(f));
     }
     ASSERT_TRUE(eventually([&] {

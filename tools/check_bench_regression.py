@@ -81,6 +81,16 @@ RULES = {
         "metrics": ["throughput_rps"],
         "normalize_by": "inproc",
     },
+    # Multi-tenant fan-out tax: every row is normalized by the same-run
+    # models=1 row (a single fleet entry behind the identical ModelRouter
+    # machinery), so the gate tracks how much throughput routing across M
+    # session pools costs relative to one — a ratio that transfers across
+    # machines, independent of how fast the runner executes inference.
+    "serving_multimodel": {
+        "key": "config",
+        "metrics": ["throughput_rps"],
+        "normalize_by": "multimodel, models=1",
+    },
     # Learning-while-serving: the feedback order and the integer simulator
     # make the end-of-stream accuracy reproducible across machines, so it
     # compares absolutely (like table1). The serve-only control row sits at

@@ -1,14 +1,20 @@
-// neurod — the network serving daemon (docs/ARCHITECTURE.md §11).
+// neurod — the network serving daemon (docs/ARCHITECTURE.md §11–12).
 //
-// Compiles a model, wraps it in a serve::Server (Shed backpressure — the
-// event loop must never block), and runs a netd::Daemon on a Unix-domain
-// data socket (plus an optional loopback TCP listener) with a dinit-style
-// admin control socket next to it. SIGTERM/SIGINT trigger the graceful
-// drain: stop accepting, resolve everything in flight, flush every
-// response, exit 0.
+// Compiles a model, fronts it with a serve::ModelRouter (Shed
+// backpressure — the event loop must never block), and runs a
+// netd::Daemon on a Unix-domain data socket (plus an optional loopback
+// TCP listener) with a dinit-style admin control socket next to it.
+// SIGTERM/SIGINT trigger the graceful drain: stop accepting, resolve
+// everything in flight, flush every response, exit 0.
+//
+// Multi-model: --fleet points at a directory holding one
+// online::ModelRegistry subdirectory per model name; v2 clients address
+// entries by name, the router lazy-loads them, and --budget_mb caps the
+// resident plastic-weight bytes (LRU eviction above it; 0 = unlimited).
 //
 //   ./neurod --listen=/tmp/neurod.sock --control=/tmp/neurod.ctl
 //            --workers=2 --batch=8 --queue=256 --registry=registry_dir
+//            --fleet=fleet_dir --budget_mb=64
 
 #include <csignal>
 #include <cstdio>
@@ -22,7 +28,7 @@
 #include "online/registry.hpp"
 #include "runtime/compiled_model.hpp"
 #include "runtime/model_spec.hpp"
-#include "serve/server.hpp"
+#include "serve/router.hpp"
 
 namespace {
 
@@ -57,6 +63,7 @@ int main(int argc, char** argv) {
     const std::string listen = cli.get("listen", "/tmp/neurod.sock");
     const std::string control = cli.get("control", "/tmp/neurod.ctl");
     const std::string registry_dir = cli.get("registry", "");
+    const std::string fleet_dir = cli.get("fleet", "");
 
     netd::DaemonOptions dopt;
     dopt.data_path = listen;
@@ -71,20 +78,24 @@ int main(int argc, char** argv) {
     dopt.drain_timeout_ms =
         static_cast<std::uint64_t>(cli.get_int("drain_timeout_ms", 10'000));
 
-    serve::ServerOptions sopt;
-    sopt.workers = static_cast<std::size_t>(cli.get_int("workers", 2));
-    sopt.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 256));
-    sopt.batch.max_batch = static_cast<std::size_t>(cli.get_int("batch", 8));
-    sopt.batch.max_delay_us =
+    serve::RouterOptions ropt;
+    ropt.workers = static_cast<std::size_t>(cli.get_int("workers", 2));
+    ropt.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 256));
+    ropt.batch.max_batch = static_cast<std::size_t>(cli.get_int("batch", 8));
+    ropt.batch.max_delay_us =
         static_cast<std::uint64_t>(cli.get_int("delay_us", 200));
-    sopt.backpressure = serve::Backpressure::Shed;
-    sopt.admission.codel.enabled = cli.get_bool("codel", true);
-    sopt.admission.codel.target_us =
+    ropt.backpressure = serve::Backpressure::Shed;
+    ropt.admission.codel.enabled = cli.get_bool("codel", true);
+    ropt.admission.codel.target_us =
         static_cast<std::uint64_t>(cli.get_int("codel_target_us", 5'000));
-    sopt.admission.codel.interval_us =
+    ropt.admission.codel.interval_us =
         static_cast<std::uint64_t>(cli.get_int("codel_interval_us", 100'000));
-    sopt.admission.feedback_capacity =
+    ropt.admission.feedback_capacity =
         static_cast<std::size_t>(cli.get_int("feedback_capacity", 0));
+    ropt.fleet_dir = fleet_dir;
+    ropt.default_registry_dir = registry_dir;
+    ropt.resident_budget_bytes =
+        static_cast<std::size_t>(cli.get_int("budget_mb", 0)) * (1u << 20);
 
     const auto side = static_cast<std::size_t>(cli.get_int("side", 16));
     const auto classes = static_cast<std::size_t>(cli.get_int("classes", 10));
@@ -110,10 +121,10 @@ int main(int argc, char** argv) {
             }
         }
 
-        auto server = std::make_shared<serve::Server>(model, sopt);
-        server->start();
+        auto router = std::make_shared<serve::ModelRouter>(model, ropt);
+        router->start();
 
-        netd::Daemon daemon(server, model, dopt, registry);
+        netd::Daemon daemon(router, dopt, registry);
         g_daemon = &daemon;
         struct sigaction sa{};
         sa.sa_handler = on_signal;
@@ -122,14 +133,15 @@ int main(int argc, char** argv) {
         ::signal(SIGPIPE, SIG_IGN);
 
         std::fprintf(stderr,
-                     "neurod: serving on %s (control %s)%s, %zu workers\n",
+                     "neurod: serving on %s (control %s)%s, %zu workers%s\n",
                      listen.c_str(),
                      control.empty() ? "disabled" : control.c_str(),
-                     dopt.tcp_port ? " + tcp" : "", sopt.workers);
+                     dopt.tcp_port ? " + tcp" : "", ropt.workers,
+                     fleet_dir.empty() ? "" : ", fleet enabled");
         daemon.run();  // returns after the graceful drain
         g_daemon = nullptr;
 
-        server->shutdown();
+        router->shutdown();
         const auto d = daemon.stats();
         std::fprintf(stderr,
                      "neurod: drained — %llu frames in, %llu responses out, "
