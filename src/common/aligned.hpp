@@ -1,0 +1,44 @@
+#pragma once
+// 64-byte-aligned allocator for the SIMD state lanes (loihi::CompartmentBank).
+//
+// Cache-line alignment guarantees every lane starts on a vector-register
+// boundary, so the autovectorized sweep loops need no scalar peel prologue
+// and never split a cache line between two iterations of the hot loop.
+
+#include <cstddef>
+#include <new>
+
+namespace neuro::common {
+
+template <typename T, std::size_t Align = 64>
+struct AlignedAlloc {
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "alignment must be a power of two covering alignof(T)");
+    using value_type = T;
+
+    AlignedAlloc() = default;
+    template <typename U>
+    AlignedAlloc(const AlignedAlloc<U, Align>&) noexcept {}
+
+    template <typename U>
+    struct rebind {
+        using other = AlignedAlloc<U, Align>;
+    };
+
+    T* allocate(std::size_t n) {
+        return static_cast<T*>(
+            ::operator new(n * sizeof(T), std::align_val_t{Align}));
+    }
+    void deallocate(T* p, std::size_t) noexcept {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    friend bool operator==(const AlignedAlloc&, const AlignedAlloc&) noexcept {
+        return true;
+    }
+    friend bool operator!=(const AlignedAlloc&, const AlignedAlloc&) noexcept {
+        return false;
+    }
+};
+
+}  // namespace neuro::common

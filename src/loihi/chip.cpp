@@ -1,6 +1,8 @@
 #include "loihi/chip.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -8,6 +10,131 @@
 #include "common/fixed.hpp"
 
 namespace neuro::loihi {
+
+namespace {
+
+// ---- vector kernels of the dense sweep --------------------------------------
+// Free functions over restrict-qualified lane pointers so the compiler can
+// prove the lanes disjoint and autovectorize (this TU is built -O3 with a
+// SIMD baseline arch, see NEURO_KERNEL_ARCH in CMakeLists.txt; the tagged
+// loops are gated by tools/check_vectorization.py in CI). The arithmetic is
+// the exact scalar semantics of Chip::step_compartment specialized to
+// JoinOp::None populations: integer lanes only, no gather/scatter, the
+// floor clamp written as a select, and the spike decision materialized into
+// a byte lane consumed by the scalar epilogue.
+
+/// The paper's IF configuration (decay_u == 4096, decay_v == 0): the current
+/// clears every step, the membrane integrates perfectly — no multiplies at
+/// all in the loop.
+template <bool Floor, bool Refrac>
+void integrate_if(std::int64_t* __restrict u, std::int64_t* __restrict v,
+                  std::int64_t* __restrict pending,
+                  const std::int32_t* __restrict bias,
+                  const std::int64_t* __restrict vth,
+                  [[maybe_unused]] std::int32_t* __restrict refr,
+                  std::uint8_t* __restrict fired, std::size_t n) {
+    // NEURO_VEC_HOT: dense integrate + spike-detect (IF configuration)
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t ui = pending[i];
+        pending[i] = 0;
+        u[i] = ui;
+        std::int64_t vi = v[i] + ui + bias[i];
+        if constexpr (Floor) vi = vi < 0 ? 0 : vi;
+        v[i] = vi;
+        if constexpr (Refrac) {
+            const std::int32_t r = refr[i];
+            fired[i] = static_cast<std::uint8_t>((r == 0) & (vi >= vth[i]));
+            refr[i] = r > 0 ? r - 1 : r;
+        } else {
+            fired[i] = static_cast<std::uint8_t>(vi >= vth[i]);
+        }
+    }
+}
+
+/// General 12-bit decay pair (common::decay12 semantics: truncation toward
+/// zero, so the division must stay a division, not a shift).
+template <bool Floor, bool Refrac>
+void integrate_decay(std::int64_t* __restrict u, std::int64_t* __restrict v,
+                     std::int64_t* __restrict pending,
+                     const std::int32_t* __restrict bias,
+                     const std::int64_t* __restrict vth,
+                     [[maybe_unused]] std::int32_t* __restrict refr,
+                     std::uint8_t* __restrict fired, std::size_t n,
+                     std::int32_t decay_u, std::int32_t decay_v) {
+    // NEURO_VEC_HOT: dense integrate + spike-detect (general decays)
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t ui = common::decay12(u[i], decay_u) + pending[i];
+        pending[i] = 0;
+        u[i] = ui;
+        std::int64_t vi = common::decay12(v[i], decay_v) + ui + bias[i];
+        if constexpr (Floor) vi = vi < 0 ? 0 : vi;
+        v[i] = vi;
+        if constexpr (Refrac) {
+            const std::int32_t r = refr[i];
+            fired[i] = static_cast<std::uint8_t>((r == 0) & (vi >= vth[i]));
+            refr[i] = r > 0 ? r - 1 : r;
+        } else {
+            fired[i] = static_cast<std::uint8_t>(vi >= vth[i]);
+        }
+    }
+}
+
+/// IF configuration with an aux join (JoinOp::GatedAdd / JoinOp::Add): the
+/// aux accumulator is pulled into aux_current every step and added to the
+/// drive — for GatedAdd only where the compartment spiked in phase 1 (the
+/// h' derivative gate of paper eq. 11). The gate is computed as mask
+/// arithmetic so the loop stays branch-free and vectorizes.
+template <bool Floor, bool Refrac, bool Gated>
+void integrate_if_join(std::int64_t* __restrict u, std::int64_t* __restrict v,
+                       std::int64_t* __restrict pending,
+                       const std::int32_t* __restrict bias,
+                       const std::int64_t* __restrict vth,
+                       [[maybe_unused]] std::int32_t* __restrict refr,
+                       std::uint8_t* __restrict fired,
+                       std::int64_t* __restrict aux_cur,
+                       std::int64_t* __restrict pending_aux,
+                       const std::int32_t* __restrict sp1, std::size_t n) {
+    // NEURO_VEC_HOT: dense integrate + spike-detect (IF, aux join)
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t a = pending_aux[i];
+        pending_aux[i] = 0;
+        aux_cur[i] = a;
+        const std::int64_t ui = pending[i];
+        pending[i] = 0;
+        u[i] = ui;
+        std::int64_t drive = ui + bias[i];
+        if constexpr (Gated)
+            drive += a & -static_cast<std::int64_t>(sp1[i] > 0);
+        else
+            drive += a;
+        std::int64_t vi = v[i] + drive;
+        if constexpr (Floor) vi = vi < 0 ? 0 : vi;
+        v[i] = vi;
+        if constexpr (Refrac) {
+            const std::int32_t r = refr[i];
+            fired[i] = static_cast<std::uint8_t>((r == 0) & (vi >= vth[i]));
+            refr[i] = r > 0 ? r - 1 : r;
+        } else {
+            fired[i] = static_cast<std::uint8_t>(vi >= vth[i]);
+        }
+    }
+}
+
+/// Frozen-phase aux pull for joined populations: the soma is power-gated
+/// but the join input still drains into aux_current, exactly as in the
+/// scalar step (the gate observes deliveries while frozen).
+void pull_aux(std::int64_t* __restrict aux_cur,
+              std::int64_t* __restrict pending_aux, std::size_t n) {
+    // (deliberately untagged for the vectorization gate: gcc distributes
+    // this into memcpy + memset, which beats a vector loop and leaves no
+    // loop to report)
+    for (std::size_t i = 0; i < n; ++i) {
+        aux_cur[i] = pending_aux[i];
+        pending_aux[i] = 0;
+    }
+}
+
+}  // namespace
 
 Chip::Chip(ChipLimits limits)
     : limits_(limits), s_(std::make_shared<Structure>()) {}
@@ -22,11 +149,12 @@ PopulationId Chip::add_population(PopulationConfig cfg) {
     if (cfg.size == 0) throw std::invalid_argument("add_population: empty population");
     Population p;
     p.cfg = std::move(cfg);
-    p.first = state_.size();
-    state_.resize(state_.size() + p.cfg.size);
-    s_->pop_of.resize(state_.size(), static_cast<std::uint16_t>(s_->pops.size()));
-    vth_offset_.resize(state_.size(), 0);
-    dead_.resize(state_.size(), 0);
+    p.first = bank_.size();
+    bank_.resize(bank_.size() + p.cfg.size);
+    s_->pop_of.resize(bank_.size(), static_cast<std::uint16_t>(s_->pops.size()));
+    vth_offset_.resize(bank_.size(), 0);
+    dead_.resize(bank_.size(), 0);
+    pop_dead_.push_back(0);
     s_->pops.push_back(std::move(p));
     return s_->pops.size() - 1;
 }
@@ -94,13 +222,13 @@ void Chip::finalize() {
     s_->mapping = map_layers(specs, limits_);
 
     // ---- fan-out tables & weight image -------------------------------------
-    std::vector<std::size_t> degree(state_.size(), 0);
+    std::vector<std::size_t> degree(bank_.size(), 0);
     for (const auto& proj : s_->projs)
         for (const auto& s : proj.synapses)
             ++degree[s_->pops[proj.cfg.src].first + s.src];
 
-    s_->fanout_begin.assign(state_.size() + 1, 0);
-    for (std::size_t c = 0; c < state_.size(); ++c)
+    s_->fanout_begin.assign(bank_.size() + 1, 0);
+    for (std::size_t c = 0; c < bank_.size(); ++c)
         s_->fanout_begin[c + 1] = s_->fanout_begin[c] + degree[c];
     s_->fanout.resize(s_->fanout_begin.back());
 
@@ -132,21 +260,100 @@ void Chip::finalize() {
         if (proj.cfg.plastic) s_->has_plastic = true;
     }
 
+    // ---- delivery run segmentation -----------------------------------------
+    // Compress each source's CSR span into contiguous / generic segments
+    // (see FanoutRun). Runs shorter than kMinRun are not worth the vector
+    // loop's setup and stay in the surrounding generic segment.
+    constexpr std::size_t kMinRun = 4;
+    s_->run_begin.assign(bank_.size() + 1, 0);
+    s_->runs.clear();
+    for (std::size_t c = 0; c < bank_.size(); ++c) {
+        const std::size_t begin = s_->fanout_begin[c];
+        const std::size_t end = s_->fanout_begin[c + 1];
+        std::size_t k = begin;
+        while (k < end) {
+            // Longest contiguous candidate starting at k.
+            std::size_t j = k;
+            if (s_->fanout[k].delay == 0) {
+                while (j + 1 < end && s_->fanout[j + 1].delay == 0 &&
+                       s_->fanout[j + 1].port == s_->fanout[k].port &&
+                       s_->fanout[j + 1].dst == s_->fanout[j].dst + 1)
+                    ++j;
+                ++j;
+            }
+            if (j - k >= kMinRun) {
+                FanoutRun run;
+                run.dst0 = s_->fanout[k].dst;
+                run.slot0 = static_cast<std::uint32_t>(k);
+                run.len = static_cast<std::uint32_t>(j - k);
+                run.port = s_->fanout[k].port;
+                run.contiguous = 1;
+                s_->runs.push_back(run);
+                k = j;
+                continue;
+            }
+            // Extend (or open) a generic segment by one entry. The run must
+            // already belong to this compartment (runs.size() > run_begin[c])
+            // — slots are contiguous across compartments, so slot adjacency
+            // alone would merge spans across source boundaries.
+            if (s_->runs.size() > s_->run_begin[c] &&
+                s_->runs.back().contiguous == 0 &&
+                s_->runs.back().slot0 + s_->runs.back().len == k)
+                ++s_->runs.back().len;
+            else {
+                FanoutRun run;
+                run.slot0 = static_cast<std::uint32_t>(k);
+                run.len = 1;
+                run.contiguous = 0;
+                s_->runs.push_back(run);
+            }
+            ++k;
+        }
+        s_->run_begin[c + 1] = s_->runs.size();
+    }
+
     rules_.resize(s_->projs.size());
     for (std::size_t pi = 0; pi < s_->projs.size(); ++pi)
         rules_[pi] = s_->projs[pi].cfg.rule;
 
-    // ---- sparse-sweep bookkeeping ------------------------------------------
+    // ---- sweep bookkeeping -------------------------------------------------
     s_->pop_has_decay.assign(s_->pops.size(), 0);
+    s_->pop_vec_ok.assign(s_->pops.size(), 0);
     for (std::size_t pi = 0; pi < s_->pops.size(); ++pi) {
         const CompartmentConfig& cfg = s_->pops[pi].cfg.compartment;
         const bool decays = cfg.pre_trace.decay != 0 || cfg.post_trace.decay != 0 ||
                             cfg.pre_trace2.decay != 0 ||
                             cfg.post_trace2.decay != 0 || cfg.tag_trace.decay != 0;
         s_->pop_has_decay[pi] = decays ? 1 : 0;
+        // Vector-sweep kind: 0 = scalar only, 1 = plain lanes, 2/3 = IF
+        // lanes with a GatedAdd/Add aux join. Decaying traces force scalar
+        // order (they draw from the shared rounding RNG per compartment);
+        // AndAuxActive stays scalar for its sticky gate bit; the join
+        // kernels are specialized to the IF configuration.
+        const bool if_cfg = cfg.decay_u == 4096 && cfg.decay_v == 0;
+        std::uint8_t kind = 0;
+        if (!decays) {
+            if (cfg.join == JoinOp::None)
+                kind = 1;
+            else if (cfg.join == JoinOp::GatedAdd && if_cfg)
+                kind = 2;
+            else if (cfg.join == JoinOp::Add && if_cfg)
+                kind = 3;
+        }
+        s_->pop_vec_ok[pi] = kind;
     }
+    vth_eff_.resize(bank_.size());
+    for (std::size_t c = 0; c < bank_.size(); ++c)
+        vth_eff_[c] = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   s_->pops[s_->pop_of[c]].cfg.compartment.vth) +
+                   vth_offset_[c]);
+    fired_.assign(bank_.size(), 0);
+    pop_dead_.assign(s_->pops.size(), 0);
+    for (std::size_t c = 0; c < bank_.size(); ++c)
+        if (dead_[c] != 0) ++pop_dead_[s_->pop_of[c]];
     eligible_phase1_ = eligible_phase2_ = 0;
-    for (std::size_t c = 0; c < state_.size(); ++c) {
+    for (std::size_t c = 0; c < bank_.size(); ++c) {
         if (dead_[c] != 0) continue;
         ++eligible_phase2_;
         if (s_->pops[s_->pop_of[c]].cfg.compartment.active_in_phase1)
@@ -163,7 +370,7 @@ void Chip::set_bias(PopulationId pop, const std::vector<std::int32_t>& bias) {
         throw std::invalid_argument("set_bias: size mismatch for " +
                                     s_->pops[pop].cfg.name);
     const CompartmentId base = s_->pops[pop].first;
-    for (std::size_t i = 0; i < bias.size(); ++i) state_[base + i].bias = bias[i];
+    for (std::size_t i = 0; i < bias.size(); ++i) bank_.bias[base + i] = bias[i];
     // A bias write can turn a dormant compartment live; clearing one to zero
     // never invalidates dormancy, so clear_bias needs no wake.
     if (finalized_ && sparse_)
@@ -174,7 +381,16 @@ void Chip::set_bias(PopulationId pop, const std::vector<std::int32_t>& bias) {
 void Chip::clear_bias(PopulationId pop) {
     if (pop >= s_->pops.size()) throw std::invalid_argument("clear_bias: bad population");
     const CompartmentId base = s_->pops[pop].first;
-    for (std::size_t i = 0; i < s_->pops[pop].cfg.size; ++i) state_[base + i].bias = 0;
+    for (std::size_t i = 0; i < s_->pops[pop].cfg.size; ++i)
+        bank_.bias[base + i] = 0;
+}
+
+void Chip::tick_traces(CompartmentId c, const CompartmentConfig& cfg) {
+    trace_tick(bank_.x1[c], cfg.pre_trace, &trace_rng_);
+    trace_tick(bank_.y1[c], cfg.post_trace, &trace_rng_);
+    trace_tick(bank_.x2[c], cfg.pre_trace2, &trace_rng_);
+    trace_tick(bank_.y2[c], cfg.post_trace2, &trace_rng_);
+    trace_tick(bank_.tag[c], cfg.tag_trace, &trace_rng_);
 }
 
 void Chip::insert_spike(PopulationId pop, std::size_t idx) {
@@ -188,17 +404,16 @@ void Chip::insert_spike(PopulationId pop, std::size_t idx) {
     // destination core and is updated by the incoming spike event no matter
     // where it originated. Spike counters are updated too so probes and the
     // learning rule see a consistent history.
-    CompartmentState& st = state_[c];
     const CompartmentConfig& cfg = s_->pops[pop].cfg.compartment;
     if (phase_ == Phase::One)
-        ++st.spikes_phase1;
+        ++bank_.spikes_phase1[c];
     else
-        ++st.spikes_phase2;
-    st.x1.on_spike(cfg.pre_trace, phase_);
-    st.y1.on_spike(cfg.post_trace, phase_);
-    st.x2.on_spike(cfg.pre_trace2, phase_);
-    st.y2.on_spike(cfg.post_trace2, phase_);
-    st.tag.on_spike(cfg.tag_trace, phase_);
+        ++bank_.spikes_phase2[c];
+    trace_on_spike(bank_.x1[c], cfg.pre_trace, phase_);
+    trace_on_spike(bank_.y1[c], cfg.post_trace, phase_);
+    trace_on_spike(bank_.x2[c], cfg.pre_trace2, phase_);
+    trace_on_spike(bank_.y2[c], cfg.post_trace2, phase_);
+    trace_on_spike(bank_.tag[c], cfg.tag_trace, phase_);
     ++activity_.spikes;
     if (raster_pop_ && s_->pop_of[c] == *raster_pop_)
         raster_.emplace_back(now_ + 1,  // delivered with the next step
@@ -206,33 +421,84 @@ void Chip::insert_spike(PopulationId pop, std::size_t idx) {
     deliver(c);
 }
 
-void Chip::deliver(CompartmentId src) {
-    const std::size_t begin = s_->fanout_begin[src];
-    const std::size_t end = s_->fanout_begin[src + 1];
+void Chip::deliver_span(std::size_t b, std::size_t e) {
     const FanoutEntry* fo = s_->fanout.data();
     const std::int32_t* eff = img_->eff.data();
-    for (std::size_t k = begin; k < end; ++k) {
-        const FanoutEntry& e = fo[k];
-        if (e.delay != 0) {
+    for (std::size_t k = b; k < e; ++k) {
+        const FanoutEntry& entry = fo[k];
+        if (entry.delay != 0) {
             // Extra latency: park the event on the wheel; it is drained at
             // the start of step now_ + 1 + delay.
-            wheel_[(now_ + 1 + e.delay) % kWheel].push_back(
-                {e.dst, eff[k], e.port});
+            wheel_[(now_ + 1 + entry.delay) % kWheel].push_back(
+                {entry.dst, eff[k], entry.port});
             continue;
         }
-        CompartmentState& dst = state_[e.dst];
-        if (static_cast<Port>(e.port) == Port::Soma)
-            dst.pending_soma += eff[k];
+        if (static_cast<Port>(entry.port) == Port::Soma)
+            bank_.pending_soma[entry.dst] += eff[k];
         else
-            dst.pending_aux += eff[k];
-        // Sleeping targets must rejoin the sweep (no-op in dense mode where
-        // every flag stays 1; the flag shares the line loaded just above).
-        if (dst.awake == 0) {
-            dst.awake = 1;
-            wake_buf_.push_back(e.dst);
+            bank_.pending_aux[entry.dst] += eff[k];
+        // Sleeping targets must rejoin the sweep (dense mode keeps every
+        // flag at 1, so it skips the test altogether).
+        if (sparse_ && !bank_.awake.get(entry.dst)) {
+            bank_.awake.set(entry.dst);
+            wake_buf_.push_back(entry.dst);
         }
     }
-    activity_.synaptic_ops += end - begin;
+}
+
+void Chip::wake_range(std::size_t d0, std::size_t len) {
+    std::uint64_t* words = bank_.awake.words();
+    std::size_t i = d0;
+    const std::size_t e = d0 + len;
+    while (i < e) {
+        const std::size_t wi = i >> 6;
+        const std::size_t lo = i & 63;
+        const std::size_t hi = std::min<std::size_t>(64, lo + (e - i));
+        const std::uint64_t upper =
+            hi == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << hi) - 1;
+        std::uint64_t missing =
+            upper & ~((std::uint64_t{1} << lo) - 1) & ~words[wi];
+        if (missing != 0) {
+            words[wi] |= missing;
+            while (missing != 0) {
+                wake_buf_.push_back(static_cast<std::uint32_t>(
+                    (wi << 6) + std::countr_zero(missing)));
+                missing &= missing - 1;
+            }
+        }
+        i = (wi << 6) + hi;
+    }
+}
+
+void Chip::deliver(CompartmentId src) {
+    if (vector_sweep_) {
+        const FanoutRun* runs = s_->runs.data();
+        const std::size_t rb = s_->run_begin[src];
+        const std::size_t re = s_->run_begin[src + 1];
+        const std::int32_t* eff = img_->eff.data();
+        for (std::size_t r = rb; r < re; ++r) {
+            const FanoutRun& run = runs[r];
+            if (run.contiguous != 0) {
+                std::int64_t* __restrict p =
+                    (static_cast<Port>(run.port) == Port::Soma
+                         ? bank_.pending_soma.data()
+                         : bank_.pending_aux.data()) +
+                    run.dst0;
+                const std::int32_t* __restrict w = eff + run.slot0;
+                const std::size_t len = run.len;
+                // NEURO_VEC_HOT: batched synaptic accumulation over one run
+                for (std::size_t j = 0; j < len; ++j) p[j] += w[j];
+                // Dense mode keeps every awake flag at 1 (only the sparse
+                // sweep clears them), so the wake scan is skipped entirely.
+                if (sparse_) wake_range(run.dst0, len);
+            } else {
+                deliver_span(run.slot0, run.slot0 + run.len);
+            }
+        }
+    } else {
+        deliver_span(s_->fanout_begin[src], s_->fanout_begin[src + 1]);
+    }
+    activity_.synaptic_ops += s_->fanout_begin[src + 1] - s_->fanout_begin[src];
 }
 
 void Chip::step() {
@@ -243,11 +509,10 @@ void Chip::step() {
     // Deliveries whose delay expires this step.
     auto& due = wheel_[now_ % kWheel];
     for (const auto& d : due) {
-        CompartmentState& dst = state_[d.dst];
         if (static_cast<Port>(d.port) == Port::Soma)
-            dst.pending_soma += d.weight;
+            bank_.pending_soma[d.dst] += d.weight;
         else
-            dst.pending_aux += d.weight;
+            bank_.pending_aux[d.dst] += d.weight;
         if (sparse_) wake(d.dst);
     }
     due.clear();
@@ -264,25 +529,24 @@ void Chip::step() {
 // timestep barriers). `count_update` is false under the sparse sweep, which
 // accounts compartment_updates in bulk instead.
 void Chip::step_compartment(CompartmentId c, bool count_update) {
-    CompartmentState& st = state_[c];
     const CompartmentConfig& cfg = s_->pops[s_->pop_of[c]].cfg.compartment;
-    st.spiked = false;
+    bank_.spiked.clear(c);
 
     if (dead_[c] != 0) {
         // A dead unit sinks whatever arrives and produces nothing.
-        st.pending_soma = 0;
-        st.pending_aux = 0;
+        bank_.pending_soma[c] = 0;
+        bank_.pending_aux[c] = 0;
         return;
     }
 
     // Aux-port deliveries are handled even while the soma is frozen so
     // that the h' gate can observe phase-1 forward activity.
     if (cfg.join == JoinOp::AndAuxActive) {
-        if (st.pending_aux != 0) st.aux_active = true;
-        st.pending_aux = 0;
+        if (bank_.pending_aux[c] != 0) bank_.aux_active.set(c);
+        bank_.pending_aux[c] = 0;
     } else if (cfg.join == JoinOp::GatedAdd || cfg.join == JoinOp::Add) {
-        st.aux_current = st.pending_aux;
-        st.pending_aux = 0;
+        bank_.aux_current[c] = bank_.pending_aux[c];
+        bank_.pending_aux[c] = 0;
     }
 
     const bool frozen = (phase_ == Phase::One) && !cfg.active_in_phase1;
@@ -290,61 +554,53 @@ void Chip::step_compartment(CompartmentId c, bool count_update) {
         // A frozen compartment neither integrates nor spikes; current
         // that would have arrived is dropped (the population is power-
         // gated during this phase).
-        st.pending_soma = 0;
-        st.x1.tick(cfg.pre_trace, &trace_rng_);
-        st.y1.tick(cfg.post_trace, &trace_rng_);
-        st.x2.tick(cfg.pre_trace2, &trace_rng_);
-        st.y2.tick(cfg.post_trace2, &trace_rng_);
-        st.tag.tick(cfg.tag_trace, &trace_rng_);
+        bank_.pending_soma[c] = 0;
+        tick_traces(c, cfg);
         return;
     }
 
     if (count_update) ++activity_.compartment_updates;
 
-    st.u = common::decay12(st.u, cfg.decay_u) + st.pending_soma;
-    st.pending_soma = 0;
+    const std::int64_t u =
+        common::decay12(bank_.u[c], cfg.decay_u) + bank_.pending_soma[c];
+    bank_.u[c] = u;
+    bank_.pending_soma[c] = 0;
 
-    std::int64_t drive = st.u + st.bias;
-    if ((cfg.join == JoinOp::GatedAdd && st.spikes_phase1 > 0) ||
+    std::int64_t drive = u + bank_.bias[c];
+    if ((cfg.join == JoinOp::GatedAdd && bank_.spikes_phase1[c] > 0) ||
         cfg.join == JoinOp::Add)
-        drive += st.aux_current;
-    st.v = common::decay12(st.v, cfg.decay_v) + drive;
-    if (cfg.floor_at_zero && st.v < 0) st.v = 0;
+        drive += bank_.aux_current[c];
+    std::int64_t v = common::decay12(bank_.v[c], cfg.decay_v) + drive;
+    if (cfg.floor_at_zero && v < 0) v = 0;
+    bank_.v[c] = v;
 
-    if (st.refractory_left > 0) {
-        --st.refractory_left;
-        st.x1.tick(cfg.pre_trace, &trace_rng_);
-        st.y1.tick(cfg.post_trace, &trace_rng_);
-        st.x2.tick(cfg.pre_trace2, &trace_rng_);
-        st.y2.tick(cfg.post_trace2, &trace_rng_);
-        st.tag.tick(cfg.tag_trace, &trace_rng_);
+    if (bank_.refractory_left[c] > 0) {
+        --bank_.refractory_left[c];
+        tick_traces(c, cfg);
         return;
     }
 
-    const std::int64_t vth_eff =
-        std::max<std::int64_t>(1, static_cast<std::int64_t>(cfg.vth) +
-                                      vth_offset_[c]);
-    if (st.v >= vth_eff) {
+    if (v >= vth_eff_[c]) {
         // AND-join: the threshold crossing is consumed either way, but
         // the outgoing spike is emitted only if the aux gate is open.
         const bool gate_open =
-            cfg.join != JoinOp::AndAuxActive || st.aux_active;
+            cfg.join != JoinOp::AndAuxActive || bank_.aux_active.get(c);
         if (cfg.soft_reset)
-            st.v -= vth_eff;
+            bank_.v[c] = v - vth_eff_[c];
         else
-            st.v = 0;
-        st.refractory_left = cfg.refractory;
+            bank_.v[c] = 0;
+        bank_.refractory_left[c] = cfg.refractory;
         if (gate_open) {
-            st.spiked = true;
+            bank_.spiked.set(c);
             if (phase_ == Phase::One)
-                ++st.spikes_phase1;
+                ++bank_.spikes_phase1[c];
             else
-                ++st.spikes_phase2;
-            st.x1.on_spike(cfg.pre_trace, phase_);
-            st.y1.on_spike(cfg.post_trace, phase_);
-            st.x2.on_spike(cfg.pre_trace2, phase_);
-            st.y2.on_spike(cfg.post_trace2, phase_);
-            st.tag.on_spike(cfg.tag_trace, phase_);
+                ++bank_.spikes_phase2[c];
+            trace_on_spike(bank_.x1[c], cfg.pre_trace, phase_);
+            trace_on_spike(bank_.y1[c], cfg.post_trace, phase_);
+            trace_on_spike(bank_.x2[c], cfg.pre_trace2, phase_);
+            trace_on_spike(bank_.y2[c], cfg.post_trace2, phase_);
+            trace_on_spike(bank_.tag[c], cfg.tag_trace, phase_);
             ++activity_.spikes;
             if (raster_pop_ && s_->pop_of[c] == *raster_pop_)
                 raster_.emplace_back(now_,
@@ -352,19 +608,241 @@ void Chip::step_compartment(CompartmentId c, bool count_update) {
                                          c - s_->pops[*raster_pop_].first));
         }
     }
-    st.x1.tick(cfg.pre_trace, &trace_rng_);
-    st.y1.tick(cfg.post_trace, &trace_rng_);
-    st.x2.tick(cfg.pre_trace2, &trace_rng_);
-    st.y2.tick(cfg.post_trace2, &trace_rng_);
-    st.tag.tick(cfg.tag_trace, &trace_rng_);
+    tick_traces(c, cfg);
+}
+
+void Chip::fire_compartment(CompartmentId c, const CompartmentConfig& cfg) {
+    // Vector-path and fast-visit populations never use JoinOp::AndAuxActive,
+    // so the aux gate is always open and every threshold crossing is an
+    // emitted spike.
+    const std::int64_t vth_eff = vth_eff_[c];
+    if (cfg.soft_reset)
+        bank_.v[c] -= vth_eff;
+    else
+        bank_.v[c] = 0;
+    bank_.refractory_left[c] = cfg.refractory;
+    bank_.spiked.set(c);
+    if (phase_ == Phase::One)
+        ++bank_.spikes_phase1[c];
+    else
+        ++bank_.spikes_phase2[c];
+    trace_on_spike(bank_.x1[c], cfg.pre_trace, phase_);
+    trace_on_spike(bank_.y1[c], cfg.post_trace, phase_);
+    trace_on_spike(bank_.x2[c], cfg.pre_trace2, phase_);
+    trace_on_spike(bank_.y2[c], cfg.post_trace2, phase_);
+    trace_on_spike(bank_.tag[c], cfg.tag_trace, phase_);
+    ++activity_.spikes;
+    if (raster_pop_ && s_->pop_of[c] == *raster_pop_)
+        raster_.emplace_back(
+            now_, static_cast<std::uint32_t>(c - s_->pops[*raster_pop_].first));
+}
+
+void Chip::sweep_pop_vector(PopulationId p, std::size_t b, std::size_t e) {
+    const CompartmentConfig& cfg = s_->pops[p].cfg.compartment;
+    const std::uint8_t kind = s_->pop_vec_ok[p];
+    const std::size_t n = e - b;
+    bank_.spiked.clear_range(b, e);
+
+    std::int64_t* pending = bank_.pending_soma.data() + b;
+    std::int64_t* aux_cur = bank_.aux_current.data() + b;
+    std::int64_t* pend_aux = bank_.pending_aux.data() + b;
+    if ((phase_ == Phase::One) && !cfg.active_in_phase1) {
+        // Frozen population: drop pending input (joined populations still
+        // pull the aux port — the gate observes phase-1 traffic); the
+        // pure-counter traces of a vector-eligible population do not tick
+        // (decay == 0), and a frozen compartment counts no update.
+        if (kind != 1) pull_aux(aux_cur, pend_aux, n);
+        std::fill_n(pending, n, std::int64_t{0});
+        return;
+    }
+    activity_.compartment_updates += n;
+
+    std::int64_t* u = bank_.u.data() + b;
+    std::int64_t* v = bank_.v.data() + b;
+    const std::int32_t* bias = bank_.bias.data() + b;
+    const std::int64_t* vth = vth_eff_.data() + b;
+    std::int32_t* refr = bank_.refractory_left.data() + b;
+    std::uint8_t* fired = fired_.data() + b;
+
+    if (kind == 2 || kind == 3) {
+        const std::int32_t* sp1 = bank_.spikes_phase1.data() + b;
+        const int jsel = (kind == 2 ? 4 : 0) | (cfg.floor_at_zero ? 2 : 0) |
+                         (cfg.refractory > 0 ? 1 : 0);
+        switch (jsel) {
+            case 0: integrate_if_join<false, false, false>(
+                        u, v, pending, bias, vth, refr, fired, aux_cur,
+                        pend_aux, sp1, n);
+                    break;
+            case 1: integrate_if_join<false, true, false>(
+                        u, v, pending, bias, vth, refr, fired, aux_cur,
+                        pend_aux, sp1, n);
+                    break;
+            case 2: integrate_if_join<true, false, false>(
+                        u, v, pending, bias, vth, refr, fired, aux_cur,
+                        pend_aux, sp1, n);
+                    break;
+            case 3: integrate_if_join<true, true, false>(
+                        u, v, pending, bias, vth, refr, fired, aux_cur,
+                        pend_aux, sp1, n);
+                    break;
+            case 4: integrate_if_join<false, false, true>(
+                        u, v, pending, bias, vth, refr, fired, aux_cur,
+                        pend_aux, sp1, n);
+                    break;
+            case 5: integrate_if_join<false, true, true>(
+                        u, v, pending, bias, vth, refr, fired, aux_cur,
+                        pend_aux, sp1, n);
+                    break;
+            case 6: integrate_if_join<true, false, true>(
+                        u, v, pending, bias, vth, refr, fired, aux_cur,
+                        pend_aux, sp1, n);
+                    break;
+            default: integrate_if_join<true, true, true>(
+                         u, v, pending, bias, vth, refr, fired, aux_cur,
+                         pend_aux, sp1, n);
+                     break;
+        }
+        fire_epilogue(b, e, cfg);
+        return;
+    }
+
+    const bool if_cfg = cfg.decay_u == 4096 && cfg.decay_v == 0;
+    const int sel = (if_cfg ? 4 : 0) | (cfg.floor_at_zero ? 2 : 0) |
+                    (cfg.refractory > 0 ? 1 : 0);
+    switch (sel) {
+        case 0: integrate_decay<false, false>(u, v, pending, bias, vth, refr,
+                                              fired, n, cfg.decay_u, cfg.decay_v);
+                break;
+        case 1: integrate_decay<false, true>(u, v, pending, bias, vth, refr,
+                                             fired, n, cfg.decay_u, cfg.decay_v);
+                break;
+        case 2: integrate_decay<true, false>(u, v, pending, bias, vth, refr,
+                                             fired, n, cfg.decay_u, cfg.decay_v);
+                break;
+        case 3: integrate_decay<true, true>(u, v, pending, bias, vth, refr,
+                                            fired, n, cfg.decay_u, cfg.decay_v);
+                break;
+        case 4: integrate_if<false, false>(u, v, pending, bias, vth, refr,
+                                           fired, n);
+                break;
+        case 5: integrate_if<false, true>(u, v, pending, bias, vth, refr,
+                                          fired, n);
+                break;
+        case 6: integrate_if<true, false>(u, v, pending, bias, vth, refr,
+                                          fired, n);
+                break;
+        default: integrate_if<true, true>(u, v, pending, bias, vth, refr,
+                                          fired, n);
+                 break;
+    }
+
+    fire_epilogue(b, e, cfg);
+}
+
+// Scalar epilogue over the fired compartments, ascending (spikes are
+// sparse; whole zero words of the fired lane are skipped eight at a
+// time). Bookkeeping order per spike matches step_compartment exactly.
+void Chip::fire_epilogue(std::size_t b, std::size_t e,
+                         const CompartmentConfig& cfg) {
+    std::size_t c = b;
+    while (c < e) {
+        if ((c & 7) == 0 && c + 8 <= e) {
+            std::uint64_t block;
+            std::memcpy(&block, fired_.data() + c, sizeof(block));
+            if (block == 0) {
+                c += 8;
+                continue;
+            }
+        }
+        if (fired_[c] != 0) fire_compartment(c, cfg);
+        ++c;
+    }
 }
 
 void Chip::step_dense() {
-    for (std::size_t c = 0; c < state_.size(); ++c)
-        step_compartment(c, /*count_update=*/true);
-    // Pass 2: deliver this step's spikes (visible at the next step).
-    for (std::size_t c = 0; c < state_.size(); ++c)
-        if (state_[c].spiked) deliver(c);
+    for (PopulationId p = 0; p < s_->pops.size(); ++p) {
+        const Population& pop = s_->pops[p];
+        const std::size_t b = pop.first;
+        const std::size_t e = b + pop.cfg.size;
+        if (vector_sweep_ && s_->pop_vec_ok[p] != 0 && pop_dead_[p] == 0)
+            sweep_pop_vector(p, b, e);
+        else
+            for (std::size_t c = b; c < e; ++c)
+                step_compartment(c, /*count_update=*/true);
+    }
+    // Pass 2: deliver this step's spikes (visible at the next step), in
+    // ascending compartment order via the packed spike bitset.
+    const std::uint64_t* words = bank_.spiked.words();
+    const std::size_t nw = bank_.spiked.word_count();
+    for (std::size_t wi = 0; wi < nw; ++wi) {
+        std::uint64_t bits = words[wi];
+        while (bits != 0) {
+            deliver((wi << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+            bits &= bits - 1;
+        }
+    }
+}
+
+// Fused sparse visit: the exact arithmetic of step_compartment followed by
+// the exact predicate of can_sleep, on values still in registers. Callers
+// guarantee the population has no decaying traces (so no trace ticks and no
+// RNG draws), no AndAuxActive gate and no dead units. Returns true when the
+// compartment may leave the active list.
+bool Chip::sparse_visit_fast(CompartmentId c, const CompartmentConfig& cfg,
+                             bool frozen) {
+    bank_.spiked.clear(c);
+    std::int64_t aux;
+    if (cfg.join != JoinOp::None) {
+        aux = bank_.pending_aux[c];
+        bank_.pending_aux[c] = 0;
+        bank_.aux_current[c] = aux;
+    } else {
+        // Never written for unjoined compartments, but can_sleep reads it.
+        aux = bank_.aux_current[c];
+    }
+    const std::int64_t bias = bank_.bias[c];
+
+    if (frozen) {
+        bank_.pending_soma[c] = 0;
+        if (bias != 0 || bank_.u[c] != 0 || aux != 0 ||
+            bank_.refractory_left[c] != 0)
+            return false;
+        const std::int64_t v = bank_.v[c];
+        if (v != 0) {
+            if (cfg.decay_v != 0) return false;
+            if (cfg.floor_at_zero && v < 0) return false;
+            if (v >= vth_eff_[c]) return false;
+        }
+        return true;
+    }
+
+    const std::int64_t u =
+        common::decay12(bank_.u[c], cfg.decay_u) + bank_.pending_soma[c];
+    bank_.u[c] = u;
+    bank_.pending_soma[c] = 0;
+
+    std::int64_t drive = u + bias;
+    if ((cfg.join == JoinOp::GatedAdd && bank_.spikes_phase1[c] > 0) ||
+        cfg.join == JoinOp::Add)
+        drive += aux;
+    std::int64_t v = common::decay12(bank_.v[c], cfg.decay_v) + drive;
+    if (cfg.floor_at_zero && v < 0) v = 0;
+    bank_.v[c] = v;
+
+    std::int32_t refr = bank_.refractory_left[c];
+    if (refr > 0) {
+        bank_.refractory_left[c] = --refr;
+    } else if (v >= vth_eff_[c]) {
+        fire_compartment(c, cfg);
+        return false;
+    }
+    if (bias != 0 || u != 0 || aux != 0 || refr != 0) return false;
+    if (v != 0) {
+        if (cfg.decay_v != 0) return false;
+        if (cfg.floor_at_zero && v < 0) return false;
+        if (v >= vth_eff_[c]) return false;
+    }
+    return true;
 }
 
 void Chip::step_sparse() {
@@ -376,12 +854,38 @@ void Chip::step_sparse() {
     activity_.compartment_updates +=
         phase_ == Phase::One ? eligible_phase1_ : eligible_phase2_;
 
+    // The list is sorted ascending, so per-population flags are hoisted at
+    // population boundaries instead of re-derived per compartment.
+    // Populations whose visit needs no RNG, no sticky aux gate and no dead
+    // handling take a fused visit + sleep-check fast path that keeps the
+    // update's operands in registers (same arithmetic as step_compartment
+    // followed by the same predicate as can_sleep).
+    const bool phase1 = phase_ == Phase::One;
+    std::size_t pop_end = 0;
+    const CompartmentConfig* cfg = nullptr;
+    bool fast = false;
+    bool frozen = false;
     std::size_t keep = 0;
     for (std::size_t r = 0; r < active_list_.size(); ++r) {
         const std::uint32_t c = active_list_[r];
-        step_compartment(c, /*count_update=*/false);
-        if (can_sleep(c))
-            state_[c].awake = 0;
+        if (c >= pop_end) {
+            const PopulationId p = s_->pop_of[c];
+            const Population& pop = s_->pops[p];
+            pop_end = pop.first + pop.cfg.size;
+            cfg = &pop.cfg.compartment;
+            frozen = phase1 && !cfg->active_in_phase1;
+            fast = vector_sweep_ && s_->pop_has_decay[p] == 0 &&
+                   cfg->join != JoinOp::AndAuxActive && pop_dead_[p] == 0;
+        }
+        bool sleep;
+        if (fast) {
+            sleep = sparse_visit_fast(c, *cfg, frozen);
+        } else {
+            step_compartment(c, /*count_update=*/false);
+            sleep = can_sleep(c);
+        }
+        if (sleep)
+            bank_.awake.clear(c);
         else
             active_list_[keep++] = c;
     }
@@ -391,23 +895,22 @@ void Chip::step_sparse() {
     // for the next step. Only surviving list members can have spiked.
     for (std::size_t r = 0; r < keep; ++r) {
         const std::uint32_t c = active_list_[r];
-        if (state_[c].spiked) deliver(c);
+        if (bank_.spiked.get(c)) deliver(c);
     }
 }
 
 void Chip::wake(CompartmentId c) {
-    if (state_[c].awake == 0) {
-        state_[c].awake = 1;
+    if (!bank_.awake.get(c)) {
+        bank_.awake.set(c);
         wake_buf_.push_back(static_cast<std::uint32_t>(c));
     }
 }
 
 void Chip::wake_all() {
-    active_list_.resize(state_.size());
-    for (std::size_t c = 0; c < state_.size(); ++c) {
+    active_list_.resize(bank_.size());
+    for (std::size_t c = 0; c < bank_.size(); ++c)
         active_list_[c] = static_cast<std::uint32_t>(c);
-        state_[c].awake = 1;
-    }
+    bank_.awake.fill(true);
     wake_buf_.clear();
 }
 
@@ -435,30 +938,27 @@ void Chip::merge_wakes() {
 // Evaluated *after* step_compartment, and deliberately phase-independent:
 // a compartment put to sleep stays correct across set_phase() flips.
 bool Chip::can_sleep(CompartmentId c) const {
-    const CompartmentState& st = state_[c];
     // A dead unit only ever sinks pending input, which the visit above has
     // just cleared; it never ticks traces or consumes RNG.
     if (dead_[c] != 0) return true;
     // A decaying trace evolves — and draws from the shared rounding RNG —
     // every step, so these compartments must be visited in dense order.
     if (s_->pop_has_decay[s_->pop_of[c]] != 0) return false;
-    if (st.spiked) return false;  // must clear the flag and deliver next step
-    if (st.pending_soma != 0) return false;
-    if (st.bias != 0) return false;
-    if (st.u != 0) return false;
-    if (st.aux_current != 0) return false;
-    if (st.refractory_left != 0) return false;
+    if (bank_.spiked.get(c)) return false;  // must clear and deliver next step
+    if (bank_.pending_soma[c] != 0) return false;
+    if (bank_.bias[c] != 0) return false;
+    if (bank_.u[c] != 0) return false;
+    if (bank_.aux_current[c] != 0) return false;
+    if (bank_.refractory_left[c] != 0) return false;
     const CompartmentConfig& cfg = s_->pops[s_->pop_of[c]].cfg.compartment;
     // Joined neurons consume pending_aux each visit; unjoined ones never
     // read it, so a residual value there cannot change anything.
-    if (cfg.join != JoinOp::None && st.pending_aux != 0) return false;
-    if (st.v != 0) {
-        if (cfg.decay_v != 0) return false;           // v still decaying
-        if (cfg.floor_at_zero && st.v < 0) return false;  // would clamp
-        const std::int64_t vth_eff =
-            std::max<std::int64_t>(1, static_cast<std::int64_t>(cfg.vth) +
-                                          vth_offset_[c]);
-        if (st.v >= vth_eff) return false;            // would keep spiking
+    if (cfg.join != JoinOp::None && bank_.pending_aux[c] != 0) return false;
+    const std::int64_t v = bank_.v[c];
+    if (v != 0) {
+        if (cfg.decay_v != 0) return false;               // v still decaying
+        if (cfg.floor_at_zero && v < 0) return false;     // would clamp
+        if (v >= vth_eff_[c]) return false;               // would keep spiking
     }
     return true;
 }
@@ -494,16 +994,16 @@ void Chip::apply_learning() {
             const Synapse& syn = proj.synapses[i];
             ++activity_.learning_synapse_visits;
             if (!stuck.empty() && stuck[i] != 0) continue;
-            const CompartmentState& pre = state_[src_base + syn.src];
-            const CompartmentState& post = state_[dst_base + syn.dst];
+            const CompartmentId pre = src_base + syn.src;
+            const CompartmentId post = dst_base + syn.dst;
             LearnContext ctx;
-            ctx.x0 = pre.spiked ? 1 : 0;
-            ctx.x1 = pre.x1.value;
-            ctx.x2 = pre.x2.value;
-            ctx.y0 = post.spiked ? 1 : 0;
-            ctx.y1 = post.y1.value;
-            ctx.y2 = post.y2.value;
-            ctx.tag = post.tag.value;
+            ctx.x0 = bank_.spiked.get(pre) ? 1 : 0;
+            ctx.x1 = bank_.x1[pre];
+            ctx.x2 = bank_.x2[pre];
+            ctx.y0 = bank_.spiked.get(post) ? 1 : 0;
+            ctx.y1 = bank_.y1[post];
+            ctx.y2 = bank_.y2[post];
+            ctx.tag = bank_.tag[post];
             ctx.weight = w[i];
             const std::int64_t dw = rules_[pi].dw.evaluate(
                 ctx, proj.cfg.stochastic_rounding ? &learn_rng_ : nullptr);
@@ -533,27 +1033,25 @@ void Chip::set_learning_rule(ProjectionId proj, LearningRule rule) {
 }
 
 void Chip::reset_dynamic_state() {
-    for (auto& st : state_) st.reset_dynamic();
+    bank_.reset_dynamic();
     for (auto& slot : wheel_) slot.clear();
 }
 
 void Chip::reset_membranes() {
-    for (auto& st : state_) {
-        st.u = 0;
-        st.v = 0;
-        st.pending_soma = 0;
-        st.pending_aux = 0;
-        st.aux_current = 0;
-        st.refractory_left = 0;
-    }
+    bank_.reset_membranes();
 }
 
 void Chip::set_threshold_offset(PopulationId pop, std::size_t idx,
                                 std::int32_t offset) {
     const CompartmentId c = global_id(pop, idx);
     vth_offset_[c] = offset;
-    // A lowered threshold can make a dormant sub-threshold membrane fire.
-    if (finalized_ && sparse_) wake(c);
+    if (finalized_) {
+        vth_eff_[c] = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   s_->pops[pop].cfg.compartment.vth) + offset);
+        // A lowered threshold can make a dormant sub-threshold membrane fire.
+        if (sparse_) wake(c);
+    }
 }
 
 std::int32_t Chip::threshold_offset(PopulationId pop, std::size_t idx) const {
@@ -565,6 +1063,10 @@ void Chip::set_compartment_dead(PopulationId pop, std::size_t idx, bool dead) {
     const bool was = dead_[c] != 0;
     dead_[c] = dead ? 1 : 0;
     if (!finalized_ || was == dead) return;  // finalize (re)derives the counts
+    if (dead)
+        ++pop_dead_[pop];
+    else
+        --pop_dead_[pop];
     const bool p1 = s_->pops[pop].cfg.compartment.active_in_phase1;
     if (dead) {
         --eligible_phase2_;
@@ -621,13 +1123,12 @@ void Chip::deliver_external(PopulationId pop, std::size_t idx,
                             std::int32_t eff_weight, Port port) {
     check_finalized(true);
     const CompartmentId c = global_id(pop, idx);
-    CompartmentState& dst = state_[c];
     if (port == Port::Soma)
-        dst.pending_soma += eff_weight;
+        bank_.pending_soma[c] += eff_weight;
     else
-        dst.pending_aux += eff_weight;
-    if (sparse_ && dst.awake == 0) {
-        dst.awake = 1;
+        bank_.pending_aux[c] += eff_weight;
+    if (sparse_ && !bank_.awake.get(c)) {
+        bank_.awake.set(c);
         wake_buf_.push_back(static_cast<std::uint32_t>(c));
     }
 }
@@ -637,7 +1138,7 @@ void Chip::collect_spiked(PopulationId pop,
     const auto n = population_size(pop);
     const CompartmentId base = s_->pops[pop].first;
     for (std::size_t i = 0; i < n; ++i)
-        if (state_[base + i].spiked) out.push_back(static_cast<std::uint32_t>(i));
+        if (bank_.spiked.get(base + i)) out.push_back(static_cast<std::uint32_t>(i));
 }
 
 const PopulationConfig& Chip::population_config(PopulationId pop) const {
@@ -668,7 +1169,7 @@ std::vector<std::int32_t> Chip::biases(PopulationId pop) const {
     const auto n = population_size(pop);
     std::vector<std::int32_t> out(n);
     const CompartmentId base = s_->pops[pop].first;
-    for (std::size_t i = 0; i < n; ++i) out[i] = state_[base + i].bias;
+    for (std::size_t i = 0; i < n; ++i) out[i] = bank_.bias[base + i];
     return out;
 }
 
@@ -689,8 +1190,8 @@ std::vector<std::int32_t> Chip::spike_counts(PopulationId pop, Phase phase) cons
     std::vector<std::int32_t> out(n);
     const CompartmentId base = s_->pops[pop].first;
     for (std::size_t i = 0; i < n; ++i)
-        out[i] = phase == Phase::One ? state_[base + i].spikes_phase1
-                                     : state_[base + i].spikes_phase2;
+        out[i] = phase == Phase::One ? bank_.spikes_phase1[base + i]
+                                     : bank_.spikes_phase2[base + i];
     return out;
 }
 
@@ -698,40 +1199,40 @@ std::vector<std::int32_t> Chip::spike_counts_total(PopulationId pop) const {
     const auto n = population_size(pop);
     std::vector<std::int32_t> out(n);
     const CompartmentId base = s_->pops[pop].first;
-    for (std::size_t i = 0; i < n; ++i) out[i] = state_[base + i].spike_count();
+    for (std::size_t i = 0; i < n; ++i) out[i] = bank_.spike_count(base + i);
     return out;
 }
 
 std::int64_t Chip::membrane(PopulationId pop, std::size_t idx) const {
-    return state_[global_id(pop, idx)].v;
+    return bank_.v[global_id(pop, idx)];
 }
 
 std::int64_t Chip::current(PopulationId pop, std::size_t idx) const {
-    return state_[global_id(pop, idx)].u;
+    return bank_.u[global_id(pop, idx)];
 }
 
 bool Chip::spiked(PopulationId pop, std::size_t idx) const {
-    return state_[global_id(pop, idx)].spiked;
+    return bank_.spiked.get(global_id(pop, idx));
 }
 
 std::int32_t Chip::trace_x2(PopulationId pop, std::size_t idx) const {
-    return state_[global_id(pop, idx)].x2.value;
+    return bank_.x2[global_id(pop, idx)];
 }
 
 std::int32_t Chip::trace_y2(PopulationId pop, std::size_t idx) const {
-    return state_[global_id(pop, idx)].y2.value;
+    return bank_.y2[global_id(pop, idx)];
 }
 
 std::int32_t Chip::trace_x1(PopulationId pop, std::size_t idx) const {
-    return state_[global_id(pop, idx)].x1.value;
+    return bank_.x1[global_id(pop, idx)];
 }
 
 std::int32_t Chip::trace_y1(PopulationId pop, std::size_t idx) const {
-    return state_[global_id(pop, idx)].y1.value;
+    return bank_.y1[global_id(pop, idx)];
 }
 
 std::int32_t Chip::trace_tag(PopulationId pop, std::size_t idx) const {
-    return state_[global_id(pop, idx)].tag.value;
+    return bank_.tag[global_id(pop, idx)];
 }
 
 std::vector<std::int32_t> Chip::weights(ProjectionId proj) const {

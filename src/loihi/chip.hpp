@@ -146,6 +146,17 @@ public:
     void set_sparse_sweep(bool enabled);
     bool sparse_sweep() const { return sparse_; }
 
+    /// Selects the kernel implementation: the SIMD-friendly lane kernels
+    /// (the default — per-population vectorized integrate/spike sweep plus
+    /// batched contiguous-run synaptic accumulation) or the scalar reference
+    /// kernels that visit one compartment / one fan-out entry at a time.
+    /// The two are bit-identical (spikes, ActivityTotals, RNG streams,
+    /// traces); the scalar path is kept for equivalence testing and as the
+    /// normalization row of bench/micro_chip. May be toggled at any time
+    /// and composes with set_sparse_sweep.
+    void set_vector_sweep(bool enabled) { vector_sweep_ = enabled; }
+    bool vector_sweep() const { return vector_sweep_; }
+
     /// Applies the learning rule of every plastic projection (the end-of-2T
     /// weight update of Operation Flow 1). Detaches the shared weight image
     /// on the first call after a copy (copy-on-write).
@@ -321,6 +332,22 @@ private:
         std::vector<std::size_t> fanout_slot;
     };
 
+    /// One delivery segment of a source's CSR fan-out span. finalize()
+    /// compresses each span into segments: a *contiguous* segment covers
+    /// slots whose destinations are consecutive global ids with zero delay
+    /// and one shared port — the hot case built by dense_synapses — and is
+    /// applied as a single `pending[dst0+j] += eff[slot0+j]` vector loop; a
+    /// *generic* segment falls back to per-entry delivery (delays, gaps,
+    /// mixed ports). Segments keep slot order, so the accumulate/wheel-push
+    /// sequence is a reordering-free partition of the original entry walk.
+    struct FanoutRun {
+        std::uint32_t dst0 = 0;   ///< first destination (contiguous only)
+        std::uint32_t slot0 = 0;  ///< first fan-out slot (indexes eff/fanout)
+        std::uint32_t len = 0;    ///< slots covered
+        std::uint8_t port = 0;    ///< Port (contiguous only)
+        std::uint8_t contiguous = 0;
+    };
+
     /// Everything frozen at finalize() and shared between copies.
     struct Structure {
         std::vector<Population> pops;
@@ -328,9 +355,16 @@ private:
         std::vector<std::uint16_t> pop_of;      // owning population per compartment
         std::vector<std::size_t> fanout_begin;  // CSR, size = compartments + 1
         std::vector<FanoutEntry> fanout;
+        std::vector<std::size_t> run_begin;     // CSR over runs, compartments + 1
+        std::vector<FanoutRun> runs;
         /// Per-population: any trace with a nonzero decay constant? Such
         /// compartments tick the shared trace RNG every step and never sleep.
         std::vector<std::uint8_t> pop_has_decay;
+        /// Per-population: eligible for the vectorized dense sweep? True for
+        /// single-compartment populations (JoinOp::None) with pure-counter
+        /// traces — no aux state, no per-step RNG draws. Populations with a
+        /// dead compartment fall back at run time (see pop_dead_).
+        std::vector<std::uint8_t> pop_vec_ok;
         MappingResult mapping;
         bool has_plastic = false;
     };
@@ -349,13 +383,21 @@ private:
     std::shared_ptr<Structure> s_;
     std::shared_ptr<Weights> img_;  ///< null until finalize; copy-on-write
 
-    // Flattened state, indexed by global compartment id.
-    std::vector<CompartmentState> state_;
+    // Flattened dynamic state in struct-of-arrays lanes, indexed by global
+    // compartment id (see CompartmentBank).
+    CompartmentBank bank_;
 
     // Device properties, indexed by global compartment id. Not dynamic
     // state: reset_dynamic_state() leaves them alone.
     std::vector<std::int32_t> vth_offset_;
     std::vector<std::uint8_t> dead_;
+    /// Precomputed effective thresholds, max(1, vth + vth_offset_), one per
+    /// compartment, so the vectorized spike-detect loop compares against a
+    /// flat lane. Rebuilt at finalize, patched by set_threshold_offset.
+    CompartmentBank::Lane<std::int64_t> vth_eff_;
+    /// Per-population dead-compartment counts: a population with any dead
+    /// unit takes the scalar sweep (dead units sink input element-wise).
+    std::vector<std::uint32_t> pop_dead_;
     /// Per-projection stuck-at masks; empty until the first fault.
     std::vector<std::vector<std::uint8_t>> stuck_;
     /// Live learning rules (set_learning_rule reprograms microcode per chip
@@ -386,11 +428,15 @@ private:
 
     // ---- sparse active-set sweep (see step()) ------------------------------
     bool sparse_ = true;
+    /// SIMD lane kernels vs scalar reference kernels (see set_vector_sweep).
+    bool vector_sweep_ = true;
+    /// Scratch spike-detect lane of the vectorized sweep (one byte per
+    /// compartment; rewritten for the population being swept each step).
+    CompartmentBank::Lane<std::uint8_t> fired_;
     /// Sorted global ids of compartments that must be visited next step.
     /// Kept in ascending order so the visit order — and therefore the
     /// trace-decay RNG stream — matches the dense sweep exactly.
-    /// (The membership flag lives in CompartmentState::awake so the
-    /// delivery hot path touches no extra cache line.)
+    /// (The membership flag lives in CompartmentBank::awake.)
     std::vector<std::uint32_t> active_list_;
     std::vector<std::uint32_t> wake_buf_;    ///< wakes pending the next merge
     /// Number of compartments the dense sweep would count as updated per
@@ -409,9 +455,33 @@ private:
     void step_compartment(CompartmentId c, bool count_update);
     void step_dense();
     void step_sparse();
+    /// Pass-1 physics of one vector-eligible population [b, e): vectorized
+    /// integrate + spike-detect over the lanes, then a scalar epilogue over
+    /// the (rare) fired compartments. Bit-identical to per-compartment
+    /// step_compartment calls over the same range.
+    void sweep_pop_vector(PopulationId p, std::size_t b, std::size_t e);
+    /// Scalar pass over the fired byte lane [b, e): calls fire_compartment
+    /// on each set byte, skipping whole zero 8-byte blocks.
+    void fire_epilogue(std::size_t b, std::size_t e,
+                       const CompartmentConfig& cfg);
+    /// Fused sparse-sweep visit + sleep decision for populations without
+    /// decaying traces, AndAuxActive gates or dead units. Bit-identical to
+    /// step_compartment followed by can_sleep.
+    bool sparse_visit_fast(CompartmentId c, const CompartmentConfig& cfg,
+                           bool frozen);
+    /// Spike bookkeeping of one fired vector-path compartment (reset,
+    /// refractory re-arm, counters, trace impulses, raster).
+    void fire_compartment(CompartmentId c, const CompartmentConfig& cfg);
+    void tick_traces(CompartmentId c, const CompartmentConfig& cfg);
 
     CompartmentId global_id(PopulationId pop, std::size_t idx) const;
     void deliver(CompartmentId src);
+    /// Per-entry reference delivery of fan-out slots [b, e) (delays, mixed
+    /// ports, non-contiguous destinations, and the scalar-kernel path).
+    void deliver_span(std::size_t b, std::size_t e);
+    /// Wakes every sleeping compartment in [d0, d0 + len) by bitset words
+    /// (the batched-run counterpart of the per-entry wake check).
+    void wake_range(std::size_t d0, std::size_t len);
     void check_finalized(bool expected) const;
     /// Clones the structure iff it is still shared with another chip (call
     /// before any pre-finalize build mutation; after finalize the structure

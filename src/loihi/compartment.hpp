@@ -12,8 +12,11 @@
 // constant tau_v such that the membrane potential doesn't leak over time
 // whereas the current decays immediately" — i.e. dv = 0 and du = 4096.
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
+#include "common/aligned.hpp"
 #include "common/fixed.hpp"
 #include "loihi/trace.hpp"
 #include "loihi/types.hpp"
@@ -61,59 +64,155 @@ struct CompartmentConfig {
     bool active_in_phase1 = true;
 };
 
-/// Dynamic per-compartment state.
-struct CompartmentState {
-    std::int64_t u = 0;
-    std::int64_t v = 0;
-    std::int32_t bias = 0;
-    std::int32_t refractory_left = 0;
+/// Packed bitset lane for per-compartment boolean flags (spiked, aux gate,
+/// sparse-sweep membership). One cache line covers 512 compartments, so the
+/// dense pass-2 spike scan and the delivery wake check touch 64x less memory
+/// than the old one-byte-per-flag layout, and whole sleeping words are
+/// skipped with a single load. Bits past size() are kept zero so word scans
+/// need no tail masking.
+class BitLane {
+public:
+    std::size_t size() const { return size_; }
+    std::size_t word_count() const { return words_.size(); }
+    const std::uint64_t* words() const { return words_.data(); }
+    std::uint64_t* words() { return words_.data(); }
 
+    /// Grows to n bits; new bits are zero, existing bits are preserved.
+    void resize(std::size_t n) {
+        words_.resize((n + 63) / 64, 0);
+        size_ = n;
+    }
+
+    bool get(std::size_t i) const {
+        return (words_[i >> 6] >> (i & 63)) & 1u;
+    }
+    void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+    void clear(std::size_t i) {
+        words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+
+    void fill(bool value) {
+        std::fill(words_.begin(), words_.end(),
+                  value ? ~std::uint64_t{0} : std::uint64_t{0});
+        if (value && size_ % 64 != 0 && !words_.empty())
+            words_.back() = (std::uint64_t{1} << (size_ % 64)) - 1;
+    }
+
+    /// Clears bits [b, e).
+    void clear_range(std::size_t b, std::size_t e) {
+        while (b < e) {
+            const std::size_t wi = b >> 6;
+            const std::size_t lo = b & 63;
+            const std::size_t hi = std::min<std::size_t>(64, lo + (e - b));
+            const std::uint64_t upper =
+                hi == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << hi) - 1;
+            words_[wi] &= ~(upper & ~((std::uint64_t{1} << lo) - 1));
+            b = (wi << 6) + hi;
+        }
+    }
+
+private:
+    std::vector<std::uint64_t, common::AlignedAlloc<std::uint64_t>> words_;
+    std::size_t size_ = 0;
+};
+
+/// Dynamic compartment state in struct-of-arrays form: one contiguous,
+/// cache-line-aligned integer lane per variable, indexed by global
+/// compartment id, plus packed bitsets for the boolean flags. The dense
+/// membrane sweep and the CSR synaptic accumulation iterate single lanes
+/// with unit stride, which is what lets them autovectorize (the loops
+/// tagged NEURO_VEC_HOT in chip.cpp); the scalar sparse/join/learning paths
+/// index the same lanes element-wise with unchanged semantics.
+struct CompartmentBank {
+    template <typename T>
+    using Lane = std::vector<T, common::AlignedAlloc<T>>;
+
+    Lane<std::int64_t> u;             ///< synaptic response current
+    Lane<std::int64_t> v;             ///< membrane potential
     /// Accumulators for spikes that arrived this step (applied next step,
     /// matching the chip's one-step synaptic delay).
-    std::int64_t pending_soma = 0;
-    std::int64_t pending_aux = 0;
+    Lane<std::int64_t> pending_soma;
+    Lane<std::int64_t> pending_aux;
+    /// Aux input accumulated for JoinOp::GatedAdd / JoinOp::Add.
+    Lane<std::int64_t> aux_current;
 
-    /// Aux-compartment activity flag used by JoinOp::AndAuxActive — true if
-    /// the aux compartment received any input in the current sample window.
-    bool aux_active = false;
-    /// Aux input accumulated for JoinOp::GatedAdd.
-    std::int64_t aux_current = 0;
-
+    Lane<std::int32_t> bias;
+    Lane<std::int32_t> refractory_left;
     // Spike bookkeeping for the current sample window.
-    std::int32_t spikes_phase1 = 0;
-    std::int32_t spikes_phase2 = 0;
+    Lane<std::int32_t> spikes_phase1;
+    Lane<std::int32_t> spikes_phase2;
 
-    TraceState x1{};   // pre trace
-    TraceState y1{};   // post trace
-    TraceState x2{};   // second pre trace
-    TraceState y2{};   // second post trace
-    TraceState tag{};  // tag counter
+    // Trace values (see loihi/trace.hpp for the shared tick/on-spike ops).
+    Lane<std::int32_t> x1;   // pre trace
+    Lane<std::int32_t> y1;   // post trace
+    Lane<std::int32_t> x2;   // second pre trace
+    Lane<std::int32_t> y2;   // second post trace
+    Lane<std::int32_t> tag;  // tag counter
 
-    bool spiked = false;  ///< did this compartment fire in the current step
+    BitLane spiked;      ///< fired in the current step
+    /// Aux-compartment activity flag used by JoinOp::AndAuxActive — set if
+    /// the aux compartment received any input in the current sample window.
+    BitLane aux_active;
+    /// Membership flags of the chip's sparse active list. Owned by Chip;
+    /// not dynamic state (reset_dynamic leaves it alone).
+    BitLane awake;
 
-    /// Membership flag of the chip's sparse active list (kept here rather
-    /// than in a side array so the delivery hot path finds it on the same
-    /// cache line as pending_soma). Owned by Chip; not dynamic state.
-    std::uint8_t awake = 1;
+    std::size_t size() const { return u.size(); }
 
-    std::int32_t spike_count() const { return spikes_phase1 + spikes_phase2; }
+    /// Grows every lane to n compartments, zero-initialized.
+    void resize(std::size_t n) {
+        u.resize(n, 0);
+        v.resize(n, 0);
+        pending_soma.resize(n, 0);
+        pending_aux.resize(n, 0);
+        aux_current.resize(n, 0);
+        bias.resize(n, 0);
+        refractory_left.resize(n, 0);
+        spikes_phase1.resize(n, 0);
+        spikes_phase2.resize(n, 0);
+        x1.resize(n, 0);
+        y1.resize(n, 0);
+        x2.resize(n, 0);
+        y2.resize(n, 0);
+        tag.resize(n, 0);
+        spiked.resize(n);
+        aux_active.resize(n);
+        awake.resize(n);
+    }
 
+    std::int32_t spike_count(std::size_t c) const {
+        return spikes_phase1[c] + spikes_phase2[c];
+    }
+
+    /// Per-sample reset: everything except bias (a host register) and the
+    /// awake flags (sweep bookkeeping owned by Chip).
     void reset_dynamic() {
-        u = 0;
-        v = 0;
-        refractory_left = 0;
-        pending_soma = 0;
-        pending_aux = 0;
-        aux_active = false;
-        aux_current = 0;
-        spikes_phase1 = 0;
-        spikes_phase2 = 0;
-        x1.reset();
-        y1.reset();
-        x2.reset();
-        y2.reset();
-        tag.reset();
-        spiked = false;
+        std::fill(u.begin(), u.end(), 0);
+        std::fill(v.begin(), v.end(), 0);
+        std::fill(pending_soma.begin(), pending_soma.end(), 0);
+        std::fill(pending_aux.begin(), pending_aux.end(), 0);
+        std::fill(aux_current.begin(), aux_current.end(), 0);
+        std::fill(refractory_left.begin(), refractory_left.end(), 0);
+        std::fill(spikes_phase1.begin(), spikes_phase1.end(), 0);
+        std::fill(spikes_phase2.begin(), spikes_phase2.end(), 0);
+        std::fill(x1.begin(), x1.end(), 0);
+        std::fill(y1.begin(), y1.end(), 0);
+        std::fill(x2.begin(), x2.end(), 0);
+        std::fill(y2.begin(), y2.end(), 0);
+        std::fill(tag.begin(), tag.end(), 0);
+        spiked.fill(false);
+        aux_active.fill(false);
+    }
+
+    /// Phase-boundary reset: clears the integrators but keeps spike
+    /// counters, traces, tags and aux gates (see Chip::reset_membranes).
+    void reset_membranes() {
+        std::fill(u.begin(), u.end(), 0);
+        std::fill(v.begin(), v.end(), 0);
+        std::fill(pending_soma.begin(), pending_soma.end(), 0);
+        std::fill(pending_aux.begin(), pending_aux.end(), 0);
+        std::fill(aux_current.begin(), aux_current.end(), 0);
+        std::fill(refractory_left.begin(), refractory_left.end(), 0);
     }
 };
 

@@ -30,31 +30,44 @@ struct TraceConfig {
     int bits = 7;                   ///< saturation width (Loihi traces: 7)
 };
 
-/// Dynamic value of one trace slot.
+/// Per-step decay of one trace value; a pure counter (decay == 0) is
+/// untouched. With `rounding`, the fractional part of the 12-bit decay is
+/// rounded stochastically (unbiased); without it, truncation toward zero.
+/// Free-function form so the chip's SoA lanes (CompartmentBank) and any
+/// AoS reference model share one definition.
+inline void trace_tick(std::int32_t& value, const TraceConfig& cfg,
+                       common::Rng* rounding = nullptr) {
+    if (cfg.decay == 0) return;
+    const std::int64_t num =
+        static_cast<std::int64_t>(value) * (4096 - cfg.decay);
+    if (rounding != nullptr) {
+        const auto u = static_cast<std::int64_t>(rounding->next_u64() & 4095);
+        value = static_cast<std::int32_t>((num + u) >> 12);
+    } else {
+        value = static_cast<std::int32_t>(num >> 12);
+    }
+}
+
+/// Spike event of the trace's owner during `phase`.
+inline void trace_on_spike(std::int32_t& value, const TraceConfig& cfg,
+                           Phase phase) {
+    if (cfg.window == TraceWindow::Phase1Only && phase != Phase::One) return;
+    if (cfg.window == TraceWindow::Phase2Only && phase != Phase::Two) return;
+    value = common::saturate_unsigned(
+        static_cast<std::int64_t>(value) + cfg.impulse, cfg.bits);
+}
+
+/// Dynamic value of one trace slot (AoS form; the chip itself keeps traces
+/// as flat int32 lanes and calls the free functions above).
 struct TraceState {
     std::int32_t value = 0;
 
-    /// Per-step decay; a pure counter (decay == 0) is untouched. With
-    /// `rounding`, the fractional part of the 12-bit decay is rounded
-    /// stochastically (unbiased); without it, truncation toward zero.
     void tick(const TraceConfig& cfg, common::Rng* rounding = nullptr) {
-        if (cfg.decay == 0) return;
-        const std::int64_t num =
-            static_cast<std::int64_t>(value) * (4096 - cfg.decay);
-        if (rounding != nullptr) {
-            const auto u = static_cast<std::int64_t>(rounding->next_u64() & 4095);
-            value = static_cast<std::int32_t>((num + u) >> 12);
-        } else {
-            value = static_cast<std::int32_t>(num >> 12);
-        }
+        trace_tick(value, cfg, rounding);
     }
 
-    /// Spike event of the owner during `phase`.
     void on_spike(const TraceConfig& cfg, Phase phase) {
-        if (cfg.window == TraceWindow::Phase1Only && phase != Phase::One) return;
-        if (cfg.window == TraceWindow::Phase2Only && phase != Phase::Two) return;
-        value = common::saturate_unsigned(
-            static_cast<std::int64_t>(value) + cfg.impulse, cfg.bits);
+        trace_on_spike(value, cfg, phase);
     }
 
     void reset() { value = 0; }

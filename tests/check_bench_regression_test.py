@@ -249,6 +249,66 @@ class GateTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertNotIn("closed-ref", out)
 
+    # ---- kernel phase ratios (micro_chip max_metrics) ------------------------
+
+    @staticmethod
+    def micro_chip_rows(scalar_sweep, scalar_accum, simd_sweep, simd_accum):
+        return [
+            {"config": "dense, scalar",
+             "sweep_ns_per_compartment": scalar_sweep,
+             "accum_ns_per_event": scalar_accum,
+             "spikes_delivered": 2048, "synaptic_events": 524288},
+            {"config": "dense, simd",
+             "sweep_ns_per_compartment": simd_sweep,
+             "accum_ns_per_event": simd_accum,
+             "spikes_delivered": 2048, "synaptic_events": 524288},
+        ]
+
+    def test_micro_chip_simd_ratio_transfers_across_machines(self):
+        # Baseline: simd sweeps at 0.1x of scalar cost. Current machine is
+        # 5x slower in absolute ns but holds the same ratio: must pass.
+        self.write(self.baselines, "micro_chip",
+                   self.micro_chip_rows(10.0, 2.0, 1.0, 0.4))
+        self.write(self.results, "micro_chip",
+                   self.micro_chip_rows(50.0, 10.0, 5.0, 2.0))
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+
+    def test_micro_chip_sweep_ratio_collapse_fails(self):
+        # The simd/scalar sweep ratio decays 0.1 -> 0.5 (the lane kernels
+        # stopped engaging): must fail even though absolute ns improved.
+        self.write(self.baselines, "micro_chip",
+                   self.micro_chip_rows(10.0, 2.0, 1.0, 0.4))
+        self.write(self.results, "micro_chip",
+                   self.micro_chip_rows(8.0, 2.0, 4.0, 0.32))
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("sweep_ns_per_compartment regressed", out)
+
+    def test_micro_chip_accum_ratio_collapse_fails(self):
+        self.write(self.baselines, "micro_chip",
+                   self.micro_chip_rows(10.0, 2.0, 1.0, 0.4))
+        self.write(self.results, "micro_chip",
+                   self.micro_chip_rows(10.0, 2.0, 1.0, 1.8))
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("accum_ns_per_event regressed", out)
+
+    def test_micro_chip_sparse_context_row_is_not_gated(self):
+        # The results carry a "sparse, simd" context row; the committed
+        # baseline omits it, so even absurd values there must not gate.
+        self.write(self.baselines, "micro_chip",
+                   self.micro_chip_rows(10.0, 2.0, 1.0, 0.4))
+        cur = self.micro_chip_rows(10.0, 2.0, 1.0, 0.4)
+        cur.append({"config": "sparse, simd",
+                    "sweep_ns_per_compartment": 99999.0,
+                    "accum_ns_per_event": 99999.0,
+                    "spikes_delivered": 2048, "synaptic_events": 524288})
+        self.write(self.results, "micro_chip", cur)
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("sparse", out)
+
     # ---- accuracy rules ------------------------------------------------------
 
     def test_min_baseline_skips_chance_level_rows(self):

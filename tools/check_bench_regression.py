@@ -47,6 +47,18 @@ RULES = {
         "metrics": ["fa_chip", "dfa_chip"],
         "min_baseline": 0.25,
     },
+    # Chip kernel phases: per-phase costs are normalized by the same-run
+    # scalar-reference row, so the gate tracks the simd/scalar ratio of the
+    # membrane sweep and the synaptic accumulation (lower is better) — a
+    # machine-independent measure of whether the SoA lane kernels still
+    # engage. The "sparse, simd" row rides along in the results but is
+    # absent from the committed baseline: its win depends on workload
+    # quiescence, not kernel layout.
+    "micro_chip": {
+        "key": "config",
+        "max_metrics": ["sweep_ns_per_compartment", "accum_ns_per_event"],
+        "normalize_by": "dense, scalar",
+    },
     # Serving scale-out: each config's request rate is normalized by the
     # same-run single-worker unbatched rate, so the gate tracks the
     # worker-scaling and batching ratios rather than machine speed.

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI gate: every loop tagged NEURO_VEC_HOT must actually vectorize.
+
+The chip kernel TU (src/loihi/chip.cpp) tags its hot loops with a
+`// NEURO_VEC_HOT: ...` comment on the line directly above the `for`. CI
+rebuilds the TU with the compiler's vectorization report enabled and feeds
+the diagnostics here:
+
+  gcc:   g++ -O3 -march=x86-64-v2 -fopt-info-vec-optimized \
+             -fopt-info-vec-missed -c src/loihi/chip.cpp 2> report.txt
+  clang: clang++ -O3 -march=x86-64-v2 -Rpass=loop-vectorize \
+             -Rpass-missed=loop-vectorize -c src/loihi/chip.cpp 2> report.txt
+
+  tools/check_vectorization.py --report report.txt --compiler gcc \
+      src/loihi/chip.cpp
+
+Exits non-zero listing every tagged loop with no "vectorized" diagnostic on
+its line, together with the compiler's missed-optimization notes so the
+failure is actionable. A layout regression that silently turns a lane sweep
+back into gather-scatter shows up here, not as a slow chart three releases
+later.
+"""
+
+import argparse
+import re
+import sys
+
+# Diagnostic shapes: "<path>:<line>:<col>: optimized: loop vectorized ..."
+# (gcc) / "<path>:<line>:<col>: remark: vectorized loop ..." (clang).
+SUCCESS = {
+    "gcc": re.compile(r"^(?P<path>[^:]+):(?P<line>\d+):\d+:\s+optimized:.*loop vectorized"),
+    "clang": re.compile(r"^(?P<path>[^:]+):(?P<line>\d+):\d+:\s+remark:\s+vectorized loop"),
+}
+MISSED = {
+    "gcc": re.compile(r"^(?P<path>[^:]+):(?P<line>\d+):\d+:\s+missed:\s+(?P<why>.*)"),
+    "clang": re.compile(r"^(?P<path>[^:]+):(?P<line>\d+):\d+:\s+remark:\s+(?P<why>loop not vectorized.*)"),
+}
+
+TAG = "NEURO_VEC_HOT"
+# How many lines below the tag the `for` may sit (the tag is normally the
+# line directly above, but a wrapped comment is tolerated).
+TAG_REACH = 3
+
+
+def tagged_loops(source):
+    """Yields (line_number, tag_text) for the `for` of each tagged loop."""
+    with open(source, encoding="utf-8") as f:
+        lines = f.readlines()
+    for i, text in enumerate(lines):
+        if TAG not in text:
+            continue
+        tag = text.strip().lstrip("/ ")
+        for j in range(i + 1, min(i + 1 + TAG_REACH, len(lines))):
+            if re.search(r"\bfor\s*\(", lines[j]):
+                yield j + 1, tag  # 1-indexed
+                break
+        else:
+            yield i + 1, tag + " [no for loop found after tag]"
+
+
+def index_report(report, compiler):
+    """Returns ({(suffix_path, line)}, {(suffix_path, line): [reasons]})."""
+    ok = set()
+    missed = {}
+    with open(report, encoding="utf-8") as f:
+        for raw in f:
+            m = SUCCESS[compiler].match(raw)
+            if m:
+                ok.add((m.group("path"), int(m.group("line"))))
+                continue
+            m = MISSED[compiler].match(raw)
+            if m:
+                key = (m.group("path"), int(m.group("line")))
+                missed.setdefault(key, []).append(m.group("why").strip())
+    return ok, missed
+
+
+def lookup(entries, source, line):
+    """Report paths may be absolute or relative; match by path suffix."""
+    hits = []
+    for (path, rline), value in entries:
+        if rline == line and (path.endswith(source) or source.endswith(path)):
+            hits.append(value)
+    return hits
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("sources", nargs="+", help="source files carrying NEURO_VEC_HOT tags")
+    ap.add_argument("--report", required=True, help="compiler vectorization diagnostics (stderr capture)")
+    ap.add_argument("--compiler", choices=("gcc", "clang"), required=True)
+    args = ap.parse_args(argv)
+
+    ok, missed = index_report(args.report, args.compiler)
+    failures = []
+    checked = 0
+    for source in args.sources:
+        for line, tag in tagged_loops(source):
+            checked += 1
+            if lookup([(k, True) for k in ok], source, line):
+                print(f"ok   {source}:{line}  {tag}")
+                continue
+            reasons = lookup(list(missed.items()), source, line)
+            failures.append((source, line, tag, [r for rs in reasons for r in rs]))
+
+    if checked == 0:
+        print(f"error: no {TAG} tags found in {', '.join(args.sources)}", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} tagged loop(s) NOT vectorized:", file=sys.stderr)
+        for source, line, tag, reasons in failures:
+            print(f"  FAIL {source}:{line}  {tag}", file=sys.stderr)
+            for why in reasons or ["(no diagnostic on this line — check the report flags)"]:
+                print(f"       missed: {why}", file=sys.stderr)
+        return 1
+    print(f"all {checked} tagged loops vectorized")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
