@@ -32,7 +32,8 @@
 //      --batch=B (micro-batch cap), --clients=C, --queue=Q, --delay_us=D,
 //      --seed=S (Poisson stream), --rate_x=F (offered = F * capacity),
 //      --socket=0 (skip the socket section), --models=M (tenant sweep
-//      1,2,..,M; 0 skips it), --connect=PATH (smoke mode).
+//      1,2,..,M; 0 skips it), --trace=0 (skip the tracing-tax section),
+//      --connect=PATH (smoke mode).
 
 #include <unistd.h>
 
@@ -55,6 +56,7 @@
 #include "data/dataset.hpp"
 #include "netd/client.hpp"
 #include "netd/daemon.hpp"
+#include "obs/timer.hpp"
 #include "online/registry.hpp"
 #include "runtime/compiled_model.hpp"
 #include "serve/router.hpp"
@@ -173,6 +175,65 @@ LoadRow run_open(const std::shared_ptr<const runtime::CompiledModel>& model,
     row.requests = requests;
     row.offered_rps = offered_rps;
     row.throughput_rps = static_cast<double>(ok) / wall;
+    row.stats = server.stats();
+    return row;
+}
+
+/// Tracing tax: the identical closed-loop driver with per-request span
+/// stamping (and the obs::Timer kernel phase counters) on or off. CI
+/// normalizes the trace-on row by the same-run trace-off row
+/// (tools/check_bench_regression.py rule "serving_trace"), so the gate
+/// tracks the relative cost of observability — required to stay within a
+/// few percent of untraced throughput. Also accumulates the span sum vs
+/// wall latency so the row doubles as the end-to-end telescoping check.
+LoadRow run_trace(const std::shared_ptr<const runtime::CompiledModel>& model,
+                  const data::Dataset& images, std::size_t workers,
+                  std::size_t batch, std::size_t requests, std::size_t clients,
+                  std::size_t queue, std::uint64_t delay_us, bool trace,
+                  double* span_cover = nullptr) {
+    obs::set_timing(trace);
+    serve::Server server(model,
+                         make_options(workers, batch, queue, delay_us,
+                                      serve::Backpressure::Block));
+    server.start();
+    std::atomic<std::uint64_t> span_sum_us{0};
+    std::atomic<std::uint64_t> wall_sum_us{0};
+    common::ThreadPool pool(clients);
+    const auto t0 = std::chrono::steady_clock::now();
+    pool.run(clients, [&](std::size_t c) {
+        serve::SubmitOptions sub;
+        sub.trace = trace;
+        std::uint64_t spans = 0;
+        std::uint64_t walls = 0;
+        for (std::size_t i = c; i < requests; i += clients) {
+            const auto res =
+                server.submit(images.samples[i % images.size()].image, sub)
+                    .get();
+            if (res.trace.enabled) {
+                spans += res.trace.queue_us() + res.trace.batch_us() +
+                         res.trace.compute_us() + res.trace.resolve_us();
+                walls += static_cast<std::uint64_t>(res.latency_us);
+            }
+        }
+        span_sum_us.fetch_add(spans);
+        wall_sum_us.fetch_add(walls);
+    });
+    const double wall = seconds_since(t0);
+    server.shutdown();
+    obs::set_timing(false);
+    if (span_cover)
+        *span_cover = wall_sum_us.load() > 0
+                          ? static_cast<double>(span_sum_us.load()) /
+                                static_cast<double>(wall_sum_us.load())
+                          : 0.0;
+
+    LoadRow row;
+    row.config = trace ? "trace-on" : "trace-off";
+    row.mode = "trace";
+    row.workers = workers;
+    row.batch = batch;
+    row.requests = requests;
+    row.throughput_rps = static_cast<double>(requests) / wall;
     row.stats = server.stats();
     return row;
 }
@@ -445,6 +506,7 @@ int main(int argc, char** argv) {
     // default — on a 1-core dev container the sweep measures overhead only.
     const double min_scaleout = cli.get_double("min_scaleout", 0.0);
     const bool run_socket = cli.get_bool("socket", true);
+    const bool run_tracing = cli.get_bool("trace", true);
     const auto max_models =
         static_cast<std::size_t>(cli.get_int("models", 4));
     const std::string connect = cli.get("connect", "");
@@ -603,7 +665,7 @@ int main(int argc, char** argv) {
         "batch",         "requests",      "offered_rps",
         "goodput_rps",   "p95_us",        "p99_us",
         "sojourn_p99_us", "accepted",     "shed",
-        "codel_dropped", "deadline_missed", "drop_state_entries"};
+        "codel_dropped", "deadline_dropped", "drop_state_entries"};
     common::CsvWriter ocsv(bench::kCsvDir, "serving_overload", ocols);
     bench::JsonWriter ojson(bench::kCsvDir, "serving_overload", ocols);
     for (const auto& r : orows) {
@@ -612,7 +674,7 @@ int main(int argc, char** argv) {
                         common::Table::fmt(r.stats.sojourn_p99_us, 0),
                         std::to_string(r.stats.rejected),
                         std::to_string(r.stats.codel_dropped),
-                        std::to_string(r.stats.deadline_missed)});
+                        std::to_string(r.stats.deadline_dropped)});
         const std::vector<std::string> cells = {
             r.config,
             r.mode,
@@ -627,7 +689,7 @@ int main(int argc, char** argv) {
             std::to_string(r.stats.accepted),
             std::to_string(r.stats.rejected),
             std::to_string(r.stats.codel_dropped),
-            std::to_string(r.stats.deadline_missed),
+            std::to_string(r.stats.deadline_dropped),
             std::to_string(r.stats.drop_state_entries)};
         ocsv.add_row(cells);
         ojson.add_row(cells);
@@ -645,6 +707,68 @@ int main(int argc, char** argv) {
         "passed. goodput counts Ok responses only; p99 is over accepted "
         "(Ok) requests — the CoDel rows trade a few percent goodput for a "
         "bounded tail.");
+
+    // ---- tracing: what per-request span stamping costs ---------------------
+    // Two identical closed-loop runs, spans off then on. CI normalizes
+    // trace-on by the same-run trace-off row with a tight 5% tolerance
+    // (ISSUE: observability must be effectively free when unused and
+    // near-free when on). The span-coverage column reports the mean
+    // (queue+batch+compute+resolve) / latency_us ratio over the traced run
+    // — the telescoping invariant, ~1.0 by construction.
+    if (run_tracing) {
+        std::vector<LoadRow> trows;
+        double cover = 0.0;
+        trows.push_back(run_trace(model, images, max_workers, batch, requests,
+                                  clients, queue, delay_us, false));
+        trows.push_back(run_trace(model, images, max_workers, batch, requests,
+                                  clients, queue, delay_us, true, &cover));
+        const double off_rps = trows.front().throughput_rps;
+
+        common::Table ttable({"configuration", "req/s", "vs trace-off",
+                              "p50 us", "p99 us", "span cover"});
+        const std::vector<std::string> tcols = {
+            "config", "mode", "workers", "batch", "requests",
+            "throughput_rps", "p50_us", "p95_us", "p99_us", "accepted",
+            "rejected", "span_cover"};
+        common::CsvWriter tcsv(bench::kCsvDir, "serving_trace", tcols);
+        bench::JsonWriter tjson(bench::kCsvDir, "serving_trace", tcols);
+        for (const auto& r : trows) {
+            const bool on = r.config == "trace-on";
+            ttable.add_row(
+                {r.config, common::Table::fmt(r.throughput_rps, 1),
+                 off_rps > 0.0
+                     ? common::Table::fmt(r.throughput_rps / off_rps, 2) + "x"
+                     : "-",
+                 common::Table::fmt(r.stats.p50_us, 0),
+                 common::Table::fmt(r.stats.p99_us, 0),
+                 on ? common::Table::fmt(cover, 3) : "-"});
+            const std::vector<std::string> cells = {
+                r.config,
+                r.mode,
+                std::to_string(r.workers),
+                std::to_string(r.batch),
+                std::to_string(r.requests),
+                std::to_string(r.throughput_rps),
+                std::to_string(r.stats.p50_us),
+                std::to_string(r.stats.p95_us),
+                std::to_string(r.stats.p99_us),
+                std::to_string(r.stats.accepted),
+                std::to_string(r.stats.rejected),
+                std::to_string(on ? cover : 0.0)};
+            tcsv.add_row(cells);
+            tjson.add_row(cells);
+        }
+        std::printf("\n");
+        ttable.print();
+        std::printf("CSV: %s\nJSON: %s\n", tcsv.write().c_str(),
+                    tjson.write().c_str());
+        bench::footnote(
+            "trace rows run the identical closed-loop workload with "
+            "per-request span stamping off and on (SubmitOptions::trace + "
+            "obs timing). span cover is the mean span-sum / wall-latency "
+            "ratio of the traced run — the phases telescope, so it sits at "
+            "~1.0; CI gates the trace-on / trace-off throughput ratio.");
+    }
 
     // ---- socket mode: the same engine behind neurod's wire protocol --------
     // The in-process closed-ref row is re-emitted as "inproc" so CI can

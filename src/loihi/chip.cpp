@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/fixed.hpp"
+#include "obs/timer.hpp"
 
 namespace neuro::loihi {
 
@@ -760,18 +761,25 @@ void Chip::fire_epilogue(std::size_t b, std::size_t e,
 }
 
 void Chip::step_dense() {
-    for (PopulationId p = 0; p < s_->pops.size(); ++p) {
-        const Population& pop = s_->pops[p];
-        const std::size_t b = pop.first;
-        const std::size_t e = b + pop.cfg.size;
-        if (vector_sweep_ && s_->pop_vec_ok[p] != 0 && pop_dead_[p] == 0)
-            sweep_pop_vector(p, b, e);
-        else
-            for (std::size_t c = b; c < e; ++c)
-                step_compartment(c, /*count_update=*/true);
+    // Phase timers wrap whole passes — never the NEURO_VEC_HOT loops — so
+    // the clock reads stay out of autovectorized code (two reads per pass
+    // when enabled, one relaxed load when not).
+    {
+        obs::Timer t(phase_times_.sweep_ns);
+        for (PopulationId p = 0; p < s_->pops.size(); ++p) {
+            const Population& pop = s_->pops[p];
+            const std::size_t b = pop.first;
+            const std::size_t e = b + pop.cfg.size;
+            if (vector_sweep_ && s_->pop_vec_ok[p] != 0 && pop_dead_[p] == 0)
+                sweep_pop_vector(p, b, e);
+            else
+                for (std::size_t c = b; c < e; ++c)
+                    step_compartment(c, /*count_update=*/true);
+        }
     }
     // Pass 2: deliver this step's spikes (visible at the next step), in
     // ascending compartment order via the packed spike bitset.
+    obs::Timer t(phase_times_.accum_ns);
     const std::uint64_t* words = bank_.spiked.words();
     const std::size_t nw = bank_.spiked.word_count();
     for (std::size_t wi = 0; wi < nw; ++wi) {
@@ -846,6 +854,7 @@ bool Chip::sparse_visit_fast(CompartmentId c, const CompartmentConfig& cfg,
 }
 
 void Chip::step_sparse() {
+    obs::Timer sweep_timer(phase_times_.sweep_ns);
     merge_wakes();
 
     // The dense sweep counts an update for every non-dead compartment that
@@ -890,9 +899,11 @@ void Chip::step_sparse() {
             active_list_[keep++] = c;
     }
     active_list_.resize(keep);
+    sweep_timer.stop();
 
     // Pass 2: deliver this step's spikes; deliver() re-wakes the targets
     // for the next step. Only surviving list members can have spiked.
+    obs::Timer accum_timer(phase_times_.accum_ns);
     for (std::size_t r = 0; r < keep; ++r) {
         const std::uint32_t c = active_list_[r];
         if (bank_.spiked.get(c)) deliver(c);

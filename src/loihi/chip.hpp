@@ -85,6 +85,18 @@ struct ActivityTotals {
     std::uint64_t host_io_writes = 0;  ///< bias writes + spike insertions
 };
 
+/// Wall-clock attribution of step() time to its two passes: the
+/// integrate/spike sweep (pass 1) and the synaptic accumulation/delivery
+/// (pass 2). Nanoseconds from obs::Timer sinks — they only advance while
+/// obs::set_timing(true), and cost one relaxed load per step otherwise.
+/// Deliberately NOT part of ActivityTotals: totals are compared
+/// bit-identically across kernel modes (bench/micro_chip), wall time is
+/// not. Per-chip, deep-copied, reset independently of activity.
+struct KernelPhaseTimes {
+    std::uint64_t sweep_ns = 0;
+    std::uint64_t accum_ns = 0;
+};
+
 class Chip {
 public:
     explicit Chip(ChipLimits limits = {});
@@ -289,6 +301,12 @@ public:
     const ActivityTotals& activity() const { return activity_; }
     void reset_activity() { activity_ = {}; }
 
+    /// Cumulative per-pass step() timing (see KernelPhaseTimes). Read on
+    /// the thread that steps the chip; serving workers snapshot deltas
+    /// around each request to attribute compute time (ARCHITECTURE §14).
+    const KernelPhaseTimes& kernel_phase_times() const { return phase_times_; }
+    void reset_kernel_phase_times() { phase_times_ = {}; }
+
     const MappingResult& mapping() const;
     const ChipLimits& limits() const { return limits_; }
 
@@ -419,6 +437,7 @@ private:
     std::array<std::vector<DelayedDelivery>, kWheel> wheel_{};
 
     ActivityTotals activity_{};
+    KernelPhaseTimes phase_times_{};
 
     std::optional<PopulationId> raster_pop_{};
     std::vector<std::pair<std::uint64_t, std::uint32_t>> raster_;

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 namespace neuro::netd {
@@ -145,6 +146,41 @@ ResponseFrame Client::call(const RequestFrame& f) {
     }
     throw std::runtime_error(
         "netd::Client: connection closed before the response arrived");
+}
+
+std::string control_request_multiline(const std::string& control_path,
+                                      const std::string& command) {
+    Client c = Client::connect_unix(control_path);
+    const std::string line = command + "\n";
+    c.send_raw(line.data(), line.size());
+
+    std::string reply;
+    std::size_t scanned = 0;  ///< reply[0..scanned) holds whole lines only
+    char buf[4096];
+    for (;;) {
+        std::size_t nl;
+        while ((nl = reply.find('\n', scanned)) != std::string::npos) {
+            std::string_view ln(reply.data() + scanned, nl - scanned);
+            if (!ln.empty() && ln.back() == '\r') ln.remove_suffix(1);
+            if (ln == "# EOF") {
+                reply.resize(nl + 1);
+                return reply;
+            }
+            // An error disposition is a single line with no terminator.
+            if (scanned == 0 && ln.substr(0, 3) == "err") {
+                reply.resize(nl);
+                if (!reply.empty() && reply.back() == '\r') reply.pop_back();
+                return reply;
+            }
+            scanned = nl + 1;
+        }
+        const std::size_t n = c.recv_raw(buf, sizeof(buf));
+        if (n == 0)
+            throw std::runtime_error(
+                "netd: control connection closed before the \"# EOF\" "
+                "terminator");
+        reply.append(buf, n);
+    }
 }
 
 std::string control_request(const std::string& control_path,

@@ -66,4 +66,12 @@ private:
 std::string control_request(const std::string& control_path,
                             const std::string& command);
 
+/// Multi-line variant for the `metrics` scrape: reads until a line that is
+/// exactly "# EOF" and returns everything up to and including it (each
+/// line newline-terminated). A daemon that answers a single `err ...` line
+/// instead returns just that line — no EOF terminator to wait for. Throws
+/// on connect/IO failure or EOF-of-stream before the terminator.
+std::string control_request_multiline(const std::string& control_path,
+                                      const std::string& command);
+
 }  // namespace neuro::netd

@@ -16,6 +16,8 @@
 #include <thread>
 
 #include "common/json.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "serve/request.hpp"
 
 namespace neuro::netd {
@@ -34,13 +36,30 @@ std::uint64_t us_u64(double us) {
 /// id / priority come from the request frame; everything else is the
 /// server's disposition. A v1 request gets a v1 response (no model field —
 /// byte-identical to the pre-router daemon); a v2 request's response
-/// echoes its model so one connection can demux across the fleet.
+/// echoes its model so one connection can demux across the fleet; a v3
+/// request that asked to trace gets its span breakdown back.
 ResponseFrame to_response(std::uint8_t version, const std::string& model,
                           std::uint64_t request_id,
                           const serve::InferenceResult& r) {
     ResponseFrame out;
     out.version = version;
     if (version >= kProtocolVersionV2) out.model = model;
+    if (version >= kProtocolVersionV3 && r.trace.enabled) {
+        const obs::TraceContext& t = r.trace;
+        out.trace = {
+            {static_cast<std::uint8_t>(obs::SpanId::QueueUs), t.queue_us()},
+            {static_cast<std::uint8_t>(obs::SpanId::BatchUs), t.batch_us()},
+            {static_cast<std::uint8_t>(obs::SpanId::ComputeUs),
+             t.compute_us()},
+            {static_cast<std::uint8_t>(obs::SpanId::ResolveUs),
+             t.resolve_us()},
+            {static_cast<std::uint8_t>(obs::SpanId::KernelSweepNs),
+             t.kernel_sweep_ns},
+            {static_cast<std::uint8_t>(obs::SpanId::KernelAccumNs),
+             t.kernel_accum_ns},
+            {static_cast<std::uint8_t>(obs::SpanId::TotalUs), t.total_us()},
+        };
+    }
     switch (r.status) {
         case serve::Status::Ok: out.status = WireStatus::Ok; break;
         case serve::Status::Rejected: out.status = WireStatus::Rejected; break;
@@ -79,6 +98,14 @@ std::string entry_json(const serve::ModelEntryStats& s) {
         .add("weight_bytes", static_cast<std::uint64_t>(s.weight_bytes))
         .add("last_used", s.last_used)
         .add("inflight", s.inflight)
+        .add("codel_dropped", s.codel_dropped)
+        .add("deadline_dropped", s.deadline_dropped)
+        .add("latency_count", s.latency_count)
+        .add("p50_us", s.p50_us)
+        .add("p95_us", s.p95_us)
+        .add("p99_us", s.p99_us)
+        .add("mean_us", s.mean_us)
+        .add("max_us", s.max_us)
         .str();
 }
 
@@ -104,6 +131,9 @@ Daemon::Daemon(std::shared_ptr<serve::ModelRouter> router,
     if (!router_) throw std::invalid_argument("netd: null router");
     model_ = router_->default_model();
     validate_config();
+    if (options_.metrics)
+        options_.metrics->add_collector(
+            [this](std::string& out) { collect_metrics(out); });
 }
 
 Daemon::Daemon(std::shared_ptr<serve::Server> server,
@@ -117,6 +147,9 @@ Daemon::Daemon(std::shared_ptr<serve::Server> server,
     if (!router_) throw std::invalid_argument("netd: null server");
     if (!model_) throw std::invalid_argument("netd: null model");
     validate_config();
+    if (options_.metrics)
+        options_.metrics->add_collector(
+            [this](std::string& out) { collect_metrics(out); });
 }
 
 void Daemon::validate_config() const {
@@ -268,6 +301,7 @@ void Daemon::on_readable(const ConnPtr& conn) {
             // the line buffer like a frame.
             if (conn->line_buf.size() > options_.max_frame_bytes) {
                 totals_.malformed_closed.fetch_add(1);
+                record_conn_error(conn->fd, "control-flood");
                 close_connection(conn);
                 return;
             }
@@ -289,6 +323,8 @@ void Daemon::on_readable(const ConnPtr& conn) {
                     // Framing is lost; no reply is possible on a stream we
                     // can no longer delimit. Count it and sever.
                     totals_.malformed_closed.fetch_add(1);
+                    record_conn_error(conn->fd,
+                                      to_string(conn->decoder.error()));
                     close_connection(conn);
                     return;
                 }
@@ -481,6 +517,7 @@ void Daemon::handle_request(const ConnPtr& conn, RequestFrame&& f) {
     opt.deadline_us = f.deadline_us;
     opt.model = f.model;  // v1 frames decode with model == "" (the default)
     opt.request_id = f.request_id;
+    opt.trace = (f.flags & kFlagTrace) != 0;  // v1/v2 decode with flags == 0
     const std::uint64_t request_id = f.request_id;
     const std::uint8_t version = f.version;
 
@@ -526,6 +563,28 @@ std::string Daemon::run_control_command(const std::string& line) {
         if (cmd == "version")
             return "ok " + std::to_string(model_->published_version());
         if (cmd == "models") return "ok " + models_json();
+        if (cmd == "metrics") {
+            // The one multi-line control reply: Prometheus text whose last
+            // line is the "# EOF" terminator clients read up to (the
+            // trailing newline comes from handle_control_line).
+            if (!options_.metrics) return "err no metrics registry";
+            std::string text = options_.metrics->expose();
+            while (!text.empty() && text.back() == '\n') text.pop_back();
+            return text;
+        }
+        if (cmd == "events") {
+            const obs::FlightRecorder* rec = router_->options().recorder;
+            if (!rec) return "err no recorder";
+            std::size_t n = 0;  // 0 = everything the ring holds
+            if (!arg.empty()) {
+                try {
+                    n = std::stoul(arg);
+                } catch (const std::exception&) {
+                    return "err bad event count: " + arg;
+                }
+            }
+            return "ok " + obs::events_to_json(rec->snapshot(n));
+        }
         if (cmd == "canary") {
             if (arg.empty() || arg2.empty() || arg3.empty())
                 return "err usage: canary <name> <version> <pct>";
@@ -695,6 +754,196 @@ std::string Daemon::models_json() const {
         out += entry_json(s);
     }
     return out + "]";
+}
+
+void Daemon::record_conn_error(int fd, const char* what) {
+    obs::FlightRecorder* rec = router_->options().recorder;
+    if (!rec) return;
+    rec->record(obs::EventKind::ConnError, router_->clock()->now_us(), what,
+                static_cast<std::uint64_t>(fd));
+}
+
+namespace {
+
+const char* class_label(std::size_t c) {
+    switch (c) {
+        case 0: return "{class=\"interactive\"}";
+        case 1: return "{class=\"batch\"}";
+        case 2: return "{class=\"feedback\"}";
+    }
+    return "{class=\"?\"}";
+}
+
+std::string model_label(const std::string& name) {
+    // Router names are [A-Za-z][A-Za-z0-9._-]* (the default entry is ""),
+    // so no escaping is needed inside the label value.
+    return "{model=\"" + name + "\"}";
+}
+
+}  // namespace
+
+void Daemon::collect_metrics(std::string& out) const {
+    using obs::append_help_type;
+    using obs::append_sample;
+
+    // ---- serving engine (ServerStats schema, §10/§12) ----
+    const serve::ServerStats s = router_->stats();
+    const struct {
+        const char* name;
+        const char* help;
+        std::uint64_t v;
+    } server_counters[] = {
+        {"neuro_server_accepted", "requests accepted into the queue",
+         s.accepted},
+        {"neuro_server_rejected", "requests refused at intake", s.rejected},
+        {"neuro_server_completed", "requests resolved Ok", s.completed},
+        {"neuro_server_errors", "requests resolved Error", s.errors},
+        {"neuro_server_batches", "micro-batches dispatched", s.batches},
+        {"neuro_server_codel_dropped", "CoDel head drops", s.codel_dropped},
+        {"neuro_server_deadline_dropped", "deadline-expired head drops",
+         s.deadline_dropped},
+        {"neuro_server_drop_state_entries",
+         "times CoDel entered the drop state", s.drop_state_entries},
+        {"neuro_server_weight_refreshes",
+         "published weight images adopted at batch boundaries",
+         s.weight_refreshes},
+        {"neuro_server_feedback_dropped",
+         "feedback samples shed at the intake", s.feedback_dropped},
+    };
+    for (const auto& c : server_counters) {
+        append_help_type(out, std::string(c.name) + "_total", "counter",
+                         c.help);
+        append_sample(out, std::string(c.name) + "_total", "", c.v);
+    }
+    append_help_type(out, "neuro_server_class_accepted_total", "counter",
+                     "admission accepts per priority class");
+    for (std::size_t c = 0; c < serve::kPriorityClasses; ++c)
+        append_sample(out, "neuro_server_class_accepted_total",
+                      class_label(c), s.class_accepted[c]);
+    append_help_type(out, "neuro_server_class_codel_dropped_total", "counter",
+                     "CoDel head drops per priority class");
+    for (std::size_t c = 0; c < serve::kPriorityClasses; ++c)
+        append_sample(out, "neuro_server_class_codel_dropped_total",
+                      class_label(c), s.class_codel_dropped[c]);
+    append_help_type(out, "neuro_server_class_deadline_dropped_total",
+                     "counter", "deadline drops per priority class");
+    for (std::size_t c = 0; c < serve::kPriorityClasses; ++c)
+        append_sample(out, "neuro_server_class_deadline_dropped_total",
+                      class_label(c), s.class_deadline_dropped[c]);
+
+    append_help_type(out, "neuro_server_latency_us", "gauge",
+                     "dispatch latency percentiles (microseconds)");
+    append_sample(out, "neuro_server_latency_us", "{quantile=\"0.5\"}",
+                  s.p50_us);
+    append_sample(out, "neuro_server_latency_us", "{quantile=\"0.95\"}",
+                  s.p95_us);
+    append_sample(out, "neuro_server_latency_us", "{quantile=\"0.99\"}",
+                  s.p99_us);
+    append_help_type(out, "neuro_server_sojourn_us", "gauge",
+                     "queue sojourn percentiles (microseconds)");
+    append_sample(out, "neuro_server_sojourn_us", "{quantile=\"0.5\"}",
+                  s.sojourn_p50_us);
+    append_sample(out, "neuro_server_sojourn_us", "{quantile=\"0.95\"}",
+                  s.sojourn_p95_us);
+    append_sample(out, "neuro_server_sojourn_us", "{quantile=\"0.99\"}",
+                  s.sojourn_p99_us);
+    append_help_type(out, "neuro_server_throughput_rps", "gauge",
+                     "completed requests per second since start");
+    append_sample(out, "neuro_server_throughput_rps", "", s.throughput_rps);
+
+    // ---- wire layer (DaemonStats) ----
+    const DaemonStats d = stats();
+    const struct {
+        const char* name;
+        const char* help;
+        std::uint64_t v;
+    } daemon_counters[] = {
+        {"neuro_daemon_connections_accepted", "connections accepted",
+         d.connections_accepted},
+        {"neuro_daemon_frames_in", "request frames decoded", d.frames_in},
+        {"neuro_daemon_responses_out", "response frames flushed",
+         d.responses_out},
+        {"neuro_daemon_bytes_in", "bytes read from data sockets",
+         d.bytes_in},
+        {"neuro_daemon_bytes_out", "bytes written to data sockets",
+         d.bytes_out},
+        {"neuro_daemon_malformed_closed",
+         "connections closed on framing errors", d.malformed_closed},
+        {"neuro_daemon_feedback_frames", "feedback frames received",
+         d.feedback_frames},
+        {"neuro_daemon_control_commands", "control-socket commands run",
+         d.control_commands},
+        {"neuro_daemon_backpressure_pauses",
+         "times a connection's reads were paused", d.backpressure_pauses},
+    };
+    for (const auto& c : daemon_counters) {
+        append_help_type(out, std::string(c.name) + "_total", "counter",
+                         c.help);
+        append_sample(out, std::string(c.name) + "_total", "", c.v);
+    }
+    append_help_type(out, "neuro_daemon_connections_open", "gauge",
+                     "currently open connections");
+    append_sample(out, "neuro_daemon_connections_open", "",
+                  d.connections_open);
+    append_help_type(out, "neuro_daemon_inflight", "gauge",
+                     "requests submitted but not yet resolved");
+    append_sample(out, "neuro_daemon_inflight", "", d.inflight);
+    append_help_type(out, "neuro_daemon_resident_bytes", "gauge",
+                     "resident plastic-weight bytes across the fleet");
+    append_sample(out, "neuro_daemon_resident_bytes", "",
+                  static_cast<std::uint64_t>(router_->resident_bytes()));
+
+    // ---- per-model (ModelEntryStats) ----
+    const auto models = router_->model_stats();
+    append_help_type(out, "neuro_model_dispatched_total", "counter",
+                     "requests dispatched per model and arm");
+    for (const auto& m : models) {
+        append_sample(out, "neuro_model_dispatched_total",
+                      "{model=\"" + m.name + "\",arm=\"base\"}",
+                      m.base_dispatched);
+        if (m.canary_dispatched > 0 || m.canary_version != 0)
+            append_sample(out, "neuro_model_dispatched_total",
+                          "{model=\"" + m.name + "\",arm=\"canary\"}",
+                          m.canary_dispatched);
+    }
+    append_help_type(out, "neuro_model_errors_total", "counter",
+                     "requests resolved Error per model (both arms)");
+    for (const auto& m : models)
+        append_sample(out, "neuro_model_errors_total", model_label(m.name),
+                      m.base_errors + m.canary_errors);
+    append_help_type(out, "neuro_model_codel_dropped_total", "counter",
+                     "CoDel head drops attributed per model");
+    for (const auto& m : models)
+        append_sample(out, "neuro_model_codel_dropped_total",
+                      model_label(m.name), m.codel_dropped);
+    append_help_type(out, "neuro_model_deadline_dropped_total", "counter",
+                     "deadline head drops attributed per model");
+    for (const auto& m : models)
+        append_sample(out, "neuro_model_deadline_dropped_total",
+                      model_label(m.name), m.deadline_dropped);
+    append_help_type(out, "neuro_model_resident", "gauge",
+                     "1 when the model's sessions are loaded");
+    for (const auto& m : models)
+        append_sample(out, "neuro_model_resident", model_label(m.name),
+                      static_cast<std::uint64_t>(m.resident ? 1 : 0));
+    append_help_type(out, "neuro_model_weight_bytes", "gauge",
+                     "resident weight bytes per model (both arms)");
+    for (const auto& m : models)
+        append_sample(out, "neuro_model_weight_bytes", model_label(m.name),
+                      static_cast<std::uint64_t>(m.weight_bytes));
+    append_help_type(out, "neuro_model_latency_us", "gauge",
+                     "per-model dispatch latency percentiles (microseconds)");
+    for (const auto& m : models) {
+        if (m.latency_count == 0) continue;
+        append_sample(out, "neuro_model_latency_us",
+                      "{model=\"" + m.name + "\",quantile=\"0.5\"}", m.p50_us);
+        append_sample(out, "neuro_model_latency_us",
+                      "{model=\"" + m.name + "\",quantile=\"0.95\"}",
+                      m.p95_us);
+        append_sample(out, "neuro_model_latency_us",
+                      "{model=\"" + m.name + "\",quantile=\"0.99\"}",
+                      m.p99_us);
+    }
 }
 
 // ---- lifecycle -------------------------------------------------------------

@@ -63,6 +63,7 @@
 
 #include "netd/event_loop.hpp"
 #include "netd/protocol.hpp"
+#include "obs/registry.hpp"
 #include "online/registry.hpp"
 #include "runtime/compiled_model.hpp"
 #include "serve/router.hpp"
@@ -88,6 +89,12 @@ struct DaemonOptions {
     /// Force-close connections still undrained this long after a
     /// drain/shutdown request.
     std::uint64_t drain_timeout_ms = 10'000;
+    /// Metrics registry behind the control-socket `metrics` command (null
+    /// answers `err no metrics registry`). The daemon adds a scrape-time
+    /// collector rendering ServerStats / DaemonStats / ModelEntryStats, so
+    /// the registry must not be scraped after the daemon is destroyed.
+    /// Non-owning; neurod wires obs::default_registry().
+    obs::Registry* metrics = nullptr;
 };
 
 /// Loop-thread-owned per-connection counters (snapshot via Daemon::stats).
@@ -200,6 +207,13 @@ private:
     std::string run_control_command(const std::string& line);
     std::string stats_json() const;
     std::string models_json() const;
+    /// Scrape-time bridge (DaemonOptions::metrics): appends the serving /
+    /// daemon / per-model counters as Prometheus families. Reads only
+    /// thread-safe surfaces (router stats, totals_ atomics) — it runs on
+    /// whatever thread scrapes the registry.
+    void collect_metrics(std::string& out) const;
+    /// Records a ConnError flight event when the router has a recorder.
+    void record_conn_error(int fd, const char* what);
 
     // ---- cross-thread delivery (worker callbacks) ----
     void deliver(const ConnPtr& conn, std::vector<std::uint8_t> bytes);

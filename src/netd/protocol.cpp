@@ -103,7 +103,8 @@ namespace {
 // only exists on the wire from v2 on, so asking for one in a v1 frame is a
 // caller bug, not something to silently truncate.
 void check_versioned_model(std::uint8_t version, const std::string& model) {
-    if (version != kProtocolVersion && version != kProtocolVersionV2)
+    if (version != kProtocolVersion && version != kProtocolVersionV2 &&
+        version != kProtocolVersionV3)
         throw std::invalid_argument("netd::encode: unknown protocol version");
     if (version < kProtocolVersionV2 && !model.empty())
         throw std::invalid_argument(
@@ -111,6 +112,11 @@ void check_versioned_model(std::uint8_t version, const std::string& model) {
     if (model.size() > kMaxModelName)
         throw std::invalid_argument("netd::encode: model name longer than " +
                                     std::to_string(kMaxModelName));
+}
+
+bool known_version(std::uint8_t v) {
+    return v == kProtocolVersion || v == kProtocolVersionV2 ||
+           v == kProtocolVersionV3;
 }
 
 void put_model(std::vector<std::uint8_t>& out, const std::string& model) {
@@ -122,6 +128,14 @@ void put_model(std::vector<std::uint8_t>& out, const std::string& model) {
 
 std::vector<std::uint8_t> encode(const RequestFrame& f) {
     check_versioned_model(f.version, f.model);
+    if (f.flags != 0) {
+        if (f.version < kProtocolVersionV3)
+            throw std::invalid_argument(
+                "netd::encode: request flags require protocol v3");
+        if (f.flags & ~kFlagTrace)
+            throw std::invalid_argument(
+                "netd::encode: undefined request flag bits");
+    }
     if (f.shape.empty() || f.shape.size() > kMaxRank)
         throw std::invalid_argument("netd::encode: rank must be 1.." +
                                     std::to_string(kMaxRank));
@@ -147,6 +161,7 @@ std::vector<std::uint8_t> encode(const RequestFrame& f) {
     put_u64(out, f.deadline_us);
     put_u32(out, f.label);
     if (f.version >= kProtocolVersionV2) put_model(out, f.model);
+    if (f.version >= kProtocolVersionV3) put_u8(out, f.flags);
     put_u8(out, static_cast<std::uint8_t>(f.shape.size()));
     for (const std::uint32_t d : f.shape) put_u32(out, d);
     for (const float v : f.data) put_f32(out, v);
@@ -163,9 +178,14 @@ std::vector<std::uint8_t> encode(const ResponseFrame& f) {
     check_versioned_model(f.version, f.model);
     if (f.error.size() > std::numeric_limits<std::uint32_t>::max())
         throw std::invalid_argument("netd::encode: error text too long");
+    if (!f.trace.empty() && f.version < kProtocolVersionV3)
+        throw std::invalid_argument(
+            "netd::encode: trace block requires protocol v3");
+    if (f.trace.size() > 7)
+        throw std::invalid_argument("netd::encode: more than 7 trace spans");
     std::vector<std::uint8_t> out;
-    out.reserve(4 + 45 + f.model.size() + 4 * f.counts.size() +
-                f.error.size());
+    out.reserve(4 + 46 + f.model.size() + 4 * f.counts.size() +
+                f.error.size() + 9 * f.trace.size());
     put_u32(out, 0);  // length back-patched below
     put_u8(out, f.version);
     put_u8(out, static_cast<std::uint8_t>(f.status));
@@ -181,6 +201,16 @@ std::vector<std::uint8_t> encode(const ResponseFrame& f) {
     for (const std::int32_t c : f.counts) put_i32(out, c);
     put_u32(out, static_cast<std::uint32_t>(f.error.size()));
     out.insert(out.end(), f.error.begin(), f.error.end());
+    if (f.version >= kProtocolVersionV3) {
+        put_u8(out, static_cast<std::uint8_t>(f.trace.size()));
+        for (const WireSpan& s : f.trace) {
+            if (s.id < 1 || s.id > 7)
+                throw std::invalid_argument(
+                    "netd::encode: trace span id out of range");
+            put_u8(out, s.id);
+            put_u64(out, s.value);
+        }
+    }
 
     const std::uint32_t body = static_cast<std::uint32_t>(out.size() - 4);
     out[0] = static_cast<std::uint8_t>(body);
@@ -236,8 +266,7 @@ Decoder::Result Decoder::next_request(RequestFrame& out) {
         !c.u8(reserved) || !c.u64(f.request_id) || !c.u64(f.deadline_us) ||
         !c.u32(f.label))
         return fail(DecodeError::Malformed);
-    if (f.version != kProtocolVersion && f.version != kProtocolVersionV2)
-        return fail(DecodeError::BadVersion);
+    if (!known_version(f.version)) return fail(DecodeError::BadVersion);
     if (kind > static_cast<std::uint8_t>(MsgKind::Feedback))
         return fail(DecodeError::BadKind);
     if (f.priority > 2) return fail(DecodeError::BadPriority);
@@ -253,6 +282,13 @@ Decoder::Result Decoder::next_request(RequestFrame& out) {
         f.model.assign(reinterpret_cast<const char*>(c.p), model_len);
         c.p += model_len;
         c.left -= model_len;
+    }
+    if (f.version >= kProtocolVersionV3) {
+        // Undefined flag bits are rejected, not ignored: a client setting
+        // them speaks a protocol this decoder does not, and silently
+        // dropping its intent would be worse than closing the stream.
+        if (!c.u8(f.flags)) return fail(DecodeError::Malformed);
+        if (f.flags & ~kFlagTrace) return fail(DecodeError::Malformed);
     }
     if (!c.u8(rank)) return fail(DecodeError::Malformed);
     if (rank < 1 || rank > kMaxRank) return fail(DecodeError::BadShape);
@@ -292,8 +328,7 @@ Decoder::Result Decoder::next_response(ResponseFrame& out) {
     if (!c.u8(f.version) || !c.u8(status) || !c.u8(f.reject_reason) ||
         !c.u8(f.priority) || !c.u64(f.request_id))
         return fail(DecodeError::Malformed);
-    if (f.version != kProtocolVersion && f.version != kProtocolVersionV2)
-        return fail(DecodeError::BadVersion);
+    if (!known_version(f.version)) return fail(DecodeError::BadVersion);
     if (f.version >= kProtocolVersionV2) {
         std::uint8_t model_len = 0;
         if (!c.u8(model_len)) return fail(DecodeError::Malformed);
@@ -316,8 +351,22 @@ Decoder::Result Decoder::next_response(ResponseFrame& out) {
     for (std::int32_t& v : f.counts)
         if (!c.i32(v)) return fail(DecodeError::Malformed);
     if (!c.u32(errlen)) return fail(DecodeError::Malformed);
-    if (errlen != c.left) return fail(DecodeError::Malformed);
+    if (errlen > c.left) return fail(DecodeError::Malformed);
     f.error.assign(reinterpret_cast<const char*>(c.p), errlen);
+    c.p += errlen;
+    c.left -= errlen;
+    if (f.version >= kProtocolVersionV3) {
+        std::uint8_t nspans = 0;
+        if (!c.u8(nspans)) return fail(DecodeError::Malformed);
+        if (nspans > 7) return fail(DecodeError::Malformed);
+        f.trace.resize(nspans);
+        for (WireSpan& s : f.trace) {
+            if (!c.u8(s.id) || !c.u64(s.value))
+                return fail(DecodeError::Malformed);
+            if (s.id < 1 || s.id > 7) return fail(DecodeError::Malformed);
+        }
+    }
+    if (c.left != 0) return fail(DecodeError::Malformed);
 
     out = std::move(f);
     consume(4 + len);

@@ -14,13 +14,15 @@
 // the body; the decoder enforces a configurable body-size ceiling so a
 // hostile length prefix can never drive allocation.
 //
-// Two body versions coexist on the same stream, negotiated PER FRAME by
-// the leading version byte (docs/ARCHITECTURE.md §12). v2 adds exactly one
-// field to each direction — the model name addressing a fleet entry:
+// Three body versions coexist on the same stream, negotiated PER FRAME by
+// the leading version byte (docs/ARCHITECTURE.md §12, §14). v2 adds exactly
+// one field to each direction — the model name addressing a fleet entry;
+// v3 adds a flags byte to the request and a trace-span block to the
+// response (per-request tracing, docs/ARCHITECTURE.md §14):
 //
-//   request body (v1 | v2)              response body (v1 | v2)
-//   ----------------------              -----------------------
-//   u8  version (1 or 2)                u8  version (echoes the request's)
+//   request body (v1 | v2 | v3)         response body (v1 | v2 | v3)
+//   ---------------------------         ----------------------------
+//   u8  version (1, 2 or 3)             u8  version (echoes the request's)
 //   u8  kind (Predict|Counts|Feedback)  u8  status (Ok|Rejected|Error)
 //   u8  priority (serve::Priority)      u8  reject_reason (serve::RejectReason)
 //   u8  reserved (= 0)                  u8  priority
@@ -29,9 +31,14 @@
 //   u32 label (Feedback only)           u32 label
 //   [v2] u8 model_len,                  u64 latency_us
 //        u8 model[model_len]            u64 sojourn_us
-//   u8  rank (1..kMaxRank)              u32 batch_size
-//   u32 dims[rank]                      u32 ncounts, i32 counts[ncounts]
-//   f32 data[prod(dims)]                u32 error_len, u8 error[error_len]
+//   [v3] u8 flags (bit0 = want trace;   u32 batch_size
+//        other bits reserved, = 0)      u32 ncounts, i32 counts[ncounts]
+//   u8  rank (1..kMaxRank)              u32 error_len, u8 error[error_len]
+//   u32 dims[rank]                      [v3] u8 nspans,
+//   f32 data[prod(dims)]                     (u8 span_id, u64 value)[nspans]
+//
+// The v3 trace block is empty (nspans = 0) unless the request set the
+// trace flag; span ids are obs::SpanId values (1..7), each at most once.
 //
 // Negotiation table (server side):
 //   frame version | model field | routed to
@@ -42,6 +49,8 @@
 //   2             | "name"      | fleet entry "name"; v2 response echoes
 //                 |             | it (unknown names reject with
 //                 |             | serve::RejectReason::UnknownModel)
+//   3             | as v2       | as v2; flags bit0 additionally requests
+//                 |             | a span echo in the v3 response
 //   other         | —           | DecodeError::BadVersion, socket closed
 //
 // A declared model_len that overruns the body (or exceeds kMaxModelName)
@@ -67,6 +76,11 @@ namespace neuro::netd {
 inline constexpr std::uint8_t kProtocolVersion = 1;
 /// v2: adds the model-name field (multi-model routing).
 inline constexpr std::uint8_t kProtocolVersionV2 = 2;
+/// v3: adds the request flags byte and the response trace-span block.
+inline constexpr std::uint8_t kProtocolVersionV3 = 3;
+/// RequestFrame::flags bit asking the daemon to trace this request and
+/// echo its span breakdown in the response (obs::TraceContext).
+inline constexpr std::uint8_t kFlagTrace = 0x01;
 /// Default ceiling on a frame body; a 1 MiB body fits a ~256k-element
 /// tensor, far beyond any model this system serves.
 inline constexpr std::uint32_t kDefaultMaxFrameBytes = 1u << 20;
@@ -87,7 +101,7 @@ enum class WireStatus : std::uint8_t { Ok = 0, Rejected = 1, Error = 2 };
 /// connection: framing is lost, so the daemon closes the socket.
 enum class DecodeError : std::uint8_t {
     None = 0,
-    BadVersion,   ///< version byte is neither v1 nor v2
+    BadVersion,   ///< version byte is not a known protocol version
     BadKind,      ///< unknown MsgKind / WireStatus
     BadPriority,  ///< priority byte outside serve::Priority
     BadShape,     ///< rank/dims inconsistent with the body length
@@ -108,8 +122,19 @@ struct RequestFrame {
     /// v2: fleet entry to serve this request ("" = default model). Encoding
     /// a non-empty name requires version >= 2 (encode() throws otherwise).
     std::string model;
+    /// v3: request flags (kFlagTrace). Nonzero flags require version >= 3
+    /// (encode() throws otherwise); undefined bits are rejected on decode.
+    std::uint8_t flags = 0;
     std::vector<std::uint32_t> shape;  ///< tensor dims, rank 1..kMaxRank
     std::vector<float> data;           ///< row-major payload, size = prod(shape)
+};
+
+/// One (span id, value) pair of a v3 response's trace block. The id is an
+/// obs::SpanId (1..7); values are microseconds except the kernel spans,
+/// which are nanoseconds.
+struct WireSpan {
+    std::uint8_t id = 0;
+    std::uint64_t value = 0;
 };
 
 struct ResponseFrame {
@@ -127,6 +152,9 @@ struct ResponseFrame {
     std::uint32_t batch_size = 0;
     std::vector<std::int32_t> counts;  ///< filled for Counts requests
     std::string error;                 ///< exception text when status == Error
+    /// v3: span breakdown, nonempty only when the request asked to trace.
+    /// Encoding a nonempty block requires version >= 3 (encode() throws).
+    std::vector<WireSpan> trace;
 };
 
 /// Serializes a frame, length prefix included. Throws std::invalid_argument

@@ -1,11 +1,23 @@
 #include "online/engine.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "core/trainer.hpp"
+#include "obs/flight_recorder.hpp"
+#include "serve/clock.hpp"
 #include "serve/scheduler.hpp"
+
+namespace {
+/// Accuracy as integer parts-per-million — what the flight event's b word
+/// carries (events pack into u64 slots; 1e6 keeps 4 significant digits).
+std::uint64_t acc_ppm(double acc) {
+    return acc <= 0.0 ? 0
+                      : static_cast<std::uint64_t>(std::llround(acc * 1e6));
+}
+}  // namespace
 
 namespace neuro::online {
 
@@ -151,6 +163,10 @@ void OnlineEngine::evaluate_candidate() {
         const std::uint64_t version =
             model_->publish_weights(std::move(candidate));
         last_good_acc_ = acc;
+        if (opt_.recorder)
+            opt_.recorder->record(obs::EventKind::WeightPublish,
+                                  serve::default_clock()->now_us(), "online",
+                                  version, acc_ppm(acc));
         std::lock_guard<std::mutex> lock(stats_m_);
         ++stats_.candidates;
         ++stats_.published;
@@ -162,6 +178,10 @@ void OnlineEngine::evaluate_candidate() {
         // version keeps serving untouched; the learner restarts from it so
         // a bad feedback burst cannot compound across intervals.
         learner_->load_weights(last_good_);
+        if (opt_.recorder)
+            opt_.recorder->record(obs::EventKind::Rollback,
+                                  serve::default_clock()->now_us(), "online",
+                                  0, acc_ppm(acc));
         std::lock_guard<std::mutex> lock(stats_m_);
         ++stats_.candidates;
         ++stats_.rollbacks;

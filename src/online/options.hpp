@@ -7,6 +7,10 @@
 #include <cstdint>
 #include <string>
 
+namespace neuro::obs {
+class FlightRecorder;
+}
+
 namespace neuro::online {
 
 struct OnlineOptions {
@@ -45,6 +49,12 @@ struct OnlineOptions {
     /// halves the learning rate — conservative online updates on top of an
     /// already-good model, paper Sec. IV-B's step-1 spirit).
     int learning_shift_offset = 0;
+
+    /// Flight recorder for WeightPublish / Rollback events at the shadow-
+    /// eval gate (docs/ARCHITECTURE.md §14). Non-owning; must outlive the
+    /// engine. Null disables recording; determinism is unaffected either
+    /// way (events carry wall timestamps but never feed the learner).
+    obs::FlightRecorder* recorder = nullptr;
 };
 
 }  // namespace neuro::online

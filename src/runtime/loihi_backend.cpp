@@ -43,6 +43,9 @@ public:
     const loihi::ActivityTotals* activity() const override {
         return &net_.chip().activity();
     }
+    const loihi::KernelPhaseTimes* kernel_phases() const override {
+        return &net_.chip().kernel_phase_times();
+    }
     core::EmstdpNetwork* native_network() override { return &net_; }
 
 private:

@@ -23,6 +23,7 @@
 
 namespace neuro::loihi {
 struct ActivityTotals;
+struct KernelPhaseTimes;
 }
 namespace neuro::core {
 class EmstdpNetwork;
@@ -93,6 +94,14 @@ public:
     /// Activity counters for the energy model; null when the backend does
     /// not model events (Reference).
     virtual const loihi::ActivityTotals* activity() const { return nullptr; }
+    /// Cumulative kernel phase-timer sinks (sweep/accumulation wall time,
+    /// obs/timer.hpp — advance only while obs::set_timing(true)); null when
+    /// the backend has none. Read on the session's own thread only: the
+    /// serving workers snapshot before/after a request to attribute its
+    /// compute span (ARCHITECTURE §14).
+    virtual const loihi::KernelPhaseTimes* kernel_phases() const {
+        return nullptr;
+    }
     /// Escape hatch to the underlying simulated network for probing tools
     /// that predate the runtime API; null on non-chip backends.
     virtual core::EmstdpNetwork* native_network() { return nullptr; }

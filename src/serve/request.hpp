@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/tensor.hpp"
+#include "obs/trace.hpp"
 #include "serve/admission.hpp"
 
 namespace neuro::serve {
@@ -74,6 +75,11 @@ struct SubmitOptions {
     /// When set, the request resolves through this callback instead of a
     /// future (the push-style submit_async path).
     CompletionFn on_complete;
+    /// Request tracing: when true the router stamps every phase boundary
+    /// (intake, admission dequeue, batch collect, compute, resolve) into
+    /// InferenceResult::trace so the caller can attribute latency
+    /// (docs/ARCHITECTURE.md §14). Untraced requests skip every stamp.
+    bool trace = false;
 };
 
 struct InferenceResult {
@@ -95,6 +101,11 @@ struct InferenceResult {
     std::size_t batch_size = 0;
     /// Exception text when status == Error.
     std::string error;
+    /// Span breakdown; trace.enabled iff the request was submitted with
+    /// SubmitOptions::trace and reached the queue. The four phase spans
+    /// telescope to total_us(), which equals latency_us to clock
+    /// resolution for dispatched requests.
+    obs::TraceContext trace;
 };
 
 /// One-shot handle to an in-flight request. Move-only, like the future it
@@ -145,6 +156,9 @@ struct Request {
     /// is never touched (the future-less submit_async path — one fewer
     /// allocation and no blocking get() anywhere).
     CompletionFn on_complete;
+    /// Phase stamps accumulated as the request moves through the engine;
+    /// enabled iff SubmitOptions::trace was set. Copied into the result.
+    obs::TraceContext trace;
 
     /// Routes the result to whichever completion mechanism this request
     /// uses. Every accepted request is resolved exactly once.

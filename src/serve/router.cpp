@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "online/registry.hpp"
+#include "runtime/session.hpp"
 
 namespace neuro::serve {
 
@@ -180,6 +181,12 @@ void ModelRouter::enqueue_request(Request req, const SubmitOptions& opt) {
             return;
         }
     }
+    // Intake stamp: taken for traced requests, and for every request while
+    // the slow-request log is armed (its span breakdown needs the stamps
+    // whether or not the client asked for a trace echo).
+    req.trace.enabled = opt.trace;
+    if (opt.trace || options_.slow_request_us > 0)
+        req.trace.t_intake_us = clock_->now_us();
     // A relative SLO becomes an absolute Clock deadline at the intake; the
     // queue compares against the same clock at the head.
     const std::uint64_t deadline_us =
@@ -282,6 +289,9 @@ void ModelRouter::load_locked(Entry& e, std::uint64_t version) {
     resident_bytes_ += e.base_bytes;
     std::fill(e.refreshed_batch.begin(), e.refreshed_batch.end(), 0);
     ++e.loads;
+    if (options_.recorder)
+        options_.recorder->record(obs::EventKind::ModelLoad, clock_->now_us(),
+                                  e.name, e.base_bytes, version);
     // A surviving canary configuration (e.g. after an LRU evict) comes
     // back with the entry, so the split an operator set keeps holding.
     if (e.canary_version != 0 && e.canary_pct != 0) {
@@ -326,6 +336,11 @@ void ModelRouter::evict_locked(const Entry* keep) {
         }
         if (!victim) return;  // soft ceiling: nothing is evictable
         ++victim->evictions;
+        if (options_.recorder)
+            options_.recorder->record(obs::EventKind::Eviction,
+                                      clock_->now_us(), victim->name,
+                                      victim->base_bytes + victim->canary_bytes,
+                                      victim->base_version);
         drop_arms_locked(*victim, /*keep_canary_config=*/true);
     }
 }
@@ -366,7 +381,8 @@ ModelRouter::DispatchSlot ModelRouter::acquire_slot(
     return slot;
 }
 
-void ModelRouter::release_slot(const DispatchSlot& slot, bool ok) {
+void ModelRouter::release_slot(const DispatchSlot& slot, bool ok,
+                               double latency_us) {
     std::lock_guard<std::mutex> lk(entries_m_);
     Entry& e = *slot.entry;
     if (slot.canary) {
@@ -376,6 +392,33 @@ void ModelRouter::release_slot(const DispatchSlot& slot, bool ok) {
         --e.base_inflight;
         ok ? ++e.base_ok : ++e.base_errors;
     }
+    // Per-model latency is arm-agnostic (the canary split is a routing
+    // detail, not a separate service) and excludes error outcomes, which
+    // pass latency_us < 0.
+    if (latency_us >= 0.0) e.latency.record(latency_us);
+}
+
+void ModelRouter::on_head_drop(const Dropped<Request>& d) {
+    // collect_admitted invokes its on_drop callback OUTSIDE the queue lock
+    // (admission.hpp pins that), so taking entries_m_ here cannot deadlock.
+    // The entry exists: intake registers every addressable name before the
+    // request may enter the queue — but an empty fleet_dir race is cheap to
+    // tolerate, so a miss just skips per-model attribution.
+    std::lock_guard<std::mutex> lk(entries_m_);
+    const auto it = entries_.find(d.value.model);
+    if (it != entries_.end()) {
+        if (d.cause == DropCause::DeadlineExceeded)
+            ++it->second->deadline_dropped;
+        else
+            ++it->second->codel_dropped;
+    }
+    if (options_.recorder)
+        options_.recorder->record(
+            d.cause == DropCause::DeadlineExceeded
+                ? obs::EventKind::DeadlineDrop
+                : obs::EventKind::CoDelDrop,
+            clock_->now_us(), d.value.model, d.sojourn_us,
+            static_cast<std::uint64_t>(d.cls));
 }
 
 void ModelRouter::worker_loop(std::size_t worker_index) {
@@ -386,6 +429,7 @@ void ModelRouter::worker_loop(std::size_t worker_index) {
     // Head drops resolve here, on the worker thread: the request WAS
     // accepted, so its future must complete — as an explicit rejection.
     const auto reject_drop = [this](Dropped<Request>&& d) {
+        on_head_drop(d);
         InferenceResult res = rejected_result(
             d.cause == DropCause::DeadlineExceeded
                 ? RejectReason::DeadlineExceeded
@@ -402,6 +446,16 @@ void ModelRouter::worker_loop(std::size_t worker_index) {
         std::size_t error_count = 0;
         for (Admitted<Request>& a : batch) {
             Request& r = a.value;
+            // Stamps are taken whenever the request is traced or the
+            // slow-request log is armed; a disabled trace costs one branch.
+            const bool stamping =
+                r.trace.enabled || options_.slow_request_us > 0;
+            if (stamping) {
+                // Dequeue time is derived from the sojourn the queue
+                // already measured — no extra clock read at the head.
+                r.trace.t_dequeue_us = a.enqueued_at_us + a.sojourn_us;
+                r.trace.t_dispatch_us = clock_->now_us();
+            }
             InferenceResult res;
             res.batch_size = batch.size();
             res.priority = a.cls;
@@ -412,11 +466,24 @@ void ModelRouter::worker_loop(std::size_t worker_index) {
                 // still complete, as an explicit Error.
                 res.status = Status::Error;
                 res.error = slot.error;
+                // Keep the span chain telescoping: no compute happened.
+                if (stamping) r.trace.t_compute_done_us = clock_->now_us();
             } else {
                 // Inference runs outside entries_m_; the inflight share
                 // taken in acquire_slot keeps the sessions alive.
                 if (slot.do_refresh && slot.session->refresh())
                     metrics_.on_weight_refresh();
+                // Kernel phase attribution: the session's cumulative
+                // sweep/accumulate sinks are deltaed around the compute
+                // call. Same-thread reads — a session is owned by this
+                // worker — so plain loads are safe.
+                const loihi::KernelPhaseTimes* phases =
+                    stamping ? slot.session->kernel_phases() : nullptr;
+                std::uint64_t sweep0 = 0, accum0 = 0;
+                if (phases) {
+                    sweep0 = phases->sweep_ns;
+                    accum0 = phases->accum_ns;
+                }
                 try {
                     if (r.kind == Request::Kind::Predict) {
                         res.label = slot.session->predict(r.image);
@@ -432,11 +499,43 @@ void ModelRouter::worker_loop(std::size_t worker_index) {
                     res.status = Status::Error;
                     res.error = e.what();
                 }
-                release_slot(slot, res.status == Status::Ok);
+                if (phases) {
+                    r.trace.kernel_sweep_ns = phases->sweep_ns - sweep0;
+                    r.trace.kernel_accum_ns = phases->accum_ns - accum0;
+                }
+                if (stamping) r.trace.t_compute_done_us = clock_->now_us();
+                const std::uint64_t now = clock_->now_us();
+                const double latency = static_cast<double>(
+                    now >= a.enqueued_at_us ? now - a.enqueued_at_us : 0);
+                release_slot(slot, res.status == Status::Ok,
+                             res.status == Status::Ok ? latency : -1.0);
             }
+            // t_complete shares the clock read that defines latency_us, so
+            // a trace's span sum telescopes to the reported wall latency
+            // exactly (ISSUE acceptance: within 5% by construction).
             const std::uint64_t now = clock_->now_us();
+            if (stamping) r.trace.t_complete_us = now;
             res.latency_us = static_cast<double>(
                 now >= a.enqueued_at_us ? now - a.enqueued_at_us : 0);
+            if (r.trace.enabled) res.trace = r.trace;
+            if (options_.recorder && options_.slow_request_us > 0 &&
+                res.latency_us >
+                    static_cast<double>(options_.slow_request_us)) {
+                obs::Event ev;
+                ev.t_us = now;
+                ev.kind = obs::EventKind::SlowRequest;
+                ev.a = r.request_id;
+                ev.b = static_cast<std::uint64_t>(res.latency_us);
+                ev.spans[0] = r.trace.queue_us();
+                ev.spans[1] = r.trace.batch_us();
+                ev.spans[2] = r.trace.compute_us();
+                ev.spans[3] = r.trace.resolve_us();
+                ev.spans[4] = r.trace.kernel_sweep_ns;
+                ev.spans[5] = r.trace.kernel_accum_ns;
+                ev.spans[6] = r.trace.total_us();
+                ev.set_detail(r.model);
+                options_.recorder->record(ev);
+            }
             sojourns_us.push_back(res.sojourn_us);
             if (res.status == Status::Ok)
                 ok_latencies_us.push_back(res.latency_us);
@@ -500,6 +599,9 @@ std::uint64_t ModelRouter::pin(const std::string& name,
         online::ModelRegistry reg(dir);
         e.model->publish_weights(reg.load(version));
         e.base_version = version;
+        if (options_.recorder)
+            options_.recorder->record(obs::EventKind::WeightPublish,
+                                      clock_->now_us(), e.name, version, 0);
     } else {
         load_locked(e, version);
     }
@@ -518,6 +620,10 @@ void ModelRouter::set_canary(const std::string& name, std::uint64_t version,
             Entry& e = find_or_register_locked(name);
             if (!clearing && e.canary_model && e.canary_version == version) {
                 e.canary_pct = pct;  // same arm, new split — no rebuild
+                if (options_.recorder)
+                    options_.recorder->record(obs::EventKind::CanaryChange,
+                                              clock_->now_us(), e.name, pct,
+                                              version);
                 return;
             }
             // Stop routing new work to the old arm first; it then drains
@@ -526,7 +632,13 @@ void ModelRouter::set_canary(const std::string& name, std::uint64_t version,
             if (e.canary_inflight == 0) {
                 drop_canary_arm_locked(e);
                 e.canary_version = 0;
-                if (clearing) return;
+                if (clearing) {
+                    if (options_.recorder)
+                        options_.recorder->record(
+                            obs::EventKind::CanaryChange, clock_->now_us(),
+                            e.name, 0, 0);
+                    return;
+                }
                 if (!e.model) load_locked(e, 0);
                 const std::string dir = registry_dir_locked(e);
                 if (dir.empty())
@@ -542,6 +654,10 @@ void ModelRouter::set_canary(const std::string& name, std::uint64_t version,
                 e.canary_version = version;
                 e.canary_pct = pct;
                 evict_locked(&e);
+                if (options_.recorder)
+                    options_.recorder->record(obs::EventKind::CanaryChange,
+                                              clock_->now_us(), e.name, pct,
+                                              version);
                 return;
             }
         }
@@ -572,6 +688,16 @@ ModelEntryStats ModelRouter::entry_stats_locked(const Entry& e) const {
     s.weight_bytes = e.base_bytes + e.canary_bytes;
     s.last_used = e.lru_seq;
     s.inflight = e.base_inflight + e.canary_inflight;
+    s.codel_dropped = e.codel_dropped;
+    s.deadline_dropped = e.deadline_dropped;
+    s.latency_count = e.latency.count();
+    if (s.latency_count > 0) {
+        s.p50_us = e.latency.percentile(0.50);
+        s.p95_us = e.latency.percentile(0.95);
+        s.p99_us = e.latency.percentile(0.99);
+        s.mean_us = e.latency.mean_us();
+        s.max_us = e.latency.max_us();
+    }
     return s;
 }
 

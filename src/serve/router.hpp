@@ -63,7 +63,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/tensor.hpp"
+#include "obs/flight_recorder.hpp"
 #include "runtime/compiled_model.hpp"
 #include "serve/admission.hpp"
 #include "serve/clock.hpp"
@@ -98,6 +100,16 @@ struct RouterOptions {
     /// arm fleet-wide (the always-pinned default entry counts too). 0 =
     /// unlimited. Soft ceiling: pinned/inflight entries are never evicted.
     std::size_t resident_budget_bytes = 0;
+    /// Flight recorder for control-plane events (admission drops, LRU
+    /// evictions, model loads, canary changes, slow requests —
+    /// docs/ARCHITECTURE.md §14). Non-owning; must outlive the router.
+    /// Null disables recording. neurod wires obs::default_recorder().
+    obs::FlightRecorder* recorder = nullptr;
+    /// Slow-request log threshold: a dispatched request whose wall latency
+    /// exceeds this many microseconds is recorded as a SlowRequest event
+    /// with its full span breakdown (phase stamps are taken for every
+    /// request while this is nonzero, traced or not). 0 disables.
+    std::uint64_t slow_request_us = 0;
 };
 
 /// Point-in-time view of one fleet entry (the control plane's `models` /
@@ -121,6 +133,19 @@ struct ModelEntryStats {
     std::size_t weight_bytes = 0;      ///< resident bytes (both arms)
     std::uint64_t last_used = 0;       ///< LRU sequence (higher = hotter)
     std::uint64_t inflight = 0;        ///< requests executing right now
+    /// Admission drops attributed to this entry (same names as the global
+    /// ServerStats schema; the global totals also count requests for the
+    /// default entry "", which these per-model rows break out).
+    std::uint64_t codel_dropped = 0;
+    std::uint64_t deadline_dropped = 0;
+    /// Per-model dispatch latency (accept → complete, Ok outcomes only),
+    /// from the entry's own log-bucketed histogram.
+    std::uint64_t latency_count = 0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double mean_us = 0.0;
+    double max_us = 0.0;
 };
 
 class ModelRouter {
@@ -256,6 +281,10 @@ private:
         std::uint64_t base_dispatched = 0, base_ok = 0, base_errors = 0;
         std::uint64_t canary_dispatched = 0, canary_ok = 0,
                       canary_errors = 0;
+        /// Head drops attributed to this entry by the reject path.
+        std::uint64_t codel_dropped = 0, deadline_dropped = 0;
+        /// Per-model accept→complete latency (Ok outcomes; both arms).
+        common::LatencyHistogram latency;
         /// Per-worker ordinal of the last batch whose boundary refreshed
         /// the base session — refresh runs once per (entry, worker, batch).
         std::vector<std::uint64_t> refreshed_batch;
@@ -298,7 +327,11 @@ private:
     std::string registry_dir_locked(const Entry& e) const;
     DispatchSlot acquire_slot(const Request& r, std::size_t worker,
                               std::uint64_t batch_ordinal);
-    void release_slot(const DispatchSlot& slot, bool ok);
+    /// `latency_us` < 0 skips the per-model histogram (error outcomes).
+    void release_slot(const DispatchSlot& slot, bool ok, double latency_us);
+    /// Attributes an admission head drop to its entry's counters and the
+    /// flight recorder (called outside the queue lock).
+    void on_head_drop(const Dropped<Request>& d);
     ModelEntryStats entry_stats_locked(const Entry& e) const;
 
     std::mutex lifecycle_m_;  // serializes start()/shutdown()

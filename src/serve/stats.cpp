@@ -57,11 +57,12 @@ ServerStats ServerMetrics::snapshot(double elapsed_s,
     s.batches = batches_;
     for (std::size_t c = 0; c < kPriorityClasses; ++c) {
         s.class_accepted[c] = queue.accepted[c] + feedback.accepted[c];
-        s.class_dropped[c] = queue.codel_dropped[c] + feedback.codel_dropped[c];
-        s.class_deadline_missed[c] =
+        s.class_codel_dropped[c] =
+            queue.codel_dropped[c] + feedback.codel_dropped[c];
+        s.class_deadline_dropped[c] =
             queue.deadline_dropped[c] + feedback.deadline_dropped[c];
-        s.codel_dropped += s.class_dropped[c];
-        s.deadline_missed += s.class_deadline_missed[c];
+        s.codel_dropped += s.class_codel_dropped[c];
+        s.deadline_dropped += s.class_deadline_dropped[c];
     }
     s.drop_state_entries =
         queue.drop_state_entries + feedback.drop_state_entries;

@@ -36,14 +36,18 @@ struct ServerStats {
     std::uint64_t batches = 0;    ///< dispatch units executed
 
     // ---- admission layer (docs/ARCHITECTURE.md §10) ----
+    // Drop-counter naming matches AdmissionCounters verbatim — the one
+    // schema every surface (this struct, stats_to_json, the per-model
+    // entry JSON) uses: codel_dropped / deadline_dropped, class arrays
+    // prefixed class_.
     /// Accepted per class, across request + feedback queues.
     std::array<std::uint64_t, kPriorityClasses> class_accepted{};
     /// CoDel head drops per class (accepted, then shed as Overload).
-    std::array<std::uint64_t, kPriorityClasses> class_dropped{};
+    std::array<std::uint64_t, kPriorityClasses> class_codel_dropped{};
     /// Deadline-expired drops per class (never dispatched).
-    std::array<std::uint64_t, kPriorityClasses> class_deadline_missed{};
-    std::uint64_t codel_dropped = 0;     ///< sum of class_dropped
-    std::uint64_t deadline_missed = 0;   ///< sum of class_deadline_missed
+    std::array<std::uint64_t, kPriorityClasses> class_deadline_dropped{};
+    std::uint64_t codel_dropped = 0;     ///< sum of class_codel_dropped
+    std::uint64_t deadline_dropped = 0;  ///< sum of class_deadline_dropped
     /// Times the CoDel state machines entered the drop state.
     std::uint64_t drop_state_entries = 0;
     /// Queue-wait (sojourn) percentiles over everything that left a head —

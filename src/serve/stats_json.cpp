@@ -30,10 +30,11 @@ std::string stats_to_json(const ServerStats& s) {
         .add("errors", s.errors)
         .add("batches", s.batches)
         .add_raw("class_accepted", class_array(s.class_accepted))
-        .add_raw("class_dropped", class_array(s.class_dropped))
-        .add_raw("class_deadline_missed", class_array(s.class_deadline_missed))
+        .add_raw("class_codel_dropped", class_array(s.class_codel_dropped))
+        .add_raw("class_deadline_dropped",
+                 class_array(s.class_deadline_dropped))
         .add("codel_dropped", s.codel_dropped)
-        .add("deadline_missed", s.deadline_missed)
+        .add("deadline_dropped", s.deadline_dropped)
         .add("drop_state_entries", s.drop_state_entries)
         .add("sojourn_p50_us", s.sojourn_p50_us)
         .add("sojourn_p95_us", s.sojourn_p95_us)

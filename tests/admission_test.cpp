@@ -506,8 +506,8 @@ TEST(ServerAdmission, ExpiredDeadlineResolvesRejectedWithoutASessionSlot) {
     const serve::ServerStats s = server.stats();
     EXPECT_EQ(s.accepted, 4u);
     EXPECT_EQ(s.completed, 1u);
-    EXPECT_EQ(s.deadline_missed, 3u);
-    EXPECT_EQ(s.class_deadline_missed[kI], 3u);
+    EXPECT_EQ(s.deadline_dropped, 3u);
+    EXPECT_EQ(s.class_deadline_dropped[kI], 3u);
     EXPECT_EQ(s.codel_dropped, 0u);
     EXPECT_EQ(s.errors, 0u);
 }
@@ -533,7 +533,7 @@ TEST(ServerAdmission, PriorityClassRoundTripsIntoResultAndStats) {
     const serve::ServerStats s = server.stats();
     EXPECT_EQ(s.class_accepted[kB], 1u);
     EXPECT_EQ(s.class_accepted[kF], 1u);  // feedback rides the Feedback class
-    EXPECT_EQ(s.class_dropped[kB], 0u);
+    EXPECT_EQ(s.class_codel_dropped[kB], 0u);
     EXPECT_EQ(s.drop_state_entries, 0u);
 }
 
@@ -576,7 +576,7 @@ TEST(ServerAdmission, NoDropAdmissionIsBitIdenticalToDefaultServerAndSession) {
 
     const serve::ServerStats s = server.stats();
     EXPECT_EQ(s.codel_dropped, 0u);
-    EXPECT_EQ(s.deadline_missed, 0u);
+    EXPECT_EQ(s.deadline_dropped, 0u);
     EXPECT_EQ(s.drop_state_entries, 0u);
     EXPECT_EQ(s.class_accepted[kI] + s.class_accepted[kB],
               data.samples.size());

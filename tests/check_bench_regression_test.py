@@ -309,6 +309,57 @@ class GateTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertNotIn("sparse", out)
 
+    # ---- tracing tax (serving_trace per-rule tolerance) ----------------------
+
+    @staticmethod
+    def trace_rows(off_rps, on_rps):
+        return [
+            {"config": "trace-off", "mode": "trace", "throughput_rps": off_rps},
+            {"config": "trace-on", "mode": "trace", "throughput_rps": on_rps},
+        ]
+
+    def test_trace_overhead_within_five_percent_passes(self):
+        # Baseline ratio 1.0, current 0.96 on a 10x slower machine: the 5%
+        # per-rule tolerance admits it regardless of the CLI-wide default.
+        self.write(self.baselines, "serving_trace",
+                   self.trace_rows(1000.0, 1000.0))
+        self.write(self.results, "serving_trace",
+                   self.trace_rows(100.0, 96.0))
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+
+    def test_trace_overhead_uses_rule_tolerance_not_cli_tolerance(self):
+        # Ratio 1.0 -> 0.90: inside the CLI-wide 20% but outside the rule's
+        # 5% — the per-rule override must win.
+        self.write(self.baselines, "serving_trace",
+                   self.trace_rows(1000.0, 1000.0))
+        self.write(self.results, "serving_trace",
+                   self.trace_rows(1000.0, 900.0))
+        code, out = self.run_gate("--tolerance", "0.20")
+        self.assertEqual(code, 1, out)
+        self.assertIn("trace-on", out)
+        self.assertIn("tolerance 5%", out)
+
+    def test_trace_rule_tolerance_does_not_leak_to_other_benches(self):
+        # A 10% serving_load drop is fine under the CLI-wide 20% even when
+        # the serving_trace rule (5%) is checked in the same invocation.
+        self.write(self.baselines, "serving_trace",
+                   self.trace_rows(1000.0, 1000.0))
+        self.write(self.results, "serving_trace",
+                   self.trace_rows(1000.0, 990.0))
+        self.write(self.baselines, "serving_load",
+                   [{"config": "closed, workers=1, batch=1",
+                     "throughput_rps": 100.0},
+                    {"config": "closed, workers=4, batch=1",
+                     "throughput_rps": 300.0}])
+        self.write(self.results, "serving_load",
+                   [{"config": "closed, workers=1, batch=1",
+                     "throughput_rps": 100.0},
+                    {"config": "closed, workers=4, batch=1",
+                     "throughput_rps": 270.0}])
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+
     # ---- accuracy rules ------------------------------------------------------
 
     def test_min_baseline_skips_chance_level_rows(self):

@@ -10,6 +10,8 @@
 //   * v2 frames carry the model field both directions, v1 and v2 coexist
 //     on one stream, and a declared model_len that overruns the body (or
 //     the kMaxModelName ceiling) poisons the decoder (BadModel),
+//   * v3 frames carry the trace flag / span block; undefined flag bits and
+//     out-of-range span ids are rejected, and the block round-trips,
 //   * a decoder that errored is poisoned: framing is unrecoverable.
 
 #include <gtest/gtest.h>
@@ -278,8 +280,8 @@ TEST(NetdProtocol, ZeroLengthBodyIsMalformed) {
 }
 
 TEST(NetdProtocol, WrongVersionRejected) {
-    // v1 and v2 are the negotiable set; anything above is unknown.
-    EXPECT_EQ(decode_error_of(raw_request(netd::kProtocolVersionV2 + 1, 0, 0,
+    // v1..v3 are the negotiable set; anything above is unknown.
+    EXPECT_EQ(decode_error_of(raw_request(netd::kProtocolVersionV3 + 1, 0, 0,
                                           0, 1, {4}, 4)),
               DecodeError::BadVersion);
     EXPECT_EQ(decode_error_of(raw_request(0, 0, 0, 0, 1, {4}, 4)),
@@ -358,7 +360,7 @@ TEST(NetdProtocol, HeaderShorterThanFixedFieldsIsMalformed) {
 TEST(NetdProtocol, ErrorPoisonsTheDecoder) {
     Decoder d;
     const auto bad =
-        raw_request(netd::kProtocolVersionV2 + 1, 0, 0, 0, 1, {4}, 4);
+        raw_request(netd::kProtocolVersionV3 + 1, 0, 0, 0, 1, {4}, 4);
     d.feed(bad.data(), bad.size());
     RequestFrame f;
     ASSERT_EQ(d.next_request(f), Decoder::Result::Error);
@@ -539,6 +541,116 @@ TEST(NetdProtocol, V2ResponseModelOverrunRejected) {
     EXPECT_EQ(d.error(), DecodeError::BadModel);
 }
 
+// ---- v3: trace flag and span block ------------------------------------------
+
+TEST(NetdProtocol, V3RequestRoundTripPreservesFlagsAndModel) {
+    RequestFrame in = sample_request();
+    in.version = netd::kProtocolVersionV3;
+    in.model = "tenant-a";
+    in.flags = netd::kFlagTrace;
+    const auto bytes = netd::encode(in);
+
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    RequestFrame out;
+    ASSERT_EQ(d.next_request(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.version, netd::kProtocolVersionV3);
+    EXPECT_EQ(out.flags, netd::kFlagTrace);
+    EXPECT_EQ(out.model, in.model);
+    EXPECT_EQ(out.deadline_us, in.deadline_us);
+    EXPECT_EQ(out.data, in.data);
+    EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(NetdProtocol, V3ResponseRoundTripPreservesTraceSpans) {
+    ResponseFrame in = sample_response();
+    in.version = netd::kProtocolVersionV3;
+    in.model = "tenant-a";
+    for (std::uint8_t id = 1; id <= 7; ++id)
+        in.trace.push_back({id, 1000ull * id + id});
+    const auto bytes = netd::encode(in);
+
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    ResponseFrame out;
+    ASSERT_EQ(d.next_response(out), Decoder::Result::Frame);
+    EXPECT_EQ(out.version, netd::kProtocolVersionV3);
+    ASSERT_EQ(out.trace.size(), in.trace.size());
+    for (std::size_t i = 0; i < in.trace.size(); ++i) {
+        EXPECT_EQ(out.trace[i].id, in.trace[i].id);
+        EXPECT_EQ(out.trace[i].value, in.trace[i].value);
+    }
+}
+
+TEST(NetdProtocol, V3EmptyTraceBlockRoundTripsUntraced) {
+    // flags = 0 on the request, nspans = 0 on the response: v3 without
+    // tracing costs one byte each way and decodes to empty fields.
+    RequestFrame req = sample_request();
+    req.version = netd::kProtocolVersionV3;
+    const auto rbytes = netd::encode(req);
+    Decoder dr;
+    dr.feed(rbytes.data(), rbytes.size());
+    RequestFrame rout;
+    ASSERT_EQ(dr.next_request(rout), Decoder::Result::Frame);
+    EXPECT_EQ(rout.flags, 0u);
+
+    ResponseFrame resp = sample_response();
+    resp.version = netd::kProtocolVersionV3;
+    const auto bytes = netd::encode(resp);
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    ResponseFrame out;
+    ASSERT_EQ(d.next_response(out), Decoder::Result::Frame);
+    EXPECT_TRUE(out.trace.empty());
+}
+
+TEST(NetdProtocol, V3UndefinedFlagBitsRejectedOnDecode) {
+    RequestFrame in = sample_request();
+    in.version = netd::kProtocolVersionV3;
+    in.flags = netd::kFlagTrace;
+    auto bytes = netd::encode(in);
+    // Body layout: version..reserved (4) + id/deadline (16) + label (4) +
+    // model_len (1, empty model) + flags — so flags sits at 4 + 25.
+    const std::size_t flags_off = 4 + 25;
+    ASSERT_EQ(bytes[flags_off], netd::kFlagTrace);
+    bytes[flags_off] = 0x03;  // bit1 is reserved
+    EXPECT_EQ(decode_error_of(bytes), DecodeError::Malformed);
+}
+
+TEST(NetdProtocol, V3SpanIdOutOfRangeRejectedOnDecode) {
+    ResponseFrame in = sample_response();
+    in.version = netd::kProtocolVersionV3;
+    in.trace = {{7, 123}};
+    auto bytes = netd::encode(in);
+    // The span block is the frame's tail: nspans, then (id, u64) — the id
+    // byte sits 9 bytes from the end regardless of counts/error lengths.
+    const std::size_t id_off = bytes.size() - 9;
+    ASSERT_EQ(bytes[id_off], 7u);
+    bytes[id_off] = 8;
+    Decoder d;
+    d.feed(bytes.data(), bytes.size());
+    ResponseFrame out;
+    EXPECT_EQ(d.next_response(out), Decoder::Result::Error);
+    EXPECT_EQ(d.error(), DecodeError::Malformed);
+}
+
+TEST(NetdProtocol, V3EncodeRejectsFlagAndSpanMisuse) {
+    // Flags need v3; span ids must be 1..7 and the block at most 7 long.
+    RequestFrame f = sample_request();
+    f.version = netd::kProtocolVersionV2;
+    f.flags = netd::kFlagTrace;
+    EXPECT_THROW(netd::encode(f), std::invalid_argument);
+
+    ResponseFrame r = sample_response();
+    r.version = netd::kProtocolVersionV3;
+    r.trace = {{0, 1}};
+    EXPECT_THROW(netd::encode(r), std::invalid_argument);
+    r.trace = {{8, 1}};
+    EXPECT_THROW(netd::encode(r), std::invalid_argument);
+    r.trace.assign(8, {1, 1});
+    EXPECT_THROW(netd::encode(r), std::invalid_argument);
+}
+
 // ---- encoder validation -----------------------------------------------------
 
 TEST(NetdProtocol, EncodeRejectsSelfInconsistentFrames) {
@@ -570,7 +682,7 @@ TEST(NetdProtocol, EncodeRejectsModelMisuse) {
     f.model = "tenant-a";  // still version 1
     EXPECT_THROW(netd::encode(f), std::invalid_argument);
 
-    f.version = netd::kProtocolVersionV2 + 1;
+    f.version = netd::kProtocolVersionV3 + 1;
     f.model = "";
     EXPECT_THROW(netd::encode(f), std::invalid_argument);
 

@@ -34,6 +34,9 @@
 #include "data/dataset.hpp"
 #include "netd/client.hpp"
 #include "netd/daemon.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "online/registry.hpp"
 #include "runtime/compiled_model.hpp"
 #include "serve/clock.hpp"
@@ -138,6 +141,9 @@ struct Harness {
     /// router-native Daemon instead of the legacy Server + compat ctor.
     std::string fleet_dir;
     std::size_t budget_bytes = 0;
+    /// Observability knobs for the fleet branch (RouterOptions).
+    obs::FlightRecorder* recorder = nullptr;
+    std::uint64_t slow_request_us = 0;
 
     std::shared_ptr<serve::Server> server;
     std::shared_ptr<serve::ModelRouter> router;
@@ -174,6 +180,8 @@ struct Harness {
             ropt.clock = sopt.clock;
             ropt.fleet_dir = fleet_dir;
             ropt.resident_budget_bytes = budget_bytes;
+            ropt.recorder = recorder;
+            ropt.slow_request_us = slow_request_us;
             router = std::make_shared<serve::ModelRouter>(model, ropt);
             if (start_server) router->start();
             daemon = std::make_unique<netd::Daemon>(router, dopt, registry);
@@ -622,4 +630,175 @@ TEST(Netd, FleetControlCommandsDriveTheRouter) {
     EXPECT_NE(after.find("\"name\":\"alpha\""), std::string::npos);
 
     std::filesystem::remove_all(h.fleet_dir);
+}
+
+// ---- observability (docs/ARCHITECTURE.md §14) -------------------------------
+
+TEST(Netd, MetricsScrapeExposesServerAndDaemonFamilies) {
+    obs::Registry reg;
+    Harness h;
+    h.dopt.metrics = &reg;
+    h.start();
+    const auto img = make_images(1).samples[0].image;
+    auto client = h.connect();
+    for (std::uint64_t id = 1; id <= 4; ++id) {
+        const auto resp = client.call(make_frame(img, id));
+        ASSERT_EQ(resp.status, WireStatus::Ok) << resp.error;
+    }
+
+    const std::string text =
+        netd::control_request_multiline(h.dopt.control_path, "metrics");
+    // Well-formed exposition: HELP/TYPE headers, the absorbed ServerStats
+    // and DaemonStats families with live values, "# EOF" terminator line.
+    EXPECT_NE(text.find("# TYPE "), std::string::npos) << text;
+    EXPECT_NE(text.find("# HELP "), std::string::npos);
+    EXPECT_NE(text.find("neuro_server_accepted_total 4"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("neuro_server_completed_total 4"), std::string::npos);
+    EXPECT_NE(text.find("neuro_daemon_frames_in_total 4"), std::string::npos);
+    EXPECT_NE(text.find("neuro_daemon_connections_open "), std::string::npos);
+    EXPECT_NE(text.find("neuro_server_latency_us{quantile=\"0.99\"}"),
+              std::string::npos);
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+    // Scrapes are deterministic in shape: a second one still terminates.
+    const std::string again =
+        netd::control_request_multiline(h.dopt.control_path, "metrics");
+    EXPECT_EQ(again.substr(again.size() - 6), "# EOF\n");
+}
+
+TEST(Netd, MetricsScrapeCoversTheFleetPerModelFamilies) {
+    obs::Registry reg;
+    Harness h;
+    h.fleet_dir = make_fleet("metrics", *h.model, {{"alpha", 1}});
+    h.dopt.metrics = &reg;
+    h.start();
+    EXPECT_EQ(h.control("load alpha"), "ok loaded alpha version 1");
+    const auto img = make_images(1).samples[0].image;
+    auto client = h.connect();
+    const auto resp = client.call(make_v2_frame(img, 1, "alpha"));
+    ASSERT_EQ(resp.status, WireStatus::Ok) << resp.error;
+
+    const std::string text =
+        netd::control_request_multiline(h.dopt.control_path, "metrics");
+    EXPECT_NE(text.find("{model=\"alpha\""), std::string::npos) << text;
+    EXPECT_NE(text.find("neuro_model_dispatched_total"), std::string::npos);
+    EXPECT_NE(text.find("neuro_model_weight_bytes{model=\"alpha\"}"),
+              std::string::npos);
+    std::filesystem::remove_all(h.fleet_dir);
+}
+
+TEST(Netd, MetricsWithoutRegistryAndEventsWithoutRecorderErr) {
+    Harness h;
+    h.start();
+    EXPECT_EQ(h.control("metrics"), "err no metrics registry");
+    EXPECT_EQ(h.control("events"), "err no recorder");
+    // The multiline client returns a bare err line without waiting for a
+    // terminator that will never come.
+    EXPECT_EQ(netd::control_request_multiline(h.dopt.control_path, "metrics"),
+              "err no metrics registry");
+}
+
+TEST(Netd, EventsDumpRecordsControlPlaneHistory) {
+    obs::FlightRecorder rec(64);
+    Harness h;
+    h.fleet_dir = make_fleet("events", *h.model, {{"alpha", 1}});
+    h.recorder = &rec;
+    h.start();
+    EXPECT_EQ(h.control("load alpha"), "ok loaded alpha version 1");
+    EXPECT_EQ(h.control("pin alpha 1"), "ok pinned alpha 1");
+
+    const std::string events = h.control("events");
+    ASSERT_EQ(events.rfind("ok [", 0), 0u) << events;
+    EXPECT_NE(events.find("\"kind\":\"model_load\""), std::string::npos)
+        << events;
+    EXPECT_NE(events.find("\"kind\":\"weight_publish\""), std::string::npos);
+    EXPECT_NE(events.find("\"detail\":\"alpha\""), std::string::npos);
+
+    // `events N` narrows the dump to the newest N.
+    const std::string one = h.control("events 1");
+    ASSERT_EQ(one.rfind("ok [", 0), 0u) << one;
+    EXPECT_EQ(one.find("\"kind\":\"model_load\""), std::string::npos) << one;
+    std::filesystem::remove_all(h.fleet_dir);
+}
+
+TEST(Netd, SlowRequestEventsCarryTheSpanBreakdown) {
+    obs::FlightRecorder rec(64);
+    Harness h;
+    h.fleet_dir = make_fleet("slow", *h.model, {{"alpha", 1}});
+    h.recorder = &rec;
+    h.slow_request_us = 1;  // every dispatched request is "slow"
+    h.start();
+    const auto img = make_images(1).samples[0].image;
+    auto client = h.connect();
+    const auto resp = client.call(make_v2_frame(img, 31, "alpha"));
+    ASSERT_EQ(resp.status, WireStatus::Ok) << resp.error;
+
+    ASSERT_TRUE(eventually([&] {
+        return h.control("events").find("\"kind\":\"slow_request\"") !=
+               std::string::npos;
+    }));
+    const std::string events = h.control("events");
+    EXPECT_NE(events.find("\"spans\":{"), std::string::npos) << events;
+    EXPECT_NE(events.find("\"compute_us\":"), std::string::npos);
+    std::filesystem::remove_all(h.fleet_dir);
+}
+
+TEST(Netd, V3TraceEchoTelescopesToTheWireLatency) {
+    Harness h;
+    h.start();
+    const auto img = make_images(1).samples[0].image;
+    auto client = h.connect();
+
+    RequestFrame f = make_frame(img, 41);
+    f.version = netd::kProtocolVersionV3;
+    f.flags = netd::kFlagTrace;
+    const auto resp = client.call(f);
+    ASSERT_EQ(resp.status, WireStatus::Ok) << resp.error;
+    EXPECT_EQ(resp.version, netd::kProtocolVersionV3);
+    ASSERT_FALSE(resp.trace.empty());
+
+    std::map<std::uint8_t, std::uint64_t> spans;
+    for (const auto& s : resp.trace) {
+        EXPECT_GE(s.id, 1);
+        EXPECT_LE(s.id, 7);
+        EXPECT_TRUE(spans.emplace(s.id, s.value).second)
+            << "duplicate span id " << int(s.id);
+    }
+    const std::uint64_t total =
+        spans[static_cast<std::uint8_t>(obs::SpanId::TotalUs)];
+    const std::uint64_t sum =
+        spans[static_cast<std::uint8_t>(obs::SpanId::QueueUs)] +
+        spans[static_cast<std::uint8_t>(obs::SpanId::BatchUs)] +
+        spans[static_cast<std::uint8_t>(obs::SpanId::ComputeUs)] +
+        spans[static_cast<std::uint8_t>(obs::SpanId::ResolveUs)];
+    // The phases telescope by construction: their sum IS the total span.
+    EXPECT_EQ(sum, total);
+    // And the total reconciles with the latency the server measured — the
+    // end-to-end acceptance criterion (5% plus clock-coarseness slack).
+    const double slack =
+        std::max(0.05 * static_cast<double>(resp.latency_us), 200.0);
+    EXPECT_LE(static_cast<double>(total),
+              static_cast<double>(resp.latency_us) + slack);
+    EXPECT_GE(static_cast<double>(total) + slack,
+              static_cast<double>(resp.latency_us));
+}
+
+TEST(Netd, V3WithoutTheFlagAndOlderVersionsGetNoTraceBlock) {
+    Harness h;
+    h.start();
+    const auto img = make_images(1).samples[0].image;
+    auto client = h.connect();
+
+    RequestFrame v3 = make_frame(img, 51);
+    v3.version = netd::kProtocolVersionV3;  // flags stay 0
+    const auto resp3 = client.call(v3);
+    ASSERT_EQ(resp3.status, WireStatus::Ok) << resp3.error;
+    EXPECT_EQ(resp3.version, netd::kProtocolVersionV3);
+    EXPECT_TRUE(resp3.trace.empty());
+
+    const auto resp1 = client.call(make_frame(img, 52));
+    ASSERT_EQ(resp1.status, WireStatus::Ok) << resp1.error;
+    EXPECT_EQ(resp1.version, netd::kProtocolVersion);
+    EXPECT_TRUE(resp1.trace.empty());
 }

@@ -1,0 +1,401 @@
+// Contract tests for neuro::obs (docs/ARCHITECTURE.md §14):
+//   * Timer — zero accumulation while disabled, stop() flush + disarm,
+//     nesting and shared-sink addition,
+//   * TraceContext — span telescoping (queue+batch+compute+resolve ==
+//     total) and saturating deltas,
+//   * Registry — get-or-create stability, cross-thread counter shard
+//     aggregation (run under TSan in CI), histogram bucket edges, the
+//     Prometheus exposition format (sorted families, _total suffix,
+//     cumulative le buckets, collector output, "# EOF" terminator),
+//   * FlightRecorder — ordering, wraparound, detail truncation, the
+//     events JSON, and concurrent writers against a snapshotting reader.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+using namespace neuro;
+
+namespace {
+
+/// set_timing is process-global; every test that flips it restores the
+/// disabled default so suites stay order-independent.
+struct TimingGuard {
+    explicit TimingGuard(bool on) { obs::set_timing(on); }
+    ~TimingGuard() { obs::set_timing(false); }
+};
+
+}  // namespace
+
+// ---- Timer ------------------------------------------------------------------
+
+TEST(Timer, DisabledTimerNeverTouchesTheSink) {
+    TimingGuard g(false);
+    std::uint64_t sink = 0;
+    {
+        obs::Timer t(sink);
+        volatile int spin = 0;
+        for (int i = 0; i < 1000; ++i) spin = spin + i;
+    }
+    EXPECT_EQ(sink, 0u);
+}
+
+TEST(Timer, EnabledTimerAccumulatesElapsedNanoseconds) {
+    TimingGuard g(true);
+    std::uint64_t sink = 0;
+    {
+        obs::Timer t(sink);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    // Slept ~2ms; any positive accumulation proves the clock was read.
+    EXPECT_GT(sink, 0u);
+}
+
+TEST(Timer, StopFlushesOnceAndDisarms) {
+    TimingGuard g(true);
+    std::uint64_t sink = 0;
+    obs::Timer t(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    t.stop();
+    const std::uint64_t after_stop = sink;
+    EXPECT_GT(after_stop, 0u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    t.stop();  // idempotent: no second flush
+    EXPECT_EQ(sink, after_stop);
+}
+
+TEST(Timer, SiblingScopesSharingASinkAdd) {
+    TimingGuard g(true);
+    std::uint64_t sink = 0;
+    {
+        obs::Timer a(sink);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const std::uint64_t first = sink;
+    {
+        obs::Timer b(sink);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GT(sink, first);
+}
+
+TEST(Timer, NestedScopesAccumulateIntoTheirOwnSinks) {
+    TimingGuard g(true);
+    std::uint64_t outer = 0;
+    std::uint64_t inner = 0;
+    {
+        obs::Timer a(outer);
+        {
+            obs::Timer b(inner);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GT(inner, 0u);
+    // The outer scope covers the inner one plus its own tail.
+    EXPECT_GE(outer, inner);
+}
+
+TEST(Timer, FlipMidScopeKeepsTheStartingPolicy) {
+    // A scope opened while timing is off stays off even if the switch
+    // flips before it closes (the constructor decided).
+    std::uint64_t sink = 0;
+    obs::set_timing(false);
+    {
+        obs::Timer t(sink);
+        obs::set_timing(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    obs::set_timing(false);
+    EXPECT_EQ(sink, 0u);
+}
+
+// ---- TraceContext -----------------------------------------------------------
+
+TEST(TraceContext, SpansTelescopeToTotal) {
+    obs::TraceContext t;
+    t.enabled = true;
+    t.t_intake_us = 100;
+    t.t_dequeue_us = 180;
+    t.t_dispatch_us = 250;
+    t.t_compute_done_us = 1300;
+    t.t_complete_us = 1320;
+    EXPECT_EQ(t.queue_us(), 80u);
+    EXPECT_EQ(t.batch_us(), 70u);
+    EXPECT_EQ(t.compute_us(), 1050u);
+    EXPECT_EQ(t.resolve_us(), 20u);
+    EXPECT_EQ(t.queue_us() + t.batch_us() + t.compute_us() + t.resolve_us(),
+              t.total_us());
+}
+
+TEST(TraceContext, DeltasSaturateAtZeroOnClockCoarseness) {
+    // A coarse clock can stamp equal (or, through saturation math, even
+    // out-of-order-looking) values; spans must never underflow.
+    EXPECT_EQ(obs::TraceContext::delta(50, 50), 0u);
+    EXPECT_EQ(obs::TraceContext::delta(60, 50), 0u);
+    obs::TraceContext t;
+    EXPECT_EQ(t.total_us(), 0u);
+}
+
+TEST(TraceContext, SpanIdNamesAreStable) {
+    EXPECT_STREQ(obs::to_string(obs::SpanId::QueueUs), "queue_us");
+    EXPECT_STREQ(obs::to_string(obs::SpanId::ComputeUs), "compute_us");
+    EXPECT_STREQ(obs::to_string(obs::SpanId::KernelSweepNs),
+                 "kernel_sweep_ns");
+    EXPECT_STREQ(obs::to_string(obs::SpanId::TotalUs), "total_us");
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST(Registry, CounterAggregatesAcrossThreads) {
+    obs::Registry reg;
+    obs::Counter& c = reg.counter("neuro_test_ops", "test counter");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10'000;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back([&c] {
+            for (int j = 0; j < kPerThread; ++j) c.inc();
+        });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, GetOrCreateReturnsTheSameInstrument) {
+    obs::Registry reg;
+    obs::Counter& a = reg.counter("neuro_test_ops", "help");
+    obs::Counter& b = reg.counter("neuro_test_ops", "ignored second help");
+    EXPECT_EQ(&a, &b);
+    obs::Counter& labeled =
+        reg.counter("neuro_test_ops", "help", "{model=\"m0\"}");
+    EXPECT_NE(&a, &labeled);
+}
+
+TEST(Registry, KindMismatchThrows) {
+    obs::Registry reg;
+    reg.counter("neuro_test_metric", "as counter");
+    EXPECT_THROW(reg.gauge("neuro_test_metric", "as gauge"),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.histogram("neuro_test_metric", "as histogram"),
+                 std::invalid_argument);
+}
+
+TEST(Registry, HistogramBucketEdgesArePowersOfTwo) {
+    obs::Histogram h;
+    h.record_us(0);    // <= 1us -> bucket 0
+    h.record_us(1);    // edge: le="1" is inclusive
+    h.record_us(2);    // bucket 1
+    h.record_us(3);    // bucket 2 (le 4)
+    h.record_us(1u << 25);            // last finite bucket
+    h.record_us((1u << 25) + 1);      // +Inf
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(obs::Histogram::kBuckets - 1), 1u);
+    EXPECT_EQ(h.bucket(obs::Histogram::kBuckets), 1u);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.sum_us(), 0u + 1 + 2 + 3 + (1u << 25) + (1u << 25) + 1);
+    EXPECT_EQ(obs::Histogram::upper_edge_us(0), 1u);
+    EXPECT_EQ(obs::Histogram::upper_edge_us(10), 1024u);
+}
+
+TEST(Registry, ExposeEmitsPrometheusTextSortedWithEofTerminator) {
+    obs::Registry reg;
+    reg.counter("neuro_zeta_ops", "last family").inc(3);
+    reg.counter("neuro_alpha_ops", "first family").inc(7);
+    reg.gauge("neuro_mid_depth", "a gauge").set(-4);
+    reg.histogram("neuro_lat_us", "a histogram").record_us(3);
+
+    const std::string text = reg.expose();
+    // Counters get the _total suffix; families sort by name.
+    const auto alpha = text.find("neuro_alpha_ops_total 7\n");
+    const auto zeta = text.find("neuro_zeta_ops_total 3\n");
+    ASSERT_NE(alpha, std::string::npos) << text;
+    ASSERT_NE(zeta, std::string::npos) << text;
+    EXPECT_LT(alpha, zeta);
+    EXPECT_NE(text.find("# HELP neuro_alpha_ops_total first family\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE neuro_alpha_ops_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("neuro_mid_depth -4\n"), std::string::npos);
+    // Cumulative le buckets: a 3us sample lands in le="4" and above.
+    EXPECT_NE(text.find("neuro_lat_us_bucket{le=\"2\"} 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("neuro_lat_us_bucket{le=\"4\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("neuro_lat_us_bucket{le=\"+Inf\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("neuro_lat_us_sum 3\n"), std::string::npos);
+    EXPECT_NE(text.find("neuro_lat_us_count 1\n"), std::string::npos);
+    // The control-socket framing contract: text ends with a "# EOF" line.
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(Registry, CollectorsAppendBeforeTheTerminator) {
+    obs::Registry reg;
+    reg.add_collector([](std::string& out) {
+        obs::append_help_type(out, "neuro_bridge_total", "counter",
+                              "scrape-time bridge");
+        obs::append_sample(out, "neuro_bridge_total",
+                           "{model=\"m0\"}", std::uint64_t{42});
+    });
+    const std::string text = reg.expose();
+    const auto bridge = text.find("neuro_bridge_total{model=\"m0\"} 42\n");
+    ASSERT_NE(bridge, std::string::npos) << text;
+    EXPECT_LT(bridge, text.rfind("# EOF\n"));
+}
+
+TEST(Registry, LabeledSeriesExposeWithinOneFamily) {
+    obs::Registry reg;
+    reg.counter("neuro_model_hits", "per-model", "{model=\"a\"}").inc(1);
+    reg.counter("neuro_model_hits", "per-model", "{model=\"b\"}").inc(2);
+    const std::string text = reg.expose();
+    EXPECT_NE(text.find("neuro_model_hits_total{model=\"a\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("neuro_model_hits_total{model=\"b\"} 2\n"),
+              std::string::npos);
+    // One family header, two series.
+    EXPECT_EQ(text.find("# TYPE neuro_model_hits_total counter"),
+              text.rfind("# TYPE neuro_model_hits_total counter"));
+}
+
+// ---- FlightRecorder ---------------------------------------------------------
+
+TEST(FlightRecorder, RecordsInOrderOldestFirst) {
+    obs::FlightRecorder rec(16);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        rec.record(obs::EventKind::ModelLoad, 100 + i, "m" + std::to_string(i),
+                   i, 0);
+    const auto events = rec.snapshot();
+    ASSERT_EQ(events.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(events[i].t_us, 100 + i);
+        EXPECT_EQ(events[i].a, i);
+        EXPECT_EQ(events[i].detail_str(), "m" + std::to_string(i));
+        EXPECT_EQ(events[i].kind, obs::EventKind::ModelLoad);
+    }
+    EXPECT_EQ(rec.total_recorded(), 5u);
+}
+
+TEST(FlightRecorder, WraparoundKeepsTheMostRecentCapacityEvents) {
+    obs::FlightRecorder rec(8);  // power of two already
+    ASSERT_EQ(rec.capacity(), 8u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        rec.record(obs::EventKind::CoDelDrop, i, "d", i, 0);
+    const auto events = rec.snapshot();
+    ASSERT_EQ(events.size(), 8u);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].a, 12 + i);  // tickets 12..19 survive
+    EXPECT_EQ(rec.total_recorded(), 20u);
+}
+
+TEST(FlightRecorder, SnapshotMaxNReturnsTheNewestSuffix) {
+    obs::FlightRecorder rec(32);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        rec.record(obs::EventKind::Eviction, i, "e", i, 0);
+    const auto events = rec.snapshot(3);
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].a, 7u);
+    EXPECT_EQ(events[2].a, 9u);
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToAPowerOfTwo) {
+    obs::FlightRecorder rec(100);
+    EXPECT_EQ(rec.capacity(), 128u);
+    obs::FlightRecorder tiny(1);
+    EXPECT_EQ(tiny.capacity(), 8u);  // floor
+}
+
+TEST(FlightRecorder, DetailTruncatesToThirtyNineBytesPlusNul) {
+    obs::Event e;
+    const std::string long_name(64, 'x');
+    e.set_detail(long_name);
+    EXPECT_EQ(std::strlen(e.detail), sizeof e.detail - 1);
+    EXPECT_EQ(e.detail_str(), std::string(sizeof e.detail - 1, 'x'));
+    e.set_detail("short");
+    EXPECT_EQ(e.detail_str(), "short");
+}
+
+TEST(FlightRecorder, SlowRequestSpansSurviveTheRing) {
+    obs::FlightRecorder rec(8);
+    obs::Event e;
+    e.kind = obs::EventKind::SlowRequest;
+    e.t_us = 777;
+    e.a = 42;       // request_id
+    e.b = 125'000;  // latency_us
+    for (std::size_t i = 0; i < e.spans.size(); ++i)
+        e.spans[i] = 10 * (i + 1);
+    e.set_detail("modelA");
+    rec.record(e);
+    const auto events = rec.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].spans, e.spans);
+    EXPECT_EQ(events[0].detail_str(), "modelA");
+}
+
+TEST(FlightRecorder, EventsJsonCarriesKindsDetailsAndSpans) {
+    obs::FlightRecorder rec(8);
+    rec.record(obs::EventKind::Eviction, 5, "victim", 4096, 2);
+    obs::Event slow;
+    slow.kind = obs::EventKind::SlowRequest;
+    slow.t_us = 9;
+    slow.a = 1;
+    slow.b = 200'000;
+    slow.spans[0] = 11;  // queue_us
+    slow.spans[6] = 77;  // total_us
+    slow.set_detail("m0");
+    rec.record(slow);
+    const std::string json = obs::events_to_json(rec.snapshot());
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    EXPECT_NE(json.find("\"kind\":\"eviction\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"detail\":\"victim\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"slow_request\""), std::string::npos);
+    EXPECT_NE(json.find("\"queue_us\":11"), std::string::npos);
+    EXPECT_NE(json.find("\"total_us\":77"), std::string::npos);
+    // Non-slow events carry no spans object.
+    const auto eviction = json.find("\"kind\":\"eviction\"");
+    const auto spans = json.find("\"spans\"");
+    ASSERT_NE(spans, std::string::npos);
+    EXPECT_GT(spans, eviction);
+    EXPECT_EQ(obs::events_to_json({}), "[]");
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverBlockOrTearTheReader) {
+    obs::FlightRecorder rec(64);
+    constexpr int kWriters = 4;
+    constexpr std::uint64_t kPerWriter = 5'000;
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            // Every surviving event must be internally consistent: the
+            // a-word always equals the t_us stamp in this workload, so a
+            // torn slot would be visible immediately.
+            for (const auto& e : rec.snapshot())
+                ASSERT_EQ(e.a, e.t_us);
+        }
+    });
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w)
+        writers.emplace_back([&rec, w] {
+            for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+                const std::uint64_t stamp = w * kPerWriter + i;
+                rec.record(obs::EventKind::ConnError, stamp, "fd", stamp, 0);
+            }
+        });
+    for (auto& t : writers) t.join();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+    EXPECT_EQ(rec.total_recorded(), kWriters * kPerWriter);
+    EXPECT_EQ(rec.snapshot().size(), rec.capacity());
+}

@@ -337,10 +337,10 @@ TEST(Server, StatsInvariantsAfterLoad) {
     constexpr auto kInteractive =
         static_cast<std::size_t>(serve::Priority::Interactive);
     EXPECT_EQ(s.class_accepted[kInteractive], 32u);
-    EXPECT_EQ(s.class_dropped[kInteractive], 0u);
-    EXPECT_EQ(s.class_deadline_missed[kInteractive], 0u);
+    EXPECT_EQ(s.class_codel_dropped[kInteractive], 0u);
+    EXPECT_EQ(s.class_deadline_dropped[kInteractive], 0u);
     EXPECT_EQ(s.codel_dropped, 0u);
-    EXPECT_EQ(s.deadline_missed, 0u);
+    EXPECT_EQ(s.deadline_dropped, 0u);
     EXPECT_EQ(s.drop_state_entries, 0u);
     EXPECT_LE(s.sojourn_p50_us, s.sojourn_p95_us);
     EXPECT_LE(s.sojourn_p95_us, s.sojourn_p99_us);
@@ -379,7 +379,7 @@ TEST(Server, StatsAttributeAcceptsToTheSubmittedClass) {
     EXPECT_EQ(s.class_accepted[kI], 1u);
     EXPECT_EQ(s.class_accepted[kB], 1u);
     EXPECT_EQ(s.class_accepted[kF], 1u);
-    EXPECT_EQ(s.codel_dropped + s.deadline_missed, 0u);
+    EXPECT_EQ(s.codel_dropped + s.deadline_dropped, 0u);
     EXPECT_EQ(s.feedback_dropped, 0u);
 }
 

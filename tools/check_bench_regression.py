@@ -29,7 +29,9 @@ import sys
 # when current exceeds baseline * (1 + tolerance)); `normalize_by` names
 # the reference row whose metric value divides every row's (same-run
 # normalization); `min_baseline` skips rows whose baseline value carries
-# no signal (e.g. chance-level accuracy at smoke scale).
+# no signal (e.g. chance-level accuracy at smoke scale); `tolerance`
+# overrides the CLI-wide --tolerance for that one bench (tight gates like
+# the tracing-overhead rule want 5% where throughput gates need 20%).
 #
 # table1 gates only the chip columns: the chip simulator is pure integer
 # with seeded RNG, so those accuracies are reproducible across machines.
@@ -103,6 +105,17 @@ RULES = {
         "metrics": ["throughput_rps"],
         "normalize_by": "multimodel, models=1",
     },
+    # Tracing tax: the trace-on row is normalized by the same-run trace-off
+    # row (identical closed-loop workload, spans off vs on), so the gate
+    # tracks the relative cost of per-request span stamping — a ratio that
+    # transfers across machines. The tight per-rule tolerance enforces the
+    # observability contract: tracing may cost at most ~5% throughput.
+    "serving_trace": {
+        "key": "config",
+        "metrics": ["throughput_rps"],
+        "normalize_by": "trace-off",
+        "tolerance": 0.05,
+    },
     # Learning-while-serving: the feedback order and the integer simulator
     # make the end-of-stream accuracy reproducible across machines, so it
     # compares absolutely (like table1). The serve-only control row sits at
@@ -159,6 +172,7 @@ def check_bench(name, baseline_path, results_path, tolerance):
     if rule is None:
         print(f"  [skip] {name}: no gating rule")
         return []
+    tolerance = rule.get("tolerance", tolerance)
     base = normalized(index_rows(load_rows(baseline_path), rule["key"]), rule)
     cur_rows = index_rows(load_rows(results_path), rule["key"])
     cur = normalized(cur_rows, rule)
